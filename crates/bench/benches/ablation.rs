@@ -1,0 +1,44 @@
+//! Benches for the design-choice ablations (§3.2, §3.3, §3.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::ablation;
+use experiments::Scale;
+
+fn bench_ablations(c: &mut Criterion) {
+    let lock = ablation::lock_granularity(Scale::Quick);
+    eprintln!("\n=== Lock granularity ablation (quick scale) ===\n{}", lock.format());
+
+    let reserve = ablation::reserve_threshold_sweep(&[0.0, 0.04, 0.08, 0.16], Scale::Quick);
+    eprintln!("{}", ablation::format_reserve_sweep(&reserve));
+
+    let bw = ablation::bw_threshold_sweep(&[0.0, 16.0, 64.0, 256.0, f64::INFINITY], Scale::Quick);
+    eprintln!("{}", ablation::format_bw_sweep(&bw));
+
+    let ipi = ablation::ipi_revocation(Scale::Quick);
+    eprintln!("{}", ipi.format());
+
+    let net = experiments::net_bw::run(Scale::Quick);
+    eprintln!("{}", net.format());
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("lock_granularity", |b| {
+        b.iter(|| ablation::lock_granularity(Scale::Quick))
+    });
+    group.bench_function("reserve_sweep_point", |b| {
+        b.iter(|| ablation::reserve_threshold_sweep(&[0.08], Scale::Quick))
+    });
+    group.bench_function("bw_sweep_point", |b| {
+        b.iter(|| ablation::bw_threshold_sweep(&[64.0], Scale::Quick))
+    });
+    group.bench_function("ipi_revocation", |b| {
+        b.iter(|| ablation::ipi_revocation(Scale::Quick))
+    });
+    group.bench_function("net_bw", |b| {
+        b.iter(|| experiments::net_bw::run(Scale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench for the CPU-isolation experiment (Figure 5, §4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::cpu_iso;
+use experiments::Scale;
+use spu_core::Scheme;
+
+fn bench_cpu_iso(c: &mut Criterion) {
+    let result = cpu_iso::run(Scale::Quick);
+    eprintln!("\n=== CPU isolation (quick scale) ===\n{}", result.format());
+
+    let mut group = c.benchmark_group("cpu_iso");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| cpu_iso::run_one(scheme, Scale::Quick))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_iso);
+criterion_main!(benches);

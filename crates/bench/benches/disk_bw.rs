@@ -1,0 +1,28 @@
+//! Bench for the disk-bandwidth experiments (Tables 3 and 4, §4.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::disk_bw;
+use experiments::Scale;
+use hp_disk::SchedulerKind;
+
+fn bench_disk_bw(c: &mut Criterion) {
+    let t3 = disk_bw::table3(Scale::Quick);
+    eprintln!("\n=== Table 3: pmake-copy (quick scale) ===\n{}", t3.format());
+    let t4 = disk_bw::table4(Scale::Quick);
+    eprintln!("=== Table 4: big-and-small copy (quick scale) ===\n{}", t4.format());
+
+    let mut group = c.benchmark_group("disk_bw");
+    group.sample_size(10);
+    for policy in SchedulerKind::ALL {
+        group.bench_function(format!("pmake_copy/{}", policy.label()), |b| {
+            b.iter(|| disk_bw::run_pmake_copy(policy, Scale::Quick))
+        });
+        group.bench_function(format!("big_small/{}", policy.label()), |b| {
+            b.iter(|| disk_bw::run_big_small(policy, Scale::Quick))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disk_bw);
+criterion_main!(benches);

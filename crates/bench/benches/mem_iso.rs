@@ -1,0 +1,23 @@
+//! Bench for the memory-isolation experiment (Figure 7, §4.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::mem_iso;
+use experiments::Scale;
+use spu_core::Scheme;
+
+fn bench_mem_iso(c: &mut Criterion) {
+    let result = mem_iso::run(Scale::Quick);
+    eprintln!("\n=== Memory isolation (quick scale) ===\n{}", result.format());
+
+    let mut group = c.benchmark_group("mem_iso");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_function(format!("unbalanced/{scheme}"), |b| {
+            b.iter(|| mem_iso::run_one(scheme, true, Scale::Quick))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mem_iso);
+criterion_main!(benches);

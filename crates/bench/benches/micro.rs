@@ -1,0 +1,107 @@
+//! Substrate micro-benchmarks: event queue, RNG, disk model, bandwidth
+//! tracker, and a small end-to-end kernel run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use event_sim::{EventQueue, SimDuration, SimTime, SplitMix64};
+use hp_disk::{DiskDevice, DiskModel, DiskRequest, RequestKind, SchedulerKind};
+use smp_kernel::{Kernel, MachineConfig, Program};
+use spu_core::{BandwidthTracker, Scheme, SpuId, SpuSet};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_u64_1k", |b| {
+        let mut r = SplitMix64::new(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= r.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_disk_model(c: &mut Criterion) {
+    let model = DiskModel::hp97560();
+    c.bench_function("disk/service_calc", |b| {
+        b.iter(|| {
+            black_box(model.service(SimTime::from_millis(3), 500, 1_000_000, 64))
+        })
+    });
+    c.bench_function("disk/device_100_requests", |b| {
+        b.iter(|| {
+            let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::Hybrid, 4);
+            let mut completion = None;
+            for i in 0..100u64 {
+                let r = DiskRequest::new(
+                    SpuId::user((i % 2) as u32),
+                    RequestKind::Read,
+                    (i * 131_071) % 2_000_000,
+                    8,
+                );
+                if let Some(cc) = d.submit(r, SimTime::ZERO) {
+                    completion = Some(cc);
+                }
+            }
+            let mut now = SimTime::ZERO;
+            while let Some(cc) = completion {
+                now = cc.at;
+                completion = d.complete(now).1;
+            }
+            black_box(now)
+        })
+    });
+}
+
+fn bench_bw_tracker(c: &mut Criterion) {
+    c.bench_function("bw_tracker/charge_and_check", |b| {
+        let mut bw = BandwidthTracker::new(10, SimDuration::from_millis(500));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let now = SimTime::from_micros(t * 100);
+            bw.charge(SpuId::user((t % 8) as u32), 64, now);
+            black_box(bw.fails_fairness(SpuId::user(0), 64.0, now))
+        })
+    });
+}
+
+fn bench_kernel_run(c: &mut Criterion) {
+    c.bench_function("kernel/small_run", |b| {
+        b.iter(|| {
+            let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+            let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+            let spin = Program::builder("spin")
+                .compute(SimDuration::from_millis(100), 20)
+                .build();
+            k.spawn_at(SpuId::user(0), spin.clone(), Some("a"), SimTime::ZERO);
+            k.spawn_at(SpuId::user(1), spin, Some("b"), SimTime::ZERO);
+            black_box(k.run(SimTime::from_secs(5)).end_time)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_disk_model,
+    bench_bw_tracker,
+    bench_kernel_run
+);
+criterion_main!(benches);

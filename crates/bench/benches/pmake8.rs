@@ -1,0 +1,31 @@
+//! Bench for the Pmake8 experiment (Figures 2 and 3, §4.2).
+//!
+//! Prints the regenerated figures once, then times representative runs
+//! at `Quick` scale (same structure as the paper's configuration,
+//! smaller jobs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::pmake8::{self, Scale};
+use spu_core::Scheme;
+
+fn bench_pmake8(c: &mut Criterion) {
+    let result = pmake8::run(Scale::Quick);
+    eprintln!("\n=== Pmake8 (quick scale) ===\n{}", result.format());
+    let points = experiments::scaling::run(&[1, 2, 3], Scale::Quick);
+    eprintln!("{}", experiments::scaling::format(&points));
+
+    let mut group = c.benchmark_group("pmake8");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_function(format!("balanced/{scheme}"), |b| {
+            b.iter(|| pmake8::run_one(scheme, false, Scale::Quick))
+        });
+        group.bench_function(format!("unbalanced/{scheme}"), |b| {
+            b.iter(|| pmake8::run_one(scheme, true, Scale::Quick))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pmake8);
+criterion_main!(benches);

@@ -1,0 +1,409 @@
+//! The hybrid space/time CPU partition of §3.1.
+//!
+//! "Each SPU is allocated an integral number of CPUs using space
+//! partitioning, depending on its entitlement. If in the division,
+//! fractions of CPUs need to be allocated to SPUs, then time partitioning
+//! is used for the remaining CPUs with the share of time allocated to an
+//! SPU corresponding to the fraction of the CPU."
+//!
+//! [`CpuPartition::compute`] produces the per-CPU home assignment;
+//! [`SharedCpuRotor`] implements proportional time-sharing (deficit round
+//! robin over scheduler slices) for CPUs whose capacity is split between
+//! SPUs.
+
+use crate::spu::{SpuId, SpuSet};
+
+/// How one CPU's capacity is assigned to home SPUs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CpuAssignment {
+    /// The CPU belongs entirely to one home SPU.
+    Dedicated(SpuId),
+    /// The CPU is time-partitioned among several SPUs; each entry carries
+    /// a weight in thousandths of the CPU (they sum to ≤ 1000).
+    TimeShared(Vec<(SpuId, u32)>),
+}
+
+impl CpuAssignment {
+    /// The SPUs with any home claim on this CPU.
+    pub fn home_spus(&self) -> Vec<SpuId> {
+        match self {
+            CpuAssignment::Dedicated(s) => vec![*s],
+            CpuAssignment::TimeShared(entries) => entries.iter().map(|(s, _)| *s).collect(),
+        }
+    }
+
+    /// Whether `spu` has a home claim on this CPU.
+    pub fn is_home_of(&self, spu: SpuId) -> bool {
+        match self {
+            CpuAssignment::Dedicated(s) => *s == spu,
+            CpuAssignment::TimeShared(entries) => entries.iter().any(|(s, _)| *s == spu),
+        }
+    }
+}
+
+/// The machine-wide CPU→SPU home map.
+///
+/// # Examples
+///
+/// ```
+/// use spu_core::{CpuPartition, CpuAssignment, SpuSet, SpuId};
+///
+/// // 8 CPUs over 8 equal SPUs: one dedicated CPU each (the Pmake8 layout).
+/// let spus = SpuSet::equal_users(8);
+/// let part = CpuPartition::compute(8, &spus);
+/// assert!(part
+///     .assignments()
+///     .iter()
+///     .all(|a| matches!(a, CpuAssignment::Dedicated(_))));
+///
+/// // 8 CPUs over 3 equal SPUs: 2 dedicated each + 2 time-shared CPUs.
+/// let spus = SpuSet::equal_users(3);
+/// let part = CpuPartition::compute(8, &spus);
+/// let shared = part
+///     .assignments()
+///     .iter()
+///     .filter(|a| matches!(a, CpuAssignment::TimeShared(_)))
+///     .count();
+/// assert_eq!(shared, 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuPartition {
+    assignments: Vec<CpuAssignment>,
+}
+
+impl CpuPartition {
+    /// Computes the hybrid partition of `n_cpus` CPUs over the user SPUs
+    /// of `spus`, favouring space partitioning (whole CPUs) and packing
+    /// the fractional remainders onto as few time-shared CPUs as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cpus == 0`.
+    pub fn compute(n_cpus: usize, spus: &SpuSet) -> CpuPartition {
+        assert!(n_cpus > 0, "need at least one CPU");
+        let total_weight = spus.total_weight() as u64;
+        // Exact share of each SPU in thousandths of a CPU.
+        let mut remainders: Vec<(SpuId, u32)> = Vec::new();
+        let mut assignments = Vec::with_capacity(n_cpus);
+        for id in spus.user_ids() {
+            let milli_total = n_cpus as u64 * 1000 * spus.weight(id) as u64 / total_weight;
+            let whole = (milli_total / 1000) as usize;
+            let frac = (milli_total % 1000) as u32;
+            for _ in 0..whole {
+                assignments.push(CpuAssignment::Dedicated(id));
+            }
+            if frac > 0 {
+                remainders.push((id, frac));
+            }
+        }
+        // Pack the fractional claims onto the remaining CPUs by sequential
+        // fill, splitting a claim across CPU boundaries where needed (an
+        // SPU may then hold time on two shared CPUs). Total fractions
+        // always fit because Σ milli shares ≤ n_cpus * 1000.
+        let shared_cpu_count = n_cpus - assignments.len();
+        let mut shared: Vec<Vec<(SpuId, u32)>> = vec![Vec::new(); shared_cpu_count];
+        let mut cpu = 0usize;
+        let mut cap = 1000u32;
+        for (id, mut frac) in remainders {
+            while frac > 0 {
+                debug_assert!(cpu < shared_cpu_count, "fractional claims overflow shared CPUs");
+                let take = frac.min(cap);
+                shared[cpu].push((id, take));
+                frac -= take;
+                cap -= take;
+                if cap == 0 && cpu + 1 < shared_cpu_count {
+                    cpu += 1;
+                    cap = 1000;
+                } else if cap == 0 {
+                    break;
+                }
+            }
+        }
+        for entries in shared {
+            if !entries.is_empty() {
+                assignments.push(CpuAssignment::TimeShared(entries));
+            }
+        }
+        // Rounding may leave CPUs unassigned (e.g. 1000*w/W truncation);
+        // spread leftover whole CPUs as extra capacity time-shared equally.
+        while assignments.len() < n_cpus {
+            let everyone: Vec<(SpuId, u32)> = spus
+                .user_ids()
+                .map(|id| (id, (1000 * spus.weight(id) as u64 / total_weight).max(1) as u32))
+                .collect();
+            assignments.push(CpuAssignment::TimeShared(everyone));
+        }
+        assignments.truncate(n_cpus);
+        CpuPartition { assignments }
+    }
+
+    /// Per-CPU assignments, indexed by CPU number.
+    pub fn assignments(&self) -> &[CpuAssignment] {
+        &self.assignments
+    }
+
+    /// Number of CPUs in the partition.
+    pub fn cpu_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The CPUs on which `spu` has a home claim.
+    pub fn home_cpus(&self, spu: SpuId) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_home_of(spu))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total capacity (in thousandths of a CPU) that `spu` is entitled to
+    /// across the machine.
+    pub fn milli_cpus(&self, spu: SpuId) -> u64 {
+        self.assignments
+            .iter()
+            .map(|a| match a {
+                CpuAssignment::Dedicated(s) if *s == spu => 1000,
+                CpuAssignment::TimeShared(entries) => entries
+                    .iter()
+                    .filter(|(s, _)| *s == spu)
+                    .map(|(_, w)| *w as u64)
+                    .sum(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Proportional-share slice allocator for one time-shared CPU.
+///
+/// Implements deficit round robin over scheduler slices: every grant adds
+/// each SPU's weight to its credit, then the runnable SPU with the largest
+/// credit wins and pays the total weight. Long-run slice counts converge
+/// to the weight ratio.
+///
+/// # Examples
+///
+/// ```
+/// use spu_core::{SharedCpuRotor, SpuId};
+/// let mut rotor = SharedCpuRotor::new(vec![(SpuId::user(0), 250), (SpuId::user(1), 750)]);
+/// let mut counts = [0u32; 2];
+/// for _ in 0..100 {
+///     let s = rotor.grant(|_| true).unwrap();
+///     counts[s.user_index().unwrap()] += 1;
+/// }
+/// assert_eq!(counts, [25, 75]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedCpuRotor {
+    entries: Vec<(SpuId, u32)>,
+    credits: Vec<i64>,
+    total: i64,
+}
+
+impl SharedCpuRotor {
+    /// Creates a rotor over `(spu, weight)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any weight is zero.
+    pub fn new(entries: Vec<(SpuId, u32)>) -> Self {
+        assert!(!entries.is_empty(), "rotor needs at least one SPU");
+        assert!(entries.iter().all(|(_, w)| *w > 0), "weights must be positive");
+        let total = entries.iter().map(|(_, w)| *w as i64).sum();
+        let credits = vec![0; entries.len()];
+        SharedCpuRotor {
+            entries,
+            credits,
+            total,
+        }
+    }
+
+    /// The SPUs sharing this CPU.
+    pub fn spus(&self) -> impl Iterator<Item = SpuId> + '_ {
+        self.entries.iter().map(|(s, _)| *s)
+    }
+
+    /// Grants the next slice to the runnable SPU with the greatest credit,
+    /// or `None` if no member SPU is runnable (the CPU is then idle or
+    /// free to be loaned).
+    ///
+    /// Credit accrues only to runnable SPUs and the winner pays the sum of
+    /// runnable weights, so proportions hold within whichever subset is
+    /// active and an SPU that was idle does not bank unbounded credit
+    /// against the others. Credits are additionally clamped to ±2× the
+    /// total weight to bound wake-up transients.
+    pub fn grant(&mut self, runnable: impl Fn(SpuId) -> bool) -> Option<SpuId> {
+        let flags: Vec<bool> = self.entries.iter().map(|(s, _)| runnable(*s)).collect();
+        let mut best: Option<usize> = None;
+        let mut active_total = 0i64;
+        for (i, (_, w)) in self.entries.iter().enumerate() {
+            if flags[i] {
+                active_total += *w as i64;
+                best = match best {
+                    Some(b) if self.credits[b] >= self.credits[i] => Some(b),
+                    _ => Some(i),
+                };
+            }
+        }
+        let winner = best?;
+        for (i, (_, w)) in self.entries.iter().enumerate() {
+            if flags[i] {
+                self.credits[i] += *w as i64;
+            }
+        }
+        self.credits[winner] -= active_total;
+        let bound = 2 * self.total;
+        for c in &mut self.credits {
+            *c = (*c).clamp(-bound, bound);
+        }
+        Some(self.entries[winner].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_eight_way_is_all_dedicated() {
+        let spus = SpuSet::equal_users(8);
+        let p = CpuPartition::compute(8, &spus);
+        assert_eq!(p.cpu_count(), 8);
+        for id in spus.user_ids() {
+            assert_eq!(p.home_cpus(id).len(), 1);
+            assert_eq!(p.milli_cpus(id), 1000);
+        }
+    }
+
+    #[test]
+    fn two_spus_four_cpus_each_on_eight_way() {
+        let spus = SpuSet::equal_users(2);
+        let p = CpuPartition::compute(8, &spus);
+        for id in spus.user_ids() {
+            assert_eq!(p.home_cpus(id).len(), 4);
+            assert_eq!(p.milli_cpus(id), 4000);
+        }
+    }
+
+    #[test]
+    fn three_spus_on_eight_cpus_mixes_space_and_time() {
+        let spus = SpuSet::equal_users(3);
+        let p = CpuPartition::compute(8, &spus);
+        assert_eq!(p.cpu_count(), 8);
+        let dedicated = p
+            .assignments()
+            .iter()
+            .filter(|a| matches!(a, CpuAssignment::Dedicated(_)))
+            .count();
+        assert_eq!(dedicated, 6); // 2 whole CPUs per SPU
+        // Each SPU entitled to ~8/3 CPUs = 2666 milli.
+        for id in spus.user_ids() {
+            let m = p.milli_cpus(id);
+            assert!((2600..=2700).contains(&m), "milli {m}");
+        }
+    }
+
+    #[test]
+    fn weighted_partition() {
+        // A owns 1/3, B owns 2/3 of a 6-way machine -> 2 and 4 CPUs.
+        let spus = SpuSet::with_weights(&[1, 2]);
+        let p = CpuPartition::compute(6, &spus);
+        assert_eq!(p.home_cpus(SpuId::user(0)).len(), 2);
+        assert_eq!(p.home_cpus(SpuId::user(1)).len(), 4);
+    }
+
+    #[test]
+    fn more_spus_than_cpus_time_shares() {
+        let spus = SpuSet::equal_users(4);
+        let p = CpuPartition::compute(2, &spus);
+        assert_eq!(p.cpu_count(), 2);
+        // Nobody gets a dedicated CPU; each CPU shared by two SPUs.
+        for a in p.assignments() {
+            match a {
+                CpuAssignment::TimeShared(entries) => assert_eq!(entries.len(), 2),
+                other => panic!("expected time-shared, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_cpu_assigned_and_capacity_conserved() {
+        for (cpus, users) in [(8, 3), (4, 3), (7, 5), (2, 3), (16, 6)] {
+            let spus = SpuSet::equal_users(users);
+            let p = CpuPartition::compute(cpus, &spus);
+            assert_eq!(p.cpu_count(), cpus);
+            let total_milli: u64 = spus.user_ids().map(|id| p.milli_cpus(id)).sum();
+            // Within rounding, all capacity is handed out.
+            assert!(
+                total_milli <= cpus as u64 * 1000,
+                "overcommitted: {total_milli}"
+            );
+            assert!(
+                total_milli + users as u64 >= cpus as u64 * 1000 - 10 * users as u64,
+                "undercommitted: {total_milli} of {}",
+                cpus * 1000
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_home_queries() {
+        let a = CpuAssignment::Dedicated(SpuId::user(1));
+        assert!(a.is_home_of(SpuId::user(1)));
+        assert!(!a.is_home_of(SpuId::user(0)));
+        let b = CpuAssignment::TimeShared(vec![(SpuId::user(0), 500), (SpuId::user(2), 500)]);
+        assert!(b.is_home_of(SpuId::user(2)));
+        assert_eq!(b.home_spus(), vec![SpuId::user(0), SpuId::user(2)]);
+    }
+
+    #[test]
+    fn rotor_proportions_converge() {
+        let mut rotor = SharedCpuRotor::new(vec![
+            (SpuId::user(0), 100),
+            (SpuId::user(1), 200),
+            (SpuId::user(2), 700),
+        ]);
+        let mut counts = [0u32; 3];
+        for _ in 0..1000 {
+            let s = rotor.grant(|_| true).unwrap();
+            counts[s.user_index().unwrap()] += 1;
+        }
+        assert!((95..=105).contains(&counts[0]), "{counts:?}");
+        assert!((195..=205).contains(&counts[1]), "{counts:?}");
+        assert!((695..=705).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn rotor_skips_unrunnable() {
+        let mut rotor =
+            SharedCpuRotor::new(vec![(SpuId::user(0), 500), (SpuId::user(1), 500)]);
+        for _ in 0..10 {
+            assert_eq!(rotor.grant(|s| s == SpuId::user(1)), Some(SpuId::user(1)));
+        }
+        assert_eq!(rotor.grant(|_| false), None);
+    }
+
+    #[test]
+    fn rotor_idle_spu_does_not_bank_credit() {
+        let mut rotor =
+            SharedCpuRotor::new(vec![(SpuId::user(0), 500), (SpuId::user(1), 500)]);
+        // user1 runs alone for a while...
+        for _ in 0..100 {
+            rotor.grant(|s| s == SpuId::user(1));
+        }
+        // ...then user0 wakes up. It should get at most a modest burst,
+        // not 100 consecutive slices.
+        let mut consecutive = 0;
+        while rotor.grant(|_| true) == Some(SpuId::user(0)) {
+            consecutive += 1;
+            assert!(consecutive < 60, "idle SPU banked unbounded credit");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SPU")]
+    fn empty_rotor_panics() {
+        SharedCpuRotor::new(vec![]);
+    }
+}

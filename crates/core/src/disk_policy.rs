@@ -1,0 +1,275 @@
+//! Disk-bandwidth accounting and the fairness criterion (§3.3).
+//!
+//! "Disk bandwidth is a rate, and as such measuring the instantaneous
+//! rate is not possible. Therefore it is approximated by counting the
+//! total sectors transferred and decaying this count periodically. ...
+//! we currently decay the count by half every 500 milliseconds."
+//!
+//! "A SPU fails the fairness criteria if its bandwidth usage relative to
+//! its bandwidth share (current count of sectors / bandwidth share)
+//! exceeds the average value of all SPUs by a threshold (the BW
+//! difference threshold)."
+
+use event_sim::{SimDuration, SimTime};
+
+use crate::spu::SpuId;
+
+/// Decayed per-SPU sectors-transferred counters with the bandwidth
+/// fairness criterion, kept per disk.
+///
+/// The BW-difference threshold trades isolation against throughput:
+/// "Smaller values imply better isolation, with a choice of zero resulting
+/// in round-robin scheduling. Larger values imply smaller seek times, and
+/// a very large value results in the normal disk-head-position
+/// scheduling."
+///
+/// # Examples
+///
+/// ```
+/// use event_sim::{SimDuration, SimTime};
+/// use spu_core::{BandwidthTracker, SpuId};
+///
+/// // kernel + shared + two user SPUs sharing one disk.
+/// let mut bw = BandwidthTracker::new(4, SimDuration::from_millis(500));
+/// let now = SimTime::ZERO;
+/// bw.charge(SpuId::user(0), 10_000, now); // user0 hogs the disk
+/// assert!(bw.fails_fairness(SpuId::user(0), 64.0, now));
+/// assert!(!bw.fails_fairness(SpuId::user(1), 64.0, now));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BandwidthTracker {
+    counts: Vec<f64>,
+    shares: Vec<f64>,
+    half_life: SimDuration,
+    last_decay: SimTime,
+}
+
+impl BandwidthTracker {
+    /// Creates a tracker for `spu_count` SPUs (dense [`SpuId::index`]
+    /// addressing) with the given decay half-life (the paper uses 500 ms).
+    /// All SPUs start with an equal bandwidth share of 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life` is zero.
+    pub fn new(spu_count: usize, half_life: SimDuration) -> Self {
+        assert!(!half_life.is_zero(), "half-life must be non-zero");
+        BandwidthTracker {
+            counts: vec![0.0; spu_count],
+            shares: vec![1.0; spu_count],
+            half_life,
+            last_decay: SimTime::ZERO,
+        }
+    }
+
+    /// Number of streams this tracker was sized for.
+    pub fn stream_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The decay half-life in effect.
+    pub fn half_life(&self) -> SimDuration {
+        self.half_life
+    }
+
+    /// The bandwidth share weight of an SPU.
+    pub fn share(&self, spu: SpuId) -> f64 {
+        self.shares[spu.index()]
+    }
+
+    /// Sets an SPU's bandwidth share weight (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share` is not positive.
+    pub fn set_share(&mut self, spu: SpuId, share: f64) {
+        assert!(share > 0.0, "share must be positive");
+        self.shares[spu.index()] = share;
+    }
+
+    /// Applies any pending half-life decays up to `now`.
+    ///
+    /// Decay is applied in whole half-life steps so that the counter
+    /// sequence is identical no matter how often this is called.
+    pub fn decay_to(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.last_decay);
+        let steps = elapsed.as_nanos() / self.half_life.as_nanos();
+        if steps == 0 {
+            return;
+        }
+        let factor = 0.5f64.powi(steps.min(1023) as i32);
+        for c in &mut self.counts {
+            *c *= factor;
+            if *c < 1e-9 {
+                *c = 0.0;
+            }
+        }
+        self.last_decay += self.half_life * steps;
+    }
+
+    /// Records `sectors` transferred on behalf of `spu` at time `now`.
+    pub fn charge(&mut self, spu: SpuId, sectors: u64, now: SimTime) {
+        self.decay_to(now);
+        self.counts[spu.index()] += sectors as f64;
+    }
+
+    /// The decayed sector count of `spu` as of `now` (read-only; does not
+    /// advance the decay clock).
+    pub fn count(&self, spu: SpuId) -> f64 {
+        self.counts[spu.index()]
+    }
+
+    /// `count / share` for one SPU — its usage relative to its share.
+    pub fn normalized_usage(&self, spu: SpuId) -> f64 {
+        self.counts[spu.index()] / self.shares[spu.index()]
+    }
+
+    /// Mean normalized usage across the user SPUs.
+    ///
+    /// The built-in kernel and shared SPUs are excluded: the shared SPU is
+    /// scheduled at lowest priority by construction (§3.3) rather than by
+    /// the fairness criterion, and kernel I/O is unrestricted.
+    pub fn average_normalized(&self) -> f64 {
+        let users: Vec<f64> = (2..self.counts.len())
+            .map(|i| self.counts[i] / self.shares[i])
+            .collect();
+        if users.is_empty() {
+            0.0
+        } else {
+            users.iter().sum::<f64>() / users.len() as f64
+        }
+    }
+
+    /// The fairness criterion (§3.3): true when `spu`'s normalized usage
+    /// exceeds the all-SPU average by more than `threshold` sectors.
+    ///
+    /// Built-in SPUs never fail the criterion here; the caller gives the
+    /// shared SPU lowest scheduling priority instead.
+    pub fn fails_fairness(&mut self, spu: SpuId, threshold: f64, now: SimTime) -> bool {
+        if !spu.is_user() {
+            return false;
+        }
+        self.decay_to(now);
+        self.normalized_usage(spu) > self.average_normalized() + threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn charge_accumulates() {
+        let mut bw = BandwidthTracker::new(4, SimDuration::from_millis(500));
+        bw.charge(SpuId::user(0), 100, ms(0));
+        bw.charge(SpuId::user(0), 50, ms(10));
+        assert_eq!(bw.count(SpuId::user(0)), 150.0);
+        assert_eq!(bw.count(SpuId::user(1)), 0.0);
+    }
+
+    #[test]
+    fn decay_halves_every_half_life() {
+        let mut bw = BandwidthTracker::new(3, SimDuration::from_millis(500));
+        bw.charge(SpuId::user(0), 800, ms(0));
+        bw.decay_to(ms(500));
+        assert_eq!(bw.count(SpuId::user(0)), 400.0);
+        bw.decay_to(ms(1500));
+        assert_eq!(bw.count(SpuId::user(0)), 100.0);
+    }
+
+    #[test]
+    fn decay_is_step_invariant() {
+        // Decaying in many small calls equals one big call.
+        let mut a = BandwidthTracker::new(3, SimDuration::from_millis(500));
+        let mut b = a.clone();
+        a.charge(SpuId::user(0), 1000, ms(0));
+        b.charge(SpuId::user(0), 1000, ms(0));
+        for t in (0..=2000).step_by(10) {
+            a.decay_to(ms(t));
+        }
+        b.decay_to(ms(2000));
+        assert_eq!(a.count(SpuId::user(0)), b.count(SpuId::user(0)));
+    }
+
+    #[test]
+    fn partial_period_does_not_decay() {
+        let mut bw = BandwidthTracker::new(3, SimDuration::from_millis(500));
+        bw.charge(SpuId::user(0), 100, ms(0));
+        bw.decay_to(ms(499));
+        assert_eq!(bw.count(SpuId::user(0)), 100.0);
+    }
+
+    #[test]
+    fn hog_fails_fairness_light_user_passes() {
+        let mut bw = BandwidthTracker::new(4, SimDuration::from_millis(500));
+        bw.charge(SpuId::user(0), 10_000, ms(0));
+        bw.charge(SpuId::user(1), 100, ms(0));
+        assert!(bw.fails_fairness(SpuId::user(0), 64.0, ms(0)));
+        assert!(!bw.fails_fairness(SpuId::user(1), 64.0, ms(0)));
+    }
+
+    #[test]
+    fn zero_threshold_approaches_round_robin() {
+        let mut bw = BandwidthTracker::new(4, SimDuration::from_millis(500));
+        bw.charge(SpuId::user(0), 10, ms(0));
+        // Any usage above the average fails with threshold 0.
+        assert!(bw.fails_fairness(SpuId::user(0), 0.0, ms(0)));
+    }
+
+    #[test]
+    fn huge_threshold_never_fails() {
+        let mut bw = BandwidthTracker::new(4, SimDuration::from_millis(500));
+        bw.charge(SpuId::user(0), 1_000_000, ms(0));
+        assert!(!bw.fails_fairness(SpuId::user(0), f64::INFINITY, ms(0)));
+    }
+
+    #[test]
+    fn alone_on_disk_cannot_fail() {
+        // "Sharing happens naturally because an SPU cannot fail the
+        // fairness criterion if no other SPU has active requests" — with a
+        // single user SPU the average equals its own usage.
+        let mut bw = BandwidthTracker::new(3, SimDuration::from_millis(500));
+        bw.charge(SpuId::user(0), 50_000, ms(0));
+        assert!(!bw.fails_fairness(SpuId::user(0), 64.0, ms(0)));
+    }
+
+    #[test]
+    fn shares_scale_normalized_usage() {
+        let mut bw = BandwidthTracker::new(4, SimDuration::from_millis(500));
+        bw.set_share(SpuId::user(0), 2.0); // entitled to twice the bandwidth
+        bw.charge(SpuId::user(0), 200, ms(0));
+        bw.charge(SpuId::user(1), 100, ms(0));
+        assert_eq!(bw.normalized_usage(SpuId::user(0)), 100.0);
+        assert_eq!(bw.normalized_usage(SpuId::user(1)), 100.0);
+        assert!(!bw.fails_fairness(SpuId::user(0), 1.0, ms(0)));
+    }
+
+    #[test]
+    fn builtin_spus_never_fail() {
+        let mut bw = BandwidthTracker::new(4, SimDuration::from_millis(500));
+        bw.charge(SpuId::SHARED, 1_000_000, ms(0));
+        bw.charge(SpuId::KERNEL, 1_000_000, ms(0));
+        assert!(!bw.fails_fairness(SpuId::SHARED, 0.0, ms(0)));
+        assert!(!bw.fails_fairness(SpuId::KERNEL, 0.0, ms(0)));
+    }
+
+    #[test]
+    fn fairness_recovers_after_decay() {
+        let mut bw = BandwidthTracker::new(4, SimDuration::from_millis(500));
+        bw.charge(SpuId::user(0), 1000, ms(0));
+        bw.charge(SpuId::user(1), 100, ms(0));
+        assert!(bw.fails_fairness(SpuId::user(0), 64.0, ms(0)));
+        // After many half-lives the hog's count decays and it passes again.
+        assert!(!bw.fails_fairness(SpuId::user(0), 64.0, ms(10_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn zero_half_life_panics() {
+        BandwidthTracker::new(2, SimDuration::ZERO);
+    }
+}

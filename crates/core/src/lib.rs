@@ -1,0 +1,62 @@
+//! The Software Performance Unit (SPU) abstraction — the primary
+//! contribution of *"Performance Isolation: Sharing and Isolation in
+//! Shared-Memory Multiprocessors"* (Verghese, Gupta, Rosenblum; ASPLOS
+//! 1998).
+//!
+//! An SPU groups processes and owns a share of every machine resource.
+//! Per resource the SPU tracks three levels (§2.3 of the paper):
+//!
+//! * **entitled** — the share the SPU owns under the machine's sharing
+//!   contract;
+//! * **allowed** — what it may use *right now*, raised above `entitled`
+//!   when idle resources are lent to it and lowered again on revocation;
+//! * **used** — what it is actually consuming, maintained by kernel
+//!   accounting.
+//!
+//! This crate is pure policy and accounting — no simulation, no kernel.
+//! The [`smp-kernel`](../smp_kernel) crate wires these policies into a
+//! simulated IRIX-style SMP kernel.
+//!
+//! # Modules
+//!
+//! * [`spu`] — SPU identity, the built-in `kernel` and `shared` SPUs (§2.2).
+//! * [`resource`] — resource kinds and the three-level accounting record.
+//! * [`ledger`] — per-SPU countable-resource accounting with isolation
+//!   enforcement (memory pages).
+//! * [`scheme`] — the three allocation schemes compared throughout the
+//!   paper: `SMP`, `Quota`, `PIso` (Table 2).
+//! * [`cpu_policy`] — the hybrid space/time CPU partition and the
+//!   proportional-share rotor for fractionally-shared CPUs (§3.1).
+//! * [`mem_policy`] — idle-page redistribution with the Reserve Threshold
+//!   (§3.2).
+//! * [`disk_policy`] — decayed sectors-per-second accounting and the
+//!   bandwidth-difference fairness criterion (§3.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use spu_core::{SpuSet, Scheme};
+//!
+//! // Two users sharing a machine half-and-half, plus the built-in
+//! // kernel and shared SPUs.
+//! let spus = SpuSet::equal_users(2);
+//! assert_eq!(spus.user_ids().count(), 2);
+//! assert!(Scheme::PIso.shares_idle_resources());
+//! assert!(!Scheme::Quota.shares_idle_resources());
+//! ```
+
+pub mod cpu_policy;
+pub mod disk_policy;
+pub mod ledger;
+pub mod mem_policy;
+pub mod resource;
+pub mod scheme;
+pub mod spu;
+
+pub use cpu_policy::{CpuAssignment, CpuPartition, SharedCpuRotor};
+pub use disk_policy::BandwidthTracker;
+pub use ledger::{ChargeError, ResourceLedger};
+pub use mem_policy::{MemPolicyInput, MemSharingPolicy};
+pub use resource::{ResourceKind, ResourceLevels};
+pub use scheme::Scheme;
+pub use spu::{SpuId, SpuKind, SpuSet};

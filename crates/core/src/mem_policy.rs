@@ -1,0 +1,265 @@
+//! Idle-memory redistribution with the Reserve Threshold (§3.2).
+//!
+//! "Sharing of idle memory is implemented by changing the allowed limit
+//! for SPUs. The SPU page usage counts are checked periodically to find
+//! SPUs with idle pages and SPUs that are under memory pressure. The
+//! sharing policy redistributes the excess pages in the system to the
+//! SPUs that are low on memory by increasing their allowed limits."
+//!
+//! "Excess pages are calculated as the total idle pages in the system
+//! less a small number of pages that are kept free (the Reserve
+//! Threshold) ... configurable, and we chose 8% of the total memory."
+
+use crate::resource::ResourceLevels;
+use crate::spu::SpuId;
+
+/// Per-user-SPU input to one policy evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct MemPolicyInput {
+    /// Which SPU this row describes.
+    pub spu: SpuId,
+    /// Its current levels (entitled/allowed/used pages).
+    pub levels: ResourceLevels,
+    /// Whether the SPU showed memory pressure since the last evaluation
+    /// (faults or refused allocations while at its allowed level).
+    pub pressured: bool,
+}
+
+/// The periodic idle-page redistribution policy.
+///
+/// Stateless between invocations: each evaluation recomputes every user
+/// SPU's allowed level from entitlements, current usage, and pressure
+/// flags. Lending is therefore naturally temporary — as soon as a lender
+/// begins using its own pages its idle count shrinks and the next
+/// evaluation lowers the borrowers' allowed levels (revocation), with the
+/// Reserve Threshold keeping enough pages free that the lender is not
+/// "incorrectly denied a page temporarily" while revocation completes.
+///
+/// # Examples
+///
+/// ```
+/// use spu_core::{MemPolicyInput, MemSharingPolicy, ResourceLevels, SpuId};
+///
+/// let policy = MemSharingPolicy::new(0.08);
+/// let idle = MemPolicyInput {
+///     spu: SpuId::user(0),
+///     levels: ResourceLevels { entitled: 500, allowed: 500, used: 100 },
+///     pressured: false,
+/// };
+/// let busy = MemPolicyInput {
+///     spu: SpuId::user(1),
+///     levels: ResourceLevels { entitled: 500, allowed: 500, used: 500 },
+///     pressured: true,
+/// };
+/// let new_allowed = policy.rebalance(1000, &[idle, busy]);
+/// assert_eq!(new_allowed[0].1, 500); // lender keeps its entitlement
+/// assert!(new_allowed[1].1 > 500);   // borrower's allowed level raised
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemSharingPolicy {
+    reserve_frac: f64,
+}
+
+impl MemSharingPolicy {
+    /// Creates the policy with the given Reserve Threshold fraction of
+    /// total memory (the paper uses `0.08`, the value IRIX uses to decide
+    /// it is running low on memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is not in `[0, 1)`.
+    pub fn new(reserve_frac: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&reserve_frac),
+            "reserve fraction must be in [0, 1)"
+        );
+        MemSharingPolicy { reserve_frac }
+    }
+
+    /// The configured Reserve Threshold fraction.
+    pub fn reserve_frac(&self) -> f64 {
+        self.reserve_frac
+    }
+
+    /// The Reserve Threshold in pages for a machine with `total_pages` of
+    /// user-divisible memory.
+    pub fn reserve_pages(&self, total_pages: u64) -> u64 {
+        (total_pages as f64 * self.reserve_frac).round() as u64
+    }
+
+    /// Computes new allowed levels for every user SPU.
+    ///
+    /// `user_pages` is the portion of memory divided among user SPUs (total
+    /// minus kernel and shared usage, §3.2). Returns `(spu, allowed)`
+    /// pairs in input order.
+    ///
+    /// Guarantees:
+    /// * every SPU's allowed level is at least its entitled level
+    ///   (isolation is never traded away);
+    /// * the sum of allowed levels never exceeds `user_pages` plus what is
+    ///   already in use (lending only hands out genuinely idle pages,
+    ///   minus the reserve).
+    pub fn rebalance(&self, user_pages: u64, inputs: &[MemPolicyInput]) -> Vec<(SpuId, u64)> {
+        let reserve = self.reserve_pages(user_pages);
+        // Idle pages: entitled-but-unused across SPUs, plus any user pages
+        // not covered by entitlements (rounding slack).
+        let entitled_total: u64 = inputs.iter().map(|i| i.levels.entitled).sum();
+        let slack = user_pages.saturating_sub(entitled_total);
+        let idle: u64 = inputs.iter().map(|i| i.levels.idle()).sum::<u64>() + slack;
+        let excess = idle.saturating_sub(reserve);
+
+        let pressured: Vec<usize> = inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.pressured)
+            .map(|(idx, _)| idx)
+            .collect();
+
+        let mut out: Vec<(SpuId, u64)> = inputs
+            .iter()
+            .map(|i| (i.spu, i.levels.entitled))
+            .collect();
+
+        if excess > 0 && !pressured.is_empty() {
+            // Divide the excess equally among pressured SPUs (the paper's
+            // implementation divides resources equally; weighted shares
+            // would slot in here).
+            let share = excess / pressured.len() as u64;
+            let mut rem = excess % pressured.len() as u64;
+            for &idx in &pressured {
+                let mut grant = share;
+                if rem > 0 {
+                    grant += 1;
+                    rem -= 1;
+                }
+                out[idx].1 += grant;
+            }
+        }
+        out
+    }
+}
+
+impl Default for MemSharingPolicy {
+    /// The paper's configuration: 8% Reserve Threshold.
+    fn default() -> Self {
+        MemSharingPolicy::new(0.08)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(n: u32, entitled: u64, used: u64, pressured: bool) -> MemPolicyInput {
+        MemPolicyInput {
+            spu: SpuId::user(n),
+            levels: ResourceLevels {
+                entitled,
+                allowed: entitled,
+                used,
+            },
+            pressured,
+        }
+    }
+
+    #[test]
+    fn no_pressure_means_entitlements() {
+        let p = MemSharingPolicy::default();
+        let out = p.rebalance(1000, &[input(0, 500, 100, false), input(1, 500, 400, false)]);
+        assert_eq!(out[0].1, 500);
+        assert_eq!(out[1].1, 500);
+    }
+
+    #[test]
+    fn idle_pages_flow_to_pressured_spu() {
+        let p = MemSharingPolicy::new(0.08);
+        let out = p.rebalance(1000, &[input(0, 500, 100, false), input(1, 500, 500, true)]);
+        // idle = 400, reserve = 80, excess = 320.
+        assert_eq!(out[0].1, 500);
+        assert_eq!(out[1].1, 820);
+    }
+
+    #[test]
+    fn excess_split_equally_among_pressured() {
+        let p = MemSharingPolicy::new(0.0);
+        let out = p.rebalance(
+            900,
+            &[
+                input(0, 300, 0, false), // 300 idle
+                input(1, 300, 300, true),
+                input(2, 300, 300, true),
+            ],
+        );
+        assert_eq!(out[1].1, 450);
+        assert_eq!(out[2].1, 450);
+    }
+
+    #[test]
+    fn reserve_withheld_from_lending() {
+        let p = MemSharingPolicy::new(0.10);
+        let out = p.rebalance(1000, &[input(0, 500, 450, false), input(1, 500, 500, true)]);
+        // idle = 50 < reserve = 100 -> nothing lent.
+        assert_eq!(out[1].1, 500);
+    }
+
+    #[test]
+    fn allowed_never_below_entitled() {
+        let p = MemSharingPolicy::default();
+        // Borrower currently using over its entitlement, no longer pressured:
+        // next evaluation resets allowed to entitled (revocation), never below.
+        let over = MemPolicyInput {
+            spu: SpuId::user(0),
+            levels: ResourceLevels {
+                entitled: 500,
+                allowed: 800,
+                used: 700,
+            },
+            pressured: false,
+        };
+        let lender = input(1, 500, 500, false);
+        let out = p.rebalance(1000, &[over, lender]);
+        assert_eq!(out[0].1, 500);
+    }
+
+    #[test]
+    fn rounding_slack_counts_as_idle() {
+        let p = MemSharingPolicy::new(0.0);
+        // Entitlements only cover 900 of 1000 user pages; the slack 100 is
+        // idle and lendable.
+        let out = p.rebalance(1000, &[input(0, 450, 450, true), input(1, 450, 450, false)]);
+        assert_eq!(out[0].1, 550);
+    }
+
+    #[test]
+    fn lending_bounded_by_idle_minus_reserve() {
+        let p = MemSharingPolicy::new(0.08);
+        for used0 in [0u64, 100, 250, 499] {
+            let inputs = [input(0, 500, used0, false), input(1, 500, 500, true)];
+            let out = p.rebalance(1000, &inputs);
+            let borrowed: u64 = out
+                .iter()
+                .zip(&inputs)
+                .map(|((_, a), i)| a.saturating_sub(i.levels.entitled))
+                .sum();
+            let idle: u64 = inputs.iter().map(|i| i.levels.idle()).sum();
+            assert!(
+                borrowed <= idle.saturating_sub(p.reserve_pages(1000)),
+                "used0={used0} borrowed={borrowed} idle={idle}"
+            );
+        }
+    }
+
+    #[test]
+    fn reserve_pages_computation() {
+        let p = MemSharingPolicy::new(0.08);
+        assert_eq!(p.reserve_pages(1000), 80);
+        assert_eq!(p.reserve_pages(0), 0);
+        assert_eq!(p.reserve_frac(), 0.08);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserve fraction")]
+    fn bad_reserve_fraction_panics() {
+        MemSharingPolicy::new(1.5);
+    }
+}

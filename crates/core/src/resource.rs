@@ -1,0 +1,138 @@
+//! Resource kinds and the entitled/allowed/used accounting record (§2.3).
+
+use std::fmt;
+
+/// The computing resources the paper manages per SPU (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// CPU time, allocated by the hybrid space/time partition (§3.1).
+    CpuTime,
+    /// Physical memory pages (§3.2).
+    Memory,
+    /// Disk bandwidth in sectors per second (§3.3).
+    DiskBandwidth,
+}
+
+impl ResourceKind {
+    /// All managed resource kinds.
+    pub const ALL: [ResourceKind; 3] = [
+        ResourceKind::CpuTime,
+        ResourceKind::Memory,
+        ResourceKind::DiskBandwidth,
+    ];
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResourceKind::CpuTime => "cpu-time",
+            ResourceKind::Memory => "memory",
+            ResourceKind::DiskBandwidth => "disk-bandwidth",
+        })
+    }
+}
+
+/// The three per-SPU resource levels of §2.3.
+///
+/// Sharing works by moving `allowed` above `entitled` (lending idle
+/// resources in) or back down towards `entitled` (revocation); isolation
+/// is the invariant `used <= allowed` enforced by the kernel mechanisms.
+///
+/// # Examples
+///
+/// ```
+/// use spu_core::ResourceLevels;
+/// let mut l = ResourceLevels::with_entitled(100);
+/// l.used = 30;
+/// assert_eq!(l.idle(), 70);      // entitled but unused
+/// assert_eq!(l.headroom(), 70);  // allowed minus used
+/// l.allowed = 150;               // borrowed 50 from an idle SPU
+/// assert_eq!(l.borrowed(), 50);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceLevels {
+    /// The share the SPU owns under the machine's sharing contract.
+    pub entitled: u64,
+    /// The amount the SPU may use right now (≥ or ≤ `entitled` as sharing
+    /// policy decides; equals `entitled` under fixed quotas).
+    pub allowed: u64,
+    /// The amount currently in use, maintained by kernel accounting.
+    pub used: u64,
+}
+
+impl ResourceLevels {
+    /// Levels with `entitled == allowed == n` and nothing used.
+    pub const fn with_entitled(n: u64) -> Self {
+        ResourceLevels {
+            entitled: n,
+            allowed: n,
+            used: 0,
+        }
+    }
+
+    /// Entitled-but-unused amount — what the sharing policy may lend out.
+    pub const fn idle(&self) -> u64 {
+        self.entitled.saturating_sub(self.used)
+    }
+
+    /// How much more the SPU may consume before hitting its allowed level.
+    pub const fn headroom(&self) -> u64 {
+        self.allowed.saturating_sub(self.used)
+    }
+
+    /// How much the SPU has currently been lent beyond its entitlement.
+    pub const fn borrowed(&self) -> u64 {
+        self.allowed.saturating_sub(self.entitled)
+    }
+
+    /// True when usage has reached the allowed level.
+    pub const fn at_limit(&self) -> bool {
+        self.used >= self.allowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_entitled_initialises_all_levels() {
+        let l = ResourceLevels::with_entitled(64);
+        assert_eq!(l.entitled, 64);
+        assert_eq!(l.allowed, 64);
+        assert_eq!(l.used, 0);
+        assert!(!l.at_limit());
+    }
+
+    #[test]
+    fn idle_and_headroom() {
+        let mut l = ResourceLevels::with_entitled(100);
+        l.used = 40;
+        assert_eq!(l.idle(), 60);
+        assert_eq!(l.headroom(), 60);
+        l.allowed = 120;
+        assert_eq!(l.headroom(), 80);
+        assert_eq!(l.borrowed(), 20);
+    }
+
+    #[test]
+    fn saturating_when_over() {
+        let l = ResourceLevels {
+            entitled: 10,
+            allowed: 8,
+            used: 12,
+        };
+        assert_eq!(l.idle(), 0);
+        assert_eq!(l.headroom(), 0);
+        assert_eq!(l.borrowed(), 0);
+        assert!(l.at_limit());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ResourceKind::CpuTime.to_string(), "cpu-time");
+        assert_eq!(ResourceKind::Memory.to_string(), "memory");
+        assert_eq!(ResourceKind::DiskBandwidth.to_string(), "disk-bandwidth");
+        assert_eq!(ResourceKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,388 @@
+//! A queueing disk device driven by the simulated kernel.
+//!
+//! The device owns the request queue, the arm position, the in-flight
+//! request and the per-SPU bandwidth tracker. The kernel submits requests
+//! with [`DiskDevice::submit`] and, when the returned [`Completion`] time
+//! arrives, calls [`DiskDevice::complete`] to retire the request and
+//! start the next one. "The fairness criteria is checked after each disk
+//! request" (§3.3) — i.e. at every scheduling decision.
+
+use event_sim::{SimDuration, SimTime};
+use spu_core::{BandwidthTracker, SpuId};
+
+use crate::model::{DiskModel, ServiceBreakdown};
+use crate::request::{DiskRequest, RequestId};
+use crate::sched::{pick_next, Pending, SchedulerKind};
+use crate::stats::DiskStats;
+
+/// Notice that the in-flight request will finish at `at`; the kernel
+/// schedules a completion event for that time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Absolute completion time.
+    pub at: SimTime,
+    /// Which request completes.
+    pub id: RequestId,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    req: DiskRequest,
+    breakdown: ServiceBreakdown,
+    finish: SimTime,
+}
+
+/// A disk with a request queue, scheduler, and bandwidth accounting.
+///
+/// The paper's defaults: 500 ms bandwidth-count half-life, BW-difference
+/// threshold of 64 sectors; both configurable via
+/// [`with_bw_threshold`](Self::with_bw_threshold) /
+/// [`with_half_life`](Self::with_half_life).
+///
+/// # Examples
+///
+/// ```
+/// use event_sim::SimTime;
+/// use hp_disk::{DiskDevice, DiskModel, DiskRequest, RequestKind, SchedulerKind};
+/// use spu_core::SpuId;
+///
+/// let mut disk = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::Hybrid, 4);
+/// let c1 = disk
+///     .submit(
+///         DiskRequest::new(SpuId::user(0), RequestKind::Read, 0, 8),
+///         SimTime::ZERO,
+///     )
+///     .expect("starts immediately");
+/// // A second request queues behind the first.
+/// assert!(disk
+///     .submit(
+///         DiskRequest::new(SpuId::user(1), RequestKind::Read, 5000, 8),
+///         SimTime::ZERO,
+///     )
+///     .is_none());
+/// let (done, next) = disk.complete(c1.at);
+/// assert_eq!(done.stream, SpuId::user(0));
+/// assert!(next.is_some(), "queued request starts");
+/// ```
+#[derive(Debug)]
+pub struct DiskDevice {
+    model: DiskModel,
+    sched: SchedulerKind,
+    queue: Vec<Pending>,
+    in_flight: Option<InFlight>,
+    head_cyl: u32,
+    bw: BandwidthTracker,
+    bw_threshold: f64,
+    stats: DiskStats,
+    next_seq: u64,
+    /// Sector just past the previously serviced request, for the
+    /// track-buffer model.
+    last_end: Option<u64>,
+}
+
+impl DiskDevice {
+    /// Creates an idle device for `spu_count` SPU streams.
+    pub fn new(model: DiskModel, sched: SchedulerKind, spu_count: usize) -> Self {
+        DiskDevice {
+            model,
+            sched,
+            queue: Vec::new(),
+            in_flight: None,
+            head_cyl: 0,
+            bw: BandwidthTracker::new(spu_count, SimDuration::from_millis(500)),
+            bw_threshold: 64.0,
+            stats: DiskStats::new(spu_count),
+            next_seq: 0,
+            last_end: None,
+        }
+    }
+
+    /// Sets the BW-difference threshold in sectors (§3.3). Zero
+    /// approaches round-robin; very large values approach pure C-SCAN.
+    pub fn with_bw_threshold(mut self, threshold: f64) -> Self {
+        self.bw_threshold = threshold;
+        self
+    }
+
+    /// Sets the bandwidth-count decay half-life (the paper uses 500 ms).
+    pub fn with_half_life(mut self, half_life: SimDuration) -> Self {
+        self.bw = rebuild_tracker(&self.bw, half_life);
+        self
+    }
+
+    /// The device's disk model.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// The active scheduling policy.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.sched
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Number of queued (not yet serviced) requests.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a request is currently being serviced.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Sets the bandwidth share of a stream (default 1).
+    pub fn set_share(&mut self, spu: SpuId, share: f64) {
+        self.bw.set_share(spu, share);
+    }
+
+    /// Submits a request at time `now`. If the device is idle the request
+    /// starts service immediately and its [`Completion`] is returned;
+    /// otherwise it queues and `None` is returned (a completion for it
+    /// will surface from a later [`complete`](Self::complete) call).
+    pub fn submit(&mut self, req: DiskRequest, now: SimTime) -> Option<Completion> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Pending {
+            seq,
+            submitted: now,
+            req,
+        });
+        if self.in_flight.is_none() {
+            self.start_next(now)
+        } else {
+            None
+        }
+    }
+
+    /// Retires the in-flight request at its completion time `now` and
+    /// starts the next queued request, if any. Returns the completed
+    /// request and the completion notice for the newly started one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight or `now` is not the in-flight
+    /// request's completion time.
+    pub fn complete(&mut self, now: SimTime) -> (DiskRequest, Option<Completion>) {
+        let fin = self.in_flight.take().expect("no request in flight");
+        assert_eq!(fin.finish, now, "completion at the wrong time");
+        // Move the arm to the end of the transfer and charge bandwidth.
+        self.head_cyl = self
+            .model
+            .cylinder_of(fin.req.end().min(self.model.total_sectors() - 1));
+        self.last_end = Some(fin.req.end());
+        for (spu, sectors) in fin.req.charges() {
+            self.bw.charge(spu, sectors as u64, now);
+        }
+        let next = self.start_next(now);
+        (fin.req, next)
+    }
+
+    /// Starts the scheduler-chosen queued request, if any.
+    fn start_next(&mut self, now: SimTime) -> Option<Completion> {
+        let idx = pick_next(
+            self.sched,
+            &self.queue,
+            &self.model,
+            self.head_cyl,
+            &mut self.bw,
+            self.bw_threshold,
+            now,
+        )?;
+        let pending = self.queue.swap_remove(idx);
+        let mut breakdown = self
+            .model
+            .service(now, self.head_cyl, pending.req.start, pending.req.sectors);
+        // Track-buffer model: the HP 97560's read-ahead cache (present in
+        // the Kotz et al. simulator) makes a request contiguous with the
+        // previous one skip the rotational wait and most of the command
+        // overhead.
+        if self.last_end == Some(pending.req.start) {
+            breakdown.rotation = SimDuration::ZERO;
+            breakdown.overhead = breakdown.overhead.min(SimDuration::from_micros(500));
+        }
+        let finish = now + breakdown.total();
+        let id = RequestId(pending.seq);
+        self.stats.record(
+            pending.req.stream,
+            now.saturating_since(pending.submitted),
+            &breakdown,
+            pending.req.sectors,
+        );
+        self.in_flight = Some(InFlight {
+            req: pending.req,
+            breakdown,
+            finish,
+        });
+        Some(Completion { at: finish, id })
+    }
+
+    /// The service breakdown of the in-flight request (for tests and
+    /// tracing).
+    pub fn in_flight_breakdown(&self) -> Option<&ServiceBreakdown> {
+        self.in_flight.as_ref().map(|f| &f.breakdown)
+    }
+}
+
+/// Rebuilds a tracker with a new half-life, preserving configured shares.
+fn rebuild_tracker(other: &BandwidthTracker, half_life: SimDuration) -> BandwidthTracker {
+    let mut t = BandwidthTracker::new(other.stream_count(), half_life);
+    for i in 2..other.stream_count() {
+        let spu = SpuId::user(i as u32 - 2);
+        t.set_share(spu, other.share(spu));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+
+    fn read(stream: SpuId, start: u64) -> DiskRequest {
+        DiskRequest::new(stream, RequestKind::Read, start, 8)
+    }
+
+    #[test]
+    fn idle_device_starts_immediately() {
+        let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+        let c = d.submit(read(SpuId::user(0), 100), SimTime::ZERO);
+        assert!(c.is_some());
+        assert!(d.is_busy());
+        assert_eq!(d.queue_depth(), 0);
+    }
+
+    #[test]
+    fn busy_device_queues() {
+        let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+        let c1 = d.submit(read(SpuId::user(0), 100), SimTime::ZERO).unwrap();
+        assert!(d.submit(read(SpuId::user(1), 5000), SimTime::ZERO).is_none());
+        assert_eq!(d.queue_depth(), 1);
+        let (done, next) = d.complete(c1.at);
+        assert_eq!(done.start, 100);
+        let next = next.expect("second request starts");
+        assert!(next.at > c1.at);
+        let (done2, none) = d.complete(next.at);
+        assert_eq!(done2.start, 5000);
+        assert!(none.is_none());
+        assert!(!d.is_busy());
+    }
+
+    #[test]
+    fn every_request_is_serviced_exactly_once() {
+        let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::Hybrid, 4);
+        let mut submitted = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut pending_completion = None;
+        for i in 0..50u64 {
+            let r = read(SpuId::user((i % 2) as u32), i * 9973 % 2_000_000);
+            submitted.push(r.start);
+            if let Some(c) = d.submit(r, now) {
+                pending_completion = Some(c);
+            }
+        }
+        let mut completed = Vec::new();
+        while let Some(c) = pending_completion {
+            now = c.at;
+            let (req, next) = d.complete(now);
+            completed.push(req.start);
+            pending_completion = next;
+        }
+        assert_eq!(completed.len(), submitted.len());
+        let mut a = submitted.clone();
+        let mut b = completed.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequential_stream_is_fast_scattered_is_slow() {
+        // Mean service for contiguous requests should be well under the
+        // mean for random scattered requests (seek + rotation dominate).
+        let run = |starts: Vec<u64>| -> f64 {
+            let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+            let mut now = SimTime::ZERO;
+            let mut completion = None;
+            for s in &starts {
+                if let Some(c) = d.submit(read(SpuId::user(0), *s), now) {
+                    completion = Some(c);
+                }
+            }
+            let mut last = now;
+            while let Some(c) = completion {
+                now = c.at;
+                last = now;
+                completion = d.complete(now).1;
+            }
+            last.as_secs_f64() / starts.len() as f64
+        };
+        let sequential: Vec<u64> = (0..100).map(|i| i * 8).collect();
+        let scattered: Vec<u64> = (0..100u64).map(|i| (i * 1_234_577) % 2_600_000).collect();
+        assert!(run(sequential) * 3.0 < run(scattered));
+    }
+
+    #[test]
+    fn stats_accumulate_wait_and_seek() {
+        let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+        let c1 = d.submit(read(SpuId::user(0), 0), SimTime::ZERO).unwrap();
+        d.submit(read(SpuId::user(0), 2_000_000), SimTime::ZERO);
+        let (_, c2) = d.complete(c1.at);
+        d.complete(c2.unwrap().at);
+        assert_eq!(d.stats().total_requests(), 2);
+        // The second request waited for the first's service.
+        assert!(d.stats().stream(SpuId::user(0)).mean_wait_ms() > 0.0);
+        assert!(d.stats().mean_seek_ms() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no request in flight")]
+    fn complete_when_idle_panics() {
+        let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+        d.complete(SimTime::ZERO);
+    }
+
+    #[test]
+    fn hybrid_prevents_lockout() {
+        // A long sequential stream (the "copy") plus occasional scattered
+        // requests (the "pmake"): under Pos the scattered stream can wait
+        // for the whole sequential run; under Hybrid its mean wait must be
+        // substantially lower.
+        let run = |kind: SchedulerKind| -> (f64, f64) {
+            let mut d =
+                DiskDevice::new(DiskModel::hp97560(), kind, 4).with_bw_threshold(64.0);
+            let mut completion = None;
+            // 200 sequential requests from user0 submitted up front.
+            for i in 0..200u64 {
+                if let Some(c) = d.submit(read(SpuId::user(0), 1_000_000 + i * 8), SimTime::ZERO)
+                {
+                    completion = Some(c);
+                }
+            }
+            // 20 scattered requests from user1, also queued at t=0.
+            for i in 0..20u64 {
+                if let Some(c) = d.submit(read(SpuId::user(1), (i * 131_071) % 900_000), SimTime::ZERO)
+                {
+                    completion = Some(c);
+                }
+            }
+            while let Some(c) = completion {
+                completion = d.complete(c.at).1;
+            }
+            (
+                d.stats().stream(SpuId::user(1)).mean_wait_ms(),
+                d.stats().stream(SpuId::user(0)).mean_wait_ms(),
+            )
+        };
+        let (pos_wait, _) = run(SchedulerKind::HeadPosition);
+        let (hybrid_wait, _) = run(SchedulerKind::Hybrid);
+        assert!(
+            hybrid_wait < pos_wait * 0.5,
+            "hybrid {hybrid_wait}ms vs pos {pos_wait}ms"
+        );
+    }
+}

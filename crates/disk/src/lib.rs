@@ -1,0 +1,42 @@
+//! HP 97560 disk model and disk-request scheduling.
+//!
+//! The paper's disk-bandwidth experiments (§4.5) run on a disk model
+//! "based on a HP97560 disk \[KTR94\]". This crate implements that model —
+//! geometry, the published seek curve, rotational latency and transfer
+//! time — plus the three request schedulers compared in §4.5:
+//!
+//! * [`SchedulerKind::HeadPosition`] (**Pos**) — the standard C-SCAN
+//!   head-position scheduler in IRIX 5.3 (§3.3);
+//! * [`SchedulerKind::BlindFair`] (**Iso**) — fairness-only scheduling
+//!   that ignores head position;
+//! * [`SchedulerKind::Hybrid`] (**PIso**) — the paper's policy weighing
+//!   both head position and the bandwidth-fairness criterion.
+//!
+//! [`DiskDevice`] ties a model, a scheduler and a
+//! [`spu_core::BandwidthTracker`] into a queueing disk the simulated
+//! kernel drives through [`DiskDevice::submit`] / [`DiskDevice::complete`].
+//!
+//! # Examples
+//!
+//! ```
+//! use event_sim::SimTime;
+//! use hp_disk::{DiskDevice, DiskModel, DiskRequest, RequestKind, SchedulerKind};
+//! use spu_core::SpuId;
+//!
+//! let mut disk = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+//! let req = DiskRequest::new(SpuId::user(0), RequestKind::Read, 1000, 8);
+//! let completion = disk.submit(req, SimTime::ZERO).expect("idle disk starts at once");
+//! assert!(completion.at > SimTime::ZERO);
+//! ```
+
+pub mod device;
+pub mod model;
+pub mod request;
+pub mod sched;
+pub mod stats;
+
+pub use device::{Completion, DiskDevice};
+pub use model::{DiskModel, ServiceBreakdown};
+pub use request::{DiskRequest, RequestId, RequestKind};
+pub use sched::SchedulerKind;
+pub use stats::{DiskStats, StreamStats};

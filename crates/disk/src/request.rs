@@ -1,0 +1,139 @@
+//! Disk request records.
+//!
+//! Requests carry the SPU on whose behalf they are issued — the
+//! accounting hook §3.3 adds to IRIX — plus an optional per-SPU charge
+//! breakdown for batched delayed writes: "these write requests contain
+//! pages belonging to multiple SPUs. Our implementation schedules these
+//! shared write requests as part of the shared SPU ... Once the shared
+//! write request is done, the individual pages are charged to the
+//! appropriate user SPUs."
+
+use spu_core::SpuId;
+
+/// Unique id of a disk request (per device, in submission order).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// Whether a request reads or writes the media.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Read from disk into memory.
+    Read,
+    /// Write from memory to disk.
+    Write,
+}
+
+/// One disk request: a contiguous run of sectors on behalf of an SPU.
+///
+/// # Examples
+///
+/// ```
+/// use hp_disk::{DiskRequest, RequestKind};
+/// use spu_core::SpuId;
+///
+/// // A shared delayed-write batch whose sectors belong to two user SPUs.
+/// let req = DiskRequest::new(SpuId::SHARED, RequestKind::Write, 4096, 16)
+///     .with_charges(vec![(SpuId::user(0), 8), (SpuId::user(1), 8)]);
+/// assert_eq!(req.stream, SpuId::SHARED);
+/// assert_eq!(req.charges().len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiskRequest {
+    /// The SPU this request is *scheduled* as (the fairness stream).
+    pub stream: SpuId,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// First absolute sector.
+    pub start: u64,
+    /// Number of contiguous sectors (512 B each).
+    pub sectors: u32,
+    /// Caller-provided correlation tag, returned with the completed
+    /// request (the kernel maps it to the blocked process or cache fill).
+    pub tag: u64,
+    /// Bandwidth charges on completion; empty means "all to `stream`".
+    charges: Vec<(SpuId, u32)>,
+}
+
+impl DiskRequest {
+    /// Creates a request charged entirely to its scheduling stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors` is zero.
+    pub fn new(stream: SpuId, kind: RequestKind, start: u64, sectors: u32) -> Self {
+        assert!(sectors > 0, "request must cover at least one sector");
+        DiskRequest {
+            stream,
+            kind,
+            start,
+            sectors,
+            tag: 0,
+            charges: Vec::new(),
+        }
+    }
+
+    /// Sets the correlation tag.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Overrides the completion-time bandwidth charges (used for shared
+    /// delayed-write batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the charge breakdown does not sum to `sectors`.
+    pub fn with_charges(mut self, charges: Vec<(SpuId, u32)>) -> Self {
+        let total: u32 = charges.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, self.sectors, "charges must cover the whole request");
+        self.charges = charges;
+        self
+    }
+
+    /// The per-SPU charge breakdown applied when the request completes.
+    pub fn charges(&self) -> Vec<(SpuId, u32)> {
+        if self.charges.is_empty() {
+            vec![(self.stream, self.sectors)]
+        } else {
+            self.charges.clone()
+        }
+    }
+
+    /// The sector just past the end of this request.
+    pub fn end(&self) -> u64 {
+        self.start + self.sectors as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_charges_go_to_stream() {
+        let r = DiskRequest::new(SpuId::user(1), RequestKind::Read, 100, 8);
+        assert_eq!(r.charges(), vec![(SpuId::user(1), 8)]);
+        assert_eq!(r.end(), 108);
+    }
+
+    #[test]
+    fn shared_write_charge_breakdown() {
+        let r = DiskRequest::new(SpuId::SHARED, RequestKind::Write, 0, 10)
+            .with_charges(vec![(SpuId::user(0), 4), (SpuId::user(1), 6)]);
+        assert_eq!(r.charges(), vec![(SpuId::user(0), 4), (SpuId::user(1), 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sector")]
+    fn zero_sector_request_panics() {
+        DiskRequest::new(SpuId::user(0), RequestKind::Read, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole request")]
+    fn mismatched_charges_panic() {
+        DiskRequest::new(SpuId::SHARED, RequestKind::Write, 0, 10)
+            .with_charges(vec![(SpuId::user(0), 4)]);
+    }
+}

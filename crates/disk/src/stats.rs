@@ -1,0 +1,158 @@
+//! Per-disk and per-stream request statistics.
+//!
+//! Tables 3 and 4 of the paper report, per job and per disk: response
+//! time, **average wait time per request** (time spent queued before
+//! service) and **average disk latency** (the seek component of service).
+//! [`DiskStats`] collects exactly those quantities.
+
+use event_sim::{OnlineStats, SimDuration};
+use spu_core::SpuId;
+
+use crate::model::ServiceBreakdown;
+
+/// Aggregated statistics for one scheduling stream (SPU) on one disk.
+#[derive(Clone, Debug, Default)]
+pub struct StreamStats {
+    /// Queue wait per request (submission → service start), seconds.
+    pub wait: OnlineStats,
+    /// Seek component of service per request, seconds.
+    pub seek: OnlineStats,
+    /// Full service time per request, seconds.
+    pub service: OnlineStats,
+    /// Total sectors transferred.
+    pub sectors: u64,
+}
+
+impl StreamStats {
+    /// Number of completed requests.
+    pub fn requests(&self) -> u64 {
+        self.wait.count()
+    }
+
+    /// Mean queue wait in milliseconds.
+    pub fn mean_wait_ms(&self) -> f64 {
+        self.wait.mean() * 1e3
+    }
+
+    /// Mean seek latency in milliseconds.
+    pub fn mean_seek_ms(&self) -> f64 {
+        self.seek.mean() * 1e3
+    }
+}
+
+/// Statistics for a whole disk device.
+///
+/// # Examples
+///
+/// ```
+/// use hp_disk::DiskStats;
+/// use spu_core::SpuId;
+///
+/// let stats = DiskStats::new(4);
+/// assert_eq!(stats.stream(SpuId::user(0)).requests(), 0);
+/// assert_eq!(stats.total_requests(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DiskStats {
+    streams: Vec<StreamStats>,
+    all_seek: OnlineStats,
+    all_wait: OnlineStats,
+    busy: SimDuration,
+}
+
+impl DiskStats {
+    /// Creates empty statistics for `spu_count` streams.
+    pub fn new(spu_count: usize) -> Self {
+        DiskStats {
+            streams: vec![StreamStats::default(); spu_count],
+            all_seek: OnlineStats::new(),
+            all_wait: OnlineStats::new(),
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    /// Records one completed request.
+    pub fn record(
+        &mut self,
+        stream: SpuId,
+        wait: SimDuration,
+        breakdown: &ServiceBreakdown,
+        sectors: u32,
+    ) {
+        let s = &mut self.streams[stream.index()];
+        s.wait.add_duration(wait);
+        s.seek.add_duration(breakdown.seek);
+        s.service.add_duration(breakdown.total());
+        s.sectors += sectors as u64;
+        self.all_seek.add_duration(breakdown.seek);
+        self.all_wait.add_duration(wait);
+        self.busy += breakdown.total();
+    }
+
+    /// Statistics for one stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` was not sized into these statistics.
+    pub fn stream(&self, stream: SpuId) -> &StreamStats {
+        &self.streams[stream.index()]
+    }
+
+    /// Total completed requests across streams.
+    pub fn total_requests(&self) -> u64 {
+        self.all_wait.count()
+    }
+
+    /// Mean seek latency across all requests, milliseconds — the paper's
+    /// "Avg. Latency" column.
+    pub fn mean_seek_ms(&self) -> f64 {
+        self.all_seek.mean() * 1e3
+    }
+
+    /// Mean queue wait across all requests, milliseconds.
+    pub fn mean_wait_ms(&self) -> f64 {
+        self.all_wait.mean() * 1e3
+    }
+
+    /// Total time the device spent servicing requests.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_sim::SimDuration;
+
+    fn breakdown(seek_ms: u64) -> ServiceBreakdown {
+        ServiceBreakdown {
+            overhead: SimDuration::from_micros(2200),
+            seek: SimDuration::from_millis(seek_ms),
+            rotation: SimDuration::from_millis(7),
+            transfer: SimDuration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn records_per_stream_and_global() {
+        let mut st = DiskStats::new(4);
+        st.record(SpuId::user(0), SimDuration::from_millis(10), &breakdown(4), 8);
+        st.record(SpuId::user(1), SimDuration::from_millis(30), &breakdown(8), 16);
+        assert_eq!(st.total_requests(), 2);
+        assert_eq!(st.stream(SpuId::user(0)).requests(), 1);
+        assert_eq!(st.stream(SpuId::user(0)).sectors, 8);
+        assert!((st.mean_wait_ms() - 20.0).abs() < 1e-9);
+        assert!((st.mean_seek_ms() - 6.0).abs() < 1e-9);
+        assert!((st.stream(SpuId::user(1)).mean_wait_ms() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_time_accumulates_service() {
+        let mut st = DiskStats::new(3);
+        let b = breakdown(4);
+        st.record(SpuId::user(0), SimDuration::ZERO, &b, 8);
+        st.record(SpuId::user(0), SimDuration::ZERO, &b, 8);
+        assert_eq!(st.busy_time(), b.total() * 2);
+    }
+}

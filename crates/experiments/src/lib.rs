@@ -1,0 +1,39 @@
+//! Experiment harnesses reproducing the paper's evaluation (§4).
+//!
+//! One module per artefact of the paper:
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`tables`] | Table 1, Table 2, Figures 1/4/6 (configurations) |
+//! | [`pmake8`] | Figures 2 and 3 (§4.2) |
+//! | [`cpu_iso`] | Figure 5 (§4.3) |
+//! | [`mem_iso`] | Figure 7 (§4.4) |
+//! | [`disk_bw`] | Tables 3 and 4 (§4.5) |
+//! | [`net_bw`] | network-bandwidth isolation (the §3.3/§5 extension) |
+//! | [`scaling`] | load-scaling sweep of the isolation guarantee (extension) |
+//! | [`ablation`] | §3.2 / §3.3 / §3.4 design-choice sweeps |
+//!
+//! Every experiment has a [`Scale::Full`](pmake8::Scale) variant (the
+//! paper's parameters) and a `Scale::Quick` variant (same structure,
+//! smaller jobs) used by the Criterion benches and tests. Results carry
+//! a `format()` method producing the paper-shaped text table.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use experiments::pmake8::{run, Scale};
+//! let result = run(Scale::Full);
+//! println!("{}", result.format());
+//! ```
+
+pub mod ablation;
+pub mod cpu_iso;
+pub mod disk_bw;
+pub mod mem_iso;
+pub mod net_bw;
+pub mod pmake8;
+pub mod report;
+pub mod scaling;
+pub mod tables;
+
+pub use pmake8::Scale;

@@ -1,0 +1,172 @@
+//! The memory-isolation experiment (§4.4): Figures 6 and 7.
+//!
+//! Two SPUs on a four-processor, 16 MB machine (Figure 6) running pmake
+//! jobs with four parallel compiles each. The memory "is enough to run
+//! one job in each SPU, but leads to memory pressure in a SPU with two
+//! jobs".
+//!
+//! Figure 7:
+//! * **Isolation** (lower graph): SPU1's single job, balanced vs
+//!   unbalanced. Paper: SMP degrades ~45%, PIso only ~13%, Quo ~0%.
+//! * **Sharing** (upper graph): SPU2's two jobs in the unbalanced
+//!   configuration. Paper: Quo degrades 145% vs balanced (100% from CPU
+//!   doubling + 45% from memory thrash); PIso close to SMP.
+
+use event_sim::SimTime;
+use smp_kernel::{Kernel, MachineConfig};
+use spu_core::{Scheme, SpuId, SpuSet};
+use workloads::PmakeConfig;
+
+use crate::pmake8::Scale;
+use crate::report::{bar_label, norm, render_table};
+
+/// Results of the memory-isolation experiment.
+#[derive(Clone, Debug)]
+pub struct MemIsoResult {
+    /// SPU1's job response (s), balanced, per scheme (SMP/Quo/PIso).
+    pub spu1_balanced: [f64; 3],
+    /// SPU1's job response (s), unbalanced.
+    pub spu1_unbalanced: [f64; 3],
+    /// SPU2's mean job response (s), unbalanced.
+    pub spu2_unbalanced: [f64; 3],
+    /// Major faults of SPU2 in the unbalanced configuration, per scheme.
+    pub spu2_major_faults: [u64; 3],
+}
+
+impl MemIsoResult {
+    /// Normalization baseline: SMP balanced.
+    pub fn baseline(&self) -> f64 {
+        self.spu1_balanced[0]
+    }
+
+    /// Isolation graph: `(scheme, balanced, unbalanced)` for SPU1,
+    /// normalized to SMP-balanced = 100.
+    pub fn isolation(&self) -> Vec<(Scheme, f64, f64)> {
+        Scheme::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                (
+                    s,
+                    norm(self.spu1_balanced[i], self.baseline()),
+                    norm(self.spu1_unbalanced[i], self.baseline()),
+                )
+            })
+            .collect()
+    }
+
+    /// Sharing graph: `(scheme, unbalanced)` for SPU2's jobs.
+    pub fn sharing(&self) -> Vec<(Scheme, f64)> {
+        Scheme::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, norm(self.spu2_unbalanced[i], self.baseline())))
+            .collect()
+    }
+
+    /// Renders Figure 7 as text tables.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Figure 7 (lower): isolation — SPU1's job (normalized, SMP balanced = 100)\n");
+        let rows: Vec<Vec<String>> = self
+            .isolation()
+            .into_iter()
+            .map(|(s, b, u)| vec![s.to_string(), bar_label(b), bar_label(u)])
+            .collect();
+        out.push_str(&render_table(&["scheme", "balanced", "unbalanced"], &rows));
+        out.push('\n');
+        out.push_str("Figure 7 (upper): sharing — SPU2's two jobs, unbalanced\n");
+        let rows: Vec<Vec<String>> = self
+            .sharing()
+            .into_iter()
+            .map(|(s, u)| vec![s.to_string(), bar_label(u)])
+            .collect();
+        out.push_str(&render_table(&["scheme", "unbalanced"], &rows));
+        out
+    }
+}
+
+fn job_config(scale: Scale) -> PmakeConfig {
+    match scale {
+        Scale::Full => PmakeConfig::mem_iso(),
+        Scale::Quick => PmakeConfig {
+            waves: 1,
+            ..PmakeConfig::mem_iso()
+        },
+    }
+}
+
+/// Runs one configuration. Returns (SPU1 mean, SPU2 mean, SPU2 major
+/// faults).
+pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64, u64) {
+    // Table 1: 4 CPUs, 16 MB, separate fast disks (one per SPU).
+    let cfg = MachineConfig::new(4, 16, 2).with_scheme(scheme);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+    let job = job_config(scale);
+    let p = job.build(&mut k, 0);
+    k.spawn_at(SpuId::user(0), p, Some("spu1-job"), SimTime::ZERO);
+    let p = job.build(&mut k, 1);
+    k.spawn_at(SpuId::user(1), p, Some("spu2-a"), SimTime::ZERO);
+    if unbalanced {
+        let p = job.build(&mut k, 1);
+        k.spawn_at(SpuId::user(1), p, Some("spu2-b"), SimTime::ZERO);
+    }
+    let m = k.run(SimTime::from_secs(1200));
+    assert!(m.completed, "mem-iso run hit the time cap");
+    (
+        m.mean_response_of_spu(SpuId::user(0)),
+        m.mean_response_of_spu(SpuId::user(1)),
+        m.vm[SpuId::user(1).index()].major_faults,
+    )
+}
+
+/// Runs the experiment under all three schemes.
+pub fn run(scale: Scale) -> MemIsoResult {
+    let mut r = MemIsoResult {
+        spu1_balanced: [0.0; 3],
+        spu1_unbalanced: [0.0; 3],
+        spu2_unbalanced: [0.0; 3],
+        spu2_major_faults: [0; 3],
+    };
+    for (i, &scheme) in Scheme::ALL.iter().enumerate() {
+        let (s1b, _, _) = run_one(scheme, false, scale);
+        let (s1u, s2u, faults) = run_one(scheme, true, scale);
+        r.spu1_balanced[i] = s1b;
+        r.spu1_unbalanced[i] = s1u;
+        r.spu2_unbalanced[i] = s2u;
+        r.spu2_major_faults[i] = faults;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_the_paper_shape() {
+        let r = run(Scale::Quick);
+        let iso = r.isolation();
+        // SMP: background load hurts SPU1 substantially.
+        let smp_delta = iso[0].2 - iso[0].1;
+        assert!(smp_delta > 15.0, "SMP should degrade SPU1: {smp_delta}");
+        // PIso: much smaller degradation than SMP.
+        let piso_delta = iso[2].2 - iso[2].1;
+        assert!(
+            piso_delta < smp_delta * 0.6,
+            "PIso isolates: piso={piso_delta} smp={smp_delta}"
+        );
+        // Sharing: Quo worst for SPU2 (thrash inside its half).
+        let sharing = r.sharing();
+        let (smp, quo, piso) = (sharing[0].1, sharing[1].1, sharing[2].1);
+        assert!(quo > piso, "Quo worse than PIso: quo={quo} piso={piso}");
+        assert!(quo > smp, "Quo worse than SMP: quo={quo} smp={smp}");
+        // Quota thrashes: far more major faults than PIso.
+        assert!(
+            r.spu2_major_faults[1] > r.spu2_major_faults[2],
+            "faults quo={} piso={}",
+            r.spu2_major_faults[1],
+            r.spu2_major_faults[2]
+        );
+    }
+}

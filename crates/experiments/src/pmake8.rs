@@ -1,0 +1,192 @@
+//! The Pmake8 experiment (§4.2): Figures 1, 2 and 3.
+//!
+//! Eight SPUs on an eight-way machine, one pmake job per SPU in the
+//! *balanced* configuration (8 jobs) and one extra job in each of SPUs
+//! 5–8 in the *unbalanced* configuration (12 jobs, Figure 1).
+//!
+//! * **Figure 2 (isolation)**: mean response of the lightly-loaded SPUs
+//!   (1–4), balanced vs unbalanced, normalized to SMP-balanced = 100.
+//!   Paper: SMP rises to ~156; Quo and PIso stay at ~100.
+//! * **Figure 3 (sharing)**: mean response of the heavily-loaded SPUs
+//!   (5–8) in the unbalanced configuration. Paper: SMP 156, Quo 187,
+//!   PIso ~146.
+
+use event_sim::SimTime;
+use smp_kernel::{Kernel, MachineConfig};
+use spu_core::{Scheme, SpuId, SpuSet};
+use workloads::PmakeConfig;
+
+use crate::report::{bar_label, norm, render_table};
+
+/// Scale of an experiment run: the paper's full configuration or a
+/// smaller variant for quick benchmarking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's configuration.
+    Full,
+    /// Reduced job sizes for fast iteration (same structure).
+    Quick,
+}
+
+/// Results of the Pmake8 experiment across all three schemes.
+#[derive(Clone, Debug)]
+pub struct Pmake8Result {
+    /// Mean response (s) of SPUs 1–4 jobs, balanced, per scheme
+    /// (SMP/Quo/PIso order).
+    pub light_balanced: [f64; 3],
+    /// Mean response (s) of SPUs 1–4 jobs, unbalanced.
+    pub light_unbalanced: [f64; 3],
+    /// Mean response (s) of SPUs 5–8 jobs, unbalanced.
+    pub heavy_unbalanced: [f64; 3],
+}
+
+impl Pmake8Result {
+    /// The Figure-2 normalization baseline: SMP in the balanced
+    /// configuration.
+    pub fn baseline(&self) -> f64 {
+        self.light_balanced[0]
+    }
+
+    /// Figure 2 bars: `(scheme, balanced, unbalanced)` normalized to 100.
+    pub fn fig2(&self) -> Vec<(Scheme, f64, f64)> {
+        Scheme::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                (
+                    s,
+                    norm(self.light_balanced[i], self.baseline()),
+                    norm(self.light_unbalanced[i], self.baseline()),
+                )
+            })
+            .collect()
+    }
+
+    /// Figure 3 bars: `(scheme, unbalanced-heavy)` normalized to 100.
+    pub fn fig3(&self) -> Vec<(Scheme, f64)> {
+        Scheme::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, norm(self.heavy_unbalanced[i], self.baseline())))
+            .collect()
+    }
+
+    /// Renders both figures as text tables.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Figure 2: isolation — response of lightly-loaded SPUs (1-4)\n");
+        out.push_str("(normalized to SMP balanced = 100)\n");
+        let rows: Vec<Vec<String>> = self
+            .fig2()
+            .into_iter()
+            .map(|(s, b, u)| vec![s.to_string(), bar_label(b), bar_label(u)])
+            .collect();
+        out.push_str(&render_table(&["scheme", "balanced", "unbalanced"], &rows));
+        out.push('\n');
+        out.push_str("Figure 3: sharing — response of heavily-loaded SPUs (5-8), unbalanced\n");
+        let rows: Vec<Vec<String>> = self
+            .fig3()
+            .into_iter()
+            .map(|(s, u)| vec![s.to_string(), bar_label(u)])
+            .collect();
+        out.push_str(&render_table(&["scheme", "unbalanced"], &rows));
+        out
+    }
+}
+
+fn job_config(scale: Scale) -> PmakeConfig {
+    match scale {
+        Scale::Full => PmakeConfig::pmake8(),
+        Scale::Quick => PmakeConfig {
+            waves: 1,
+            ..PmakeConfig::pmake8()
+        },
+    }
+}
+
+/// Runs one configuration of the Pmake8 workload.
+///
+/// Table 1: 8 CPUs, 44 MB memory, separate fast disks (one per SPU).
+/// Returns (mean response SPUs 1–4, mean response SPUs 5–8).
+pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64) {
+    let cfg = MachineConfig::new(8, 44, 8).with_scheme(scheme);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(8));
+    let job = job_config(scale);
+    for spu_idx in 0..8u32 {
+        let prog = job.build(&mut k, spu_idx as usize);
+        k.spawn_at(
+            SpuId::user(spu_idx),
+            prog,
+            Some(&format!("pmake-s{spu_idx}-a")),
+            SimTime::ZERO,
+        );
+        if unbalanced && spu_idx >= 4 {
+            let prog = job.build(&mut k, spu_idx as usize);
+            k.spawn_at(
+                SpuId::user(spu_idx),
+                prog,
+                Some(&format!("pmake-s{spu_idx}-b")),
+                SimTime::ZERO,
+            );
+        }
+    }
+    let m = k.run(SimTime::from_secs(600));
+    assert!(m.completed, "pmake8 run hit the time cap");
+    let mean_of = |spus: std::ops::Range<u32>| -> f64 {
+        let vals: Vec<f64> = spus
+            .map(|s| m.mean_response_of_spu(SpuId::user(s)))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    (mean_of(0..4), mean_of(4..8))
+}
+
+/// Runs the full experiment: both configurations under all three
+/// schemes.
+pub fn run(scale: Scale) -> Pmake8Result {
+    let mut light_balanced = [0.0; 3];
+    let mut light_unbalanced = [0.0; 3];
+    let mut heavy_unbalanced = [0.0; 3];
+    for (i, &scheme) in Scheme::ALL.iter().enumerate() {
+        let (light_b, _) = run_one(scheme, false, scale);
+        let (light_u, heavy_u) = run_one(scheme, true, scale);
+        light_balanced[i] = light_b;
+        light_unbalanced[i] = light_u;
+        heavy_unbalanced[i] = heavy_u;
+    }
+    Pmake8Result {
+        light_balanced,
+        light_unbalanced,
+        heavy_unbalanced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_the_paper_shape() {
+        let r = run(Scale::Quick);
+        let fig2 = r.fig2();
+        // SMP: unbalanced load hurts the light SPUs substantially.
+        let (_, smp_b, smp_u) = (fig2[0].0, fig2[0].1, fig2[0].2);
+        assert!((smp_b - 100.0).abs() < 1.0);
+        assert!(smp_u > 120.0, "SMP must degrade: {smp_u}");
+        // Quo and PIso: isolation holds (within ~12%).
+        for &(scheme, b, u) in &fig2[1..] {
+            assert!(
+                (u - b).abs() / b < 0.12,
+                "{scheme} isolation broken: balanced={b} unbalanced={u}"
+            );
+        }
+        // Figure 3: Quo wastes idle resources; PIso shares them.
+        let fig3 = r.fig3();
+        let (smp, quo, piso) = (fig3[0].1, fig3[1].1, fig3[2].1);
+        assert!(quo > smp * 1.1, "Quo must be worst: quo={quo} smp={smp}");
+        assert!(
+            piso < quo * 0.9,
+            "PIso must beat Quo via sharing: piso={piso} quo={quo}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Small text-table formatting helpers for experiment reports.
+
+/// Renders a table: header row plus data rows, columns padded to fit.
+///
+/// # Examples
+///
+/// ```
+/// use experiments::report::render_table;
+/// let t = render_table(
+///     &["scheme", "resp"],
+///     &[vec!["SMP".into(), "100".into()], vec!["PIso".into(), "99".into()]],
+/// );
+/// assert!(t.contains("SMP"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<w$} ", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a normalized response-time value the way the paper's figures
+/// label their bars (SMP balanced = 100).
+pub fn norm(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        value / baseline * 100.0
+    }
+}
+
+/// `"123"`-style rounded label for a normalized bar.
+pub fn bar_label(value: f64) -> String {
+    format!("{:.0}", value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lines_align() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn norm_scales_to_hundred() {
+        assert_eq!(norm(2.0, 2.0), 100.0);
+        assert_eq!(norm(3.0, 2.0), 150.0);
+        assert_eq!(norm(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

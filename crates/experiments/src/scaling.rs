@@ -1,0 +1,127 @@
+//! Load-scaling sweep (extension of §4.2): how the isolation guarantee
+//! holds as background load grows.
+//!
+//! The paper evaluates one unbalanced point (two jobs in each heavy
+//! SPU). This sweep pushes further — 1, 2, 3, 4 jobs per heavy SPU — and
+//! plots the light SPUs' response under each scheme. The paper's claim
+//! predicts a flat line for Quo and PIso and a rising line for SMP,
+//! *regardless of how heavy the background load gets* ("the SPU should
+//! see no degradation in performance, regardless of the load placed on
+//! the system by others", §2.1).
+
+use event_sim::SimTime;
+use smp_kernel::{Kernel, MachineConfig};
+use spu_core::{Scheme, SpuId, SpuSet};
+use workloads::PmakeConfig;
+
+use crate::pmake8::Scale;
+use crate::report::render_table;
+
+/// Light-SPU mean response (s) at one background-load level, per scheme.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Jobs per heavy SPU.
+    pub heavy_jobs: u32,
+    /// Per-scheme light-SPU responses (SMP/Quo/PIso order).
+    pub light_response: [f64; 3],
+}
+
+/// Runs one point: 4 light SPUs × 1 job, 4 heavy SPUs × `heavy_jobs`.
+pub fn run_point(scheme: Scheme, heavy_jobs: u32, scale: Scale) -> f64 {
+    let cfg = MachineConfig::new(8, 44, 8).with_scheme(scheme);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(8));
+    let job = match scale {
+        Scale::Full => PmakeConfig::pmake8(),
+        Scale::Quick => PmakeConfig {
+            waves: 1,
+            ..PmakeConfig::pmake8()
+        },
+    };
+    for spu_idx in 0..8u32 {
+        let jobs = if spu_idx < 4 { 1 } else { heavy_jobs };
+        for j in 0..jobs {
+            let prog = job.build(&mut k, spu_idx as usize);
+            k.spawn_at(
+                SpuId::user(spu_idx),
+                prog,
+                Some(&format!("pmake-s{spu_idx}-{j}")),
+                SimTime::ZERO,
+            );
+        }
+    }
+    let m = k.run(SimTime::from_secs(1200));
+    assert!(m.completed, "scaling point hit the cap");
+    let vals: Vec<f64> = (0..4)
+        .map(|s| m.mean_response_of_spu(SpuId::user(s)))
+        .collect();
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+/// Sweeps background load over `levels` jobs-per-heavy-SPU.
+pub fn run(levels: &[u32], scale: Scale) -> Vec<ScalingPoint> {
+    levels
+        .iter()
+        .map(|&heavy_jobs| {
+            let mut light_response = [0.0; 3];
+            for (i, &scheme) in Scheme::ALL.iter().enumerate() {
+                light_response[i] = run_point(scheme, heavy_jobs, scale);
+            }
+            ScalingPoint {
+                heavy_jobs,
+                light_response,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep, normalized to each scheme's 1-job point = 100.
+pub fn format(points: &[ScalingPoint]) -> String {
+    let base = points
+        .first()
+        .expect("at least one sweep point")
+        .light_response;
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.heavy_jobs.to_string()];
+            for (b, r) in base.iter().zip(&p.light_response) {
+                row.push(format!("{:.0}", r / b * 100.0));
+            }
+            row
+        })
+        .collect();
+    let mut out = String::from(
+        "Load scaling (extension): light-SPU response vs background load\n\
+         (normalized per scheme to the 1-job-per-heavy-SPU point = 100)\n",
+    );
+    out.push_str(&render_table(
+        &["heavy jobs", "SMP", "Quo", "PIso"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_holds_as_load_scales() {
+        let points = run(&[1, 3], Scale::Quick);
+        let base = points[0].light_response;
+        let loaded = points[1].light_response;
+        // SMP: the light SPUs degrade with load.
+        assert!(
+            loaded[0] > base[0] * 1.2,
+            "SMP must degrade: {base:?} -> {loaded:?}"
+        );
+        // Quo and PIso: flat (within 12%) even at 3x background load.
+        for i in [1, 2] {
+            let ratio = loaded[i] / base[i];
+            assert!(
+                ratio < 1.12,
+                "scheme {i} broke isolation at 3 jobs: {ratio}"
+            );
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The file buffer cache with write-behind.
+//!
+//! Cache pages are ordinary frames charged to the SPU that faulted them
+//! in (§3.2); a hit from a different SPU re-marks the frame shared.
+//! Writes dirty cache blocks; a periodic daemon flushes them as batched
+//! requests scheduled in the shared SPU (§3.3), and writers throttle on a
+//! dirty high watermark ("The buffer cache fills up causing writes to the
+//! disk", §4.5).
+
+use std::collections::HashMap;
+
+use crate::fs::FileId;
+use crate::vm::FrameId;
+
+/// Key of a cached block.
+pub type BlockKey = (FileId, u64);
+
+/// State of one cached block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheEntry {
+    /// Present in memory.
+    Valid {
+        /// Backing frame.
+        frame: FrameId,
+        /// Modified since last written.
+        dirty: bool,
+    },
+    /// A disk read is in flight; waiters queue on the fill tag.
+    Filling {
+        /// The I/O tag whose completion validates this entry.
+        tag: u64,
+        /// Backing frame (pinned during the fill).
+        frame: FrameId,
+    },
+}
+
+/// Cache-wide counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a valid block.
+    pub hits: u64,
+    /// Lookups that missed entirely.
+    pub misses: u64,
+    /// Lookups that joined an in-flight fill.
+    pub fill_joins: u64,
+    /// Blocks written back by the flusher.
+    pub flushed_blocks: u64,
+}
+
+/// The buffer cache index (frames themselves live in the
+/// [`MemoryManager`](crate::vm::MemoryManager)).
+///
+/// # Examples
+///
+/// ```
+/// use smp_kernel::{BufferCache, FileId, FrameId};
+///
+/// let mut cache = BufferCache::new();
+/// cache.insert_valid(FileId(0), 3, FrameId(7), false);
+/// assert!(cache.get(FileId(0), 3).is_some());
+/// cache.mark_dirty(FileId(0), 3);
+/// assert_eq!(cache.dirty_load(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferCache {
+    map: HashMap<BlockKey, CacheEntry>,
+    dirty: u64,
+    flushing: u64,
+    stats: CacheStats,
+}
+
+impl BufferCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        BufferCache::default()
+    }
+
+    /// Looks up a block without statistics side effects.
+    pub fn get(&self, file: FileId, block: u64) -> Option<CacheEntry> {
+        self.map.get(&(file, block)).copied()
+    }
+
+    /// Looks up a block, counting a hit / miss / fill-join.
+    pub fn lookup(&mut self, file: FileId, block: u64) -> Option<CacheEntry> {
+        let e = self.map.get(&(file, block)).copied();
+        match e {
+            Some(CacheEntry::Valid { .. }) => self.stats.hits += 1,
+            Some(CacheEntry::Filling { .. }) => self.stats.fill_joins += 1,
+            None => self.stats.misses += 1,
+        }
+        e
+    }
+
+    /// Inserts a valid block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already cached.
+    pub fn insert_valid(&mut self, file: FileId, block: u64, frame: FrameId, dirty: bool) {
+        let prev = self
+            .map
+            .insert((file, block), CacheEntry::Valid { frame, dirty });
+        assert!(prev.is_none(), "block already cached");
+        if dirty {
+            self.dirty += 1;
+        }
+    }
+
+    /// Inserts an in-flight fill entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already cached.
+    pub fn insert_filling(&mut self, file: FileId, block: u64, frame: FrameId, tag: u64) {
+        let prev = self
+            .map
+            .insert((file, block), CacheEntry::Filling { tag, frame });
+        assert!(prev.is_none(), "block already cached");
+    }
+
+    /// Converts a filling entry to valid when its read completes. Returns
+    /// the frame so the caller can unpin it. No-op (returns `None`) if
+    /// the entry was evicted while the read was in flight.
+    pub fn complete_fill(&mut self, file: FileId, block: u64) -> Option<FrameId> {
+        match self.map.get_mut(&(file, block)) {
+            Some(e @ CacheEntry::Filling { .. }) => {
+                let frame = match *e {
+                    CacheEntry::Filling { frame, .. } => frame,
+                    _ => unreachable!(),
+                };
+                *e = CacheEntry::Valid {
+                    frame,
+                    dirty: false,
+                };
+                Some(frame)
+            }
+            _ => None,
+        }
+    }
+
+    /// Marks a valid block dirty. Returns `true` if it was newly dirtied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not valid in the cache.
+    pub fn mark_dirty(&mut self, file: FileId, block: u64) -> bool {
+        match self.map.get_mut(&(file, block)) {
+            Some(CacheEntry::Valid { dirty, .. }) => {
+                if *dirty {
+                    false
+                } else {
+                    *dirty = true;
+                    self.dirty += 1;
+                    true
+                }
+            }
+            other => panic!("mark_dirty on non-valid entry {other:?}"),
+        }
+    }
+
+    /// Removes a block (frame eviction). Returns its entry.
+    pub fn remove(&mut self, file: FileId, block: u64) -> Option<CacheEntry> {
+        let e = self.map.remove(&(file, block));
+        if let Some(CacheEntry::Valid { dirty: true, .. }) = e {
+            self.dirty -= 1;
+        }
+        e
+    }
+
+    /// Collects up to `max` dirty blocks for flushing, transitioning them
+    /// to clean and counting them as in-flight flush writes. Returns
+    /// `(file, block, frame)` triples sorted by (file, block) so the
+    /// caller can coalesce contiguous runs.
+    pub fn take_dirty_batch(&mut self, max: usize) -> Vec<(FileId, u64, FrameId)> {
+        let mut batch: Vec<(FileId, u64, FrameId)> = self
+            .map
+            .iter()
+            .filter_map(|(&(f, b), e)| match e {
+                CacheEntry::Valid { frame, dirty: true } => Some((f, b, *frame)),
+                _ => None,
+            })
+            .collect();
+        batch.sort_unstable_by_key(|&(f, b, _)| (f, b));
+        batch.truncate(max);
+        for &(f, b, _) in &batch {
+            if let Some(CacheEntry::Valid { dirty, .. }) = self.map.get_mut(&(f, b)) {
+                *dirty = false;
+            }
+        }
+        self.dirty -= batch.len() as u64;
+        self.flushing += batch.len() as u64;
+        self.stats.flushed_blocks += batch.len() as u64;
+        batch
+    }
+
+    /// Records that `n` flush writes completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more flushes complete than were started.
+    pub fn flush_completed(&mut self, n: u64) {
+        assert!(self.flushing >= n, "flush completion underflow");
+        self.flushing -= n;
+    }
+
+    /// Dirty plus in-flight-flush blocks — the quantity throttled against
+    /// the high watermark.
+    pub fn dirty_load(&self) -> u64 {
+        self.dirty + self.flushing
+    }
+
+    /// Number of dirty (not yet flushing) blocks.
+    pub fn dirty_blocks(&self) -> u64 {
+        self.dirty
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut c = BufferCache::new();
+        assert!(c.lookup(FileId(0), 0).is_none());
+        c.insert_valid(FileId(0), 0, FrameId(1), false);
+        assert!(matches!(
+            c.lookup(FileId(0), 0),
+            Some(CacheEntry::Valid { .. })
+        ));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn fill_lifecycle() {
+        let mut c = BufferCache::new();
+        c.insert_filling(FileId(0), 5, FrameId(3), 42);
+        assert!(matches!(
+            c.lookup(FileId(0), 5),
+            Some(CacheEntry::Filling { tag: 42, .. })
+        ));
+        assert_eq!(c.stats().fill_joins, 1);
+        assert_eq!(c.complete_fill(FileId(0), 5), Some(FrameId(3)));
+        assert!(matches!(
+            c.get(FileId(0), 5),
+            Some(CacheEntry::Valid { dirty: false, .. })
+        ));
+        // Completing again is a no-op.
+        assert_eq!(c.complete_fill(FileId(0), 5), None);
+    }
+
+    #[test]
+    fn dirty_accounting() {
+        let mut c = BufferCache::new();
+        c.insert_valid(FileId(0), 0, FrameId(1), false);
+        c.insert_valid(FileId(0), 1, FrameId(2), true);
+        assert_eq!(c.dirty_load(), 1);
+        assert!(c.mark_dirty(FileId(0), 0));
+        assert!(!c.mark_dirty(FileId(0), 0), "already dirty");
+        assert_eq!(c.dirty_load(), 2);
+    }
+
+    #[test]
+    fn flush_batch_transitions_dirty_to_flushing() {
+        let mut c = BufferCache::new();
+        for b in 0..5 {
+            c.insert_valid(FileId(0), b, FrameId(b as u32), true);
+        }
+        let batch = c.take_dirty_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(c.dirty_blocks(), 2);
+        assert_eq!(c.dirty_load(), 5, "flushing still counts against the watermark");
+        c.flush_completed(3);
+        assert_eq!(c.dirty_load(), 2);
+    }
+
+    #[test]
+    fn flush_batch_is_sorted_for_coalescing() {
+        let mut c = BufferCache::new();
+        for b in [9u64, 2, 5, 3, 4] {
+            c.insert_valid(FileId(0), b, FrameId(b as u32), true);
+        }
+        let batch = c.take_dirty_batch(10);
+        let blocks: Vec<u64> = batch.iter().map(|&(_, b, _)| b).collect();
+        assert_eq!(blocks, vec![2, 3, 4, 5, 9]);
+    }
+
+    #[test]
+    fn remove_dirty_fixes_counts() {
+        let mut c = BufferCache::new();
+        c.insert_valid(FileId(1), 0, FrameId(0), true);
+        assert_eq!(c.dirty_load(), 1);
+        assert!(c.remove(FileId(1), 0).is_some());
+        assert_eq!(c.dirty_load(), 0);
+        assert!(c.is_empty());
+        assert!(c.remove(FileId(1), 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already cached")]
+    fn double_insert_panics() {
+        let mut c = BufferCache::new();
+        c.insert_valid(FileId(0), 0, FrameId(1), false);
+        c.insert_valid(FileId(0), 0, FrameId(2), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn flush_underflow_panics() {
+        let mut c = BufferCache::new();
+        c.flush_completed(1);
+    }
+}

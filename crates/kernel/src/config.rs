@@ -1,0 +1,268 @@
+//! Machine and kernel configuration.
+//!
+//! Defaults follow the paper's experimental environment (§4.1): an SGI
+//! CHALLENGE-class bus-based SMP with 300 MHz R4000 CPUs, HP 97560 disks,
+//! a 10 ms clock tick, 30 ms CPU time slices, an 8% memory Reserve
+//! Threshold, a 500 ms disk-bandwidth decay half-life, and 4 KB pages.
+
+use event_sim::SimDuration;
+use hp_disk::SchedulerKind;
+use spu_core::Scheme;
+
+/// Bytes per page (IRIX on R4000 used 4 KB pages).
+pub const PAGE_SIZE: u64 = 4096;
+/// Disk sectors per page.
+pub const SECTORS_PER_PAGE: u32 = (PAGE_SIZE / 512) as u32;
+
+/// Configuration of one disk device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiskSetup {
+    /// Seek-time scaling (§4.5 uses 0.5: "half the seek latency").
+    pub seek_scale: f64,
+    /// Request scheduler; `None` derives it from the machine scheme
+    /// (SMP → Pos, Quota → Iso, PIso → Hybrid).
+    pub scheduler: Option<SchedulerKind>,
+}
+
+impl Default for DiskSetup {
+    fn default() -> Self {
+        DiskSetup {
+            seek_scale: 1.0,
+            scheduler: None,
+        }
+    }
+}
+
+/// Kernel tuning knobs; the defaults are the paper's values where the
+/// paper states them and small plausible costs elsewhere.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuning {
+    /// Clock tick: scheduling, loan revocation and priority decay happen
+    /// here (§3.1: 10 ms, the maximum CPU revocation latency).
+    pub tick: SimDuration,
+    /// CPU time slice (§3.1: 30 ms "unless the process blocks before
+    /// that").
+    pub slice: SimDuration,
+    /// Period of the memory sharing-policy evaluation (§3.2: "checked
+    /// periodically").
+    pub mem_policy_period: SimDuration,
+    /// Reserve Threshold as a fraction of memory (§3.2: 8%).
+    pub reserve_frac: f64,
+    /// Disk bandwidth-count decay half-life (§3.3: 500 ms).
+    pub bw_half_life: SimDuration,
+    /// BW-difference threshold in sectors (§3.3).
+    pub bw_threshold: f64,
+    /// Write-behind daemon period (classic UNIX update daemon cadence).
+    pub sync_period: SimDuration,
+    /// Dirty-buffer high watermark as a fraction of total frames; writers
+    /// block above it until the flusher drains below the low watermark.
+    pub dirty_high_frac: f64,
+    /// Dirty-buffer low watermark.
+    pub dirty_low_frac: f64,
+    /// Blocks of sequential read-ahead on a buffer-cache miss.
+    pub readahead_blocks: u32,
+    /// Read-ahead windows kept in flight for a sequential stream — the
+    /// kernel keeps issuing prefetches until this many fills are
+    /// outstanding ("multiple outstanding reads because of read-ahead",
+    /// §4.5).
+    pub prefetch_windows: u32,
+    /// Fraction of frames charged to the kernel SPU at boot (kernel code,
+    /// data, and static structures).
+    pub kernel_mem_frac: f64,
+    /// CPU cost of a pathname lookup while holding the inode lock.
+    pub lookup_cost: SimDuration,
+    /// Whether the root inode lock is multi-reader (the §3.4 fix) or a
+    /// mutual-exclusion semaphore (stock IRIX 5.3).
+    pub rw_inode_lock: bool,
+    /// CPU cost of copying one 4 KB block between cache and user space.
+    pub copy_cost: SimDuration,
+    /// CPU cost of zero-filling a newly allocated page.
+    pub zero_fill_cost: SimDuration,
+    /// CPU cost of fork/exec bookkeeping.
+    pub fork_cost: SimDuration,
+    /// How often a computing process re-touches its working set.
+    pub touch_interval: SimDuration,
+    /// Revoke loaned CPUs immediately via inter-processor interrupt when
+    /// a home process wakes, instead of waiting for the next clock tick
+    /// (§3.1: "Another possibility would be to send an inter-processor
+    /// interrupt (IPI) to get the processor back sooner. This might be
+    /// needed to provide response time performance isolation guarantees
+    /// to interactive processes.").
+    pub ipi_revocation: bool,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            tick: SimDuration::from_millis(10),
+            slice: SimDuration::from_millis(30),
+            mem_policy_period: SimDuration::from_millis(100),
+            reserve_frac: 0.08,
+            bw_half_life: SimDuration::from_millis(500),
+            bw_threshold: 64.0,
+            sync_period: SimDuration::from_secs(1),
+            dirty_high_frac: 0.10,
+            dirty_low_frac: 0.05,
+            readahead_blocks: 7,
+            prefetch_windows: 4,
+            kernel_mem_frac: 0.10,
+            lookup_cost: SimDuration::from_micros(40),
+            rw_inode_lock: true,
+            copy_cost: SimDuration::from_micros(25),
+            zero_fill_cost: SimDuration::from_micros(15),
+            fork_cost: SimDuration::from_millis(2),
+            touch_interval: SimDuration::from_millis(50),
+            ipi_revocation: false,
+        }
+    }
+}
+
+/// Full machine configuration for one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use smp_kernel::MachineConfig;
+/// use spu_core::Scheme;
+///
+/// // The Pmake8 machine: 8 CPUs, 44 MB, one fast disk per SPU.
+/// let m = MachineConfig::new(8, 44, 8).with_scheme(Scheme::PIso);
+/// assert_eq!(m.cpus, 8);
+/// assert_eq!(m.total_frames(), 44 * 256); // 4 KB pages
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Number of CPUs.
+    pub cpus: usize,
+    /// Main memory in megabytes.
+    pub memory_mb: u64,
+    /// Disk devices.
+    pub disks: Vec<DiskSetup>,
+    /// The allocation scheme under test.
+    pub scheme: Scheme,
+    /// Kernel tuning knobs.
+    pub tuning: Tuning,
+}
+
+impl MachineConfig {
+    /// A machine with `cpus` CPUs, `memory_mb` MB of memory and
+    /// `disk_count` default disks, running the default scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quantity is zero.
+    pub fn new(cpus: usize, memory_mb: u64, disk_count: usize) -> Self {
+        assert!(cpus > 0, "need at least one CPU");
+        assert!(memory_mb > 0, "need some memory");
+        assert!(disk_count > 0, "need at least one disk");
+        MachineConfig {
+            cpus,
+            memory_mb,
+            disks: vec![DiskSetup::default(); disk_count],
+            scheme: Scheme::default(),
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// Sets the allocation scheme.
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Replaces the tuning knobs.
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Applies a disk seek scale to all disks (§4.5 uses 0.5).
+    pub fn with_seek_scale(mut self, scale: f64) -> Self {
+        for d in &mut self.disks {
+            d.seek_scale = scale;
+        }
+        self
+    }
+
+    /// Forces a particular disk scheduler on all disks (the §4.5
+    /// Pos/Iso/PIso comparison).
+    pub fn with_disk_scheduler(mut self, kind: SchedulerKind) -> Self {
+        for d in &mut self.disks {
+            d.scheduler = Some(kind);
+        }
+        self
+    }
+
+    /// Total page frames.
+    pub fn total_frames(&self) -> u64 {
+        self.memory_mb * 1024 * 1024 / PAGE_SIZE
+    }
+
+    /// The disk scheduler a disk actually uses, deriving from the scheme
+    /// where not overridden.
+    pub fn disk_scheduler(&self, disk: usize) -> SchedulerKind {
+        self.disks[disk].scheduler.unwrap_or(match self.scheme {
+            Scheme::Smp => SchedulerKind::HeadPosition,
+            Scheme::Quota => SchedulerKind::BlindFair,
+            Scheme::PIso => SchedulerKind::Hybrid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_from_megabytes() {
+        let m = MachineConfig::new(4, 16, 1);
+        assert_eq!(m.total_frames(), 4096);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let t = Tuning::default();
+        assert_eq!(t.tick, SimDuration::from_millis(10));
+        assert_eq!(t.slice, SimDuration::from_millis(30));
+        assert_eq!(t.reserve_frac, 0.08);
+        assert_eq!(t.bw_half_life, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn scheduler_derives_from_scheme() {
+        let m = MachineConfig::new(2, 44, 1);
+        assert_eq!(
+            m.clone().with_scheme(Scheme::Smp).disk_scheduler(0),
+            SchedulerKind::HeadPosition
+        );
+        assert_eq!(
+            m.clone().with_scheme(Scheme::Quota).disk_scheduler(0),
+            SchedulerKind::BlindFair
+        );
+        assert_eq!(
+            m.clone().with_scheme(Scheme::PIso).disk_scheduler(0),
+            SchedulerKind::Hybrid
+        );
+    }
+
+    #[test]
+    fn scheduler_override_wins() {
+        let m = MachineConfig::new(2, 44, 2)
+            .with_scheme(Scheme::Smp)
+            .with_disk_scheduler(SchedulerKind::Hybrid);
+        assert_eq!(m.disk_scheduler(0), SchedulerKind::Hybrid);
+        assert_eq!(m.disk_scheduler(1), SchedulerKind::Hybrid);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_panics() {
+        MachineConfig::new(0, 16, 1);
+    }
+
+    #[test]
+    fn seek_scale_applies_to_all_disks() {
+        let m = MachineConfig::new(2, 44, 3).with_seek_scale(0.5);
+        assert!(m.disks.iter().all(|d| d.seek_scale == 0.5));
+    }
+}

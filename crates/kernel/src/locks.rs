@@ -1,0 +1,263 @@
+//! Kernel semaphores (§3.4).
+//!
+//! "We encountered and fixed two such semaphore problems ... The first was
+//! the inode-lock semaphore that protects inodes in the file system. ...
+//! We changed this from a mutual exclusion semaphore to a
+//! multiple-readers/one-writer semaphore because the dominant operation
+//! is lookups to the inode."
+//!
+//! [`LockTable`] implements both modes: with `force_exclusive` set (stock
+//! IRIX 5.3) every acquisition is exclusive; otherwise shared
+//! acquisitions coexist (the paper's fix). The contention statistics feed
+//! the §3.4 ablation, which the paper reports improved response time by
+//! 20–30% on some four-processor workloads.
+
+use std::collections::VecDeque;
+
+use crate::fs::FileId;
+use crate::process::Pid;
+
+/// Identifies a kernel lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// The root-directory inode lock, taken by every pathname lookup —
+    /// the §3.4 contention hotspot.
+    pub const ROOT: LockId = LockId(0);
+
+    /// The inode lock of a particular file.
+    pub const fn inode(file: FileId) -> LockId {
+        LockId(file.0 + 1)
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    shared_holders: u32,
+    exclusive_holder: Option<Pid>,
+    waiters: VecDeque<(Pid, bool)>,
+}
+
+impl LockState {
+    fn is_free(&self) -> bool {
+        self.shared_holders == 0 && self.exclusive_holder.is_none()
+    }
+}
+
+/// All kernel locks, with contention accounting.
+///
+/// # Examples
+///
+/// ```
+/// use smp_kernel::{LockId, LockTable, Pid};
+///
+/// let mut locks = LockTable::new(false); // multi-reader mode (§3.4 fix)
+/// assert!(locks.acquire(LockId::ROOT, Pid(1), false));
+/// assert!(locks.acquire(LockId::ROOT, Pid(2), false)); // readers share
+/// assert!(!locks.acquire(LockId::ROOT, Pid(3), true)); // writer waits
+/// ```
+#[derive(Debug)]
+pub struct LockTable {
+    locks: Vec<LockState>,
+    force_exclusive: bool,
+    contended_acquires: u64,
+    total_acquires: u64,
+}
+
+impl LockTable {
+    /// Creates an empty table. `force_exclusive` selects the stock-IRIX
+    /// mutual-exclusion behaviour for every lock.
+    pub fn new(force_exclusive: bool) -> Self {
+        LockTable {
+            locks: Vec::new(),
+            force_exclusive,
+            contended_acquires: 0,
+            total_acquires: 0,
+        }
+    }
+
+    fn state(&mut self, lock: LockId) -> &mut LockState {
+        let idx = lock.0 as usize;
+        if self.locks.len() <= idx {
+            self.locks.resize_with(idx + 1, LockState::default);
+        }
+        &mut self.locks[idx]
+    }
+
+    /// Attempts to acquire `lock` for `pid`. Returns `true` if granted
+    /// immediately; otherwise the pid is queued and the caller must block
+    /// it until a [`release`](Self::release) wakes it.
+    pub fn acquire(&mut self, lock: LockId, pid: Pid, excl: bool) -> bool {
+        let excl = excl || self.force_exclusive;
+        self.total_acquires += 1;
+        let st = self.state(lock);
+        let grant = if excl {
+            st.is_free() && st.waiters.is_empty()
+        } else {
+            st.exclusive_holder.is_none()
+                && st.waiters.iter().all(|(_, w_excl)| !w_excl)
+        };
+        if grant {
+            if excl {
+                st.exclusive_holder = Some(pid);
+            } else {
+                st.shared_holders += 1;
+            }
+            true
+        } else {
+            st.waiters.push_back((pid, excl));
+            self.contended_acquires += 1;
+            false
+        }
+    }
+
+    /// Releases one hold on `lock` by `pid` and returns the pids granted
+    /// the lock as a result (already recorded as holders). The caller
+    /// makes them runnable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` does not hold the lock.
+    pub fn release(&mut self, lock: LockId, pid: Pid) -> Vec<Pid> {
+        let st = self.state(lock);
+        if st.exclusive_holder == Some(pid) {
+            st.exclusive_holder = None;
+        } else {
+            assert!(
+                st.shared_holders > 0,
+                "{pid:?} releasing {lock:?} it does not hold"
+            );
+            st.shared_holders -= 1;
+        }
+        let mut woken = Vec::new();
+        if st.is_free() {
+            // Grant the head waiter; if it is shared, grant the whole
+            // leading run of shared waiters.
+            if let Some((first, first_excl)) = st.waiters.pop_front() {
+                if first_excl {
+                    st.exclusive_holder = Some(first);
+                    woken.push(first);
+                } else {
+                    st.shared_holders += 1;
+                    woken.push(first);
+                    while matches!(st.waiters.front(), Some((_, false))) {
+                        let (next, _) = st.waiters.pop_front().unwrap();
+                        st.shared_holders += 1;
+                        woken.push(next);
+                    }
+                }
+            }
+        }
+        woken
+    }
+
+    /// Fraction of acquisitions that had to wait.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.total_acquires == 0 {
+            0.0
+        } else {
+            self.contended_acquires as f64 / self.total_acquires as f64
+        }
+    }
+
+    /// Total acquisitions attempted.
+    pub fn total_acquires(&self) -> u64 {
+        self.total_acquires
+    }
+
+    /// Acquisitions that found the lock busy.
+    pub fn contended_acquires(&self) -> u64 {
+        self.contended_acquires
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_share_in_rw_mode() {
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), false));
+        assert!(t.acquire(LockId::ROOT, Pid(2), false));
+        assert!(t.acquire(LockId::ROOT, Pid(3), false));
+        assert_eq!(t.contended_acquires(), 0);
+    }
+
+    #[test]
+    fn readers_serialize_in_mutex_mode() {
+        let mut t = LockTable::new(true);
+        assert!(t.acquire(LockId::ROOT, Pid(1), false));
+        assert!(!t.acquire(LockId::ROOT, Pid(2), false));
+        assert_eq!(t.contended_acquires(), 1);
+        let woken = t.release(LockId::ROOT, Pid(1));
+        assert_eq!(woken, vec![Pid(2)]);
+    }
+
+    #[test]
+    fn writer_excludes_readers() {
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(2), false));
+        assert!(!t.acquire(LockId::ROOT, Pid(3), false));
+        let woken = t.release(LockId::ROOT, Pid(1));
+        // Both queued readers granted together.
+        assert_eq!(woken, vec![Pid(2), Pid(3)]);
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), false));
+        assert!(!t.acquire(LockId::ROOT, Pid(2), true)); // writer queues
+        assert!(
+            !t.acquire(LockId::ROOT, Pid(3), false),
+            "reader must queue behind a waiting writer (no writer starvation)"
+        );
+        let woken = t.release(LockId::ROOT, Pid(1));
+        assert_eq!(woken, vec![Pid(2)], "writer granted first");
+        let woken = t.release(LockId::ROOT, Pid(2));
+        assert_eq!(woken, vec![Pid(3)]);
+    }
+
+    #[test]
+    fn inode_lock_ids_are_distinct() {
+        assert_ne!(LockId::inode(FileId(0)), LockId::ROOT);
+        assert_ne!(LockId::inode(FileId(0)), LockId::inode(FileId(1)));
+    }
+
+    #[test]
+    fn independent_locks_do_not_interfere() {
+        let mut t = LockTable::new(true);
+        assert!(t.acquire(LockId::inode(FileId(0)), Pid(1), true));
+        assert!(t.acquire(LockId::inode(FileId(1)), Pid(2), true));
+    }
+
+    #[test]
+    fn contention_ratio() {
+        let mut t = LockTable::new(true);
+        t.acquire(LockId::ROOT, Pid(1), false);
+        t.acquire(LockId::ROOT, Pid(2), false);
+        assert_eq!(t.total_acquires(), 2);
+        assert!((t.contention_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn release_without_hold_panics() {
+        let mut t = LockTable::new(false);
+        t.release(LockId::ROOT, Pid(1));
+    }
+
+    #[test]
+    fn fifo_order_among_writers() {
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(2), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(3), true));
+        assert_eq!(t.release(LockId::ROOT, Pid(1)), vec![Pid(2)]);
+        assert_eq!(t.release(LockId::ROOT, Pid(2)), vec![Pid(3)]);
+        assert_eq!(t.release(LockId::ROOT, Pid(3)), Vec::<Pid>::new());
+    }
+}

@@ -1,0 +1,209 @@
+//! Run-level metrics: job response times, per-SPU resource usage, disk
+//! and cache statistics — the raw material of every figure and table in
+//! the paper's evaluation.
+
+use event_sim::{SimDuration, SimTime};
+use hp_disk::DiskStats;
+use spu_core::{ResourceLevels, SpuId};
+
+use crate::bufcache::CacheStats;
+use crate::process::{JobId, Pid};
+use crate::vm::VmSpuStats;
+
+/// One tracked job: a root process spawned with a label; its response
+/// time is spawn → exit of the root (which waits for its children).
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Job identity.
+    pub job: JobId,
+    /// Label given at spawn (e.g. `"pmake-spu3"`).
+    pub label: String,
+    /// The SPU it ran in.
+    pub spu: SpuId,
+    /// Root process.
+    pub root: Pid,
+    /// Spawn time.
+    pub started: SimTime,
+    /// Root-exit time, if it finished.
+    pub finished: Option<SimTime>,
+}
+
+impl JobRecord {
+    /// Response time, if finished.
+    pub fn response(&self) -> Option<SimDuration> {
+        self.finished.map(|f| f.saturating_since(self.started))
+    }
+}
+
+/// Everything measured over one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Simulated time when the run ended.
+    pub end_time: SimTime,
+    /// Whether every process finished before the time cap.
+    pub completed: bool,
+    /// All tracked jobs.
+    pub jobs: Vec<JobRecord>,
+    /// CPU time consumed per SPU (dense [`SpuId::index`] order).
+    pub spu_cpu_time: Vec<SimDuration>,
+    /// Idle time per CPU.
+    pub cpu_idle: Vec<SimDuration>,
+    /// Busy time per CPU.
+    pub cpu_busy: Vec<SimDuration>,
+    /// VM counters per SPU (dense index order).
+    pub vm: Vec<VmSpuStats>,
+    /// Final memory levels per SPU (dense index order): the
+    /// entitled/allowed/used page counts at the end of the run.
+    pub mem_levels: Vec<ResourceLevels>,
+    /// Buffer-cache counters.
+    pub cache: CacheStats,
+    /// Per-disk request statistics.
+    pub disks: Vec<DiskStats>,
+    /// Kernel-lock acquisitions attempted.
+    pub lock_acquires: u64,
+    /// Kernel-lock acquisitions that had to wait.
+    pub lock_contended: u64,
+}
+
+impl RunMetrics {
+    /// Jobs whose label starts with `prefix`.
+    pub fn jobs_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a JobRecord> {
+        self.jobs.iter().filter(move |j| j.label.starts_with(prefix))
+    }
+
+    /// The job with an exact label.
+    pub fn job(&self, label: &str) -> Option<&JobRecord> {
+        self.jobs.iter().find(|j| j.label == label)
+    }
+
+    /// Mean response time in seconds over jobs whose label starts with
+    /// `prefix`. Unfinished jobs are scored at the run's end time (a
+    /// lower bound), so comparisons stay meaningful if a cap was hit.
+    pub fn mean_response_secs(&self, prefix: &str) -> f64 {
+        let times: Vec<f64> = self
+            .jobs_with_prefix(prefix)
+            .map(|j| {
+                j.response()
+                    .unwrap_or_else(|| self.end_time.saturating_since(j.started))
+                    .as_secs_f64()
+            })
+            .collect();
+        if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        }
+    }
+
+    /// Mean response over the jobs of one SPU.
+    pub fn mean_response_of_spu(&self, spu: SpuId) -> f64 {
+        let times: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| j.spu == spu)
+            .map(|j| {
+                j.response()
+                    .unwrap_or_else(|| self.end_time.saturating_since(j.started))
+                    .as_secs_f64()
+            })
+            .collect();
+        if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        }
+    }
+
+    /// Total major faults across user SPUs.
+    pub fn total_major_faults(&self) -> u64 {
+        self.vm.iter().map(|v| v.major_faults).sum()
+    }
+
+    /// Fraction of lock acquisitions that contended.
+    pub fn lock_contention_ratio(&self) -> f64 {
+        if self.lock_acquires == 0 {
+            0.0
+        } else {
+            self.lock_contended as f64 / self.lock_acquires as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(label: &str, spu: SpuId, start_ms: u64, end_ms: Option<u64>) -> JobRecord {
+        JobRecord {
+            job: JobId(0),
+            label: label.to_string(),
+            spu,
+            root: Pid(0),
+            started: SimTime::from_millis(start_ms),
+            finished: end_ms.map(SimTime::from_millis),
+        }
+    }
+
+    fn metrics(jobs: Vec<JobRecord>) -> RunMetrics {
+        RunMetrics {
+            end_time: SimTime::from_secs(100),
+            completed: true,
+            jobs,
+            spu_cpu_time: vec![],
+            cpu_idle: vec![],
+            cpu_busy: vec![],
+            vm: vec![],
+            mem_levels: vec![],
+            cache: CacheStats::default(),
+            disks: vec![],
+            lock_acquires: 0,
+            lock_contended: 0,
+        }
+    }
+
+    #[test]
+    fn response_time() {
+        let j = job("a", SpuId::user(0), 1000, Some(3500));
+        assert_eq!(j.response(), Some(SimDuration::from_millis(2500)));
+        let unfinished = job("b", SpuId::user(0), 1000, None);
+        assert_eq!(unfinished.response(), None);
+    }
+
+    #[test]
+    fn mean_response_by_prefix() {
+        let m = metrics(vec![
+            job("pmake-0", SpuId::user(0), 0, Some(2000)),
+            job("pmake-1", SpuId::user(1), 0, Some(4000)),
+            job("copy-0", SpuId::user(2), 0, Some(10000)),
+        ]);
+        assert!((m.mean_response_secs("pmake") - 3.0).abs() < 1e-9);
+        assert!((m.mean_response_secs("copy") - 10.0).abs() < 1e-9);
+        assert_eq!(m.mean_response_secs("nothing"), 0.0);
+    }
+
+    #[test]
+    fn unfinished_jobs_score_at_end_time() {
+        let m = metrics(vec![job("x", SpuId::user(0), 0, None)]);
+        assert!((m.mean_response_secs("x") - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_by_spu() {
+        let m = metrics(vec![
+            job("a", SpuId::user(0), 0, Some(1000)),
+            job("b", SpuId::user(0), 0, Some(3000)),
+            job("c", SpuId::user(1), 0, Some(9000)),
+        ]);
+        assert!((m.mean_response_of_spu(SpuId::user(0)) - 2.0).abs() < 1e-9);
+        assert!((m.mean_response_of_spu(SpuId::user(1)) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lock_ratio() {
+        let mut m = metrics(vec![]);
+        assert_eq!(m.lock_contention_ratio(), 0.0);
+        m.lock_acquires = 10;
+        m.lock_contended = 3;
+        assert!((m.lock_contention_ratio() - 0.3).abs() < 1e-12);
+    }
+}

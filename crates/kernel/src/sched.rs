@@ -1,0 +1,503 @@
+//! The hybrid CPU scheduler (§3.1).
+//!
+//! "To provide isolation the normal priority-based scheduling behavior is
+//! modified by having CPUs select processes only from their home SPUs
+//! when scheduling ... Sharing is implemented by relaxing the SPU ID
+//! restriction when a processor becomes idle. ... Currently, the process
+//! with the highest priority is chosen."
+//!
+//! Priorities are classic UNIX decay-usage: a process's `p_cpu` rises
+//! while it runs and decays over time; lower values win. Between
+//! processes of the same SPU the standard discipline applies unchanged.
+
+use event_sim::{SimDuration, SimTime};
+use spu_core::{CpuAssignment, CpuPartition, Scheme, SharedCpuRotor, SpuId, SpuSet};
+
+use crate::process::{Pid, ProcState, Process};
+
+/// Per-tick multiplicative decay of `p_cpu` (half-life ≈ 1 s at a 10 ms
+/// tick).
+pub const P_CPU_DECAY: f64 = 0.9931;
+
+/// Width of one priority band in `p_cpu` milliseconds. Like classic
+/// UNIX/IRIX schedulers, priorities are coarse bands with round-robin
+/// (FIFO) inside a band: two compute-bound processes whose decayed usage
+/// differs by less than a band are *equal* and rotate, rather than the
+/// infinitesimally-less-used one always winning.
+pub const PRIORITY_BAND_MS: f64 = 120.0;
+
+/// The discrete priority of a process (lower wins).
+fn priority_band(p: &Process) -> i64 {
+    (p.p_cpu / PRIORITY_BAND_MS) as i64
+}
+
+/// A process table indexed by [`Pid`]. Processes are never removed;
+/// exited processes stay in the `Done` state.
+#[derive(Debug, Default)]
+pub struct ProcTable {
+    procs: Vec<Process>,
+}
+
+impl ProcTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ProcTable::default()
+    }
+
+    /// The pid the next inserted process will get.
+    pub fn next_pid(&self) -> Pid {
+        Pid(self.procs.len() as u32)
+    }
+
+    /// Inserts a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process's pid is not the next free pid.
+    pub fn insert(&mut self, p: Process) -> Pid {
+        assert_eq!(p.pid, self.next_pid(), "pid mismatch");
+        let pid = p.pid;
+        self.procs.push(p);
+        pid
+    }
+
+    /// Shared access.
+    pub fn get(&self, pid: Pid) -> &Process {
+        &self.procs[pid.0 as usize]
+    }
+
+    /// Exclusive access.
+    pub fn get_mut(&mut self, pid: Pid) -> &mut Process {
+        &mut self.procs[pid.0 as usize]
+    }
+
+    /// Iterates over all processes.
+    pub fn iter(&self) -> impl Iterator<Item = &Process> {
+        self.procs.iter()
+    }
+
+    /// Iterates mutably over all processes.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Process> {
+        self.procs.iter_mut()
+    }
+
+    /// Number of processes ever created.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when no process was ever created.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
+/// Per-CPU scheduler state.
+#[derive(Debug)]
+pub struct CpuState {
+    /// The home assignment of this CPU.
+    pub assignment: CpuAssignment,
+    rotor: Option<SharedCpuRotor>,
+    /// Currently running process.
+    pub running: Option<Pid>,
+    /// When the current process was dispatched.
+    pub run_start: SimTime,
+    /// When its time slice expires.
+    pub slice_end: SimTime,
+    /// Dispatch generation; stale `OpDone` events carry an old value.
+    pub gen: u64,
+    /// Whether the running process was loaned from a non-home SPU.
+    pub loaned: bool,
+    /// Start of the current idle period, if idle.
+    pub idle_since: Option<SimTime>,
+    /// Accumulated idle time.
+    pub idle_total: SimDuration,
+    /// Accumulated busy time.
+    pub busy_total: SimDuration,
+}
+
+impl CpuState {
+    fn new(assignment: CpuAssignment) -> Self {
+        let rotor = match &assignment {
+            CpuAssignment::TimeShared(entries) => Some(SharedCpuRotor::new(entries.clone())),
+            CpuAssignment::Dedicated(_) => None,
+        };
+        CpuState {
+            assignment,
+            rotor,
+            running: None,
+            run_start: SimTime::ZERO,
+            slice_end: SimTime::ZERO,
+            gen: 0,
+            loaned: false,
+            idle_since: Some(SimTime::ZERO),
+            idle_total: SimDuration::ZERO,
+            busy_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether the CPU has no running process.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none()
+    }
+}
+
+/// The machine-wide CPU scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use smp_kernel::Scheduler;
+/// use spu_core::{Scheme, SpuSet};
+///
+/// let spus = SpuSet::equal_users(2);
+/// let s = Scheduler::new(Scheme::PIso, 8, &spus);
+/// assert_eq!(s.cpu_count(), 8);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    scheme: Scheme,
+    cpus: Vec<CpuState>,
+    ready: Vec<Vec<Pid>>,
+    seq: u64,
+    spus: SpuSet,
+}
+
+impl Scheduler {
+    /// Creates the scheduler, computing the hybrid CPU partition.
+    pub fn new(scheme: Scheme, n_cpus: usize, spus: &SpuSet) -> Self {
+        let partition = CpuPartition::compute(n_cpus, spus);
+        Scheduler {
+            scheme,
+            cpus: partition
+                .assignments()
+                .iter()
+                .cloned()
+                .map(CpuState::new)
+                .collect(),
+            ready: vec![Vec::new(); spus.total_count()],
+            seq: 0,
+            spus: spus.clone(),
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Access to a CPU's state.
+    pub fn cpu(&self, i: usize) -> &CpuState {
+        &self.cpus[i]
+    }
+
+    /// Mutable access to a CPU's state.
+    pub fn cpu_mut(&mut self, i: usize) -> &mut CpuState {
+        &mut self.cpus[i]
+    }
+
+    /// Puts a ready process on its SPU's run queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is not in the `Ready` state or already
+    /// queued.
+    pub fn enqueue(&mut self, procs: &mut ProcTable, pid: Pid) {
+        let p = procs.get_mut(pid);
+        assert_eq!(p.state, ProcState::Ready, "enqueue of non-ready {pid:?}");
+        let spu = p.spu;
+        p.ready_seq = self.seq;
+        self.seq += 1;
+        debug_assert!(
+            !self.ready[spu.index()].contains(&pid),
+            "{pid:?} queued twice"
+        );
+        self.ready[spu.index()].push(pid);
+    }
+
+    /// Whether any process is queued for `spu`.
+    pub fn has_ready(&self, spu: SpuId) -> bool {
+        !self.ready[spu.index()].is_empty()
+    }
+
+    /// Total queued processes.
+    pub fn ready_count(&self) -> usize {
+        self.ready.iter().map(Vec::len).sum()
+    }
+
+    /// Removes and returns the highest-priority ready process of `spu`
+    /// (lowest priority band, then FIFO).
+    fn take_best_of(&mut self, procs: &ProcTable, spu: SpuId) -> Option<Pid> {
+        let queue = &mut self.ready[spu.index()];
+        let best = queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &pid)| {
+                let p = procs.get(pid);
+                (priority_band(p), p.ready_seq)
+            })
+            .map(|(i, _)| i)?;
+        Some(queue.swap_remove(best))
+    }
+
+    /// Removes and returns the globally highest-priority ready process.
+    fn take_best_global(&mut self, procs: &ProcTable) -> Option<(SpuId, Pid)> {
+        let mut best: Option<(i64, u64, SpuId)> = None;
+        for spu in self.spus.all_ids() {
+            if let Some(&pid) = self.ready[spu.index()]
+                .iter()
+                .min_by_key(|&&pid| {
+                    let p = procs.get(pid);
+                    (priority_band(p), p.ready_seq)
+                })
+            {
+                let p = procs.get(pid);
+                let key = (priority_band(p), p.ready_seq);
+                if best.is_none_or(|(bb, bs, _)| key < (bb, bs)) {
+                    best = Some((key.0, key.1, spu));
+                }
+            }
+        }
+        let (_, _, spu) = best?;
+        let pid = self.take_best_of(procs, spu)?;
+        Some((spu, pid))
+    }
+
+    /// Chooses the next process for CPU `cpu_idx` following the scheme's
+    /// rules. Returns `(pid, loaned)` or `None` if the CPU should idle.
+    pub fn pick(&mut self, procs: &ProcTable, cpu_idx: usize) -> Option<(Pid, bool)> {
+        if self.scheme == Scheme::Smp {
+            return self.take_best_global(procs).map(|(_, pid)| (pid, false));
+        }
+        // Home pick.
+        let assignment = self.cpus[cpu_idx].assignment.clone();
+        let home = match assignment {
+            CpuAssignment::Dedicated(spu) => self.take_best_of(procs, spu),
+            CpuAssignment::TimeShared(_) => {
+                let mut rotor = self.cpus[cpu_idx].rotor.take();
+                let granted = rotor
+                    .as_mut()
+                    .and_then(|r| r.grant(|spu| !self.ready[spu.index()].is_empty()));
+                self.cpus[cpu_idx].rotor = rotor;
+                granted.and_then(|spu| self.take_best_of(procs, spu))
+            }
+        };
+        if let Some(pid) = home {
+            return Some((pid, false));
+        }
+        if self.scheme == Scheme::PIso {
+            // Idle CPU: relax the SPU restriction and loan the CPU to the
+            // highest-priority process of any SPU.
+            return self.take_best_global(procs).map(|(_, pid)| (pid, true));
+        }
+        None
+    }
+
+    /// Finds an idle CPU suitable for a newly runnable process of `spu`:
+    /// an idle home CPU first, then (PIso/SMP) any idle CPU.
+    pub fn find_idle_for(&self, spu: SpuId) -> Option<usize> {
+        if self.scheme != Scheme::Smp {
+            if let Some(i) = self
+                .cpus
+                .iter()
+                .position(|c| c.is_idle() && c.assignment.is_home_of(spu))
+            {
+                return Some(i);
+            }
+        }
+        if self.scheme.shares_idle_resources() || !spu.is_user() {
+            self.cpus.iter().position(|c| c.is_idle())
+        } else {
+            None
+        }
+    }
+
+    /// Whether a loaned CPU should be revoked: it runs a borrowed process
+    /// while a home-SPU process waits and no home CPU is free (§3.1).
+    pub fn needs_revocation(&self, cpu_idx: usize) -> bool {
+        let c = &self.cpus[cpu_idx];
+        if !c.loaned || c.running.is_none() {
+            return false;
+        }
+        c.assignment
+            .home_spus()
+            .iter()
+            .any(|spu| !self.ready[spu.index()].is_empty())
+    }
+
+    /// Applies priority decay to every process (called each tick).
+    pub fn decay_priorities(&self, procs: &mut ProcTable) {
+        for p in procs.iter_mut() {
+            p.p_cpu *= P_CPU_DECAY;
+        }
+    }
+
+    /// The scheme in force.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use std::sync::Arc;
+
+    fn table_with(n: u32, spu_of: impl Fn(u32) -> SpuId) -> ProcTable {
+        let prog = Program::builder("t").build();
+        let mut t = ProcTable::new();
+        for i in 0..n {
+            t.insert(Process::new(
+                Pid(i),
+                spu_of(i),
+                None,
+                Arc::clone(&prog),
+                None,
+                SimTime::ZERO,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn smp_picks_global_best_priority() {
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::Smp, 2, &spus);
+        let mut procs = table_with(2, |i| SpuId::user(i % 2));
+        procs.get_mut(Pid(0)).p_cpu = 500.0;
+        procs.get_mut(Pid(1)).p_cpu = 1.0;
+        s.enqueue(&mut procs, Pid(0));
+        s.enqueue(&mut procs, Pid(1));
+        let (pid, loaned) = s.pick(&procs, 0).unwrap();
+        assert_eq!(pid, Pid(1));
+        assert!(!loaned);
+    }
+
+    #[test]
+    fn quota_cpu_idles_when_home_empty() {
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::Quota, 2, &spus);
+        let mut procs = table_with(1, |_| SpuId::user(1));
+        s.enqueue(&mut procs, Pid(0));
+        // CPU 0 is user0's home; user0 has nothing: the CPU idles even
+        // though user1 has work.
+        let home0 = s.cpu(0).assignment.clone();
+        let cpu_for_user1 = if home0.is_home_of(SpuId::user(1)) { 1 } else { 0 };
+        assert!(s.pick(&procs, cpu_for_user1).is_none());
+    }
+
+    #[test]
+    fn piso_loans_idle_cpu() {
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::PIso, 2, &spus);
+        let mut procs = table_with(1, |_| SpuId::user(1));
+        s.enqueue(&mut procs, Pid(0));
+        let cpu_of_user0 = (0..2)
+            .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(0)))
+            .unwrap();
+        let (pid, loaned) = s.pick(&procs, cpu_of_user0).unwrap();
+        assert_eq!(pid, Pid(0));
+        assert!(loaned, "cross-SPU pick must be marked as a loan");
+    }
+
+    #[test]
+    fn home_process_beats_loan() {
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::PIso, 2, &spus);
+        let mut procs = table_with(2, SpuId::user);
+        // Foreign process has much better priority...
+        procs.get_mut(Pid(1)).p_cpu = 0.0;
+        procs.get_mut(Pid(0)).p_cpu = 50.0;
+        s.enqueue(&mut procs, Pid(0));
+        s.enqueue(&mut procs, Pid(1));
+        let cpu_of_user0 = (0..2)
+            .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(0)))
+            .unwrap();
+        // ...but the home CPU still picks its own SPU's process.
+        let (pid, loaned) = s.pick(&procs, cpu_of_user0).unwrap();
+        assert_eq!(pid, Pid(0));
+        assert!(!loaned);
+    }
+
+    #[test]
+    fn revocation_flagged_when_home_work_arrives() {
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::PIso, 2, &spus);
+        let mut procs = table_with(2, SpuId::user);
+        let cpu_of_user0 = (0..2)
+            .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(0)))
+            .unwrap();
+        // Loan user0's CPU to user1's process.
+        s.enqueue(&mut procs, Pid(1));
+        let (pid, loaned) = s.pick(&procs, cpu_of_user0).unwrap();
+        assert_eq!(pid, Pid(1));
+        assert!(loaned);
+        s.cpu_mut(cpu_of_user0).running = Some(pid);
+        s.cpu_mut(cpu_of_user0).loaned = true;
+        assert!(!s.needs_revocation(cpu_of_user0));
+        // A home process becomes ready: revocation needed.
+        s.enqueue(&mut procs, Pid(0));
+        assert!(s.needs_revocation(cpu_of_user0));
+    }
+
+    #[test]
+    fn fifo_among_equal_priorities() {
+        let spus = SpuSet::equal_users(1);
+        let mut s = Scheduler::new(Scheme::PIso, 1, &spus);
+        let mut procs = table_with(3, |_| SpuId::user(0));
+        s.enqueue(&mut procs, Pid(2));
+        s.enqueue(&mut procs, Pid(0));
+        s.enqueue(&mut procs, Pid(1));
+        assert_eq!(s.pick(&procs, 0).unwrap().0, Pid(2));
+        assert_eq!(s.pick(&procs, 0).unwrap().0, Pid(0));
+        assert_eq!(s.pick(&procs, 0).unwrap().0, Pid(1));
+        assert!(s.pick(&procs, 0).is_none());
+    }
+
+    #[test]
+    fn find_idle_prefers_home() {
+        let spus = SpuSet::equal_users(2);
+        let s = Scheduler::new(Scheme::PIso, 2, &spus);
+        let home1 = s.find_idle_for(SpuId::user(1)).unwrap();
+        assert!(s.cpu(home1).assignment.is_home_of(SpuId::user(1)));
+    }
+
+    #[test]
+    fn find_idle_quota_never_crosses() {
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::Quota, 2, &spus);
+        let home1 = (0..2)
+            .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(1)))
+            .unwrap();
+        s.cpu_mut(home1).running = Some(Pid(0));
+        // user1's home CPU is busy; Quota must not hand out the other CPU.
+        assert_eq!(s.find_idle_for(SpuId::user(1)), None);
+    }
+
+    #[test]
+    fn decay_shrinks_p_cpu() {
+        let spus = SpuSet::equal_users(1);
+        let s = Scheduler::new(Scheme::PIso, 1, &spus);
+        let mut procs = table_with(1, |_| SpuId::user(0));
+        procs.get_mut(Pid(0)).p_cpu = 100.0;
+        s.decay_priorities(&mut procs);
+        let v = procs.get(Pid(0)).p_cpu;
+        assert!(v < 100.0 && v > 99.0, "{v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pid mismatch")]
+    fn wrong_pid_insert_panics() {
+        let prog = Program::builder("t").build();
+        let mut t = ProcTable::new();
+        t.insert(Process::new(
+            Pid(5),
+            SpuId::user(0),
+            None,
+            prog,
+            None,
+            SimTime::ZERO,
+        ));
+    }
+}

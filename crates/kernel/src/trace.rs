@@ -1,0 +1,239 @@
+//! Execution tracing.
+//!
+//! The paper credits SimOS's "good support for kernel debugging and
+//! statistics collection" (§4.1) for making the study possible; this
+//! module is that support for the reproduction. When enabled, the kernel
+//! records a typed event stream — dispatches, loans, preemptions,
+//! blocks, faults, I/O — that tests and tools can query, e.g. to measure
+//! loan-revocation latency directly instead of inferring it from
+//! response times.
+//!
+//! Tracing is off by default and costs one branch per event when off.
+
+use event_sim::SimTime;
+use spu_core::SpuId;
+
+use crate::process::{BlockReason, Pid};
+
+/// One traced kernel event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A process was put on a CPU. `loaned` marks a cross-SPU loan.
+    Dispatch {
+        /// When.
+        at: SimTime,
+        /// Which CPU.
+        cpu: usize,
+        /// Which process.
+        pid: Pid,
+        /// Its SPU.
+        spu: SpuId,
+        /// Whether the CPU was loaned across SPUs (§3.1).
+        loaned: bool,
+    },
+    /// A running process was preempted (slice expiry, revocation, IPI).
+    Preempt {
+        /// When.
+        at: SimTime,
+        /// Which CPU.
+        cpu: usize,
+        /// Which process.
+        pid: Pid,
+    },
+    /// A process blocked.
+    Block {
+        /// When.
+        at: SimTime,
+        /// Which process.
+        pid: Pid,
+        /// Why.
+        reason: BlockReason,
+    },
+    /// A process became runnable.
+    Wake {
+        /// When.
+        at: SimTime,
+        /// Which process.
+        pid: Pid,
+        /// Its SPU.
+        spu: SpuId,
+    },
+    /// A page fault was serviced.
+    Fault {
+        /// When.
+        at: SimTime,
+        /// Faulting SPU.
+        spu: SpuId,
+        /// Swap-in (major) vs zero-fill (minor).
+        major: bool,
+    },
+    /// A disk request was submitted.
+    IoIssue {
+        /// When.
+        at: SimTime,
+        /// Which disk.
+        disk: usize,
+        /// Scheduling stream.
+        stream: SpuId,
+        /// Sectors.
+        sectors: u32,
+    },
+    /// The memory sharing policy ran.
+    PolicyRun {
+        /// When.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Dispatch { at, .. }
+            | TraceEvent::Preempt { at, .. }
+            | TraceEvent::Block { at, .. }
+            | TraceEvent::Wake { at, .. }
+            | TraceEvent::Fault { at, .. }
+            | TraceEvent::IoIssue { at, .. }
+            | TraceEvent::PolicyRun { at } => at,
+        }
+    }
+}
+
+/// A bounded in-memory event trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    cap: usize,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+            cap: 0,
+        }
+    }
+
+    /// Enables recording of up to `cap` events (older events are kept;
+    /// recording stops at the cap so a runaway run cannot exhaust
+    /// memory).
+    pub fn enable(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = cap;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled or full).
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.enabled && self.events.len() < self.cap {
+            self.events.push(ev);
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of cross-SPU loan dispatches recorded.
+    pub fn loan_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dispatch { loaned: true, .. }))
+            .count()
+    }
+
+    /// Number of preemptions recorded.
+    pub fn preempt_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Preempt { .. }))
+            .count()
+    }
+
+    /// Wake→dispatch latencies of processes in `spu` (the direct measure
+    /// of CPU-revocation latency for a home SPU whose CPUs were loaned).
+    pub fn wake_to_dispatch_latencies(&self, spu: SpuId) -> Vec<event_sim::SimDuration> {
+        let mut pending: std::collections::HashMap<Pid, SimTime> = std::collections::HashMap::new();
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Wake { at, pid, spu: s } if s == spu => {
+                    pending.insert(pid, at);
+                }
+                TraceEvent::Dispatch { at, pid, .. } => {
+                    if let Some(woke) = pending.remove(&pid) {
+                        out.push(at.saturating_since(woke));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_sim::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::new();
+        tr.push(TraceEvent::PolicyRun { at: t(1) });
+        assert!(tr.events().is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn cap_bounds_recording() {
+        let mut tr = Trace::new();
+        tr.enable(2);
+        for i in 0..5 {
+            tr.push(TraceEvent::PolicyRun { at: t(i) });
+        }
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.events()[0].at(), t(0));
+    }
+
+    #[test]
+    fn counts_and_latencies() {
+        let mut tr = Trace::new();
+        tr.enable(100);
+        let spu = SpuId::user(0);
+        tr.push(TraceEvent::Wake { at: t(10), pid: Pid(1), spu });
+        tr.push(TraceEvent::Dispatch {
+            at: t(17),
+            cpu: 0,
+            pid: Pid(1),
+            spu,
+            loaned: false,
+        });
+        tr.push(TraceEvent::Dispatch {
+            at: t(20),
+            cpu: 1,
+            pid: Pid(2),
+            spu: SpuId::user(1),
+            loaned: true,
+        });
+        tr.push(TraceEvent::Preempt { at: t(30), cpu: 1, pid: Pid(2) });
+        assert_eq!(tr.loan_count(), 1);
+        assert_eq!(tr.preempt_count(), 1);
+        let lats = tr.wake_to_dispatch_latencies(spu);
+        assert_eq!(lats, vec![SimDuration::from_millis(7)]);
+    }
+}

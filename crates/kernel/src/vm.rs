@@ -1,0 +1,848 @@
+//! Physical memory management with per-SPU accounting (§3.2).
+//!
+//! "The page allocation function in the kernel is augmented to record the
+//! SPU ID of the process requesting the page, and to keep a count of the
+//! pages used by each SPU. In addition to regular code and data pages,
+//! SPU memory usage also includes pages used indirectly in the kernel on
+//! behalf of an SPU, such as the file buffer cache ..."
+//!
+//! Isolation: an SPU at its allowed level must evict one of its *own*
+//! pages to get a new one (dirty pages pay a swap write — the revocation
+//! cost the Reserve Threshold exists to hide). Under the `SMP` scheme no
+//! limits are enforced and the victim is chosen globally, reproducing the
+//! unconstrained behaviour of stock IRIX.
+//!
+//! Shared pages: "When a page is first accessed, it is marked with the
+//! SPU ID of the accessing process. On a subsequent access by a different
+//! SPU before the page is freed, the page will be marked as a shared
+//! page."
+
+use std::collections::VecDeque;
+
+use spu_core::{
+    ChargeError, MemPolicyInput, MemSharingPolicy, ResourceLedger, ResourceLevels, Scheme, SpuId,
+    SpuSet,
+};
+
+use crate::config::SECTORS_PER_PAGE;
+use crate::fs::FileId;
+use crate::process::Pid;
+
+/// Identifies a physical page frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u32);
+
+/// What currently lives in a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameOwner {
+    /// On the free list.
+    Free,
+    /// Kernel code/data (charged to the kernel SPU at boot).
+    Kernel,
+    /// A page of a process's anonymous region.
+    Anon {
+        /// Owning process.
+        pid: Pid,
+        /// Page index within its region.
+        page: u32,
+    },
+    /// A buffer-cache block.
+    Cache {
+        /// Cached file.
+        file: FileId,
+        /// Block index within the file.
+        block: u64,
+    },
+}
+
+/// One physical page frame.
+#[derive(Clone, Copy, Debug)]
+pub struct Frame {
+    /// Contents.
+    pub owner: FrameOwner,
+    /// The SPU charged for this frame.
+    pub spu: SpuId,
+    /// Whether the contents differ from their backing store.
+    pub dirty: bool,
+    /// Pinned frames (in-flight I/O) are skipped by victim selection.
+    pub pinned: bool,
+    /// Global allocation-age stamp (drives global-FIFO victimization
+    /// under the `SMP` scheme, approximating IRIX's global paging).
+    pub stamp: u64,
+}
+
+/// What was evicted to satisfy an allocation; the kernel must update the
+/// corresponding page table or cache map and issue the writeback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted contents.
+    pub owner: FrameOwner,
+    /// The SPU that was paying for the frame.
+    pub spu: SpuId,
+    /// Whether a writeback is required.
+    pub dirty: bool,
+}
+
+/// Result of a frame acquisition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Acquired {
+    /// A frame was obtained; `evicted` reports what was displaced (if
+    /// anything).
+    Frame {
+        /// The newly owned frame.
+        frame: FrameId,
+        /// The displaced contents, if the frame was stolen.
+        evicted: Option<Evicted>,
+    },
+    /// No frame could be obtained (every candidate pinned); the caller
+    /// must block the process and retry after I/O completes.
+    Denied,
+}
+
+/// Per-SPU VM event counters.
+#[derive(Clone, Debug, Default)]
+pub struct VmSpuStats {
+    /// Zero-fill (first touch) faults.
+    pub minor_faults: u64,
+    /// Swap-in faults.
+    pub major_faults: u64,
+    /// Pages written to swap on eviction.
+    pub swap_outs: u64,
+    /// Frame acquisitions refused outright.
+    pub denials: u64,
+}
+
+/// The physical memory manager.
+///
+/// # Examples
+///
+/// ```
+/// use smp_kernel::{FrameOwner, MemoryManager, Pid};
+/// use spu_core::{Scheme, SpuId, SpuSet};
+///
+/// let spus = SpuSet::equal_users(2);
+/// let mut vm = MemoryManager::new(1024, &spus, Scheme::PIso, 0.10, 0.08);
+/// let got = vm.acquire_frame(
+///     SpuId::user(0),
+///     FrameOwner::Anon { pid: Pid(1), page: 0 },
+/// );
+/// assert!(matches!(got, smp_kernel::Acquired::Frame { evicted: None, .. }));
+/// ```
+#[derive(Debug)]
+pub struct MemoryManager {
+    frames: Vec<Frame>,
+    free: Vec<FrameId>,
+    ledger: ResourceLedger,
+    resident: Vec<VecDeque<FrameId>>,
+    policy: MemSharingPolicy,
+    scheme: Scheme,
+    spus: SpuSet,
+    pressure: Vec<bool>,
+    stats: Vec<VmSpuStats>,
+    swap_cursor: u64,
+    charge_seq: u64,
+}
+
+impl MemoryManager {
+    /// Creates a manager over `total_frames` frames.
+    ///
+    /// `kernel_frac` of memory is charged to the kernel SPU at boot;
+    /// `reserve_frac` is the Reserve Threshold (§3.2).
+    pub fn new(
+        total_frames: u64,
+        spus: &SpuSet,
+        scheme: Scheme,
+        kernel_frac: f64,
+        reserve_frac: f64,
+    ) -> Self {
+        let n_spus = spus.total_count();
+        let mut vm = MemoryManager {
+            frames: vec![
+                Frame {
+                    owner: FrameOwner::Free,
+                    spu: SpuId::KERNEL,
+                    dirty: false,
+                    pinned: false,
+                    stamp: 0,
+                };
+                total_frames as usize
+            ],
+            free: (0..total_frames as u32).rev().map(FrameId).collect(),
+            ledger: ResourceLedger::new(total_frames, n_spus),
+            resident: vec![VecDeque::new(); n_spus],
+            policy: MemSharingPolicy::new(reserve_frac),
+            scheme,
+            spus: spus.clone(),
+            pressure: vec![false; n_spus],
+            stats: vec![VmSpuStats::default(); n_spus],
+            swap_cursor: 0,
+            charge_seq: 0,
+        };
+        // Boot-time kernel memory (code, data, static tables).
+        let kernel_frames = (total_frames as f64 * kernel_frac).round() as u64;
+        for _ in 0..kernel_frames {
+            let f = vm.free.pop().expect("kernel fraction must fit");
+            vm.ledger.charge(SpuId::KERNEL, 1, false).unwrap();
+            vm.frames[f.0 as usize] = Frame {
+                owner: FrameOwner::Kernel,
+                spu: SpuId::KERNEL,
+                dirty: false,
+                pinned: true, // kernel memory is never paged
+                stamp: 0,
+            };
+        }
+        vm.run_policy();
+        vm
+    }
+
+    /// Whether per-SPU limits are enforced (everything but `SMP`).
+    fn enforce(&self) -> bool {
+        self.scheme.enforces_isolation()
+    }
+
+    /// Read access to a frame.
+    pub fn frame(&self, id: FrameId) -> &Frame {
+        &self.frames[id.0 as usize]
+    }
+
+    /// Sets a frame's dirty flag.
+    pub fn set_dirty(&mut self, id: FrameId, dirty: bool) {
+        self.frames[id.0 as usize].dirty = dirty;
+    }
+
+    /// Pins or unpins a frame (pinned frames are not eviction victims).
+    pub fn set_pinned(&mut self, id: FrameId, pinned: bool) {
+        self.frames[id.0 as usize].pinned = pinned;
+    }
+
+    /// Records a reference to a resident frame, refreshing its age stamp
+    /// so global victimization (SMP mode) approximates LRU rather than
+    /// punishing long-resident hot pages.
+    pub fn touch_frame(&mut self, id: FrameId) {
+        self.charge_seq += 1;
+        self.frames[id.0 as usize].stamp = self.charge_seq;
+    }
+
+    /// The levels record of an SPU.
+    pub fn levels(&self, spu: SpuId) -> &ResourceLevels {
+        self.ledger.levels(spu)
+    }
+
+    /// Free frame count.
+    pub fn free_frames(&self) -> u64 {
+        self.ledger.free()
+    }
+
+    /// Per-SPU statistics.
+    pub fn stats(&self, spu: SpuId) -> &VmSpuStats {
+        &self.stats[spu.index()]
+    }
+
+    /// Records a fault for statistics (`major` = swap-in).
+    pub fn count_fault(&mut self, spu: SpuId, major: bool) {
+        if major {
+            self.stats[spu.index()].major_faults += 1;
+        } else {
+            self.stats[spu.index()].minor_faults += 1;
+        }
+    }
+
+    /// Acquires one frame charged to `spu` with the given contents.
+    ///
+    /// Free frames are used when the SPU has headroom; otherwise a victim
+    /// is evicted — from the SPU's own pages when it is at its allowed
+    /// level (isolation), from the globally most-over-budget SPU when the
+    /// machine is simply out of free frames.
+    pub fn acquire_frame(&mut self, spu: SpuId, owner: FrameOwner) -> Acquired {
+        let enforce = self.enforce();
+        let evicted = match self.ledger.can_charge(spu, 1, enforce) {
+            Ok(()) => None,
+            Err(ChargeError::OverAllowed { .. }) => {
+                // At the allowed level: steal one of this SPU's own pages.
+                self.pressure[spu.index()] = true;
+                match self.pop_victim(spu) {
+                    Some(v) => Some(v),
+                    None => {
+                        self.stats[spu.index()].denials += 1;
+                        return Acquired::Denied;
+                    }
+                }
+            }
+            Err(ChargeError::Exhausted) => {
+                self.pressure[spu.index()] = true;
+                let victim_spu = self.global_victim_spu(spu);
+                match victim_spu.and_then(|vs| self.pop_victim(vs)) {
+                    Some(v) => Some(v),
+                    None => {
+                        self.stats[spu.index()].denials += 1;
+                        return Acquired::Denied;
+                    }
+                }
+            }
+        };
+        let frame = if let Some(ev) = evicted {
+            // The frame was released by pop_victim; take it off the free
+            // list (it is the most recently pushed).
+            let f = self.free.pop().expect("victim frame must be free");
+            if ev.owner == FrameOwner::Free {
+                unreachable!("victims are never free frames");
+            }
+            f
+        } else {
+            match self.free.pop() {
+                Some(f) => f,
+                None => {
+                    // Ledger says there is capacity but all free frames
+                    // are spoken for — evict globally.
+                    match self
+                        .global_victim_spu(spu)
+                        .and_then(|vs| self.pop_victim(vs))
+                    {
+                        Some(_v) => self.free.pop().expect("victim frame must be free"),
+                        None => {
+                            self.stats[spu.index()].denials += 1;
+                            return Acquired::Denied;
+                        }
+                    }
+                }
+            }
+        };
+        self.ledger
+            .charge(spu, 1, false)
+            .expect("capacity was verified");
+        self.charge_seq += 1;
+        self.frames[frame.0 as usize] = Frame {
+            owner,
+            spu,
+            dirty: false,
+            pinned: false,
+            stamp: self.charge_seq,
+        };
+        self.resident[spu.index()].push_back(frame);
+        Acquired::Frame { frame, evicted }
+    }
+
+    /// Pops the next unpinned victim frame of `spu`, preferring cache
+    /// pages over anonymous pages, releases its charge and frees it.
+    /// Returns what was evicted.
+    fn pop_victim(&mut self, spu: SpuId) -> Option<Evicted> {
+        let queue = &mut self.resident[spu.index()];
+        // Drop stale entries and find the first eligible victim,
+        // preferring buffer-cache pages (cheap to reclaim) as real page
+        // caches do.
+        let mut chosen: Option<usize> = None;
+        let mut first_anon: Option<usize> = None;
+        let mut i = 0;
+        while i < queue.len() {
+            let fid = queue[i];
+            let f = &self.frames[fid.0 as usize];
+            let stale = f.spu != spu || matches!(f.owner, FrameOwner::Free);
+            if stale {
+                queue.remove(i);
+                continue;
+            }
+            if !f.pinned {
+                match f.owner {
+                    FrameOwner::Cache { .. } => {
+                        chosen = Some(i);
+                        break;
+                    }
+                    FrameOwner::Anon { .. } if first_anon.is_none() => {
+                        first_anon = Some(i);
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let idx = chosen.or(first_anon)?;
+        let fid = queue.remove(idx).expect("index in range");
+        let f = self.frames[fid.0 as usize];
+        let ev = Evicted {
+            owner: f.owner,
+            spu: f.spu,
+            dirty: f.dirty,
+        };
+        if ev.dirty && matches!(ev.owner, FrameOwner::Anon { .. }) {
+            self.stats[spu.index()].swap_outs += 1;
+        }
+        self.ledger.release(spu, 1);
+        let stamp = self.frames[fid.0 as usize].stamp;
+        self.frames[fid.0 as usize] = Frame {
+            owner: FrameOwner::Free,
+            spu,
+            dirty: false,
+            pinned: false,
+            stamp,
+        };
+        self.free.push(fid);
+        Some(ev)
+    }
+
+    /// The SPU to steal a frame from when the machine is out of free
+    /// frames. Under isolation schemes: the most over-allowance SPU.
+    /// Under `SMP`: the SPU holding the globally oldest resident frame —
+    /// global FIFO, approximating IRIX's global paging, which steals from
+    /// every process regardless of owner. Never steals from the kernel or
+    /// an empty SPU.
+    fn global_victim_spu(&mut self, _for_spu: SpuId) -> Option<SpuId> {
+        let candidates: Vec<SpuId> = self
+            .spus
+            .user_ids()
+            .chain(std::iter::once(SpuId::SHARED))
+            .collect();
+        if self.enforce() {
+            let mut best: Option<(i64, u64, SpuId)> = None;
+            for id in candidates {
+                let l = self.ledger.levels(id);
+                if l.used == 0 {
+                    continue;
+                }
+                let over = l.used as i64 - l.allowed as i64;
+                let key = (over, l.used, id);
+                if best.is_none_or(|b| (key.0, key.1) > (b.0, b.1)) {
+                    best = Some(key);
+                }
+            }
+            best.map(|(_, _, id)| id)
+        } else {
+            let mut best: Option<(u64, SpuId)> = None;
+            for id in candidates {
+                if let Some(stamp) = self.oldest_resident_stamp(id) {
+                    if best.is_none_or(|(bs, _)| stamp < bs) {
+                        best = Some((stamp, id));
+                    }
+                }
+            }
+            best.map(|(_, id)| id)
+        }
+    }
+
+    /// The stamp of the oldest evictable resident frame of an SPU,
+    /// pruning stale queue entries along the way.
+    fn oldest_resident_stamp(&mut self, spu: SpuId) -> Option<u64> {
+        let queue = &mut self.resident[spu.index()];
+        let mut i = 0;
+        while i < queue.len() {
+            let fid = queue[i];
+            let f = &self.frames[fid.0 as usize];
+            if f.spu != spu || matches!(f.owner, FrameOwner::Free) {
+                queue.remove(i);
+                continue;
+            }
+            if !f.pinned {
+                return Some(f.stamp);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Releases a frame entirely (process exit, cache drop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is already free.
+    pub fn release_frame(&mut self, id: FrameId) {
+        let f = &mut self.frames[id.0 as usize];
+        assert!(
+            !matches!(f.owner, FrameOwner::Free),
+            "double free of {id:?}"
+        );
+        let spu = f.spu;
+        f.owner = FrameOwner::Free;
+        f.dirty = false;
+        f.pinned = false;
+        self.ledger.release(spu, 1);
+        self.free.push(id);
+        // The stale resident-queue entry is dropped lazily.
+    }
+
+    /// Re-marks a frame as shared (§3.2): transfers its charge from its
+    /// current user SPU to the shared SPU. No-op if it is already
+    /// kernel/shared-owned.
+    pub fn mark_shared(&mut self, id: FrameId) {
+        let f = &mut self.frames[id.0 as usize];
+        if !f.spu.is_user() {
+            return;
+        }
+        let from = f.spu;
+        f.spu = SpuId::SHARED;
+        self.ledger.transfer(from, SpuId::SHARED, 1);
+        self.resident[SpuId::SHARED.index()].push_back(id);
+        // The entry under the old SPU goes stale and is dropped lazily.
+    }
+
+    /// Allocates `pages` contiguous swap slots and returns the starting
+    /// sector (swap slots are bump-allocated; the swap area is assumed
+    /// large).
+    pub fn alloc_swap_run(&mut self, pages: u32) -> u64 {
+        let start = self.swap_cursor;
+        self.swap_cursor += pages as u64 * SECTORS_PER_PAGE as u64;
+        start
+    }
+
+    /// Frees every anonymous frame of an exiting process.
+    pub fn free_process_frames(&mut self, pid: Pid) {
+        for i in 0..self.frames.len() {
+            if let FrameOwner::Anon { pid: p, .. } = self.frames[i].owner {
+                if p == pid {
+                    self.release_frame(FrameId(i as u32));
+                }
+            }
+        }
+    }
+
+    /// Runs the periodic sharing policy (§3.2): recomputes entitlements
+    /// net of kernel/shared usage, redistributes idle pages to pressured
+    /// SPUs under `PIso`, resets allowed to entitled under `Quota`, and
+    /// clears the pressure flags.
+    pub fn run_policy(&mut self) {
+        let capacity = self.ledger.capacity();
+        let kernel_used = self.ledger.used(SpuId::KERNEL);
+        let shared_used = self.ledger.used(SpuId::SHARED);
+        let user_pages = capacity.saturating_sub(kernel_used + shared_used);
+        let entitled = self.spus.split_memory(user_pages);
+        for (i, id) in self.spus.user_ids().enumerate() {
+            self.ledger.set_entitled(id, entitled[i]);
+        }
+        if self.scheme == Scheme::PIso {
+            let inputs: Vec<MemPolicyInput> = self
+                .spus
+                .user_ids()
+                .map(|id| MemPolicyInput {
+                    spu: id,
+                    levels: *self.ledger.levels(id),
+                    pressured: self.pressure[id.index()],
+                })
+                .collect();
+            if std::env::var("VMTRACE").is_ok() {
+                eprintln!("policy: {:?}", inputs.iter().map(|i| (i.spu.to_string(), i.levels.entitled, i.levels.used, i.pressured)).collect::<Vec<_>>());
+            }
+            for (spu, allowed) in self.policy.rebalance(user_pages, &inputs) {
+                self.ledger.set_allowed(spu, allowed);
+            }
+        }
+        for p in &mut self.pressure {
+            *p = false;
+        }
+    }
+
+    /// Debug invariants: ledger consistent with frame ownership.
+    pub fn check_invariants(&self) {
+        self.ledger.check_invariants();
+        let mut counted = vec![0u64; self.spus.total_count()];
+        let mut free = 0u64;
+        for f in &self.frames {
+            match f.owner {
+                FrameOwner::Free => free += 1,
+                _ => counted[f.spu.index()] += 1,
+            }
+        }
+        assert_eq!(free, self.ledger.free(), "free count mismatch");
+        for id in self.spus.all_ids() {
+            assert_eq!(
+                counted[id.index()],
+                self.ledger.used(id),
+                "ledger mismatch for {id}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(frames: u64, scheme: Scheme) -> MemoryManager {
+        MemoryManager::new(frames, &SpuSet::equal_users(2), scheme, 0.10, 0.08)
+    }
+
+    fn anon(pid: u32, page: u32) -> FrameOwner {
+        FrameOwner::Anon {
+            pid: Pid(pid),
+            page,
+        }
+    }
+
+    #[test]
+    fn boot_charges_kernel_memory() {
+        let vm = vm(1000, Scheme::PIso);
+        assert_eq!(vm.levels(SpuId::KERNEL).used, 100);
+        assert_eq!(vm.free_frames(), 900);
+        // User entitlements split the rest.
+        assert_eq!(vm.levels(SpuId::user(0)).entitled, 450);
+        assert_eq!(vm.levels(SpuId::user(1)).entitled, 450);
+    }
+
+    #[test]
+    fn acquire_until_limit_then_self_evict() {
+        let mut vm = vm(1000, Scheme::PIso);
+        let allowed = vm.levels(SpuId::user(0)).allowed;
+        for i in 0..allowed {
+            match vm.acquire_frame(SpuId::user(0), anon(1, i as u32)) {
+                Acquired::Frame { evicted: None, .. } => {}
+                other => panic!("unexpected at {i}: {other:?}"),
+            }
+        }
+        // Next acquisition must evict one of the SPU's own pages.
+        match vm.acquire_frame(SpuId::user(0), anon(1, allowed as u32)) {
+            Acquired::Frame {
+                evicted: Some(ev), ..
+            } => {
+                assert_eq!(ev.spu, SpuId::user(0));
+                assert!(matches!(ev.owner, FrameOwner::Anon { .. }));
+            }
+            other => panic!("expected eviction: {other:?}"),
+        }
+        assert_eq!(vm.levels(SpuId::user(0)).used, allowed);
+        vm.check_invariants();
+    }
+
+    #[test]
+    fn smp_mode_steals_globally() {
+        let mut vm = vm(1000, Scheme::Smp);
+        // user0 fills all 900 free frames (no limits under SMP).
+        for i in 0..900 {
+            assert!(matches!(
+                vm.acquire_frame(SpuId::user(0), anon(1, i)),
+                Acquired::Frame { evicted: None, .. }
+            ));
+        }
+        // user1's first page steals from user0.
+        match vm.acquire_frame(SpuId::user(1), anon(2, 0)) {
+            Acquired::Frame {
+                evicted: Some(ev), ..
+            } => assert_eq!(ev.spu, SpuId::user(0)),
+            other => panic!("{other:?}"),
+        }
+        vm.check_invariants();
+    }
+
+    #[test]
+    fn piso_policy_lends_idle_pages() {
+        let mut vm = vm(1000, Scheme::PIso);
+        let entitled = vm.levels(SpuId::user(0)).entitled;
+        // user0 hits its limit (sets the pressure flag)...
+        for i in 0..entitled {
+            vm.acquire_frame(SpuId::user(0), anon(1, i as u32));
+        }
+        assert!(matches!(
+            vm.acquire_frame(SpuId::user(0), anon(1, entitled as u32)),
+            Acquired::Frame { evicted: Some(_), .. }
+        ));
+        // ...while user1 is idle. The policy raises user0's allowed level.
+        vm.run_policy();
+        let l = vm.levels(SpuId::user(0));
+        assert!(
+            l.allowed > l.entitled,
+            "no lending happened: {:?}",
+            l
+        );
+        // And user0 can now grow without evicting.
+        assert!(matches!(
+            vm.acquire_frame(SpuId::user(0), anon(1, entitled as u32 + 1)),
+            Acquired::Frame { evicted: None, .. }
+        ));
+    }
+
+    #[test]
+    fn quota_policy_never_lends() {
+        let mut vm = vm(1000, Scheme::Quota);
+        let entitled = vm.levels(SpuId::user(0)).entitled;
+        for i in 0..entitled {
+            vm.acquire_frame(SpuId::user(0), anon(1, i as u32));
+        }
+        vm.acquire_frame(SpuId::user(0), anon(1, entitled as u32)); // pressure
+        vm.run_policy();
+        let l = vm.levels(SpuId::user(0));
+        assert_eq!(l.allowed, l.entitled);
+    }
+
+    #[test]
+    fn lender_gets_pages_back() {
+        let mut vm = vm(1000, Scheme::PIso);
+        let entitled = vm.levels(SpuId::user(0)).entitled;
+        // user0 borrows beyond its entitlement.
+        for i in 0..entitled + 100 {
+            vm.acquire_frame(SpuId::user(0), anon(1, i as u32));
+        }
+        vm.run_policy(); // pressure -> lend
+        for i in 0..100 {
+            vm.acquire_frame(SpuId::user(0), anon(1, (entitled + 100 + i) as u32));
+        }
+        // Now user1 wants its memory: policy next period stops lending
+        // (user1 pressure, user0 beyond entitlement).
+        for i in 0..50 {
+            vm.acquire_frame(SpuId::user(1), anon(2, i));
+        }
+        vm.run_policy();
+        let l0 = vm.levels(SpuId::user(0));
+        // user0's allowed is back at entitled: it must self-evict now.
+        assert_eq!(l0.allowed, l0.entitled);
+        match vm.acquire_frame(SpuId::user(0), anon(1, 9999)) {
+            Acquired::Frame { evicted: Some(ev), .. } => assert_eq!(ev.spu, SpuId::user(0)),
+            other => panic!("{other:?}"),
+        }
+        vm.check_invariants();
+    }
+
+    #[test]
+    fn cache_pages_are_preferred_victims() {
+        let mut vm = vm(1000, Scheme::PIso);
+        let allowed = vm.levels(SpuId::user(0)).allowed;
+        // Fill with anon, then one cache page in the middle of the queue.
+        for i in 0..allowed - 1 {
+            vm.acquire_frame(SpuId::user(0), anon(1, i as u32));
+        }
+        vm.acquire_frame(
+            SpuId::user(0),
+            FrameOwner::Cache {
+                file: FileId(0),
+                block: 0,
+            },
+        );
+        match vm.acquire_frame(SpuId::user(0), anon(1, 9999)) {
+            Acquired::Frame { evicted: Some(ev), .. } => {
+                assert!(
+                    matches!(ev.owner, FrameOwner::Cache { .. }),
+                    "should prefer cache victim: {ev:?}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinned_frames_are_skipped() {
+        let mut vm = vm(1000, Scheme::PIso);
+        let allowed = vm.levels(SpuId::user(0)).allowed;
+        let mut first = None;
+        for i in 0..allowed {
+            if let Acquired::Frame { frame, .. } =
+                vm.acquire_frame(SpuId::user(0), anon(1, i as u32))
+            {
+                if first.is_none() {
+                    first = Some(frame);
+                }
+            }
+        }
+        vm.set_pinned(first.unwrap(), true);
+        match vm.acquire_frame(SpuId::user(0), anon(1, 9999)) {
+            Acquired::Frame { evicted: Some(ev), .. } => {
+                // The first (pinned) page survived; the second was taken.
+                assert!(matches!(ev.owner, FrameOwner::Anon { page: 1, .. }), "{ev:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn denied_when_everything_pinned() {
+        let mut vm = MemoryManager::new(
+            20,
+            &SpuSet::equal_users(1),
+            Scheme::PIso,
+            0.0,
+            0.0,
+        );
+        let allowed = vm.levels(SpuId::user(0)).allowed;
+        let mut frames = Vec::new();
+        for i in 0..allowed {
+            if let Acquired::Frame { frame, .. } =
+                vm.acquire_frame(SpuId::user(0), anon(1, i as u32))
+            {
+                frames.push(frame);
+            }
+        }
+        for f in &frames {
+            vm.set_pinned(*f, true);
+        }
+        assert_eq!(
+            vm.acquire_frame(SpuId::user(0), anon(1, 999)),
+            Acquired::Denied
+        );
+        assert_eq!(vm.stats(SpuId::user(0)).denials, 1);
+    }
+
+    #[test]
+    fn mark_shared_transfers_charge() {
+        let mut vm = vm(1000, Scheme::PIso);
+        let frame = match vm.acquire_frame(
+            SpuId::user(0),
+            FrameOwner::Cache {
+                file: FileId(0),
+                block: 0,
+            },
+        ) {
+            Acquired::Frame { frame, .. } => frame,
+            other => panic!("{other:?}"),
+        };
+        let before = vm.levels(SpuId::user(0)).used;
+        vm.mark_shared(frame);
+        assert_eq!(vm.levels(SpuId::user(0)).used, before - 1);
+        assert_eq!(vm.levels(SpuId::SHARED).used, 1);
+        assert_eq!(vm.frame(frame).spu, SpuId::SHARED);
+        // Idempotent for non-user frames.
+        vm.mark_shared(frame);
+        assert_eq!(vm.levels(SpuId::SHARED).used, 1);
+        vm.check_invariants();
+    }
+
+    #[test]
+    fn release_and_reuse() {
+        let mut vm = vm(1000, Scheme::PIso);
+        let frame = match vm.acquire_frame(SpuId::user(0), anon(1, 0)) {
+            Acquired::Frame { frame, .. } => frame,
+            other => panic!("{other:?}"),
+        };
+        let free_before = vm.free_frames();
+        vm.release_frame(frame);
+        assert_eq!(vm.free_frames(), free_before + 1);
+        vm.check_invariants();
+    }
+
+    #[test]
+    fn free_process_frames_releases_only_that_pid() {
+        let mut vm = vm(1000, Scheme::PIso);
+        for i in 0..10 {
+            vm.acquire_frame(SpuId::user(0), anon(1, i));
+            vm.acquire_frame(SpuId::user(1), anon(2, i));
+        }
+        vm.free_process_frames(Pid(1));
+        assert_eq!(vm.levels(SpuId::user(0)).used, 0);
+        assert_eq!(vm.levels(SpuId::user(1)).used, 10);
+        vm.check_invariants();
+    }
+
+    #[test]
+    fn swap_runs_are_contiguous_and_disjoint() {
+        let mut vm = vm(100, Scheme::PIso);
+        let a = vm.alloc_swap_run(4);
+        let b = vm.alloc_swap_run(2);
+        assert_eq!(b, a + 4 * SECTORS_PER_PAGE as u64);
+    }
+
+    #[test]
+    fn entitlements_track_shared_usage() {
+        let mut vm = vm(1000, Scheme::PIso);
+        let before = vm.levels(SpuId::user(0)).entitled;
+        // Grow the shared SPU by 100 pages.
+        for i in 0..100 {
+            let f = match vm.acquire_frame(
+                SpuId::user(0),
+                FrameOwner::Cache {
+                    file: FileId(0),
+                    block: i,
+                },
+            ) {
+                Acquired::Frame { frame, .. } => frame,
+                other => panic!("{other:?}"),
+            };
+            vm.mark_shared(f);
+        }
+        vm.run_policy();
+        let after = vm.levels(SpuId::user(0)).entitled;
+        assert_eq!(before - after, 50, "shared cost split across user SPUs");
+    }
+}

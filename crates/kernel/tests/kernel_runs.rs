@@ -1,0 +1,444 @@
+//! End-to-end kernel scenarios: full simulations exercising the
+//! scheduler, VM, buffer cache, disks and locks together.
+
+use event_sim::{SimDuration, SimTime};
+use smp_kernel::{Kernel, MachineConfig, Program, Tuning};
+use spu_core::{Scheme, SpuId, SpuSet};
+use std::sync::Arc;
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+/// A pure compute program.
+fn spinner(total_ms: u64) -> Arc<Program> {
+    Program::builder("spin").compute(ms(total_ms), 0).build()
+}
+
+#[test]
+fn single_compute_job_takes_its_compute_time() {
+    let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    k.spawn_at(SpuId::user(0), spinner(500), Some("j"), SimTime::ZERO);
+    let m = k.run(secs(30));
+    assert!(m.completed);
+    let r = m.job("j").unwrap().response().unwrap();
+    // Alone on a CPU: response ≈ compute time (scheduling quantization only).
+    assert!(r >= ms(500), "{r}");
+    assert!(r <= ms(540), "{r}");
+}
+
+#[test]
+fn two_jobs_one_cpu_time_share() {
+    let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::Smp);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    k.spawn_at(SpuId::user(0), spinner(300), Some("a"), SimTime::ZERO);
+    k.spawn_at(SpuId::user(0), spinner(300), Some("b"), SimTime::ZERO);
+    let m = k.run(secs(30));
+    assert!(m.completed);
+    // Both finish around 600 ms: neither can finish in its solo time.
+    for label in ["a", "b"] {
+        let r = m.job(label).unwrap().response().unwrap();
+        assert!(r >= ms(550), "{label}: {r}");
+        assert!(r <= ms(700), "{label}: {r}");
+    }
+}
+
+#[test]
+fn two_jobs_two_cpus_run_in_parallel() {
+    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Smp);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    k.spawn_at(SpuId::user(0), spinner(300), Some("a"), SimTime::ZERO);
+    k.spawn_at(SpuId::user(0), spinner(300), Some("b"), SimTime::ZERO);
+    let m = k.run(secs(30));
+    for label in ["a", "b"] {
+        let r = m.job(label).unwrap().response().unwrap();
+        assert!(r <= ms(340), "{label}: {r}");
+    }
+}
+
+#[test]
+fn quota_isolates_cpu_but_wastes_idle() {
+    // 2 CPUs, 2 SPUs. SPU1 has two jobs; SPU0 is idle. Under Quota the
+    // two jobs share one CPU; under PIso they borrow SPU0's idle CPU.
+    let run = |scheme: Scheme| {
+        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+        k.spawn_at(SpuId::user(1), spinner(300), Some("a"), SimTime::ZERO);
+        k.spawn_at(SpuId::user(1), spinner(300), Some("b"), SimTime::ZERO);
+        let m = k.run(secs(30));
+        assert!(m.completed, "{scheme}");
+        m.mean_response_secs("")
+    };
+    let quota = run(Scheme::Quota);
+    let piso = run(Scheme::PIso);
+    assert!(
+        quota > 0.55 && quota < 0.75,
+        "quota serializes on one CPU: {quota}"
+    );
+    assert!(piso < 0.40, "piso borrows the idle CPU: {piso}");
+}
+
+#[test]
+fn piso_isolates_light_spu_from_heavy_load() {
+    // 2 CPUs, 2 SPUs. SPU0 runs one job; SPU1 floods the machine.
+    let run = |scheme: Scheme| {
+        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+        k.spawn_at(SpuId::user(0), spinner(300), Some("light"), SimTime::ZERO);
+        for i in 0..6 {
+            k.spawn_at(
+                SpuId::user(1),
+                spinner(300),
+                Some(&format!("heavy{i}")),
+                SimTime::ZERO,
+            );
+        }
+        let m = k.run(secs(60));
+        assert!(m.completed);
+        m.job("light").unwrap().response().unwrap()
+    };
+    let smp = run(Scheme::Smp);
+    let piso = run(Scheme::PIso);
+    // Under SMP the light job shares 2 CPUs with 6 others (~3.5x slower);
+    // under PIso it keeps its own CPU.
+    assert!(piso <= ms(340), "piso light job unaffected: {piso}");
+    assert!(
+        smp > piso * 2,
+        "smp light job should suffer: smp={smp} piso={piso}"
+    );
+}
+
+#[test]
+fn file_write_then_read_hits_cache() {
+    let cfg = MachineConfig::new(1, 32, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    let f = k.create_file(0, 64 * 1024, 0);
+    let prog = Program::builder("wr")
+        .write(f, 0, 64 * 1024)
+        .read(f, 0, 64 * 1024)
+        .build();
+    k.spawn_at(SpuId::user(0), prog, Some("wr"), SimTime::ZERO);
+    let m = k.run(secs(30));
+    assert!(m.completed);
+    // The 16 written blocks miss (allocate); the 16 read blocks all hit.
+    assert_eq!(m.cache.misses, 16);
+    assert_eq!(m.cache.hits, 16);
+    // No disk read was ever issued.
+    assert_eq!(m.disks[0].stream(SpuId::user(0)).requests(), 0);
+}
+
+#[test]
+fn cold_read_does_disk_io_with_readahead() {
+    let cfg = MachineConfig::new(1, 32, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    let f = k.create_file(0, 256 * 1024, 0); // 64 blocks
+    let prog = Program::builder("rd").read(f, 0, 256 * 1024).build();
+    k.spawn_at(SpuId::user(0), prog, Some("rd"), SimTime::ZERO);
+    let m = k.run(secs(30));
+    assert!(m.completed);
+    // Read-ahead coalesces 64 blocks into ~8 requests of 8 blocks.
+    let reqs = m.disks[0].total_requests();
+    assert!((8..=16).contains(&reqs), "requests: {reqs}");
+    let r = m.job("rd").unwrap().response().unwrap();
+    assert!(r > SimDuration::ZERO);
+}
+
+#[test]
+fn dirty_watermark_throttles_big_writer() {
+    // 8 MB of memory => 2048 frames; high watermark 10% = 204 blocks.
+    // Writing 4 MB (1024 blocks) must trigger flushes to disk.
+    let cfg = MachineConfig::new(1, 8, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    let f = k.create_file(0, 4 * 1024 * 1024, 0);
+    let prog = Program::builder("w").write(f, 0, 4 * 1024 * 1024).build();
+    k.spawn_at(SpuId::user(0), prog, Some("w"), SimTime::ZERO);
+    let m = k.run(secs(120));
+    assert!(m.completed);
+    assert!(
+        m.cache.flushed_blocks >= 800,
+        "most blocks flushed: {}",
+        m.cache.flushed_blocks
+    );
+    // Flush writes land on the disk as shared-SPU requests.
+    assert!(m.disks[0].stream(SpuId::SHARED).requests() > 0);
+}
+
+#[test]
+fn memory_pressure_causes_swapping_under_quota() {
+    // 16 MB machine, 2 SPUs: each entitled to ~1843 frames (after 10%
+    // kernel). A process touching 3000 pages in one SPU must thrash.
+    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Quota);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+    let prog = Program::builder("big")
+        .alloc(3000)
+        .compute(ms(200), 3000)
+        .build();
+    k.spawn_at(SpuId::user(0), prog, Some("big"), SimTime::ZERO);
+    let m = k.run(secs(300));
+    assert!(m.completed);
+    let vm = &m.vm[SpuId::user(0).index()];
+    assert!(vm.major_faults > 0, "must swap: {vm:?}");
+    assert!(vm.swap_outs > 0);
+}
+
+#[test]
+fn piso_borrows_idle_memory_avoiding_swap() {
+    // Same pressure as above but under PIso with the other SPU idle:
+    // the sharing policy lends its pages, eliminating (most) swapping.
+    let run = |scheme: Scheme| {
+        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+        let prog = Program::builder("big")
+            .alloc(3000)
+            .compute(ms(500), 3000)
+            .build();
+        k.spawn_at(SpuId::user(0), prog, Some("big"), SimTime::ZERO);
+        let m = k.run(secs(600));
+        assert!(m.completed, "{scheme}");
+        (
+            m.vm[SpuId::user(0).index()].major_faults,
+            m.job("big").unwrap().response().unwrap(),
+        )
+    };
+    let (quota_faults, quota_resp) = run(Scheme::Quota);
+    let (piso_faults, piso_resp) = run(Scheme::PIso);
+    assert!(
+        piso_faults * 10 < quota_faults.max(1),
+        "piso {piso_faults} vs quota {quota_faults}"
+    );
+    assert!(piso_resp < quota_resp, "piso {piso_resp} quota {quota_resp}");
+}
+
+#[test]
+fn fork_and_wait_children() {
+    let cfg = MachineConfig::new(4, 16, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    let child = spinner(100);
+    let parent = Program::builder("parent")
+        .fork(child.clone())
+        .fork(child.clone())
+        .fork(child)
+        .wait_children()
+        .build();
+    k.spawn_at(SpuId::user(0), parent, Some("parent"), SimTime::ZERO);
+    let m = k.run(secs(30));
+    assert!(m.completed);
+    let r = m.job("parent").unwrap().response().unwrap();
+    // Three 100 ms children on 4 CPUs run in parallel: ~100-150 ms total.
+    assert!(r >= ms(100), "{r}");
+    assert!(r <= ms(200), "{r}");
+}
+
+#[test]
+fn barrier_synchronizes_parallel_processes() {
+    use smp_kernel::BarrierId;
+    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Smp);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    // Two processes of very different speeds meet at a barrier each
+    // iteration: the fast one is paced by the slow one.
+    let fast = Program::builder("fast")
+        .compute(ms(10), 0)
+        .barrier(BarrierId(1), 2)
+        .compute(ms(10), 0)
+        .barrier(BarrierId(2), 2)
+        .build();
+    let slow = Program::builder("slow")
+        .compute(ms(100), 0)
+        .barrier(BarrierId(1), 2)
+        .compute(ms(100), 0)
+        .barrier(BarrierId(2), 2)
+        .build();
+    k.spawn_at(SpuId::user(0), fast, Some("fast"), SimTime::ZERO);
+    k.spawn_at(SpuId::user(0), slow, Some("slow"), SimTime::ZERO);
+    let m = k.run(secs(30));
+    assert!(m.completed);
+    let rf = m.job("fast").unwrap().response().unwrap();
+    // The fast job is held to the slow job's pace.
+    assert!(rf >= ms(200), "barrier pacing: {rf}");
+}
+
+#[test]
+fn meta_writes_reach_the_disk() {
+    let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    let f = k.create_file(0, 4096, 0);
+    let mut b = Program::builder("meta");
+    for _ in 0..10 {
+        b = b.meta_write(f);
+    }
+    k.spawn_at(SpuId::user(0), b.build(), Some("meta"), SimTime::ZERO);
+    let m = k.run(secs(30));
+    assert!(m.completed);
+    assert_eq!(m.disks[0].total_requests(), 10);
+    assert_eq!(m.lock_acquires, 10);
+}
+
+#[test]
+fn mutex_inode_lock_serializes_lookups() {
+    // Many parallel readers of distinct files: under the rw fix their
+    // lookups share the root lock; under the mutex they contend.
+    let run = |rw: bool| {
+        let tuning = Tuning {
+            rw_inode_lock: rw,
+            lookup_cost: ms(2), // exaggerate lookup cost
+            ..Tuning::default()
+        };
+        let cfg = MachineConfig::new(4, 32, 1)
+            .with_scheme(Scheme::Smp)
+            .with_tuning(tuning);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        let mut progs = Vec::new();
+        for _ in 0..4 {
+            let f = k.create_file(0, 4096, 0);
+            let mut b = Program::builder("reader");
+            for _ in 0..50 {
+                b = b.read(f, 0, 4096);
+            }
+            progs.push(b.build());
+        }
+        for (i, p) in progs.into_iter().enumerate() {
+            k.spawn_at(SpuId::user(0), p, Some(&format!("r{i}")), SimTime::ZERO);
+        }
+        let m = k.run(secs(60));
+        assert!(m.completed);
+        (m.mean_response_secs("r"), m.lock_contention_ratio())
+    };
+    let (rw_resp, rw_contention) = run(true);
+    let (mutex_resp, mutex_contention) = run(false);
+    assert!(
+        mutex_contention > rw_contention,
+        "mutex contends more: {mutex_contention} vs {rw_contention}"
+    );
+    assert!(
+        mutex_resp > rw_resp,
+        "mutex slower: {mutex_resp} vs {rw_resp}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let cfg = MachineConfig::new(4, 16, 2).with_scheme(Scheme::PIso);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+        let f = k.create_file(0, 1024 * 1024, 4);
+        let g = k.create_file(1, 512 * 1024, 4);
+        let p0 = Program::builder("mix")
+            .alloc(500)
+            .read(f, 0, 1024 * 1024)
+            .compute(ms(120), 400)
+            .write(g, 0, 256 * 1024)
+            .build();
+        k.spawn_at(SpuId::user(0), p0.clone(), Some("a"), SimTime::ZERO);
+        k.spawn_at(SpuId::user(1), p0, Some("b"), SimTime::from_millis(7));
+        let m = k.run(secs(120));
+        assert!(m.completed);
+        (
+            m.end_time,
+            m.job("a").unwrap().finished,
+            m.job("b").unwrap().finished,
+            m.cache.hits,
+            m.cache.misses,
+            m.disks[0].total_requests(),
+        )
+    };
+    assert_eq!(run(), run(), "identical configs must replay identically");
+}
+
+#[test]
+fn smp_with_one_spu_equals_piso_with_one_spu() {
+    // With a single SPU there is nothing to isolate: both schemes must
+    // behave identically for a CPU-only workload.
+    let run = |scheme: Scheme| {
+        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        for i in 0..4 {
+            k.spawn_at(
+                SpuId::user(0),
+                spinner(200),
+                Some(&format!("j{i}")),
+                SimTime::ZERO,
+            );
+        }
+        let m = k.run(secs(30));
+        assert!(m.completed);
+        m.end_time
+    };
+    assert_eq!(run(Scheme::Smp), run(Scheme::PIso));
+}
+
+#[test]
+fn shared_file_pages_get_remarked_shared() {
+    // Two SPUs read the same file: the second reader's hits re-mark the
+    // cached pages to the shared SPU.
+    let cfg = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+    let f = k.create_file(0, 64 * 1024, 0);
+    let reader = Program::builder("r").read(f, 0, 64 * 1024).build();
+    k.spawn_at(SpuId::user(0), reader.clone(), Some("r0"), SimTime::ZERO);
+    k.spawn_at(
+        SpuId::user(1),
+        reader,
+        Some("r1"),
+        SimTime::from_millis(500),
+    );
+    let m = k.run(secs(30));
+    assert!(m.completed);
+    // All 16 blocks were re-marked; run_policy keeps entitlements net of
+    // shared usage. We can't see the ledger directly from metrics, but
+    // the cache stats prove the second read hit in cache.
+    assert!(m.cache.hits >= 16, "hits {}", m.cache.hits);
+}
+
+#[test]
+fn incomplete_run_reports_not_completed() {
+    let cfg = MachineConfig::new(1, 16, 1);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+    k.spawn_at(SpuId::user(0), spinner(10_000), Some("long"), SimTime::ZERO);
+    let m = k.run(SimTime::from_millis(100));
+    assert!(!m.completed);
+    assert!(m.job("long").unwrap().finished.is_none());
+}
+
+#[test]
+fn ipi_revocation_cuts_wake_latency() {
+    // A home-SPU process that wakes from I/O 40 times while a foreign
+    // hog occupies its only CPU. With tick-based revocation each wake
+    // waits up to 10 ms for the clock interrupt; with IPI revocation it
+    // preempts the borrower immediately.
+    let run = |ipi: bool| {
+        let tuning = Tuning {
+            ipi_revocation: ipi,
+            ..Tuning::default()
+        };
+        let cfg = MachineConfig::new(2, 32, 2)
+            .with_scheme(Scheme::PIso)
+            .with_tuning(tuning);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+        // The interactive process: tiny compute + synchronous I/O, again
+        // and again — its CPU is idle (and loaned out) during each I/O.
+        let f = k.create_file(0, 4096, 0);
+        let mut b = Program::builder("interactive");
+        for _ in 0..40 {
+            b = b.compute(ms(1), 0).meta_write(f);
+        }
+        k.spawn_at(SpuId::user(0), b.build(), Some("interactive"), SimTime::ZERO);
+        // The hog: pure compute in the other SPU, happy to borrow.
+        for i in 0..2 {
+            k.spawn_at(SpuId::user(1), spinner(3000), Some(&format!("hog{i}")), SimTime::ZERO);
+        }
+        let m = k.run(secs(60));
+        assert!(m.completed);
+        m.job("interactive").unwrap().response().unwrap()
+    };
+    let tick = run(false);
+    let ipi = run(true);
+    assert!(
+        ipi < tick,
+        "IPI must cut wake latency: ipi={ipi} tick={tick}"
+    );
+}

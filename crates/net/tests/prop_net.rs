@@ -1,0 +1,88 @@
+//! Property tests for the NIC model and packet schedulers.
+
+use event_sim::SimTime;
+use net_bw::{NetDevice, NicModel, Packet, PacketScheduler, TxDone};
+use proptest::prelude::*;
+use spu_core::SpuId;
+
+fn drain(nic: &mut NetDevice, mut done: Option<TxDone>) -> (u64, SimTime) {
+    let mut count = 0;
+    let mut last = SimTime::ZERO;
+    while let Some(d) = done {
+        last = d.at;
+        done = nic.complete(d.at).1;
+        count += 1;
+    }
+    (count, last)
+}
+
+proptest! {
+    /// Every packet transmits exactly once under both schedulers, for
+    /// any packet mix.
+    #[test]
+    fn conservation(
+        packets in prop::collection::vec((0u8..3, 1u32..65_000), 1..80),
+        fair in any::<bool>(),
+    ) {
+        let sched = if fair { PacketScheduler::Fair } else { PacketScheduler::Fcfs };
+        let mut nic = NetDevice::new(NicModel::fast_ethernet(), sched, 5);
+        let mut done = None;
+        for &(s, bytes) in &packets {
+            if let Some(d) = nic.submit(Packet::new(SpuId::user(s as u32), bytes), SimTime::ZERO) {
+                done = Some(d);
+            }
+        }
+        let (count, _) = drain(&mut nic, done);
+        prop_assert_eq!(count as usize, packets.len());
+        prop_assert_eq!(nic.queue_depth(), 0);
+        let total_bytes: u64 = packets.iter().map(|&(_, b)| b as u64).sum();
+        let counted: u64 = (0..3).map(|s| nic.stats(SpuId::user(s)).bytes).sum();
+        prop_assert_eq!(counted, total_bytes);
+    }
+
+    /// The wire is conserved: total transmission time is at least the
+    /// bytes over the bandwidth, whatever the scheduler does.
+    #[test]
+    fn wire_time_floor(packets in prop::collection::vec((0u8..2, 100u32..64_000), 1..50)) {
+        let model = NicModel::fast_ethernet();
+        let mut nic = NetDevice::new(model.clone(), PacketScheduler::Fair, 4);
+        let mut done = None;
+        for &(s, bytes) in &packets {
+            if let Some(d) = nic.submit(Packet::new(SpuId::user(s as u32), bytes), SimTime::ZERO) {
+                done = Some(d);
+            }
+        }
+        let (_, finish) = drain(&mut nic, done);
+        let total_bytes: u64 = packets.iter().map(|&(_, b)| b as u64).sum();
+        let floor = total_bytes as f64 / model.bytes_per_sec as f64;
+        prop_assert!(finish.as_secs_f64() >= floor, "{finish} < {floor}");
+    }
+
+    /// Fairness never reorders packets *within* one stream.
+    #[test]
+    fn per_stream_fifo(sizes in prop::collection::vec(100u32..50_000, 2..40)) {
+        let mut nic = NetDevice::new(NicModel::fast_ethernet(), PacketScheduler::Fair, 4);
+        let mut done = None;
+        // Interleave two streams; stream 0's packets carry ascending tags.
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let p = Packet::new(SpuId::user(0), bytes).with_tag(i as u64);
+            if let Some(d) = nic.submit(p, SimTime::ZERO) {
+                done = Some(d);
+            }
+            if let Some(d) = nic.submit(Packet::new(SpuId::user(1), 1000), SimTime::ZERO) {
+                done = Some(d);
+            }
+        }
+        let mut last_tag = None;
+        while let Some(d) = done {
+            let (p, next) = nic.complete(d.at);
+            if p.stream == SpuId::user(0) {
+                if let Some(t) = last_tag {
+                    prop_assert!(p.tag > t, "stream reordered: {} after {t}", p.tag);
+                }
+                last_tag = Some(p.tag);
+            }
+            done = next;
+        }
+    }
+}

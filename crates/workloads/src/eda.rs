@@ -1,0 +1,80 @@
+//! Flashlite and VCS: compute-bound single-process simulators.
+//!
+//! §4.3 loads one SPU with "three copies of VCS and three copies of
+//! Flashlite" — long-running EDA/architecture simulators with "kernel
+//! time only at the start-up phase". We model each as a start-up file
+//! read followed by a long CPU burst over a resident working set.
+
+use std::sync::Arc;
+
+use event_sim::SimDuration;
+use smp_kernel::{Kernel, Program};
+
+/// Builds one Flashlite job (the FLASH machine simulator): ~9 s of CPU
+/// over a ~1.2 MB working set after reading its input image.
+///
+/// # Examples
+///
+/// ```no_run
+/// use smp_kernel::{Kernel, MachineConfig};
+/// use spu_core::SpuSet;
+/// let mut k = Kernel::new(MachineConfig::new(4, 64, 1), SpuSet::equal_users(2));
+/// let prog = workloads::flashlite(&mut k, 0);
+/// assert_eq!(prog.name(), "flashlite");
+/// ```
+pub fn flashlite(k: &mut Kernel, disk: usize) -> Arc<Program> {
+    flashlite_with(k, disk, SimDuration::from_millis(9000))
+}
+
+/// [`flashlite`] with an explicit simulation length (for scaled-down
+/// experiment variants).
+pub fn flashlite_with(k: &mut Kernel, disk: usize, cpu: SimDuration) -> Arc<Program> {
+    let image = k.create_file(disk, 256 * 1024, 16);
+    Program::builder("flashlite")
+        .read(image, 0, 256 * 1024)
+        .alloc(300)
+        .compute(cpu, 300)
+        .build()
+}
+
+/// Builds one VCS job (the Verilog compiled simulator): ~7 s of CPU
+/// over a ~0.8 MB working set after reading its design.
+pub fn vcs(k: &mut Kernel, disk: usize) -> Arc<Program> {
+    vcs_with(k, disk, SimDuration::from_millis(7000))
+}
+
+/// [`vcs`] with an explicit simulation length.
+pub fn vcs_with(k: &mut Kernel, disk: usize, cpu: SimDuration) -> Arc<Program> {
+    let design = k.create_file(disk, 192 * 1024, 16);
+    Program::builder("vcs")
+        .read(design, 0, 192 * 1024)
+        .alloc(200)
+        .compute(cpu, 200)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_sim::SimTime;
+    use smp_kernel::MachineConfig;
+    use spu_core::{Scheme, SpuId, SpuSet};
+
+    #[test]
+    fn eda_jobs_are_compute_dominated() {
+        let cfg = MachineConfig::new(2, 64, 1).with_scheme(Scheme::Smp);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        let f = flashlite(&mut k, 0);
+        let v = vcs(&mut k, 0);
+        k.spawn_at(SpuId::user(0), f, Some("flashlite"), SimTime::ZERO);
+        k.spawn_at(SpuId::user(0), v, Some("vcs"), SimTime::ZERO);
+        let m = k.run(SimTime::from_secs(30));
+        assert!(m.completed);
+        let rf = m.job("flashlite").unwrap().response().unwrap().as_secs_f64();
+        let rv = m.job("vcs").unwrap().response().unwrap().as_secs_f64();
+        // Each runs on its own CPU: response ≈ compute time + small I/O.
+        assert!((9.0..10.5).contains(&rf), "flashlite {rf}");
+        assert!((7.0..8.4).contains(&rv), "vcs {rv}");
+        assert!(rf > rv, "flashlite is the longer job");
+    }
+}

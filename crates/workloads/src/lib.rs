@@ -1,0 +1,32 @@
+//! Synthetic workloads matching the paper's applications (Table 1).
+//!
+//! The paper drives its evaluation with four workloads built from five
+//! applications; this crate reproduces each one's *resource signature* —
+//! the CPU, memory, and disk demands that drive the scheduling results —
+//! as [`smp_kernel::Program`] scripts:
+//!
+//! * [`pmake`] — parallel make: forked compile processes mixing CPU,
+//!   file I/O against many scattered small files, repeated metadata
+//!   writes, and a working set per compile (Pmake8 and the
+//!   memory-isolation workload).
+//! * [`ocean`] — the SPLASH-2 Ocean simulation: a 4-process
+//!   barrier-synchronized compute-bound parallel application.
+//! * [`eda`] — Flashlite and VCS: long-running single-process
+//!   compute-bound simulators.
+//! * [`filecopy`] — `cp`-style sequential copy of a large file through
+//!   the buffer cache (the disk-bandwidth workloads of §4.5).
+//! * [`oltp`] — a transaction-processing stream (extension): the
+//!   latency-sensitive tenant in the server-consolidation scenario the
+//!   paper's introduction motivates.
+
+pub mod eda;
+pub mod filecopy;
+pub mod ocean;
+pub mod oltp;
+pub mod pmake;
+
+pub use eda::{flashlite, flashlite_with, vcs, vcs_with};
+pub use filecopy::copy_job;
+pub use ocean::OceanConfig;
+pub use oltp::OltpConfig;
+pub use pmake::PmakeConfig;

@@ -1,0 +1,140 @@
+//! The Ocean workload: a barrier-synchronized parallel application.
+//!
+//! §4.3 runs "a four processor parallel Ocean application" (SPLASH-2
+//! Ocean, [WOT+95]): compute-bound timesteps separated by global
+//! barriers. Barriers are what make Ocean sensitive to CPU interference:
+//! if one worker is descheduled, every worker waits — exactly the effect
+//! performance isolation prevents.
+
+use std::sync::Arc;
+
+use event_sim::SimDuration;
+use smp_kernel::{BarrierId, Program};
+
+/// Parameters of one Ocean run.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::OceanConfig;
+/// let programs = OceanConfig::paper().build(1000);
+/// assert_eq!(programs.len(), 5); // root + 4 workers
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct OceanConfig {
+    /// Worker processes (the paper uses 4).
+    pub workers: u32,
+    /// Timesteps (barrier intervals).
+    pub iterations: u32,
+    /// CPU time per worker per timestep.
+    pub step_cpu: SimDuration,
+    /// Working-set pages per worker (grid partition).
+    pub ws_pages: u32,
+}
+
+impl OceanConfig {
+    /// The §4.3 configuration: 4 workers, compute-bound, "kernel time
+    /// only at the start-up phase", enough memory that paging is not a
+    /// factor.
+    pub fn paper() -> Self {
+        OceanConfig {
+            workers: 4,
+            iterations: 50,
+            step_cpu: SimDuration::from_millis(80),
+            ws_pages: 400,
+        }
+    }
+
+    /// Builds the program set: a root that forks the workers and waits,
+    /// plus one program per worker. `barrier_base` namespaces this run's
+    /// barriers; use a distinct base per Ocean instance.
+    pub fn build(&self, barrier_base: u32) -> Vec<Arc<Program>> {
+        let mut programs = Vec::with_capacity(self.workers as usize + 1);
+        let mut workers = Vec::new();
+        for w in 0..self.workers {
+            let mut b = Program::builder(&format!("ocean-w{w}"))
+                .alloc(self.ws_pages.max(1));
+            for it in 0..self.iterations {
+                b = b
+                    .compute(self.step_cpu, self.ws_pages)
+                    .barrier(BarrierId(barrier_base + it), self.workers);
+            }
+            workers.push(b.build());
+        }
+        let mut root = Program::builder("ocean");
+        for w in &workers {
+            root = root.fork(Arc::clone(w));
+        }
+        programs.push(root.wait_children().build());
+        programs.extend(workers);
+        programs
+    }
+
+    /// Ideal solo runtime: iterations × step time (workers run in
+    /// parallel).
+    pub fn ideal_runtime(&self) -> SimDuration {
+        self.step_cpu * self.iterations as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_sim::SimTime;
+    use smp_kernel::{Kernel, MachineConfig};
+    use spu_core::{Scheme, SpuId, SpuSet};
+
+    #[test]
+    fn ocean_runs_near_ideal_with_dedicated_cpus() {
+        let cfg = MachineConfig::new(4, 64, 1).with_scheme(Scheme::Smp);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        let ocean = OceanConfig::paper();
+        let progs = ocean.build(100);
+        k.spawn_at(SpuId::user(0), progs[0].clone(), Some("ocean"), SimTime::ZERO);
+        let m = k.run(SimTime::from_secs(60));
+        assert!(m.completed);
+        let r = m.job("ocean").unwrap().response().unwrap();
+        let ideal = ocean.ideal_runtime();
+        assert!(r >= ideal, "{r} vs ideal {ideal}");
+        assert!(
+            r.as_secs_f64() < ideal.as_secs_f64() * 1.4,
+            "{r} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn ocean_suffers_when_sharing_cpus_with_load() {
+        // 4 workers on 4 CPUs alone vs with 4 competing spinners: the
+        // barriers amplify the slowdown beyond fair-share.
+        let run = |with_load: bool| {
+            let cfg = MachineConfig::new(4, 64, 1).with_scheme(Scheme::Smp);
+            let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+            let progs = OceanConfig::paper().build(0);
+            k.spawn_at(SpuId::user(0), progs[0].clone(), Some("ocean"), SimTime::ZERO);
+            if with_load {
+                for i in 0..4 {
+                    let spin = Program::builder("spin")
+                        .compute(SimDuration::from_secs(3), 0)
+                        .build();
+                    k.spawn_at(SpuId::user(0), spin, Some(&format!("bg{i}")), SimTime::ZERO);
+                }
+            }
+            let m = k.run(SimTime::from_secs(120));
+            m.job("ocean").unwrap().response().unwrap().as_secs_f64()
+        };
+        let alone = run(false);
+        let loaded = run(true);
+        assert!(
+            loaded > alone * 1.6,
+            "interference should hurt: alone={alone} loaded={loaded}"
+        );
+    }
+
+    #[test]
+    fn build_produces_root_plus_workers() {
+        let progs = OceanConfig::paper().build(0);
+        assert_eq!(progs.len(), 5);
+        assert_eq!(progs[0].name(), "ocean");
+        assert_eq!(progs[1].name(), "ocean-w0");
+    }
+}

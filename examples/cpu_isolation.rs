@@ -1,0 +1,28 @@
+//! Reproduces Figures 4 and 5 (§4.3): the CPU-isolation workload.
+//!
+//! Ocean (a barrier-synchronized parallel app) in one SPU vs six EDA
+//! simulators in the other, on an eight-way machine.
+//!
+//! Run with: `cargo run --release --example cpu_isolation`
+//! (pass `--quick` for the reduced-scale variant)
+
+use perf_isolation::experiments::cpu_iso;
+use perf_isolation::experiments::tables;
+use perf_isolation::experiments::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    println!("{}", tables::figure4());
+    println!("Running the CPU-isolation workload ({scale:?} scale)...\n");
+    let result = cpu_iso::run(scale);
+    println!("{}", result.format());
+    println!(
+        "Paper shape: Ocean — Quo best, PIso close behind, SMP worst\n\
+         (interference); Flashlite/VCS — Quo markedly worse than SMP,\n\
+         PIso comparable to SMP (idle Ocean CPUs are borrowed)."
+    );
+}

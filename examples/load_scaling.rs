@@ -1,0 +1,30 @@
+//! Load-scaling sweep (extension): the §2.1 isolation guarantee under
+//! growing background load.
+//!
+//! The Pmake8 machine with the light SPUs fixed at one job each and the
+//! heavy SPUs swept from 1 to 4 jobs each (8 to 20 jobs total on 8
+//! CPUs). The guarantee predicts flat light-SPU response lines for Quo
+//! and PIso and a rising line for SMP.
+//!
+//! Run with: `cargo run --release --example load_scaling`
+//! (pass `--quick` for the reduced-scale variant)
+
+use perf_isolation::experiments::scaling;
+use perf_isolation::experiments::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    println!("Sweeping background load on the Pmake8 machine ({scale:?} scale)...\n");
+    let points = scaling::run(&[1, 2, 3, 4], scale);
+    println!("{}", scaling::format(&points));
+    println!(
+        "\"If the resource requirements of an SPU are less than its allocated\n\
+         fraction of the machine, the SPU should see no degradation in\n\
+         performance, regardless of the load placed on the system by others.\"\n\
+         (§2.1) — the Quo and PIso columns should stay at ~100."
+    );
+}

@@ -1,0 +1,14 @@
+//! Prints the paper's configuration tables and SPU-layout figures:
+//! Table 1 (workloads), Table 2 (schemes), Figures 1, 4 and 6.
+//!
+//! Run with: `cargo run --example paper_tables`
+
+use perf_isolation::experiments::tables;
+
+fn main() {
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", tables::figure1());
+    println!("{}", tables::figure4());
+    println!("{}", tables::figure6());
+}

@@ -1,0 +1,29 @@
+//! Reproduces Figures 1, 2 and 3 (§4.2): the Pmake8 workload.
+//!
+//! Eight users on an eight-way machine; the unbalanced configuration
+//! adds a second pmake job to four of them. Figure 2 shows isolation
+//! (the light SPUs are unaffected under Quo/PIso), Figure 3 shows
+//! sharing (the heavy SPUs do better under PIso than Quo).
+//!
+//! Run with: `cargo run --release --example pmake8_figures`
+//! (pass `--quick` for the reduced-scale variant)
+
+use perf_isolation::experiments::pmake8;
+use perf_isolation::experiments::tables;
+use perf_isolation::experiments::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    println!("{}", tables::figure1());
+    println!("Running the Pmake8 workload under SMP, Quo, and PIso ({scale:?} scale)...\n");
+    let result = pmake8::run(scale);
+    println!("{}", result.format());
+    println!(
+        "Paper shape: Fig 2 — SMP unbalanced ≈ 156, Quo/PIso unbalanced ≈ 100;\n\
+         Fig 3 — SMP 156, Quo 187, PIso ≈ 146."
+    );
+}

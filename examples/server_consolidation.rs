@@ -1,0 +1,68 @@
+//! Server consolidation: the scenario the paper's introduction
+//! motivates ("a compute server often has to serve many masters").
+//!
+//! A latency-sensitive OLTP database and a batch analytics job (full
+//! table scans plus heavy compute) are consolidated onto one machine
+//! with a shared disk. Under `SMP` the analytics scan's sequential
+//! stream and memory appetite wreck transaction latency; under `Quota`
+//! the analytics job is crippled whenever the database idles; `PIso`
+//! keeps transactions fast while the analytics job soaks up every idle
+//! cycle.
+//!
+//! Run with: `cargo run --release --example server_consolidation`
+
+use perf_isolation::core::{Scheme, SpuId, SpuSet};
+use perf_isolation::kernel::{Kernel, MachineConfig, Program};
+use perf_isolation::sim::{SimDuration, SimTime};
+use perf_isolation::workloads::OltpConfig;
+
+fn main() {
+    println!("Server consolidation: OLTP database vs batch analytics");
+    println!("4 CPUs, 64 MB, one shared disk (half seek latency)\n");
+    println!(
+        "{:<6} {:>16} {:>18} {:>18}",
+        "scheme", "oltp resp (s)", "oltp disk wait(ms)", "analytics resp (s)"
+    );
+    for scheme in Scheme::ALL {
+        let cfg = MachineConfig::new(4, 64, 1)
+            .with_scheme(scheme)
+            .with_seek_scale(0.5);
+        let spus = SpuSet::equal_users(2).named(0, "oltp").named(1, "batch");
+        let mut k = Kernel::new(cfg, spus);
+
+        // Tenant 1: the database.
+        let oltp = OltpConfig::default().build(&mut k, 0);
+        k.spawn_at(SpuId::user(0), oltp, Some("oltp"), SimTime::ZERO);
+
+        // Tenant 2: analytics — repeatedly scan a 50 MB extract (too big
+        // to stay cached in its share of the 64 MB machine) with
+        // aggregation compute between scans. The scan keeps a sequential
+        // request stream on the shared disk for the whole run.
+        let extract = k.create_file(0, 50 * 1024 * 1024, 0);
+        let mut ab = Program::builder("analytics").alloc(500);
+        for _ in 0..3 {
+            ab = ab
+                .read(extract, 0, 50 * 1024 * 1024)
+                .compute(SimDuration::from_millis(2000), 500);
+        }
+        let analytics = ab.build();
+        k.spawn_at(SpuId::user(1), analytics, Some("analytics"), SimTime::ZERO);
+
+        let m = k.run(SimTime::from_secs(600));
+        assert!(m.completed, "{scheme}: hit the cap");
+        println!(
+            "{:<6} {:>16.3} {:>18.2} {:>18.3}",
+            scheme.label(),
+            m.mean_response_secs("oltp"),
+            m.disks[0].stream(SpuId::user(0)).mean_wait_ms(),
+            m.mean_response_secs("analytics"),
+        );
+    }
+    println!(
+        "\nUnder SMP the analytics scan locks the database's scattered reads\n\
+         out of the disk queue. PIso gives the database its best latency —\n\
+         better even than fixed quotas, whose blind-fair disk scheduling\n\
+         wastes seeks — while analytics lands between the Quota and SMP\n\
+         extremes by borrowing whatever the database leaves idle."
+    );
+}

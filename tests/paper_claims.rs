@@ -1,0 +1,171 @@
+//! Cross-crate integration tests asserting the paper's headline claims
+//! end-to-end (at quick scale; full-scale numbers live in
+//! EXPERIMENTS.md).
+//!
+//! The abstract's claim: performance isolation provides
+//! "workstation-like isolation under heavy load, SMP-like latency under
+//! light load, and SMP-like throughput in all cases."
+
+use perf_isolation::core::{Scheme, SpuId, SpuSet};
+use perf_isolation::experiments::{cpu_iso, disk_bw, mem_iso, pmake8, Scale};
+use perf_isolation::kernel::{Kernel, MachineConfig, Program};
+use perf_isolation::sim::{SimDuration, SimTime};
+
+#[test]
+fn pmake8_isolation_and_sharing() {
+    let r = pmake8::run(Scale::Quick);
+    // Isolation (Figure 2): Quo and PIso keep the light SPUs' response
+    // flat between balanced and unbalanced; SMP does not.
+    let fig2 = r.fig2();
+    assert!(fig2[0].2 > fig2[0].1 * 1.15, "SMP degrades: {fig2:?}");
+    for &(scheme, b, u) in &fig2[1..] {
+        assert!(
+            (u - b).abs() / b < 0.12,
+            "{scheme} broke isolation: {b} -> {u}"
+        );
+    }
+    // Sharing (Figure 3): PIso beats Quo for the heavy SPUs and is close
+    // to SMP.
+    let fig3 = r.fig3();
+    let (smp, quo, piso) = (fig3[0].1, fig3[1].1, fig3[2].1);
+    assert!(quo > smp, "Quo must waste idle resources");
+    assert!(piso < quo * 0.9, "PIso must share: {piso} vs {quo}");
+    assert!(piso < smp * 1.25, "PIso must stay near SMP throughput");
+}
+
+#[test]
+fn cpu_isolation_figure5() {
+    let r = cpu_iso::run(Scale::Quick);
+    let fig5 = r.fig5();
+    let (quo, piso) = (fig5[1], fig5[2]);
+    // Ocean protected by isolation; EDA jobs saved by sharing.
+    assert!(piso.1 < 92.0, "PIso Ocean must beat SMP: {}", piso.1);
+    assert!(quo.2 > piso.2, "Quo Flashlite must be worst");
+    assert!(quo.3 > piso.3, "Quo VCS must be worst");
+    assert!(piso.2 < 125.0 && piso.3 < 125.0, "PIso EDA near SMP");
+}
+
+#[test]
+fn memory_isolation_figure7() {
+    let r = mem_iso::run(Scale::Quick);
+    let iso = r.isolation();
+    let smp_delta = iso[0].2 - iso[0].1;
+    let quo_delta = (iso[1].2 - iso[1].1).abs();
+    let piso_delta = iso[2].2 - iso[2].1;
+    assert!(smp_delta > 15.0, "SMP must degrade SPU1: {smp_delta}");
+    assert!(quo_delta < 5.0, "Quo is the isolation ideal: {quo_delta}");
+    assert!(
+        piso_delta < smp_delta * 0.6,
+        "PIso isolates: {piso_delta} vs {smp_delta}"
+    );
+    let sharing = r.sharing();
+    assert!(sharing[1].1 > sharing[2].1, "Quo worst for the loaded SPU");
+    assert!(sharing[1].1 > sharing[0].1, "Quo worse than SMP");
+}
+
+#[test]
+fn disk_tables_3_and_4() {
+    use perf_isolation::disk::SchedulerKind;
+    let t3 = disk_bw::table3(Scale::Quick);
+    let pos = t3.row(SchedulerKind::HeadPosition);
+    let piso = t3.row(SchedulerKind::Hybrid);
+    assert!(
+        piso.job_a_response < pos.job_a_response * 0.85,
+        "PIso must rescue the pmake from lockout"
+    );
+    assert!(
+        piso.job_a_wait_ms < pos.job_a_wait_ms * 0.6,
+        "PIso must slash the pmake's queue wait"
+    );
+    assert!(
+        piso.job_b_response < pos.job_b_response * 1.7,
+        "the copy's cost must be bounded"
+    );
+
+    let t4 = disk_bw::table4(Scale::Quick);
+    let pos = t4.row(SchedulerKind::HeadPosition);
+    let iso = t4.row(SchedulerKind::BlindFair);
+    let piso = t4.row(SchedulerKind::Hybrid);
+    assert!(
+        pos.job_a_response > pos.job_b_response,
+        "under Pos the big copy locks out the small one"
+    );
+    assert!(piso.job_a_response < iso.job_a_response, "PIso beats blind Iso");
+    assert!(
+        iso.avg_seek_ms > piso.avg_seek_ms,
+        "blind fairness pays extra seek"
+    );
+}
+
+#[test]
+fn unequal_entitlements_are_honoured() {
+    // §2.1: "project A owns a third of the machine and project B owns
+    // two thirds." Give SPU B twice SPU A's weight and saturate both:
+    // B's jobs should finish roughly twice as fast per job. (Quota mode,
+    // so sharing does not blur the entitlement boundary once one side
+    // finishes.)
+    let cfg = MachineConfig::new(3, 32, 1).with_scheme(Scheme::Quota);
+    let spus = SpuSet::with_weights(&[1, 2]);
+    let mut k = Kernel::new(cfg, spus);
+    for i in 0..3 {
+        let p = Program::builder("a")
+            .compute(SimDuration::from_millis(400), 0)
+            .build();
+        k.spawn_at(SpuId::user(0), p, Some(&format!("a{i}")), SimTime::ZERO);
+        let p = Program::builder("b")
+            .compute(SimDuration::from_millis(400), 0)
+            .build();
+        k.spawn_at(SpuId::user(1), p, Some(&format!("b{i}")), SimTime::ZERO);
+    }
+    let m = k.run(SimTime::from_secs(60));
+    assert!(m.completed);
+    let a = m.mean_response_secs("a");
+    let b = m.mean_response_secs("b");
+    // B has 2 CPUs for 3 jobs; A has 1 CPU for 3 jobs.
+    assert!(
+        a > b * 1.4,
+        "weighted shares not honoured: a={a} b={b}"
+    );
+}
+
+#[test]
+fn piso_offers_smp_latency_when_machine_idle() {
+    // "SMP-like latency under light load": a single job under PIso on an
+    // otherwise idle machine must match SMP's latency even beyond its
+    // own partition, by borrowing idle CPUs.
+    let run = |scheme: Scheme| {
+        let cfg = MachineConfig::new(4, 32, 1).with_scheme(scheme);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(4));
+        // A 3-way parallel job in one SPU whose share is just 1 CPU.
+        let child = Program::builder("c")
+            .compute(SimDuration::from_millis(300), 0)
+            .build();
+        let p = Program::builder("par")
+            .fork(child.clone())
+            .fork(child.clone())
+            .fork(child)
+            .wait_children()
+            .build();
+        k.spawn_at(SpuId::user(0), p, Some("par"), SimTime::ZERO);
+        let m = k.run(SimTime::from_secs(60));
+        assert!(m.completed);
+        m.job("par").unwrap().response().unwrap().as_secs_f64()
+    };
+    let smp = run(Scheme::Smp);
+    let quo = run(Scheme::Quota);
+    let piso = run(Scheme::PIso);
+    assert!(
+        (piso - smp).abs() / smp < 0.15,
+        "PIso light-load latency ≈ SMP: piso={piso} smp={smp}"
+    );
+    assert!(quo > piso * 1.5, "Quo cannot use idle CPUs: quo={quo}");
+}
+
+#[test]
+fn full_run_metrics_are_deterministic() {
+    let run = || {
+        let (l, h) = pmake8::run_one(Scheme::PIso, true, Scale::Quick);
+        format!("{l:.9}/{h:.9}")
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,145 @@
+//! Boundary-condition equivalences between the three schemes: places
+//! where two schemes must coincide by construction. These pin down the
+//! implementation against accidental divergence.
+
+use perf_isolation::core::{Scheme, SpuId, SpuSet};
+use perf_isolation::kernel::{Kernel, MachineConfig, Program};
+use perf_isolation::sim::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn cpu_job(ms: u64) -> Arc<Program> {
+    Program::builder("job")
+        .compute(SimDuration::from_millis(ms), 0)
+        .build()
+}
+
+/// With one SPU there is nobody to isolate from: all three schemes
+/// must produce identical schedules for CPU-only work.
+#[test]
+fn single_spu_schemes_coincide() {
+    let run = |scheme: Scheme| {
+        let cfg = MachineConfig::new(3, 16, 1).with_scheme(scheme);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        for i in 0..5 {
+            k.spawn_at(
+                SpuId::user(0),
+                cpu_job(150 + i * 40),
+                Some(&format!("j{i}")),
+                SimTime::from_millis(i * 5),
+            );
+        }
+        let m = k.run(SimTime::from_secs(30));
+        assert!(m.completed);
+        m.end_time
+    };
+    let smp = run(Scheme::Smp);
+    let quo = run(Scheme::Quota);
+    let piso = run(Scheme::PIso);
+    assert_eq!(smp, quo);
+    assert_eq!(quo, piso);
+}
+
+/// When every SPU is saturated (no idle resources at all), PIso must
+/// behave like Quota: there is nothing to lend.
+#[test]
+fn saturated_piso_equals_quota() {
+    let run = |scheme: Scheme| {
+        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+        // Both SPUs have exactly continuous work for their one CPU.
+        for s in 0..2u32 {
+            for i in 0..3 {
+                k.spawn_at(
+                    SpuId::user(s),
+                    cpu_job(200),
+                    Some(&format!("s{s}j{i}")),
+                    SimTime::ZERO,
+                );
+            }
+        }
+        let m = k.run(SimTime::from_secs(60));
+        assert!(m.completed);
+        (
+            m.mean_response_of_spu(SpuId::user(0)),
+            m.mean_response_of_spu(SpuId::user(1)),
+        )
+    };
+    let (q0, q1) = run(Scheme::Quota);
+    let (p0, p1) = run(Scheme::PIso);
+    // Loans may shuffle slices around tick boundaries, so allow a small
+    // tolerance rather than exact equality.
+    assert!((q0 - p0).abs() / q0 < 0.05, "spu0: quo={q0} piso={p0}");
+    assert!((q1 - p1).abs() / q1 < 0.05, "spu1: quo={q1} piso={p1}");
+}
+
+/// An idle machine gives a lone job identical latency under all schemes
+/// when the job fits inside its own partition.
+#[test]
+fn lone_fitting_job_sees_no_scheme_difference() {
+    let run = |scheme: Scheme| {
+        let cfg = MachineConfig::new(4, 32, 1).with_scheme(scheme);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(4));
+        k.spawn_at(SpuId::user(2), cpu_job(500), Some("lone"), SimTime::ZERO);
+        let m = k.run(SimTime::from_secs(30));
+        assert!(m.completed);
+        m.job("lone").unwrap().response().unwrap()
+    };
+    let smp = run(Scheme::Smp);
+    let quo = run(Scheme::Quota);
+    let piso = run(Scheme::PIso);
+    assert_eq!(smp, quo);
+    assert_eq!(quo, piso);
+}
+
+/// Disabling sharing at the disk level: with a single stream, all three
+/// disk schedulers service an identical request sequence.
+#[test]
+fn single_stream_disk_schedulers_coincide() {
+    use perf_isolation::disk::{DiskDevice, DiskModel, DiskRequest, RequestKind, SchedulerKind};
+    let serve = |kind: SchedulerKind| {
+        let mut d = DiskDevice::new(DiskModel::hp97560(), kind, 3);
+        let mut completion = None;
+        for i in 0..40u64 {
+            let r = DiskRequest::new(
+                SpuId::user(0),
+                RequestKind::Read,
+                (i * 104_729) % 2_000_000,
+                8,
+            );
+            if let Some(c) = d.submit(r, SimTime::ZERO) {
+                completion = Some(c);
+            }
+        }
+        let mut order = Vec::new();
+        while let Some(c) = completion {
+            let (req, next) = d.complete(c.at);
+            order.push(req.start);
+            completion = next;
+        }
+        order
+    };
+    let pos = serve(SchedulerKind::HeadPosition);
+    let hybrid = serve(SchedulerKind::Hybrid);
+    // A lone SPU can never fail the fairness criterion, so the hybrid
+    // degenerates to pure C-SCAN.
+    assert_eq!(pos, hybrid);
+}
+
+/// The CPU partition is irrelevant under SMP: different SPU counts with
+/// identical total work produce identical makespans.
+#[test]
+fn smp_ignores_spu_structure() {
+    let run = |spus: SpuSet, assign: &dyn Fn(usize) -> SpuId| {
+        let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Smp);
+        let mut k = Kernel::new(cfg, spus);
+        for i in 0..4 {
+            k.spawn_at(assign(i), cpu_job(100), Some(&format!("j{i}")), SimTime::ZERO);
+        }
+        let m = k.run(SimTime::from_secs(30));
+        assert!(m.completed);
+        m.end_time
+    };
+    let one = run(SpuSet::equal_users(1), &|_| SpuId::user(0));
+    let four = run(SpuSet::equal_users(4), &|i| SpuId::user(i as u32));
+    assert_eq!(one, four);
+}
