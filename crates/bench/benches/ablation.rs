@@ -6,7 +6,10 @@ use experiments::Scale;
 
 fn bench_ablations(c: &mut Criterion) {
     let lock = ablation::lock_granularity(Scale::Quick);
-    eprintln!("\n=== Lock granularity ablation (quick scale) ===\n{}", lock.format());
+    eprintln!(
+        "\n=== Lock granularity ablation (quick scale) ===\n{}",
+        lock.format()
+    );
 
     let reserve = ablation::reserve_threshold_sweep(&[0.0, 0.04, 0.08, 0.16], Scale::Quick);
     eprintln!("{}", ablation::format_reserve_sweep(&reserve));

@@ -7,9 +7,15 @@ use hp_disk::SchedulerKind;
 
 fn bench_disk_bw(c: &mut Criterion) {
     let t3 = disk_bw::table3(Scale::Quick);
-    eprintln!("\n=== Table 3: pmake-copy (quick scale) ===\n{}", t3.format());
+    eprintln!(
+        "\n=== Table 3: pmake-copy (quick scale) ===\n{}",
+        t3.format()
+    );
     let t4 = disk_bw::table4(Scale::Quick);
-    eprintln!("=== Table 4: big-and-small copy (quick scale) ===\n{}", t4.format());
+    eprintln!(
+        "=== Table 4: big-and-small copy (quick scale) ===\n{}",
+        t4.format()
+    );
 
     let mut group = c.benchmark_group("disk_bw");
     group.sample_size(10);

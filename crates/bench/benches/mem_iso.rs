@@ -7,7 +7,10 @@ use spu_core::Scheme;
 
 fn bench_mem_iso(c: &mut Criterion) {
     let result = mem_iso::run(Scale::Quick);
-    eprintln!("\n=== Memory isolation (quick scale) ===\n{}", result.format());
+    eprintln!(
+        "\n=== Memory isolation (quick scale) ===\n{}",
+        result.format()
+    );
 
     let mut group = c.benchmark_group("mem_iso");
     group.sample_size(10);

@@ -39,9 +39,7 @@ fn bench_rng(c: &mut Criterion) {
 fn bench_disk_model(c: &mut Criterion) {
     let model = DiskModel::hp97560();
     c.bench_function("disk/service_calc", |b| {
-        b.iter(|| {
-            black_box(model.service(SimTime::from_millis(3), 500, 1_000_000, 64))
-        })
+        b.iter(|| black_box(model.service(SimTime::from_millis(3), 500, 1_000_000, 64)))
     });
     c.bench_function("disk/device_100_requests", |b| {
         b.iter(|| {

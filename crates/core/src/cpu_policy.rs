@@ -106,7 +106,10 @@ impl CpuPartition {
         let mut cap = 1000u32;
         for (id, mut frac) in remainders {
             while frac > 0 {
-                debug_assert!(cpu < shared_cpu_count, "fractional claims overflow shared CPUs");
+                debug_assert!(
+                    cpu < shared_cpu_count,
+                    "fractional claims overflow shared CPUs"
+                );
                 let take = frac.min(cap);
                 shared[cpu].push((id, take));
                 frac -= take;
@@ -129,7 +132,12 @@ impl CpuPartition {
         while assignments.len() < n_cpus {
             let everyone: Vec<(SpuId, u32)> = spus
                 .user_ids()
-                .map(|id| (id, (1000 * spus.weight(id) as u64 / total_weight).max(1) as u32))
+                .map(|id| {
+                    (
+                        id,
+                        (1000 * spus.weight(id) as u64 / total_weight).max(1) as u32,
+                    )
+                })
                 .collect();
             assignments.push(CpuAssignment::TimeShared(everyone));
         }
@@ -209,7 +217,10 @@ impl SharedCpuRotor {
     /// Panics if `entries` is empty or any weight is zero.
     pub fn new(entries: Vec<(SpuId, u32)>) -> Self {
         assert!(!entries.is_empty(), "rotor needs at least one SPU");
-        assert!(entries.iter().all(|(_, w)| *w > 0), "weights must be positive");
+        assert!(
+            entries.iter().all(|(_, w)| *w > 0),
+            "weights must be positive"
+        );
         let total = entries.iter().map(|(_, w)| *w as i64).sum();
         let credits = vec![0; entries.len()];
         SharedCpuRotor {
@@ -297,7 +308,7 @@ mod tests {
             .filter(|a| matches!(a, CpuAssignment::Dedicated(_)))
             .count();
         assert_eq!(dedicated, 6); // 2 whole CPUs per SPU
-        // Each SPU entitled to ~8/3 CPUs = 2666 milli.
+                                  // Each SPU entitled to ~8/3 CPUs = 2666 milli.
         for id in spus.user_ids() {
             let m = p.milli_cpus(id);
             assert!((2600..=2700).contains(&m), "milli {m}");
@@ -376,8 +387,7 @@ mod tests {
 
     #[test]
     fn rotor_skips_unrunnable() {
-        let mut rotor =
-            SharedCpuRotor::new(vec![(SpuId::user(0), 500), (SpuId::user(1), 500)]);
+        let mut rotor = SharedCpuRotor::new(vec![(SpuId::user(0), 500), (SpuId::user(1), 500)]);
         for _ in 0..10 {
             assert_eq!(rotor.grant(|s| s == SpuId::user(1)), Some(SpuId::user(1)));
         }
@@ -386,8 +396,7 @@ mod tests {
 
     #[test]
     fn rotor_idle_spu_does_not_bank_credit() {
-        let mut rotor =
-            SharedCpuRotor::new(vec![(SpuId::user(0), 500), (SpuId::user(1), 500)]);
+        let mut rotor = SharedCpuRotor::new(vec![(SpuId::user(0), 500), (SpuId::user(1), 500)]);
         // user1 runs alone for a while...
         for _ in 0..100 {
             rotor.grant(|s| s == SpuId::user(1));

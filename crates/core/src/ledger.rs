@@ -155,7 +155,11 @@ impl ResourceLedger {
     /// was never charged is an accounting bug.
     pub fn release(&mut self, spu: SpuId, n: u64) {
         let l = &mut self.levels[spu.index()];
-        assert!(l.used >= n, "releasing {n} units but {spu} only has {}", l.used);
+        assert!(
+            l.used >= n,
+            "releasing {n} units but {spu} only has {}",
+            l.used
+        );
         l.used -= n;
     }
 
@@ -211,7 +215,14 @@ mod tests {
         let mut l = ledger();
         l.charge(SpuId::user(0), 40, true).unwrap();
         let err = l.charge(SpuId::user(0), 1, true).unwrap_err();
-        assert!(matches!(err, ChargeError::OverAllowed { used: 40, allowed: 40, .. }));
+        assert!(matches!(
+            err,
+            ChargeError::OverAllowed {
+                used: 40,
+                allowed: 40,
+                ..
+            }
+        ));
         // Nothing was charged by the failed call.
         assert_eq!(l.used(SpuId::user(0)), 40);
     }
@@ -233,8 +244,14 @@ mod tests {
     fn exhaustion_beats_everything() {
         let mut l = ledger();
         l.charge(SpuId::KERNEL, 100, true).unwrap();
-        assert_eq!(l.charge(SpuId::KERNEL, 1, true), Err(ChargeError::Exhausted));
-        assert_eq!(l.charge(SpuId::user(0), 1, false), Err(ChargeError::Exhausted));
+        assert_eq!(
+            l.charge(SpuId::KERNEL, 1, true),
+            Err(ChargeError::Exhausted)
+        );
+        assert_eq!(
+            l.charge(SpuId::user(0), 1, false),
+            Err(ChargeError::Exhausted)
+        );
     }
 
     #[test]

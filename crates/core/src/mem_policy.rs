@@ -115,10 +115,8 @@ impl MemSharingPolicy {
             .map(|(idx, _)| idx)
             .collect();
 
-        let mut out: Vec<(SpuId, u64)> = inputs
-            .iter()
-            .map(|i| (i.spu, i.levels.entitled))
-            .collect();
+        let mut out: Vec<(SpuId, u64)> =
+            inputs.iter().map(|i| (i.spu, i.levels.entitled)).collect();
 
         if excess > 0 && !pressured.is_empty() {
             // Divide the excess equally among pressured SPUs (the paper's
@@ -165,7 +163,10 @@ mod tests {
     #[test]
     fn no_pressure_means_entitlements() {
         let p = MemSharingPolicy::default();
-        let out = p.rebalance(1000, &[input(0, 500, 100, false), input(1, 500, 400, false)]);
+        let out = p.rebalance(
+            1000,
+            &[input(0, 500, 100, false), input(1, 500, 400, false)],
+        );
         assert_eq!(out[0].1, 500);
         assert_eq!(out[1].1, 500);
     }

@@ -130,6 +130,15 @@ impl DiskDevice {
         self.queue.len()
     }
 
+    /// The stream's decayed bandwidth count (sectors) as of `now`.
+    ///
+    /// Decay is step-invariant, so observers may call this at any
+    /// sampling cadence without perturbing scheduling decisions.
+    pub fn sampled_bandwidth(&mut self, spu: SpuId, now: SimTime) -> f64 {
+        self.bw.decay_to(now);
+        self.bw.count(spu)
+    }
+
     /// Whether a request is currently being serviced.
     pub fn is_busy(&self) -> bool {
         self.in_flight.is_some()
@@ -194,9 +203,9 @@ impl DiskDevice {
             now,
         )?;
         let pending = self.queue.swap_remove(idx);
-        let mut breakdown = self
-            .model
-            .service(now, self.head_cyl, pending.req.start, pending.req.sectors);
+        let mut breakdown =
+            self.model
+                .service(now, self.head_cyl, pending.req.start, pending.req.sectors);
         // Track-buffer model: the HP 97560's read-ahead cache (present in
         // the Kotz et al. simulator) makes a request contiguous with the
         // previous one skip the rotational wait and most of the command
@@ -260,7 +269,9 @@ mod tests {
     fn busy_device_queues() {
         let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
         let c1 = d.submit(read(SpuId::user(0), 100), SimTime::ZERO).unwrap();
-        assert!(d.submit(read(SpuId::user(1), 5000), SimTime::ZERO).is_none());
+        assert!(d
+            .submit(read(SpuId::user(1), 5000), SimTime::ZERO)
+            .is_none());
         assert_eq!(d.queue_depth(), 1);
         let (done, next) = d.complete(c1.at);
         assert_eq!(done.start, 100);
@@ -353,19 +364,18 @@ mod tests {
         // for the whole sequential run; under Hybrid its mean wait must be
         // substantially lower.
         let run = |kind: SchedulerKind| -> (f64, f64) {
-            let mut d =
-                DiskDevice::new(DiskModel::hp97560(), kind, 4).with_bw_threshold(64.0);
+            let mut d = DiskDevice::new(DiskModel::hp97560(), kind, 4).with_bw_threshold(64.0);
             let mut completion = None;
             // 200 sequential requests from user0 submitted up front.
             for i in 0..200u64 {
-                if let Some(c) = d.submit(read(SpuId::user(0), 1_000_000 + i * 8), SimTime::ZERO)
-                {
+                if let Some(c) = d.submit(read(SpuId::user(0), 1_000_000 + i * 8), SimTime::ZERO) {
                     completion = Some(c);
                 }
             }
             // 20 scattered requests from user1, also queued at t=0.
             for i in 0..20u64 {
-                if let Some(c) = d.submit(read(SpuId::user(1), (i * 131_071) % 900_000), SimTime::ZERO)
+                if let Some(c) =
+                    d.submit(read(SpuId::user(1), (i * 131_071) % 900_000), SimTime::ZERO)
                 {
                     completion = Some(c);
                 }

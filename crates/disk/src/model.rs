@@ -124,7 +124,10 @@ impl DiskModel {
     ///
     /// Panics (debug builds) if the sector is off the end of the disk.
     pub fn cylinder_of(&self, sector: u64) -> u32 {
-        debug_assert!(sector < self.total_sectors(), "sector {sector} out of range");
+        debug_assert!(
+            sector < self.total_sectors(),
+            "sector {sector} out of range"
+        );
         (sector / (self.heads as u64 * self.sectors_per_track as u64)) as u32
     }
 
@@ -175,8 +178,7 @@ impl DiskModel {
         let rot_ns = self.rotation.as_nanos();
         let angle_ns = arrival.as_nanos() % rot_ns;
         let sector_in_track = (start % self.sectors_per_track as u64) as u32;
-        let target_ns =
-            rot_ns * sector_in_track as u64 / self.sectors_per_track as u64;
+        let target_ns = rot_ns * sector_in_track as u64 / self.sectors_per_track as u64;
         let wait_ns = (target_ns + rot_ns - angle_ns) % rot_ns;
         ServiceBreakdown {
             overhead,

@@ -307,7 +307,10 @@ mod tests {
             SimTime::ZERO,
         )
         .unwrap();
-        assert_eq!(i, 1, "user request beats shared write regardless of position");
+        assert_eq!(
+            i, 1,
+            "user request beats shared write regardless of position"
+        );
         // With only the shared request left, it is served.
         let queue = vec![pending(0, SpuId::SHARED, 0)];
         let i = pick_next(

@@ -5,7 +5,7 @@
 //! service) and **average disk latency** (the seek component of service).
 //! [`DiskStats`] collects exactly those quantities.
 
-use event_sim::{OnlineStats, SimDuration};
+use event_sim::{LogHistogram, OnlineStats, SimDuration};
 use spu_core::SpuId;
 
 use crate::model::ServiceBreakdown;
@@ -58,6 +58,7 @@ pub struct DiskStats {
     all_seek: OnlineStats,
     all_wait: OnlineStats,
     busy: SimDuration,
+    service_hist: LogHistogram,
 }
 
 impl DiskStats {
@@ -68,6 +69,7 @@ impl DiskStats {
             all_seek: OnlineStats::new(),
             all_wait: OnlineStats::new(),
             busy: SimDuration::ZERO,
+            service_hist: LogHistogram::latency(),
         }
     }
 
@@ -87,6 +89,7 @@ impl DiskStats {
         self.all_seek.add_duration(breakdown.seek);
         self.all_wait.add_duration(wait);
         self.busy += breakdown.total();
+        self.service_hist.add_duration(breakdown.total());
     }
 
     /// Statistics for one stream.
@@ -118,6 +121,11 @@ impl DiskStats {
     pub fn busy_time(&self) -> SimDuration {
         self.busy
     }
+
+    /// Log-bucketed histogram of full service times across all requests.
+    pub fn service_histogram(&self) -> &LogHistogram {
+        &self.service_hist
+    }
 }
 
 #[cfg(test)]
@@ -137,8 +145,18 @@ mod tests {
     #[test]
     fn records_per_stream_and_global() {
         let mut st = DiskStats::new(4);
-        st.record(SpuId::user(0), SimDuration::from_millis(10), &breakdown(4), 8);
-        st.record(SpuId::user(1), SimDuration::from_millis(30), &breakdown(8), 16);
+        st.record(
+            SpuId::user(0),
+            SimDuration::from_millis(10),
+            &breakdown(4),
+            8,
+        );
+        st.record(
+            SpuId::user(1),
+            SimDuration::from_millis(30),
+            &breakdown(8),
+            16,
+        );
         assert_eq!(st.total_requests(), 2);
         assert_eq!(st.stream(SpuId::user(0)).requests(), 1);
         assert_eq!(st.stream(SpuId::user(0)).sectors, 8);

@@ -57,7 +57,10 @@ impl LockAblation {
             ],
         ];
         let mut out = String::from("Ablation §3.4: root inode lock granularity\n");
-        out.push_str(&render_table(&["inode lock", "mean response (s)", "contention"], &rows));
+        out.push_str(&render_table(
+            &["inode lock", "mean response (s)", "contention"],
+            &rows,
+        ));
         out.push_str(&format!(
             "response-time improvement from the fix: {:.0}%\n",
             self.improvement() * 100.0
@@ -111,7 +114,10 @@ pub fn lock_granularity(scale: Scale) -> LockAblation {
         }
         let m = k.run(SimTime::from_secs(600));
         assert!(m.completed);
-        (m.mean_response_secs("fsjob"), m.lock_contention_ratio())
+        (
+            m.mean_response_secs("fsjob").expect("fsjobs ran"),
+            m.lock_contention_ratio(),
+        )
     };
     let (mutex_response, mutex_contention) = run(false);
     let (rw_response, rw_contention) = run(true);
@@ -178,7 +184,12 @@ pub fn reserve_threshold_sweep(fracs: &[f64], scale: Scale) -> Vec<ReservePoint>
                 .alloc(burst_pages)
                 .compute(SimDuration::from_millis(200), burst_pages)
                 .build();
-            k.spawn_at(SpuId::user(0), idle_phase, Some("lender-idle"), SimTime::ZERO);
+            k.spawn_at(
+                SpuId::user(0),
+                idle_phase,
+                Some("lender-idle"),
+                SimTime::ZERO,
+            );
             k.spawn_at(
                 SpuId::user(0),
                 burst,
@@ -190,14 +201,21 @@ pub fn reserve_threshold_sweep(fracs: &[f64], scale: Scale) -> Vec<ReservePoint>
                     .alloc(thrash_pages)
                     .compute(SimDuration::from_millis(thrash_ms), thrash_pages)
                     .build();
-                k.spawn_at(SpuId::user(1), p, Some(&format!("borrower{j}")), SimTime::ZERO);
+                k.spawn_at(
+                    SpuId::user(1),
+                    p,
+                    Some(&format!("borrower{j}")),
+                    SimTime::ZERO,
+                );
             }
             let m = k.run(SimTime::from_secs(1200));
             assert!(m.completed, "reserve sweep hit the time cap");
             ReservePoint {
                 reserve_frac: frac,
-                lender_burst_response: m.mean_response_secs("lender-burst"),
-                borrower_response: m.mean_response_secs("borrower"),
+                lender_burst_response: m
+                    .mean_response_secs("lender-burst")
+                    .expect("lender burst ran"),
+                borrower_response: m.mean_response_secs("borrower").expect("borrowers ran"),
                 lender_swap_outs: m.vm[SpuId::user(0).index()].swap_outs
                     + m.vm[SpuId::user(1).index()].swap_outs,
             }
@@ -221,7 +239,12 @@ pub fn format_reserve_sweep(points: &[ReservePoint]) -> String {
     let mut out =
         String::from("Ablation §3.2: Reserve Threshold sweep (PIso, idle-then-burst lender)\n");
     out.push_str(&render_table(
-        &["reserve", "lender burst (s)", "borrower resp (s)", "swap-outs"],
+        &[
+            "reserve",
+            "lender burst (s)",
+            "borrower resp (s)",
+            "swap-outs",
+        ],
         &rows,
     ));
     out
@@ -245,14 +268,23 @@ impl IpiAblation {
     /// Renders the comparison.
     pub fn format(&self) -> String {
         let rows = vec![
-            vec!["tick (≤10 ms)".to_string(), format!("{:.3}", self.tick_response)],
-            vec!["IPI (immediate)".to_string(), format!("{:.3}", self.ipi_response)],
+            vec![
+                "tick (≤10 ms)".to_string(),
+                format!("{:.3}", self.tick_response),
+            ],
+            vec![
+                "IPI (immediate)".to_string(),
+                format!("{:.3}", self.ipi_response),
+            ],
         ];
         let mut out = String::from(
             "Ablation §3.1: loaned-CPU revocation latency (interactive job vs borrowing hog)
 ",
         );
-        out.push_str(&render_table(&["revocation", "interactive resp (s)"], &rows));
+        out.push_str(&render_table(
+            &["revocation", "interactive resp (s)"],
+            &rows,
+        ));
         out.push_str(&format!(
             "response-time improvement from IPI revocation: {:.0}%
 ",
@@ -293,7 +325,12 @@ pub fn ipi_revocation(scale: Scale) -> IpiAblation {
                 .compute(SimDuration::from_millis(1), 0)
                 .read(f, r * 64 * 1024, 4096);
         }
-        k.spawn_at(SpuId::user(0), b.build(), Some("interactive"), SimTime::ZERO);
+        k.spawn_at(
+            SpuId::user(0),
+            b.build(),
+            Some("interactive"),
+            SimTime::ZERO,
+        );
         for i in 0..2 {
             let hog = smp_kernel::Program::builder("hog")
                 .compute(SimDuration::from_secs(20), 0)
@@ -303,6 +340,7 @@ pub fn ipi_revocation(scale: Scale) -> IpiAblation {
         let m = k.run(SimTime::from_secs(300));
         assert!(m.completed);
         m.mean_response_secs("interactive")
+            .expect("interactive job ran")
     };
     IpiAblation {
         tick_response: run(false),
@@ -358,8 +396,8 @@ pub fn bw_threshold_sweep(thresholds: &[f64], scale: Scale) -> Vec<BwPoint> {
             assert!(m.completed);
             BwPoint {
                 threshold: th,
-                pmake_response: m.mean_response_secs("pmake"),
-                copy_response: m.mean_response_secs("copy"),
+                pmake_response: m.mean_response_secs("pmake").expect("pmake ran"),
+                copy_response: m.mean_response_secs("copy").expect("copy ran"),
                 avg_seek_ms: m.disks[0].mean_seek_ms(),
             }
         })
@@ -383,9 +421,15 @@ pub fn format_bw_sweep(points: &[BwPoint]) -> String {
             ]
         })
         .collect();
-    let mut out = String::from("Ablation §3.3: BW-difference threshold sweep (pmake-copy, hybrid)\n");
+    let mut out =
+        String::from("Ablation §3.3: BW-difference threshold sweep (pmake-copy, hybrid)\n");
     out.push_str(&render_table(
-        &["threshold (sectors)", "pmake resp (s)", "copy resp (s)", "avg seek (ms)"],
+        &[
+            "threshold (sectors)",
+            "pmake resp (s)",
+            "copy resp (s)",
+            "avg seek (ms)",
+        ],
         &rows,
     ));
     out

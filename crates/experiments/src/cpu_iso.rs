@@ -10,10 +10,10 @@
 //! * Flashlite/VCS: Quo markedly worse (idle Ocean CPUs wasted); PIso
 //!   comparable to SMP.
 
+use event_sim::SimDuration;
 use event_sim::SimTime;
 use smp_kernel::{Kernel, MachineConfig};
 use spu_core::{Scheme, SpuId, SpuSet};
-use event_sim::SimDuration;
 use workloads::{flashlite_with, vcs_with, OceanConfig};
 
 use crate::pmake8::Scale;
@@ -65,11 +65,12 @@ impl CpuIsoResult {
         let rows: Vec<Vec<String>> = self
             .fig5()
             .into_iter()
-            .map(|(s, o, f, v)| {
-                vec![s.to_string(), bar_label(o), bar_label(f), bar_label(v)]
-            })
+            .map(|(s, o, f, v)| vec![s.to_string(), bar_label(o), bar_label(f), bar_label(v)])
             .collect();
-        out.push_str(&render_table(&["scheme", "Ocean", "Flashlite", "VCS"], &rows));
+        out.push_str(&render_table(
+            &["scheme", "Ocean", "Flashlite", "VCS"],
+            &rows,
+        ));
         out
     }
 }
@@ -86,8 +87,14 @@ fn ocean_config(scale: Scale) -> OceanConfig {
 
 fn eda_durations(scale: Scale) -> (SimDuration, SimDuration) {
     match scale {
-        Scale::Full => (SimDuration::from_millis(9000), SimDuration::from_millis(7000)),
-        Scale::Quick => (SimDuration::from_millis(5400), SimDuration::from_millis(4200)),
+        Scale::Full => (
+            SimDuration::from_millis(9000),
+            SimDuration::from_millis(7000),
+        ),
+        Scale::Quick => (
+            SimDuration::from_millis(5400),
+            SimDuration::from_millis(4200),
+        ),
     }
 }
 
@@ -95,22 +102,37 @@ fn eda_durations(scale: Scale) -> (SimDuration, SimDuration) {
 pub fn run_one(scheme: Scheme, scale: Scale) -> AppResponses {
     // Table 1: 8 CPUs, 64 MB, separate fast disks.
     let cfg = MachineConfig::new(8, 64, 2).with_scheme(scheme);
-    let mut k = Kernel::new(cfg, SpuSet::equal_users(2).named(0, "ocean").named(1, "eda"));
+    let mut k = Kernel::new(
+        cfg,
+        SpuSet::equal_users(2).named(0, "ocean").named(1, "eda"),
+    );
     let ocean = ocean_config(scale).build(1000);
     let (fl_cpu, vcs_cpu) = eda_durations(scale);
-    k.spawn_at(SpuId::user(0), ocean[0].clone(), Some("ocean"), SimTime::ZERO);
+    k.spawn_at(
+        SpuId::user(0),
+        ocean[0].clone(),
+        Some("ocean"),
+        SimTime::ZERO,
+    );
     for i in 0..3 {
         let f = flashlite_with(&mut k, 1, fl_cpu);
-        k.spawn_at(SpuId::user(1), f, Some(&format!("flashlite-{i}")), SimTime::ZERO);
+        k.spawn_at(
+            SpuId::user(1),
+            f,
+            Some(&format!("flashlite-{i}")),
+            SimTime::ZERO,
+        );
         let v = vcs_with(&mut k, 1, vcs_cpu);
         k.spawn_at(SpuId::user(1), v, Some(&format!("vcs-{i}")), SimTime::ZERO);
     }
     let m = k.run(SimTime::from_secs(300));
     assert!(m.completed, "cpu-iso run hit the time cap");
     AppResponses {
-        ocean: m.mean_response_secs("ocean"),
-        flashlite: m.mean_response_secs("flashlite"),
-        vcs: m.mean_response_secs("vcs"),
+        ocean: m.mean_response_secs("ocean").expect("ocean jobs ran"),
+        flashlite: m
+            .mean_response_secs("flashlite")
+            .expect("flashlite jobs ran"),
+        vcs: m.mean_response_secs("vcs").expect("vcs jobs ran"),
     }
 }
 
@@ -135,10 +157,25 @@ mod tests {
         // Ocean: isolation helps — PIso clearly better than SMP; Quo (the
         // isolation ideal) at least as good as PIso (small tolerance).
         assert!(piso.1 < 90.0, "PIso Ocean should beat SMP: {}", piso.1);
-        assert!(quo.1 <= piso.1 * 1.05, "Quo Ocean ≈ best: quo={} piso={}", quo.1, piso.1);
+        assert!(
+            quo.1 <= piso.1 * 1.05,
+            "Quo Ocean ≈ best: quo={} piso={}",
+            quo.1,
+            piso.1
+        );
         // Flashlite/VCS: Quo wastes Ocean's idle CPUs; PIso shares them.
-        assert!(quo.2 > piso.2 * 1.1, "Quo Flashlite worst: quo={} piso={}", quo.2, piso.2);
-        assert!(quo.3 > piso.3 * 1.1, "Quo VCS worst: quo={} piso={}", quo.3, piso.3);
+        assert!(
+            quo.2 > piso.2 * 1.1,
+            "Quo Flashlite worst: quo={} piso={}",
+            quo.2,
+            piso.2
+        );
+        assert!(
+            quo.3 > piso.3 * 1.1,
+            "Quo VCS worst: quo={} piso={}",
+            quo.3,
+            piso.3
+        );
         // PIso keeps the EDA jobs near SMP (paper: "comparable").
         assert!(piso.2 < 125.0, "PIso Flashlite near SMP: {}", piso.2);
         assert!(piso.3 < 125.0, "PIso VCS near SMP: {}", piso.3);

@@ -102,7 +102,10 @@ pub fn run_pmake_copy(policy: SchedulerKind, scale: Scale) -> DiskRow {
         .with_scheme(Scheme::PIso)
         .with_seek_scale(0.5)
         .with_disk_scheduler(policy);
-    let mut k = Kernel::new(cfg, SpuSet::equal_users(2).named(0, "pmake").named(1, "copy"));
+    let mut k = Kernel::new(
+        cfg,
+        SpuSet::equal_users(2).named(0, "pmake").named(1, "copy"),
+    );
     let pmake_cfg = match scale {
         Scale::Full => PmakeConfig::disk_bw(),
         Scale::Quick => PmakeConfig {
@@ -122,8 +125,8 @@ pub fn run_pmake_copy(policy: SchedulerKind, scale: Scale) -> DiskRow {
     assert!(m.completed, "pmake-copy run hit the time cap");
     DiskRow {
         policy,
-        job_a_response: m.mean_response_secs("pmake"),
-        job_b_response: m.mean_response_secs("copy"),
+        job_a_response: m.mean_response_secs("pmake").expect("pmake job ran"),
+        job_b_response: m.mean_response_secs("copy").expect("copy job ran"),
         job_a_wait_ms: m.disks[0].stream(SpuId::user(0)).mean_wait_ms(),
         job_b_wait_ms: m.disks[0].stream(SpuId::user(1)).mean_wait_ms(),
         avg_seek_ms: m.disks[0].mean_seek_ms(),
@@ -136,7 +139,10 @@ pub fn run_big_small(policy: SchedulerKind, scale: Scale) -> DiskRow {
         .with_scheme(Scheme::PIso)
         .with_seek_scale(0.5)
         .with_disk_scheduler(policy);
-    let mut k = Kernel::new(cfg, SpuSet::equal_users(2).named(0, "small").named(1, "big"));
+    let mut k = Kernel::new(
+        cfg,
+        SpuSet::equal_users(2).named(0, "small").named(1, "big"),
+    );
     let (small_bytes, big_bytes) = match scale {
         Scale::Full => (500 * 1024, 5 * 1024 * 1024),
         Scale::Quick => (250 * 1024, 2 * 1024 * 1024),
@@ -146,13 +152,18 @@ pub fn run_big_small(policy: SchedulerKind, scale: Scale) -> DiskRow {
     let big = copy_job(&mut k, 0, big_bytes, 64 * 1024);
     k.spawn_at(SpuId::user(1), big, Some("big"), SimTime::ZERO);
     let small = copy_job(&mut k, 0, small_bytes, 64 * 1024);
-    k.spawn_at(SpuId::user(0), small, Some("small"), SimTime::from_millis(30));
+    k.spawn_at(
+        SpuId::user(0),
+        small,
+        Some("small"),
+        SimTime::from_millis(30),
+    );
     let m = k.run(SimTime::from_secs(600));
     assert!(m.completed, "big-small run hit the time cap");
     DiskRow {
         policy,
-        job_a_response: m.mean_response_secs("small"),
-        job_b_response: m.mean_response_secs("big"),
+        job_a_response: m.mean_response_secs("small").expect("small copy ran"),
+        job_b_response: m.mean_response_secs("big").expect("big copy ran"),
         job_a_wait_ms: m.disks[0].stream(SpuId::user(0)).mean_wait_ms(),
         job_b_wait_ms: m.disks[0].stream(SpuId::user(1)).mean_wait_ms(),
         avg_seek_ms: m.disks[0].mean_seek_ms(),

@@ -31,6 +31,9 @@ pub struct MemIsoResult {
     pub spu2_unbalanced: [f64; 3],
     /// Major faults of SPU2 in the unbalanced configuration, per scheme.
     pub spu2_major_faults: [u64; 3],
+    /// `(p50, p95, p99)` response percentiles (s) over all jobs in the
+    /// unbalanced configuration, per scheme.
+    pub pct_unbalanced: [(f64, f64, f64); 3],
 }
 
 impl MemIsoResult {
@@ -82,6 +85,22 @@ impl MemIsoResult {
             .map(|(s, u)| vec![s.to_string(), bar_label(u)])
             .collect();
         out.push_str(&render_table(&["scheme", "unbalanced"], &rows));
+        out.push('\n');
+        out.push_str("Job-response percentiles (s), unbalanced, all jobs\n");
+        let rows: Vec<Vec<String>> = Scheme::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let (p50, p95, p99) = self.pct_unbalanced[i];
+                vec![
+                    s.to_string(),
+                    format!("{p50:.2}"),
+                    format!("{p95:.2}"),
+                    format!("{p99:.2}"),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(&["scheme", "p50", "p95", "p99"], &rows));
         out
     }
 }
@@ -96,9 +115,8 @@ fn job_config(scale: Scale) -> PmakeConfig {
     }
 }
 
-/// Runs one configuration. Returns (SPU1 mean, SPU2 mean, SPU2 major
-/// faults).
-pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64, u64) {
+/// Boots the Figure-6 machine and spawns the job set.
+fn boot(scheme: Scheme, unbalanced: bool, scale: Scale) -> Kernel {
     // Table 1: 4 CPUs, 16 MB, separate fast disks (one per SPU).
     let cfg = MachineConfig::new(4, 16, 2).with_scheme(scheme);
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
@@ -111,13 +129,36 @@ pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64, u64
         let p = job.build(&mut k, 1);
         k.spawn_at(SpuId::user(1), p, Some("spu2-b"), SimTime::ZERO);
     }
+    k
+}
+
+/// Runs one configuration. Returns (SPU1 mean, SPU2 mean, SPU2 major
+/// faults, and `(p50, p95, p99)` response percentiles over all jobs).
+pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64, u64, (f64, f64, f64)) {
+    let mut k = boot(scheme, unbalanced, scale);
     let m = k.run(SimTime::from_secs(1200));
     assert!(m.completed, "mem-iso run hit the time cap");
     (
-        m.mean_response_of_spu(SpuId::user(0)),
-        m.mean_response_of_spu(SpuId::user(1)),
+        m.mean_response_of_spu(SpuId::user(0))
+            .expect("SPU1 ran a job"),
+        m.mean_response_of_spu(SpuId::user(1))
+            .expect("SPU2 ran a job"),
         m.vm[SpuId::user(1).index()].major_faults,
+        m.response_percentiles("").expect("jobs ran"),
     )
+}
+
+/// Runs the unbalanced configuration under PIso with the 100 ms resource
+/// sampler on. Returns the metrics and the JSONL export of the per-SPU
+/// `(entitled, allowed, used)` series — the lend-and-revoke cycle of
+/// §3.2, ready for plotting.
+pub fn run_instrumented(scale: Scale) -> (smp_kernel::RunMetrics, String) {
+    let mut k = boot(Scheme::PIso, true, scale);
+    k.enable_sampling(event_sim::SimDuration::from_millis(100));
+    let m = k.run(SimTime::from_secs(1200));
+    assert!(m.completed, "instrumented mem-iso run hit the time cap");
+    let jsonl = smp_kernel::series_jsonl(&m.obsv);
+    (m, jsonl)
 }
 
 /// Runs the experiment under all three schemes.
@@ -127,14 +168,16 @@ pub fn run(scale: Scale) -> MemIsoResult {
         spu1_unbalanced: [0.0; 3],
         spu2_unbalanced: [0.0; 3],
         spu2_major_faults: [0; 3],
+        pct_unbalanced: [(0.0, 0.0, 0.0); 3],
     };
     for (i, &scheme) in Scheme::ALL.iter().enumerate() {
-        let (s1b, _, _) = run_one(scheme, false, scale);
-        let (s1u, s2u, faults) = run_one(scheme, true, scale);
+        let (s1b, _, _, _) = run_one(scheme, false, scale);
+        let (s1u, s2u, faults, pct) = run_one(scheme, true, scale);
         r.spu1_balanced[i] = s1b;
         r.spu1_unbalanced[i] = s1u;
         r.spu2_unbalanced[i] = s2u;
         r.spu2_major_faults[i] = faults;
+        r.pct_unbalanced[i] = pct;
     }
     r
 }

@@ -11,8 +11,8 @@
 //!   (5–8) in the unbalanced configuration. Paper: SMP 156, Quo 187,
 //!   PIso ~146.
 
-use event_sim::SimTime;
-use smp_kernel::{Kernel, MachineConfig};
+use event_sim::{SimDuration, SimTime};
+use smp_kernel::{Kernel, MachineConfig, RunMetrics};
 use spu_core::{Scheme, SpuId, SpuSet};
 use workloads::PmakeConfig;
 
@@ -38,6 +38,9 @@ pub struct Pmake8Result {
     pub light_unbalanced: [f64; 3],
     /// Mean response (s) of SPUs 5–8 jobs, unbalanced.
     pub heavy_unbalanced: [f64; 3],
+    /// `(p50, p95, p99)` response percentiles (s) over all jobs in the
+    /// unbalanced configuration, per scheme.
+    pub pct_unbalanced: [(f64, f64, f64); 3],
 }
 
 impl Pmake8Result {
@@ -90,6 +93,22 @@ impl Pmake8Result {
             .map(|(s, u)| vec![s.to_string(), bar_label(u)])
             .collect();
         out.push_str(&render_table(&["scheme", "unbalanced"], &rows));
+        out.push('\n');
+        out.push_str("Job-response percentiles (s), unbalanced, all jobs\n");
+        let rows: Vec<Vec<String>> = Scheme::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let (p50, p95, p99) = self.pct_unbalanced[i];
+                vec![
+                    s.to_string(),
+                    format!("{p50:.2}"),
+                    format!("{p95:.2}"),
+                    format!("{p99:.2}"),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(&["scheme", "p50", "p95", "p99"], &rows));
         out
     }
 }
@@ -104,16 +123,18 @@ fn job_config(scale: Scale) -> PmakeConfig {
     }
 }
 
-/// Runs one configuration of the Pmake8 workload.
-///
-/// Table 1: 8 CPUs, 44 MB memory, separate fast disks (one per SPU).
-/// Returns (mean response SPUs 1–4, mean response SPUs 5–8).
-pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64) {
+/// Builds and spawns the Pmake8 job set into a fresh kernel.
+fn boot(scheme: Scheme, unbalanced: bool, scale: Scale) -> Kernel {
     let cfg = MachineConfig::new(8, 44, 8).with_scheme(scheme);
     let mut k = Kernel::new(cfg, SpuSet::equal_users(8));
+    spawn_jobs(&mut k, unbalanced, scale);
+    k
+}
+
+fn spawn_jobs(k: &mut Kernel, unbalanced: bool, scale: Scale) {
     let job = job_config(scale);
     for spu_idx in 0..8u32 {
-        let prog = job.build(&mut k, spu_idx as usize);
+        let prog = job.build(k, spu_idx as usize);
         k.spawn_at(
             SpuId::user(spu_idx),
             prog,
@@ -121,7 +142,7 @@ pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64) {
             SimTime::ZERO,
         );
         if unbalanced && spu_idx >= 4 {
-            let prog = job.build(&mut k, spu_idx as usize);
+            let prog = job.build(k, spu_idx as usize);
             k.spawn_at(
                 SpuId::user(spu_idx),
                 prog,
@@ -130,15 +151,28 @@ pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64) {
             );
         }
     }
+}
+
+/// Runs one configuration of the Pmake8 workload.
+///
+/// Table 1: 8 CPUs, 44 MB memory, separate fast disks (one per SPU).
+/// Returns (mean response SPUs 1–4, mean response SPUs 5–8, and
+/// `(p50, p95, p99)` response percentiles over all jobs).
+pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64, (f64, f64, f64)) {
+    let mut k = boot(scheme, unbalanced, scale);
     let m = k.run(SimTime::from_secs(600));
     assert!(m.completed, "pmake8 run hit the time cap");
     let mean_of = |spus: std::ops::Range<u32>| -> f64 {
         let vals: Vec<f64> = spus
-            .map(|s| m.mean_response_of_spu(SpuId::user(s)))
+            .map(|s| {
+                m.mean_response_of_spu(SpuId::user(s))
+                    .expect("every SPU ran a pmake job")
+            })
             .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
-    (mean_of(0..4), mean_of(4..8))
+    let pct = m.response_percentiles("pmake").expect("pmake jobs ran");
+    (mean_of(0..4), mean_of(4..8), pct)
 }
 
 /// Runs the full experiment: both configurations under all three
@@ -147,17 +181,56 @@ pub fn run(scale: Scale) -> Pmake8Result {
     let mut light_balanced = [0.0; 3];
     let mut light_unbalanced = [0.0; 3];
     let mut heavy_unbalanced = [0.0; 3];
+    let mut pct_unbalanced = [(0.0, 0.0, 0.0); 3];
     for (i, &scheme) in Scheme::ALL.iter().enumerate() {
-        let (light_b, _) = run_one(scheme, false, scale);
-        let (light_u, heavy_u) = run_one(scheme, true, scale);
+        let (light_b, _, _) = run_one(scheme, false, scale);
+        let (light_u, heavy_u, pct_u) = run_one(scheme, true, scale);
         light_balanced[i] = light_b;
         light_unbalanced[i] = light_u;
         heavy_unbalanced[i] = heavy_u;
+        pct_unbalanced[i] = pct_u;
     }
     Pmake8Result {
         light_balanced,
         light_unbalanced,
         heavy_unbalanced,
+        pct_unbalanced,
+    }
+}
+
+/// One fully-instrumented PIso run of the unbalanced configuration:
+/// tracing and periodic sampling enabled, exports rendered.
+#[derive(Clone, Debug)]
+pub struct InstrumentedRun {
+    /// The run's metrics (including the observability report).
+    pub metrics: RunMetrics,
+    /// JSONL metrics export ([`smp_kernel::metrics_jsonl`]).
+    pub metrics_jsonl: String,
+    /// Chrome trace-event JSON ([`smp_kernel::chrome_trace_json`]),
+    /// loadable in Perfetto / `chrome://tracing`.
+    pub chrome_trace: String,
+}
+
+/// Runs the unbalanced Pmake8 workload under PIso with the event trace
+/// and the 100 ms resource sampler on, and renders both exports.
+///
+/// Deterministic: two calls at the same scale produce byte-identical
+/// export strings.
+pub fn run_instrumented(scale: Scale) -> InstrumentedRun {
+    let mut k = boot(Scheme::PIso, true, scale);
+    k.enable_trace(1 << 20);
+    k.enable_sampling(SimDuration::from_millis(100));
+    let metrics = k.run(SimTime::from_secs(600));
+    assert!(
+        metrics.completed,
+        "instrumented pmake8 run hit the time cap"
+    );
+    let metrics_jsonl = smp_kernel::metrics_jsonl(&metrics);
+    let chrome_trace = smp_kernel::chrome_trace_json(k.trace(), k.spus(), &metrics.obsv);
+    InstrumentedRun {
+        metrics,
+        metrics_jsonl,
+        chrome_trace,
     }
 }
 

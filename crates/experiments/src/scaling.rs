@@ -52,7 +52,10 @@ pub fn run_point(scheme: Scheme, heavy_jobs: u32, scale: Scale) -> f64 {
     let m = k.run(SimTime::from_secs(1200));
     assert!(m.completed, "scaling point hit the cap");
     let vals: Vec<f64> = (0..4)
-        .map(|s| m.mean_response_of_spu(SpuId::user(s)))
+        .map(|s| {
+            m.mean_response_of_spu(SpuId::user(s))
+                .expect("light SPU ran a job")
+        })
         .collect();
     vals.iter().sum::<f64>() / vals.len() as f64
 }
@@ -94,10 +97,7 @@ pub fn format(points: &[ScalingPoint]) -> String {
         "Load scaling (extension): light-SPU response vs background load\n\
          (normalized per scheme to the 1-job-per-heavy-SPU point = 100)\n",
     );
-    out.push_str(&render_table(
-        &["heavy jobs", "SMP", "Quo", "PIso"],
-        &rows,
-    ));
+    out.push_str(&render_table(&["heavy jobs", "SMP", "Quo", "PIso"], &rows));
     out
 }
 

@@ -37,7 +37,12 @@ pub fn table1() -> String {
     ];
     let mut out = String::from("Table 1: the workloads used for the performance results\n");
     out.push_str(&render_table(
-        &["Workload", "System parameters", "Applications", "SPU configuration"],
+        &[
+            "Workload",
+            "System parameters",
+            "Applications",
+            "SPU configuration",
+        ],
         &rows,
     ));
     out
@@ -49,11 +54,15 @@ pub fn table2() -> String {
         .iter()
         .map(|s| {
             vec![
-                format!("{} ({})", match s {
-                    Scheme::Smp => "SMP operating system",
-                    Scheme::Quota => "Fixed Quota",
-                    Scheme::PIso => "Performance Isolation",
-                }, s.label()),
+                format!(
+                    "{} ({})",
+                    match s {
+                        Scheme::Smp => "SMP operating system",
+                        Scheme::Quota => "Fixed Quota",
+                        Scheme::PIso => "Performance Isolation",
+                    },
+                    s.label()
+                ),
                 s.description().to_string(),
             ]
         })
@@ -76,7 +85,10 @@ pub fn figure1() -> String {
             "1 1 1 1 2 2 2 2".to_string(),
         ],
     ];
-    out.push_str(&render_table(&["Configuration", "jobs per SPU 1..8"], &rows));
+    out.push_str(&render_table(
+        &["Configuration", "jobs per SPU 1..8"],
+        &rows,
+    ));
     out
 }
 
@@ -95,7 +107,10 @@ pub fn figure4() -> String {
             "half the machine (4 processors)".to_string(),
         ],
     ];
-    out.push_str(&render_table(&["SPU", "Applications", "Entitlement"], &rows));
+    out.push_str(&render_table(
+        &["SPU", "Applications", "Entitlement"],
+        &rows,
+    ));
     out
 }
 
@@ -103,7 +118,11 @@ pub fn figure4() -> String {
 pub fn figure6() -> String {
     let mut out = String::from("Figure 6: SPU configurations for the memory-isolation workload\n");
     let rows = vec![
-        vec!["Balanced (2 jobs)".to_string(), "1 job".to_string(), "1 job".to_string()],
+        vec![
+            "Balanced (2 jobs)".to_string(),
+            "1 job".to_string(),
+            "1 job".to_string(),
+        ],
         vec![
             "Unbalanced (3 jobs)".to_string(),
             "1 job".to_string(),

@@ -285,7 +285,11 @@ mod tests {
         let batch = c.take_dirty_batch(3);
         assert_eq!(batch.len(), 3);
         assert_eq!(c.dirty_blocks(), 2);
-        assert_eq!(c.dirty_load(), 5, "flushing still counts against the watermark");
+        assert_eq!(
+            c.dirty_load(),
+            5,
+            "flushing still counts against the watermark"
+        );
         c.flush_completed(3);
         assert_eq!(c.dirty_load(), 2);
     }

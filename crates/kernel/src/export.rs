@@ -1,0 +1,483 @@
+//! Deterministic exporters: JSONL metrics dumps and Chrome trace-event
+//! JSON.
+//!
+//! Everything here is hand-rolled string building (the build environment
+//! has no serde), driven only by simulated time and iterated in fixed
+//! orders, so two identical runs produce **byte-identical** output.
+//!
+//! * [`metrics_jsonl`] — one JSON object per line: a run header, one
+//!   line per job, per named counter, per latency histogram (with
+//!   p50/p95/p99), and per resource sample.
+//! * [`chrome_trace_json`] — the recorded [`Trace`] plus sampler series
+//!   as a Chrome trace-event file (`chrome://tracing` / Perfetto): `"X"`
+//!   complete events for on-CPU spans (pid = SPU, tid = CPU), `"i"`
+//!   instants for faults, I/O issues and policy runs, and `"C"` counter
+//!   tracks from the per-SPU series.
+
+use event_sim::LogHistogram;
+use spu_core::SpuSet;
+
+use crate::metrics::RunMetrics;
+use crate::obsv::ObsvReport;
+use crate::trace::{Trace, TraceEvent};
+
+/// Escapes a string for a JSON string literal (quotes not included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number token for `x`; non-finite values become `null`.
+pub fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One `{"name":…,"count":…,"mean":…,"p50":…,"p95":…,"p99":…,"max":…}`
+/// object (no trailing newline) for a latency histogram, values in
+/// seconds.
+pub fn histogram_json(name: &str, h: &LogHistogram) -> String {
+    let pct = |p: f64| match h.percentile(p) {
+        Some(v) => json_num(v),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+        json_escape(name),
+        h.count(),
+        json_num(h.mean()),
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+        json_num(h.max()),
+    )
+}
+
+/// The per-SPU resource series as JSONL, one sample per line.
+pub fn series_jsonl(report: &ObsvReport) -> String {
+    let mut out = String::new();
+    for s in &report.series {
+        for p in &s.samples {
+            out.push_str(&format!(
+                "{{\"type\":\"sample\",\"spu\":\"{}\",\"spu_index\":{},\"resource\":\"{}\",\
+                 \"t_secs\":{},\"entitled\":{},\"allowed\":{},\"used\":{}}}\n",
+                json_escape(&s.spu_name),
+                s.spu.index(),
+                s.resource.as_str(),
+                json_num(p.at.as_secs_f64()),
+                json_num(p.entitled),
+                json_num(p.allowed),
+                json_num(p.used),
+            ));
+        }
+    }
+    out
+}
+
+/// The counter registry as JSONL, one counter per line, in name order.
+pub fn counters_jsonl(report: &ObsvReport) -> String {
+    let mut out = String::new();
+    for (name, value) in report.counters.iter() {
+        out.push_str(&format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
+            json_escape(name),
+            value
+        ));
+    }
+    out
+}
+
+/// A full run as JSONL: run header, jobs, counters, latency histograms,
+/// then every resource sample.
+pub fn metrics_jsonl(m: &RunMetrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"run\",\"end_secs\":{},\"completed\":{},\"jobs\":{}}}\n",
+        json_num(m.end_time.as_secs_f64()),
+        m.completed,
+        m.jobs.len()
+    ));
+    for j in &m.jobs {
+        let resp = match j.response() {
+            Some(d) => json_num(d.as_secs_f64()),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"type\":\"job\",\"label\":\"{}\",\"spu\":{},\"started_secs\":{},\"response_secs\":{}}}\n",
+            json_escape(&j.label),
+            j.spu.index(),
+            json_num(j.started.as_secs_f64()),
+            resp
+        ));
+    }
+    out.push_str(&counters_jsonl(&m.obsv));
+    for (name, h) in m.obsv.latency.named() {
+        out.push_str("{\"type\":\"histogram\",");
+        // Splice the histogram object's fields into this line.
+        let body = histogram_json(name, h);
+        out.push_str(&body[1..]);
+        out.push('\n');
+    }
+    out.push_str(&series_jsonl(&m.obsv));
+    out
+}
+
+/// Renders the trace and sampler series as a Chrome trace-event JSON
+/// document (load in `chrome://tracing` or Perfetto).
+///
+/// Mapping: Chrome `pid` = SPU index (process names from `spus`),
+/// `tid` = CPU number. On-CPU spans become `"X"` complete events; faults,
+/// I/O issues and memory-policy runs become `"i"` instants; sampler
+/// series become `"C"` counter tracks. Timestamps are microseconds of
+/// simulated time.
+pub fn chrome_trace_json(trace: &Trace, spus: &SpuSet, report: &ObsvReport) -> String {
+    let us = |t: event_sim::SimTime| -> f64 { t.as_nanos() as f64 / 1000.0 };
+    let mut events: Vec<String> = Vec::new();
+    // Process-name metadata, one per SPU.
+    for id in spus.all_ids() {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            id.index(),
+            json_escape(spus.name(id))
+        ));
+    }
+    // On-CPU spans: Dispatch opens, Preempt/Block (or the next Dispatch
+    // on the same CPU, or end-of-trace) closes.
+    let mut open: Vec<
+        Option<(
+            event_sim::SimTime,
+            crate::process::Pid,
+            spu_core::SpuId,
+            bool,
+        )>,
+    > = Vec::new();
+    let mut last_at = event_sim::SimTime::ZERO;
+    let close = |events: &mut Vec<String>,
+                 slot: &mut Option<(
+        event_sim::SimTime,
+        crate::process::Pid,
+        spu_core::SpuId,
+        bool,
+    )>,
+                 cpu: usize,
+                 end: event_sim::SimTime| {
+        if let Some((start, pid, spu, loaned)) = slot.take() {
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
+                 \"name\":\"pid{}\",\"args\":{{\"loaned\":{}}}}}",
+                spu.index(),
+                cpu,
+                json_num(us(start)),
+                json_num(us(end) - us(start)),
+                pid.0,
+                loaned
+            ));
+        }
+    };
+    for ev in trace.iter() {
+        last_at = last_at.max(ev.at());
+        match *ev {
+            TraceEvent::Dispatch {
+                at,
+                cpu,
+                pid,
+                spu,
+                loaned,
+            } => {
+                if open.len() <= cpu {
+                    open.resize(cpu + 1, None);
+                }
+                let mut slot = open[cpu].take();
+                close(&mut events, &mut slot, cpu, at);
+                open[cpu] = Some((at, pid, spu, loaned));
+            }
+            TraceEvent::Preempt { at, cpu, .. } => {
+                if let Some(slot) = open.get_mut(cpu) {
+                    let mut s = slot.take();
+                    close(&mut events, &mut s, cpu, at);
+                }
+            }
+            TraceEvent::Block { at, pid, .. } => {
+                for (cpu, slot) in open.iter_mut().enumerate() {
+                    if matches!(slot, Some((_, p, _, _)) if *p == pid) {
+                        let mut s = slot.take();
+                        close(&mut events, &mut s, cpu, at);
+                        break;
+                    }
+                }
+            }
+            TraceEvent::Fault { at, spu, major } => {
+                events.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":{},\"tid\":0,\"ts\":{},\"s\":\"p\",\
+                     \"name\":\"fault:{}\"}}",
+                    spu.index(),
+                    json_num(us(at)),
+                    if major { "major" } else { "minor" }
+                ));
+            }
+            TraceEvent::IoIssue {
+                at,
+                disk,
+                stream,
+                sectors,
+            } => {
+                events.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":{},\"tid\":0,\"ts\":{},\"s\":\"p\",\
+                     \"name\":\"io:disk{}\",\"args\":{{\"sectors\":{}}}}}",
+                    stream.index(),
+                    json_num(us(at)),
+                    disk,
+                    sectors
+                ));
+            }
+            TraceEvent::PolicyRun { at } => {
+                events.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":{},\"s\":\"g\",\
+                     \"name\":\"mem-policy\"}}",
+                    json_num(us(at))
+                ));
+            }
+            TraceEvent::Wake { .. } => {}
+        }
+    }
+    for (cpu, slot) in open.iter_mut().enumerate() {
+        let mut s = slot.take();
+        close(&mut events, &mut s, cpu, last_at);
+    }
+    // Counter tracks from the sampler series.
+    for s in &report.series {
+        for p in &s.samples {
+            events.push(format!(
+                "{{\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{},\"name\":\"{}\",\
+                 \"args\":{{\"entitled\":{},\"allowed\":{},\"used\":{}}}}}",
+                s.spu.index(),
+                json_num(us(p.at)),
+                s.resource.as_str(),
+                json_num(p.entitled),
+                json_num(p.allowed),
+                json_num(p.used)
+            ));
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obsv::{ResourceKind, ResourceSample, SampleSeries};
+    use crate::process::Pid;
+    use event_sim::SimTime;
+    use spu_core::SpuId;
+
+    /// A minimal JSON syntax checker: returns the rest of the input after
+    /// one value, or panics with a location.
+    fn skip_value(s: &[u8], mut i: usize) -> usize {
+        fn skip_ws(s: &[u8], mut i: usize) -> usize {
+            while i < s.len() && (s[i] as char).is_whitespace() {
+                i += 1;
+            }
+            i
+        }
+        i = skip_ws(s, i);
+        assert!(i < s.len(), "truncated JSON");
+        match s[i] {
+            b'{' => {
+                i += 1;
+                i = skip_ws(s, i);
+                if s[i] == b'}' {
+                    return i + 1;
+                }
+                loop {
+                    i = skip_ws(s, i);
+                    assert_eq!(s[i], b'"', "object key at {i}");
+                    i = skip_value(s, i); // key string
+                    i = skip_ws(s, i);
+                    assert_eq!(s[i], b':', "colon at {i}");
+                    i = skip_value(s, i + 1);
+                    i = skip_ws(s, i);
+                    match s[i] {
+                        b',' => i += 1,
+                        b'}' => return i + 1,
+                        c => panic!("bad object separator {:?} at {i}", c as char),
+                    }
+                }
+            }
+            b'[' => {
+                i += 1;
+                i = skip_ws(s, i);
+                if s[i] == b']' {
+                    return i + 1;
+                }
+                loop {
+                    i = skip_value(s, i);
+                    i = skip_ws(s, i);
+                    match s[i] {
+                        b',' => i += 1,
+                        b']' => return i + 1,
+                        c => panic!("bad array separator {:?} at {i}", c as char),
+                    }
+                }
+            }
+            b'"' => {
+                i += 1;
+                while s[i] != b'"' {
+                    if s[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i + 1
+            }
+            b't' => i + 4,
+            b'f' => i + 5,
+            b'n' => i + 4,
+            _ => {
+                while i < s.len() && matches!(s[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                i
+            }
+        }
+    }
+
+    fn assert_valid_json(doc: &str) {
+        let bytes = doc.as_bytes();
+        let end = skip_value(bytes, 0);
+        assert!(
+            doc[end..].trim().is_empty(),
+            "trailing garbage after JSON value"
+        );
+    }
+
+    fn sample_series() -> SampleSeries {
+        let mut s = SampleSeries::new(SpuId::user(0), "user0", ResourceKind::Memory);
+        s.push(ResourceSample {
+            at: SimTime::from_millis(100),
+            entitled: 10.0,
+            allowed: 12.5,
+            used: 11.0,
+        });
+        s
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn histogram_json_is_valid() {
+        let mut h = LogHistogram::latency();
+        h.add(0.001);
+        h.add(0.01);
+        let doc = histogram_json("response", &h);
+        assert_valid_json(&doc);
+        assert!(doc.contains("\"p95\":"));
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_null() {
+        let h = LogHistogram::latency();
+        let doc = histogram_json("empty", &h);
+        assert_valid_json(&doc);
+        assert!(doc.contains("\"p50\":null"));
+    }
+
+    #[test]
+    fn jsonl_lines_are_each_valid() {
+        let mut report = ObsvReport::default();
+        report.counters.add("locks.acquires", 3);
+        report.series.push(sample_series());
+        let doc = format!("{}{}", counters_jsonl(&report), series_jsonl(&report));
+        assert_eq!(doc.lines().count(), 2);
+        for line in doc.lines() {
+            assert_valid_json(line);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_and_closes_spans() {
+        let mut tr = Trace::new();
+        tr.enable(100);
+        let spu = SpuId::user(0);
+        tr.push(TraceEvent::Dispatch {
+            at: SimTime::from_millis(1),
+            cpu: 0,
+            pid: Pid(1),
+            spu,
+            loaned: false,
+        });
+        tr.push(TraceEvent::Preempt {
+            at: SimTime::from_millis(5),
+            cpu: 0,
+            pid: Pid(1),
+        });
+        tr.push(TraceEvent::Dispatch {
+            at: SimTime::from_millis(6),
+            cpu: 1,
+            pid: Pid(2),
+            spu: SpuId::user(1),
+            loaned: true,
+        });
+        tr.push(TraceEvent::Fault {
+            at: SimTime::from_millis(7),
+            spu,
+            major: true,
+        });
+        let mut report = ObsvReport::default();
+        report.series.push(sample_series());
+        let doc = chrome_trace_json(&tr, &SpuSet::equal_users(2), &report);
+        assert_valid_json(&doc);
+        // Two X spans: the preempted one and the one closed at trace end.
+        assert_eq!(doc.matches("\"ph\":\"X\"").count(), 2);
+        assert!(doc.contains("\"dur\":4000")); // 4 ms in µs
+        assert!(doc.contains("\"loaned\":true"));
+        assert!(doc.contains("fault:major"));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("process_name"));
+    }
+
+    #[test]
+    fn block_closes_the_span_of_the_blocking_pid() {
+        let mut tr = Trace::new();
+        tr.enable(100);
+        tr.push(TraceEvent::Dispatch {
+            at: SimTime::from_millis(0),
+            cpu: 3,
+            pid: Pid(9),
+            spu: SpuId::user(0),
+            loaned: false,
+        });
+        tr.push(TraceEvent::Block {
+            at: SimTime::from_millis(2),
+            pid: Pid(9),
+            reason: crate::process::BlockReason::Io,
+        });
+        let doc = chrome_trace_json(&tr, &SpuSet::equal_users(1), &ObsvReport::default());
+        assert_valid_json(&doc);
+        assert_eq!(doc.matches("\"ph\":\"X\"").count(), 1);
+        assert!(doc.contains("\"tid\":3"));
+        assert!(doc.contains("\"dur\":2000"));
+    }
+}

@@ -9,9 +9,9 @@
 
 use std::collections::HashMap;
 
-use event_sim::{EventQueue, SimDuration, SimTime};
+use event_sim::{EventQueue, LogHistogram, SimDuration, SimTime};
 use hp_disk::{DiskDevice, DiskModel, DiskRequest, RequestKind};
-use spu_core::{SpuId, SpuSet};
+use spu_core::{CpuPartition, SpuId, SpuSet};
 use std::sync::Arc;
 
 use crate::bufcache::{BufferCache, CacheEntry};
@@ -19,9 +19,10 @@ use crate::config::{MachineConfig, SECTORS_PER_PAGE};
 use crate::fs::{FileId, FileSystem};
 use crate::locks::LockTable;
 use crate::metrics::{JobRecord, RunMetrics};
-use crate::process::{
-    BlockReason, JobId, MicroOp, PageState, Pid, ProcState, Process,
+use crate::obsv::{
+    CounterRegistry, LatencyStats, ObsvReport, ResourceKind, ResourceSample, SampleSeries,
 };
+use crate::process::{BlockReason, JobId, MicroOp, PageState, Pid, ProcState, Process};
 use crate::program::{BarrierId, Program};
 use crate::sched::{ProcTable, Scheduler};
 use crate::trace::{Trace, TraceEvent};
@@ -46,6 +47,18 @@ enum Event {
     /// An inter-processor interrupt revokes loaned CPUs immediately
     /// (optional §3.1 extension).
     Ipi,
+    /// The periodic observability sampler records per-SPU resource
+    /// levels (see [`Kernel::enable_sampling`]).
+    Sample,
+}
+
+/// Scheduler event tallies published as `sched.*` counters.
+#[derive(Debug, Default)]
+struct SchedCounters {
+    dispatches: u64,
+    preemptions: u64,
+    loans: u64,
+    ipis: u64,
 }
 
 /// What a completed disk request was for.
@@ -115,6 +128,20 @@ pub struct Kernel {
     live_procs: u32,
     jobs: Vec<JobRecord>,
     spu_cpu: Vec<SimDuration>,
+    // --- observability ---------------------------------------------------
+    /// Sampling interval, `None` until [`enable_sampling`](Self::enable_sampling).
+    sample_interval: Option<SimDuration>,
+    /// Per-SPU resource series, SPU-major, [`ResourceKind::ALL`] order.
+    series: Vec<SampleSeries>,
+    /// Each user SPU's CPU entitlement from the §3.1 hybrid partition.
+    cpu_entitled: Vec<f64>,
+    /// Live latency histograms.
+    latency: LatencyStats,
+    /// Pending wake → dispatch measurements (latest wake wins).
+    wake_pending: HashMap<Pid, SimTime>,
+    /// Per-CPU time a revocation became needed (cleared at deschedule).
+    revoke_requested: Vec<Option<SimTime>>,
+    sched_counts: SchedCounters,
 }
 
 impl Kernel {
@@ -175,6 +202,13 @@ impl Kernel {
             live_procs: 0,
             jobs: Vec::new(),
             spu_cpu: vec![SimDuration::ZERO; n_spus],
+            sample_interval: None,
+            series: Vec::new(),
+            cpu_entitled: Vec::new(),
+            latency: LatencyStats::new(),
+            wake_pending: HashMap::new(),
+            revoke_requested: vec![None; cfg.cpus],
+            sched_counts: SchedCounters::default(),
             cfg,
         }
     }
@@ -209,6 +243,38 @@ impl Kernel {
     /// The recorded trace (empty unless enabled).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Enables the periodic resource sampler: every `interval` of
+    /// simulated time the kernel records each user SPU's
+    /// `(entitled, allowed, used)` levels for CPU, memory and disk
+    /// bandwidth (plus one sample at run start). Call before
+    /// [`run`](Self::run); the series come back in
+    /// [`RunMetrics::obsv`](crate::metrics::RunMetrics).
+    ///
+    /// Sampling reads state the event loop maintains anyway (ledger
+    /// levels, CPU occupancy, decayed bandwidth counts whose decay is
+    /// step-invariant), so enabling it never changes the simulation's
+    /// behaviour — only what gets recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enable_sampling(&mut self, interval: SimDuration) {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        self.sample_interval = Some(interval);
+        let partition = CpuPartition::compute(self.cfg.cpus, &self.spus);
+        self.cpu_entitled = self
+            .spus
+            .user_ids()
+            .map(|id| partition.milli_cpus(id) as f64 / 1000.0)
+            .collect();
+        self.series = self
+            .spus
+            .user_ids()
+            .flat_map(|id| ResourceKind::ALL.into_iter().map(move |r| (id, r)))
+            .map(|(id, r)| SampleSeries::new(id, self.spus.name(id), r))
+            .collect();
     }
 
     /// Creates a file on `disk` (see [`FileSystem::create`]).
@@ -255,6 +321,10 @@ impl Kernel {
             .schedule(self.now + t.sync_period, Event::SyncDaemon);
         self.events
             .schedule(self.now + t.mem_policy_period, Event::MemPolicy);
+        if let Some(iv) = self.sample_interval {
+            self.on_sample(); // baseline sample at run start
+            self.events.schedule(self.now + iv, Event::Sample);
+        }
         let mut completed = false;
         while let Some((at, ev)) = self.events.pop() {
             if at > cap {
@@ -282,10 +352,8 @@ impl Kernel {
             Event::SyncDaemon => {
                 self.flush_dirty(usize::MAX);
                 if self.live_procs > 0 {
-                    self.events.schedule(
-                        self.now + self.cfg.tuning.sync_period,
-                        Event::SyncDaemon,
-                    );
+                    self.events
+                        .schedule(self.now + self.cfg.tuning.sync_period, Event::SyncDaemon);
                 }
             }
             Event::MemPolicy => {
@@ -301,12 +369,97 @@ impl Kernel {
             }
             Event::Ipi => {
                 self.ipi_pending = false;
+                self.sched_counts.ipis += 1;
                 for cpu in 0..self.sched.cpu_count() {
                     if self.sched.needs_revocation(cpu) {
                         self.preempt(cpu);
                         self.dispatch(cpu);
                     }
                 }
+            }
+            Event::Sample => {
+                self.on_sample();
+                if self.live_procs > 0 {
+                    if let Some(iv) = self.sample_interval {
+                        self.events.schedule(self.now + iv, Event::Sample);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records one `(entitled, allowed, used)` sample per user SPU and
+    /// resource. See [`enable_sampling`](Self::enable_sampling).
+    fn on_sample(&mut self) {
+        let now = self.now;
+        let user_count = self.spus.user_count();
+        // CPU occupancy: how many CPUs each user SPU is running on, and
+        // how many of those are loans from other SPUs' home CPUs.
+        let mut cpu_used = vec![0u64; user_count];
+        let mut cpu_loaned = vec![0u64; user_count];
+        for i in 0..self.sched.cpu_count() {
+            let c = self.sched.cpu(i);
+            if let Some(pid) = c.running {
+                if let Some(u) = self.procs.get(pid).spu.user_index() {
+                    cpu_used[u] += 1;
+                    if c.loaned {
+                        cpu_loaned[u] += 1;
+                    }
+                }
+            }
+        }
+        // Disk bandwidth: decayed sector counts per §3.3. The decay is
+        // step-invariant, so reading it here does not perturb scheduling.
+        let disk_used: Vec<f64> = (0..user_count)
+            .map(|u| {
+                let spu = SpuId::user(u as u32);
+                self.disks
+                    .iter_mut()
+                    .map(|d| d.sampled_bandwidth(spu, now))
+                    .sum()
+            })
+            .collect();
+        let disk_total: f64 = disk_used.iter().sum();
+        let disk_weight_sum: f64 = self
+            .spus
+            .user_ids()
+            .map(|id| self.spus.disk_weight(id) as f64)
+            .sum();
+        for (u, id) in self.spus.user_ids().enumerate() {
+            // Memory, straight from the ledger (§3.2): under PIso the
+            // policy raises `allowed` above `entitled` while lending and
+            // drops it back at the next evaluation.
+            let lv = self.vm.levels(id);
+            let mem = ResourceSample {
+                at: now,
+                entitled: lv.entitled as f64,
+                allowed: lv.allowed as f64,
+                used: lv.used as f64,
+            };
+            // CPU: entitlement from the hybrid partition; `allowed` is the
+            // entitlement plus any CPUs currently borrowed (§3.1 loans).
+            let cpu = ResourceSample {
+                at: now,
+                entitled: self.cpu_entitled[u],
+                allowed: self.cpu_entitled[u] + cpu_loaned[u] as f64,
+                used: cpu_used[u] as f64,
+            };
+            // Disk: the fair share of the current decayed total is the
+            // entitlement; `allowed` tops out at actual usage because the
+            // §3.3 scheduler throttles rather than reserves.
+            let entitled = if disk_weight_sum > 0.0 {
+                disk_total * self.spus.disk_weight(id) as f64 / disk_weight_sum
+            } else {
+                0.0
+            };
+            let disk = ResourceSample {
+                at: now,
+                entitled,
+                allowed: entitled.max(disk_used[u]),
+                used: disk_used[u],
+            };
+            for (slot, sample) in [cpu, mem, disk].into_iter().enumerate() {
+                self.series[u * ResourceKind::ALL.len() + slot].push(sample);
             }
         }
     }
@@ -324,18 +477,30 @@ impl Kernel {
             pid,
             spu,
         });
+        // Wake→dispatch latency starts (or restarts — latest wake wins)
+        // here; the matching dispatch closes it.
+        self.wake_pending.insert(pid, self.now);
         self.sched.enqueue(&mut self.procs, pid);
         if let Some(cpu) = self.sched.find_idle_for(spu) {
             self.dispatch(cpu);
-        } else if self.cfg.tuning.ipi_revocation && !self.ipi_pending {
-            // No CPU free: if one of this SPU's home CPUs is out on loan,
-            // interrupt it now rather than waiting for the tick. The IPI
-            // is delivered as a same-timestamp event so revocation never
-            // re-enters the interpreter of the CPU that woke us.
-            let needs = (0..self.sched.cpu_count()).any(|c| self.sched.needs_revocation(c));
-            if needs {
-                self.ipi_pending = true;
-                self.events.schedule(self.now, Event::Ipi);
+        } else {
+            // No CPU free: any loaned-out CPU this wake-up makes
+            // revocable starts the revocation-latency clock now.
+            for cpu in 0..self.sched.cpu_count() {
+                if self.sched.needs_revocation(cpu) && self.revoke_requested[cpu].is_none() {
+                    self.revoke_requested[cpu] = Some(self.now);
+                }
+            }
+            if self.cfg.tuning.ipi_revocation && !self.ipi_pending {
+                // If one of this SPU's home CPUs is out on loan, interrupt
+                // it now rather than waiting for the tick. The IPI is
+                // delivered as a same-timestamp event so revocation never
+                // re-enters the interpreter of the CPU that woke us.
+                let needs = (0..self.sched.cpu_count()).any(|c| self.sched.needs_revocation(c));
+                if needs {
+                    self.ipi_pending = true;
+                    self.events.schedule(self.now, Event::Ipi);
+                }
             }
         }
     }
@@ -372,6 +537,15 @@ impl Kernel {
             spu,
             loaned,
         });
+        self.sched_counts.dispatches += 1;
+        if loaned {
+            self.sched_counts.loans += 1;
+        }
+        if let Some(woke) = self.wake_pending.remove(&pid) {
+            self.latency
+                .wake_to_dispatch
+                .add_duration(self.now.saturating_since(woke));
+        }
         self.procs.get_mut(pid).state = ProcState::Running(cpu);
         self.interpret(cpu);
     }
@@ -381,11 +555,22 @@ impl Kernel {
     fn deschedule(&mut self, cpu: usize) -> Pid {
         let c = self.sched.cpu_mut(cpu);
         let pid = c.running.take().expect("deschedule of idle cpu");
+        let was_loaned = c.loaned;
         let consumed = self.now.saturating_since(c.run_start);
         c.busy_total += consumed;
         c.gen += 1;
         c.loaned = false;
         c.idle_since = Some(self.now);
+        // §3.1 revocation latency: a home wake-up marked this loaned CPU
+        // revocable; the borrower leaving it (preempt at the tick/IPI, or
+        // a voluntary kernel entry) completes the revocation.
+        if let Some(requested) = self.revoke_requested[cpu].take() {
+            if was_loaned {
+                self.latency
+                    .revocation
+                    .add_duration(self.now.saturating_since(requested));
+            }
+        }
         let p = self.procs.get_mut(pid);
         p.cpu_time += consumed;
         p.p_cpu += consumed.as_millis_f64();
@@ -404,6 +589,7 @@ impl Kernel {
             cpu,
             pid,
         });
+        self.sched_counts.preemptions += 1;
         let p = self.procs.get_mut(pid);
         // A preempted process is necessarily inside a Cpu burst: every
         // other micro-op resolves synchronously during interpret.
@@ -474,8 +660,16 @@ impl Kernel {
             let c = self.sched.cpu_mut(cpu);
             c.running = None;
             c.gen += 1;
+            let was_loaned = c.loaned;
             c.loaned = false;
             c.idle_since = Some(self.now);
+            if let Some(requested) = self.revoke_requested[cpu].take() {
+                if was_loaned {
+                    self.latency
+                        .revocation
+                        .add_duration(self.now.saturating_since(requested));
+                }
+            }
             let p = self.procs.get_mut(pid);
             p.state = ProcState::Ready;
             self.sched.enqueue(&mut self.procs, pid);
@@ -665,14 +859,14 @@ impl Kernel {
                 page += 1;
                 continue;
             }
-            let (frame, evicted) =
-                match self.vm.acquire_frame(spu, FrameOwner::Anon { pid, page }) {
-                    Acquired::Frame { frame, evicted } => (frame, evicted),
-                    Acquired::Denied => {
-                        denied = true;
-                        break;
-                    }
-                };
+            let (frame, evicted) = match self.vm.acquire_frame(spu, FrameOwner::Anon { pid, page })
+            {
+                Acquired::Frame { frame, evicted } => (frame, evicted),
+                Acquired::Denied => {
+                    denied = true;
+                    break;
+                }
+            };
             if let Some(ev) = evicted {
                 self.handle_eviction(ev, Some(pid));
             }
@@ -740,8 +934,7 @@ impl Kernel {
             let sectors = frames.len() as u32 * SECTORS_PER_PAGE;
             let tag = k.next_tag();
             let sector = k.swap_sector(disk, start);
-            let req =
-                DiskRequest::new(spu, RequestKind::Read, sector, sectors).with_tag(tag);
+            let req = DiskRequest::new(spu, RequestKind::Read, sector, sectors).with_tag(tag);
             k.io_purpose.insert(
                 tag,
                 IoPurpose::SwapIn {
@@ -790,16 +983,10 @@ impl Kernel {
                     let disk = self.swap_disk_of(ev.spu);
                     let sector = self.swap_sector(disk, slot);
                     let tag = self.next_tag();
-                    let stream = charge_to
-                        .map(|p| self.procs.get(p).spu)
-                        .unwrap_or(ev.spu);
-                    let req = DiskRequest::new(
-                        stream,
-                        RequestKind::Write,
-                        sector,
-                        SECTORS_PER_PAGE,
-                    )
-                    .with_tag(tag);
+                    let stream = charge_to.map(|p| self.procs.get(p).spu).unwrap_or(ev.spu);
+                    let req =
+                        DiskRequest::new(stream, RequestKind::Write, sector, SECTORS_PER_PAGE)
+                            .with_tag(tag);
                     match charge_to {
                         Some(p) => {
                             self.io_purpose.insert(tag, IoPurpose::Private { pid: p });
@@ -880,9 +1067,7 @@ impl Kernel {
                 let max_blocks = 1 + self.cfg.tuning.readahead_blocks as u64;
                 let mut frames = Vec::new();
                 let mut b = block;
-                while b < meta.blocks
-                    && b < block + max_blocks
-                    && self.cache.get(file, b).is_none()
+                while b < meta.blocks && b < block + max_blocks && self.cache.get(file, b).is_none()
                 {
                     match self
                         .vm
@@ -909,16 +1094,13 @@ impl Kernel {
                 let tag = self.next_tag();
                 for (i, &frame) in frames.iter().enumerate() {
                     self.vm.set_pinned(frame, true);
-                    self.cache.insert_filling(file, block + i as u64, frame, tag);
+                    self.cache
+                        .insert_filling(file, block + i as u64, frame, tag);
                 }
                 let sector = self.fs.sector_of_block(file, block);
-                let req = DiskRequest::new(
-                    spu,
-                    RequestKind::Read,
-                    sector,
-                    nblocks * SECTORS_PER_PAGE,
-                )
-                .with_tag(tag);
+                let req =
+                    DiskRequest::new(spu, RequestKind::Read, sector, nblocks * SECTORS_PER_PAGE)
+                        .with_tag(tag);
                 self.io_purpose.insert(
                     tag,
                     IoPurpose::CacheFill {
@@ -986,9 +1168,8 @@ impl Kernel {
                 self.cache.insert_filling(file, next + i as u64, frame, tag);
             }
             let sector = self.fs.sector_of_block(file, next);
-            let req =
-                DiskRequest::new(spu, RequestKind::Read, sector, nblocks * SECTORS_PER_PAGE)
-                    .with_tag(tag);
+            let req = DiskRequest::new(spu, RequestKind::Read, sector, nblocks * SECTORS_PER_PAGE)
+                .with_tag(tag);
             self.io_purpose.insert(
                 tag,
                 IoPurpose::CacheFill {
@@ -1189,8 +1370,7 @@ impl Kernel {
                     // in flight; unpinning a freed frame is harmless.
                     self.vm.set_pinned(f, false);
                 }
-                let low =
-                    (self.cfg.total_frames() as f64 * self.cfg.tuning.dirty_low_frac) as u64;
+                let low = (self.cfg.total_frames() as f64 * self.cfg.tuning.dirty_low_frac) as u64;
                 if self.cache.dirty_load() <= low && !self.dirty_waiters.is_empty() {
                     for w in std::mem::take(&mut self.dirty_waiters) {
                         self.make_ready(w);
@@ -1248,9 +1428,12 @@ impl Kernel {
         self.wake_mem_waiters();
         // Job completion.
         if let Some(job) = self.procs.get(pid).job {
-            let root = self.jobs[job.0 as usize].root;
-            if root == pid {
-                self.jobs[job.0 as usize].finished = Some(self.now);
+            let rec = &mut self.jobs[job.0 as usize];
+            if rec.root == pid {
+                rec.finished = Some(self.now);
+                self.latency
+                    .response
+                    .add_duration(self.now.saturating_since(rec.started));
             }
         }
         // Parent notification.
@@ -1285,6 +1468,35 @@ impl Kernel {
 
     // ----- metrics ---------------------------------------------------------
 
+    /// Publishes every subsystem's counters into one registry
+    /// (deterministic name order; see [`CounterRegistry`]).
+    fn publish_counters(&self) -> CounterRegistry {
+        let mut reg = CounterRegistry::new();
+        reg.set("sched.dispatches", self.sched_counts.dispatches);
+        reg.set("sched.preemptions", self.sched_counts.preemptions);
+        reg.set("sched.loans", self.sched_counts.loans);
+        reg.set("sched.ipis", self.sched_counts.ipis);
+        reg.set("locks.acquires", self.locks.total_acquires());
+        reg.set("locks.contended", self.locks.contended_acquires());
+        let cache = self.cache.stats();
+        reg.set("cache.hits", cache.hits);
+        reg.set("cache.misses", cache.misses);
+        reg.set("cache.fill_joins", cache.fill_joins);
+        reg.set("cache.flushed_blocks", cache.flushed_blocks);
+        for id in self.spus.all_ids() {
+            let v = self.vm.stats(id);
+            reg.add("vm.minor_faults", v.minor_faults);
+            reg.add("vm.major_faults", v.major_faults);
+            reg.add("vm.swap_outs", v.swap_outs);
+            reg.add("vm.denials", v.denials);
+        }
+        for (i, d) in self.disks.iter().enumerate() {
+            reg.set(&format!("disk.{i}.requests"), d.stats().total_requests());
+        }
+        reg.set("trace.dropped", self.trace.dropped());
+        reg
+    }
+
     fn collect_metrics(&mut self, completed: bool) -> RunMetrics {
         let mut cpu_idle = Vec::new();
         let mut cpu_busy = Vec::new();
@@ -1296,6 +1508,18 @@ impl Kernel {
             cpu_idle.push(c.idle_total);
             cpu_busy.push(c.busy_total);
         }
+        let mut latency = self.latency.clone();
+        let mut disk_service = LogHistogram::latency();
+        for d in &self.disks {
+            disk_service.merge(d.stats().service_histogram());
+        }
+        latency.disk_service = disk_service;
+        let obsv = ObsvReport {
+            counters: self.publish_counters(),
+            series: self.series.clone(),
+            latency,
+            sample_interval: self.sample_interval,
+        };
         RunMetrics {
             end_time: self.now,
             completed,
@@ -1308,15 +1532,10 @@ impl Kernel {
                 .all_ids()
                 .map(|id| self.vm.stats(id).clone())
                 .collect(),
-            mem_levels: self
-                .spus
-                .all_ids()
-                .map(|id| *self.vm.levels(id))
-                .collect(),
+            mem_levels: self.spus.all_ids().map(|id| *self.vm.levels(id)).collect(),
             cache: self.cache.stats(),
             disks: self.disks.iter().map(|d| d.stats().clone()).collect(),
-            lock_acquires: self.locks.total_acquires(),
-            lock_contended: self.locks.contended_acquires(),
+            obsv,
         }
     }
 }

@@ -42,10 +42,12 @@
 
 pub mod bufcache;
 pub mod config;
+pub mod export;
 pub mod fs;
 pub mod kernel;
 pub mod locks;
 pub mod metrics;
+pub mod obsv;
 pub mod process;
 pub mod program;
 pub mod sched;
@@ -54,10 +56,14 @@ pub mod vm;
 
 pub use bufcache::{BufferCache, CacheEntry, CacheStats};
 pub use config::{DiskSetup, MachineConfig, Tuning, PAGE_SIZE, SECTORS_PER_PAGE};
+pub use export::{chrome_trace_json, counters_jsonl, histogram_json, metrics_jsonl, series_jsonl};
 pub use fs::{FileId, FileMeta, FileSystem};
 pub use kernel::Kernel;
 pub use locks::{LockId, LockTable};
 pub use metrics::{JobRecord, RunMetrics};
+pub use obsv::{
+    CounterRegistry, LatencyStats, ObsvReport, ResourceKind, ResourceSample, SampleSeries,
+};
 pub use process::{BlockReason, JobId, MicroOp, PageState, Pid, ProcState, Process};
 pub use program::{BarrierId, Program, ProgramBuilder, ProgramOp};
 pub use sched::{CpuState, ProcTable, Scheduler};

@@ -95,8 +95,7 @@ impl LockTable {
         let grant = if excl {
             st.is_free() && st.waiters.is_empty()
         } else {
-            st.exclusive_holder.is_none()
-                && st.waiters.iter().all(|(_, w_excl)| !w_excl)
+            st.exclusive_holder.is_none() && st.waiters.iter().all(|(_, w_excl)| !w_excl)
         };
         if grant {
             if excl {

@@ -2,11 +2,12 @@
 //! and cache statistics — the raw material of every figure and table in
 //! the paper's evaluation.
 
-use event_sim::{SimDuration, SimTime};
+use event_sim::{LogHistogram, SimDuration, SimTime};
 use hp_disk::DiskStats;
 use spu_core::{ResourceLevels, SpuId};
 
 use crate::bufcache::CacheStats;
+use crate::obsv::ObsvReport;
 use crate::process::{JobId, Pid};
 use crate::vm::VmSpuStats;
 
@@ -59,16 +60,18 @@ pub struct RunMetrics {
     pub cache: CacheStats,
     /// Per-disk request statistics.
     pub disks: Vec<DiskStats>,
-    /// Kernel-lock acquisitions attempted.
-    pub lock_acquires: u64,
-    /// Kernel-lock acquisitions that had to wait.
-    pub lock_contended: u64,
+    /// The observability report: named counters (including the kernel
+    /// lock counters under `locks.*`), latency histograms, and — when
+    /// sampling was enabled — the per-SPU resource series.
+    pub obsv: ObsvReport,
 }
 
 impl RunMetrics {
     /// Jobs whose label starts with `prefix`.
     pub fn jobs_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a JobRecord> {
-        self.jobs.iter().filter(move |j| j.label.starts_with(prefix))
+        self.jobs
+            .iter()
+            .filter(move |j| j.label.starts_with(prefix))
     }
 
     /// The job with an exact label.
@@ -76,42 +79,65 @@ impl RunMetrics {
         self.jobs.iter().find(|j| j.label == label)
     }
 
+    /// Response time in seconds of one job, scoring an unfinished job at
+    /// the run's end time (a lower bound, so comparisons stay meaningful
+    /// if a cap was hit).
+    fn scored_response(&self, j: &JobRecord) -> f64 {
+        j.response()
+            .unwrap_or_else(|| self.end_time.saturating_since(j.started))
+            .as_secs_f64()
+    }
+
     /// Mean response time in seconds over jobs whose label starts with
-    /// `prefix`. Unfinished jobs are scored at the run's end time (a
-    /// lower bound), so comparisons stay meaningful if a cap was hit.
-    pub fn mean_response_secs(&self, prefix: &str) -> f64 {
+    /// `prefix`, or `None` when no job matches. Unfinished jobs are
+    /// scored at the run's end time.
+    pub fn mean_response_secs(&self, prefix: &str) -> Option<f64> {
         let times: Vec<f64> = self
             .jobs_with_prefix(prefix)
-            .map(|j| {
-                j.response()
-                    .unwrap_or_else(|| self.end_time.saturating_since(j.started))
-                    .as_secs_f64()
-            })
+            .map(|j| self.scored_response(j))
             .collect();
         if times.is_empty() {
-            0.0
+            None
         } else {
-            times.iter().sum::<f64>() / times.len() as f64
+            Some(times.iter().sum::<f64>() / times.len() as f64)
         }
     }
 
-    /// Mean response over the jobs of one SPU.
-    pub fn mean_response_of_spu(&self, spu: SpuId) -> f64 {
+    /// Mean response over the jobs of one SPU, or `None` when the SPU
+    /// ran no tracked job.
+    pub fn mean_response_of_spu(&self, spu: SpuId) -> Option<f64> {
         let times: Vec<f64> = self
             .jobs
             .iter()
             .filter(|j| j.spu == spu)
-            .map(|j| {
-                j.response()
-                    .unwrap_or_else(|| self.end_time.saturating_since(j.started))
-                    .as_secs_f64()
-            })
+            .map(|j| self.scored_response(j))
             .collect();
         if times.is_empty() {
-            0.0
+            None
         } else {
-            times.iter().sum::<f64>() / times.len() as f64
+            Some(times.iter().sum::<f64>() / times.len() as f64)
         }
+    }
+
+    /// A log-bucketed histogram of the response times of jobs whose
+    /// label starts with `prefix` (empty prefix = all jobs).
+    pub fn response_histogram(&self, prefix: &str) -> LogHistogram {
+        let mut h = LogHistogram::latency();
+        for j in self.jobs_with_prefix(prefix) {
+            h.add(self.scored_response(j));
+        }
+        h
+    }
+
+    /// `(p50, p95, p99)` response percentiles in seconds over jobs whose
+    /// label starts with `prefix`, or `None` when no job matches.
+    pub fn response_percentiles(&self, prefix: &str) -> Option<(f64, f64, f64)> {
+        let h = self.response_histogram(prefix);
+        Some((
+            h.percentile(50.0)?,
+            h.percentile(95.0)?,
+            h.percentile(99.0)?,
+        ))
     }
 
     /// Total major faults across user SPUs.
@@ -119,12 +145,23 @@ impl RunMetrics {
         self.vm.iter().map(|v| v.major_faults).sum()
     }
 
+    /// Kernel-lock acquisitions attempted (from the counter registry).
+    pub fn lock_acquires(&self) -> u64 {
+        self.obsv.counters.get("locks.acquires")
+    }
+
+    /// Kernel-lock acquisitions that had to wait.
+    pub fn lock_contended(&self) -> u64 {
+        self.obsv.counters.get("locks.contended")
+    }
+
     /// Fraction of lock acquisitions that contended.
     pub fn lock_contention_ratio(&self) -> f64 {
-        if self.lock_acquires == 0 {
+        let total = self.lock_acquires();
+        if total == 0 {
             0.0
         } else {
-            self.lock_contended as f64 / self.lock_acquires as f64
+            self.lock_contended() as f64 / total as f64
         }
     }
 }
@@ -156,8 +193,7 @@ mod tests {
             mem_levels: vec![],
             cache: CacheStats::default(),
             disks: vec![],
-            lock_acquires: 0,
-            lock_contended: 0,
+            obsv: ObsvReport::default(),
         }
     }
 
@@ -176,15 +212,15 @@ mod tests {
             job("pmake-1", SpuId::user(1), 0, Some(4000)),
             job("copy-0", SpuId::user(2), 0, Some(10000)),
         ]);
-        assert!((m.mean_response_secs("pmake") - 3.0).abs() < 1e-9);
-        assert!((m.mean_response_secs("copy") - 10.0).abs() < 1e-9);
-        assert_eq!(m.mean_response_secs("nothing"), 0.0);
+        assert!((m.mean_response_secs("pmake").unwrap() - 3.0).abs() < 1e-9);
+        assert!((m.mean_response_secs("copy").unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(m.mean_response_secs("nothing"), None);
     }
 
     #[test]
     fn unfinished_jobs_score_at_end_time() {
         let m = metrics(vec![job("x", SpuId::user(0), 0, None)]);
-        assert!((m.mean_response_secs("x") - 100.0).abs() < 1e-9);
+        assert!((m.mean_response_secs("x").unwrap() - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -194,16 +230,32 @@ mod tests {
             job("b", SpuId::user(0), 0, Some(3000)),
             job("c", SpuId::user(1), 0, Some(9000)),
         ]);
-        assert!((m.mean_response_of_spu(SpuId::user(0)) - 2.0).abs() < 1e-9);
-        assert!((m.mean_response_of_spu(SpuId::user(1)) - 9.0).abs() < 1e-9);
+        assert!((m.mean_response_of_spu(SpuId::user(0)).unwrap() - 2.0).abs() < 1e-9);
+        assert!((m.mean_response_of_spu(SpuId::user(1)).unwrap() - 9.0).abs() < 1e-9);
+        assert_eq!(m.mean_response_of_spu(SpuId::user(2)), None);
+    }
+
+    #[test]
+    fn response_percentiles_by_prefix() {
+        let jobs: Vec<JobRecord> = (0..20)
+            .map(|i| job("j", SpuId::user(0), 0, Some(1000 * (i + 1))))
+            .collect();
+        let m = metrics(jobs);
+        let (p50, p95, p99) = m.response_percentiles("j").unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        // p50 near 10 s, p99 near 20 s (log buckets are coarse: ×2).
+        assert!((4.0..=16.0).contains(&p50), "p50={p50}");
+        assert!(p99 <= 64.0, "p99={p99}");
+        assert_eq!(m.response_percentiles("none"), None);
+        assert_eq!(m.response_histogram("j").count(), 20);
     }
 
     #[test]
     fn lock_ratio() {
         let mut m = metrics(vec![]);
         assert_eq!(m.lock_contention_ratio(), 0.0);
-        m.lock_acquires = 10;
-        m.lock_contended = 3;
+        m.obsv.counters.set("locks.acquires", 10);
+        m.obsv.counters.set("locks.contended", 3);
         assert!((m.lock_contention_ratio() - 0.3).abs() < 1e-12);
     }
 }

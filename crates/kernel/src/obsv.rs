@@ -1,0 +1,319 @@
+//! Observability: named counters, periodic per-SPU resource sampling,
+//! and latency histograms.
+//!
+//! The paper credits SimOS's "good support for kernel debugging and
+//! statistics collection" (§4.1); this module is the structured half of
+//! that support (the event stream lives in [`crate::trace`]). Three
+//! pieces:
+//!
+//! * [`CounterRegistry`] — a uniform named-counter table every subsystem
+//!   publishes into at collection time (lock acquisitions, faults, cache
+//!   hits, dispatches, ...), replacing ad-hoc metric fields.
+//! * [`SampleSeries`] — periodic `(entitled, allowed, used)` time series
+//!   per SPU and resource, recorded by the kernel's sampling event. The
+//!   memory series makes §3.2's lend-and-revoke cycle directly visible:
+//!   `allowed` rises above `entitled` while idle memory is loaned and
+//!   returns to `entitled` when the policy revokes the loan.
+//! * [`LatencyStats`] — log-bucketed histograms
+//!   ([`event_sim::LogHistogram`]) of job response, wake→dispatch
+//!   latency, loan-revocation latency and disk service time.
+//!
+//! Everything is keyed by simulated time only, so two identical runs
+//! produce byte-identical exports (see [`crate::export`]).
+
+use std::collections::BTreeMap;
+
+use event_sim::{LogHistogram, SimDuration, SimTime};
+use spu_core::SpuId;
+
+/// A table of named monotonic counters.
+///
+/// Names are dot-separated `subsystem.metric` strings; iteration is in
+/// lexicographic name order (a `BTreeMap`), so exports are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use smp_kernel::obsv::CounterRegistry;
+///
+/// let mut reg = CounterRegistry::new();
+/// reg.add("locks.acquires", 10);
+/// reg.add("locks.acquires", 5);
+/// assert_eq!(reg.get("locks.acquires"), 15);
+/// assert_eq!(reg.get("never.seen"), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterRegistry {
+    counters: BTreeMap<String, u64>,
+}
+
+impl CounterRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        CounterRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named counter to an absolute value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// The counter's value, zero if never touched.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+/// Which resource a [`SampleSeries`] tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// CPUs (units: CPUs; entitled from the §3.1 hybrid partition).
+    Cpu,
+    /// Memory (units: page frames; levels from the §3.2 ledger).
+    Memory,
+    /// Disk bandwidth (units: decayed sectors per §3.3 accounting).
+    Disk,
+}
+
+impl ResourceKind {
+    /// All kinds, in the order series are laid out.
+    pub const ALL: [ResourceKind; 3] =
+        [ResourceKind::Cpu, ResourceKind::Memory, ResourceKind::Disk];
+
+    /// Stable lower-case name used in exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Memory => "memory",
+            ResourceKind::Disk => "disk",
+        }
+    }
+}
+
+/// One sample point of an SPU's levels for one resource.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// The share the SPU owns under the sharing contract.
+    pub entitled: f64,
+    /// What the SPU may use right now (≥ `entitled` while borrowing).
+    pub allowed: f64,
+    /// What the SPU is using.
+    pub used: f64,
+}
+
+/// The sampled `(entitled, allowed, used)` history of one SPU for one
+/// resource.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleSeries {
+    /// The SPU.
+    pub spu: SpuId,
+    /// Its display name (from the [`spu_core::SpuSet`]).
+    pub spu_name: String,
+    /// The resource tracked.
+    pub resource: ResourceKind,
+    /// Samples in time order.
+    pub samples: Vec<ResourceSample>,
+}
+
+impl SampleSeries {
+    /// Creates an empty series.
+    pub fn new(spu: SpuId, spu_name: impl Into<String>, resource: ResourceKind) -> Self {
+        SampleSeries {
+            spu,
+            spu_name: spu_name.into(),
+            resource,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a sample (must be in time order).
+    pub fn push(&mut self, sample: ResourceSample) {
+        debug_assert!(
+            self.samples.last().is_none_or(|s| s.at <= sample.at),
+            "samples out of order"
+        );
+        self.samples.push(sample);
+    }
+
+    /// Largest `allowed - entitled` over the series — how much the SPU
+    /// ever borrowed.
+    pub fn peak_borrowed(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.allowed - s.entitled)
+            .fold(0.0, f64::max)
+    }
+
+    /// Samples where the SPU was borrowing (`allowed > entitled` by more
+    /// than `eps`).
+    pub fn borrowing_spans(&self, eps: f64) -> Vec<&ResourceSample> {
+        self.samples
+            .iter()
+            .filter(|s| s.allowed - s.entitled > eps)
+            .collect()
+    }
+}
+
+/// Log-bucketed latency histograms of the run.
+///
+/// All four use [`LogHistogram::latency`] (1 µs .. ~1 min, ×2 growth),
+/// so they can be merged across runs and compared directly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Job response times (spawn → root exit), seconds.
+    pub response: LogHistogram,
+    /// Wake → dispatch latency of every dispatch, seconds.
+    pub wake_to_dispatch: LogHistogram,
+    /// Loan-revocation latency: a home wake-up needing a loaned CPU back
+    /// → that CPU descheduling its borrower (§3.1's "at most 10 ms"),
+    /// seconds.
+    pub revocation: LogHistogram,
+    /// Disk service time per request (seek + rotation + transfer),
+    /// seconds.
+    pub disk_service: LogHistogram,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            response: LogHistogram::latency(),
+            wake_to_dispatch: LogHistogram::latency(),
+            revocation: LogHistogram::latency(),
+            disk_service: LogHistogram::latency(),
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Creates empty histograms.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// The histograms with their export names, in a fixed order.
+    pub fn named(&self) -> [(&'static str, &LogHistogram); 4] {
+        [
+            ("response", &self.response),
+            ("wake_to_dispatch", &self.wake_to_dispatch),
+            ("revocation", &self.revocation),
+            ("disk_service", &self.disk_service),
+        ]
+    }
+}
+
+/// Everything the observability layer collected over one run; carried in
+/// [`crate::metrics::RunMetrics::obsv`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsvReport {
+    /// Named subsystem counters.
+    pub counters: CounterRegistry,
+    /// Per-SPU resource series (empty unless sampling was enabled);
+    /// laid out SPU-major, [`ResourceKind::ALL`] order within an SPU.
+    pub series: Vec<SampleSeries>,
+    /// Latency histograms.
+    pub latency: LatencyStats,
+    /// The sampling interval, if sampling was on.
+    pub sample_interval: Option<SimDuration>,
+}
+
+impl ObsvReport {
+    /// The series of one SPU and resource, if sampled.
+    pub fn series_of(&self, spu: SpuId, resource: ResourceKind) -> Option<&SampleSeries> {
+        self.series
+            .iter()
+            .find(|s| s.spu == spu && s.resource == resource)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_orders_by_name() {
+        let mut reg = CounterRegistry::new();
+        reg.add("z.last", 1);
+        reg.add("a.first", 2);
+        reg.set("m.middle", 3);
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn registry_add_accumulates() {
+        let mut reg = CounterRegistry::new();
+        reg.add("x", 7);
+        reg.add("x", 5);
+        assert_eq!(reg.get("x"), 12);
+        reg.set("x", 1);
+        assert_eq!(reg.get("x"), 1);
+    }
+
+    #[test]
+    fn series_tracks_borrowing() {
+        let mut s = SampleSeries::new(SpuId::user(0), "user0", ResourceKind::Memory);
+        s.push(ResourceSample {
+            at: SimTime::from_millis(0),
+            entitled: 100.0,
+            allowed: 100.0,
+            used: 80.0,
+        });
+        s.push(ResourceSample {
+            at: SimTime::from_millis(100),
+            entitled: 100.0,
+            allowed: 150.0,
+            used: 140.0,
+        });
+        s.push(ResourceSample {
+            at: SimTime::from_millis(200),
+            entitled: 100.0,
+            allowed: 100.0,
+            used: 90.0,
+        });
+        assert_eq!(s.peak_borrowed(), 50.0);
+        assert_eq!(s.borrowing_spans(0.5).len(), 1);
+    }
+
+    #[test]
+    fn latency_histograms_share_boundaries() {
+        let mut a = LatencyStats::new();
+        let b = LatencyStats::new();
+        // Merging fresh stats must not panic (identical boundaries).
+        a.response.merge(&b.response);
+        a.disk_service.merge(&b.disk_service);
+        assert_eq!(a.response.count(), 0);
+    }
+
+    #[test]
+    fn report_finds_series() {
+        let mut r = ObsvReport::default();
+        r.series
+            .push(SampleSeries::new(SpuId::user(1), "u1", ResourceKind::Cpu));
+        assert!(r.series_of(SpuId::user(1), ResourceKind::Cpu).is_some());
+        assert!(r.series_of(SpuId::user(1), ResourceKind::Disk).is_none());
+        assert!(r.series_of(SpuId::user(0), ResourceKind::Cpu).is_none());
+    }
+}

@@ -319,10 +319,7 @@ pub fn expand_op(op: &ProgramOp, tuning: &Tuning, out: &mut VecDeque<MicroOp>) {
         } => {
             lookup_micro_ops(*file, false, tuning, out);
             for block in block_range(*offset, *bytes) {
-                out.push_back(MicroOp::BlockRead {
-                    file: *file,
-                    block,
-                });
+                out.push_back(MicroOp::BlockRead { file: *file, block });
             }
         }
         ProgramOp::Write {
@@ -332,10 +329,7 @@ pub fn expand_op(op: &ProgramOp, tuning: &Tuning, out: &mut VecDeque<MicroOp>) {
         } => {
             lookup_micro_ops(*file, false, tuning, out);
             for block in block_range(*offset, *bytes) {
-                out.push_back(MicroOp::BlockWrite {
-                    file: *file,
-                    block,
-                });
+                out.push_back(MicroOp::BlockWrite { file: *file, block });
             }
         }
         ProgramOp::MetaWrite { file } => {
@@ -390,14 +384,7 @@ mod tests {
     use super::*;
 
     fn mk(program: Arc<Program>) -> Process {
-        Process::new(
-            Pid(1),
-            SpuId::user(0),
-            None,
-            program,
-            None,
-            SimTime::ZERO,
-        )
+        Process::new(Pid(1), SpuId::user(0), None, program, None, SimTime::ZERO)
     }
 
     #[test]
@@ -418,7 +405,13 @@ mod tests {
         let mut proc = mk(p);
         let first = proc.current_micro(&t).unwrap();
         assert!(
-            matches!(first, MicroOp::Touch { pages: 32, cursor: 0 }),
+            matches!(
+                first,
+                MicroOp::Touch {
+                    pages: 32,
+                    cursor: 0
+                }
+            ),
             "{first:?}"
         );
         proc.pop_micro();
@@ -465,7 +458,10 @@ mod tests {
         assert!(kinds[0].starts_with("LockAcquire"), "{kinds:?}");
         assert!(kinds[1].starts_with("Cpu"), "{kinds:?}");
         assert!(kinds[2].starts_with("LockRelease"), "{kinds:?}");
-        assert_eq!(kinds.iter().filter(|k| k.starts_with("BlockRead")).count(), 3);
+        assert_eq!(
+            kinds.iter().filter(|k| k.starts_with("BlockRead")).count(),
+            3
+        );
     }
 
     #[test]

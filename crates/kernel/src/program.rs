@@ -222,12 +222,20 @@ mod tests {
         assert_eq!(p.name(), "parent");
         assert_eq!(p.ops().len(), 9);
         assert!(matches!(p.ops()[0], ProgramOp::Alloc { pages: 10 }));
-        assert!(matches!(p.ops()[8], ProgramOp::Barrier { participants: 4, .. }));
+        assert!(matches!(
+            p.ops()[8],
+            ProgramOp::Barrier {
+                participants: 4,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn programs_are_shareable() {
-        let p = Program::builder("x").compute(SimDuration::from_millis(1), 0).build();
+        let p = Program::builder("x")
+            .compute(SimDuration::from_millis(1), 0)
+            .build();
         let q = Arc::clone(&p);
         assert_eq!(p.name(), q.name());
     }

@@ -244,13 +244,10 @@ impl Scheduler {
     fn take_best_global(&mut self, procs: &ProcTable) -> Option<(SpuId, Pid)> {
         let mut best: Option<(i64, u64, SpuId)> = None;
         for spu in self.spus.all_ids() {
-            if let Some(&pid) = self.ready[spu.index()]
-                .iter()
-                .min_by_key(|&&pid| {
-                    let p = procs.get(pid);
-                    (priority_band(p), p.ready_seq)
-                })
-            {
+            if let Some(&pid) = self.ready[spu.index()].iter().min_by_key(|&&pid| {
+                let p = procs.get(pid);
+                (priority_band(p), p.ready_seq)
+            }) {
                 let p = procs.get(pid);
                 let key = (priority_band(p), p.ready_seq);
                 if best.is_none_or(|(bb, bs, _)| key < (bb, bs)) {
@@ -383,7 +380,11 @@ mod tests {
         // CPU 0 is user0's home; user0 has nothing: the CPU idles even
         // though user1 has work.
         let home0 = s.cpu(0).assignment.clone();
-        let cpu_for_user1 = if home0.is_home_of(SpuId::user(1)) { 1 } else { 0 };
+        let cpu_for_user1 = if home0.is_home_of(SpuId::user(1)) {
+            1
+        } else {
+            0
+        };
         assert!(s.pick(&procs, cpu_for_user1).is_none());
     }
 

@@ -101,26 +101,30 @@ impl TraceEvent {
 }
 
 /// A bounded in-memory event trace.
+///
+/// Recording is a ring buffer: once `cap` events have been written the
+/// *oldest* events are overwritten, so the trace always holds the tail
+/// of the run — the part a post-mortem usually needs. The number of
+/// displaced events is available from [`Trace::dropped`].
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    /// Ring storage; once at capacity, `head` is the oldest entry.
+    ring: Vec<TraceEvent>,
+    head: usize,
     cap: usize,
+    dropped: u64,
 }
 
 impl Trace {
     /// Creates a disabled trace.
     pub fn new() -> Self {
-        Trace {
-            enabled: false,
-            events: Vec::new(),
-            cap: 0,
-        }
+        Trace::default()
     }
 
-    /// Enables recording of up to `cap` events (older events are kept;
-    /// recording stops at the cap so a runaway run cannot exhaust
-    /// memory).
+    /// Enables recording of the most recent `cap` events (older events
+    /// are overwritten ring-buffer style so a runaway run cannot exhaust
+    /// memory; [`Trace::dropped`] counts the casualties).
     pub fn enable(&mut self, cap: usize) {
         self.enabled = true;
         self.cap = cap;
@@ -131,41 +135,73 @@ impl Trace {
         self.enabled
     }
 
-    /// Records an event (no-op when disabled or full).
+    /// Records an event (no-op when disabled; overwrites the oldest
+    /// event when full).
     #[inline]
     pub fn push(&mut self, ev: TraceEvent) {
-        if self.enabled && self.events.len() < self.cap {
-            self.events.push(ev);
+        if !self.enabled || self.cap == 0 {
+            return;
+        }
+        if self.ring.len() < self.cap {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
         }
     }
 
-    /// The recorded events, in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// How many events were overwritten because the trace was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The retained events in chronological order (oldest retained
+    /// first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.ring.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// The retained events, in chronological order, as an owned vector.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
     }
 
     /// Number of cross-SPU loan dispatches recorded.
     pub fn loan_count(&self) -> usize {
-        self.events
-            .iter()
+        self.iter()
             .filter(|e| matches!(e, TraceEvent::Dispatch { loaned: true, .. }))
             .count()
     }
 
     /// Number of preemptions recorded.
     pub fn preempt_count(&self) -> usize {
-        self.events
-            .iter()
+        self.iter()
             .filter(|e| matches!(e, TraceEvent::Preempt { .. }))
             .count()
     }
 
     /// Wake→dispatch latencies of processes in `spu` (the direct measure
     /// of CPU-revocation latency for a home SPU whose CPUs were loaned).
+    ///
+    /// A re-wake before dispatch restarts the clock: the latency reported
+    /// is from the *latest* wake, matching what the woken process itself
+    /// would observe.
     pub fn wake_to_dispatch_latencies(&self, spu: SpuId) -> Vec<event_sim::SimDuration> {
         let mut pending: std::collections::HashMap<Pid, SimTime> = std::collections::HashMap::new();
         let mut out = Vec::new();
-        for ev in &self.events {
+        for ev in self.iter() {
             match *ev {
                 TraceEvent::Wake { at, pid, spu: s } if s == spu => {
                     pending.insert(pid, at);
@@ -200,14 +236,41 @@ mod tests {
     }
 
     #[test]
-    fn cap_bounds_recording() {
+    fn cap_keeps_newest_events() {
         let mut tr = Trace::new();
         tr.enable(2);
         for i in 0..5 {
             tr.push(TraceEvent::PolicyRun { at: t(i) });
         }
-        assert_eq!(tr.events().len(), 2);
-        assert_eq!(tr.events()[0].at(), t(0));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        // The ring holds the tail of the run, in chronological order.
+        let evs = tr.events();
+        assert_eq!(evs[0].at(), t(3));
+        assert_eq!(evs[1].at(), t(4));
+    }
+
+    #[test]
+    fn under_cap_nothing_is_dropped() {
+        let mut tr = Trace::new();
+        tr.enable(10);
+        for i in 0..5 {
+            tr.push(TraceEvent::PolicyRun { at: t(i) });
+        }
+        assert_eq!(tr.len(), 5);
+        assert_eq!(tr.dropped(), 0);
+        let evs = tr.events();
+        assert_eq!(evs.first().unwrap().at(), t(0));
+        assert_eq!(evs.last().unwrap().at(), t(4));
+    }
+
+    #[test]
+    fn zero_cap_drops_nothing_and_records_nothing() {
+        let mut tr = Trace::new();
+        tr.enable(0);
+        tr.push(TraceEvent::PolicyRun { at: t(1) });
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
     }
 
     #[test]
@@ -215,7 +278,11 @@ mod tests {
         let mut tr = Trace::new();
         tr.enable(100);
         let spu = SpuId::user(0);
-        tr.push(TraceEvent::Wake { at: t(10), pid: Pid(1), spu });
+        tr.push(TraceEvent::Wake {
+            at: t(10),
+            pid: Pid(1),
+            spu,
+        });
         tr.push(TraceEvent::Dispatch {
             at: t(17),
             cpu: 0,
@@ -230,10 +297,87 @@ mod tests {
             spu: SpuId::user(1),
             loaned: true,
         });
-        tr.push(TraceEvent::Preempt { at: t(30), cpu: 1, pid: Pid(2) });
+        tr.push(TraceEvent::Preempt {
+            at: t(30),
+            cpu: 1,
+            pid: Pid(2),
+        });
         assert_eq!(tr.loan_count(), 1);
         assert_eq!(tr.preempt_count(), 1);
         let lats = tr.wake_to_dispatch_latencies(spu);
         assert_eq!(lats, vec![SimDuration::from_millis(7)]);
+    }
+
+    #[test]
+    fn latency_counted_when_dispatched_on_loaned_cpu() {
+        // A user-0 process woken while its CPUs are busy may be
+        // dispatched on a CPU loaned from another SPU; the wake→dispatch
+        // pairing must still close even though the dispatch is marked
+        // `loaned`.
+        let mut tr = Trace::new();
+        tr.enable(100);
+        let spu = SpuId::user(0);
+        tr.push(TraceEvent::Wake {
+            at: t(5),
+            pid: Pid(3),
+            spu,
+        });
+        tr.push(TraceEvent::Dispatch {
+            at: t(9),
+            cpu: 2,
+            pid: Pid(3),
+            spu,
+            loaned: true,
+        });
+        let lats = tr.wake_to_dispatch_latencies(spu);
+        assert_eq!(lats, vec![SimDuration::from_millis(4)]);
+    }
+
+    #[test]
+    fn double_wake_before_dispatch_uses_latest_wake() {
+        // Wake at 10, wake again at 20, dispatch at 26: the observable
+        // latency is 6ms from the latest wake, and exactly one latency is
+        // reported for the single dispatch.
+        let mut tr = Trace::new();
+        tr.enable(100);
+        let spu = SpuId::user(1);
+        tr.push(TraceEvent::Wake {
+            at: t(10),
+            pid: Pid(7),
+            spu,
+        });
+        tr.push(TraceEvent::Wake {
+            at: t(20),
+            pid: Pid(7),
+            spu,
+        });
+        tr.push(TraceEvent::Dispatch {
+            at: t(26),
+            cpu: 0,
+            pid: Pid(7),
+            spu,
+            loaned: false,
+        });
+        let lats = tr.wake_to_dispatch_latencies(spu);
+        assert_eq!(lats, vec![SimDuration::from_millis(6)]);
+    }
+
+    #[test]
+    fn foreign_spu_wakes_are_ignored() {
+        let mut tr = Trace::new();
+        tr.enable(100);
+        tr.push(TraceEvent::Wake {
+            at: t(1),
+            pid: Pid(9),
+            spu: SpuId::user(1),
+        });
+        tr.push(TraceEvent::Dispatch {
+            at: t(2),
+            cpu: 0,
+            pid: Pid(9),
+            spu: SpuId::user(1),
+            loaned: false,
+        });
+        assert!(tr.wake_to_dispatch_latencies(SpuId::user(0)).is_empty());
     }
 }

@@ -517,7 +517,18 @@ impl MemoryManager {
                 })
                 .collect();
             if std::env::var("VMTRACE").is_ok() {
-                eprintln!("policy: {:?}", inputs.iter().map(|i| (i.spu.to_string(), i.levels.entitled, i.levels.used, i.pressured)).collect::<Vec<_>>());
+                eprintln!(
+                    "policy: {:?}",
+                    inputs
+                        .iter()
+                        .map(|i| (
+                            i.spu.to_string(),
+                            i.levels.entitled,
+                            i.levels.used,
+                            i.pressured
+                        ))
+                        .collect::<Vec<_>>()
+                );
             }
             for (spu, allowed) in self.policy.rebalance(user_pages, &inputs) {
                 self.ledger.set_allowed(spu, allowed);
@@ -629,16 +640,15 @@ mod tests {
         }
         assert!(matches!(
             vm.acquire_frame(SpuId::user(0), anon(1, entitled as u32)),
-            Acquired::Frame { evicted: Some(_), .. }
+            Acquired::Frame {
+                evicted: Some(_),
+                ..
+            }
         ));
         // ...while user1 is idle. The policy raises user0's allowed level.
         vm.run_policy();
         let l = vm.levels(SpuId::user(0));
-        assert!(
-            l.allowed > l.entitled,
-            "no lending happened: {:?}",
-            l
-        );
+        assert!(l.allowed > l.entitled, "no lending happened: {:?}", l);
         // And user0 can now grow without evicting.
         assert!(matches!(
             vm.acquire_frame(SpuId::user(0), anon(1, entitled as u32 + 1)),
@@ -681,7 +691,9 @@ mod tests {
         // user0's allowed is back at entitled: it must self-evict now.
         assert_eq!(l0.allowed, l0.entitled);
         match vm.acquire_frame(SpuId::user(0), anon(1, 9999)) {
-            Acquired::Frame { evicted: Some(ev), .. } => assert_eq!(ev.spu, SpuId::user(0)),
+            Acquired::Frame {
+                evicted: Some(ev), ..
+            } => assert_eq!(ev.spu, SpuId::user(0)),
             other => panic!("{other:?}"),
         }
         vm.check_invariants();
@@ -703,7 +715,9 @@ mod tests {
             },
         );
         match vm.acquire_frame(SpuId::user(0), anon(1, 9999)) {
-            Acquired::Frame { evicted: Some(ev), .. } => {
+            Acquired::Frame {
+                evicted: Some(ev), ..
+            } => {
                 assert!(
                     matches!(ev.owner, FrameOwner::Cache { .. }),
                     "should prefer cache victim: {ev:?}"
@@ -729,9 +743,14 @@ mod tests {
         }
         vm.set_pinned(first.unwrap(), true);
         match vm.acquire_frame(SpuId::user(0), anon(1, 9999)) {
-            Acquired::Frame { evicted: Some(ev), .. } => {
+            Acquired::Frame {
+                evicted: Some(ev), ..
+            } => {
                 // The first (pinned) page survived; the second was taken.
-                assert!(matches!(ev.owner, FrameOwner::Anon { page: 1, .. }), "{ev:?}");
+                assert!(
+                    matches!(ev.owner, FrameOwner::Anon { page: 1, .. }),
+                    "{ev:?}"
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -739,13 +758,7 @@ mod tests {
 
     #[test]
     fn denied_when_everything_pinned() {
-        let mut vm = MemoryManager::new(
-            20,
-            &SpuSet::equal_users(1),
-            Scheme::PIso,
-            0.0,
-            0.0,
-        );
+        let mut vm = MemoryManager::new(20, &SpuSet::equal_users(1), Scheme::PIso, 0.0, 0.0);
         let allowed = vm.levels(SpuId::user(0)).allowed;
         let mut frames = Vec::new();
         for i in 0..allowed {

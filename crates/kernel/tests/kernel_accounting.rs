@@ -41,7 +41,10 @@ fn cpu_busy_plus_idle_covers_the_run() {
     assert!(m.completed);
     for cpu in 0..2 {
         let covered = m.cpu_busy[cpu] + m.cpu_idle[cpu];
-        let gap = m.end_time.saturating_since(SimTime::ZERO).saturating_sub(covered);
+        let gap = m
+            .end_time
+            .saturating_since(SimTime::ZERO)
+            .saturating_sub(covered);
         assert!(
             gap < ms(1),
             "cpu {cpu}: busy {} + idle {} != {}",
@@ -74,7 +77,10 @@ fn vm_invariants_hold_after_heavy_runs() {
 fn exited_process_memory_is_released() {
     let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::PIso);
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
-    let p = Program::builder("blob").alloc(500).compute(ms(100), 500).build();
+    let p = Program::builder("blob")
+        .alloc(500)
+        .compute(ms(100), 500)
+        .build();
     k.spawn_at(SpuId::user(0), p, Some("blob"), SimTime::ZERO);
     let m = k.run(SimTime::from_secs(30));
     assert!(m.completed);
@@ -91,7 +97,12 @@ fn shared_file_shifts_charge_to_shared_spu() {
     let f = k.create_file(0, 128 * 1024, 0); // 32 blocks
     let reader = Program::builder("r").read(f, 0, 128 * 1024).build();
     k.spawn_at(SpuId::user(0), reader.clone(), Some("r0"), SimTime::ZERO);
-    k.spawn_at(SpuId::user(1), reader, Some("r1"), SimTime::from_millis(400));
+    k.spawn_at(
+        SpuId::user(1),
+        reader,
+        Some("r1"),
+        SimTime::from_millis(400),
+    );
     let m = k.run(SimTime::from_secs(30));
     assert!(m.completed);
     // §3.2: the second SPU's accesses re-mark the cached pages shared.
@@ -140,13 +151,21 @@ fn weighted_time_sharing_follows_the_contract() {
     let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::Quota);
     let mut k = Kernel::new(cfg, SpuSet::with_weights(&[1, 3]));
     for s in 0..2u32 {
-        k.spawn_at(SpuId::user(s), spinner(10_000), Some(&format!("s{s}")), SimTime::ZERO);
+        k.spawn_at(
+            SpuId::user(s),
+            spinner(10_000),
+            Some(&format!("s{s}")),
+            SimTime::ZERO,
+        );
     }
     let m = k.run(SimTime::from_secs(4));
     let t0 = m.spu_cpu_time[SpuId::user(0).index()].as_secs_f64();
     let t1 = m.spu_cpu_time[SpuId::user(1).index()].as_secs_f64();
     let ratio = t1 / t0;
-    assert!((2.5..3.5).contains(&ratio), "expected ~3x, got {ratio} ({t0} vs {t1})");
+    assert!(
+        (2.5..3.5).contains(&ratio),
+        "expected ~3x, got {ratio} ({t0} vs {t1})"
+    );
 }
 
 #[test]
@@ -219,7 +238,10 @@ fn per_resource_weights_split_memory_independently() {
     assert!(m.completed);
     let e0 = m.mem_levels[SpuId::user(0).index()].entitled as f64;
     let e1 = m.mem_levels[SpuId::user(1).index()].entitled as f64;
-    assert!((e1 / e0 - 3.0).abs() < 0.05, "memory contract: {e0} vs {e1}");
+    assert!(
+        (e1 / e0 - 3.0).abs() < 0.05,
+        "memory contract: {e0} vs {e1}"
+    );
 }
 
 #[test]
@@ -235,7 +257,12 @@ fn trace_records_loans_and_revocations_under_piso() {
     k.spawn_at(SpuId::user(0), b.build(), Some("i"), SimTime::ZERO);
     // user1: two hogs, eager to borrow.
     for i in 0..2 {
-        k.spawn_at(SpuId::user(1), spinner(2000), Some(&format!("h{i}")), SimTime::ZERO);
+        k.spawn_at(
+            SpuId::user(1),
+            spinner(2000),
+            Some(&format!("h{i}")),
+            SimTime::ZERO,
+        );
     }
     k.enable_trace(100_000);
     let m = k.run(SimTime::from_secs(60));
@@ -252,10 +279,7 @@ fn trace_records_loans_and_revocations_under_piso() {
     let lats = trace.wake_to_dispatch_latencies(SpuId::user(0));
     assert!(!lats.is_empty());
     let max = lats.iter().max().unwrap();
-    assert!(
-        *max <= ms(11),
-        "revocation latency exceeded a tick: {max}"
-    );
+    assert!(*max <= ms(11), "revocation latency exceeded a tick: {max}");
 }
 
 #[test]
@@ -264,7 +288,12 @@ fn trace_shows_no_loans_under_quota() {
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     k.spawn_at(SpuId::user(0), spinner(200), Some("a"), SimTime::ZERO);
     for i in 0..3 {
-        k.spawn_at(SpuId::user(1), spinner(500), Some(&format!("b{i}")), SimTime::ZERO);
+        k.spawn_at(
+            SpuId::user(1),
+            spinner(500),
+            Some(&format!("b{i}")),
+            SimTime::ZERO,
+        );
     }
     k.enable_trace(100_000);
     let m = k.run(SimTime::from_secs(60));

@@ -72,7 +72,7 @@ fn quota_isolates_cpu_but_wastes_idle() {
         k.spawn_at(SpuId::user(1), spinner(300), Some("b"), SimTime::ZERO);
         let m = k.run(secs(30));
         assert!(m.completed, "{scheme}");
-        m.mean_response_secs("")
+        m.mean_response_secs("").expect("jobs ran")
     };
     let quota = run(Scheme::Quota);
     let piso = run(Scheme::PIso);
@@ -211,7 +211,10 @@ fn piso_borrows_idle_memory_avoiding_swap() {
         piso_faults * 10 < quota_faults.max(1),
         "piso {piso_faults} vs quota {quota_faults}"
     );
-    assert!(piso_resp < quota_resp, "piso {piso_resp} quota {quota_resp}");
+    assert!(
+        piso_resp < quota_resp,
+        "piso {piso_resp} quota {quota_resp}"
+    );
 }
 
 #[test]
@@ -275,7 +278,7 @@ fn meta_writes_reach_the_disk() {
     let m = k.run(secs(30));
     assert!(m.completed);
     assert_eq!(m.disks[0].total_requests(), 10);
-    assert_eq!(m.lock_acquires, 10);
+    assert_eq!(m.lock_acquires(), 10);
 }
 
 #[test]
@@ -306,7 +309,10 @@ fn mutex_inode_lock_serializes_lookups() {
         }
         let m = k.run(secs(60));
         assert!(m.completed);
-        (m.mean_response_secs("r"), m.lock_contention_ratio())
+        (
+            m.mean_response_secs("r").expect("readers ran"),
+            m.lock_contention_ratio(),
+        )
     };
     let (rw_resp, rw_contention) = run(true);
     let (mutex_resp, mutex_contention) = run(false);
@@ -426,10 +432,20 @@ fn ipi_revocation_cuts_wake_latency() {
         for _ in 0..40 {
             b = b.compute(ms(1), 0).meta_write(f);
         }
-        k.spawn_at(SpuId::user(0), b.build(), Some("interactive"), SimTime::ZERO);
+        k.spawn_at(
+            SpuId::user(0),
+            b.build(),
+            Some("interactive"),
+            SimTime::ZERO,
+        );
         // The hog: pure compute in the other SPU, happy to borrow.
         for i in 0..2 {
-            k.spawn_at(SpuId::user(1), spinner(3000), Some(&format!("hog{i}")), SimTime::ZERO);
+            k.spawn_at(
+                SpuId::user(1),
+                spinner(3000),
+                Some(&format!("hog{i}")),
+                SimTime::ZERO,
+            );
         }
         let m = k.run(secs(60));
         assert!(m.completed);

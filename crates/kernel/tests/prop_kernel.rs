@@ -19,24 +19,16 @@ struct MiniProgram {
 }
 
 fn mini_program_strategy() -> impl Strategy<Value = MiniProgram> {
-    (
-        1u64..200,
-        0u32..600,
-        0u64..128,
-        0u64..128,
-        0u8..3,
-        0u8..3,
+    (1u64..200, 0u32..600, 0u64..128, 0u64..128, 0u8..3, 0u8..3).prop_map(
+        |(compute_ms, ws_pages, read_kb, write_kb, meta_writes, children)| MiniProgram {
+            compute_ms,
+            ws_pages,
+            read_kb,
+            write_kb,
+            meta_writes,
+            children,
+        },
     )
-        .prop_map(|(compute_ms, ws_pages, read_kb, write_kb, meta_writes, children)| {
-            MiniProgram {
-                compute_ms,
-                ws_pages,
-                read_kb,
-                write_kb,
-                meta_writes,
-                children,
-            }
-        })
 }
 
 fn build(k: &mut Kernel, disk: usize, mp: &MiniProgram) -> std::sync::Arc<Program> {
@@ -67,7 +59,12 @@ fn build(k: &mut Kernel, disk: usize, mp: &MiniProgram) -> std::sync::Arc<Progra
     b.build()
 }
 
-fn run_workload(scheme: Scheme, programs: &[MiniProgram], cpus: usize, mem_mb: u64) -> (SimTime, bool) {
+fn run_workload(
+    scheme: Scheme,
+    programs: &[MiniProgram],
+    cpus: usize,
+    mem_mb: u64,
+) -> (SimTime, bool) {
     let cfg = MachineConfig::new(cpus, mem_mb, 2).with_scheme(scheme);
     let spus = SpuSet::equal_users(2);
     let mut k = Kernel::new(cfg, spus);

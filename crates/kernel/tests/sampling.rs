@@ -1,0 +1,116 @@
+//! End-to-end tests of the periodic resource sampler (`enable_sampling`).
+
+use event_sim::{SimDuration, SimTime};
+use smp_kernel::obsv::ResourceKind;
+use smp_kernel::{Kernel, MachineConfig, Program};
+use spu_core::{Scheme, SpuId, SpuSet};
+
+/// §3.2's lend-and-revoke cycle, read straight off the sampled memory
+/// series: while SPU1 idles, the policy raises SPU0's allowed level above
+/// its entitlement; once SPU1 starts touching its own pages the loan is
+/// revoked and SPU0's allowed returns to entitled.
+#[test]
+fn piso_memory_series_shows_lend_and_revoke() {
+    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+    k.enable_sampling(SimDuration::from_millis(50));
+
+    // SPU0: a working set past its ~half-of-16MB entitlement; while SPU1
+    // idles the loan makes the whole set resident.
+    let hog = Program::builder("hog")
+        .alloc(2400)
+        .compute(SimDuration::from_millis(2500), 2400)
+        .build();
+    k.spawn_at(SpuId::user(0), hog, Some("hog"), SimTime::ZERO);
+    // SPU1: idle until 1.5 s, then claims enough of its own entitlement
+    // that the excess disappears and the policy takes the loan back.
+    let late = Program::builder("late")
+        .alloc(1300)
+        .compute(SimDuration::from_millis(500), 1300)
+        .build();
+    k.spawn_at(
+        SpuId::user(1),
+        late,
+        Some("late"),
+        SimTime::from_millis(1500),
+    );
+    let m = k.run(SimTime::from_secs(600));
+    assert!(m.completed, "run hit the time cap");
+
+    let s = m
+        .obsv
+        .series_of(SpuId::user(0), ResourceKind::Memory)
+        .expect("memory series was sampled");
+    assert!(!s.samples.is_empty());
+
+    // Lending: allowed rose visibly above entitled while SPU1 was idle.
+    let peak = s.peak_borrowed();
+    assert!(peak > 50.0, "no visible loan in the series: peak={peak}");
+    let lent_early = s
+        .samples
+        .iter()
+        .any(|p| p.at < SimTime::from_millis(1500) && p.allowed - p.entitled > 50.0);
+    assert!(lent_early, "loan did not appear during SPU1's idle phase");
+
+    // Revocation: once SPU1's demand arrived, a later sample shows the
+    // allowed level back down near the entitlement.
+    let revoked = s
+        .samples
+        .iter()
+        .any(|p| p.at > SimTime::from_millis(1700) && p.allowed - p.entitled < peak / 4.0);
+    assert!(revoked, "allowed never returned toward entitled: {s:?}");
+}
+
+/// The sampler records all three resources for every user SPU at the
+/// configured interval, with sane CPU levels.
+#[test]
+fn sampler_covers_all_resources() {
+    let cfg = MachineConfig::new(4, 32, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+    k.enable_sampling(SimDuration::from_millis(10));
+    let spin = Program::builder("spin")
+        .compute(SimDuration::from_millis(200), 0)
+        .build();
+    k.spawn_at(SpuId::user(0), spin, Some("a"), SimTime::ZERO);
+    let m = k.run(SimTime::from_secs(10));
+    assert!(m.completed);
+
+    assert_eq!(m.obsv.sample_interval, Some(SimDuration::from_millis(10)));
+    // 2 user SPUs x 3 resources, in a fixed layout.
+    assert_eq!(m.obsv.series.len(), 6);
+    for spu in [SpuId::user(0), SpuId::user(1)] {
+        for kind in ResourceKind::ALL {
+            let s = m.obsv.series_of(spu, kind).expect("series exists");
+            assert!(!s.samples.is_empty(), "{spu:?} {kind:?} never sampled");
+        }
+    }
+    // Each SPU is entitled to half of the 4 CPUs.
+    let cpu = m.obsv.series_of(SpuId::user(0), ResourceKind::Cpu).unwrap();
+    assert!((cpu.samples[0].entitled - 2.0).abs() < 1e-9);
+    // The lone spinner uses at most one CPU in every sample.
+    assert!(cpu.samples.iter().all(|p| p.used <= 1.0 + 1e-9));
+}
+
+/// Sampling stays off by default and `enable_sampling` rejects a zero
+/// interval.
+#[test]
+fn sampling_off_by_default() {
+    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+    let spin = Program::builder("spin")
+        .compute(SimDuration::from_millis(50), 0)
+        .build();
+    k.spawn_at(SpuId::user(0), spin, Some("a"), SimTime::ZERO);
+    let m = k.run(SimTime::from_secs(5));
+    assert!(m.completed);
+    assert!(m.obsv.series.is_empty());
+    assert_eq!(m.obsv.sample_interval, None);
+}
+
+#[test]
+#[should_panic(expected = "sampling interval")]
+fn zero_interval_rejected() {
+    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+    k.enable_sampling(SimDuration::ZERO);
+}

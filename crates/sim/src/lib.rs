@@ -30,5 +30,5 @@ pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
-pub use stats::{Histogram, OnlineStats, TimeWeighted};
+pub use stats::{Histogram, LogHistogram, OnlineStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};

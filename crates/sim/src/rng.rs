@@ -185,7 +185,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "shuffle should change order with overwhelming probability");
+        assert_ne!(
+            v, sorted,
+            "shuffle should change order with overwhelming probability"
+        );
     }
 
     #[test]

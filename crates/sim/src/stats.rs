@@ -3,6 +3,8 @@
 //!
 //! * [`OnlineStats`] — count/mean/variance/min/max in O(1) space (Welford).
 //! * [`Histogram`] — fixed-width bucket histogram with percentile queries.
+//! * [`LogHistogram`] — log-bucketed latency histogram with deterministic
+//!   bucket boundaries, merge, and percentile queries.
 //! * [`TimeWeighted`] — time-weighted average of a piecewise-constant value
 //!   (e.g. queue depth or pages in use over simulated time).
 
@@ -208,6 +210,184 @@ impl Histogram {
     }
 }
 
+/// Log-bucketed histogram for latency-like quantities that span many
+/// orders of magnitude.
+///
+/// Bucket `i` covers `[min · growth^i, min · growth^(i+1))`; boundaries
+/// are precomputed once by repeated multiplication, so two histograms
+/// built with the same parameters have bit-identical boundaries and can
+/// be [merged](LogHistogram::merge). Values below `min` (including the
+/// very common zero latency) land in an underflow bucket covering
+/// `[0, min)`; values at or past the last boundary land in overflow.
+///
+/// # Examples
+///
+/// ```
+/// use event_sim::LogHistogram;
+/// let mut h = LogHistogram::latency();
+/// for us in [5u64, 50, 500, 5_000] {
+///     h.add(us as f64 * 1e-6); // seconds
+/// }
+/// assert_eq!(h.count(), 4);
+/// let p50 = h.percentile(50.0).unwrap();
+/// assert!(p50 > 5e-6 && p50 < 5e-4);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHistogram {
+    /// `bounds[i]` is the inclusive lower edge of bucket `i`; one extra
+    /// entry holds the exclusive upper edge of the last bucket.
+    bounds: Vec<f64>,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram whose first bucket starts at `min` and whose
+    /// bucket widths grow geometrically by `growth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `min <= 0`, or `growth <= 1`.
+    pub fn new(min: f64, growth: f64, n: usize) -> Self {
+        assert!(n > 0, "need at least one bucket");
+        assert!(min > 0.0, "first boundary must be positive");
+        assert!(growth > 1.0, "growth factor must exceed 1");
+        let mut bounds = Vec::with_capacity(n + 1);
+        let mut edge = min;
+        for _ in 0..=n {
+            bounds.push(edge);
+            edge *= growth;
+        }
+        LogHistogram {
+            bounds,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// The standard latency histogram used across the kernel: 1 µs first
+    /// bucket, doubling per bucket, 36 buckets (covers past 19 simulated
+    /// hours before overflow).
+    pub fn latency() -> Self {
+        LogHistogram::new(1e-6, 2.0, 36)
+    }
+
+    /// Adds one observation (negative values count as underflow).
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x.max(0.0);
+        self.max = self.max.max(x);
+        if x < self.bounds[0] {
+            self.underflow += 1;
+        } else if x >= self.bounds[self.buckets.len()] {
+            self.overflow += 1;
+        } else {
+            // First edge strictly above x, minus one, is x's bucket.
+            let idx = self.bounds.partition_point(|&b| b <= x) - 1;
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Adds a duration observation in seconds.
+    pub fn add_duration(&mut self, d: SimDuration) {
+        self.add(d.as_secs_f64());
+    }
+
+    /// Total number of observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all (non-negative) observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest observation seen (exact, not bucketed); zero when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another histogram with identical boundaries into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundary sets differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.bounds, other.bounds, "merging mismatched histograms");
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Approximate `p`-th percentile (`0 < p <= 100`), linearly
+    /// interpolated within the containing bucket. Underflow reads as 0,
+    /// overflow as the last boundary. Returns `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(0.0);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if seen + c >= target {
+                let into = (target - seen) as f64 / c.max(1) as f64;
+                let lo = self.bounds[i];
+                let hi = self.bounds[i + 1];
+                return Some(lo + (hi - lo) * into);
+            }
+            seen += c;
+        }
+        Some(self.bounds[self.buckets.len()])
+    }
+
+    /// Occupied buckets as `(lower_edge, upper_edge, count)` triples, in
+    /// ascending order; underflow appears as `(0, min, n)`. Useful for
+    /// compact export.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, f64, u64)> {
+        let mut out = Vec::new();
+        if self.underflow > 0 {
+            out.push((0.0, self.bounds[0], self.underflow));
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.push((self.bounds[i], self.bounds[i + 1], c));
+            }
+        }
+        if self.overflow > 0 {
+            let last = self.bounds[self.buckets.len()];
+            out.push((last, f64::INFINITY, self.overflow));
+        }
+        out
+    }
+}
+
 /// Time-weighted average of a piecewise-constant quantity.
 ///
 /// Call [`TimeWeighted::set`] whenever the value changes; the accumulator
@@ -366,11 +546,88 @@ mod tests {
     }
 
     #[test]
+    fn log_histogram_buckets_and_percentiles() {
+        let mut h = LogHistogram::new(1.0, 2.0, 8);
+        // 1, 2, 4, ..., 128: one observation per bucket.
+        for i in 0..8 {
+            h.add((1u64 << i) as f64);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.nonzero_buckets().len(), 8);
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((8.0..=16.0).contains(&p50), "{p50}");
+        let p100 = h.percentile(100.0).unwrap();
+        assert!(p100 >= 128.0, "{p100}");
+        assert_eq!(h.max(), 128.0);
+        assert!((h.mean() - 255.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_underflow_and_overflow() {
+        let mut h = LogHistogram::new(1.0, 10.0, 2); // buckets [1,10) [10,100)
+        h.add(0.0);
+        h.add(0.5);
+        h.add(5.0);
+        h.add(1e6);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.percentile(25.0), Some(0.0));
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz[0], (0.0, 1.0, 2));
+        assert_eq!(nz.last().unwrap().2, 1);
+        assert!(nz.last().unwrap().1.is_infinite());
+    }
+
+    #[test]
+    fn log_histogram_merge_matches_single_stream() {
+        let xs: Vec<f64> = (1..200).map(|i| (i * i) as f64 * 1e-6).collect();
+        let mut whole = LogHistogram::latency();
+        let mut a = LogHistogram::latency();
+        let mut b = LogHistogram::latency();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.add(x);
+            if i % 2 == 0 {
+                a.add(x);
+            } else {
+                b.add(x);
+            }
+        }
+        a.merge(&b);
+        // Bucket counts match exactly; the sum only up to float
+        // re-association (merge adds two partial sums).
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+        assert!((a.sum() - whole.sum()).abs() < 1e-9 * whole.sum().abs());
+        assert_eq!(a.percentile(95.0), whole.percentile(95.0));
+    }
+
+    #[test]
+    fn log_histogram_boundaries_are_reproducible() {
+        let a = LogHistogram::latency();
+        let b = LogHistogram::latency();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn log_histogram_merge_rejects_mismatched_bounds() {
+        let mut a = LogHistogram::new(1.0, 2.0, 4);
+        let b = LogHistogram::new(1.0, 2.0, 5);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn log_histogram_empty_percentile_is_none() {
+        assert_eq!(LogHistogram::latency().percentile(50.0), None);
+    }
+
+    #[test]
     fn time_weighted_average() {
         let mut w = TimeWeighted::new(SimTime::ZERO, 2.0);
         w.set(SimTime::from_secs(2), 6.0); // 2.0 for 2s
         w.set(SimTime::from_secs(3), 0.0); // 6.0 for 1s
-        // total integral 2*2 + 6*1 = 10 over 5s -> 2.0
+                                           // total integral 2*2 + 6*1 = 10 over 5s -> 2.0
         assert!((w.average(SimTime::from_secs(5)) - 2.0).abs() < 1e-12);
         assert_eq!(w.peak(), 6.0);
         assert_eq!(w.current(), 0.0);

@@ -303,8 +303,14 @@ mod tests {
     #[test]
     fn round_up_to_period() {
         let tick = SimDuration::from_millis(10);
-        assert_eq!(SimTime::from_millis(10).round_up(tick), SimTime::from_millis(10));
-        assert_eq!(SimTime::from_millis(11).round_up(tick), SimTime::from_millis(20));
+        assert_eq!(
+            SimTime::from_millis(10).round_up(tick),
+            SimTime::from_millis(10)
+        );
+        assert_eq!(
+            SimTime::from_millis(11).round_up(tick),
+            SimTime::from_millis(20)
+        );
         assert_eq!(SimTime::ZERO.round_up(tick), SimTime::ZERO);
     }
 
@@ -316,9 +322,15 @@ mod tests {
 
     #[test]
     fn float_duration_construction() {
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1500));
+        assert_eq!(
+            SimDuration::from_millis_f64(1.5),
+            SimDuration::from_micros(1500)
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property tests for the simulation substrate.
 
-use event_sim::{EventQueue, Histogram, OnlineStats, SimDuration, SimTime, SplitMix64};
+use event_sim::{
+    EventQueue, Histogram, LogHistogram, OnlineStats, SimDuration, SimTime, SplitMix64,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -150,5 +152,56 @@ proptest! {
         prop_assert!(r >= time);
         prop_assert_eq!(r.as_nanos() % period, 0);
         prop_assert!(r.as_nanos() - t < period);
+    }
+
+    /// Merging two log histograms matches one histogram built over the
+    /// concatenation of their streams (bucket-exactly; the running sum
+    /// only up to float re-association).
+    #[test]
+    fn log_histogram_merge_matches_concat(
+        xs in prop::collection::vec(1u64..100_000_000, 0..100),
+        ys in prop::collection::vec(1u64..100_000_000, 0..100),
+    ) {
+        let mut a = LogHistogram::latency();
+        let mut b = LogHistogram::latency();
+        let mut whole = LogHistogram::latency();
+        for &v in &xs {
+            a.add(v as f64 * 1e-6);
+            whole.add(v as f64 * 1e-6);
+        }
+        for &v in &ys {
+            b.add(v as f64 * 1e-6);
+            whole.add(v as f64 * 1e-6);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert_eq!(a.max(), whole.max());
+        prop_assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+        prop_assert!((a.sum() - whole.sum()).abs() <= 1e-9 * whole.sum().abs());
+        prop_assert_eq!(a.percentile(50.0), whole.percentile(50.0));
+        prop_assert_eq!(a.percentile(99.0), whole.percentile(99.0));
+    }
+
+    /// Log-histogram percentiles are monotone in p and stay within one
+    /// growth factor of the true data range.
+    #[test]
+    fn log_histogram_percentiles_bounded(xs in prop::collection::vec(1u64..100_000_000, 1..200)) {
+        let mut h = LogHistogram::latency();
+        let mut hi = 0.0f64;
+        for &v in &xs {
+            let x = v as f64 * 1e-6;
+            hi = hi.max(x);
+            h.add(x);
+        }
+        let mut last = 0.0f64;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = h.percentile(p).unwrap();
+            prop_assert!(q >= last, "not monotone at p={p}");
+            last = q;
+        }
+        // The top percentile lands inside the max value's x2 bucket.
+        let p100 = h.percentile(100.0).unwrap();
+        prop_assert!(p100 >= hi * (1.0 - 1e-12), "p100={p100} below max={hi}");
+        prop_assert!(p100 <= hi * 2.0 * (1.0 + 1e-12), "p100={p100} beyond bucket of max={hi}");
     }
 }

@@ -70,7 +70,12 @@ mod tests {
         k.spawn_at(SpuId::user(0), v, Some("vcs"), SimTime::ZERO);
         let m = k.run(SimTime::from_secs(30));
         assert!(m.completed);
-        let rf = m.job("flashlite").unwrap().response().unwrap().as_secs_f64();
+        let rf = m
+            .job("flashlite")
+            .unwrap()
+            .response()
+            .unwrap()
+            .as_secs_f64();
         let rv = m.job("vcs").unwrap().response().unwrap().as_secs_f64();
         // Each runs on its own CPU: response ≈ compute time + small I/O.
         assert!((9.0..10.5).contains(&rf), "flashlite {rf}");

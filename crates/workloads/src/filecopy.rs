@@ -73,7 +73,11 @@ mod tests {
             m.cache.flushed_blocks
         );
         // Sequential access: modest average seek.
-        assert!(m.disks[0].mean_seek_ms() < 4.0, "{}", m.disks[0].mean_seek_ms());
+        assert!(
+            m.disks[0].mean_seek_ms() < 4.0,
+            "{}",
+            m.disks[0].mean_seek_ms()
+        );
     }
 
     #[test]

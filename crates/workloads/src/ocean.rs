@@ -52,8 +52,7 @@ impl OceanConfig {
         let mut programs = Vec::with_capacity(self.workers as usize + 1);
         let mut workers = Vec::new();
         for w in 0..self.workers {
-            let mut b = Program::builder(&format!("ocean-w{w}"))
-                .alloc(self.ws_pages.max(1));
+            let mut b = Program::builder(&format!("ocean-w{w}")).alloc(self.ws_pages.max(1));
             for it in 0..self.iterations {
                 b = b
                     .compute(self.step_cpu, self.ws_pages)
@@ -90,7 +89,12 @@ mod tests {
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let ocean = OceanConfig::paper();
         let progs = ocean.build(100);
-        k.spawn_at(SpuId::user(0), progs[0].clone(), Some("ocean"), SimTime::ZERO);
+        k.spawn_at(
+            SpuId::user(0),
+            progs[0].clone(),
+            Some("ocean"),
+            SimTime::ZERO,
+        );
         let m = k.run(SimTime::from_secs(60));
         assert!(m.completed);
         let r = m.job("ocean").unwrap().response().unwrap();
@@ -110,7 +114,12 @@ mod tests {
             let cfg = MachineConfig::new(4, 64, 1).with_scheme(Scheme::Smp);
             let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
             let progs = OceanConfig::paper().build(0);
-            k.spawn_at(SpuId::user(0), progs[0].clone(), Some("ocean"), SimTime::ZERO);
+            k.spawn_at(
+                SpuId::user(0),
+                progs[0].clone(),
+                Some("ocean"),
+                SimTime::ZERO,
+            );
             if with_load {
                 for i in 0..4 {
                     let spin = Program::builder("spin")

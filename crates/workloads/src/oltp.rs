@@ -61,11 +61,7 @@ impl OltpConfig {
     /// Creates the table and log files on `disk` and builds the program.
     pub fn build(&self, k: &mut Kernel, disk: usize) -> Arc<Program> {
         let table = k.create_file(disk, self.table_bytes, 0);
-        let log = k.create_file(
-            disk,
-            self.transactions as u64 * self.log_record_bytes,
-            0,
-        );
+        let log = k.create_file(disk, self.transactions as u64 * self.log_record_bytes, 0);
         let table_pages = self.table_bytes / PAGE_SIZE;
         let mut rng = SplitMix64::new(self.seed);
         let mut b = Program::builder("oltp");

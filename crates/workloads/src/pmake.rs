@@ -216,7 +216,11 @@ mod tests {
         // the same order of magnitude.
         assert!((100..=900).contains(&reqs), "requests: {reqs}");
         // Scattered: mean seek is well above zero.
-        assert!(m.disks[0].mean_seek_ms() > 0.5, "{}", m.disks[0].mean_seek_ms());
+        assert!(
+            m.disks[0].mean_seek_ms() > 0.5,
+            "{}",
+            m.disks[0].mean_seek_ms()
+        );
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //!
 //! Run with: `cargo run --release --example memory_isolation`
 //! (pass `--quick` for the reduced-scale variant)
+//!
+//! Also exports `results/mem_iso_series.jsonl`: the sampled per-SPU
+//! `(entitled, allowed, used)` series of an instrumented PIso run —
+//! the memory rows show `allowed` rising above `entitled` while idle
+//! pages are on loan and dropping back on revocation.
 
 use perf_isolation::experiments::mem_iso;
 use perf_isolation::experiments::tables;
@@ -20,13 +25,21 @@ fn main() {
     println!("Running the memory-isolation workload ({scale:?} scale)...\n");
     let result = mem_iso::run(scale);
     println!("{}", result.format());
-    println!("SPU2 major faults (unbalanced): SMP={} Quo={} PIso={}",
-        result.spu2_major_faults[0],
-        result.spu2_major_faults[1],
-        result.spu2_major_faults[2]);
+    println!(
+        "SPU2 major faults (unbalanced): SMP={} Quo={} PIso={}",
+        result.spu2_major_faults[0], result.spu2_major_faults[1], result.spu2_major_faults[2]
+    );
     println!(
         "\nPaper shape: isolation — SMP degrades SPU1 ~45%, PIso ~13%, Quo ~0;\n\
          sharing — Quo degrades SPU2 ~145% vs balanced (100% CPU + 45% memory\n\
-         thrash), PIso close to SMP."
+         thrash), PIso close to SMP.\n"
+    );
+
+    let (_, series) = mem_iso::run_instrumented(scale);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/mem_iso_series.jsonl", &series).expect("write series export");
+    println!(
+        "Wrote results/mem_iso_series.jsonl ({} samples).",
+        series.lines().count()
     );
 }

@@ -7,6 +7,14 @@
 //!
 //! Run with: `cargo run --release --example pmake8_figures`
 //! (pass `--quick` for the reduced-scale variant)
+//!
+//! Besides the text tables, an instrumented PIso run of the unbalanced
+//! configuration is exported to `results/`:
+//! * `pmake8_metrics.jsonl` — run header, per-job records, counters,
+//!   latency histograms and the per-SPU (entitled, allowed, used) series
+//!   for CPU, memory and disk;
+//! * `pmake8_trace.json` — Chrome trace-event JSON, loadable in Perfetto
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing`.
 
 use perf_isolation::experiments::pmake8;
 use perf_isolation::experiments::tables;
@@ -24,6 +32,19 @@ fn main() {
     println!("{}", result.format());
     println!(
         "Paper shape: Fig 2 — SMP unbalanced ≈ 156, Quo/PIso unbalanced ≈ 100;\n\
-         Fig 3 — SMP 156, Quo 187, PIso ≈ 146."
+         Fig 3 — SMP 156, Quo 187, PIso ≈ 146.\n"
+    );
+
+    println!("Instrumented PIso run (trace + 100 ms sampler)...");
+    let inst = pmake8::run_instrumented(scale);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/pmake8_metrics.jsonl", &inst.metrics_jsonl)
+        .expect("write metrics export");
+    std::fs::write("results/pmake8_trace.json", &inst.chrome_trace).expect("write trace export");
+    println!(
+        "Wrote results/pmake8_metrics.jsonl ({} lines) and\n\
+         results/pmake8_trace.json ({} KiB) — open the latter in Perfetto.",
+        inst.metrics_jsonl.lines().count(),
+        inst.chrome_trace.len() / 1024
     );
 }

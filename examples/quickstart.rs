@@ -40,7 +40,12 @@ fn main() {
             let job = Program::builder("hog-job")
                 .compute(SimDuration::from_millis(300), 0)
                 .build();
-            kernel.spawn_at(SpuId::user(1), job, Some(&format!("hog-{i}")), SimTime::ZERO);
+            kernel.spawn_at(
+                SpuId::user(1),
+                job,
+                Some(&format!("hog-{i}")),
+                SimTime::ZERO,
+            );
         }
 
         let metrics = kernel.run(SimTime::from_secs(60));
@@ -48,8 +53,8 @@ fn main() {
         println!(
             "{:<6} {:>14.3} {:>14.3}",
             scheme.label(),
-            metrics.mean_response_secs("victim"),
-            metrics.mean_response_secs("hog"),
+            metrics.mean_response_secs("victim").expect("victim ran"),
+            metrics.mean_response_secs("hog").expect("hogs ran"),
         );
     }
 

@@ -53,9 +53,9 @@ fn main() {
         println!(
             "{:<6} {:>16.3} {:>18.2} {:>18.3}",
             scheme.label(),
-            m.mean_response_secs("oltp"),
+            m.mean_response_secs("oltp").expect("oltp ran"),
             m.disks[0].stream(SpuId::user(0)).mean_wait_ms(),
-            m.mean_response_secs("analytics"),
+            m.mean_response_secs("analytics").expect("analytics ran"),
         );
     }
     println!(

@@ -1,0 +1,42 @@
+//! Determinism of the observability exports: the simulation is keyed by
+//! simulated time only (no wall clock, no unordered maps), so two
+//! identical instrumented runs must serialize to byte-identical strings.
+
+use perf_isolation::experiments::pmake8;
+use perf_isolation::experiments::Scale;
+
+#[test]
+fn instrumented_runs_export_identically() {
+    let a = pmake8::run_instrumented(Scale::Quick);
+    let b = pmake8::run_instrumented(Scale::Quick);
+
+    assert!(!a.metrics_jsonl.is_empty());
+    assert!(!a.chrome_trace.is_empty());
+    assert_eq!(
+        a.metrics_jsonl, b.metrics_jsonl,
+        "JSONL metrics export is not deterministic"
+    );
+    assert_eq!(
+        a.chrome_trace, b.chrome_trace,
+        "Chrome trace export is not deterministic"
+    );
+
+    // The export carries real content: per-SPU series for all three
+    // resources, counters, histograms.
+    for needle in [
+        "\"type\":\"sample\"",
+        "\"resource\":\"cpu\"",
+        "\"resource\":\"memory\"",
+        "\"resource\":\"disk\"",
+        "\"type\":\"counter\"",
+        "\"type\":\"histogram\"",
+        "\"name\":\"response\"",
+    ] {
+        assert!(
+            a.metrics_jsonl.contains(needle),
+            "metrics export misses {needle}"
+        );
+    }
+    assert!(a.chrome_trace.contains("\"traceEvents\""));
+    assert!(a.chrome_trace.contains("\"ph\":\"X\""));
+}

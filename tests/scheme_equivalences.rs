@@ -60,8 +60,8 @@ fn saturated_piso_equals_quota() {
         let m = k.run(SimTime::from_secs(60));
         assert!(m.completed);
         (
-            m.mean_response_of_spu(SpuId::user(0)),
-            m.mean_response_of_spu(SpuId::user(1)),
+            m.mean_response_of_spu(SpuId::user(0)).expect("spu0 ran"),
+            m.mean_response_of_spu(SpuId::user(1)).expect("spu1 ran"),
         )
     };
     let (q0, q1) = run(Scheme::Quota);
@@ -133,7 +133,12 @@ fn smp_ignores_spu_structure() {
         let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Smp);
         let mut k = Kernel::new(cfg, spus);
         for i in 0..4 {
-            k.spawn_at(assign(i), cpu_job(100), Some(&format!("j{i}")), SimTime::ZERO);
+            k.spawn_at(
+                assign(i),
+                cpu_job(100),
+                Some(&format!("j{i}")),
+                SimTime::ZERO,
+            );
         }
         let m = k.run(SimTime::from_secs(30));
         assert!(m.completed);
