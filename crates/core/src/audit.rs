@@ -1,0 +1,412 @@
+//! Conservation-invariant auditing for the resource ledger.
+//!
+//! [`LedgerAuditor`] re-checks the sharing/lending invariants of a
+//! [`ResourceLedger`] after every scheduling or lending decision and
+//! *records* violations instead of panicking, so a production run keeps
+//! going while the observability layer surfaces the breach:
+//!
+//! 1. Σ used ≤ capacity — pages cannot be conjured.
+//! 2. Σ entitled ≤ capacity — entitlements must be coverable.
+//! 3. allowed ≥ entitled for every user SPU — lending may only *add*
+//!    to an SPU's share, never eat into its entitlement.
+//! 4. used ≤ allowed under enforcement *and* memory pressure — an
+//!    overdraft may persist on an idle machine (eviction is lazy), but
+//!    under pressure it must drain within a grace period.
+//! 5. Loans balance: the total lent above entitlements must be covered
+//!    by idle entitlement plus unassigned capacity, again within a
+//!    grace period (a revoked loan still outstanding past its deadline
+//!    shows up here).
+
+use std::fmt;
+
+use event_sim::{SimDuration, SimTime};
+
+use crate::ledger::ResourceLedger;
+use crate::spu::{SpuId, SpuSet};
+
+/// One detected invariant breach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// Σ used exceeds machine capacity.
+    CapacityOvercommitted {
+        /// Total units in use.
+        used: u64,
+        /// Machine capacity.
+        capacity: u64,
+    },
+    /// Σ entitled exceeds machine capacity.
+    EntitledOverCapacity {
+        /// Total entitled units.
+        entitled: u64,
+        /// Machine capacity.
+        capacity: u64,
+    },
+    /// A user SPU's allowed level fell below its entitlement.
+    AllowedBelowEntitled {
+        /// The SPU in breach.
+        spu: SpuId,
+        /// Its allowed level.
+        allowed: u64,
+        /// Its entitlement.
+        entitled: u64,
+    },
+    /// An SPU stayed over its allowed level past the grace period while
+    /// the machine was under pressure.
+    OverdueOverdraft {
+        /// The SPU in breach.
+        spu: SpuId,
+        /// Its usage.
+        used: u64,
+        /// Its allowed level.
+        allowed: u64,
+    },
+    /// Outstanding loans exceed what lenders and free capacity can
+    /// cover, past the grace period.
+    LoansUnbalanced {
+        /// Units granted above entitlements.
+        granted: u64,
+        /// Units coverable by idle entitlement + unassigned capacity.
+        coverable: u64,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AuditViolation::CapacityOvercommitted { used, capacity } => {
+                write!(
+                    f,
+                    "capacity overcommitted: used {used} > capacity {capacity}"
+                )
+            }
+            AuditViolation::EntitledOverCapacity { entitled, capacity } => {
+                write!(f, "entitlements over capacity: {entitled} > {capacity}")
+            }
+            AuditViolation::AllowedBelowEntitled {
+                spu,
+                allowed,
+                entitled,
+            } => write!(f, "{spu}: allowed {allowed} below entitled {entitled}"),
+            AuditViolation::OverdueOverdraft { spu, used, allowed } => {
+                write!(
+                    f,
+                    "{spu}: overdraft {used}/{allowed} past grace under pressure"
+                )
+            }
+            AuditViolation::LoansUnbalanced { granted, coverable } => {
+                write!(
+                    f,
+                    "loans unbalanced: granted {granted} > coverable {coverable}"
+                )
+            }
+        }
+    }
+}
+
+const MAX_RECORDED: usize = 32;
+
+/// Re-checks ledger invariants after every decision, recording breaches.
+#[derive(Clone, Debug)]
+pub struct LedgerAuditor {
+    grace: SimDuration,
+    checks: u64,
+    violations: u64,
+    recorded: Vec<AuditViolation>,
+    overdraft_since: Vec<Option<SimTime>>,
+    imbalance_since: Option<SimTime>,
+}
+
+impl LedgerAuditor {
+    /// An auditor for a machine with `spu_count` SPUs; transient states
+    /// (overdrafts under pressure, loan imbalance) must clear within
+    /// `grace` before they count as violations.
+    pub fn new(spu_count: usize, grace: SimDuration) -> Self {
+        LedgerAuditor {
+            grace,
+            checks: 0,
+            violations: 0,
+            recorded: Vec::new(),
+            overdraft_since: vec![None; spu_count],
+            imbalance_since: None,
+        }
+    }
+
+    /// Audits `ledger` at time `now`. `enforce` says whether the scheme
+    /// enforces isolation (the overdraft and loan checks only apply
+    /// then); `pressure` says whether the machine is currently under
+    /// memory pressure. Returns the number of *new* violations.
+    pub fn check(
+        &mut self,
+        ledger: &ResourceLedger,
+        spus: &SpuSet,
+        enforce: bool,
+        pressure: bool,
+        now: SimTime,
+    ) -> usize {
+        self.checks += 1;
+        let before = self.violations;
+        let capacity = ledger.capacity();
+
+        let used: u64 = ledger.total_used();
+        if used > capacity {
+            self.record(AuditViolation::CapacityOvercommitted { used, capacity });
+        }
+
+        let entitled: u64 = spus.all_ids().map(|id| ledger.levels(id).entitled).sum();
+        if entitled > capacity {
+            self.record(AuditViolation::EntitledOverCapacity { entitled, capacity });
+        }
+
+        for id in spus.user_ids() {
+            let l = ledger.levels(id);
+            if l.allowed < l.entitled {
+                self.record(AuditViolation::AllowedBelowEntitled {
+                    spu: id,
+                    allowed: l.allowed,
+                    entitled: l.entitled,
+                });
+            }
+        }
+
+        // Overdrafts: legitimate while idle (lazy eviction) and for a
+        // grace period under pressure; a violation only once they have
+        // persisted past the grace period with reclaim active.
+        for id in spus.all_ids() {
+            let idx = id.index();
+            let l = ledger.levels(id);
+            if !enforce || !pressure || l.used <= l.allowed {
+                self.overdraft_since[idx] = None;
+                continue;
+            }
+            let since = *self.overdraft_since[idx].get_or_insert(now);
+            if now.saturating_since(since) > self.grace {
+                self.record(AuditViolation::OverdueOverdraft {
+                    spu: id,
+                    used: l.used,
+                    allowed: l.allowed,
+                });
+                self.overdraft_since[idx] = Some(now);
+            }
+        }
+
+        // Loan balance: everything granted above entitlements must be
+        // covered by lenders' unused entitlement plus unassigned
+        // capacity. Transiently breakable mid-revocation, hence graced.
+        if enforce {
+            let granted: u64 = spus
+                .user_ids()
+                .map(|id| {
+                    let l = ledger.levels(id);
+                    l.allowed.saturating_sub(l.entitled)
+                })
+                .sum();
+            let idle: u64 = spus
+                .user_ids()
+                .map(|id| {
+                    let l = ledger.levels(id);
+                    l.entitled.saturating_sub(l.used)
+                })
+                .sum();
+            let coverable = capacity.saturating_sub(entitled) + idle;
+            if granted > coverable {
+                let since = *self.imbalance_since.get_or_insert(now);
+                if now.saturating_since(since) > self.grace {
+                    self.record(AuditViolation::LoansUnbalanced { granted, coverable });
+                    self.imbalance_since = Some(now);
+                }
+            } else {
+                self.imbalance_since = None;
+            }
+        }
+
+        (self.violations - before) as usize
+    }
+
+    fn record(&mut self, v: AuditViolation) {
+        self.violations += 1;
+        if self.recorded.len() < MAX_RECORDED {
+            self.recorded.push(v);
+        }
+    }
+
+    /// Number of audits performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Total violations detected.
+    pub fn violation_count(&self) -> u64 {
+        self.violations
+    }
+
+    /// The first violations detected (bounded sample).
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.recorded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spu::SpuSet;
+
+    fn setup(users: usize, capacity: u64) -> (ResourceLedger, SpuSet) {
+        let spus = SpuSet::equal_users(users);
+        let ledger = ResourceLedger::new(capacity, spus.total_count());
+        (ledger, spus)
+    }
+
+    fn grace() -> SimDuration {
+        SimDuration::from_millis(300)
+    }
+
+    #[test]
+    fn clean_ledger_passes() {
+        let (mut ledger, spus) = setup(2, 100);
+        ledger.set_entitled(SpuId::user(0), 40);
+        ledger.set_entitled(SpuId::user(1), 40);
+        ledger.charge(SpuId::user(0), 10, true).unwrap();
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        let fresh = a.check(&ledger, &spus, true, false, SimTime::from_secs(1));
+        assert_eq!(fresh, 0);
+        assert_eq!(a.violation_count(), 0);
+        assert_eq!(a.checks(), 1);
+    }
+
+    #[test]
+    fn entitlements_over_capacity_detected() {
+        let (mut ledger, spus) = setup(2, 100);
+        ledger.set_entitled(SpuId::user(0), 80);
+        ledger.set_entitled(SpuId::user(1), 80);
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        assert_eq!(a.check(&ledger, &spus, true, false, SimTime::ZERO), 1);
+        assert!(matches!(
+            a.violations()[0],
+            AuditViolation::EntitledOverCapacity { entitled: 160, .. }
+        ));
+    }
+
+    #[test]
+    fn allowed_below_entitled_detected() {
+        let (mut ledger, spus) = setup(2, 100);
+        ledger.set_entitled(SpuId::user(0), 40);
+        ledger.set_allowed(SpuId::user(0), 20);
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        assert_eq!(a.check(&ledger, &spus, true, false, SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn overdraft_needs_pressure_and_grace() {
+        let (mut ledger, spus) = setup(2, 100);
+        ledger.set_entitled(SpuId::user(0), 10);
+        ledger.charge(SpuId::user(0), 30, false).unwrap();
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        // No pressure: overdraft is legitimate indefinitely.
+        assert_eq!(
+            a.check(&ledger, &spus, true, false, SimTime::from_secs(1)),
+            0
+        );
+        assert_eq!(
+            a.check(&ledger, &spus, true, false, SimTime::from_secs(9)),
+            0
+        );
+        // Pressure starts: clock starts, still inside grace.
+        assert_eq!(
+            a.check(&ledger, &spus, true, true, SimTime::from_secs(10)),
+            0
+        );
+        // Past grace under sustained pressure: violation.
+        assert_eq!(
+            a.check(&ledger, &spus, true, true, SimTime::from_secs(11)),
+            1
+        );
+        // Pressure clears: clock resets.
+        assert_eq!(
+            a.check(&ledger, &spus, true, false, SimTime::from_secs(12)),
+            0
+        );
+        assert_eq!(
+            a.check(&ledger, &spus, true, true, SimTime::from_secs(13)),
+            0
+        );
+    }
+
+    #[test]
+    fn overdraft_ignored_without_enforcement() {
+        let (mut ledger, spus) = setup(1, 100);
+        ledger.set_entitled(SpuId::user(0), 10);
+        ledger.charge(SpuId::user(0), 50, false).unwrap();
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        for s in 0..20 {
+            assert_eq!(
+                a.check(&ledger, &spus, false, true, SimTime::from_secs(s)),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn loans_unbalanced_detected_after_grace() {
+        let (mut ledger, spus) = setup(2, 100);
+        ledger.set_entitled(SpuId::user(0), 50);
+        ledger.set_entitled(SpuId::user(1), 50);
+        // Both fully used, yet SPU0 granted 30 above entitlement:
+        // nothing idle to cover the loan.
+        ledger.charge(SpuId::user(0), 50, true).unwrap();
+        ledger.charge(SpuId::user(1), 50, true).unwrap();
+        ledger.set_allowed(SpuId::user(0), 80);
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        assert_eq!(
+            a.check(&ledger, &spus, true, false, SimTime::from_secs(1)),
+            0
+        );
+        assert_eq!(
+            a.check(&ledger, &spus, true, false, SimTime::from_secs(2)),
+            1
+        );
+    }
+
+    #[test]
+    fn covered_loans_balance() {
+        let (mut ledger, spus) = setup(2, 100);
+        ledger.set_entitled(SpuId::user(0), 50);
+        ledger.set_entitled(SpuId::user(1), 50);
+        // SPU1 idle: its 50 unused entitlement covers SPU0's loan of 30.
+        ledger.set_allowed(SpuId::user(0), 80);
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        for s in 0..10 {
+            assert_eq!(
+                a.check(&ledger, &spus, true, false, SimTime::from_secs(s)),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = AuditViolation::OverdueOverdraft {
+            spu: SpuId::user(0),
+            used: 20,
+            allowed: 10,
+        };
+        assert!(v.to_string().contains("overdraft"));
+        let v = AuditViolation::LoansUnbalanced {
+            granted: 5,
+            coverable: 3,
+        };
+        assert!(v.to_string().contains("unbalanced"));
+    }
+
+    #[test]
+    fn recorded_sample_is_bounded() {
+        let (mut ledger, spus) = setup(1, 100);
+        ledger.set_entitled(SpuId::user(0), 40);
+        ledger.set_allowed(SpuId::user(0), 10);
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        for s in 0..100 {
+            a.check(&ledger, &spus, true, false, SimTime::from_secs(s));
+        }
+        assert_eq!(a.violation_count(), 100);
+        assert_eq!(a.violations().len(), MAX_RECORDED);
+    }
+}

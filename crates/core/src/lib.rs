@@ -45,6 +45,7 @@
 //! assert!(!Scheme::Quota.shares_idle_resources());
 //! ```
 
+pub mod audit;
 pub mod cpu_policy;
 pub mod disk_policy;
 pub mod ledger;
@@ -53,6 +54,7 @@ pub mod resource;
 pub mod scheme;
 pub mod spu;
 
+pub use audit::{AuditViolation, LedgerAuditor};
 pub use cpu_policy::{CpuAssignment, CpuPartition, SharedCpuRotor};
 pub use disk_policy::BandwidthTracker;
 pub use ledger::{ChargeError, ResourceLedger};

@@ -30,6 +30,19 @@ struct InFlight {
     req: DiskRequest,
     breakdown: ServiceBreakdown,
     finish: SimTime,
+    wait: SimDuration,
+    failed: bool,
+}
+
+/// A retired request: the request plus whether the device failed it.
+/// Statistics are recorded at completion, so a failed request never
+/// pollutes the service-latency histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompletedRequest {
+    /// The request that finished (or failed).
+    pub req: DiskRequest,
+    /// `true` when the device reported an I/O error instead of data.
+    pub failed: bool,
 }
 
 /// A disk with a request queue, scheduler, and bandwidth accounting.
@@ -61,7 +74,8 @@ struct InFlight {
 ///     )
 ///     .is_none());
 /// let (done, next) = disk.complete(c1.at);
-/// assert_eq!(done.stream, SpuId::user(0));
+/// assert_eq!(done.req.stream, SpuId::user(0));
+/// assert!(!done.failed);
 /// assert!(next.is_some(), "queued request starts");
 /// ```
 #[derive(Debug)]
@@ -78,6 +92,11 @@ pub struct DiskDevice {
     /// Sector just past the previously serviced request, for the
     /// track-buffer model.
     last_end: Option<u64>,
+    /// Fault injection: how many upcoming requests fail with an I/O
+    /// error.
+    fail_next: u32,
+    /// Fault injection: service-time multiplier while degraded.
+    degraded: Option<f64>,
 }
 
 impl DiskDevice {
@@ -94,7 +113,28 @@ impl DiskDevice {
             stats: DiskStats::new(spu_count),
             next_seq: 0,
             last_end: None,
+            fail_next: 0,
+            degraded: None,
         }
+    }
+
+    /// Arms fault injection: the next `n` requests to *start service*
+    /// fail with an I/O error when they complete. Transient — later
+    /// requests succeed again.
+    pub fn inject_failures(&mut self, n: u32) {
+        self.fail_next += n;
+    }
+
+    /// Enters (factor ≥ 1) or leaves (`None`) degraded mode. While
+    /// degraded, every service-time component of newly started requests
+    /// is stretched by `factor`.
+    pub fn set_degraded(&mut self, factor: Option<f64>) {
+        self.degraded = factor;
+    }
+
+    /// The current degradation factor, if the device is degraded.
+    pub fn degraded(&self) -> Option<f64> {
+        self.degraded
     }
 
     /// Sets the BW-difference threshold in sectors (§3.3). Zero
@@ -172,14 +212,20 @@ impl DiskDevice {
     /// starts the next queued request, if any. Returns the completed
     /// request and the completion notice for the newly started one.
     ///
+    /// Statistics are recorded here, at completion: a successful request
+    /// contributes wait/seek/service numbers; a failed one only counts
+    /// as an error plus busy time, so errors never skew the
+    /// service-latency histogram.
+    ///
     /// # Panics
     ///
     /// Panics if nothing is in flight or `now` is not the in-flight
     /// request's completion time.
-    pub fn complete(&mut self, now: SimTime) -> (DiskRequest, Option<Completion>) {
+    pub fn complete(&mut self, now: SimTime) -> (CompletedRequest, Option<Completion>) {
         let fin = self.in_flight.take().expect("no request in flight");
         assert_eq!(fin.finish, now, "completion at the wrong time");
-        // Move the arm to the end of the transfer and charge bandwidth.
+        // Move the arm to the end of the transfer and charge bandwidth —
+        // a failed request still consumed real device time.
         self.head_cyl = self
             .model
             .cylinder_of(fin.req.end().min(self.model.total_sectors() - 1));
@@ -187,8 +233,20 @@ impl DiskDevice {
         for (spu, sectors) in fin.req.charges() {
             self.bw.charge(spu, sectors as u64, now);
         }
+        if fin.failed {
+            self.stats.record_error(fin.req.stream, &fin.breakdown);
+        } else {
+            self.stats
+                .record(fin.req.stream, fin.wait, &fin.breakdown, fin.req.sectors);
+        }
         let next = self.start_next(now);
-        (fin.req, next)
+        (
+            CompletedRequest {
+                req: fin.req,
+                failed: fin.failed,
+            },
+            next,
+        )
     }
 
     /// Starts the scheduler-chosen queued request, if any.
@@ -214,18 +272,24 @@ impl DiskDevice {
             breakdown.rotation = SimDuration::ZERO;
             breakdown.overhead = breakdown.overhead.min(SimDuration::from_micros(500));
         }
+        if let Some(factor) = self.degraded {
+            breakdown.overhead = breakdown.overhead.mul_f64(factor);
+            breakdown.seek = breakdown.seek.mul_f64(factor);
+            breakdown.rotation = breakdown.rotation.mul_f64(factor);
+            breakdown.transfer = breakdown.transfer.mul_f64(factor);
+        }
+        let failed = self.fail_next > 0;
+        if failed {
+            self.fail_next -= 1;
+        }
         let finish = now + breakdown.total();
         let id = RequestId(pending.seq);
-        self.stats.record(
-            pending.req.stream,
-            now.saturating_since(pending.submitted),
-            &breakdown,
-            pending.req.sectors,
-        );
         self.in_flight = Some(InFlight {
             req: pending.req,
             breakdown,
             finish,
+            wait: now.saturating_since(pending.submitted),
+            failed,
         });
         Some(Completion { at: finish, id })
     }
@@ -274,11 +338,11 @@ mod tests {
             .is_none());
         assert_eq!(d.queue_depth(), 1);
         let (done, next) = d.complete(c1.at);
-        assert_eq!(done.start, 100);
+        assert_eq!(done.req.start, 100);
         let next = next.expect("second request starts");
         assert!(next.at > c1.at);
         let (done2, none) = d.complete(next.at);
-        assert_eq!(done2.start, 5000);
+        assert_eq!(done2.req.start, 5000);
         assert!(none.is_none());
         assert!(!d.is_busy());
     }
@@ -299,8 +363,8 @@ mod tests {
         let mut completed = Vec::new();
         while let Some(c) = pending_completion {
             now = c.at;
-            let (req, next) = d.complete(now);
-            completed.push(req.start);
+            let (done, next) = d.complete(now);
+            completed.push(done.req.start);
             pending_completion = next;
         }
         assert_eq!(completed.len(), submitted.len());
@@ -348,6 +412,40 @@ mod tests {
         // The second request waited for the first's service.
         assert!(d.stats().stream(SpuId::user(0)).mean_wait_ms() > 0.0);
         assert!(d.stats().mean_seek_ms() > 0.0);
+    }
+
+    #[test]
+    fn injected_failures_do_not_pollute_stats() {
+        let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+        d.inject_failures(1);
+        let c1 = d.submit(read(SpuId::user(0), 100), SimTime::ZERO).unwrap();
+        d.submit(read(SpuId::user(0), 200), SimTime::ZERO);
+        let (done, c2) = d.complete(c1.at);
+        assert!(done.failed);
+        let (done2, _) = d.complete(c2.unwrap().at);
+        assert!(!done2.failed, "failure injection is transient");
+        // Only the successful request reached the wait/service stats.
+        assert_eq!(d.stats().total_requests(), 1);
+        assert_eq!(d.stats().total_errors(), 1);
+        assert_eq!(d.stats().stream(SpuId::user(0)).errors, 1);
+        assert_eq!(d.stats().service_histogram().count(), 1);
+        // Both consumed device time.
+        assert!(d.stats().busy_time() > SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn degraded_mode_stretches_service() {
+        let service = |factor: Option<f64>| -> SimDuration {
+            let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+            d.set_degraded(factor);
+            let c = d
+                .submit(read(SpuId::user(0), 50_000), SimTime::ZERO)
+                .unwrap();
+            c.at.saturating_since(SimTime::ZERO)
+        };
+        let clean = service(None);
+        let slow = service(Some(4.0));
+        assert_eq!(slow, clean.mul_f64(4.0));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod request;
 pub mod sched;
 pub mod stats;
 
-pub use device::{Completion, DiskDevice};
+pub use device::{CompletedRequest, Completion, DiskDevice};
 pub use model::{DiskModel, ServiceBreakdown};
 pub use request::{DiskRequest, RequestId, RequestKind};
 pub use sched::SchedulerKind;

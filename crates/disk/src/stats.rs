@@ -21,6 +21,9 @@ pub struct StreamStats {
     pub service: OnlineStats,
     /// Total sectors transferred.
     pub sectors: u64,
+    /// Requests the device failed with an I/O error (excluded from
+    /// every other column).
+    pub errors: u64,
 }
 
 impl StreamStats {
@@ -59,6 +62,7 @@ pub struct DiskStats {
     all_wait: OnlineStats,
     busy: SimDuration,
     service_hist: LogHistogram,
+    errors: u64,
 }
 
 impl DiskStats {
@@ -70,6 +74,7 @@ impl DiskStats {
             all_wait: OnlineStats::new(),
             busy: SimDuration::ZERO,
             service_hist: LogHistogram::latency(),
+            errors: 0,
         }
     }
 
@@ -90,6 +95,16 @@ impl DiskStats {
         self.all_wait.add_duration(wait);
         self.busy += breakdown.total();
         self.service_hist.add_duration(breakdown.total());
+    }
+
+    /// Records one request the device failed. The device was busy for
+    /// the request's service time, but nothing else is charged: errored
+    /// requests must not skew the wait/seek/service statistics or the
+    /// service-latency histogram.
+    pub fn record_error(&mut self, stream: SpuId, breakdown: &ServiceBreakdown) {
+        self.streams[stream.index()].errors += 1;
+        self.errors += 1;
+        self.busy += breakdown.total();
     }
 
     /// Statistics for one stream.
@@ -120,6 +135,11 @@ impl DiskStats {
     /// Total time the device spent servicing requests.
     pub fn busy_time(&self) -> SimDuration {
         self.busy
+    }
+
+    /// Total failed requests across streams.
+    pub fn total_errors(&self) -> u64 {
+        self.errors
     }
 
     /// Log-bucketed histogram of full service times across all requests.
@@ -172,5 +192,22 @@ mod tests {
         st.record(SpuId::user(0), SimDuration::ZERO, &b, 8);
         st.record(SpuId::user(0), SimDuration::ZERO, &b, 8);
         assert_eq!(st.busy_time(), b.total() * 2);
+    }
+
+    #[test]
+    fn errors_only_count_errors_and_busy() {
+        let mut st = DiskStats::new(4);
+        let b = breakdown(4);
+        st.record(SpuId::user(0), SimDuration::from_millis(10), &b, 8);
+        st.record_error(SpuId::user(0), &b);
+        st.record_error(SpuId::user(1), &b);
+        assert_eq!(st.total_requests(), 1);
+        assert_eq!(st.total_errors(), 2);
+        assert_eq!(st.stream(SpuId::user(0)).errors, 1);
+        assert_eq!(st.stream(SpuId::user(0)).requests(), 1);
+        assert_eq!(st.stream(SpuId::user(1)).errors, 1);
+        assert_eq!(st.service_histogram().count(), 1);
+        assert_eq!(st.busy_time(), b.total() * 3);
+        assert!((st.mean_wait_ms() - 10.0).abs() < 1e-9);
     }
 }

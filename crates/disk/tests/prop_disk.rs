@@ -10,8 +10,8 @@ use spu_core::SpuId;
 fn drain(device: &mut DiskDevice, mut completion: Option<hp_disk::Completion>) -> Vec<u64> {
     let mut served = Vec::new();
     while let Some(c) = completion {
-        let (req, next) = device.complete(c.at);
-        served.push(req.start);
+        let (done, next) = device.complete(c.at);
+        served.push(done.req.start);
         completion = next;
     }
     served

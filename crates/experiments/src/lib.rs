@@ -9,6 +9,7 @@
 //! | [`cpu_iso`] | Figure 5 (§4.3) |
 //! | [`mem_iso`] | Figure 7 (§4.4) |
 //! | [`disk_bw`] | Tables 3 and 4 (§4.5) |
+//! | [`fault_isolation`] | isolation under injected faults (robustness extension) |
 //! | [`net_bw`] | network-bandwidth isolation (the §3.3/§5 extension) |
 //! | [`scaling`] | load-scaling sweep of the isolation guarantee (extension) |
 //! | [`ablation`] | §3.2 / §3.3 / §3.4 design-choice sweeps |
@@ -29,6 +30,7 @@
 pub mod ablation;
 pub mod cpu_iso;
 pub mod disk_bw;
+pub mod fault_isolation;
 pub mod mem_iso;
 pub mod net_bw;
 pub mod pmake8;

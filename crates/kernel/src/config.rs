@@ -5,7 +5,7 @@
 //! a 10 ms clock tick, 30 ms CPU time slices, an 8% memory Reserve
 //! Threshold, a 500 ms disk-bandwidth decay half-life, and 4 KB pages.
 
-use event_sim::SimDuration;
+use event_sim::{FaultPlan, SimDuration};
 use hp_disk::SchedulerKind;
 use spu_core::Scheme;
 
@@ -89,6 +89,17 @@ pub struct Tuning {
     /// needed to provide response time performance isolation guarantees
     /// to interactive processes.").
     pub ipi_revocation: bool,
+    /// Maximum retries of a failed disk request before the error is
+    /// surfaced to the process.
+    pub io_max_retries: u32,
+    /// First retry delay; doubles per attempt (capped exponential
+    /// backoff).
+    pub io_retry_base: SimDuration,
+    /// Ceiling on the per-retry delay.
+    pub io_retry_cap: SimDuration,
+    /// Total retry budget measured from the first failure; once
+    /// exceeded the request fails up even if retries remain.
+    pub io_timeout: SimDuration,
 }
 
 impl Default for Tuning {
@@ -113,6 +124,10 @@ impl Default for Tuning {
             fork_cost: SimDuration::from_millis(2),
             touch_interval: SimDuration::from_millis(50),
             ipi_revocation: false,
+            io_max_retries: 3,
+            io_retry_base: SimDuration::from_millis(5),
+            io_retry_cap: SimDuration::from_millis(80),
+            io_timeout: SimDuration::from_secs(1),
         }
     }
 }
@@ -142,6 +157,9 @@ pub struct MachineConfig {
     pub scheme: Scheme,
     /// Kernel tuning knobs.
     pub tuning: Tuning,
+    /// Deterministic fault-injection schedule, if any. An empty plan
+    /// behaves exactly like `None`.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -161,12 +179,19 @@ impl MachineConfig {
             disks: vec![DiskSetup::default(); disk_count],
             scheme: Scheme::default(),
             tuning: Tuning::default(),
+            fault_plan: None,
         }
     }
 
     /// Sets the allocation scheme.
     pub fn with_scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = scheme;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 

@@ -1,0 +1,69 @@
+//! Typed kernel errors.
+//!
+//! The kernel used to `panic!` on internally-inconsistent events (a
+//! deschedule of an idle CPU, a completion with no recorded purpose).
+//! With fault injection those states are reachable from outside — e.g.
+//! a CPU taken offline while an `OpDone` event for it is in flight — so
+//! they are now reported as [`KernelError`]s, counted in the
+//! observability registry, and the run continues.
+
+use std::fmt;
+
+/// An internal inconsistency the kernel recovered from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// A deschedule was requested for a CPU with no running process.
+    DescheduleIdleCpu {
+        /// The idle CPU.
+        cpu: usize,
+    },
+    /// An `OpDone` event fired for a CPU with no running process.
+    OpDoneIdleCpu {
+        /// The idle CPU.
+        cpu: usize,
+    },
+    /// A disk completion arrived for a request with no recorded purpose.
+    CompletionWithoutPurpose {
+        /// The request's I/O tag.
+        tag: u64,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            KernelError::DescheduleIdleCpu { cpu } => {
+                write!(f, "deschedule of idle cpu {cpu}")
+            }
+            KernelError::OpDoneIdleCpu { cpu } => {
+                write!(f, "OpDone on idle cpu {cpu}")
+            }
+            KernelError::CompletionWithoutPurpose { tag } => {
+                write!(f, "completion without purpose (tag {tag})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_subject() {
+        assert_eq!(
+            KernelError::DescheduleIdleCpu { cpu: 3 }.to_string(),
+            "deschedule of idle cpu 3"
+        );
+        assert_eq!(
+            KernelError::OpDoneIdleCpu { cpu: 1 }.to_string(),
+            "OpDone on idle cpu 1"
+        );
+        assert_eq!(
+            KernelError::CompletionWithoutPurpose { tag: 7 }.to_string(),
+            "completion without purpose (tag 7)"
+        );
+    }
+}

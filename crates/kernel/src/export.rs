@@ -252,6 +252,14 @@ pub fn chrome_trace_json(trace: &Trace, spus: &SpuSet, report: &ObsvReport) -> S
                     json_num(us(at))
                 ));
             }
+            TraceEvent::FaultInjected { at, label } => {
+                events.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":{},\"s\":\"g\",\
+                     \"name\":\"fault:{}\"}}",
+                    json_num(us(at)),
+                    label
+                ));
+            }
             TraceEvent::Wake { .. } => {}
         }
     }

@@ -9,13 +9,14 @@
 
 use std::collections::HashMap;
 
-use event_sim::{EventQueue, LogHistogram, SimDuration, SimTime};
+use event_sim::{backoff_delay, EventQueue, FaultKind, LogHistogram, SimDuration, SimTime};
 use hp_disk::{DiskDevice, DiskModel, DiskRequest, RequestKind};
-use spu_core::{CpuPartition, SpuId, SpuSet};
+use spu_core::{CpuPartition, LedgerAuditor, SpuId, SpuSet};
 use std::sync::Arc;
 
 use crate::bufcache::{BufferCache, CacheEntry};
 use crate::config::{MachineConfig, SECTORS_PER_PAGE};
+use crate::error::KernelError;
 use crate::fs::{FileId, FileSystem};
 use crate::locks::LockTable;
 use crate::metrics::{JobRecord, RunMetrics};
@@ -50,6 +51,11 @@ enum Event {
     /// The periodic observability sampler records per-SPU resource
     /// levels (see [`Kernel::enable_sampling`]).
     Sample,
+    /// An injected fault from the configured
+    /// [`FaultPlan`](event_sim::FaultPlan) fires.
+    Fault(FaultKind),
+    /// A failed disk request is retried after backoff.
+    IoRetry { disk: usize, req: DiskRequest },
 }
 
 /// Scheduler event tallies published as `sched.*` counters.
@@ -59,6 +65,27 @@ struct SchedCounters {
     preemptions: u64,
     loans: u64,
     ipis: u64,
+}
+
+/// Retry bookkeeping for an erroring disk request, keyed by tag.
+#[derive(Debug)]
+struct RetryState {
+    attempts: u32,
+    first_error: SimTime,
+}
+
+/// Fault-injection and recovery tallies published as `fault.*` counters.
+#[derive(Debug, Default)]
+struct FaultCounters {
+    injected: u64,
+    skipped: u64,
+    crashes: u64,
+    forkbombs: u64,
+    cpu_offline: u64,
+    cpu_online: u64,
+    disk_errors: u64,
+    io_retries: u64,
+    io_failures: u64,
 }
 
 /// What a completed disk request was for.
@@ -142,6 +169,20 @@ pub struct Kernel {
     /// Per-CPU time a revocation became needed (cleared at deschedule).
     revoke_requested: Vec<Option<SimTime>>,
     sched_counts: SchedCounters,
+    // --- faults & recovery ------------------------------------------------
+    /// Retry state per erroring request tag.
+    retries: HashMap<u64, RetryState>,
+    /// Bounded sample of recovered kernel errors ([`Kernel::errors`]).
+    errors: Vec<KernelError>,
+    /// Total recovered kernel errors (the `kernel.errors` counter).
+    error_count: u64,
+    /// Conservation-invariant auditor over the memory ledger.
+    auditor: LedgerAuditor,
+    fault_counts: FaultCounters,
+    /// CPU-partition conservation failures seen by `rebalance_cpus`.
+    cpu_audit_violations: u64,
+    /// Denial total at the last audit, for memory-pressure detection.
+    last_denials: u64,
 }
 
 impl Kernel {
@@ -209,6 +250,13 @@ impl Kernel {
             wake_pending: HashMap::new(),
             revoke_requested: vec![None; cfg.cpus],
             sched_counts: SchedCounters::default(),
+            retries: HashMap::new(),
+            errors: Vec::new(),
+            error_count: 0,
+            auditor: LedgerAuditor::new(n_spus, cfg.tuning.mem_policy_period.mul_f64(3.0)),
+            fault_counts: FaultCounters::default(),
+            cpu_audit_violations: 0,
+            last_denials: 0,
             cfg,
         }
     }
@@ -243,6 +291,18 @@ impl Kernel {
     /// The recorded trace (empty unless enabled).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The ledger auditor's findings (checked after every tick and
+    /// memory-policy evaluation; see [`LedgerAuditor`]).
+    pub fn auditor(&self) -> &LedgerAuditor {
+        &self.auditor
+    }
+
+    /// Kernel errors recovered during the run (bounded sample; the full
+    /// count is the `kernel.errors` counter).
+    pub fn errors(&self) -> &[KernelError] {
+        &self.errors
     }
 
     /// Enables the periodic resource sampler: every `interval` of
@@ -325,6 +385,11 @@ impl Kernel {
             self.on_sample(); // baseline sample at run start
             self.events.schedule(self.now + iv, Event::Sample);
         }
+        if let Some(plan) = self.cfg.fault_plan.clone() {
+            for e in plan.events() {
+                self.events.schedule(e.at, Event::Fault(e.kind));
+            }
+        }
         let mut completed = false;
         while let Some((at, ev)) = self.events.pop() {
             if at > cap {
@@ -346,7 +411,10 @@ impl Kernel {
                 self.procs.get_mut(pid).state = ProcState::Ready;
                 self.make_ready(pid);
             }
-            Event::Tick => self.on_tick(),
+            Event::Tick => {
+                self.on_tick();
+                self.audit_ledger();
+            }
             Event::OpDone { cpu, gen } => self.on_op_done(cpu, gen),
             Event::DiskDone { disk } => self.on_disk_done(disk),
             Event::SyncDaemon => {
@@ -360,6 +428,7 @@ impl Kernel {
                 self.vm.run_policy();
                 self.trace.push(TraceEvent::PolicyRun { at: self.now });
                 self.wake_mem_waiters();
+                self.audit_ledger();
                 if self.live_procs > 0 {
                     self.events.schedule(
                         self.now + self.cfg.tuning.mem_policy_period,
@@ -385,7 +454,28 @@ impl Kernel {
                     }
                 }
             }
+            Event::Fault(kind) => self.on_fault(kind),
+            Event::IoRetry { disk, req } => self.submit_io(disk, req),
         }
+    }
+
+    /// Runs the ledger auditor over the VM's books. Violations surface
+    /// as the `audit.violations` counter, never as a panic.
+    fn audit_ledger(&mut self) {
+        let denials: u64 = self
+            .spus
+            .all_ids()
+            .map(|id| self.vm.stats(id).denials)
+            .sum();
+        let pressure = denials > self.last_denials;
+        self.last_denials = denials;
+        self.auditor.check(
+            self.vm.ledger(),
+            &self.spus,
+            self.cfg.scheme.enforces_isolation(),
+            pressure,
+            self.now,
+        );
     }
 
     /// Records one `(entitled, allowed, used)` sample per user SPU and
@@ -550,11 +640,21 @@ impl Kernel {
         self.interpret(cpu);
     }
 
+    /// Records a recovered kernel error (bounded sample + counter).
+    fn report_error(&mut self, e: KernelError) {
+        self.error_count += 1;
+        if self.errors.len() < 64 {
+            self.errors.push(e);
+        }
+    }
+
     /// Accounts the running process's consumed CPU and removes it from
     /// the CPU. The caller decides its next state.
-    fn deschedule(&mut self, cpu: usize) -> Pid {
+    fn deschedule(&mut self, cpu: usize) -> Result<Pid, KernelError> {
         let c = self.sched.cpu_mut(cpu);
-        let pid = c.running.take().expect("deschedule of idle cpu");
+        let Some(pid) = c.running.take() else {
+            return Err(KernelError::DescheduleIdleCpu { cpu });
+        };
         let was_loaned = c.loaned;
         let consumed = self.now.saturating_since(c.run_start);
         c.busy_total += consumed;
@@ -575,7 +675,7 @@ impl Kernel {
         p.cpu_time += consumed;
         p.p_cpu += consumed.as_millis_f64();
         self.spu_cpu[p.spu.index()] += consumed;
-        pid
+        Ok(pid)
     }
 
     /// Preempts the running process mid-burst (tick revocation or slice
@@ -583,7 +683,13 @@ impl Kernel {
     fn preempt(&mut self, cpu: usize) {
         let c = self.sched.cpu(cpu);
         let consumed = self.now.saturating_since(c.run_start);
-        let pid = self.deschedule(cpu);
+        let pid = match self.deschedule(cpu) {
+            Ok(pid) => pid,
+            Err(e) => {
+                self.report_error(e);
+                return;
+            }
+        };
         self.trace.push(TraceEvent::Preempt {
             at: self.now,
             cpu,
@@ -604,7 +710,13 @@ impl Kernel {
 
     /// Blocks the running process on `reason` and frees its CPU.
     fn block_running(&mut self, cpu: usize, reason: BlockReason) {
-        let pid = self.deschedule(cpu);
+        let pid = match self.deschedule(cpu) {
+            Ok(pid) => pid,
+            Err(e) => {
+                self.report_error(e);
+                return;
+            }
+        };
         self.trace.push(TraceEvent::Block {
             at: self.now,
             pid,
@@ -642,7 +754,10 @@ impl Kernel {
             return; // stale: the process was preempted or blocked
         }
         let c = self.sched.cpu(cpu);
-        let pid = c.running.expect("OpDone on idle cpu");
+        let Some(pid) = c.running else {
+            self.report_error(KernelError::OpDoneIdleCpu { cpu });
+            return;
+        };
         let consumed = self.now.saturating_since(c.run_start);
         let slice_end = c.slice_end;
         {
@@ -693,8 +808,10 @@ impl Kernel {
             let micro = match self.procs.get_mut(pid).current_micro(&tuning) {
                 Some(m) => m.clone(),
                 None => {
-                    self.deschedule(cpu);
-                    self.exit_process(pid);
+                    if let Err(e) = self.deschedule(cpu) {
+                        self.report_error(e);
+                    }
+                    self.exit_process(pid, false);
                     self.dispatch(cpu);
                     return;
                 }
@@ -704,8 +821,9 @@ impl Kernel {
                     let slice_end = self.sched.cpu(cpu).slice_end;
                     if self.now >= slice_end {
                         // Slice exhausted by instantaneous ops.
-                        let p = self.preempt_for_requeue(cpu);
-                        self.sched.enqueue(&mut self.procs, p);
+                        if let Some(p) = self.preempt_for_requeue(cpu) {
+                            self.sched.enqueue(&mut self.procs, p);
+                        }
                         self.dispatch(cpu);
                         return;
                     }
@@ -813,10 +931,16 @@ impl Kernel {
 
     /// Deschedules for requeue after slice exhaustion by instantaneous
     /// ops (no in-progress Cpu burst to reduce).
-    fn preempt_for_requeue(&mut self, cpu: usize) -> Pid {
-        let pid = self.deschedule(cpu);
+    fn preempt_for_requeue(&mut self, cpu: usize) -> Option<Pid> {
+        let pid = match self.deschedule(cpu) {
+            Ok(pid) => pid,
+            Err(e) => {
+                self.report_error(e);
+                return None;
+            }
+        };
         self.procs.get_mut(pid).state = ProcState::Ready;
-        pid
+        Some(pid)
     }
 
     // ----- memory path ----------------------------------------------------
@@ -1326,14 +1450,21 @@ impl Kernel {
     }
 
     fn on_disk_done(&mut self, disk: usize) {
-        let (req, next) = self.disks[disk].complete(self.now);
+        let (done, next) = self.disks[disk].complete(self.now);
         if let Some(c) = next {
             self.events.schedule(c.at, Event::DiskDone { disk });
         }
-        let purpose = self
-            .io_purpose
-            .remove(&req.tag)
-            .expect("completion without purpose");
+        if done.failed {
+            self.fault_counts.disk_errors += 1;
+            self.handle_io_error(disk, done.req);
+            return;
+        }
+        let req = done.req;
+        self.retries.remove(&req.tag);
+        let Some(purpose) = self.io_purpose.remove(&req.tag) else {
+            self.report_error(KernelError::CompletionWithoutPurpose { tag: req.tag });
+            return;
+        };
         match purpose {
             IoPurpose::CacheFill {
                 file,
@@ -1382,6 +1513,102 @@ impl Kernel {
         }
     }
 
+    /// Recovery policy for a failed disk request: capped exponential
+    /// backoff retries, then fail the request up to the owning process.
+    fn handle_io_error(&mut self, disk: usize, req: DiskRequest) {
+        let t = &self.cfg.tuning;
+        let (max_retries, base, cap, timeout) = (
+            t.io_max_retries,
+            t.io_retry_base,
+            t.io_retry_cap,
+            t.io_timeout,
+        );
+        let entry = self.retries.entry(req.tag).or_insert(RetryState {
+            attempts: 0,
+            first_error: self.now,
+        });
+        entry.attempts += 1;
+        let attempts = entry.attempts;
+        let elapsed = self.now.saturating_since(entry.first_error);
+        if attempts <= max_retries && elapsed < timeout {
+            self.fault_counts.io_retries += 1;
+            let delay = backoff_delay(attempts - 1, base, cap);
+            self.events
+                .schedule(self.now + delay, Event::IoRetry { disk, req });
+        } else {
+            self.retries.remove(&req.tag);
+            self.fault_counts.io_failures += 1;
+            self.fail_io(req);
+        }
+    }
+
+    /// Fails a permanently-errored request up to whoever issued it: the
+    /// owning process observes the error (its `io_errors` count) and
+    /// continues; frame and cache bookkeeping is unwound exactly as on
+    /// success so nothing leaks. The simulator models placement and
+    /// timing rather than data, so a failed cache fill leaves the target
+    /// blocks valid (with garbage nobody models) instead of stranded in
+    /// the `Filling` state.
+    fn fail_io(&mut self, req: DiskRequest) {
+        self.trace.push(TraceEvent::FaultInjected {
+            at: self.now,
+            label: "io-failure",
+        });
+        let Some(purpose) = self.io_purpose.remove(&req.tag) else {
+            self.report_error(KernelError::CompletionWithoutPurpose { tag: req.tag });
+            return;
+        };
+        match purpose {
+            IoPurpose::CacheFill {
+                file,
+                first_block,
+                nblocks,
+            } => {
+                if let Some(n) = self.filling.get_mut(&file) {
+                    *n = n.saturating_sub(1);
+                }
+                for b in first_block..first_block + nblocks as u64 {
+                    if let Some(frame) = self.cache.complete_fill(file, b) {
+                        self.vm.set_pinned(frame, false);
+                    }
+                }
+                if let Some(waiters) = self.fill_waiters.remove(&req.tag) {
+                    for w in waiters {
+                        self.procs.get_mut(w).io_errors += 1;
+                        self.make_ready(w);
+                    }
+                }
+                self.wake_mem_waiters();
+            }
+            IoPurpose::SwapIn { pid, frames } => {
+                for f in frames {
+                    self.vm.set_pinned(f, false);
+                }
+                self.procs.get_mut(pid).io_errors += 1;
+                self.io_finished(pid);
+                self.wake_mem_waiters();
+            }
+            IoPurpose::Private { pid } => {
+                self.procs.get_mut(pid).io_errors += 1;
+                self.io_finished(pid);
+            }
+            IoPurpose::Flush { nblocks, frames } => {
+                self.cache.flush_completed(nblocks as u64);
+                for f in frames {
+                    self.vm.set_pinned(f, false);
+                }
+                let low = (self.cfg.total_frames() as f64 * self.cfg.tuning.dirty_low_frac) as u64;
+                if self.cache.dirty_load() <= low && !self.dirty_waiters.is_empty() {
+                    for w in std::mem::take(&mut self.dirty_waiters) {
+                        self.make_ready(w);
+                    }
+                }
+                self.wake_mem_waiters();
+            }
+            IoPurpose::Noop => {}
+        }
+    }
+
     fn io_finished(&mut self, pid: Pid) {
         let p = self.procs.get_mut(pid);
         debug_assert!(p.pending_io > 0, "io completion underflow for {pid:?}");
@@ -1400,6 +1627,241 @@ impl Kernel {
         }
     }
 
+    // ----- fault injection & recovery --------------------------------------
+
+    /// Applies one injected fault. Malformed targets (out-of-range disk
+    /// or CPU, the last online CPU, an SPU with nothing to crash) are
+    /// counted as skipped rather than applied, so a random plan can
+    /// never wedge the machine.
+    fn on_fault(&mut self, kind: FaultKind) {
+        self.fault_counts.injected += 1;
+        match kind {
+            FaultKind::DiskTransientErrors { disk, count } => {
+                if disk >= self.disks.len() || count == 0 {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "disk-errors",
+                });
+                self.disks[disk].inject_failures(count);
+            }
+            FaultKind::DiskDegrade { disk, factor } => {
+                if disk >= self.disks.len() || !factor.is_finite() || factor < 1.0 {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "disk-degrade",
+                });
+                self.disks[disk].set_degraded(Some(factor));
+                self.set_disk_shares(disk, factor);
+            }
+            FaultKind::DiskRepair { disk } => {
+                if disk >= self.disks.len() {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "disk-repair",
+                });
+                self.disks[disk].set_degraded(None);
+                self.set_disk_shares(disk, 1.0);
+            }
+            FaultKind::CpuOffline { cpu } => {
+                if cpu >= self.sched.cpu_count()
+                    || !self.sched.cpu(cpu).online
+                    || self.sched.online_count() <= 1
+                {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "cpu-offline",
+                });
+                self.fault_counts.cpu_offline += 1;
+                if self.sched.cpu(cpu).running.is_some() {
+                    self.preempt(cpu);
+                }
+                self.sched.set_online(cpu, false);
+                self.rebalance_cpus();
+            }
+            FaultKind::CpuOnline { cpu } => {
+                if cpu >= self.sched.cpu_count() || self.sched.cpu(cpu).online {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "cpu-online",
+                });
+                self.fault_counts.cpu_online += 1;
+                self.sched.set_online(cpu, true);
+                self.rebalance_cpus();
+            }
+            FaultKind::ProcessCrash { user_spu } => self.crash_in_spu(user_spu),
+            FaultKind::ForkBomb {
+                user_spu,
+                width,
+                depth,
+                burn,
+                pages,
+            } => {
+                if user_spu as usize >= self.spus.user_count() {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "fork-bomb",
+                });
+                self.fault_counts.forkbombs += 1;
+                self.spawn_fork_bomb(user_spu, width, depth, burn, pages);
+            }
+        }
+    }
+
+    /// Graceful degradation of disk bandwidth (§3.3 under failure): a
+    /// device running `factor`× slower grants every SPU proportionally
+    /// less `allowed` share; repair restores the configured weights.
+    fn set_disk_shares(&mut self, disk: usize, factor: f64) {
+        let shares: Vec<(SpuId, f64)> = self
+            .spus
+            .user_ids()
+            .map(|id| (id, self.spus.disk_weight(id) as f64 / factor))
+            .collect();
+        for (id, w) in shares {
+            self.disks[disk].set_share(id, w);
+        }
+    }
+
+    /// Re-derives every SPU's CPU entitlement from the surviving online
+    /// CPUs, revokes loans the new partition disallows, and refills idle
+    /// CPUs. Audits that the re-derived entitlements still fit the
+    /// machine (conservation under reconfiguration).
+    fn rebalance_cpus(&mut self) {
+        self.sched.rebalance(&self.procs);
+        let online = self.sched.online_count();
+        if online == 0 {
+            return;
+        }
+        let partition = CpuPartition::compute(online, &self.spus);
+        let total: u64 = self
+            .spus
+            .user_ids()
+            .map(|id| partition.milli_cpus(id))
+            .sum();
+        if total > online as u64 * 1000 {
+            self.cpu_audit_violations += 1;
+        }
+        if self.sample_interval.is_some() {
+            self.cpu_entitled = self
+                .spus
+                .user_ids()
+                .map(|id| partition.milli_cpus(id) as f64 / 1000.0)
+                .collect();
+        }
+        for cpu in 0..self.sched.cpu_count() {
+            if self.sched.needs_revocation(cpu) {
+                self.preempt(cpu);
+                self.dispatch(cpu);
+            }
+        }
+        for cpu in 0..self.sched.cpu_count() {
+            if self.sched.cpu(cpu).online && self.sched.cpu(cpu).is_idle() {
+                self.dispatch(cpu);
+            }
+        }
+    }
+
+    /// Crashes the lowest-pid ready or running process of the given user
+    /// SPU: its locks are released (waiters woken), its frames are
+    /// freed, and its job is left unfinished. Blocked processes are not
+    /// chosen — their wakeups are owned by other subsystems' queues.
+    fn crash_in_spu(&mut self, user_spu: u32) {
+        if user_spu as usize >= self.spus.user_count() {
+            self.fault_counts.skipped += 1;
+            return;
+        }
+        let spu = SpuId::user(user_spu);
+        let victim = self
+            .procs
+            .iter()
+            .filter(|p| p.spu == spu && matches!(p.state, ProcState::Ready | ProcState::Running(_)))
+            .map(|p| (p.pid, p.state))
+            .min_by_key(|&(pid, _)| pid);
+        let Some((pid, state)) = victim else {
+            self.fault_counts.skipped += 1;
+            return;
+        };
+        self.trace.push(TraceEvent::FaultInjected {
+            at: self.now,
+            label: "process-crash",
+        });
+        self.fault_counts.crashes += 1;
+        match state {
+            ProcState::Running(cpu) => {
+                if let Err(e) = self.deschedule(cpu) {
+                    self.report_error(e);
+                }
+            }
+            ProcState::Ready => {
+                self.sched.dequeue(&self.procs, pid);
+            }
+            _ => {}
+        }
+        self.wake_pending.remove(&pid);
+        for w in self.locks.release_all(pid) {
+            let wp = self.procs.get_mut(w);
+            if matches!(wp.micro_front(), Some(MicroOp::LockAcquire { .. })) {
+                wp.pop_micro();
+            }
+            self.make_ready(w);
+        }
+        self.exit_process(pid, true);
+        for cpu in 0..self.sched.cpu_count() {
+            if self.sched.cpu(cpu).online && self.sched.cpu(cpu).is_idle() {
+                self.dispatch(cpu);
+            }
+        }
+    }
+
+    /// Spawns the antisocial fork-bomb workload in `user_spu`: a tree of
+    /// processes `width` wide and `depth` deep, each touching `pages`
+    /// pages and burning `burn` of CPU. Width and depth are clamped so
+    /// an adversarial plan cannot explode the process table.
+    fn spawn_fork_bomb(
+        &mut self,
+        user_spu: u32,
+        width: u32,
+        depth: u32,
+        burn: SimDuration,
+        pages: u32,
+    ) {
+        fn bomb(width: u32, depth: u32, burn: SimDuration, pages: u32) -> Arc<Program> {
+            let mut b = Program::builder("bomb");
+            if pages > 0 {
+                b = b.alloc(pages);
+            }
+            b = b.compute(burn, pages);
+            if depth > 0 {
+                let child = bomb(width, depth - 1, burn, pages);
+                for _ in 0..width {
+                    b = b.fork(child.clone());
+                }
+                b = b.wait_children();
+            }
+            b.build()
+        }
+        let prog = bomb(width.clamp(1, 6), depth.min(4), burn, pages.min(1 << 14));
+        let label = format!("bomb-u{user_spu}");
+        self.spawn_at(SpuId::user(user_spu), prog, Some(&label), self.now);
+    }
+
     // ----- process lifecycle ----------------------------------------------
 
     fn fork_child(&mut self, parent: Pid, program: Arc<Program>) {
@@ -1415,7 +1877,10 @@ impl Kernel {
         self.make_ready(pid);
     }
 
-    fn exit_process(&mut self, pid: Pid) {
+    /// Retires a process. A `crashed` exit leaves the job unfinished —
+    /// its response is scored at run end, so a crash injected into a
+    /// job's root degrades its numbers rather than erasing them.
+    fn exit_process(&mut self, pid: Pid, crashed: bool) {
         {
             let p = self.procs.get_mut(pid);
             p.state = ProcState::Done;
@@ -1429,7 +1894,7 @@ impl Kernel {
         // Job completion.
         if let Some(job) = self.procs.get(pid).job {
             let rec = &mut self.jobs[job.0 as usize];
-            if rec.root == pid {
+            if rec.root == pid && !crashed {
                 rec.finished = Some(self.now);
                 self.latency
                     .response
@@ -1492,7 +1957,24 @@ impl Kernel {
         }
         for (i, d) in self.disks.iter().enumerate() {
             reg.set(&format!("disk.{i}.requests"), d.stats().total_requests());
+            reg.set(&format!("disk.{i}.errors"), d.stats().total_errors());
         }
+        reg.set("kernel.errors", self.error_count);
+        reg.set("audit.checks", self.auditor.checks());
+        reg.set(
+            "audit.violations",
+            self.auditor.violation_count() + self.cpu_audit_violations,
+        );
+        let f = &self.fault_counts;
+        reg.set("fault.injected", f.injected);
+        reg.set("fault.skipped", f.skipped);
+        reg.set("fault.crashes", f.crashes);
+        reg.set("fault.forkbombs", f.forkbombs);
+        reg.set("fault.cpu_offline", f.cpu_offline);
+        reg.set("fault.cpu_online", f.cpu_online);
+        reg.set("fault.disk_errors", f.disk_errors);
+        reg.set("fault.io_retries", f.io_retries);
+        reg.set("fault.io_failures", f.io_failures);
         reg.set("trace.dropped", self.trace.dropped());
         reg
     }

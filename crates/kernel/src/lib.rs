@@ -42,6 +42,7 @@
 
 pub mod bufcache;
 pub mod config;
+pub mod error;
 pub mod export;
 pub mod fs;
 pub mod kernel;
@@ -56,6 +57,7 @@ pub mod vm;
 
 pub use bufcache::{BufferCache, CacheEntry, CacheStats};
 pub use config::{DiskSetup, MachineConfig, Tuning, PAGE_SIZE, SECTORS_PER_PAGE};
+pub use error::KernelError;
 pub use export::{chrome_trace_json, counters_jsonl, histogram_json, metrics_jsonl, series_jsonl};
 pub use fs::{FileId, FileMeta, FileSystem};
 pub use kernel::Kernel;

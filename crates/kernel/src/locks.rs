@@ -34,14 +34,16 @@ impl LockId {
 
 #[derive(Debug, Default)]
 struct LockState {
-    shared_holders: u32,
+    // Holder identity (not just a count) so that crash recovery can
+    // release everything a dead process held.
+    shared_holders: Vec<Pid>,
     exclusive_holder: Option<Pid>,
     waiters: VecDeque<(Pid, bool)>,
 }
 
 impl LockState {
     fn is_free(&self) -> bool {
-        self.shared_holders == 0 && self.exclusive_holder.is_none()
+        self.shared_holders.is_empty() && self.exclusive_holder.is_none()
     }
 }
 
@@ -101,7 +103,7 @@ impl LockTable {
             if excl {
                 st.exclusive_holder = Some(pid);
             } else {
-                st.shared_holders += 1;
+                st.shared_holders.push(pid);
             }
             true
         } else {
@@ -123,29 +125,55 @@ impl LockTable {
         if st.exclusive_holder == Some(pid) {
             st.exclusive_holder = None;
         } else {
-            assert!(
-                st.shared_holders > 0,
-                "{pid:?} releasing {lock:?} it does not hold"
-            );
-            st.shared_holders -= 1;
+            let pos = st
+                .shared_holders
+                .iter()
+                .position(|&p| p == pid)
+                .unwrap_or_else(|| panic!("{pid:?} releasing {lock:?} it does not hold"));
+            st.shared_holders.swap_remove(pos);
         }
+        Self::grant_waiters(st)
+    }
+
+    /// Grants the head waiter of a free lock; a leading run of shared
+    /// waiters is granted together. Returns the granted pids.
+    fn grant_waiters(st: &mut LockState) -> Vec<Pid> {
         let mut woken = Vec::new();
         if st.is_free() {
-            // Grant the head waiter; if it is shared, grant the whole
-            // leading run of shared waiters.
             if let Some((first, first_excl)) = st.waiters.pop_front() {
                 if first_excl {
                     st.exclusive_holder = Some(first);
                     woken.push(first);
                 } else {
-                    st.shared_holders += 1;
+                    st.shared_holders.push(first);
                     woken.push(first);
                     while matches!(st.waiters.front(), Some((_, false))) {
                         let (next, _) = st.waiters.pop_front().unwrap();
-                        st.shared_holders += 1;
+                        st.shared_holders.push(next);
                         woken.push(next);
                     }
                 }
+            }
+        }
+        woken
+    }
+
+    /// Crash recovery: releases every hold `pid` has on any lock and
+    /// removes it from every wait queue. Returns the pids granted locks
+    /// as a result; the caller makes them runnable.
+    pub fn release_all(&mut self, pid: Pid) -> Vec<Pid> {
+        let mut woken = Vec::new();
+        for st in &mut self.locks {
+            let mut held = st.exclusive_holder == Some(pid);
+            if held {
+                st.exclusive_holder = None;
+            }
+            let before = st.shared_holders.len();
+            st.shared_holders.retain(|&p| p != pid);
+            held |= st.shared_holders.len() != before;
+            st.waiters.retain(|&(p, _)| p != pid);
+            if held {
+                woken.extend(Self::grant_waiters(st));
             }
         }
         woken
@@ -247,6 +275,41 @@ mod tests {
     fn release_without_hold_panics() {
         let mut t = LockTable::new(false);
         t.release(LockId::ROOT, Pid(1));
+    }
+
+    #[test]
+    fn release_all_frees_exclusive_and_shared_holds() {
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), false));
+        assert!(t.acquire(LockId::ROOT, Pid(2), false));
+        assert!(t.acquire(LockId::inode(FileId(0)), Pid(1), true));
+        assert!(!t.acquire(LockId::inode(FileId(0)), Pid(3), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(4), true));
+        // Pid 1 crashes: its inode lock passes to pid 3; ROOT is still
+        // shared by pid 2 so the writer keeps waiting.
+        let woken = t.release_all(Pid(1));
+        assert_eq!(woken, vec![Pid(3)]);
+        let woken = t.release(LockId::ROOT, Pid(2));
+        assert_eq!(woken, vec![Pid(4)]);
+    }
+
+    #[test]
+    fn release_all_purges_wait_queues() {
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(2), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(3), true));
+        // Pid 2 crashes while queued: it must never be granted.
+        assert_eq!(t.release_all(Pid(2)), Vec::<Pid>::new());
+        assert_eq!(t.release(LockId::ROOT, Pid(1)), vec![Pid(3)]);
+    }
+
+    #[test]
+    fn release_all_without_holds_is_noop() {
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), false));
+        assert_eq!(t.release_all(Pid(9)), Vec::<Pid>::new());
+        assert_eq!(t.release(LockId::ROOT, Pid(1)), Vec::<Pid>::new());
     }
 
     #[test]

@@ -162,6 +162,9 @@ pub struct Process {
     pub pages: Vec<PageState>,
     /// Private outstanding disk operations ([`MicroOp::AwaitIo`]).
     pub pending_io: u32,
+    /// Disk operations that failed up to this process after the
+    /// kernel's retries were exhausted.
+    pub io_errors: u32,
     /// Parent process, if forked.
     pub parent: Option<Pid>,
     /// Children that have not exited yet.
@@ -197,6 +200,7 @@ impl Process {
             ready_seq: 0,
             pages: Vec::new(),
             pending_io: 0,
+            io_errors: 0,
             parent,
             live_children: 0,
             spawned,

@@ -114,6 +114,9 @@ pub struct CpuState {
     pub idle_total: SimDuration,
     /// Accumulated busy time.
     pub busy_total: SimDuration,
+    /// Whether the CPU is powered on. Offline CPUs neither run nor
+    /// receive dispatches (fault injection).
+    pub online: bool,
 }
 
 impl CpuState {
@@ -133,12 +136,18 @@ impl CpuState {
             idle_since: Some(SimTime::ZERO),
             idle_total: SimDuration::ZERO,
             busy_total: SimDuration::ZERO,
+            online: true,
         }
     }
 
     /// Whether the CPU has no running process.
     pub fn is_idle(&self) -> bool {
         self.running.is_none()
+    }
+
+    /// Whether the CPU can accept a dispatch: online and idle.
+    pub fn is_available(&self) -> bool {
+        self.online && self.running.is_none()
     }
 }
 
@@ -263,6 +272,9 @@ impl Scheduler {
     /// Chooses the next process for CPU `cpu_idx` following the scheme's
     /// rules. Returns `(pid, loaned)` or `None` if the CPU should idle.
     pub fn pick(&mut self, procs: &ProcTable, cpu_idx: usize) -> Option<(Pid, bool)> {
+        if !self.cpus[cpu_idx].online {
+            return None;
+        }
         if self.scheme == Scheme::Smp {
             return self.take_best_global(procs).map(|(_, pid)| (pid, false));
         }
@@ -297,13 +309,13 @@ impl Scheduler {
             if let Some(i) = self
                 .cpus
                 .iter()
-                .position(|c| c.is_idle() && c.assignment.is_home_of(spu))
+                .position(|c| c.is_available() && c.assignment.is_home_of(spu))
             {
                 return Some(i);
             }
         }
         if self.scheme.shares_idle_resources() || !spu.is_user() {
-            self.cpus.iter().position(|c| c.is_idle())
+            self.cpus.iter().position(|c| c.is_available())
         } else {
             None
         }
@@ -313,13 +325,65 @@ impl Scheduler {
     /// while a home-SPU process waits and no home CPU is free (§3.1).
     pub fn needs_revocation(&self, cpu_idx: usize) -> bool {
         let c = &self.cpus[cpu_idx];
-        if !c.loaned || c.running.is_none() {
+        if !c.online || !c.loaned || c.running.is_none() {
             return false;
         }
         c.assignment
             .home_spus()
             .iter()
             .any(|spu| !self.ready[spu.index()].is_empty())
+    }
+
+    /// Marks a CPU online or offline. The caller handles preempting a
+    /// running process and rebalancing the partition.
+    pub fn set_online(&mut self, cpu_idx: usize, online: bool) {
+        self.cpus[cpu_idx].online = online;
+    }
+
+    /// Number of online CPUs.
+    pub fn online_count(&self) -> usize {
+        self.cpus.iter().filter(|c| c.online).count()
+    }
+
+    /// Re-derives the CPU partition over the *online* CPUs, mapping the
+    /// surviving assignments onto them in index order (offline CPUs keep
+    /// a stale assignment but can never be picked). Loan flags of
+    /// running processes are recomputed against the new homes, so
+    /// [`needs_revocation`](Self::needs_revocation) revokes loans that
+    /// exceed an SPU's shrunken share.
+    pub fn rebalance(&mut self, procs: &ProcTable) {
+        let online: Vec<usize> = (0..self.cpus.len())
+            .filter(|&i| self.cpus[i].online)
+            .collect();
+        if online.is_empty() {
+            return;
+        }
+        let partition = CpuPartition::compute(online.len(), &self.spus);
+        for (&cpu_idx, assignment) in online.iter().zip(partition.assignments()) {
+            let c = &mut self.cpus[cpu_idx];
+            c.assignment = assignment.clone();
+            c.rotor = match assignment {
+                CpuAssignment::TimeShared(entries) => Some(SharedCpuRotor::new(entries.clone())),
+                CpuAssignment::Dedicated(_) => None,
+            };
+            if let Some(pid) = c.running {
+                c.loaned =
+                    self.scheme != Scheme::Smp && !c.assignment.is_home_of(procs.get(pid).spu);
+            }
+        }
+    }
+
+    /// Removes a queued process from its SPU's run queue (crash
+    /// recovery). Returns whether it was queued.
+    pub fn dequeue(&mut self, procs: &ProcTable, pid: Pid) -> bool {
+        let queue = &mut self.ready[procs.get(pid).spu.index()];
+        match queue.iter().position(|&p| p == pid) {
+            Some(i) => {
+                queue.swap_remove(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Applies priority decay to every process (called each tick).
@@ -485,6 +549,71 @@ mod tests {
         s.decay_priorities(&mut procs);
         let v = procs.get(Pid(0)).p_cpu;
         assert!(v < 100.0 && v > 99.0, "{v}");
+    }
+
+    #[test]
+    fn offline_cpu_never_picks_or_hosts() {
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::Smp, 2, &spus);
+        let mut procs = table_with(1, |_| SpuId::user(0));
+        s.enqueue(&mut procs, Pid(0));
+        s.set_online(0, false);
+        assert_eq!(s.online_count(), 1);
+        assert!(s.pick(&procs, 0).is_none(), "offline CPU must not pick");
+        assert_eq!(s.find_idle_for(SpuId::user(0)), Some(1));
+        s.set_online(0, true);
+        assert!(s.pick(&procs, 0).is_some());
+    }
+
+    #[test]
+    fn rebalance_rehomes_surviving_cpus() {
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::Quota, 2, &spus);
+        let procs = table_with(2, SpuId::user);
+        s.set_online(0, false);
+        s.rebalance(&procs);
+        // The lone surviving CPU must now be home to both SPUs.
+        assert!(s.cpu(1).assignment.is_home_of(SpuId::user(0)));
+        assert!(s.cpu(1).assignment.is_home_of(SpuId::user(1)));
+        // Coming back online and rebalancing restores dedicated homes.
+        s.set_online(0, true);
+        s.rebalance(&procs);
+        let homes_0 = s.cpu(0).assignment.is_home_of(SpuId::user(0))
+            || s.cpu(1).assignment.is_home_of(SpuId::user(0));
+        assert!(homes_0);
+    }
+
+    #[test]
+    fn rebalance_recomputes_loan_flags() {
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::PIso, 2, &spus);
+        let mut procs = table_with(1, |_| SpuId::user(1));
+        let cpu_of_user0 = (0..2)
+            .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(0)))
+            .unwrap();
+        s.enqueue(&mut procs, Pid(0));
+        let (pid, loaned) = s.pick(&procs, cpu_of_user0).unwrap();
+        assert!(loaned);
+        s.cpu_mut(cpu_of_user0).running = Some(pid);
+        s.cpu_mut(cpu_of_user0).loaned = true;
+        // The other CPU dies; the survivor becomes home to both SPUs, so
+        // the borrowed process is no longer a loan.
+        let other = 1 - cpu_of_user0;
+        s.set_online(other, false);
+        s.rebalance(&procs);
+        assert!(!s.cpu(cpu_of_user0).loaned);
+    }
+
+    #[test]
+    fn dequeue_removes_only_queued() {
+        let spus = SpuSet::equal_users(1);
+        let mut s = Scheduler::new(Scheme::PIso, 1, &spus);
+        let mut procs = table_with(2, |_| SpuId::user(0));
+        s.enqueue(&mut procs, Pid(0));
+        assert!(s.dequeue(&procs, Pid(0)));
+        assert!(!s.dequeue(&procs, Pid(0)));
+        assert!(!s.dequeue(&procs, Pid(1)));
+        assert_eq!(s.ready_count(), 0);
     }
 
     #[test]

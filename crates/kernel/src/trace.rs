@@ -83,6 +83,14 @@ pub enum TraceEvent {
         /// When.
         at: SimTime,
     },
+    /// A fault was injected (or an injected fault surfaced, e.g. an I/O
+    /// error failing up to a process).
+    FaultInjected {
+        /// When.
+        at: SimTime,
+        /// Which fault class (static label, e.g. `"cpu-offline"`).
+        label: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -95,7 +103,8 @@ impl TraceEvent {
             | TraceEvent::Wake { at, .. }
             | TraceEvent::Fault { at, .. }
             | TraceEvent::IoIssue { at, .. }
-            | TraceEvent::PolicyRun { at } => at,
+            | TraceEvent::PolicyRun { at }
+            | TraceEvent::FaultInjected { at, .. } => at,
         }
     }
 }

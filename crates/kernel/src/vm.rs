@@ -228,6 +228,11 @@ impl MemoryManager {
         self.ledger.levels(spu)
     }
 
+    /// Read access to the page-frame ledger (for invariant auditing).
+    pub fn ledger(&self) -> &ResourceLedger {
+        &self.ledger
+    }
+
     /// Free frame count.
     pub fn free_frames(&self) -> u64 {
         self.ledger.free()

@@ -1,0 +1,287 @@
+//! Deterministic fault injection plans.
+//!
+//! A [`FaultPlan`] is a time-sorted list of [`FaultEvent`]s that a
+//! simulator drains into its own event queue at boot. Because the plan
+//! is plain data — no callbacks, no wall-clock — two runs with the same
+//! plan (or the same [`FaultPlan::random`] seed) inject exactly the
+//! same faults at exactly the same simulated instants, and an empty
+//! plan is indistinguishable from no plan at all.
+//!
+//! The kinds model the failure classes of interest for performance
+//! isolation: component degradation (disk errors, a disk going slow, a
+//! CPU going away) and antisocial load (a process crash leaving locks
+//! behind, a fork bomb). Recovery is the *consumer's* job; this module
+//! only decides what goes wrong and when.
+//!
+//! [`backoff_delay`] is the shared capped-exponential retry schedule,
+//! kept here so tests and the kernel agree on the exact arithmetic.
+
+use crate::time::{SimDuration, SimTime};
+use crate::SplitMix64;
+
+/// One kind of injectable fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The next `count` requests completing on `disk` fail with an I/O
+    /// error (transient: later requests succeed again).
+    DiskTransientErrors {
+        /// Target disk index.
+        disk: usize,
+        /// How many completions fail.
+        count: u32,
+    },
+    /// `disk` enters a degraded mode in which every service-time
+    /// component is stretched by `factor` (≥ 1) until repaired.
+    DiskDegrade {
+        /// Target disk index.
+        disk: usize,
+        /// Service-time multiplier (≥ 1).
+        factor: f64,
+    },
+    /// `disk` leaves degraded mode.
+    DiskRepair {
+        /// Target disk index.
+        disk: usize,
+    },
+    /// `cpu` goes offline: its running process is preempted and no new
+    /// work is dispatched to it.
+    CpuOffline {
+        /// Target CPU index.
+        cpu: usize,
+    },
+    /// `cpu` comes back online.
+    CpuOnline {
+        /// Target CPU index.
+        cpu: usize,
+    },
+    /// The oldest runnable process of user SPU `user_spu` is killed.
+    ProcessCrash {
+        /// Target user-SPU number (as in `SpuId::user`).
+        user_spu: u32,
+    },
+    /// An antisocial fork-bomb job is spawned into user SPU `user_spu`:
+    /// a tree of `width.pow(depth)` leaves, each touching `pages` pages
+    /// and burning `burn` of CPU.
+    ForkBomb {
+        /// Target user-SPU number.
+        user_spu: u32,
+        /// Children forked per level (clamped by the consumer).
+        width: u32,
+        /// Fork-tree depth (clamped by the consumer).
+        depth: u32,
+        /// CPU burned per process.
+        burn: SimDuration,
+        /// Pages touched per process.
+        pages: u32,
+    },
+}
+
+/// A fault scheduled at a simulated instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When to inject.
+    pub at: SimTime,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-sorted schedule of faults.
+///
+/// # Examples
+///
+/// ```
+/// use event_sim::{FaultKind, FaultPlan, SimTime};
+/// let plan = FaultPlan::new()
+///     .at(SimTime::from_secs(2), FaultKind::CpuOffline { cpu: 3 })
+///     .at(SimTime::from_secs(1), FaultKind::DiskRepair { disk: 0 });
+/// // Events come back sorted by time regardless of insertion order.
+/// assert_eq!(plan.events()[0].at, SimTime::from_secs(1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// The shape of the machine a random plan should target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultDomain {
+    /// Number of CPUs.
+    pub cpus: usize,
+    /// Number of disks.
+    pub disks: usize,
+    /// Number of user SPUs.
+    pub user_spus: u32,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `kind` at `at`, keeping the plan time-sorted. Events at
+    /// equal times keep their insertion order.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, kind });
+    }
+
+    /// Builder form of [`push`](Self::push).
+    #[must_use]
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// The scheduled events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A seeded random campaign over every fault class, targeted at
+    /// `domain` and contained in the middle of `[0, horizon]` so faults
+    /// land while work is actually running. Degrade/offline events are
+    /// paired with their repair/online counterparts. Equal seeds yield
+    /// equal plans.
+    pub fn random(seed: u64, horizon: SimTime, domain: &FaultDomain) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let lo = horizon.as_nanos() / 10;
+        let hi = (horizon.as_nanos() / 10) * 9;
+        let when = |rng: &mut SplitMix64| SimTime::from_nanos(rng.next_range(lo.max(1), hi));
+        let mut plan = FaultPlan::new();
+        if domain.disks > 0 {
+            let disk = rng.next_below(domain.disks as u64) as usize;
+            let count = rng.next_range(1, 4) as u32;
+            plan.push(
+                when(&mut rng),
+                FaultKind::DiskTransientErrors { disk, count },
+            );
+            let disk = rng.next_below(domain.disks as u64) as usize;
+            let factor = 2.0 + rng.next_f64() * 4.0;
+            let start = when(&mut rng);
+            let end = when(&mut rng).max(start + SimDuration::from_millis(200));
+            plan.push(start, FaultKind::DiskDegrade { disk, factor });
+            plan.push(end, FaultKind::DiskRepair { disk });
+        }
+        if domain.cpus > 1 {
+            let cpu = rng.next_below(domain.cpus as u64) as usize;
+            let start = when(&mut rng);
+            let end = when(&mut rng).max(start + SimDuration::from_millis(200));
+            plan.push(start, FaultKind::CpuOffline { cpu });
+            plan.push(end, FaultKind::CpuOnline { cpu });
+        }
+        if domain.user_spus > 0 {
+            let user_spu = rng.next_below(domain.user_spus as u64) as u32;
+            plan.push(when(&mut rng), FaultKind::ProcessCrash { user_spu });
+            let user_spu = rng.next_below(domain.user_spus as u64) as u32;
+            plan.push(
+                when(&mut rng),
+                FaultKind::ForkBomb {
+                    user_spu,
+                    width: rng.next_range(2, 3) as u32,
+                    depth: rng.next_range(2, 3) as u32,
+                    burn: SimDuration::from_millis(rng.next_range(10, 40)),
+                    pages: rng.next_range(16, 64) as u32,
+                },
+            );
+        }
+        plan
+    }
+}
+
+/// Retry delay before attempt `attempt` (0-based): `base << attempt`,
+/// capped at `cap`. Monotone non-decreasing in `attempt`, saturating
+/// instead of overflowing.
+pub fn backoff_delay(attempt: u32, base: SimDuration, cap: SimDuration) -> SimDuration {
+    let scaled = (base.as_nanos() as u128) << attempt.min(63);
+    SimDuration::from_nanos(scaled.min(cap.as_nanos() as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_events_sorted() {
+        let mut plan = FaultPlan::new();
+        plan.push(SimTime::from_secs(3), FaultKind::DiskRepair { disk: 0 });
+        plan.push(SimTime::from_secs(1), FaultKind::CpuOffline { cpu: 1 });
+        plan.push(SimTime::from_secs(2), FaultKind::CpuOnline { cpu: 1 });
+        let ats: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        let mut sorted = ats.clone();
+        sorted.sort_unstable();
+        assert_eq!(ats, sorted);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn equal_times_keep_insertion_order() {
+        let t = SimTime::from_secs(1);
+        let plan = FaultPlan::new()
+            .at(t, FaultKind::CpuOffline { cpu: 0 })
+            .at(t, FaultKind::CpuOffline { cpu: 1 });
+        assert_eq!(plan.events()[0].kind, FaultKind::CpuOffline { cpu: 0 });
+        assert_eq!(plan.events()[1].kind, FaultKind::CpuOffline { cpu: 1 });
+    }
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let domain = FaultDomain {
+            cpus: 4,
+            disks: 2,
+            user_spus: 4,
+        };
+        let horizon = SimTime::from_secs(10);
+        let a = FaultPlan::random(99, horizon, &domain);
+        let b = FaultPlan::random(99, horizon, &domain);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = FaultPlan::random(100, horizon, &domain);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_plan_stays_inside_horizon() {
+        let domain = FaultDomain {
+            cpus: 8,
+            disks: 4,
+            user_spus: 8,
+        };
+        let horizon = SimTime::from_secs(60);
+        for seed in 0..20 {
+            let plan = FaultPlan::random(seed, horizon, &domain);
+            for e in plan.events() {
+                assert!(e.at > SimTime::ZERO);
+                assert!(e.at <= horizon, "{:?} past horizon", e);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_capped() {
+        let base = SimDuration::from_millis(5);
+        let cap = SimDuration::from_millis(80);
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..70 {
+            let d = backoff_delay(attempt, base, cap);
+            assert!(d >= prev, "not monotone at attempt {attempt}");
+            assert!(d <= cap, "over cap at attempt {attempt}");
+            assert!(d >= base.min(cap), "below base at attempt {attempt}");
+            prev = d;
+        }
+        assert_eq!(backoff_delay(0, base, cap), base);
+        assert_eq!(backoff_delay(1, base, cap), SimDuration::from_millis(10));
+        assert_eq!(backoff_delay(63, base, cap), cap);
+    }
+}

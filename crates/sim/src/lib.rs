@@ -23,11 +23,13 @@
 //! assert_eq!(t, SimTime::from_millis(5));
 //! ```
 
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use fault::{backoff_delay, FaultDomain, FaultEvent, FaultKind, FaultPlan};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use stats::{Histogram, LogHistogram, OnlineStats, TimeWeighted};

@@ -1,0 +1,92 @@
+//! Property tests for the fault-injection plan and backoff policy.
+
+use event_sim::{backoff_delay, FaultDomain, FaultKind, FaultPlan, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Backoff is monotone non-decreasing in the attempt number and
+    /// never exceeds the cap.
+    #[test]
+    fn backoff_monotone_and_capped(
+        base_us in 1u64..100_000,
+        cap_ms in 1u64..10_000,
+        attempt in 0u32..80,
+    ) {
+        let base = SimDuration::from_micros(base_us);
+        let cap = SimDuration::from_millis(cap_ms);
+        let cap = cap.max(base);
+        let d0 = backoff_delay(attempt, base, cap);
+        let d1 = backoff_delay(attempt + 1, base, cap);
+        prop_assert!(d1 >= d0, "backoff not monotone: {d0:?} then {d1:?}");
+        prop_assert!(d0 <= cap, "backoff {d0:?} above cap {cap:?}");
+        prop_assert!(d0 >= base.min(cap));
+    }
+
+    /// Retry schedules are bounded: the total delay of any bounded retry
+    /// sequence is at most `attempts * cap`.
+    #[test]
+    fn total_backoff_bounded(attempts in 1u32..16, cap_ms in 1u64..1_000) {
+        let base = SimDuration::from_micros(500);
+        let cap = SimDuration::from_millis(cap_ms).max(base);
+        let total: SimDuration = (0..attempts)
+            .map(|a| backoff_delay(a, base, cap))
+            .fold(SimDuration::ZERO, |acc, d| acc + d);
+        prop_assert!(total <= cap.mul_f64(attempts as f64) + SimDuration::from_nanos(1));
+    }
+
+    /// `FaultPlan::random` is a pure function of its seed: equal seeds
+    /// give equal plans, and the events are sorted within the horizon.
+    #[test]
+    fn random_plan_deterministic_and_sorted(seed in 0u64..10_000) {
+        let domain = FaultDomain { cpus: 4, disks: 2, user_spus: 3 };
+        let horizon = SimTime::from_secs(10);
+        let a = FaultPlan::random(seed, horizon, &domain);
+        let b = FaultPlan::random(seed, horizon, &domain);
+        prop_assert_eq!(&a, &b);
+        let mut last = SimTime::ZERO;
+        for e in a.events() {
+            prop_assert!(e.at >= last, "plan not sorted");
+            prop_assert!(e.at <= horizon, "event beyond horizon");
+            last = e.at;
+        }
+    }
+
+    /// Random plans only target resources that exist in the domain.
+    #[test]
+    fn random_plan_respects_domain(seed in 0u64..10_000) {
+        let domain = FaultDomain { cpus: 2, disks: 1, user_spus: 2 };
+        let plan = FaultPlan::random(seed, SimTime::from_secs(5), &domain);
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::DiskTransientErrors { disk, .. }
+                | FaultKind::DiskDegrade { disk, .. }
+                | FaultKind::DiskRepair { disk } => prop_assert!(disk < domain.disks),
+                FaultKind::CpuOffline { cpu } | FaultKind::CpuOnline { cpu } => {
+                    prop_assert!(cpu < domain.cpus)
+                }
+                FaultKind::ProcessCrash { user_spu }
+                | FaultKind::ForkBomb { user_spu, .. } => {
+                    prop_assert!(user_spu < domain.user_spus)
+                }
+            }
+        }
+    }
+
+    /// Pushing events out of order still yields a time-sorted plan.
+    #[test]
+    fn pushes_keep_plan_sorted(times in prop::collection::vec(0u64..10_000, 1..40)) {
+        let mut plan = FaultPlan::new();
+        for &ms in &times {
+            plan.push(
+                SimTime::from_millis(ms),
+                FaultKind::DiskTransientErrors { disk: 0, count: 1 },
+            );
+        }
+        let mut last = SimTime::ZERO;
+        for e in plan.events() {
+            prop_assert!(e.at >= last);
+            last = e.at;
+        }
+        prop_assert_eq!(plan.len(), times.len());
+    }
+}

@@ -112,8 +112,8 @@ fn single_stream_disk_schedulers_coincide() {
         }
         let mut order = Vec::new();
         while let Some(c) = completion {
-            let (req, next) = d.complete(c.at);
-            order.push(req.start);
+            let (done, next) = d.complete(c.at);
+            order.push(done.req.start);
             completion = next;
         }
         order
