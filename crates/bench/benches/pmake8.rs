@@ -5,7 +5,8 @@
 //! smaller jobs).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use experiments::pmake8::{self, Scale};
+use experiments::pmake8;
+use experiments::Scale;
 use spu_core::Scheme;
 
 fn bench_pmake8(c: &mut Criterion) {

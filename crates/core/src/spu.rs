@@ -298,6 +298,29 @@ impl SpuSet {
     }
 }
 
+impl event_sim::Fingerprint for SpuSet {
+    fn fingerprint(&self, h: &mut event_sim::Fnv64) {
+        h.write_usize(self.weights.len());
+        for &w in &self.weights {
+            h.write_u32(w);
+        }
+        for opt in [&self.mem_weights, &self.disk_weights] {
+            match opt {
+                Some(ws) => {
+                    h.write_bool(true);
+                    for &w in ws {
+                        h.write_u32(w);
+                    }
+                }
+                None => h.write_bool(false),
+            }
+        }
+        for name in &self.names {
+            h.write_str(name);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,12 @@ impl SchedulerKind {
     ];
 }
 
+impl event_sim::Fingerprint for SchedulerKind {
+    fn fingerprint(&self, h: &mut event_sim::Fnv64) {
+        h.write_str(self.label());
+    }
+}
+
 /// A queued request with its submission order (for FIFO tie-breaks).
 #[derive(Clone, Debug)]
 pub(crate) struct Pending {

@@ -16,8 +16,9 @@ use smp_kernel::{Kernel, MachineConfig};
 use spu_core::{Scheme, SpuId, SpuSet};
 use workloads::{flashlite_with, vcs_with, OceanConfig};
 
-use crate::pmake8::Scale;
 use crate::report::{bar_label, norm, render_table};
+use crate::sweep::{self, Render, Scenario, SweepOptions, Value};
+use crate::Scale;
 
 /// Per-application mean response times (seconds) for one scheme.
 #[derive(Clone, Copy, Debug, Default)]
@@ -98,8 +99,8 @@ fn eda_durations(scale: Scale) -> (SimDuration, SimDuration) {
     }
 }
 
-/// Runs the workload under one scheme; returns per-app responses.
-pub fn run_one(scheme: Scheme, scale: Scale) -> AppResponses {
+/// Boots the Figure-4 machine and spawns the job set.
+fn boot(scheme: Scheme, scale: Scale) -> Kernel {
     // Table 1: 8 CPUs, 64 MB, separate fast disks.
     let cfg = MachineConfig::new(8, 64, 2).with_scheme(scheme);
     let mut k = Kernel::new(
@@ -125,6 +126,12 @@ pub fn run_one(scheme: Scheme, scale: Scale) -> AppResponses {
         let v = vcs_with(&mut k, 1, vcs_cpu);
         k.spawn_at(SpuId::user(1), v, Some(&format!("vcs-{i}")), SimTime::ZERO);
     }
+    k
+}
+
+/// Runs the workload under one scheme; returns per-app responses.
+pub fn run_one(scheme: Scheme, scale: Scale) -> AppResponses {
+    let mut k = boot(scheme, scale);
     let m = k.run(SimTime::from_secs(300));
     assert!(m.completed, "cpu-iso run hit the time cap");
     AppResponses {
@@ -136,13 +143,81 @@ pub fn run_one(scheme: Scheme, scale: Scale) -> AppResponses {
     }
 }
 
+impl sweep::Outcome for AppResponses {
+    fn encode(&self) -> Value {
+        Value::list(vec![
+            Value::F(self.ocean),
+            Value::F(self.flashlite),
+            Value::F(self.vcs),
+        ])
+    }
+
+    fn decode(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        if l.len() != 3 {
+            return None;
+        }
+        Some(AppResponses {
+            ocean: l[0].as_f64()?,
+            flashlite: l[1].as_f64()?,
+            vcs: l[2].as_f64()?,
+        })
+    }
+}
+
+impl Render for CpuIsoResult {
+    fn render(&self) -> String {
+        self.format()
+    }
+}
+
+/// The CPU-isolation matrix as a [`Scenario`]: one cell per scheme.
+pub struct CpuIsoScenario {
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Scenario for CpuIsoScenario {
+    type Cell = Scheme;
+    type Outcome = AppResponses;
+    type Report = CpuIsoResult;
+
+    fn name(&self) -> &'static str {
+        "cpu-iso"
+    }
+
+    fn cells(&self) -> Vec<Scheme> {
+        Scheme::ALL.to_vec()
+    }
+
+    fn cell_key(&self, scheme: &Scheme) -> String {
+        scheme.label().to_lowercase()
+    }
+
+    fn cell_fingerprint(&self, &scheme: &Scheme) -> u64 {
+        sweep::kernel_cell_fingerprint(
+            &boot(scheme, self.scale),
+            SimTime::from_secs(300),
+            "cpu-iso-v1",
+        )
+    }
+
+    fn run_cell(&self, &scheme: &Scheme) -> AppResponses {
+        run_one(scheme, self.scale)
+    }
+
+    fn reduce(&self, outcomes: Vec<AppResponses>) -> CpuIsoResult {
+        let mut by_scheme = [AppResponses::default(); 3];
+        for (slot, outcome) in by_scheme.iter_mut().zip(outcomes) {
+            *slot = outcome;
+        }
+        CpuIsoResult { by_scheme }
+    }
+}
+
 /// Runs the experiment under all three schemes.
 pub fn run(scale: Scale) -> CpuIsoResult {
-    let mut by_scheme = [AppResponses::default(); 3];
-    for (i, &scheme) in Scheme::ALL.iter().enumerate() {
-        by_scheme[i] = run_one(scheme, scale);
-    }
-    CpuIsoResult { by_scheme }
+    sweep::run_scenario(&CpuIsoScenario { scale }, &SweepOptions::new()).report
 }
 
 #[cfg(test)]

@@ -25,8 +25,9 @@ use smp_kernel::{Kernel, MachineConfig};
 use spu_core::{Scheme, SpuId, SpuSet};
 use workloads::{copy_job, PmakeConfig};
 
-use crate::pmake8::Scale;
 use crate::report::render_table;
+use crate::sweep::{self, Render, Scenario, SweepOptions, Value};
+use crate::Scale;
 
 /// One row of Table 3 / Table 4.
 #[derive(Clone, Copy, Debug)]
@@ -95,8 +96,8 @@ impl DiskTable {
     }
 }
 
-/// Runs the Table 3 workload (pmake + 20 MB copy) under one policy.
-pub fn run_pmake_copy(policy: SchedulerKind, scale: Scale) -> DiskRow {
+/// Boots the Table 3 machine (pmake + copy) under one policy.
+fn boot_pmake_copy(policy: SchedulerKind, scale: Scale) -> Kernel {
     // §4.5: two-way multiprocessor, one shared disk, seek scaled by 2.
     let cfg = MachineConfig::new(2, 44, 1)
         .with_scheme(Scheme::PIso)
@@ -121,6 +122,12 @@ pub fn run_pmake_copy(policy: SchedulerKind, scale: Scale) -> DiskRow {
     k.spawn_at(SpuId::user(0), p, Some("pmake"), SimTime::ZERO);
     let c = copy_job(&mut k, 0, copy_bytes, 64 * 1024);
     k.spawn_at(SpuId::user(1), c, Some("copy"), SimTime::ZERO);
+    k
+}
+
+/// Runs the Table 3 workload (pmake + 20 MB copy) under one policy.
+pub fn run_pmake_copy(policy: SchedulerKind, scale: Scale) -> DiskRow {
+    let mut k = boot_pmake_copy(policy, scale);
     let m = k.run(SimTime::from_secs(600));
     assert!(m.completed, "pmake-copy run hit the time cap");
     DiskRow {
@@ -133,8 +140,8 @@ pub fn run_pmake_copy(policy: SchedulerKind, scale: Scale) -> DiskRow {
     }
 }
 
-/// Runs the Table 4 workload (500 KB copy + 5 MB copy) under one policy.
-pub fn run_big_small(policy: SchedulerKind, scale: Scale) -> DiskRow {
+/// Boots the Table 4 machine (big + small copy) under one policy.
+fn boot_big_small(policy: SchedulerKind, scale: Scale) -> Kernel {
     let cfg = MachineConfig::new(2, 44, 1)
         .with_scheme(Scheme::PIso)
         .with_seek_scale(0.5)
@@ -158,6 +165,12 @@ pub fn run_big_small(policy: SchedulerKind, scale: Scale) -> DiskRow {
         Some("small"),
         SimTime::from_millis(30),
     );
+    k
+}
+
+/// Runs the Table 4 workload (500 KB copy + 5 MB copy) under one policy.
+pub fn run_big_small(policy: SchedulerKind, scale: Scale) -> DiskRow {
+    let mut k = boot_big_small(policy, scale);
     let m = k.run(SimTime::from_secs(600));
     assert!(m.completed, "big-small run hit the time cap");
     DiskRow {
@@ -170,28 +183,191 @@ pub fn run_big_small(policy: SchedulerKind, scale: Scale) -> DiskRow {
     }
 }
 
+impl sweep::Outcome for DiskRow {
+    fn encode(&self) -> Value {
+        Value::list(vec![
+            Value::S(self.policy.label().to_string()),
+            Value::F(self.job_a_response),
+            Value::F(self.job_b_response),
+            Value::F(self.job_a_wait_ms),
+            Value::F(self.job_b_wait_ms),
+            Value::F(self.avg_seek_ms),
+        ])
+    }
+
+    fn decode(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        if l.len() != 6 {
+            return None;
+        }
+        let label = l[0].as_str()?;
+        let policy = SchedulerKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label() == label)?;
+        Some(DiskRow {
+            policy,
+            job_a_response: l[1].as_f64()?,
+            job_b_response: l[2].as_f64()?,
+            job_a_wait_ms: l[3].as_f64()?,
+            job_b_wait_ms: l[4].as_f64()?,
+            avg_seek_ms: l[5].as_f64()?,
+        })
+    }
+}
+
+/// Which §4.5 workload a cell drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskWorkload {
+    /// Table 3: scattered pmake vs sequential 20 MB copy.
+    PmakeCopy,
+    /// Table 4: 500 KB copy vs 5 MB copy.
+    BigSmall,
+}
+
+impl DiskWorkload {
+    fn key(self) -> &'static str {
+        match self {
+            DiskWorkload::PmakeCopy => "pmake-copy",
+            DiskWorkload::BigSmall => "big-small",
+        }
+    }
+
+    fn job_labels(self) -> (&'static str, &'static str) {
+        match self {
+            DiskWorkload::PmakeCopy => ("Pmk", "Cpy"),
+            DiskWorkload::BigSmall => ("Small", "Big"),
+        }
+    }
+
+    fn title(self) -> &'static str {
+        match self {
+            DiskWorkload::PmakeCopy => "Table 3: the pmake-copy workload",
+            DiskWorkload::BigSmall => "Table 4: the big-and-small-copy workload",
+        }
+    }
+}
+
+/// The disk-bandwidth tables, one per requested workload.
+#[derive(Clone, Debug)]
+pub struct DiskBwReport {
+    /// The workloads, parallel to [`tables`](Self::tables).
+    pub workloads: Vec<DiskWorkload>,
+    /// Tables in [`DiskBwScenario::workloads`] order.
+    pub tables: Vec<DiskTable>,
+}
+
+impl Render for DiskBwReport {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for (workload, table) in self.workloads.iter().zip(&self.tables) {
+            out.push_str(workload.title());
+            out.push('\n');
+            out.push_str(&table.format());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The disk-bandwidth matrix as a [`Scenario`]: workload × policy.
+pub struct DiskBwScenario {
+    /// The workloads to run, in output order.
+    pub workloads: Vec<DiskWorkload>,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl DiskBwScenario {
+    /// Both paper tables (3 and 4).
+    pub fn both(scale: Scale) -> Self {
+        DiskBwScenario {
+            workloads: vec![DiskWorkload::PmakeCopy, DiskWorkload::BigSmall],
+            scale,
+        }
+    }
+
+    /// A single workload's table.
+    pub fn single(workload: DiskWorkload, scale: Scale) -> Self {
+        DiskBwScenario {
+            workloads: vec![workload],
+            scale,
+        }
+    }
+}
+
+impl Scenario for DiskBwScenario {
+    type Cell = (DiskWorkload, SchedulerKind);
+    type Outcome = DiskRow;
+    type Report = DiskBwReport;
+
+    fn name(&self) -> &'static str {
+        "disk-bw"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        self.workloads
+            .iter()
+            .flat_map(|&w| SchedulerKind::ALL.iter().map(move |&p| (w, p)))
+            .collect()
+    }
+
+    fn cell_key(&self, &(workload, policy): &Self::Cell) -> String {
+        format!("{}-{}", workload.key(), policy.label().to_lowercase())
+    }
+
+    fn cell_fingerprint(&self, &(workload, policy): &Self::Cell) -> u64 {
+        let k = match workload {
+            DiskWorkload::PmakeCopy => boot_pmake_copy(policy, self.scale),
+            DiskWorkload::BigSmall => boot_big_small(policy, self.scale),
+        };
+        sweep::kernel_cell_fingerprint(&k, SimTime::from_secs(600), "disk-bw-v1")
+    }
+
+    fn run_cell(&self, &(workload, policy): &Self::Cell) -> DiskRow {
+        match workload {
+            DiskWorkload::PmakeCopy => run_pmake_copy(policy, self.scale),
+            DiskWorkload::BigSmall => run_big_small(policy, self.scale),
+        }
+    }
+
+    fn reduce(&self, outcomes: Vec<DiskRow>) -> DiskBwReport {
+        let tables = self
+            .workloads
+            .iter()
+            .zip(outcomes.chunks(SchedulerKind::ALL.len()))
+            .map(|(&w, rows)| {
+                let (job_a, job_b) = w.job_labels();
+                DiskTable {
+                    job_a,
+                    job_b,
+                    rows: rows.to_vec(),
+                }
+            })
+            .collect();
+        DiskBwReport {
+            workloads: self.workloads.clone(),
+            tables,
+        }
+    }
+}
+
 /// Table 3 across all three policies.
 pub fn table3(scale: Scale) -> DiskTable {
-    DiskTable {
-        job_a: "Pmk",
-        job_b: "Cpy",
-        rows: SchedulerKind::ALL
-            .iter()
-            .map(|&p| run_pmake_copy(p, scale))
-            .collect(),
-    }
+    let scenario = DiskBwScenario::single(DiskWorkload::PmakeCopy, scale);
+    sweep::run_scenario(&scenario, &SweepOptions::new())
+        .report
+        .tables
+        .swap_remove(0)
 }
 
 /// Table 4 across all three policies.
 pub fn table4(scale: Scale) -> DiskTable {
-    DiskTable {
-        job_a: "Small",
-        job_b: "Big",
-        rows: SchedulerKind::ALL
-            .iter()
-            .map(|&p| run_big_small(p, scale))
-            .collect(),
-    }
+    let scenario = DiskBwScenario::single(DiskWorkload::BigSmall, scale);
+    sweep::run_scenario(&scenario, &SweepOptions::new())
+        .report
+        .tables
+        .swap_remove(0)
 }
 
 #[cfg(test)]

@@ -18,8 +18,10 @@ use event_sim::{FaultDomain, FaultKind, FaultPlan, SimDuration, SimTime};
 use smp_kernel::{Kernel, MachineConfig, RunMetrics};
 use spu_core::{Scheme, SpuId, SpuSet};
 
-use crate::pmake8::{InstrumentedRun, Scale};
+use crate::pmake8::InstrumentedRun;
 use crate::report::render_table;
+use crate::sweep::{self, Render, Scenario, SweepOptions, Value};
+use crate::Scale;
 
 /// The injected fault classes, [`FaultClass::None`] being the baseline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -301,15 +303,105 @@ pub fn run_one(scheme: Scheme, fault: FaultClass, scale: Scale) -> FaultRow {
     }
 }
 
+impl sweep::Outcome for FaultRow {
+    fn encode(&self) -> Value {
+        Value::list(vec![
+            Value::S(self.scheme.label().to_string()),
+            Value::S(self.fault.name().to_string()),
+            Value::F(self.fg_mean),
+            Value::F(self.fg_p95),
+            Value::F(self.bg_mean),
+            Value::U(self.audit_violations),
+            Value::U(self.io_retries),
+            Value::U(self.io_failures),
+            Value::U(self.kernel_errors),
+            Value::B(self.completed),
+        ])
+    }
+
+    fn decode(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        if l.len() != 10 {
+            return None;
+        }
+        let scheme_label = l[0].as_str()?;
+        let scheme = Scheme::ALL
+            .iter()
+            .copied()
+            .find(|s| s.label() == scheme_label)?;
+        let fault_name = l[1].as_str()?;
+        let fault = FaultClass::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == fault_name)?;
+        Some(FaultRow {
+            scheme,
+            fault,
+            fg_mean: l[2].as_f64()?,
+            fg_p95: l[3].as_f64()?,
+            bg_mean: l[4].as_f64()?,
+            audit_violations: l[5].as_u64()?,
+            io_retries: l[6].as_u64()?,
+            io_failures: l[7].as_u64()?,
+            kernel_errors: l[8].as_u64()?,
+            completed: l[9].as_bool()?,
+        })
+    }
+}
+
+impl Render for FaultIsolationResult {
+    fn render(&self) -> String {
+        self.format()
+    }
+}
+
+/// The fault matrix as a [`Scenario`]: scheme-major scheme × fault
+/// cells.
+pub struct FaultIsolationScenario {
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Scenario for FaultIsolationScenario {
+    type Cell = (Scheme, FaultClass);
+    type Outcome = FaultRow;
+    type Report = FaultIsolationResult;
+
+    fn name(&self) -> &'static str {
+        "fault-iso"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        Scheme::ALL
+            .iter()
+            .flat_map(|&s| FaultClass::ALL.iter().map(move |&f| (s, f)))
+            .collect()
+    }
+
+    fn cell_key(&self, &(scheme, fault): &Self::Cell) -> String {
+        format!("{}-{}", scheme.label().to_lowercase(), fault.name())
+    }
+
+    fn cell_fingerprint(&self, &(scheme, fault): &Self::Cell) -> u64 {
+        sweep::kernel_cell_fingerprint(
+            &boot(scheme, fault, self.scale),
+            SimTime::from_secs(600),
+            "fault-iso-v1",
+        )
+    }
+
+    fn run_cell(&self, &(scheme, fault): &Self::Cell) -> FaultRow {
+        run_one(scheme, fault, self.scale)
+    }
+
+    fn reduce(&self, outcomes: Vec<FaultRow>) -> FaultIsolationResult {
+        FaultIsolationResult { rows: outcomes }
+    }
+}
+
 /// Runs the full matrix: every scheme under every fault class.
 pub fn run(scale: Scale) -> FaultIsolationResult {
-    let mut rows = Vec::new();
-    for &scheme in &Scheme::ALL {
-        for &fault in &FaultClass::ALL {
-            rows.push(run_one(scheme, fault, scale));
-        }
-    }
-    FaultIsolationResult { rows }
+    sweep::run_scenario(&FaultIsolationScenario { scale }, &SweepOptions::new()).report
 }
 
 /// One instrumented PIso run under a seeded *random* fault plan:

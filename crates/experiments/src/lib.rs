@@ -14,16 +14,21 @@
 //! | [`scaling`] | load-scaling sweep of the isolation guarantee (extension) |
 //! | [`ablation`] | §3.2 / §3.3 / §3.4 design-choice sweeps |
 //!
-//! Every experiment has a [`Scale::Full`](pmake8::Scale) variant (the
-//! paper's parameters) and a `Scale::Quick` variant (same structure,
-//! smaller jobs) used by the Criterion benches and tests. Results carry
-//! a `format()` method producing the paper-shaped text table.
+//! Every experiment has a [`Scale::Full`] variant (the paper's
+//! parameters) and a [`Scale::Quick`] variant (same structure, smaller
+//! jobs) used by the Criterion benches and tests. Results carry a
+//! `format()` method producing the paper-shaped text table.
+//!
+//! All nine harnesses implement the [`sweep::Scenario`] trait, so any
+//! experiment matrix — or all of them, via [`sweep::all_scenarios`] —
+//! can be driven by the deterministic parallel executor in [`sweep`]
+//! with content-addressed result caching.
 //!
 //! # Examples
 //!
 //! ```no_run
-//! use experiments::pmake8::{run, Scale};
-//! let result = run(Scale::Full);
+//! use experiments::{pmake8, Scale};
+//! let result = pmake8::run(Scale::Full);
 //! println!("{}", result.format());
 //! ```
 
@@ -36,6 +41,32 @@ pub mod net_bw;
 pub mod pmake8;
 pub mod report;
 pub mod scaling;
+pub mod sweep;
 pub mod tables;
 
-pub use pmake8::Scale;
+/// Scale of an experiment run: the paper's full configuration or a
+/// smaller variant for quick benchmarking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's configuration.
+    #[default]
+    Full,
+    /// Reduced job sizes for fast iteration (same structure).
+    Quick,
+}
+
+impl Scale {
+    /// Short stable label ("full" / "quick"), used in cache keys.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        }
+    }
+}
+
+impl event_sim::Fingerprint for Scale {
+    fn fingerprint(&self, h: &mut event_sim::Fnv64) {
+        h.write_str(self.label());
+    }
+}

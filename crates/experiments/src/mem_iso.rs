@@ -17,8 +17,9 @@ use smp_kernel::{Kernel, MachineConfig};
 use spu_core::{Scheme, SpuId, SpuSet};
 use workloads::PmakeConfig;
 
-use crate::pmake8::Scale;
-use crate::report::{bar_label, norm, render_table};
+use crate::report::{bar_label, norm, render_table, Percentiles};
+use crate::sweep::{self, Render, Scenario, SweepOptions, Value};
+use crate::Scale;
 
 /// Results of the memory-isolation experiment.
 #[derive(Clone, Debug)]
@@ -132,20 +133,35 @@ fn boot(scheme: Scheme, unbalanced: bool, scale: Scale) -> Kernel {
     k
 }
 
-/// Runs one configuration. Returns (SPU1 mean, SPU2 mean, SPU2 major
-/// faults, and `(p50, p95, p99)` response percentiles over all jobs).
-pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64, u64, (f64, f64, f64)) {
+/// Measurements from one memory-isolation configuration run (see
+/// [`run_one`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MemIsoRun {
+    /// SPU1's mean job response (s).
+    pub spu1_mean: f64,
+    /// SPU2's mean job response (s).
+    pub spu2_mean: f64,
+    /// SPU2's major page faults (the thrash signal).
+    pub spu2_major_faults: u64,
+    /// Response percentiles (s) over all jobs.
+    pub percentiles: Percentiles,
+}
+
+/// Runs one configuration of the memory-isolation workload.
+pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> MemIsoRun {
     let mut k = boot(scheme, unbalanced, scale);
     let m = k.run(SimTime::from_secs(1200));
     assert!(m.completed, "mem-iso run hit the time cap");
-    (
-        m.mean_response_of_spu(SpuId::user(0))
+    MemIsoRun {
+        spu1_mean: m
+            .mean_response_of_spu(SpuId::user(0))
             .expect("SPU1 ran a job"),
-        m.mean_response_of_spu(SpuId::user(1))
+        spu2_mean: m
+            .mean_response_of_spu(SpuId::user(1))
             .expect("SPU2 ran a job"),
-        m.vm[SpuId::user(1).index()].major_faults,
-        m.response_percentiles("").expect("jobs ran"),
-    )
+        spu2_major_faults: m.vm[SpuId::user(1).index()].major_faults,
+        percentiles: m.response_percentiles("").expect("jobs ran").into(),
+    }
 }
 
 /// Runs the unbalanced configuration under PIso with the 100 ms resource
@@ -161,25 +177,105 @@ pub fn run_instrumented(scale: Scale) -> (smp_kernel::RunMetrics, String) {
     (m, jsonl)
 }
 
+impl sweep::Outcome for MemIsoRun {
+    fn encode(&self) -> Value {
+        let (p50, p95, p99) = self.percentiles.as_tuple();
+        Value::list(vec![
+            Value::F(self.spu1_mean),
+            Value::F(self.spu2_mean),
+            Value::U(self.spu2_major_faults),
+            Value::F(p50),
+            Value::F(p95),
+            Value::F(p99),
+        ])
+    }
+
+    fn decode(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        if l.len() != 6 {
+            return None;
+        }
+        Some(MemIsoRun {
+            spu1_mean: l[0].as_f64()?,
+            spu2_mean: l[1].as_f64()?,
+            spu2_major_faults: l[2].as_u64()?,
+            percentiles: (l[3].as_f64()?, l[4].as_f64()?, l[5].as_f64()?).into(),
+        })
+    }
+}
+
+impl Render for MemIsoResult {
+    fn render(&self) -> String {
+        self.format()
+    }
+}
+
+/// The memory-isolation matrix as a [`Scenario`]: scheme × {balanced,
+/// unbalanced}.
+pub struct MemIsoScenario {
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Scenario for MemIsoScenario {
+    type Cell = (Scheme, bool);
+    type Outcome = MemIsoRun;
+    type Report = MemIsoResult;
+
+    fn name(&self) -> &'static str {
+        "mem-iso"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        Scheme::ALL
+            .iter()
+            .flat_map(|&s| [(s, false), (s, true)])
+            .collect()
+    }
+
+    fn cell_key(&self, &(scheme, unbalanced): &Self::Cell) -> String {
+        format!(
+            "{}-{}",
+            scheme.label().to_lowercase(),
+            if unbalanced { "unbalanced" } else { "balanced" }
+        )
+    }
+
+    fn cell_fingerprint(&self, &(scheme, unbalanced): &Self::Cell) -> u64 {
+        sweep::kernel_cell_fingerprint(
+            &boot(scheme, unbalanced, self.scale),
+            SimTime::from_secs(1200),
+            "mem-iso-v1",
+        )
+    }
+
+    fn run_cell(&self, &(scheme, unbalanced): &Self::Cell) -> MemIsoRun {
+        run_one(scheme, unbalanced, self.scale)
+    }
+
+    fn reduce(&self, outcomes: Vec<MemIsoRun>) -> MemIsoResult {
+        let mut r = MemIsoResult {
+            spu1_balanced: [0.0; 3],
+            spu1_unbalanced: [0.0; 3],
+            spu2_unbalanced: [0.0; 3],
+            spu2_major_faults: [0; 3],
+            pct_unbalanced: [(0.0, 0.0, 0.0); 3],
+        };
+        // Cell order: per scheme, balanced then unbalanced.
+        for (i, pair) in outcomes.chunks(2).enumerate() {
+            r.spu1_balanced[i] = pair[0].spu1_mean;
+            r.spu1_unbalanced[i] = pair[1].spu1_mean;
+            r.spu2_unbalanced[i] = pair[1].spu2_mean;
+            r.spu2_major_faults[i] = pair[1].spu2_major_faults;
+            r.pct_unbalanced[i] = pair[1].percentiles.as_tuple();
+        }
+        r
+    }
+}
+
 /// Runs the experiment under all three schemes.
 pub fn run(scale: Scale) -> MemIsoResult {
-    let mut r = MemIsoResult {
-        spu1_balanced: [0.0; 3],
-        spu1_unbalanced: [0.0; 3],
-        spu2_unbalanced: [0.0; 3],
-        spu2_major_faults: [0; 3],
-        pct_unbalanced: [(0.0, 0.0, 0.0); 3],
-    };
-    for (i, &scheme) in Scheme::ALL.iter().enumerate() {
-        let (s1b, _, _, _) = run_one(scheme, false, scale);
-        let (s1u, s2u, faults, pct) = run_one(scheme, true, scale);
-        r.spu1_balanced[i] = s1b;
-        r.spu1_unbalanced[i] = s1u;
-        r.spu2_unbalanced[i] = s2u;
-        r.spu2_major_faults[i] = faults;
-        r.pct_unbalanced[i] = pct;
-    }
-    r
+    sweep::run_scenario(&MemIsoScenario { scale }, &SweepOptions::new()).report
 }
 
 #[cfg(test)]

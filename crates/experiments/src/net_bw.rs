@@ -13,8 +13,9 @@ use event_sim::{EventQueue, SimDuration, SimTime};
 use net_bw::{NetDevice, NicModel, Packet, PacketScheduler, TxDone};
 use spu_core::SpuId;
 
-use crate::pmake8::Scale;
 use crate::report::render_table;
+use crate::sweep::{self, Render, Scenario, SweepOptions, Value};
+use crate::Scale;
 
 /// Results of the NIC-sharing experiment for one scheduler.
 #[derive(Clone, Copy, Debug)]
@@ -143,14 +144,92 @@ pub fn run_one(scheduler: PacketScheduler, scale: Scale) -> NetRow {
     }
 }
 
+impl sweep::Outcome for NetRow {
+    fn encode(&self) -> Value {
+        Value::list(vec![
+            Value::S(self.scheduler.label().to_string()),
+            Value::F(self.interactive_wait_ms),
+            Value::F(self.bulk_wait_ms),
+            Value::F(self.bulk_finish_s),
+        ])
+    }
+
+    fn decode(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        if l.len() != 4 {
+            return None;
+        }
+        let label = l[0].as_str()?;
+        let scheduler = [PacketScheduler::Fcfs, PacketScheduler::Fair]
+            .into_iter()
+            .find(|s| s.label() == label)?;
+        Some(NetRow {
+            scheduler,
+            interactive_wait_ms: l[1].as_f64()?,
+            bulk_wait_ms: l[2].as_f64()?,
+            bulk_finish_s: l[3].as_f64()?,
+        })
+    }
+}
+
+impl Render for NetTable {
+    fn render(&self) -> String {
+        self.format()
+    }
+}
+
+/// The NIC-sharing comparison as a [`Scenario`]: one cell per packet
+/// scheduler.
+pub struct NetBwScenario {
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Scenario for NetBwScenario {
+    type Cell = PacketScheduler;
+    type Outcome = NetRow;
+    type Report = NetTable;
+
+    fn name(&self) -> &'static str {
+        "net-bw"
+    }
+
+    fn cells(&self) -> Vec<PacketScheduler> {
+        vec![PacketScheduler::Fcfs, PacketScheduler::Fair]
+    }
+
+    fn cell_key(&self, scheduler: &PacketScheduler) -> String {
+        scheduler.label().to_lowercase()
+    }
+
+    fn cell_fingerprint(&self, scheduler: &PacketScheduler) -> u64 {
+        // No kernel here: hash the standalone simulation's inputs — the
+        // scheduler, the scale-dependent packet counts, and the fixed
+        // NIC model / traffic shape baked into `run_one` (covered by
+        // the version tag).
+        let (bulk_packets, interactive_packets) = match self.scale {
+            Scale::Full => (2000u32, 400u32),
+            Scale::Quick => (500, 100),
+        };
+        sweep::manual_cell_fingerprint("net-bw-v1", |h| {
+            h.write_str(scheduler.label());
+            h.write_u32(bulk_packets);
+            h.write_u32(interactive_packets);
+        })
+    }
+
+    fn run_cell(&self, &scheduler: &PacketScheduler) -> NetRow {
+        run_one(scheduler, self.scale)
+    }
+
+    fn reduce(&self, outcomes: Vec<NetRow>) -> NetTable {
+        NetTable { rows: outcomes }
+    }
+}
+
 /// Runs both schedulers.
 pub fn run(scale: Scale) -> NetTable {
-    NetTable {
-        rows: [PacketScheduler::Fcfs, PacketScheduler::Fair]
-            .iter()
-            .map(|&s| run_one(s, scale))
-            .collect(),
-    }
+    sweep::run_scenario(&NetBwScenario { scale }, &SweepOptions::new()).report
 }
 
 #[cfg(test)]

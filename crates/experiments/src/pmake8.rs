@@ -16,17 +16,13 @@ use smp_kernel::{Kernel, MachineConfig, RunMetrics};
 use spu_core::{Scheme, SpuId, SpuSet};
 use workloads::PmakeConfig;
 
-use crate::report::{bar_label, norm, render_table};
+use crate::report::{bar_label, norm, render_table, Percentiles};
+use crate::sweep::{self, Render, Scenario, SweepOptions, Value};
 
-/// Scale of an experiment run: the paper's full configuration or a
-/// smaller variant for quick benchmarking.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Scale {
-    /// The paper's configuration.
-    Full,
-    /// Reduced job sizes for fast iteration (same structure).
-    Quick,
-}
+/// Deprecated re-export: [`Scale`](crate::Scale) now lives at the crate
+/// root (it is shared by every harness, not specific to Pmake8).
+#[deprecated(since = "0.2.0", note = "use `experiments::Scale` instead")]
+pub type Scale = crate::Scale;
 
 /// Results of the Pmake8 experiment across all three schemes.
 #[derive(Clone, Debug)]
@@ -113,10 +109,10 @@ impl Pmake8Result {
     }
 }
 
-fn job_config(scale: Scale) -> PmakeConfig {
+fn job_config(scale: crate::Scale) -> PmakeConfig {
     match scale {
-        Scale::Full => PmakeConfig::pmake8(),
-        Scale::Quick => PmakeConfig {
+        crate::Scale::Full => PmakeConfig::pmake8(),
+        crate::Scale::Quick => PmakeConfig {
             waves: 1,
             ..PmakeConfig::pmake8()
         },
@@ -124,14 +120,14 @@ fn job_config(scale: Scale) -> PmakeConfig {
 }
 
 /// Builds and spawns the Pmake8 job set into a fresh kernel.
-fn boot(scheme: Scheme, unbalanced: bool, scale: Scale) -> Kernel {
+fn boot(scheme: Scheme, unbalanced: bool, scale: crate::Scale) -> Kernel {
     let cfg = MachineConfig::new(8, 44, 8).with_scheme(scheme);
     let mut k = Kernel::new(cfg, SpuSet::equal_users(8));
     spawn_jobs(&mut k, unbalanced, scale);
     k
 }
 
-fn spawn_jobs(k: &mut Kernel, unbalanced: bool, scale: Scale) {
+fn spawn_jobs(k: &mut Kernel, unbalanced: bool, scale: crate::Scale) {
     let job = job_config(scale);
     for spu_idx in 0..8u32 {
         let prog = job.build(k, spu_idx as usize);
@@ -153,12 +149,21 @@ fn spawn_jobs(k: &mut Kernel, unbalanced: bool, scale: Scale) {
     }
 }
 
+/// Measurements from one Pmake8 configuration run (see [`run_one`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Pmake8Run {
+    /// Mean response (s) of the lightly-loaded SPUs 1–4.
+    pub light_mean: f64,
+    /// Mean response (s) of the heavily-loaded SPUs 5–8.
+    pub heavy_mean: f64,
+    /// Response percentiles (s) over all jobs.
+    pub percentiles: Percentiles,
+}
+
 /// Runs one configuration of the Pmake8 workload.
 ///
 /// Table 1: 8 CPUs, 44 MB memory, separate fast disks (one per SPU).
-/// Returns (mean response SPUs 1–4, mean response SPUs 5–8, and
-/// `(p50, p95, p99)` response percentiles over all jobs).
-pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64, (f64, f64, f64)) {
+pub fn run_one(scheme: Scheme, unbalanced: bool, scale: crate::Scale) -> Pmake8Run {
     let mut k = boot(scheme, unbalanced, scale);
     let m = k.run(SimTime::from_secs(600));
     assert!(m.completed, "pmake8 run hit the time cap");
@@ -172,30 +177,108 @@ pub fn run_one(scheme: Scheme, unbalanced: bool, scale: Scale) -> (f64, f64, (f6
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     let pct = m.response_percentiles("pmake").expect("pmake jobs ran");
-    (mean_of(0..4), mean_of(4..8), pct)
+    Pmake8Run {
+        light_mean: mean_of(0..4),
+        heavy_mean: mean_of(4..8),
+        percentiles: pct.into(),
+    }
+}
+
+impl sweep::Outcome for Pmake8Run {
+    fn encode(&self) -> Value {
+        let (p50, p95, p99) = self.percentiles.as_tuple();
+        Value::list(vec![
+            Value::F(self.light_mean),
+            Value::F(self.heavy_mean),
+            Value::F(p50),
+            Value::F(p95),
+            Value::F(p99),
+        ])
+    }
+
+    fn decode(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        if l.len() != 5 {
+            return None;
+        }
+        Some(Pmake8Run {
+            light_mean: l[0].as_f64()?,
+            heavy_mean: l[1].as_f64()?,
+            percentiles: (l[2].as_f64()?, l[3].as_f64()?, l[4].as_f64()?).into(),
+        })
+    }
+}
+
+impl Render for Pmake8Result {
+    fn render(&self) -> String {
+        self.format()
+    }
+}
+
+/// The Pmake8 matrix as a [`Scenario`]: scheme × {balanced, unbalanced}.
+pub struct Pmake8Scenario {
+    /// Workload scale.
+    pub scale: crate::Scale,
+}
+
+impl Scenario for Pmake8Scenario {
+    type Cell = (Scheme, bool);
+    type Outcome = Pmake8Run;
+    type Report = Pmake8Result;
+
+    fn name(&self) -> &'static str {
+        "pmake8"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        Scheme::ALL
+            .iter()
+            .flat_map(|&s| [(s, false), (s, true)])
+            .collect()
+    }
+
+    fn cell_key(&self, &(scheme, unbalanced): &Self::Cell) -> String {
+        format!(
+            "{}-{}",
+            scheme.label().to_lowercase(),
+            if unbalanced { "unbalanced" } else { "balanced" }
+        )
+    }
+
+    fn cell_fingerprint(&self, &(scheme, unbalanced): &Self::Cell) -> u64 {
+        sweep::kernel_cell_fingerprint(
+            &boot(scheme, unbalanced, self.scale),
+            SimTime::from_secs(600),
+            "pmake8-v1",
+        )
+    }
+
+    fn run_cell(&self, &(scheme, unbalanced): &Self::Cell) -> Pmake8Run {
+        run_one(scheme, unbalanced, self.scale)
+    }
+
+    fn reduce(&self, outcomes: Vec<Pmake8Run>) -> Pmake8Result {
+        let mut r = Pmake8Result {
+            light_balanced: [0.0; 3],
+            light_unbalanced: [0.0; 3],
+            heavy_unbalanced: [0.0; 3],
+            pct_unbalanced: [(0.0, 0.0, 0.0); 3],
+        };
+        // Cell order: per scheme, balanced then unbalanced.
+        for (i, pair) in outcomes.chunks(2).enumerate() {
+            r.light_balanced[i] = pair[0].light_mean;
+            r.light_unbalanced[i] = pair[1].light_mean;
+            r.heavy_unbalanced[i] = pair[1].heavy_mean;
+            r.pct_unbalanced[i] = pair[1].percentiles.as_tuple();
+        }
+        r
+    }
 }
 
 /// Runs the full experiment: both configurations under all three
 /// schemes.
-pub fn run(scale: Scale) -> Pmake8Result {
-    let mut light_balanced = [0.0; 3];
-    let mut light_unbalanced = [0.0; 3];
-    let mut heavy_unbalanced = [0.0; 3];
-    let mut pct_unbalanced = [(0.0, 0.0, 0.0); 3];
-    for (i, &scheme) in Scheme::ALL.iter().enumerate() {
-        let (light_b, _, _) = run_one(scheme, false, scale);
-        let (light_u, heavy_u, pct_u) = run_one(scheme, true, scale);
-        light_balanced[i] = light_b;
-        light_unbalanced[i] = light_u;
-        heavy_unbalanced[i] = heavy_u;
-        pct_unbalanced[i] = pct_u;
-    }
-    Pmake8Result {
-        light_balanced,
-        light_unbalanced,
-        heavy_unbalanced,
-        pct_unbalanced,
-    }
+pub fn run(scale: crate::Scale) -> Pmake8Result {
+    sweep::run_scenario(&Pmake8Scenario { scale }, &SweepOptions::new()).report
 }
 
 /// One fully-instrumented PIso run of the unbalanced configuration:
@@ -216,7 +299,7 @@ pub struct InstrumentedRun {
 ///
 /// Deterministic: two calls at the same scale produce byte-identical
 /// export strings.
-pub fn run_instrumented(scale: Scale) -> InstrumentedRun {
+pub fn run_instrumented(scale: crate::Scale) -> InstrumentedRun {
     let mut k = boot(Scheme::PIso, true, scale);
     k.enable_trace(1 << 20);
     k.enable_sampling(SimDuration::from_millis(100));
@@ -240,7 +323,7 @@ mod tests {
 
     #[test]
     fn quick_run_reproduces_the_paper_shape() {
-        let r = run(Scale::Quick);
+        let r = run(crate::Scale::Quick);
         let fig2 = r.fig2();
         // SMP: unbalanced load hurts the light SPUs substantially.
         let (_, smp_b, smp_u) = (fig2[0].0, fig2[0].1, fig2[0].2);

@@ -1,4 +1,66 @@
-//! Small text-table formatting helpers for experiment reports.
+//! Small text-table formatting helpers for experiment reports, shared
+//! result types, and the `results/` export helper.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Response-time percentiles in seconds over a set of jobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median response.
+    pub p50: f64,
+    /// 95th-percentile response.
+    pub p95: f64,
+    /// 99th-percentile response.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// The `(p50, p95, p99)` tuple (the shape
+    /// [`RunMetrics::response_percentiles`](smp_kernel::RunMetrics::response_percentiles)
+    /// returns).
+    pub fn as_tuple(self) -> (f64, f64, f64) {
+        (self.p50, self.p95, self.p99)
+    }
+}
+
+impl From<(f64, f64, f64)> for Percentiles {
+    fn from((p50, p95, p99): (f64, f64, f64)) -> Self {
+        Percentiles { p50, p95, p99 }
+    }
+}
+
+/// Writes experiment artefacts under `dir`, creating it if needed, and
+/// prints one `wrote <path> (<size>)` line per file — the boilerplate
+/// every example used to repeat inline.
+///
+/// Returns the written paths in input order.
+///
+/// # Examples
+///
+/// ```no_run
+/// use experiments::report::export;
+/// let paths = export("results", &[("demo.txt", "hello\n")]).unwrap();
+/// assert_eq!(paths[0], std::path::Path::new("results/demo.txt"));
+/// ```
+pub fn export(dir: impl AsRef<Path>, files: &[(&str, &str)]) -> io::Result<Vec<PathBuf>> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(files.len());
+    for (name, contents) in files {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)?;
+        let bytes = contents.len();
+        let size = if bytes >= 10 * 1024 {
+            format!("{} KiB", bytes / 1024)
+        } else {
+            format!("{bytes} B")
+        };
+        println!("wrote {} ({size})", path.display());
+        paths.push(path);
+    }
+    Ok(paths)
+}
 
 /// Renders a table: header row plus data rows, columns padded to fit.
 ///

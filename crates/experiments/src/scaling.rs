@@ -14,8 +14,9 @@ use smp_kernel::{Kernel, MachineConfig};
 use spu_core::{Scheme, SpuId, SpuSet};
 use workloads::PmakeConfig;
 
-use crate::pmake8::Scale;
 use crate::report::render_table;
+use crate::sweep::{self, Render, Scenario, SweepOptions};
+use crate::Scale;
 
 /// Light-SPU mean response (s) at one background-load level, per scheme.
 #[derive(Clone, Copy, Debug)]
@@ -26,8 +27,9 @@ pub struct ScalingPoint {
     pub light_response: [f64; 3],
 }
 
-/// Runs one point: 4 light SPUs × 1 job, 4 heavy SPUs × `heavy_jobs`.
-pub fn run_point(scheme: Scheme, heavy_jobs: u32, scale: Scale) -> f64 {
+/// Boots one point's machine: 4 light SPUs × 1 job, 4 heavy SPUs ×
+/// `heavy_jobs`.
+fn boot_point(scheme: Scheme, heavy_jobs: u32, scale: Scale) -> Kernel {
     let cfg = MachineConfig::new(8, 44, 8).with_scheme(scheme);
     let mut k = Kernel::new(cfg, SpuSet::equal_users(8));
     let job = match scale {
@@ -49,6 +51,12 @@ pub fn run_point(scheme: Scheme, heavy_jobs: u32, scale: Scale) -> f64 {
             );
         }
     }
+    k
+}
+
+/// Runs one point: 4 light SPUs × 1 job, 4 heavy SPUs × `heavy_jobs`.
+pub fn run_point(scheme: Scheme, heavy_jobs: u32, scale: Scale) -> f64 {
+    let mut k = boot_point(scheme, heavy_jobs, scale);
     let m = k.run(SimTime::from_secs(1200));
     assert!(m.completed, "scaling point hit the cap");
     let vals: Vec<f64> = (0..4)
@@ -60,21 +68,96 @@ pub fn run_point(scheme: Scheme, heavy_jobs: u32, scale: Scale) -> f64 {
     vals.iter().sum::<f64>() / vals.len() as f64
 }
 
+/// The rendered load-scaling sweep.
+#[derive(Clone, Debug)]
+pub struct ScalingReport {
+    /// One point per background-load level.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl Render for ScalingReport {
+    fn render(&self) -> String {
+        format(&self.points)
+    }
+}
+
+/// The load-scaling sweep as a [`Scenario`]: level × scheme.
+pub struct ScalingScenario {
+    /// Jobs-per-heavy-SPU levels to sweep.
+    pub levels: Vec<u32>,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl ScalingScenario {
+    /// The standard sweep: 1–4 jobs per heavy SPU.
+    pub fn standard(scale: Scale) -> Self {
+        ScalingScenario {
+            levels: vec![1, 2, 3, 4],
+            scale,
+        }
+    }
+}
+
+impl Scenario for ScalingScenario {
+    type Cell = (u32, Scheme);
+    type Outcome = f64;
+    type Report = ScalingReport;
+
+    fn name(&self) -> &'static str {
+        "scaling"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        self.levels
+            .iter()
+            .flat_map(|&l| Scheme::ALL.iter().map(move |&s| (l, s)))
+            .collect()
+    }
+
+    fn cell_key(&self, &(level, scheme): &Self::Cell) -> String {
+        format!("{level}jobs-{}", scheme.label().to_lowercase())
+    }
+
+    fn cell_fingerprint(&self, &(level, scheme): &Self::Cell) -> u64 {
+        sweep::kernel_cell_fingerprint(
+            &boot_point(scheme, level, self.scale),
+            SimTime::from_secs(1200),
+            "scaling-v1",
+        )
+    }
+
+    fn run_cell(&self, &(level, scheme): &Self::Cell) -> f64 {
+        run_point(scheme, level, self.scale)
+    }
+
+    fn reduce(&self, outcomes: Vec<f64>) -> ScalingReport {
+        let points = self
+            .levels
+            .iter()
+            .zip(outcomes.chunks(Scheme::ALL.len()))
+            .map(|(&heavy_jobs, vals)| {
+                let mut light_response = [0.0; 3];
+                light_response.copy_from_slice(vals);
+                ScalingPoint {
+                    heavy_jobs,
+                    light_response,
+                }
+            })
+            .collect();
+        ScalingReport { points }
+    }
+}
+
 /// Sweeps background load over `levels` jobs-per-heavy-SPU.
 pub fn run(levels: &[u32], scale: Scale) -> Vec<ScalingPoint> {
-    levels
-        .iter()
-        .map(|&heavy_jobs| {
-            let mut light_response = [0.0; 3];
-            for (i, &scheme) in Scheme::ALL.iter().enumerate() {
-                light_response[i] = run_point(scheme, heavy_jobs, scale);
-            }
-            ScalingPoint {
-                heavy_jobs,
-                light_response,
-            }
-        })
-        .collect()
+    let scenario = ScalingScenario {
+        levels: levels.to_vec(),
+        scale,
+    };
+    sweep::run_scenario(&scenario, &SweepOptions::new())
+        .report
+        .points
 }
 
 /// Renders the sweep, normalized to each scheme's 1-job point = 100.

@@ -5,6 +5,7 @@
 use spu_core::Scheme;
 
 use crate::report::render_table;
+use crate::sweep::{self, Render, Scenario};
 
 /// Table 1: the four workloads with their system parameters and SPU
 /// configurations.
@@ -131,6 +132,61 @@ pub fn figure6() -> String {
     ];
     out.push_str(&render_table(&["Configuration", "SPU 1", "SPU 2"], &rows));
     out
+}
+
+/// The static artefacts as a [`Scenario`]: one cell per table/figure.
+/// There is nothing to simulate, but routing them through the sweep
+/// engine gives the `paper_tables` driver one uniform scenario list.
+pub struct TablesScenario;
+
+/// The rendered tables and figures, in paper order.
+#[derive(Clone, Debug)]
+pub struct TablesReport {
+    /// One rendered section per cell.
+    pub sections: Vec<String>,
+}
+
+impl Render for TablesReport {
+    fn render(&self) -> String {
+        self.sections.join("\n")
+    }
+}
+
+impl Scenario for TablesScenario {
+    type Cell = (&'static str, fn() -> String);
+    type Outcome = String;
+    type Report = TablesReport;
+
+    fn name(&self) -> &'static str {
+        "tables"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        vec![
+            ("table1", table1 as fn() -> String),
+            ("table2", table2),
+            ("figure1", figure1),
+            ("figure4", figure4),
+            ("figure6", figure6),
+        ]
+    }
+
+    fn cell_key(&self, cell: &Self::Cell) -> String {
+        cell.0.to_string()
+    }
+
+    fn cell_fingerprint(&self, cell: &Self::Cell) -> u64 {
+        // Static content: the artefact itself is the input.
+        sweep::manual_cell_fingerprint("tables-v1", |h| h.write_str(&(cell.1)()))
+    }
+
+    fn run_cell(&self, cell: &Self::Cell) -> String {
+        (cell.1)()
+    }
+
+    fn reduce(&self, outcomes: Vec<String>) -> TablesReport {
+        TablesReport { sections: outcomes }
+    }
 }
 
 #[cfg(test)]

@@ -5,9 +5,11 @@
 //! a 10 ms clock tick, 30 ms CPU time slices, an 8% memory Reserve
 //! Threshold, a 500 ms disk-bandwidth decay half-life, and 4 KB pages.
 
-use event_sim::{FaultPlan, SimDuration};
+use std::fmt;
+
+use event_sim::{FaultPlan, Fingerprint, Fnv64, SimDuration};
 use hp_disk::SchedulerKind;
-use spu_core::Scheme;
+use spu_core::{Scheme, SpuSet};
 
 /// Bytes per page (IRIX on R4000 used 4 KB pages).
 pub const PAGE_SIZE: u64 = 4096;
@@ -232,6 +234,356 @@ impl MachineConfig {
             Scheme::PIso => SchedulerKind::Hybrid,
         })
     }
+
+    /// Starts a validating builder (see [`MachineConfigBuilder`]) that
+    /// returns typed [`ConfigError`]s instead of panicking.
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder::default()
+    }
+}
+
+impl Fingerprint for DiskSetup {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        h.write_f64(self.seek_scale);
+        match self.scheduler {
+            Some(kind) => {
+                h.write_bool(true);
+                kind.fingerprint(h);
+            }
+            None => h.write_bool(false),
+        }
+    }
+}
+
+impl Fingerprint for Tuning {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        self.tick.fingerprint(h);
+        self.slice.fingerprint(h);
+        self.mem_policy_period.fingerprint(h);
+        h.write_f64(self.reserve_frac);
+        self.bw_half_life.fingerprint(h);
+        h.write_f64(self.bw_threshold);
+        self.sync_period.fingerprint(h);
+        h.write_f64(self.dirty_high_frac);
+        h.write_f64(self.dirty_low_frac);
+        h.write_u32(self.readahead_blocks);
+        h.write_u32(self.prefetch_windows);
+        h.write_f64(self.kernel_mem_frac);
+        self.lookup_cost.fingerprint(h);
+        h.write_bool(self.rw_inode_lock);
+        self.copy_cost.fingerprint(h);
+        self.zero_fill_cost.fingerprint(h);
+        self.fork_cost.fingerprint(h);
+        self.touch_interval.fingerprint(h);
+        h.write_bool(self.ipi_revocation);
+        h.write_u32(self.io_max_retries);
+        self.io_retry_base.fingerprint(h);
+        self.io_retry_cap.fingerprint(h);
+        self.io_timeout.fingerprint(h);
+    }
+}
+
+impl Fingerprint for MachineConfig {
+    fn fingerprint(&self, h: &mut Fnv64) {
+        h.write_usize(self.cpus);
+        h.write_u64(self.memory_mb);
+        h.write_usize(self.disks.len());
+        for d in &self.disks {
+            d.fingerprint(h);
+        }
+        self.scheme.fingerprint(h);
+        self.tuning.fingerprint(h);
+        match &self.fault_plan {
+            Some(plan) => {
+                h.write_bool(true);
+                plan.fingerprint(h);
+            }
+            None => h.write_bool(false),
+        }
+    }
+}
+
+/// A validation failure from [`MachineConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The machine needs at least one CPU.
+    NoCpus,
+    /// The machine needs a non-zero amount of memory.
+    NoMemory,
+    /// The machine needs at least one disk.
+    NoDisks,
+    /// A share vector was empty.
+    EmptyShares {
+        /// Which share vector ("cpu", "memory" or "disk").
+        resource: &'static str,
+    },
+    /// A share vector contained a zero weight (an SPU entitled to
+    /// nothing can never make progress).
+    ZeroShare {
+        /// Which share vector.
+        resource: &'static str,
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// A per-resource share vector's length differed from the SPU count
+    /// set by the base shares.
+    ShareCountMismatch {
+        /// Which share vector.
+        resource: &'static str,
+        /// SPU count implied by the base shares.
+        expected: usize,
+        /// Length of the offending vector.
+        got: usize,
+    },
+    /// The disk seek scale must be finite and positive.
+    BadSeekScale {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoCpus => write!(f, "machine needs at least one CPU"),
+            ConfigError::NoMemory => write!(f, "machine needs a non-zero amount of memory"),
+            ConfigError::NoDisks => write!(f, "machine needs at least one disk"),
+            ConfigError::EmptyShares { resource } => {
+                write!(f, "{resource} share vector is empty")
+            }
+            ConfigError::ZeroShare { resource, index } => {
+                write!(
+                    f,
+                    "{resource} share vector has a zero weight at index {index}"
+                )
+            }
+            ConfigError::ShareCountMismatch {
+                resource,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{resource} share vector has {got} weights for {expected} SPUs"
+            ),
+            ConfigError::BadSeekScale { value } => {
+                write!(
+                    f,
+                    "disk seek scale must be finite and positive, got {value}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`MachineConfig`] (and optionally the
+/// [`SpuSet`] sharing contract), returning typed [`ConfigError`]s where
+/// the panicking constructors would abort.
+///
+/// # Examples
+///
+/// ```
+/// use smp_kernel::{ConfigError, MachineConfig};
+/// use spu_core::Scheme;
+///
+/// let (cfg, spus) = MachineConfig::builder()
+///     .cpus(8)
+///     .memory_mb(44)
+///     .disk_count(8)
+///     .scheme(Scheme::PIso)
+///     .shares(&[1, 1, 2])
+///     .build_with_spus()
+///     .unwrap();
+/// assert_eq!(cfg.cpus, 8);
+/// assert_eq!(spus.user_count(), 3);
+///
+/// let err = MachineConfig::builder()
+///     .cpus(2)
+///     .memory_mb(32)
+///     .disk_count(1)
+///     .shares(&[1, 0])
+///     .build_with_spus()
+///     .unwrap_err();
+/// assert_eq!(err, ConfigError::ZeroShare { resource: "cpu", index: 1 });
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MachineConfigBuilder {
+    cpus: usize,
+    memory_mb: u64,
+    disk_count: usize,
+    scheme: Scheme,
+    tuning: Option<Tuning>,
+    fault_plan: Option<FaultPlan>,
+    seek_scale: Option<f64>,
+    disk_scheduler: Option<SchedulerKind>,
+    shares: Option<Vec<u32>>,
+    memory_shares: Option<Vec<u32>>,
+    disk_shares: Option<Vec<u32>>,
+}
+
+impl MachineConfigBuilder {
+    /// Sets the CPU count.
+    pub fn cpus(mut self, cpus: usize) -> Self {
+        self.cpus = cpus;
+        self
+    }
+
+    /// Sets main memory in megabytes.
+    pub fn memory_mb(mut self, mb: u64) -> Self {
+        self.memory_mb = mb;
+        self
+    }
+
+    /// Sets the number of (default) disks.
+    pub fn disk_count(mut self, disks: usize) -> Self {
+        self.disk_count = disks;
+        self
+    }
+
+    /// Sets the allocation scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Replaces the tuning knobs.
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = Some(tuning);
+        self
+    }
+
+    /// Installs a fault plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Applies a seek scale to every disk.
+    pub fn seek_scale(mut self, scale: f64) -> Self {
+        self.seek_scale = Some(scale);
+        self
+    }
+
+    /// Forces a disk scheduler on every disk.
+    pub fn disk_scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.disk_scheduler = Some(kind);
+        self
+    }
+
+    /// Sets the per-SPU entitlement share vector (one weight per user
+    /// SPU). Required for [`build_with_spus`](Self::build_with_spus).
+    pub fn shares(mut self, weights: &[u32]) -> Self {
+        self.shares = Some(weights.to_vec());
+        self
+    }
+
+    /// Overrides the memory share vector.
+    pub fn memory_shares(mut self, weights: &[u32]) -> Self {
+        self.memory_shares = Some(weights.to_vec());
+        self
+    }
+
+    /// Overrides the disk-bandwidth share vector.
+    pub fn disk_shares(mut self, weights: &[u32]) -> Self {
+        self.disk_shares = Some(weights.to_vec());
+        self
+    }
+
+    fn check_shares(
+        resource: &'static str,
+        weights: &[u32],
+        expected: Option<usize>,
+    ) -> Result<(), ConfigError> {
+        if weights.is_empty() {
+            return Err(ConfigError::EmptyShares { resource });
+        }
+        if let Some(expected) = expected {
+            if weights.len() != expected {
+                return Err(ConfigError::ShareCountMismatch {
+                    resource,
+                    expected,
+                    got: weights.len(),
+                });
+            }
+        }
+        if let Some(index) = weights.iter().position(|&w| w == 0) {
+            return Err(ConfigError::ZeroShare { resource, index });
+        }
+        Ok(())
+    }
+
+    /// Validates and builds the [`MachineConfig`].
+    pub fn build(self) -> Result<MachineConfig, ConfigError> {
+        self.build_inner().map(|(cfg, _)| cfg)
+    }
+
+    /// Validates and builds the machine *and* the SPU sharing contract
+    /// from the share vectors; [`shares`](Self::shares) must have been
+    /// set.
+    pub fn build_with_spus(self) -> Result<(MachineConfig, SpuSet), ConfigError> {
+        let (cfg, spus) = self.build_inner()?;
+        Ok((
+            cfg,
+            spus.ok_or(ConfigError::EmptyShares { resource: "cpu" })?,
+        ))
+    }
+
+    fn build_inner(self) -> Result<(MachineConfig, Option<SpuSet>), ConfigError> {
+        if self.cpus == 0 {
+            return Err(ConfigError::NoCpus);
+        }
+        if self.memory_mb == 0 {
+            return Err(ConfigError::NoMemory);
+        }
+        if self.disk_count == 0 {
+            return Err(ConfigError::NoDisks);
+        }
+        if let Some(scale) = self.seek_scale {
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(ConfigError::BadSeekScale { value: scale });
+            }
+        }
+        let spus = match &self.shares {
+            Some(shares) => {
+                Self::check_shares("cpu", shares, None)?;
+                let mut set = SpuSet::with_weights(shares);
+                if let Some(mem) = &self.memory_shares {
+                    Self::check_shares("memory", mem, Some(shares.len()))?;
+                    set = set.with_memory_weights(mem);
+                }
+                if let Some(disk) = &self.disk_shares {
+                    Self::check_shares("disk", disk, Some(shares.len()))?;
+                    set = set.with_disk_weights(disk);
+                }
+                Some(set)
+            }
+            None => {
+                if let Some(mem) = &self.memory_shares {
+                    Self::check_shares("memory", mem, None)?;
+                    return Err(ConfigError::EmptyShares { resource: "cpu" });
+                }
+                if let Some(disk) = &self.disk_shares {
+                    Self::check_shares("disk", disk, None)?;
+                    return Err(ConfigError::EmptyShares { resource: "cpu" });
+                }
+                None
+            }
+        };
+        let mut cfg = MachineConfig::new(self.cpus, self.memory_mb, self.disk_count);
+        cfg.scheme = self.scheme;
+        if let Some(tuning) = self.tuning {
+            cfg.tuning = tuning;
+        }
+        cfg.fault_plan = self.fault_plan;
+        if let Some(scale) = self.seek_scale {
+            cfg = cfg.with_seek_scale(scale);
+        }
+        if let Some(kind) = self.disk_scheduler {
+            cfg = cfg.with_disk_scheduler(kind);
+        }
+        Ok((cfg, spus))
+    }
 }
 
 #[cfg(test)]
@@ -289,5 +641,99 @@ mod tests {
     fn seek_scale_applies_to_all_disks() {
         let m = MachineConfig::new(2, 44, 3).with_seek_scale(0.5);
         assert!(m.disks.iter().all(|d| d.seek_scale == 0.5));
+    }
+
+    #[test]
+    fn builder_validates_machine_quantities() {
+        assert_eq!(
+            MachineConfig::builder().memory_mb(1).disk_count(1).build(),
+            Err(ConfigError::NoCpus)
+        );
+        assert_eq!(
+            MachineConfig::builder().cpus(1).disk_count(1).build(),
+            Err(ConfigError::NoMemory)
+        );
+        assert_eq!(
+            MachineConfig::builder().cpus(1).memory_mb(1).build(),
+            Err(ConfigError::NoDisks)
+        );
+        assert_eq!(
+            MachineConfig::builder()
+                .cpus(1)
+                .memory_mb(1)
+                .disk_count(1)
+                .seek_scale(0.0)
+                .build(),
+            Err(ConfigError::BadSeekScale { value: 0.0 })
+        );
+    }
+
+    #[test]
+    fn builder_validates_share_vectors() {
+        let base = || MachineConfig::builder().cpus(4).memory_mb(16).disk_count(2);
+        assert_eq!(
+            base().shares(&[]).build_with_spus().unwrap_err(),
+            ConfigError::EmptyShares { resource: "cpu" }
+        );
+        assert_eq!(
+            base().shares(&[2, 0, 1]).build_with_spus().unwrap_err(),
+            ConfigError::ZeroShare {
+                resource: "cpu",
+                index: 1
+            }
+        );
+        assert_eq!(
+            base()
+                .shares(&[1, 1])
+                .memory_shares(&[1, 2, 3])
+                .build_with_spus()
+                .unwrap_err(),
+            ConfigError::ShareCountMismatch {
+                resource: "memory",
+                expected: 2,
+                got: 3
+            }
+        );
+        let (cfg, spus) = base()
+            .scheme(Scheme::Quota)
+            .shares(&[1, 3])
+            .disk_shares(&[2, 2])
+            .build_with_spus()
+            .unwrap();
+        assert_eq!(cfg.scheme, Scheme::Quota);
+        assert_eq!(spus.user_count(), 2);
+        assert_eq!(spus.weight(spu_core::SpuId::user(1)), 3);
+    }
+
+    #[test]
+    fn builder_matches_panicking_constructor() {
+        let built = MachineConfig::builder()
+            .cpus(2)
+            .memory_mb(44)
+            .disk_count(1)
+            .scheme(Scheme::PIso)
+            .seek_scale(0.5)
+            .disk_scheduler(SchedulerKind::Hybrid)
+            .build()
+            .unwrap();
+        let classic = MachineConfig::new(2, 44, 1)
+            .with_scheme(Scheme::PIso)
+            .with_seek_scale(0.5)
+            .with_disk_scheduler(SchedulerKind::Hybrid);
+        assert_eq!(built, classic);
+        assert_eq!(built.fingerprint_digest(), classic.fingerprint_digest());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = MachineConfig::new(2, 44, 1);
+        let b = MachineConfig::new(2, 44, 1).with_scheme(Scheme::Smp);
+        let c = MachineConfig::new(2, 45, 1);
+        assert_ne!(a.fingerprint_digest(), b.fingerprint_digest());
+        assert_ne!(a.fingerprint_digest(), c.fingerprint_digest());
+        assert_eq!(
+            a.fingerprint_digest(),
+            MachineConfig::new(2, 44, 1).fingerprint_digest()
+        );
     }
 }

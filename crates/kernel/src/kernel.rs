@@ -9,7 +9,9 @@
 
 use std::collections::HashMap;
 
-use event_sim::{backoff_delay, EventQueue, FaultKind, LogHistogram, SimDuration, SimTime};
+use event_sim::{
+    backoff_delay, EventQueue, FaultKind, Fingerprint, Fnv64, LogHistogram, SimDuration, SimTime,
+};
 use hp_disk::{DiskDevice, DiskModel, DiskRequest, RequestKind};
 use spu_core::{CpuPartition, LedgerAuditor, SpuId, SpuSet};
 use std::sync::Arc;
@@ -183,6 +185,11 @@ pub struct Kernel {
     cpu_audit_violations: u64,
     /// Denial total at the last audit, for memory-pressure detection.
     last_denials: u64,
+    /// Stable content hash of everything that determines the run:
+    /// configuration, SPU set, files, spawned programs. Because the
+    /// simulation is a pure function of these inputs, the digest
+    /// identifies the run's outcome (see [`Kernel::fingerprint`]).
+    fp: Fnv64,
 }
 
 impl Kernel {
@@ -220,6 +227,9 @@ impl Kernel {
         let sched = Scheduler::new(cfg.scheme, cfg.cpus, &spus);
         let locks = LockTable::new(!cfg.tuning.rw_inode_lock);
         let disk_count = disks.len();
+        let mut fp = Fnv64::new();
+        cfg.fingerprint(&mut fp);
+        spus.fingerprint(&mut fp);
         Kernel {
             spus,
             now: SimTime::ZERO,
@@ -257,8 +267,19 @@ impl Kernel {
             fault_counts: FaultCounters::default(),
             cpu_audit_violations: 0,
             last_denials: 0,
+            fp,
             cfg,
         }
+    }
+
+    /// Stable 64-bit digest of the kernel's construction inputs — the
+    /// machine configuration, SPU set, and every `create_file` /
+    /// `spawn_at` call so far. Two kernels with equal fingerprints run
+    /// identically, so the digest can key a cache of run results. The
+    /// hash (FNV-1a) does not depend on pointer values, build, or
+    /// platform.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp.finish()
     }
 
     /// The configuration in force.
@@ -339,6 +360,10 @@ impl Kernel {
 
     /// Creates a file on `disk` (see [`FileSystem::create`]).
     pub fn create_file(&mut self, disk: usize, bytes: u64, gap_blocks: u64) -> FileId {
+        self.fp.write_u64(0xf11e);
+        self.fp.write_usize(disk);
+        self.fp.write_u64(bytes);
+        self.fp.write_u64(gap_blocks);
         self.fs.create(disk, bytes, gap_blocks)
     }
 
@@ -351,6 +376,17 @@ impl Kernel {
         job_label: Option<&str>,
         at: SimTime,
     ) -> Pid {
+        self.fp.write_u64(0x5fa0);
+        self.fp.write_usize(spu.index());
+        program.fingerprint(&mut self.fp);
+        match job_label {
+            Some(label) => {
+                self.fp.write_bool(true);
+                self.fp.write_str(label);
+            }
+            None => self.fp.write_bool(false),
+        }
+        at.fingerprint(&mut self.fp);
         let pid = self.procs.next_pid();
         let job = job_label.map(|label| {
             let id = JobId(self.jobs.len() as u32);
@@ -403,6 +439,16 @@ impl Kernel {
             }
         }
         self.collect_metrics(completed)
+    }
+
+    /// Consumes the kernel, runs to `cap`, and returns the metrics.
+    ///
+    /// The by-value finish path for one-shot drivers like the sweep
+    /// engine: build, configure, and hand off — the kernel's working
+    /// state is dropped as soon as the metrics are extracted, which
+    /// matters when many cells run concurrently.
+    pub fn into_metrics(mut self, cap: SimTime) -> RunMetrics {
+        self.run(cap)
     }
 
     fn handle(&mut self, ev: Event) {

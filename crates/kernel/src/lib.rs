@@ -56,7 +56,10 @@ pub mod trace;
 pub mod vm;
 
 pub use bufcache::{BufferCache, CacheEntry, CacheStats};
-pub use config::{DiskSetup, MachineConfig, Tuning, PAGE_SIZE, SECTORS_PER_PAGE};
+pub use config::{
+    ConfigError, DiskSetup, MachineConfig, MachineConfigBuilder, Tuning, PAGE_SIZE,
+    SECTORS_PER_PAGE,
+};
 pub use error::KernelError;
 pub use export::{chrome_trace_json, counters_jsonl, histogram_json, metrics_jsonl, series_jsonl};
 pub use fs::{FileId, FileMeta, FileSystem};

@@ -24,12 +24,14 @@
 //! ```
 
 pub mod fault;
+pub mod fingerprint;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use fault::{backoff_delay, FaultDomain, FaultEvent, FaultKind, FaultPlan};
+pub use fingerprint::{Fingerprint, Fnv64};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use stats::{Histogram, LogHistogram, OnlineStats, TimeWeighted};

@@ -9,31 +9,25 @@
 //! * §3.1 — tick-based vs IPI-based revocation of loaned CPUs.
 //!
 //! Run with: `cargo run --release --example ablations`
-//! (pass `--quick` for the reduced-scale variant)
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the 15 ablation cells in parallel)
 
-use perf_isolation::experiments::ablation;
+use perf_isolation::experiments::ablation::AblationScenario;
+use perf_isolation::experiments::sweep::{self, Render, SweepOptions};
 use perf_isolation::experiments::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
 
     println!("Running ablations ({scale:?} scale)...\n");
-
-    let lock = ablation::lock_granularity(scale);
-    println!("{}", lock.format());
-
-    let ipi = ablation::ipi_revocation(scale);
-    println!("{}", ipi.format());
-
-    let reserve = ablation::reserve_threshold_sweep(&[0.0, 0.02, 0.04, 0.08, 0.16], scale);
-    println!("{}", ablation::format_reserve_sweep(&reserve));
-
-    let bw = ablation::bw_threshold_sweep(&[0.0, 16.0, 64.0, 256.0, 1024.0, f64::INFINITY], scale);
-    println!("{}", ablation::format_bw_sweep(&bw));
+    let report = sweep::run_scenario(&AblationScenario::standard(scale), &opts).report;
+    println!("{}", report.render());
     println!(
         "§3.3: \"Smaller values imply better isolation, with a choice of zero\n\
          resulting in round-robin scheduling. Larger values imply smaller seek\n\

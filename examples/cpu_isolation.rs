@@ -4,21 +4,25 @@
 //! simulators in the other, on an eight-way machine.
 //!
 //! Run with: `cargo run --release --example cpu_isolation`
-//! (pass `--quick` for the reduced-scale variant)
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the three scheme cells in parallel)
 
-use perf_isolation::experiments::cpu_iso;
+use perf_isolation::experiments::cpu_iso::CpuIsoScenario;
+use perf_isolation::experiments::sweep::{self, SweepOptions};
 use perf_isolation::experiments::tables;
 use perf_isolation::experiments::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
     println!("{}", tables::figure4());
     println!("Running the CPU-isolation workload ({scale:?} scale)...\n");
-    let result = cpu_iso::run(scale);
+    let result = sweep::run_scenario(&CpuIsoScenario { scale }, &opts).report;
     println!("{}", result.format());
     println!(
         "Paper shape: Ocean — Quo best, PIso close behind, SMP worst\n\

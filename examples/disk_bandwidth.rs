@@ -6,26 +6,35 @@
 //! Iso (blind fairness), PIso (hybrid).
 //!
 //! Run with: `cargo run --release --example disk_bandwidth`
-//! (pass `--quick` for the reduced-scale variant)
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the six workload × scheduler cells in parallel)
 
-use perf_isolation::experiments::disk_bw;
+use perf_isolation::experiments::disk_bw::DiskBwScenario;
+use perf_isolation::experiments::sweep::{self, SweepOptions};
 use perf_isolation::experiments::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
     println!("Running the disk-bandwidth workloads ({scale:?} scale)...\n");
-    let t3 = disk_bw::table3(scale);
-    println!("Table 3: the pmake-copy workload\n{}", t3.format());
+    let report = sweep::run_scenario(&DiskBwScenario::both(scale), &opts).report;
+    println!(
+        "Table 3: the pmake-copy workload\n{}",
+        report.tables[0].format()
+    );
     println!(
         "Paper shape: PIso cuts the pmake's response ~39% and per-request\n\
          wait ~76% vs Pos; the copy pays ~23%; seek stays near Pos.\n"
     );
-    let t4 = disk_bw::table4(scale);
-    println!("Table 4: the big-and-small-copy workload\n{}", t4.format());
+    println!(
+        "Table 4: the big-and-small-copy workload\n{}",
+        report.tables[1].format()
+    );
     println!(
         "Paper shape: under Pos the big copy locks out the small one; both\n\
          fairness policies fix that, but blind Iso pays ~30% extra seek\n\

@@ -9,7 +9,8 @@
 //! background-scoped fault while SMP bleeds.
 //!
 //! Run with: `cargo run --release --example fault_isolation`
-//! (pass `--quick` for the reduced-scale variant)
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the 18 scheme × fault cells in parallel)
 //!
 //! An instrumented PIso run under a seeded *random* fault plan is
 //! exported to `results/`:
@@ -18,17 +19,21 @@
 //! * `fault_isolation_trace.json` — Chrome trace-event JSON with
 //!   `fault:*` instant events marking each injection.
 
-use perf_isolation::experiments::fault_isolation;
+use perf_isolation::experiments::fault_isolation::{self, FaultIsolationScenario};
+use perf_isolation::experiments::report::export;
+use perf_isolation::experiments::sweep::{self, SweepOptions};
 use perf_isolation::experiments::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
     println!("Running the fault matrix under SMP, Quo, and PIso ({scale:?} scale)...\n");
-    let result = fault_isolation::run(scale);
+    let result = sweep::run_scenario(&FaultIsolationScenario { scale }, &opts).report;
     println!("{}", result.format());
     println!(
         "\nExpectation: under PIso the foreground Δ stays within ~10% for every\n\
@@ -38,15 +43,13 @@ fn main() {
 
     println!("Instrumented PIso run under a seeded random fault plan...");
     let inst = fault_isolation::run_instrumented(42, scale);
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/fault_isolation_metrics.jsonl", &inst.metrics_jsonl)
-        .expect("write metrics export");
-    std::fs::write("results/fault_isolation_trace.json", &inst.chrome_trace)
-        .expect("write trace export");
-    println!(
-        "Wrote results/fault_isolation_metrics.jsonl ({} lines) and\n\
-         results/fault_isolation_trace.json ({} KiB) — open the latter in Perfetto.",
-        inst.metrics_jsonl.lines().count(),
-        inst.chrome_trace.len() / 1024
-    );
+    export(
+        "results",
+        &[
+            ("fault_isolation_metrics.jsonl", &inst.metrics_jsonl),
+            ("fault_isolation_trace.json", &inst.chrome_trace),
+        ],
+    )
+    .expect("write results/");
+    println!("Open the trace in Perfetto (https://ui.perfetto.dev).");
 }

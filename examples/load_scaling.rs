@@ -7,20 +7,24 @@
 //! and PIso and a rising line for SMP.
 //!
 //! Run with: `cargo run --release --example load_scaling`
-//! (pass `--quick` for the reduced-scale variant)
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the twelve level × scheme cells in parallel)
 
-use perf_isolation::experiments::scaling;
+use perf_isolation::experiments::scaling::{self, ScalingScenario};
+use perf_isolation::experiments::sweep::{self, SweepOptions};
 use perf_isolation::experiments::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
     println!("Sweeping background load on the Pmake8 machine ({scale:?} scale)...\n");
-    let points = scaling::run(&[1, 2, 3, 4], scale);
-    println!("{}", scaling::format(&points));
+    let report = sweep::run_scenario(&ScalingScenario::standard(scale), &opts).report;
+    println!("{}", scaling::format(&report.points));
     println!(
         "\"If the resource requirements of an SPU are less than its allocated\n\
          fraction of the machine, the SPU should see no degradation in\n\

@@ -4,26 +4,31 @@
 //! job fits an SPU's share of memory but two jobs thrash it.
 //!
 //! Run with: `cargo run --release --example memory_isolation`
-//! (pass `--quick` for the reduced-scale variant)
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the scheme × balance cells in parallel)
 //!
 //! Also exports `results/mem_iso_series.jsonl`: the sampled per-SPU
 //! `(entitled, allowed, used)` series of an instrumented PIso run —
 //! the memory rows show `allowed` rising above `entitled` while idle
 //! pages are on loan and dropping back on revocation.
 
-use perf_isolation::experiments::mem_iso;
+use perf_isolation::experiments::mem_iso::{self, MemIsoScenario};
+use perf_isolation::experiments::report::export;
+use perf_isolation::experiments::sweep::{self, SweepOptions};
 use perf_isolation::experiments::tables;
 use perf_isolation::experiments::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
     println!("{}", tables::figure6());
     println!("Running the memory-isolation workload ({scale:?} scale)...\n");
-    let result = mem_iso::run(scale);
+    let result = sweep::run_scenario(&MemIsoScenario { scale }, &opts).report;
     println!("{}", result.format());
     println!(
         "SPU2 major faults (unbalanced): SMP={} Quo={} PIso={}",
@@ -36,10 +41,5 @@ fn main() {
     );
 
     let (_, series) = mem_iso::run_instrumented(scale);
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/mem_iso_series.jsonl", &series).expect("write series export");
-    println!(
-        "Wrote results/mem_iso_series.jsonl ({} samples).",
-        series.lines().count()
-    );
+    export("results", &[("mem_iso_series.jsonl", &series)]).expect("write results/");
 }

@@ -8,19 +8,23 @@
 //! criterion.
 //!
 //! Run with: `cargo run --release --example network_bandwidth`
-//! (pass `--quick` for the reduced-scale variant)
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the two scheduler cells in parallel)
 
-use perf_isolation::experiments::net_bw;
+use perf_isolation::experiments::net_bw::NetBwScenario;
+use perf_isolation::experiments::sweep::{self, SweepOptions};
 use perf_isolation::experiments::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
     println!("Running the network-bandwidth scenario ({scale:?} scale)...\n");
-    let t = net_bw::run(scale);
+    let t = sweep::run_scenario(&NetBwScenario { scale }, &opts).report;
     println!("{}", t.format());
     println!(
         "Expected shape: under FCFS the interactive stream's packets wait\n\

@@ -6,7 +6,8 @@
 //! sharing (the heavy SPUs do better under PIso than Quo).
 //!
 //! Run with: `cargo run --release --example pmake8_figures`
-//! (pass `--quick` for the reduced-scale variant)
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the six scheme × balance cells in parallel)
 //!
 //! Besides the text tables, an instrumented PIso run of the unbalanced
 //! configuration is exported to `results/`:
@@ -16,19 +17,23 @@
 //! * `pmake8_trace.json` — Chrome trace-event JSON, loadable in Perfetto
 //!   (<https://ui.perfetto.dev>) or `chrome://tracing`.
 
-use perf_isolation::experiments::pmake8;
+use perf_isolation::experiments::pmake8::{self, Pmake8Scenario};
+use perf_isolation::experiments::report::export;
+use perf_isolation::experiments::sweep::{self, SweepOptions};
 use perf_isolation::experiments::tables;
 use perf_isolation::experiments::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
     println!("{}", tables::figure1());
     println!("Running the Pmake8 workload under SMP, Quo, and PIso ({scale:?} scale)...\n");
-    let result = pmake8::run(scale);
+    let result = sweep::run_scenario(&Pmake8Scenario { scale }, &opts).report;
     println!("{}", result.format());
     println!(
         "Paper shape: Fig 2 — SMP unbalanced ≈ 156, Quo/PIso unbalanced ≈ 100;\n\
@@ -37,14 +42,13 @@ fn main() {
 
     println!("Instrumented PIso run (trace + 100 ms sampler)...");
     let inst = pmake8::run_instrumented(scale);
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/pmake8_metrics.jsonl", &inst.metrics_jsonl)
-        .expect("write metrics export");
-    std::fs::write("results/pmake8_trace.json", &inst.chrome_trace).expect("write trace export");
-    println!(
-        "Wrote results/pmake8_metrics.jsonl ({} lines) and\n\
-         results/pmake8_trace.json ({} KiB) — open the latter in Perfetto.",
-        inst.metrics_jsonl.lines().count(),
-        inst.chrome_trace.len() / 1024
-    );
+    export(
+        "results",
+        &[
+            ("pmake8_metrics.jsonl", &inst.metrics_jsonl),
+            ("pmake8_trace.json", &inst.chrome_trace),
+        ],
+    )
+    .expect("write results/");
+    println!("Open the trace in Perfetto (https://ui.perfetto.dev).");
 }

@@ -1,5 +1,6 @@
 //! Server consolidation: the scenario the paper's introduction
-//! motivates ("a compute server often has to serve many masters").
+//! motivates ("a compute server often has to serve many masters"),
+//! expressed as a custom [`Scenario`] over the three schemes.
 //!
 //! A latency-sensitive OLTP database and a batch analytics job (full
 //! table scans plus heavy compute) are consolidated onto one machine
@@ -9,53 +10,115 @@
 //! keeps transactions fast while the analytics job soaks up every idle
 //! cycle.
 //!
-//! Run with: `cargo run --release --example server_consolidation`
+//! Run with: `cargo run --release --example server_consolidation [-- --threads 3]`
 
 use perf_isolation::core::{Scheme, SpuId, SpuSet};
+use perf_isolation::experiments::sweep::{self, Scenario, SweepOptions, Value};
 use perf_isolation::kernel::{Kernel, MachineConfig, Program};
 use perf_isolation::sim::{SimDuration, SimTime};
 use perf_isolation::workloads::OltpConfig;
 
+/// One cell per scheme; each measures OLTP response, OLTP disk wait,
+/// and analytics response on the consolidated machine.
+struct Consolidation;
+
+/// Builds the two-tenant machine for one scheme.
+fn boot(scheme: Scheme) -> Kernel {
+    let cfg = MachineConfig::new(4, 64, 1)
+        .with_scheme(scheme)
+        .with_seek_scale(0.5);
+    let spus = SpuSet::equal_users(2).named(0, "oltp").named(1, "batch");
+    let mut k = Kernel::new(cfg, spus);
+
+    // Tenant 1: the database.
+    let oltp = OltpConfig::default().build(&mut k, 0);
+    k.spawn_at(SpuId::user(0), oltp, Some("oltp"), SimTime::ZERO);
+
+    // Tenant 2: analytics — repeatedly scan a 50 MB extract (too big
+    // to stay cached in its share of the 64 MB machine) with
+    // aggregation compute between scans. The scan keeps a sequential
+    // request stream on the shared disk for the whole run.
+    let extract = k.create_file(0, 50 * 1024 * 1024, 0);
+    let mut ab = Program::builder("analytics").alloc(500);
+    for _ in 0..3 {
+        ab = ab
+            .read(extract, 0, 50 * 1024 * 1024)
+            .compute(SimDuration::from_millis(2000), 500);
+    }
+    k.spawn_at(SpuId::user(1), ab.build(), Some("analytics"), SimTime::ZERO);
+    k
+}
+
+impl Scenario for Consolidation {
+    type Cell = Scheme;
+    type Outcome = Value;
+    type Report = Vec<(Scheme, f64, f64, f64)>;
+
+    fn name(&self) -> &'static str {
+        "server-consolidation"
+    }
+
+    fn cells(&self) -> Vec<Scheme> {
+        Scheme::ALL.to_vec()
+    }
+
+    fn cell_key(&self, scheme: &Scheme) -> String {
+        scheme.label().to_lowercase()
+    }
+
+    fn cell_fingerprint(&self, &scheme: &Scheme) -> u64 {
+        sweep::kernel_cell_fingerprint(
+            &boot(scheme),
+            SimTime::from_secs(600),
+            "server-consolidation-v1",
+        )
+    }
+
+    fn run_cell(&self, &scheme: &Scheme) -> Value {
+        let mut k = boot(scheme);
+        let m = k.run(SimTime::from_secs(600));
+        assert!(m.completed, "{scheme}: hit the cap");
+        Value::list(vec![
+            Value::F(m.mean_response_secs("oltp").expect("oltp ran")),
+            Value::F(m.disks[0].stream(SpuId::user(0)).mean_wait_ms()),
+            Value::F(m.mean_response_secs("analytics").expect("analytics ran")),
+        ])
+    }
+
+    fn reduce(&self, outcomes: Vec<Value>) -> Self::Report {
+        self.cells()
+            .into_iter()
+            .zip(outcomes)
+            .map(|(scheme, v)| {
+                let l = v.as_list().expect("oltp/wait/analytics triple");
+                (
+                    scheme,
+                    l[0].as_f64().unwrap(),
+                    l[1].as_f64().unwrap(),
+                    l[2].as_f64().unwrap(),
+                )
+            })
+            .collect()
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
+
     println!("Server consolidation: OLTP database vs batch analytics");
     println!("4 CPUs, 64 MB, one shared disk (half seek latency)\n");
     println!(
         "{:<6} {:>16} {:>18} {:>18}",
         "scheme", "oltp resp (s)", "oltp disk wait(ms)", "analytics resp (s)"
     );
-    for scheme in Scheme::ALL {
-        let cfg = MachineConfig::new(4, 64, 1)
-            .with_scheme(scheme)
-            .with_seek_scale(0.5);
-        let spus = SpuSet::equal_users(2).named(0, "oltp").named(1, "batch");
-        let mut k = Kernel::new(cfg, spus);
-
-        // Tenant 1: the database.
-        let oltp = OltpConfig::default().build(&mut k, 0);
-        k.spawn_at(SpuId::user(0), oltp, Some("oltp"), SimTime::ZERO);
-
-        // Tenant 2: analytics — repeatedly scan a 50 MB extract (too big
-        // to stay cached in its share of the 64 MB machine) with
-        // aggregation compute between scans. The scan keeps a sequential
-        // request stream on the shared disk for the whole run.
-        let extract = k.create_file(0, 50 * 1024 * 1024, 0);
-        let mut ab = Program::builder("analytics").alloc(500);
-        for _ in 0..3 {
-            ab = ab
-                .read(extract, 0, 50 * 1024 * 1024)
-                .compute(SimDuration::from_millis(2000), 500);
-        }
-        let analytics = ab.build();
-        k.spawn_at(SpuId::user(1), analytics, Some("analytics"), SimTime::ZERO);
-
-        let m = k.run(SimTime::from_secs(600));
-        assert!(m.completed, "{scheme}: hit the cap");
+    for (scheme, oltp, wait_ms, analytics) in sweep::run_scenario(&Consolidation, &opts).report {
         println!(
             "{:<6} {:>16.3} {:>18.2} {:>18.3}",
             scheme.label(),
-            m.mean_response_secs("oltp").expect("oltp ran"),
-            m.disks[0].stream(SpuId::user(0)).mean_wait_ms(),
-            m.mean_response_secs("analytics").expect("analytics ran"),
+            oltp,
+            wait_ms,
+            analytics,
         );
     }
     println!(

@@ -33,3 +33,14 @@ pub use net_bw as net;
 pub use smp_kernel as kernel;
 pub use spu_core as core;
 pub use workloads;
+
+// The scenario/sweep API and the named per-cell result structs, at the
+// facade root so downstream code can name them without reaching into
+// experiment modules.
+pub use experiments::mem_iso::MemIsoRun;
+pub use experiments::pmake8::Pmake8Run;
+pub use experiments::sweep::{
+    all_scenarios, run_pool, run_scenario, AnyScenario, Outcome, Render, Scenario, SweepOptions,
+    SweepRun,
+};
+pub use experiments::Scale;

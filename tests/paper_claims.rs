@@ -164,8 +164,8 @@ fn piso_offers_smp_latency_when_machine_idle() {
 #[test]
 fn full_run_metrics_are_deterministic() {
     let run = || {
-        let (l, h, _) = pmake8::run_one(Scheme::PIso, true, Scale::Quick);
-        format!("{l:.9}/{h:.9}")
+        let r = pmake8::run_one(Scheme::PIso, true, Scale::Quick);
+        format!("{:.9}/{:.9}", r.light_mean, r.heavy_mean)
     };
     assert_eq!(run(), run());
 }

@@ -1,0 +1,108 @@
+//! Workspace-level guarantees of the sweep engine (the contract DESIGN.md
+//! documents): for every scenario in the registry, parallel execution and
+//! the result cache are invisible in the output — byte for byte.
+
+use std::path::PathBuf;
+
+use perf_isolation::experiments::net_bw::NetBwScenario;
+use perf_isolation::experiments::sweep::{all_scenarios, run_pool, run_scenario, SweepOptions};
+use perf_isolation::Scale;
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sweep-int-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_scenario_is_byte_identical_across_thread_counts() {
+    for scenario in all_scenarios(Scale::Quick) {
+        let serial = scenario.run_boxed(&SweepOptions::new());
+        assert_eq!(
+            serial.stats.len(),
+            scenario.cell_count(),
+            "[{}] one stat per cell",
+            serial.name
+        );
+        for threads in [2usize, 4, 8] {
+            let parallel = scenario.run_boxed(&SweepOptions::new().threads(threads));
+            assert_eq!(
+                serial.text, parallel.text,
+                "[{}] rendered report diverged at {threads} threads",
+                serial.name
+            );
+            assert_eq!(
+                serial.outcomes_jsonl, parallel.outcomes_jsonl,
+                "[{}] outcome export diverged at {threads} threads",
+                serial.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_execution_is_byte_identical_to_per_scenario_runs() {
+    let scenarios = all_scenarios(Scale::Quick);
+    let separate: Vec<_> = scenarios
+        .iter()
+        .map(|s| s.run_boxed(&SweepOptions::new()))
+        .collect();
+    for threads in [1usize, 4] {
+        let pooled = run_pool(&scenarios, &SweepOptions::new().threads(threads));
+        assert_eq!(pooled.len(), separate.len());
+        for (a, b) in separate.iter().zip(&pooled) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.text, b.text,
+                "[{}] pooled report diverged at {threads} threads",
+                a.name
+            );
+            assert_eq!(
+                a.outcomes_jsonl, b.outcomes_jsonl,
+                "[{}] pooled outcome export diverged at {threads} threads",
+                a.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_round_trip_is_invisible_and_scale_invalidates() {
+    let dir = temp_dir("cache");
+    let quick = NetBwScenario {
+        scale: Scale::Quick,
+    };
+    let opts = SweepOptions::new().cache_dir(&dir);
+
+    let first = run_scenario(&quick, &opts);
+    assert!(
+        first.stats.iter().all(|s| !s.cached),
+        "first run must miss an empty cache"
+    );
+    let second = run_scenario(&quick, &opts);
+    assert!(
+        second.stats.iter().all(|s| s.cached),
+        "second run must hit on every cell"
+    );
+    assert_eq!(first.outcomes_jsonl, second.outcomes_jsonl);
+    assert_eq!(
+        first.report.format(),
+        second.report.format(),
+        "cached outcomes must render identically"
+    );
+
+    // Same cell keys, different fingerprints: the full-scale variant
+    // must ignore the quick-scale entries.
+    let full = NetBwScenario { scale: Scale::Full };
+    let third = run_scenario(&full, &opts);
+    assert!(
+        third.stats.iter().all(|s| !s.cached),
+        "changed scale must invalidate every cell"
+    );
+    let fourth = run_scenario(&full, &opts);
+    assert!(fourth.stats.iter().all(|s| s.cached));
+    assert_eq!(third.outcomes_jsonl, fourth.outcomes_jsonl);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
