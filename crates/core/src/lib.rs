@@ -25,6 +25,11 @@
 //!   enforcement (memory pages).
 //! * [`scheme`] — the three allocation schemes compared throughout the
 //!   paper: `SMP`, `Quota`, `PIso` (Table 2).
+//! * [`manager`] — the unified resource-management layer: the
+//!   [`SharingPolicy`] contract (`entitle`/`lend_idle`/`revoke`/
+//!   `charge`/`audit`) the three schemes implement once for every
+//!   resource, and the [`ResourceManager`] accounting surface the
+//!   observability layer iterates generically.
 //! * [`cpu_policy`] — the hybrid space/time CPU partition and the
 //!   proportional-share rotor for fractionally-shared CPUs (§3.1).
 //! * [`mem_policy`] — idle-page redistribution with the Reserve Threshold
@@ -49,6 +54,7 @@ pub mod audit;
 pub mod cpu_policy;
 pub mod disk_policy;
 pub mod ledger;
+pub mod manager;
 pub mod mem_policy;
 pub mod resource;
 pub mod scheme;
@@ -58,6 +64,10 @@ pub use audit::{AuditViolation, LedgerAuditor};
 pub use cpu_policy::{CpuAssignment, CpuPartition, SharedCpuRotor};
 pub use disk_policy::BandwidthTracker;
 pub use ledger::{ChargeError, ResourceLedger};
+pub use manager::{
+    LedgerManager, LevelSnapshot, PIsoSharing, PolicyInput, QuotaSharing, ResourceManager,
+    SharingPolicy, SmpSharing,
+};
 pub use mem_policy::{MemPolicyInput, MemSharingPolicy};
 pub use resource::{ResourceKind, ResourceLevels};
 pub use scheme::Scheme;

@@ -1,0 +1,468 @@
+//! The unified resource-management layer: one ledger, one sharing
+//! contract, every resource.
+//!
+//! The paper's central claim (§2.3, §3) is that a *single* mechanism —
+//! an entitled/allowed/used ledger driven by a lend-idle/revoke sharing
+//! policy — governs CPU time, physical memory, disk bandwidth and (per
+//! the §5 sketch) network bandwidth alike. This module captures that
+//! mechanism once:
+//!
+//! * [`SharingPolicy`] — the scheme-parameterised contract (`entitle`,
+//!   `lend_idle`, `revoke`, `charge`, `audit`) over a
+//!   [`ResourceLedger`]. The three schemes of Table 2 are three
+//!   implementations of this one trait: [`SmpSharing`] (no enforcement),
+//!   [`QuotaSharing`] (enforcement, no lending) and [`PIsoSharing`]
+//!   (enforcement plus idle-resource lending — the paper's
+//!   contribution).
+//! * [`ResourceManager`] — the per-resource accounting surface the
+//!   observability layer iterates generically: a [`ResourceKind`] label
+//!   plus per-SPU [`LevelSnapshot`]s and an audit hook. The kernel's
+//!   CPU/memory/disk subsystems, the disk device and the NIC all
+//!   implement it, so samplers, auditors and exporters never enumerate
+//!   resources by hand.
+//! * [`LedgerManager`] — a self-contained manager (ledger + scheme) for
+//!   any countable resource, used directly by tests and available to
+//!   new subsystems.
+
+use event_sim::SimTime;
+
+use crate::audit::LedgerAuditor;
+use crate::ledger::{ChargeError, ResourceLedger};
+use crate::resource::{ResourceKind, ResourceLevels};
+use crate::scheme::Scheme;
+use crate::spu::{SpuId, SpuSet};
+
+/// Per-user-SPU input to one sharing-policy evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyInput {
+    /// Which SPU this row describes.
+    pub spu: SpuId,
+    /// Its current levels (entitled/allowed/used units).
+    pub levels: ResourceLevels,
+    /// Whether the SPU showed pressure since the last evaluation
+    /// (faults or refused charges while at its allowed level).
+    pub pressured: bool,
+}
+
+/// One `(entitled, allowed, used)` observation of an SPU's levels, in
+/// the resource's natural (possibly fractional) unit.
+///
+/// Ledgers count integral units; samplers also observe inherently
+/// fractional quantities (CPU entitlements, decayed bandwidth counts),
+/// so the common observation record is `f64`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LevelSnapshot {
+    /// The share the SPU owns under the machine's sharing contract.
+    pub entitled: f64,
+    /// What it may use right now (raised above `entitled` by lending).
+    pub allowed: f64,
+    /// What it is actually consuming.
+    pub used: f64,
+}
+
+/// The scheme-parameterised sharing contract over a [`ResourceLedger`].
+///
+/// Default method bodies implement the common mechanics (entitlements
+/// align `allowed`, revocation lowers `allowed` back to `entitled`,
+/// charges consult the ledger under the scheme's enforcement flag);
+/// each scheme supplies its identity and its
+/// [`lend_idle`](SharingPolicy::lend_idle) decision.
+pub trait SharingPolicy {
+    /// The scheme this policy implements.
+    fn scheme(&self) -> Scheme;
+
+    /// Whether charges beyond `allowed` are refused (isolation).
+    fn enforces(&self) -> bool {
+        self.scheme().enforces_isolation()
+    }
+
+    /// Sets an SPU's entitled share, aligning its allowed level to it
+    /// (the no-sharing baseline every evaluation starts from).
+    fn entitle(&self, ledger: &mut ResourceLedger, spu: SpuId, units: u64) {
+        ledger.set_entitled(spu, units);
+    }
+
+    /// Computes new allowed levels for every user SPU, lending idle
+    /// units (net of `reserve`) to pressured SPUs when the scheme
+    /// shares. `total` is the user-divisible capacity. Returns
+    /// `(spu, allowed)` pairs in input order; every allowed level is at
+    /// least the SPU's entitlement.
+    fn lend_idle(&self, total: u64, reserve: u64, inputs: &[PolicyInput]) -> Vec<(SpuId, u64)>;
+
+    /// Lowers an SPU's allowed level back to its entitlement
+    /// (revocation of outstanding loans).
+    fn revoke(&self, ledger: &mut ResourceLedger, spu: SpuId) {
+        let entitled = ledger.levels(spu).entitled;
+        ledger.set_allowed(spu, entitled);
+    }
+
+    /// Whether a charge of `n` units against `spu` would succeed under
+    /// this scheme.
+    fn can_charge(&self, ledger: &ResourceLedger, spu: SpuId, n: u64) -> Result<(), ChargeError> {
+        ledger.can_charge(spu, n, self.enforces())
+    }
+
+    /// Charges `n` units to `spu` under this scheme's enforcement flag.
+    ///
+    /// # Errors
+    ///
+    /// Fails per [`ResourceLedger::can_charge`]; on failure nothing is
+    /// charged.
+    fn charge(&self, ledger: &mut ResourceLedger, spu: SpuId, n: u64) -> Result<(), ChargeError> {
+        ledger.charge(spu, n, self.enforces())
+    }
+
+    /// Runs the invariant auditor over the ledger under this scheme's
+    /// enforcement flag; returns the number of new violations.
+    fn audit(
+        &self,
+        auditor: &mut LedgerAuditor,
+        ledger: &ResourceLedger,
+        spus: &SpuSet,
+        pressure: bool,
+        now: SimTime,
+    ) -> usize {
+        auditor.check(ledger, spus, self.enforces(), pressure, now)
+    }
+}
+
+/// Every SPU's allowed level pinned to its entitlement (input order).
+fn entitlements(inputs: &[PolicyInput]) -> Vec<(SpuId, u64)> {
+    inputs.iter().map(|i| (i.spu, i.levels.entitled)).collect()
+}
+
+/// The `SMP` scheme: no isolation, unconstrained sharing (stock IRIX).
+///
+/// Charges are only refused on machine-wide exhaustion; allowed levels
+/// are maintained but never consulted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SmpSharing;
+
+impl SharingPolicy for SmpSharing {
+    fn scheme(&self) -> Scheme {
+        Scheme::Smp
+    }
+
+    fn lend_idle(&self, _total: u64, _reserve: u64, inputs: &[PolicyInput]) -> Vec<(SpuId, u64)> {
+        // Sharing under SMP is implicit in the absence of enforcement;
+        // the bookkeeping allowed level stays at the entitlement.
+        entitlements(inputs)
+    }
+}
+
+/// The `Quo` scheme: fixed quotas, no lending.
+///
+/// Allowed levels always equal entitlements; charges beyond them are
+/// refused.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QuotaSharing;
+
+impl SharingPolicy for QuotaSharing {
+    fn scheme(&self) -> Scheme {
+        Scheme::Quota
+    }
+
+    fn lend_idle(&self, _total: u64, _reserve: u64, inputs: &[PolicyInput]) -> Vec<(SpuId, u64)> {
+        entitlements(inputs)
+    }
+}
+
+/// The `PIso` scheme: quota-grade isolation plus careful lending of
+/// idle resources — the paper's contribution (§3.2 arithmetic).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PIsoSharing;
+
+impl SharingPolicy for PIsoSharing {
+    fn scheme(&self) -> Scheme {
+        Scheme::PIso
+    }
+
+    /// The §3.2 redistribution: idle units across SPUs (plus rounding
+    /// slack not covered by entitlements), minus the reserve, divided
+    /// equally among the pressured SPUs.
+    fn lend_idle(&self, total: u64, reserve: u64, inputs: &[PolicyInput]) -> Vec<(SpuId, u64)> {
+        // Idle units: entitled-but-unused across SPUs, plus any user
+        // capacity not covered by entitlements (rounding slack).
+        let entitled_total: u64 = inputs.iter().map(|i| i.levels.entitled).sum();
+        let slack = total.saturating_sub(entitled_total);
+        let idle: u64 = inputs.iter().map(|i| i.levels.idle()).sum::<u64>() + slack;
+        let excess = idle.saturating_sub(reserve);
+
+        let pressured: Vec<usize> = inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.pressured)
+            .map(|(idx, _)| idx)
+            .collect();
+
+        let mut out = entitlements(inputs);
+
+        if excess > 0 && !pressured.is_empty() {
+            // Divide the excess equally among pressured SPUs (the paper's
+            // implementation divides resources equally; weighted shares
+            // would slot in here).
+            let share = excess / pressured.len() as u64;
+            let mut rem = excess % pressured.len() as u64;
+            for &idx in &pressured {
+                let mut grant = share;
+                if rem > 0 {
+                    grant += 1;
+                    rem -= 1;
+                }
+                out[idx].1 += grant;
+            }
+        }
+        out
+    }
+}
+
+/// One managed resource as the observability layer sees it: a
+/// [`ResourceKind`] label, per-SPU level snapshots, and an audit hook.
+///
+/// `Ctx` is whatever simulation-side state the manager reads levels
+/// from — the kernel for its CPU/memory/disk subsystems, `()` for
+/// self-contained managers like [`LedgerManager`] or a NIC. Samplers
+/// and auditors hold a `Vec<Box<dyn ResourceManager<Ctx = …>>>` and
+/// iterate it; they never match on the kind.
+pub trait ResourceManager: std::fmt::Debug {
+    /// Simulation-side state the manager reads its levels from.
+    type Ctx: ?Sized;
+
+    /// Which resource this manager accounts for.
+    fn kind(&self) -> ResourceKind;
+
+    /// One `(entitled, allowed, used)` snapshot per user SPU at `now`,
+    /// indexed by [`SpuId::user_index`], in the resource's natural unit.
+    fn sample(&mut self, ctx: &mut Self::Ctx, users: usize, now: SimTime) -> Vec<LevelSnapshot>;
+
+    /// Invariant audit hook, called once per kernel audit pass.
+    /// Managers without their own conservation invariants keep the
+    /// default no-op.
+    fn audit(&mut self, ctx: &mut Self::Ctx, pressure: bool, now: SimTime) {
+        let _ = (ctx, pressure, now);
+    }
+}
+
+/// A self-contained [`ResourceManager`] for any countable resource: a
+/// [`ResourceLedger`] plus the [`SharingPolicy`] of a [`Scheme`].
+///
+/// # Examples
+///
+/// ```
+/// use spu_core::manager::LedgerManager;
+/// use spu_core::{ResourceKind, Scheme, SpuId, SpuSet};
+///
+/// let spus = SpuSet::equal_users(2);
+/// let mut m = LedgerManager::new(ResourceKind::NetBandwidth, Scheme::PIso, 100, &spus);
+/// m.entitle(SpuId::user(0), 50);
+/// m.entitle(SpuId::user(1), 50);
+/// assert!(m.charge(SpuId::user(0), 50).is_ok());
+/// assert!(m.charge(SpuId::user(0), 1).is_err()); // at limit, nothing lent yet
+/// m.set_pressured(SpuId::user(0), true);
+/// m.run_policy(0); // user 1 is idle: its units are lent over
+/// assert!(m.charge(SpuId::user(0), 1).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct LedgerManager {
+    kind: ResourceKind,
+    scheme: Scheme,
+    ledger: ResourceLedger,
+    users: usize,
+    pressured: Vec<bool>,
+}
+
+impl LedgerManager {
+    /// Creates a manager for `capacity` units divided among the user
+    /// SPUs of `spus` (dense [`SpuId::index`] addressing, built-ins
+    /// included in the ledger).
+    pub fn new(kind: ResourceKind, scheme: Scheme, capacity: u64, spus: &SpuSet) -> Self {
+        LedgerManager {
+            kind,
+            scheme,
+            ledger: ResourceLedger::new(capacity, spus.total_count()),
+            users: spus.user_count(),
+            pressured: vec![false; spus.user_count()],
+        }
+    }
+
+    /// The scheme's sharing policy.
+    pub fn policy(&self) -> &'static dyn SharingPolicy {
+        self.scheme.sharing()
+    }
+
+    /// Read access to the underlying ledger.
+    pub fn ledger(&self) -> &ResourceLedger {
+        &self.ledger
+    }
+
+    /// Sets an SPU's entitled share (aligning its allowed level).
+    pub fn entitle(&mut self, spu: SpuId, units: u64) {
+        self.scheme.sharing().entitle(&mut self.ledger, spu, units);
+    }
+
+    /// Charges `n` units to `spu` under the scheme; a refusal while at
+    /// the allowed level marks the SPU pressured for the next policy
+    /// evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Fails per [`ResourceLedger::can_charge`].
+    pub fn charge(&mut self, spu: SpuId, n: u64) -> Result<(), ChargeError> {
+        let r = self.scheme.sharing().charge(&mut self.ledger, spu, n);
+        if r.is_err() {
+            if let Some(u) = spu.user_index() {
+                self.pressured[u] = true;
+            }
+        }
+        r
+    }
+
+    /// Releases `n` units previously charged to `spu`.
+    pub fn release(&mut self, spu: SpuId, n: u64) {
+        self.ledger.release(spu, n);
+    }
+
+    /// Flags a user SPU as pressured for the next policy evaluation.
+    pub fn set_pressured(&mut self, spu: SpuId, pressured: bool) {
+        if let Some(u) = spu.user_index() {
+            self.pressured[u] = pressured;
+        }
+    }
+
+    /// One periodic policy evaluation: recomputes every user SPU's
+    /// allowed level via the scheme's [`SharingPolicy::lend_idle`]
+    /// (lending and revocation in one stroke), then clears the pressure
+    /// flags. `reserve` units are withheld from lending.
+    pub fn run_policy(&mut self, reserve: u64) {
+        let user_total = self
+            .ledger
+            .capacity()
+            .saturating_sub(self.ledger.used(SpuId::KERNEL))
+            .saturating_sub(self.ledger.used(SpuId::SHARED));
+        let inputs: Vec<PolicyInput> = (0..self.users)
+            .map(|u| {
+                let spu = SpuId::user(u as u32);
+                PolicyInput {
+                    spu,
+                    levels: *self.ledger.levels(spu),
+                    pressured: self.pressured[u],
+                }
+            })
+            .collect();
+        for (spu, allowed) in self
+            .scheme
+            .sharing()
+            .lend_idle(user_total, reserve, &inputs)
+        {
+            self.ledger.set_allowed(spu, allowed);
+        }
+        self.pressured.fill(false);
+    }
+
+    /// Revokes any loan held by `spu` (allowed back to entitled).
+    pub fn revoke(&mut self, spu: SpuId) {
+        self.scheme.sharing().revoke(&mut self.ledger, spu);
+    }
+}
+
+impl ResourceManager for LedgerManager {
+    type Ctx = ();
+
+    fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    fn sample(&mut self, _ctx: &mut (), users: usize, _now: SimTime) -> Vec<LevelSnapshot> {
+        (0..users)
+            .map(|u| {
+                let l = self.ledger.levels(SpuId::user(u as u32));
+                LevelSnapshot {
+                    entitled: l.entitled as f64,
+                    allowed: l.allowed as f64,
+                    used: l.used as f64,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager(scheme: Scheme) -> LedgerManager {
+        let spus = SpuSet::equal_users(2);
+        let mut m = LedgerManager::new(ResourceKind::Memory, scheme, 100, &spus);
+        m.entitle(SpuId::user(0), 50);
+        m.entitle(SpuId::user(1), 50);
+        m
+    }
+
+    #[test]
+    fn scheme_policies_report_their_scheme() {
+        for scheme in Scheme::ALL {
+            assert_eq!(scheme.sharing().scheme(), scheme);
+            assert_eq!(scheme.sharing().enforces(), scheme.enforces_isolation());
+        }
+    }
+
+    #[test]
+    fn smp_never_refuses_until_exhaustion() {
+        let mut m = manager(Scheme::Smp);
+        assert!(m.charge(SpuId::user(0), 100).is_ok());
+        assert_eq!(m.charge(SpuId::user(1), 1), Err(ChargeError::Exhausted));
+    }
+
+    #[test]
+    fn quota_refuses_at_entitlement_and_never_lends() {
+        let mut m = manager(Scheme::Quota);
+        assert!(m.charge(SpuId::user(0), 50).is_ok());
+        assert!(m.charge(SpuId::user(0), 1).is_err());
+        m.run_policy(0); // user 1 fully idle — still nothing lent
+        assert!(m.charge(SpuId::user(0), 1).is_err());
+        assert_eq!(m.ledger().levels(SpuId::user(0)).allowed, 50);
+    }
+
+    #[test]
+    fn piso_lends_idle_units_and_revokes() {
+        let mut m = manager(Scheme::PIso);
+        assert!(m.charge(SpuId::user(0), 50).is_ok());
+        assert!(m.charge(SpuId::user(0), 10).is_err()); // pressured now
+        m.run_policy(0);
+        let l = m.ledger().levels(SpuId::user(0));
+        assert_eq!(l.entitled, 50);
+        assert_eq!(l.allowed, 100); // all of user 1's idle units lent over
+        assert!(m.charge(SpuId::user(0), 10).is_ok());
+        m.revoke(SpuId::user(0));
+        assert_eq!(m.ledger().levels(SpuId::user(0)).allowed, 50);
+        assert!(m.charge(SpuId::user(0), 1).is_err());
+    }
+
+    #[test]
+    fn piso_reserve_withheld() {
+        let mut m = manager(Scheme::PIso);
+        m.charge(SpuId::user(0), 50).unwrap();
+        m.set_pressured(SpuId::user(0), true);
+        m.run_policy(40);
+        // 50 idle minus 40 reserve: only 10 lent.
+        assert_eq!(m.ledger().levels(SpuId::user(0)).allowed, 60);
+    }
+
+    #[test]
+    fn sample_reflects_ledger_levels() {
+        let mut m = manager(Scheme::PIso);
+        m.charge(SpuId::user(0), 30).unwrap();
+        let snaps = m.sample(&mut (), 2, SimTime::ZERO);
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].entitled, 50.0);
+        assert_eq!(snaps[0].used, 30.0);
+        assert_eq!(snaps[1].used, 0.0);
+        assert_eq!(m.kind(), ResourceKind::Memory);
+    }
+
+    #[test]
+    fn kernel_charges_bypass_enforcement() {
+        let mut m = manager(Scheme::Quota);
+        assert!(m.charge(SpuId::KERNEL, 70).is_ok());
+    }
+}

@@ -10,20 +10,15 @@
 //! less a small number of pages that are kept free (the Reserve
 //! Threshold) ... configurable, and we chose 8% of the total memory."
 
-use crate::resource::ResourceLevels;
+use crate::manager::{PIsoSharing, SharingPolicy};
 use crate::spu::SpuId;
 
 /// Per-user-SPU input to one policy evaluation.
-#[derive(Clone, Copy, Debug)]
-pub struct MemPolicyInput {
-    /// Which SPU this row describes.
-    pub spu: SpuId,
-    /// Its current levels (entitled/allowed/used pages).
-    pub levels: ResourceLevels,
-    /// Whether the SPU showed memory pressure since the last evaluation
-    /// (faults or refused allocations while at its allowed level).
-    pub pressured: bool,
-}
+///
+/// This is the memory-flavoured name for the kind-agnostic
+/// [`PolicyInput`](crate::manager::PolicyInput) every
+/// [`SharingPolicy`] evaluation consumes.
+pub type MemPolicyInput = crate::manager::PolicyInput;
 
 /// The periodic idle-page redistribution policy.
 ///
@@ -100,40 +95,9 @@ impl MemSharingPolicy {
     ///   already in use (lending only hands out genuinely idle pages,
     ///   minus the reserve).
     pub fn rebalance(&self, user_pages: u64, inputs: &[MemPolicyInput]) -> Vec<(SpuId, u64)> {
-        let reserve = self.reserve_pages(user_pages);
-        // Idle pages: entitled-but-unused across SPUs, plus any user pages
-        // not covered by entitlements (rounding slack).
-        let entitled_total: u64 = inputs.iter().map(|i| i.levels.entitled).sum();
-        let slack = user_pages.saturating_sub(entitled_total);
-        let idle: u64 = inputs.iter().map(|i| i.levels.idle()).sum::<u64>() + slack;
-        let excess = idle.saturating_sub(reserve);
-
-        let pressured: Vec<usize> = inputs
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| i.pressured)
-            .map(|(idx, _)| idx)
-            .collect();
-
-        let mut out: Vec<(SpuId, u64)> =
-            inputs.iter().map(|i| (i.spu, i.levels.entitled)).collect();
-
-        if excess > 0 && !pressured.is_empty() {
-            // Divide the excess equally among pressured SPUs (the paper's
-            // implementation divides resources equally; weighted shares
-            // would slot in here).
-            let share = excess / pressured.len() as u64;
-            let mut rem = excess % pressured.len() as u64;
-            for &idx in &pressured {
-                let mut grant = share;
-                if rem > 0 {
-                    grant += 1;
-                    rem -= 1;
-                }
-                out[idx].1 += grant;
-            }
-        }
-        out
+        // The arithmetic itself is the generic PIso lend-idle decision;
+        // this policy's contribution is the Reserve Threshold.
+        PIsoSharing.lend_idle(user_pages, self.reserve_pages(user_pages), inputs)
     }
 }
 
@@ -147,6 +111,7 @@ impl Default for MemSharingPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resource::ResourceLevels;
 
     fn input(n: u32, entitled: u64, used: u64, pressured: bool) -> MemPolicyInput {
         MemPolicyInput {

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-/// The computing resources the paper manages per SPU (§2.1).
+/// The computing resources the paper manages per SPU (§2.1), plus the
+/// network-bandwidth extension it sketches in §5.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// CPU time, allocated by the hybrid space/time partition (§3.1).
@@ -11,15 +12,32 @@ pub enum ResourceKind {
     Memory,
     /// Disk bandwidth in sectors per second (§3.3).
     DiskBandwidth,
+    /// Network transmit bandwidth (§5: "similar to that of disk
+    /// bandwidth, without the complication of head position").
+    NetBandwidth,
 }
 
 impl ResourceKind {
-    /// All managed resource kinds.
-    pub const ALL: [ResourceKind; 3] = [
+    /// All managed resource kinds, in canonical order.
+    pub const ALL: [ResourceKind; 4] = [
         ResourceKind::CpuTime,
         ResourceKind::Memory,
         ResourceKind::DiskBandwidth,
+        ResourceKind::NetBandwidth,
     ];
+
+    /// The short machine-readable tag used in exports and counter names
+    /// (`"cpu"`, `"memory"`, `"disk"`, `"net"`). This is the single
+    /// canonical name table — exporters and samplers carry a
+    /// `ResourceKind` and call this rather than enumerating resources.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ResourceKind::CpuTime => "cpu",
+            ResourceKind::Memory => "memory",
+            ResourceKind::DiskBandwidth => "disk",
+            ResourceKind::NetBandwidth => "net",
+        }
+    }
 }
 
 impl fmt::Display for ResourceKind {
@@ -28,6 +46,7 @@ impl fmt::Display for ResourceKind {
             ResourceKind::CpuTime => "cpu-time",
             ResourceKind::Memory => "memory",
             ResourceKind::DiskBandwidth => "disk-bandwidth",
+            ResourceKind::NetBandwidth => "net-bandwidth",
         })
     }
 }
@@ -133,6 +152,19 @@ mod tests {
         assert_eq!(ResourceKind::CpuTime.to_string(), "cpu-time");
         assert_eq!(ResourceKind::Memory.to_string(), "memory");
         assert_eq!(ResourceKind::DiskBandwidth.to_string(), "disk-bandwidth");
-        assert_eq!(ResourceKind::ALL.len(), 3);
+        assert_eq!(ResourceKind::NetBandwidth.to_string(), "net-bandwidth");
+        assert_eq!(ResourceKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn kind_export_tags() {
+        assert_eq!(ResourceKind::CpuTime.as_str(), "cpu");
+        assert_eq!(ResourceKind::Memory.as_str(), "memory");
+        assert_eq!(ResourceKind::DiskBandwidth.as_str(), "disk");
+        assert_eq!(ResourceKind::NetBandwidth.as_str(), "net");
+        // Tags are unique — they key export lines.
+        let mut tags: Vec<&str> = ResourceKind::ALL.iter().map(|k| k.as_str()).collect();
+        tags.dedup();
+        assert_eq!(tags.len(), ResourceKind::ALL.len());
     }
 }

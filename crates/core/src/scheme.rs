@@ -53,6 +53,17 @@ impl Scheme {
         }
     }
 
+    /// The scheme's [`SharingPolicy`](crate::manager::SharingPolicy)
+    /// implementation — the unified entitle/lend/revoke/charge contract
+    /// every resource subsystem drives.
+    pub fn sharing(self) -> &'static dyn crate::manager::SharingPolicy {
+        match self {
+            Scheme::Smp => &crate::manager::SmpSharing,
+            Scheme::Quota => &crate::manager::QuotaSharing,
+            Scheme::PIso => &crate::manager::PIsoSharing,
+        }
+    }
+
     /// One-line description (Table 2).
     pub const fn description(self) -> &'static str {
         match self {

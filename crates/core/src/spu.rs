@@ -215,27 +215,37 @@ impl SpuSet {
         }
     }
 
+    /// The entitlement weight of an SPU for one resource kind
+    /// (built-ins have weight 0). CPU time and network bandwidth use
+    /// the base weights; memory and disk bandwidth use their per-kind
+    /// overrides when set, falling back to the base weights.
+    pub fn weight_of(&self, kind: crate::resource::ResourceKind, id: SpuId) -> u32 {
+        use crate::resource::ResourceKind;
+        let overrides = match kind {
+            ResourceKind::Memory => &self.mem_weights,
+            ResourceKind::DiskBandwidth => &self.disk_weights,
+            ResourceKind::CpuTime | ResourceKind::NetBandwidth => &None,
+        };
+        match (overrides, id.user_index()) {
+            (Some(w), Some(i)) => w[i],
+            (_, Some(i)) => self.weights.get(i).copied().unwrap_or(0),
+            (_, None) => 0,
+        }
+    }
+
     /// The entitlement weight of a user SPU (built-ins have weight 0).
     pub fn weight(&self, id: SpuId) -> u32 {
-        id.user_index()
-            .and_then(|i| self.weights.get(i).copied())
-            .unwrap_or(0)
+        self.weight_of(crate::resource::ResourceKind::CpuTime, id)
     }
 
     /// The memory entitlement weight (falls back to the base weight).
     pub fn mem_weight(&self, id: SpuId) -> u32 {
-        match (&self.mem_weights, id.user_index()) {
-            (Some(w), Some(i)) => w[i],
-            _ => self.weight(id),
-        }
+        self.weight_of(crate::resource::ResourceKind::Memory, id)
     }
 
     /// The disk-bandwidth share weight (falls back to the base weight).
     pub fn disk_weight(&self, id: SpuId) -> u32 {
-        match (&self.disk_weights, id.user_index()) {
-            (Some(w), Some(i)) => w[i],
-            _ => self.weight(id),
-        }
+        self.weight_of(crate::resource::ResourceKind::DiskBandwidth, id)
     }
 
     /// Sum of user entitlement weights.
@@ -423,6 +433,31 @@ mod tests {
         assert_eq!(s.mem_weight(SpuId::user(0)), 3);
         assert_eq!(s.disk_weight(SpuId::user(1)), 5);
         assert_eq!(s.mem_weight(SpuId::KERNEL), 0);
+    }
+
+    #[test]
+    fn weight_of_keys_every_resource_kind() {
+        use crate::resource::ResourceKind;
+        let s = SpuSet::with_weights(&[1, 2])
+            .with_memory_weights(&[3, 1])
+            .with_disk_weights(&[1, 5]);
+        let u1 = SpuId::user(1);
+        assert_eq!(s.weight_of(ResourceKind::CpuTime, u1), 2);
+        assert_eq!(s.weight_of(ResourceKind::Memory, u1), 1);
+        assert_eq!(s.weight_of(ResourceKind::DiskBandwidth, u1), 5);
+        // Net bandwidth has no override array: base weights apply.
+        assert_eq!(s.weight_of(ResourceKind::NetBandwidth, u1), 2);
+        for kind in ResourceKind::ALL {
+            assert_eq!(s.weight_of(kind, SpuId::KERNEL), 0);
+            assert_eq!(s.weight_of(kind, SpuId::SHARED), 0);
+        }
+        // The named accessors are thin wrappers over weight_of.
+        assert_eq!(s.weight(u1), s.weight_of(ResourceKind::CpuTime, u1));
+        assert_eq!(s.mem_weight(u1), s.weight_of(ResourceKind::Memory, u1));
+        assert_eq!(
+            s.disk_weight(u1),
+            s.weight_of(ResourceKind::DiskBandwidth, u1)
+        );
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Property tests for the unified resource-management layer
+//! ([`spu_core::manager`]): arbitrary charge/release/policy interleavings
+//! against [`LedgerManager`] under every scheme and every
+//! [`ResourceKind`], checking the §2.3 ledger invariants.
+
+use event_sim::SimTime;
+use proptest::prelude::*;
+use spu_core::manager::LedgerManager;
+use spu_core::{ResourceKind, ResourceManager, Scheme, SpuId, SpuSet};
+
+const USERS: usize = 4;
+
+/// Builds a manager for 4 user SPUs with entitlements splitting
+/// `capacity`'s user portion, and replays `ops` against it.
+/// Op encoding: `(kind, spu, n)` with kind 0 = charge, 1 = release,
+/// 2 = run_policy, 3 = revoke.
+///
+/// Models a well-behaved kernel client: when a policy evaluation or a
+/// revocation strands usage above the (lowered) allowed level, the
+/// overdraft is released immediately — the paper's reclaim-on-revoke,
+/// without which `used <= allowed` only holds up to the audit grace
+/// period.
+fn replay(
+    resource: ResourceKind,
+    scheme: Scheme,
+    capacity: u64,
+    reserve: u64,
+    ops: &[(u8, u32, u64)],
+    mut check: impl FnMut(&LedgerManager),
+) {
+    let spus = SpuSet::equal_users(USERS);
+    let mut m = LedgerManager::new(resource, scheme, capacity, &spus);
+    let split = spus.split_integer(capacity);
+    for (i, id) in spus.user_ids().enumerate() {
+        m.entitle(id, split[i]);
+    }
+    let mut held = [0u64; USERS];
+    let reclaim = |m: &mut LedgerManager, held: &mut [u64; USERS]| {
+        if !scheme.enforces_isolation() {
+            return;
+        }
+        for (u, h) in held.iter_mut().enumerate() {
+            let spu = SpuId::user(u as u32);
+            let l = *m.ledger().levels(spu);
+            let overdraft = l.used.saturating_sub(l.allowed);
+            if overdraft > 0 {
+                m.release(spu, overdraft);
+                *h -= overdraft;
+            }
+        }
+    };
+    for &(kind, spu_n, n) in ops {
+        let u = (spu_n as usize) % USERS;
+        let spu = SpuId::user(u as u32);
+        match kind % 4 {
+            0 => {
+                if m.charge(spu, n).is_ok() {
+                    held[u] += n;
+                }
+            }
+            1 => {
+                let take = n.min(held[u]);
+                if take > 0 {
+                    m.release(spu, take);
+                    held[u] -= take;
+                }
+            }
+            2 => {
+                m.run_policy(reserve);
+                reclaim(&mut m, &mut held);
+            }
+            _ => {
+                m.revoke(spu);
+                reclaim(&mut m, &mut held);
+            }
+        }
+        check(&m);
+    }
+}
+
+proptest! {
+    /// Under every enforcing scheme, `used <= allowed` holds for every
+    /// user SPU after every operation; under every scheme the machine
+    /// never overcommits.
+    #[test]
+    fn used_never_exceeds_allowed(
+        capacity in 100u64..10_000,
+        reserve in 0u64..50,
+        ops in prop::collection::vec((0u8..4, 0u32..4, 1u64..200), 0..150),
+    ) {
+        for scheme in Scheme::ALL {
+            replay(ResourceKind::Memory, scheme, capacity, reserve, &ops, |m| {
+                assert!(m.ledger().total_used() <= capacity, "{scheme:?} overcommitted");
+                if scheme.enforces_isolation() {
+                    for u in 0..USERS {
+                        let l = m.ledger().levels(SpuId::user(u as u32));
+                        assert!(
+                            l.used <= l.allowed,
+                            "{scheme:?} spu{u}: used {} > allowed {}",
+                            l.used,
+                            l.allowed
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    /// Quota never lends: every user SPU's allowed level equals its
+    /// entitlement after every operation, policy evaluations included.
+    #[test]
+    fn quota_allowed_equals_entitled(
+        capacity in 100u64..10_000,
+        reserve in 0u64..50,
+        ops in prop::collection::vec((0u8..4, 0u32..4, 1u64..200), 0..150),
+    ) {
+        replay(ResourceKind::DiskBandwidth, Scheme::Quota, capacity, reserve, &ops, |m| {
+            for u in 0..USERS {
+                let l = m.ledger().levels(SpuId::user(u as u32));
+                assert_eq!(l.allowed, l.entitled, "Quo lent to spu{u}");
+            }
+        });
+    }
+
+    /// Lending and revocation move only `allowed`: the sum of
+    /// entitlements is conserved across arbitrarily many
+    /// lend_idle/revoke rounds, and no allowed level ever drops below
+    /// its entitlement.
+    #[test]
+    fn entitlement_sum_conserved_across_rounds(
+        capacity in 100u64..10_000,
+        reserve in 0u64..50,
+        ops in prop::collection::vec((0u8..4, 0u32..4, 1u64..200), 0..150),
+    ) {
+        for scheme in Scheme::ALL {
+            let mut expected: Option<u64> = None;
+            replay(ResourceKind::CpuTime, scheme, capacity, reserve, &ops, |m| {
+                let sum: u64 = (0..USERS)
+                    .map(|u| m.ledger().levels(SpuId::user(u as u32)).entitled)
+                    .sum();
+                let want = *expected.get_or_insert(sum);
+                assert_eq!(sum, want, "{scheme:?} entitlement sum drifted");
+                for u in 0..USERS {
+                    let l = m.ledger().levels(SpuId::user(u as u32));
+                    assert!(l.allowed >= l.entitled, "{scheme:?} spu{u} below entitlement");
+                }
+            });
+        }
+    }
+
+    /// Every resource kind flows through the one trait identically: the
+    /// same op sequence under the same scheme yields the same level
+    /// snapshots whatever the kind label, and `sample` agrees with the
+    /// ledger.
+    #[test]
+    fn all_four_kinds_share_one_mechanism(
+        capacity in 100u64..10_000,
+        reserve in 0u64..50,
+        ops in prop::collection::vec((0u8..4, 0u32..4, 1u64..200), 0..100),
+    ) {
+        for scheme in Scheme::ALL {
+            let mut baseline: Option<Vec<spu_core::LevelSnapshot>> = None;
+            for kind in ResourceKind::ALL {
+                let mut last = None;
+                replay(kind, scheme, capacity, reserve, &ops, |m| {
+                    last = Some(m.clone());
+                });
+                let mut m = match last {
+                    Some(m) => m,
+                    None => continue, // empty op sequence
+                };
+                assert_eq!(m.kind(), kind);
+                let snaps = m.sample(&mut (), USERS, SimTime::ZERO);
+                for (u, s) in snaps.iter().enumerate() {
+                    let l = m.ledger().levels(SpuId::user(u as u32));
+                    assert_eq!(s.entitled, l.entitled as f64);
+                    assert_eq!(s.allowed, l.allowed as f64);
+                    assert_eq!(s.used, l.used as f64);
+                }
+                match &baseline {
+                    None => baseline = Some(snaps),
+                    Some(b) => assert_eq!(
+                        &snaps, b,
+                        "{scheme:?}/{kind:?} diverged from the shared mechanism"
+                    ),
+                }
+            }
+        }
+    }
+}

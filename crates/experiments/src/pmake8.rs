@@ -19,11 +19,6 @@ use workloads::PmakeConfig;
 use crate::report::{bar_label, norm, render_table, Percentiles};
 use crate::sweep::{self, Render, Scenario, SweepOptions, Value};
 
-/// Deprecated re-export: [`Scale`](crate::Scale) now lives at the crate
-/// root (it is shared by every harness, not specific to Pmake8).
-#[deprecated(since = "0.2.0", note = "use `experiments::Scale` instead")]
-pub type Scale = crate::Scale;
-
 /// Results of the Pmake8 experiment across all three schemes.
 #[derive(Clone, Debug)]
 pub struct Pmake8Result {

@@ -1,0 +1,462 @@
+//! CPU scheduling and the micro-op interpreter: wake/dispatch/preempt,
+//! the §3.1 loan-revocation latency accounting, slice handling, and
+//! process lifecycle (fork, exit).
+
+use std::sync::Arc;
+
+use hp_disk::{DiskRequest, RequestKind};
+
+use crate::error::KernelError;
+use crate::event::Event;
+use crate::io::IoPurpose;
+use crate::kernel::Kernel;
+use crate::process::{BlockReason, MicroOp, Pid, ProcState};
+use crate::program::Program;
+use crate::trace::TraceEvent;
+
+/// Scheduler event tallies published as `sched.*` counters.
+#[derive(Debug, Default)]
+pub(crate) struct SchedCounters {
+    pub(crate) dispatches: u64,
+    pub(crate) preemptions: u64,
+    pub(crate) loans: u64,
+    pub(crate) ipis: u64,
+}
+
+impl Kernel {
+    /// Marks a process runnable and dispatches it on an idle CPU if the
+    /// scheme permits.
+    pub(crate) fn make_ready(&mut self, pid: Pid) {
+        let p = self.procs.get_mut(pid);
+        p.state = ProcState::Ready;
+        let spu = p.spu;
+        self.trace.push(TraceEvent::Wake {
+            at: self.now,
+            pid,
+            spu,
+        });
+        // Wake→dispatch latency starts (or restarts — latest wake wins)
+        // here; the matching dispatch closes it.
+        self.wake_pending.insert(pid, self.now);
+        self.sched.enqueue(&mut self.procs, pid);
+        if let Some(cpu) = self.sched.find_idle_for(spu) {
+            self.dispatch(cpu);
+        } else {
+            // No CPU free: any loaned-out CPU this wake-up makes
+            // revocable starts the revocation-latency clock now.
+            for cpu in 0..self.sched.cpu_count() {
+                if self.sched.needs_revocation(cpu) && self.revoke_requested[cpu].is_none() {
+                    self.revoke_requested[cpu] = Some(self.now);
+                }
+            }
+            if self.cfg.tuning.ipi_revocation && !self.ipi_pending {
+                // If one of this SPU's home CPUs is out on loan, interrupt
+                // it now rather than waiting for the tick. The IPI is
+                // delivered as a same-timestamp event so revocation never
+                // re-enters the interpreter of the CPU that woke us.
+                let needs = (0..self.sched.cpu_count()).any(|c| self.sched.needs_revocation(c));
+                if needs {
+                    self.ipi_pending = true;
+                    self.events.schedule(self.now, Event::Ipi);
+                }
+            }
+        }
+    }
+
+    /// Fills an idle CPU with the scheduler's choice and starts
+    /// interpreting. No-op when the CPU is already occupied (a wake-up
+    /// triggered by the previous occupant's exit may have refilled it).
+    pub(crate) fn dispatch(&mut self, cpu: usize) {
+        if !self.sched.cpu(cpu).is_idle() {
+            return;
+        }
+        let Some((pid, loaned)) = self.sched.pick(&self.procs, cpu) else {
+            let c = self.sched.cpu_mut(cpu);
+            if c.idle_since.is_none() {
+                c.idle_since = Some(self.now);
+            }
+            return;
+        };
+        let slice = self.cfg.tuning.slice;
+        let c = self.sched.cpu_mut(cpu);
+        if let Some(since) = c.idle_since.take() {
+            c.idle_total += self.now.saturating_since(since);
+        }
+        c.running = Some(pid);
+        c.loaned = loaned;
+        c.run_start = self.now;
+        c.slice_end = self.now + slice;
+        c.gen += 1;
+        let spu = self.procs.get(pid).spu;
+        self.trace.push(TraceEvent::Dispatch {
+            at: self.now,
+            cpu,
+            pid,
+            spu,
+            loaned,
+        });
+        self.sched_counts.dispatches += 1;
+        if loaned {
+            self.sched_counts.loans += 1;
+        }
+        if let Some(woke) = self.wake_pending.remove(&pid) {
+            self.latency
+                .wake_to_dispatch
+                .add_duration(self.now.saturating_since(woke));
+        }
+        self.procs.get_mut(pid).state = ProcState::Running(cpu);
+        self.interpret(cpu);
+    }
+
+    /// Records a recovered kernel error (bounded sample + counter).
+    pub(crate) fn report_error(&mut self, e: KernelError) {
+        self.error_count += 1;
+        if self.errors.len() < 64 {
+            self.errors.push(e);
+        }
+    }
+
+    /// Accounts the running process's consumed CPU and removes it from
+    /// the CPU. The caller decides its next state.
+    pub(crate) fn deschedule(&mut self, cpu: usize) -> Result<Pid, KernelError> {
+        let c = self.sched.cpu_mut(cpu);
+        let Some(pid) = c.running.take() else {
+            return Err(KernelError::DescheduleIdleCpu { cpu });
+        };
+        let was_loaned = c.loaned;
+        let consumed = self.now.saturating_since(c.run_start);
+        c.busy_total += consumed;
+        c.gen += 1;
+        c.loaned = false;
+        c.idle_since = Some(self.now);
+        // §3.1 revocation latency: a home wake-up marked this loaned CPU
+        // revocable; the borrower leaving it (preempt at the tick/IPI, or
+        // a voluntary kernel entry) completes the revocation.
+        if let Some(requested) = self.revoke_requested[cpu].take() {
+            if was_loaned {
+                self.latency
+                    .revocation
+                    .add_duration(self.now.saturating_since(requested));
+            }
+        }
+        let p = self.procs.get_mut(pid);
+        p.cpu_time += consumed;
+        p.p_cpu += consumed.as_millis_f64();
+        self.spu_cpu[p.spu.index()] += consumed;
+        Ok(pid)
+    }
+
+    /// Preempts the running process mid-burst (tick revocation or slice
+    /// expiry), reducing its in-progress `Cpu` micro-op.
+    pub(crate) fn preempt(&mut self, cpu: usize) {
+        let c = self.sched.cpu(cpu);
+        let consumed = self.now.saturating_since(c.run_start);
+        let pid = match self.deschedule(cpu) {
+            Ok(pid) => pid,
+            Err(e) => {
+                self.report_error(e);
+                return;
+            }
+        };
+        self.trace.push(TraceEvent::Preempt {
+            at: self.now,
+            cpu,
+            pid,
+        });
+        self.sched_counts.preemptions += 1;
+        let p = self.procs.get_mut(pid);
+        // A preempted process is necessarily inside a Cpu burst: every
+        // other micro-op resolves synchronously during interpret.
+        if matches!(p.micro_front(), Some(MicroOp::Cpu(_))) {
+            p.consume_cpu(consumed);
+        } else {
+            debug_assert!(consumed.is_zero(), "non-Cpu micro-op consumed time");
+        }
+        p.state = ProcState::Ready;
+        self.sched.enqueue(&mut self.procs, pid);
+    }
+
+    /// Blocks the running process on `reason` and frees its CPU.
+    pub(crate) fn block_running(&mut self, cpu: usize, reason: BlockReason) {
+        let pid = match self.deschedule(cpu) {
+            Ok(pid) => pid,
+            Err(e) => {
+                self.report_error(e);
+                return;
+            }
+        };
+        self.trace.push(TraceEvent::Block {
+            at: self.now,
+            pid,
+            reason,
+        });
+        self.procs.get_mut(pid).state = ProcState::Blocked(reason);
+    }
+
+    pub(crate) fn on_tick(&mut self) {
+        self.sched.decay_priorities(&mut self.procs);
+        // Loan revocation (§3.1): "the revocation of the CPU happens
+        // either at the next clock tick interrupt (every 10 ms), or when
+        // the process voluntarily enters the kernel."
+        for cpu in 0..self.sched.cpu_count() {
+            if self.sched.needs_revocation(cpu) {
+                self.preempt(cpu);
+                self.dispatch(cpu);
+            }
+        }
+        // Fill any CPUs that went idle while no wake event fired (e.g.
+        // after a revocation shuffle).
+        for cpu in 0..self.sched.cpu_count() {
+            if self.sched.cpu(cpu).is_idle() {
+                self.dispatch(cpu);
+            }
+        }
+        if self.live_procs > 0 {
+            self.events
+                .schedule(self.now + self.cfg.tuning.tick, Event::Tick);
+        }
+    }
+
+    pub(crate) fn on_op_done(&mut self, cpu: usize, gen: u64) {
+        if self.sched.cpu(cpu).gen != gen {
+            return; // stale: the process was preempted or blocked
+        }
+        let c = self.sched.cpu(cpu);
+        let Some(pid) = c.running else {
+            self.report_error(KernelError::OpDoneIdleCpu { cpu });
+            return;
+        };
+        let consumed = self.now.saturating_since(c.run_start);
+        let slice_end = c.slice_end;
+        {
+            let c = self.sched.cpu_mut(cpu);
+            c.busy_total += consumed;
+            c.run_start = self.now;
+        }
+        let p = self.procs.get_mut(pid);
+        p.cpu_time += consumed;
+        p.p_cpu += consumed.as_millis_f64();
+        self.spu_cpu[p.spu.index()] += consumed;
+        p.consume_cpu(consumed);
+        if self.now >= slice_end {
+            // Slice expired: round-robin back through the run queue.
+            let c = self.sched.cpu_mut(cpu);
+            c.running = None;
+            c.gen += 1;
+            let was_loaned = c.loaned;
+            c.loaned = false;
+            c.idle_since = Some(self.now);
+            if let Some(requested) = self.revoke_requested[cpu].take() {
+                if was_loaned {
+                    self.latency
+                        .revocation
+                        .add_duration(self.now.saturating_since(requested));
+                }
+            }
+            let p = self.procs.get_mut(pid);
+            p.state = ProcState::Ready;
+            self.sched.enqueue(&mut self.procs, pid);
+            self.dispatch(cpu);
+        } else {
+            self.interpret(cpu);
+        }
+    }
+
+    /// Runs the current process's micro-ops until it consumes CPU time
+    /// (an `OpDone` event is scheduled), blocks, or exits.
+    pub(crate) fn interpret(&mut self, cpu: usize) {
+        loop {
+            let pid = match self.sched.cpu(cpu).running {
+                Some(p) => p,
+                None => return,
+            };
+            let tuning = self.cfg.tuning.clone();
+            let micro = match self.procs.get_mut(pid).current_micro(&tuning) {
+                Some(m) => m.clone(),
+                None => {
+                    if let Err(e) = self.deschedule(cpu) {
+                        self.report_error(e);
+                    }
+                    self.exit_process(pid, false);
+                    self.dispatch(cpu);
+                    return;
+                }
+            };
+            match micro {
+                MicroOp::Cpu(d) => {
+                    let slice_end = self.sched.cpu(cpu).slice_end;
+                    if self.now >= slice_end {
+                        // Slice exhausted by instantaneous ops.
+                        if let Some(p) = self.preempt_for_requeue(cpu) {
+                            self.sched.enqueue(&mut self.procs, p);
+                        }
+                        self.dispatch(cpu);
+                        return;
+                    }
+                    let runtime = d.min(slice_end.saturating_since(self.now));
+                    let gen = self.sched.cpu(cpu).gen;
+                    self.events
+                        .schedule(self.now + runtime, Event::OpDone { cpu, gen });
+                    return;
+                }
+                MicroOp::Touch { pages, cursor } => {
+                    if !self.do_touch(cpu, pid, pages, cursor) {
+                        return; // blocked
+                    }
+                }
+                MicroOp::Alloc(pages) => {
+                    self.procs.get_mut(pid).grow_region(pages);
+                    self.procs.get_mut(pid).pop_micro();
+                }
+                MicroOp::AwaitIo => {
+                    if self.procs.get(pid).pending_io == 0 {
+                        self.procs.get_mut(pid).pop_micro();
+                    } else {
+                        self.block_running(cpu, BlockReason::Io);
+                        self.dispatch(cpu);
+                        return;
+                    }
+                }
+                MicroOp::LockAcquire { lock, excl } => {
+                    if self.locks.acquire(lock, pid, excl) {
+                        self.procs.get_mut(pid).pop_micro();
+                    } else {
+                        self.block_running(cpu, BlockReason::Lock(lock));
+                        self.dispatch(cpu);
+                        return;
+                    }
+                }
+                MicroOp::LockRelease { lock } => {
+                    self.procs.get_mut(pid).pop_micro();
+                    let woken = self.locks.release(lock, pid);
+                    for w in woken {
+                        // The lock was already granted to the waiter; its
+                        // LockAcquire micro-op is complete.
+                        let wp = self.procs.get_mut(w);
+                        debug_assert!(matches!(
+                            wp.micro_front(),
+                            Some(MicroOp::LockAcquire { .. })
+                        ));
+                        wp.pop_micro();
+                        self.make_ready(w);
+                    }
+                }
+                MicroOp::BlockRead { file, block } => {
+                    if !self.do_block_read(cpu, pid, file, block) {
+                        return;
+                    }
+                }
+                MicroOp::BlockWrite { file, block } => {
+                    if !self.do_block_write(cpu, pid, file, block) {
+                        return;
+                    }
+                }
+                MicroOp::MetaWrite { file } => {
+                    let meta = self.fs.meta(file).clone();
+                    let spu = self.procs.get(pid).spu;
+                    let tag = self.next_tag();
+                    let req = DiskRequest::new(spu, RequestKind::Write, meta.meta_sector, 1)
+                        .with_tag(tag);
+                    self.io_purpose.insert(tag, IoPurpose::Private { pid });
+                    self.procs.get_mut(pid).pending_io += 1;
+                    self.procs.get_mut(pid).pop_micro();
+                    self.submit_io(meta.disk, req);
+                }
+                MicroOp::Fork(program) => {
+                    self.procs.get_mut(pid).pop_micro();
+                    self.fork_child(pid, program);
+                }
+                MicroOp::WaitChildren => {
+                    if self.procs.get(pid).live_children == 0 {
+                        self.procs.get_mut(pid).pop_micro();
+                    } else {
+                        self.block_running(cpu, BlockReason::Children);
+                        self.dispatch(cpu);
+                        return;
+                    }
+                }
+                MicroOp::Barrier { id, participants } => {
+                    self.procs.get_mut(pid).pop_micro();
+                    let arrived = self.barriers.entry(id).or_default();
+                    if arrived.len() as u32 + 1 >= participants {
+                        let sleepers = self.barriers.remove(&id).unwrap_or_default();
+                        for s in sleepers {
+                            self.make_ready(s);
+                        }
+                        // The last arriver continues on its CPU.
+                    } else {
+                        arrived.push(pid);
+                        self.block_running(cpu, BlockReason::Barrier(id));
+                        self.dispatch(cpu);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deschedules for requeue after slice exhaustion by instantaneous
+    /// ops (no in-progress Cpu burst to reduce).
+    pub(crate) fn preempt_for_requeue(&mut self, cpu: usize) -> Option<Pid> {
+        let pid = match self.deschedule(cpu) {
+            Ok(pid) => pid,
+            Err(e) => {
+                self.report_error(e);
+                return None;
+            }
+        };
+        self.procs.get_mut(pid).state = ProcState::Ready;
+        Some(pid)
+    }
+
+    // ----- process lifecycle ----------------------------------------------
+
+    pub(crate) fn fork_child(&mut self, parent: Pid, program: Arc<Program>) {
+        let (spu, job) = {
+            let p = self.procs.get(parent);
+            (p.spu, p.job)
+        };
+        let pid = self.procs.next_pid();
+        let child = crate::process::Process::new(pid, spu, job, program, Some(parent), self.now);
+        self.procs.insert(child);
+        self.procs.get_mut(parent).live_children += 1;
+        self.live_procs += 1;
+        self.make_ready(pid);
+    }
+
+    /// Retires a process. A `crashed` exit leaves the job unfinished —
+    /// its response is scored at run end, so a crash injected into a
+    /// job's root degrades its numbers rather than erasing them.
+    pub(crate) fn exit_process(&mut self, pid: Pid, crashed: bool) {
+        {
+            let p = self.procs.get_mut(pid);
+            p.state = ProcState::Done;
+            p.finished = Some(self.now);
+        }
+        self.live_procs -= 1;
+        self.vm.free_process_frames(pid);
+        // The light-load SPU "releases memory in addition to CPUs"
+        // (§4.3 footnote) — waking anyone blocked on memory.
+        self.wake_mem_waiters();
+        // Job completion.
+        if let Some(job) = self.procs.get(pid).job {
+            let rec = &mut self.jobs[job.0 as usize];
+            if rec.root == pid && !crashed {
+                rec.finished = Some(self.now);
+                self.latency
+                    .response
+                    .add_duration(self.now.saturating_since(rec.started));
+            }
+        }
+        // Parent notification.
+        if let Some(parent) = self.procs.get(pid).parent {
+            let pp = self.procs.get_mut(parent);
+            pp.live_children -= 1;
+            if pp.live_children == 0
+                && matches!(pp.state, ProcState::Blocked(BlockReason::Children))
+            {
+                self.make_ready(parent);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Event dispatch: the kernel's event vocabulary and the single switch
+//! that routes each popped event to its subsystem module
+//! ([`cpu`](crate::cpu), [`mem`](crate::mem), [`io`](crate::io),
+//! [`policy`](crate::policy)).
+
+use event_sim::FaultKind;
+use hp_disk::DiskRequest;
+
+use crate::kernel::Kernel;
+use crate::process::{Pid, ProcState};
+use crate::trace::TraceEvent;
+
+/// Simulation events.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// A spawned process starts.
+    Start(Pid),
+    /// The 10 ms clock tick.
+    Tick,
+    /// A CPU's current compute burst (or slice) ends; stale if the
+    /// generation does not match.
+    OpDone { cpu: usize, gen: u64 },
+    /// The in-flight request on a disk completes.
+    DiskDone { disk: usize },
+    /// The write-behind daemon runs.
+    SyncDaemon,
+    /// The periodic memory sharing policy runs.
+    MemPolicy,
+    /// An inter-processor interrupt revokes loaned CPUs immediately
+    /// (optional §3.1 extension).
+    Ipi,
+    /// The periodic observability sampler records per-SPU resource
+    /// levels (see [`Kernel::enable_sampling`]).
+    Sample,
+    /// An injected fault from the configured
+    /// [`FaultPlan`](event_sim::FaultPlan) fires.
+    Fault(FaultKind),
+    /// A failed disk request is retried after backoff.
+    IoRetry { disk: usize, req: DiskRequest },
+}
+
+impl Kernel {
+    pub(crate) fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Start(pid) => {
+                self.procs.get_mut(pid).state = ProcState::Ready;
+                self.make_ready(pid);
+            }
+            Event::Tick => {
+                self.on_tick();
+                self.audit_ledger();
+            }
+            Event::OpDone { cpu, gen } => self.on_op_done(cpu, gen),
+            Event::DiskDone { disk } => self.on_disk_done(disk),
+            Event::SyncDaemon => {
+                self.flush_dirty(usize::MAX);
+                if self.live_procs > 0 {
+                    self.events
+                        .schedule(self.now + self.cfg.tuning.sync_period, Event::SyncDaemon);
+                }
+            }
+            Event::MemPolicy => {
+                self.vm.run_policy();
+                self.trace.push(TraceEvent::PolicyRun { at: self.now });
+                self.wake_mem_waiters();
+                self.audit_ledger();
+                if self.live_procs > 0 {
+                    self.events.schedule(
+                        self.now + self.cfg.tuning.mem_policy_period,
+                        Event::MemPolicy,
+                    );
+                }
+            }
+            Event::Ipi => {
+                self.ipi_pending = false;
+                self.sched_counts.ipis += 1;
+                for cpu in 0..self.sched.cpu_count() {
+                    if self.sched.needs_revocation(cpu) {
+                        self.preempt(cpu);
+                        self.dispatch(cpu);
+                    }
+                }
+            }
+            Event::Sample => {
+                self.on_sample();
+                if self.live_procs > 0 {
+                    if let Some(iv) = self.sample_interval {
+                        self.events.schedule(self.now + iv, Event::Sample);
+                    }
+                }
+            }
+            Event::Fault(kind) => self.on_fault(kind),
+            Event::IoRetry { disk, req } => self.submit_io(disk, req),
+        }
+    }
+}

@@ -1,116 +1,41 @@
-//! The simulated SMP kernel: event loop and subsystem glue.
+//! The simulated SMP kernel: machine state, the event loop, and the
+//! run/metrics lifecycle.
 //!
 //! [`Kernel`] owns the machine (CPUs, memory, disks) and the OS state
 //! (processes, scheduler, VM, buffer cache, locks) and drives everything
-//! from a single deterministic event queue. Workloads are attached with
-//! [`Kernel::spawn_at`] and the run is driven to completion with
+//! from a single deterministic event queue. The subsystems live in
+//! private sibling modules — `event` (dispatch), `cpu` (scheduling and
+//! the interpreter), `mem` (the fault path), `io` (the file-I/O path
+//! and disk plumbing) and `policy` (the resource manager registry,
+//! sampling, auditing, faults) — all implemented as
+//! `impl Kernel` blocks over the state held here. Workloads are attached
+//! with [`Kernel::spawn_at`] and the run is driven to completion with
 //! [`Kernel::run`], which returns the [`RunMetrics`] the experiment
 //! harnesses turn into the paper's figures.
 
 use std::collections::HashMap;
-
-use event_sim::{
-    backoff_delay, EventQueue, FaultKind, Fingerprint, Fnv64, LogHistogram, SimDuration, SimTime,
-};
-use hp_disk::{DiskDevice, DiskModel, DiskRequest, RequestKind};
-use spu_core::{CpuPartition, LedgerAuditor, SpuId, SpuSet};
 use std::sync::Arc;
 
-use crate::bufcache::{BufferCache, CacheEntry};
-use crate::config::{MachineConfig, SECTORS_PER_PAGE};
+use event_sim::{EventQueue, Fingerprint, Fnv64, LogHistogram, SimDuration, SimTime};
+use hp_disk::{DiskDevice, DiskModel};
+use spu_core::{CpuPartition, LedgerAuditor, ResourceManager, SpuId, SpuSet};
+
+use crate::bufcache::BufferCache;
+use crate::config::MachineConfig;
+use crate::cpu::SchedCounters;
 use crate::error::KernelError;
+use crate::event::Event;
 use crate::fs::{FileId, FileSystem};
+use crate::io::{IoPurpose, RetryState};
 use crate::locks::LockTable;
 use crate::metrics::{JobRecord, RunMetrics};
-use crate::obsv::{
-    CounterRegistry, LatencyStats, ObsvReport, ResourceKind, ResourceSample, SampleSeries,
-};
-use crate::process::{BlockReason, JobId, MicroOp, PageState, Pid, ProcState, Process};
+use crate::obsv::{CounterRegistry, LatencyStats, ObsvReport, SampleSeries};
+use crate::policy::FaultCounters;
+use crate::process::{BlockReason, JobId, Pid, ProcState, Process};
 use crate::program::{BarrierId, Program};
 use crate::sched::{ProcTable, Scheduler};
-use crate::trace::{Trace, TraceEvent};
-use crate::vm::{Acquired, Evicted, FrameId, FrameOwner, MemoryManager};
-
-/// Simulation events.
-#[derive(Debug)]
-enum Event {
-    /// A spawned process starts.
-    Start(Pid),
-    /// The 10 ms clock tick.
-    Tick,
-    /// A CPU's current compute burst (or slice) ends; stale if the
-    /// generation does not match.
-    OpDone { cpu: usize, gen: u64 },
-    /// The in-flight request on a disk completes.
-    DiskDone { disk: usize },
-    /// The write-behind daemon runs.
-    SyncDaemon,
-    /// The periodic memory sharing policy runs.
-    MemPolicy,
-    /// An inter-processor interrupt revokes loaned CPUs immediately
-    /// (optional §3.1 extension).
-    Ipi,
-    /// The periodic observability sampler records per-SPU resource
-    /// levels (see [`Kernel::enable_sampling`]).
-    Sample,
-    /// An injected fault from the configured
-    /// [`FaultPlan`](event_sim::FaultPlan) fires.
-    Fault(FaultKind),
-    /// A failed disk request is retried after backoff.
-    IoRetry { disk: usize, req: DiskRequest },
-}
-
-/// Scheduler event tallies published as `sched.*` counters.
-#[derive(Debug, Default)]
-struct SchedCounters {
-    dispatches: u64,
-    preemptions: u64,
-    loans: u64,
-    ipis: u64,
-}
-
-/// Retry bookkeeping for an erroring disk request, keyed by tag.
-#[derive(Debug)]
-struct RetryState {
-    attempts: u32,
-    first_error: SimTime,
-}
-
-/// Fault-injection and recovery tallies published as `fault.*` counters.
-#[derive(Debug, Default)]
-struct FaultCounters {
-    injected: u64,
-    skipped: u64,
-    crashes: u64,
-    forkbombs: u64,
-    cpu_offline: u64,
-    cpu_online: u64,
-    disk_errors: u64,
-    io_retries: u64,
-    io_failures: u64,
-}
-
-/// What a completed disk request was for.
-#[derive(Debug)]
-enum IoPurpose {
-    /// A buffer-cache fill of `nblocks` starting at `first_block`.
-    CacheFill {
-        file: FileId,
-        first_block: u64,
-        nblocks: u32,
-    },
-    /// Swap-in of a process's pages; the frames are unpinned on
-    /// completion.
-    SwapIn { pid: Pid, frames: Vec<FrameId> },
-    /// Private I/O a process waits on via `AwaitIo` (swap-out writes,
-    /// metadata writes).
-    Private { pid: Pid },
-    /// A write-behind flush batch.
-    Flush { nblocks: u32, frames: Vec<FrameId> },
-    /// Timing/bandwidth-only I/O nobody waits for (asynchronous eviction
-    /// cleaning).
-    Noop,
-}
+use crate::trace::Trace;
+use crate::vm::MemoryManager;
 
 /// The simulated kernel.
 ///
@@ -133,63 +58,70 @@ enum IoPurpose {
 /// ```
 #[derive(Debug)]
 pub struct Kernel {
-    cfg: MachineConfig,
-    spus: SpuSet,
-    now: SimTime,
-    events: EventQueue<Event>,
-    procs: ProcTable,
-    sched: Scheduler,
-    vm: MemoryManager,
-    cache: BufferCache,
-    locks: LockTable,
-    fs: FileSystem,
-    disks: Vec<DiskDevice>,
-    io_purpose: HashMap<u64, IoPurpose>,
-    fill_waiters: HashMap<u64, Vec<Pid>>,
-    dirty_waiters: Vec<Pid>,
-    mem_waiters: Vec<Pid>,
-    barriers: HashMap<BarrierId, Vec<Pid>>,
-    next_tag: u64,
-    trace: Trace,
-    ipi_pending: bool,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) spus: SpuSet,
+    pub(crate) now: SimTime,
+    pub(crate) events: EventQueue<Event>,
+    pub(crate) procs: ProcTable,
+    pub(crate) sched: Scheduler,
+    pub(crate) vm: MemoryManager,
+    pub(crate) cache: BufferCache,
+    pub(crate) locks: LockTable,
+    pub(crate) fs: FileSystem,
+    pub(crate) disks: Vec<DiskDevice>,
+    pub(crate) io_purpose: HashMap<u64, IoPurpose>,
+    pub(crate) fill_waiters: HashMap<u64, Vec<Pid>>,
+    pub(crate) dirty_waiters: Vec<Pid>,
+    pub(crate) mem_waiters: Vec<Pid>,
+    pub(crate) barriers: HashMap<BarrierId, Vec<Pid>>,
+    pub(crate) next_tag: u64,
+    pub(crate) trace: Trace,
+    pub(crate) ipi_pending: bool,
     /// Outstanding cache-fill requests per file (limits prefetch depth).
-    filling: HashMap<FileId, u32>,
-    live_procs: u32,
-    jobs: Vec<JobRecord>,
-    spu_cpu: Vec<SimDuration>,
-    // --- observability ---------------------------------------------------
+    pub(crate) filling: HashMap<FileId, u32>,
+    pub(crate) live_procs: u32,
+    pub(crate) jobs: Vec<JobRecord>,
+    pub(crate) spu_cpu: Vec<SimDuration>,
+    // --- resource management ----------------------------------------------
+    /// One [`ResourceManager`] per managed resource, in the fixed
+    /// registry order (CPU time, memory, disk bandwidth) the sample
+    /// series are laid out in. Samplers and auditors iterate this —
+    /// never a per-resource `match`.
+    pub(crate) managers: Vec<Box<dyn ResourceManager<Ctx = Kernel> + Send + Sync>>,
+    // --- observability ----------------------------------------------------
     /// Sampling interval, `None` until [`enable_sampling`](Self::enable_sampling).
-    sample_interval: Option<SimDuration>,
-    /// Per-SPU resource series, SPU-major, [`ResourceKind::ALL`] order.
-    series: Vec<SampleSeries>,
+    pub(crate) sample_interval: Option<SimDuration>,
+    /// Per-SPU resource series, SPU-major, manager-registry order
+    /// within an SPU.
+    pub(crate) series: Vec<SampleSeries>,
     /// Each user SPU's CPU entitlement from the §3.1 hybrid partition.
-    cpu_entitled: Vec<f64>,
+    pub(crate) cpu_entitled: Vec<f64>,
     /// Live latency histograms.
-    latency: LatencyStats,
+    pub(crate) latency: LatencyStats,
     /// Pending wake → dispatch measurements (latest wake wins).
-    wake_pending: HashMap<Pid, SimTime>,
+    pub(crate) wake_pending: HashMap<Pid, SimTime>,
     /// Per-CPU time a revocation became needed (cleared at deschedule).
-    revoke_requested: Vec<Option<SimTime>>,
-    sched_counts: SchedCounters,
+    pub(crate) revoke_requested: Vec<Option<SimTime>>,
+    pub(crate) sched_counts: SchedCounters,
     // --- faults & recovery ------------------------------------------------
     /// Retry state per erroring request tag.
-    retries: HashMap<u64, RetryState>,
+    pub(crate) retries: HashMap<u64, RetryState>,
     /// Bounded sample of recovered kernel errors ([`Kernel::errors`]).
-    errors: Vec<KernelError>,
+    pub(crate) errors: Vec<KernelError>,
     /// Total recovered kernel errors (the `kernel.errors` counter).
-    error_count: u64,
+    pub(crate) error_count: u64,
     /// Conservation-invariant auditor over the memory ledger.
-    auditor: LedgerAuditor,
-    fault_counts: FaultCounters,
+    pub(crate) auditor: LedgerAuditor,
+    pub(crate) fault_counts: FaultCounters,
     /// CPU-partition conservation failures seen by `rebalance_cpus`.
-    cpu_audit_violations: u64,
+    pub(crate) cpu_audit_violations: u64,
     /// Denial total at the last audit, for memory-pressure detection.
-    last_denials: u64,
+    pub(crate) last_denials: u64,
     /// Stable content hash of everything that determines the run:
     /// configuration, SPU set, files, spawned programs. Because the
     /// simulation is a pure function of these inputs, the digest
     /// identifies the run's outcome (see [`Kernel::fingerprint`]).
-    fp: Fnv64,
+    pub(crate) fp: Fnv64,
 }
 
 impl Kernel {
@@ -253,6 +185,7 @@ impl Kernel {
             live_procs: 0,
             jobs: Vec::new(),
             spu_cpu: vec![SimDuration::ZERO; n_spus],
+            managers: crate::policy::kernel_managers(),
             sample_interval: None,
             series: Vec::new(),
             cpu_entitled: Vec::new(),
@@ -328,9 +261,9 @@ impl Kernel {
 
     /// Enables the periodic resource sampler: every `interval` of
     /// simulated time the kernel records each user SPU's
-    /// `(entitled, allowed, used)` levels for CPU, memory and disk
-    /// bandwidth (plus one sample at run start). Call before
-    /// [`run`](Self::run); the series come back in
+    /// `(entitled, allowed, used)` levels for every managed resource —
+    /// CPU time, memory and disk bandwidth — plus one sample at run
+    /// start. Call before [`run`](Self::run); the series come back in
     /// [`RunMetrics::obsv`](crate::metrics::RunMetrics).
     ///
     /// Sampling reads state the event loop maintains anyway (ledger
@@ -353,7 +286,7 @@ impl Kernel {
         self.series = self
             .spus
             .user_ids()
-            .flat_map(|id| ResourceKind::ALL.into_iter().map(move |r| (id, r)))
+            .flat_map(|id| self.managers.iter().map(move |m| (id, m.kind())))
             .map(|(id, r)| SampleSeries::new(id, self.spus.name(id), r))
             .collect();
     }
@@ -451,1537 +384,11 @@ impl Kernel {
         self.run(cap)
     }
 
-    fn handle(&mut self, ev: Event) {
-        match ev {
-            Event::Start(pid) => {
-                self.procs.get_mut(pid).state = ProcState::Ready;
-                self.make_ready(pid);
-            }
-            Event::Tick => {
-                self.on_tick();
-                self.audit_ledger();
-            }
-            Event::OpDone { cpu, gen } => self.on_op_done(cpu, gen),
-            Event::DiskDone { disk } => self.on_disk_done(disk),
-            Event::SyncDaemon => {
-                self.flush_dirty(usize::MAX);
-                if self.live_procs > 0 {
-                    self.events
-                        .schedule(self.now + self.cfg.tuning.sync_period, Event::SyncDaemon);
-                }
-            }
-            Event::MemPolicy => {
-                self.vm.run_policy();
-                self.trace.push(TraceEvent::PolicyRun { at: self.now });
-                self.wake_mem_waiters();
-                self.audit_ledger();
-                if self.live_procs > 0 {
-                    self.events.schedule(
-                        self.now + self.cfg.tuning.mem_policy_period,
-                        Event::MemPolicy,
-                    );
-                }
-            }
-            Event::Ipi => {
-                self.ipi_pending = false;
-                self.sched_counts.ipis += 1;
-                for cpu in 0..self.sched.cpu_count() {
-                    if self.sched.needs_revocation(cpu) {
-                        self.preempt(cpu);
-                        self.dispatch(cpu);
-                    }
-                }
-            }
-            Event::Sample => {
-                self.on_sample();
-                if self.live_procs > 0 {
-                    if let Some(iv) = self.sample_interval {
-                        self.events.schedule(self.now + iv, Event::Sample);
-                    }
-                }
-            }
-            Event::Fault(kind) => self.on_fault(kind),
-            Event::IoRetry { disk, req } => self.submit_io(disk, req),
-        }
-    }
-
-    /// Runs the ledger auditor over the VM's books. Violations surface
-    /// as the `audit.violations` counter, never as a panic.
-    fn audit_ledger(&mut self) {
-        let denials: u64 = self
-            .spus
-            .all_ids()
-            .map(|id| self.vm.stats(id).denials)
-            .sum();
-        let pressure = denials > self.last_denials;
-        self.last_denials = denials;
-        self.auditor.check(
-            self.vm.ledger(),
-            &self.spus,
-            self.cfg.scheme.enforces_isolation(),
-            pressure,
-            self.now,
-        );
-    }
-
-    /// Records one `(entitled, allowed, used)` sample per user SPU and
-    /// resource. See [`enable_sampling`](Self::enable_sampling).
-    fn on_sample(&mut self) {
-        let now = self.now;
-        let user_count = self.spus.user_count();
-        // CPU occupancy: how many CPUs each user SPU is running on, and
-        // how many of those are loans from other SPUs' home CPUs.
-        let mut cpu_used = vec![0u64; user_count];
-        let mut cpu_loaned = vec![0u64; user_count];
-        for i in 0..self.sched.cpu_count() {
-            let c = self.sched.cpu(i);
-            if let Some(pid) = c.running {
-                if let Some(u) = self.procs.get(pid).spu.user_index() {
-                    cpu_used[u] += 1;
-                    if c.loaned {
-                        cpu_loaned[u] += 1;
-                    }
-                }
-            }
-        }
-        // Disk bandwidth: decayed sector counts per §3.3. The decay is
-        // step-invariant, so reading it here does not perturb scheduling.
-        let disk_used: Vec<f64> = (0..user_count)
-            .map(|u| {
-                let spu = SpuId::user(u as u32);
-                self.disks
-                    .iter_mut()
-                    .map(|d| d.sampled_bandwidth(spu, now))
-                    .sum()
-            })
-            .collect();
-        let disk_total: f64 = disk_used.iter().sum();
-        let disk_weight_sum: f64 = self
-            .spus
-            .user_ids()
-            .map(|id| self.spus.disk_weight(id) as f64)
-            .sum();
-        for (u, id) in self.spus.user_ids().enumerate() {
-            // Memory, straight from the ledger (§3.2): under PIso the
-            // policy raises `allowed` above `entitled` while lending and
-            // drops it back at the next evaluation.
-            let lv = self.vm.levels(id);
-            let mem = ResourceSample {
-                at: now,
-                entitled: lv.entitled as f64,
-                allowed: lv.allowed as f64,
-                used: lv.used as f64,
-            };
-            // CPU: entitlement from the hybrid partition; `allowed` is the
-            // entitlement plus any CPUs currently borrowed (§3.1 loans).
-            let cpu = ResourceSample {
-                at: now,
-                entitled: self.cpu_entitled[u],
-                allowed: self.cpu_entitled[u] + cpu_loaned[u] as f64,
-                used: cpu_used[u] as f64,
-            };
-            // Disk: the fair share of the current decayed total is the
-            // entitlement; `allowed` tops out at actual usage because the
-            // §3.3 scheduler throttles rather than reserves.
-            let entitled = if disk_weight_sum > 0.0 {
-                disk_total * self.spus.disk_weight(id) as f64 / disk_weight_sum
-            } else {
-                0.0
-            };
-            let disk = ResourceSample {
-                at: now,
-                entitled,
-                allowed: entitled.max(disk_used[u]),
-                used: disk_used[u],
-            };
-            for (slot, sample) in [cpu, mem, disk].into_iter().enumerate() {
-                self.series[u * ResourceKind::ALL.len() + slot].push(sample);
-            }
-        }
-    }
-
-    // ----- scheduling ---------------------------------------------------
-
-    /// Marks a process runnable and dispatches it on an idle CPU if the
-    /// scheme permits.
-    fn make_ready(&mut self, pid: Pid) {
-        let p = self.procs.get_mut(pid);
-        p.state = ProcState::Ready;
-        let spu = p.spu;
-        self.trace.push(TraceEvent::Wake {
-            at: self.now,
-            pid,
-            spu,
-        });
-        // Wake→dispatch latency starts (or restarts — latest wake wins)
-        // here; the matching dispatch closes it.
-        self.wake_pending.insert(pid, self.now);
-        self.sched.enqueue(&mut self.procs, pid);
-        if let Some(cpu) = self.sched.find_idle_for(spu) {
-            self.dispatch(cpu);
-        } else {
-            // No CPU free: any loaned-out CPU this wake-up makes
-            // revocable starts the revocation-latency clock now.
-            for cpu in 0..self.sched.cpu_count() {
-                if self.sched.needs_revocation(cpu) && self.revoke_requested[cpu].is_none() {
-                    self.revoke_requested[cpu] = Some(self.now);
-                }
-            }
-            if self.cfg.tuning.ipi_revocation && !self.ipi_pending {
-                // If one of this SPU's home CPUs is out on loan, interrupt
-                // it now rather than waiting for the tick. The IPI is
-                // delivered as a same-timestamp event so revocation never
-                // re-enters the interpreter of the CPU that woke us.
-                let needs = (0..self.sched.cpu_count()).any(|c| self.sched.needs_revocation(c));
-                if needs {
-                    self.ipi_pending = true;
-                    self.events.schedule(self.now, Event::Ipi);
-                }
-            }
-        }
-    }
-
-    /// Fills an idle CPU with the scheduler's choice and starts
-    /// interpreting. No-op when the CPU is already occupied (a wake-up
-    /// triggered by the previous occupant's exit may have refilled it).
-    fn dispatch(&mut self, cpu: usize) {
-        if !self.sched.cpu(cpu).is_idle() {
-            return;
-        }
-        let Some((pid, loaned)) = self.sched.pick(&self.procs, cpu) else {
-            let c = self.sched.cpu_mut(cpu);
-            if c.idle_since.is_none() {
-                c.idle_since = Some(self.now);
-            }
-            return;
-        };
-        let slice = self.cfg.tuning.slice;
-        let c = self.sched.cpu_mut(cpu);
-        if let Some(since) = c.idle_since.take() {
-            c.idle_total += self.now.saturating_since(since);
-        }
-        c.running = Some(pid);
-        c.loaned = loaned;
-        c.run_start = self.now;
-        c.slice_end = self.now + slice;
-        c.gen += 1;
-        let spu = self.procs.get(pid).spu;
-        self.trace.push(TraceEvent::Dispatch {
-            at: self.now,
-            cpu,
-            pid,
-            spu,
-            loaned,
-        });
-        self.sched_counts.dispatches += 1;
-        if loaned {
-            self.sched_counts.loans += 1;
-        }
-        if let Some(woke) = self.wake_pending.remove(&pid) {
-            self.latency
-                .wake_to_dispatch
-                .add_duration(self.now.saturating_since(woke));
-        }
-        self.procs.get_mut(pid).state = ProcState::Running(cpu);
-        self.interpret(cpu);
-    }
-
-    /// Records a recovered kernel error (bounded sample + counter).
-    fn report_error(&mut self, e: KernelError) {
-        self.error_count += 1;
-        if self.errors.len() < 64 {
-            self.errors.push(e);
-        }
-    }
-
-    /// Accounts the running process's consumed CPU and removes it from
-    /// the CPU. The caller decides its next state.
-    fn deschedule(&mut self, cpu: usize) -> Result<Pid, KernelError> {
-        let c = self.sched.cpu_mut(cpu);
-        let Some(pid) = c.running.take() else {
-            return Err(KernelError::DescheduleIdleCpu { cpu });
-        };
-        let was_loaned = c.loaned;
-        let consumed = self.now.saturating_since(c.run_start);
-        c.busy_total += consumed;
-        c.gen += 1;
-        c.loaned = false;
-        c.idle_since = Some(self.now);
-        // §3.1 revocation latency: a home wake-up marked this loaned CPU
-        // revocable; the borrower leaving it (preempt at the tick/IPI, or
-        // a voluntary kernel entry) completes the revocation.
-        if let Some(requested) = self.revoke_requested[cpu].take() {
-            if was_loaned {
-                self.latency
-                    .revocation
-                    .add_duration(self.now.saturating_since(requested));
-            }
-        }
-        let p = self.procs.get_mut(pid);
-        p.cpu_time += consumed;
-        p.p_cpu += consumed.as_millis_f64();
-        self.spu_cpu[p.spu.index()] += consumed;
-        Ok(pid)
-    }
-
-    /// Preempts the running process mid-burst (tick revocation or slice
-    /// expiry), reducing its in-progress `Cpu` micro-op.
-    fn preempt(&mut self, cpu: usize) {
-        let c = self.sched.cpu(cpu);
-        let consumed = self.now.saturating_since(c.run_start);
-        let pid = match self.deschedule(cpu) {
-            Ok(pid) => pid,
-            Err(e) => {
-                self.report_error(e);
-                return;
-            }
-        };
-        self.trace.push(TraceEvent::Preempt {
-            at: self.now,
-            cpu,
-            pid,
-        });
-        self.sched_counts.preemptions += 1;
-        let p = self.procs.get_mut(pid);
-        // A preempted process is necessarily inside a Cpu burst: every
-        // other micro-op resolves synchronously during interpret.
-        if matches!(p.micro_front(), Some(MicroOp::Cpu(_))) {
-            p.consume_cpu(consumed);
-        } else {
-            debug_assert!(consumed.is_zero(), "non-Cpu micro-op consumed time");
-        }
-        p.state = ProcState::Ready;
-        self.sched.enqueue(&mut self.procs, pid);
-    }
-
-    /// Blocks the running process on `reason` and frees its CPU.
-    fn block_running(&mut self, cpu: usize, reason: BlockReason) {
-        let pid = match self.deschedule(cpu) {
-            Ok(pid) => pid,
-            Err(e) => {
-                self.report_error(e);
-                return;
-            }
-        };
-        self.trace.push(TraceEvent::Block {
-            at: self.now,
-            pid,
-            reason,
-        });
-        self.procs.get_mut(pid).state = ProcState::Blocked(reason);
-    }
-
-    fn on_tick(&mut self) {
-        self.sched.decay_priorities(&mut self.procs);
-        // Loan revocation (§3.1): "the revocation of the CPU happens
-        // either at the next clock tick interrupt (every 10 ms), or when
-        // the process voluntarily enters the kernel."
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.needs_revocation(cpu) {
-                self.preempt(cpu);
-                self.dispatch(cpu);
-            }
-        }
-        // Fill any CPUs that went idle while no wake event fired (e.g.
-        // after a revocation shuffle).
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.cpu(cpu).is_idle() {
-                self.dispatch(cpu);
-            }
-        }
-        if self.live_procs > 0 {
-            self.events
-                .schedule(self.now + self.cfg.tuning.tick, Event::Tick);
-        }
-    }
-
-    fn on_op_done(&mut self, cpu: usize, gen: u64) {
-        if self.sched.cpu(cpu).gen != gen {
-            return; // stale: the process was preempted or blocked
-        }
-        let c = self.sched.cpu(cpu);
-        let Some(pid) = c.running else {
-            self.report_error(KernelError::OpDoneIdleCpu { cpu });
-            return;
-        };
-        let consumed = self.now.saturating_since(c.run_start);
-        let slice_end = c.slice_end;
-        {
-            let c = self.sched.cpu_mut(cpu);
-            c.busy_total += consumed;
-            c.run_start = self.now;
-        }
-        let p = self.procs.get_mut(pid);
-        p.cpu_time += consumed;
-        p.p_cpu += consumed.as_millis_f64();
-        self.spu_cpu[p.spu.index()] += consumed;
-        p.consume_cpu(consumed);
-        if self.now >= slice_end {
-            // Slice expired: round-robin back through the run queue.
-            let c = self.sched.cpu_mut(cpu);
-            c.running = None;
-            c.gen += 1;
-            let was_loaned = c.loaned;
-            c.loaned = false;
-            c.idle_since = Some(self.now);
-            if let Some(requested) = self.revoke_requested[cpu].take() {
-                if was_loaned {
-                    self.latency
-                        .revocation
-                        .add_duration(self.now.saturating_since(requested));
-                }
-            }
-            let p = self.procs.get_mut(pid);
-            p.state = ProcState::Ready;
-            self.sched.enqueue(&mut self.procs, pid);
-            self.dispatch(cpu);
-        } else {
-            self.interpret(cpu);
-        }
-    }
-
-    // ----- the interpreter ----------------------------------------------
-
-    /// Runs the current process's micro-ops until it consumes CPU time
-    /// (an `OpDone` event is scheduled), blocks, or exits.
-    fn interpret(&mut self, cpu: usize) {
-        loop {
-            let pid = match self.sched.cpu(cpu).running {
-                Some(p) => p,
-                None => return,
-            };
-            let tuning = self.cfg.tuning.clone();
-            let micro = match self.procs.get_mut(pid).current_micro(&tuning) {
-                Some(m) => m.clone(),
-                None => {
-                    if let Err(e) = self.deschedule(cpu) {
-                        self.report_error(e);
-                    }
-                    self.exit_process(pid, false);
-                    self.dispatch(cpu);
-                    return;
-                }
-            };
-            match micro {
-                MicroOp::Cpu(d) => {
-                    let slice_end = self.sched.cpu(cpu).slice_end;
-                    if self.now >= slice_end {
-                        // Slice exhausted by instantaneous ops.
-                        if let Some(p) = self.preempt_for_requeue(cpu) {
-                            self.sched.enqueue(&mut self.procs, p);
-                        }
-                        self.dispatch(cpu);
-                        return;
-                    }
-                    let runtime = d.min(slice_end.saturating_since(self.now));
-                    let gen = self.sched.cpu(cpu).gen;
-                    self.events
-                        .schedule(self.now + runtime, Event::OpDone { cpu, gen });
-                    return;
-                }
-                MicroOp::Touch { pages, cursor } => {
-                    if !self.do_touch(cpu, pid, pages, cursor) {
-                        return; // blocked
-                    }
-                }
-                MicroOp::Alloc(pages) => {
-                    self.procs.get_mut(pid).grow_region(pages);
-                    self.procs.get_mut(pid).pop_micro();
-                }
-                MicroOp::AwaitIo => {
-                    if self.procs.get(pid).pending_io == 0 {
-                        self.procs.get_mut(pid).pop_micro();
-                    } else {
-                        self.block_running(cpu, BlockReason::Io);
-                        self.dispatch(cpu);
-                        return;
-                    }
-                }
-                MicroOp::LockAcquire { lock, excl } => {
-                    if self.locks.acquire(lock, pid, excl) {
-                        self.procs.get_mut(pid).pop_micro();
-                    } else {
-                        self.block_running(cpu, BlockReason::Lock(lock));
-                        self.dispatch(cpu);
-                        return;
-                    }
-                }
-                MicroOp::LockRelease { lock } => {
-                    self.procs.get_mut(pid).pop_micro();
-                    let woken = self.locks.release(lock, pid);
-                    for w in woken {
-                        // The lock was already granted to the waiter; its
-                        // LockAcquire micro-op is complete.
-                        let wp = self.procs.get_mut(w);
-                        debug_assert!(matches!(
-                            wp.micro_front(),
-                            Some(MicroOp::LockAcquire { .. })
-                        ));
-                        wp.pop_micro();
-                        self.make_ready(w);
-                    }
-                }
-                MicroOp::BlockRead { file, block } => {
-                    if !self.do_block_read(cpu, pid, file, block) {
-                        return;
-                    }
-                }
-                MicroOp::BlockWrite { file, block } => {
-                    if !self.do_block_write(cpu, pid, file, block) {
-                        return;
-                    }
-                }
-                MicroOp::MetaWrite { file } => {
-                    let meta = self.fs.meta(file).clone();
-                    let spu = self.procs.get(pid).spu;
-                    let tag = self.next_tag();
-                    let req = DiskRequest::new(spu, RequestKind::Write, meta.meta_sector, 1)
-                        .with_tag(tag);
-                    self.io_purpose.insert(tag, IoPurpose::Private { pid });
-                    self.procs.get_mut(pid).pending_io += 1;
-                    self.procs.get_mut(pid).pop_micro();
-                    self.submit_io(meta.disk, req);
-                }
-                MicroOp::Fork(program) => {
-                    self.procs.get_mut(pid).pop_micro();
-                    self.fork_child(pid, program);
-                }
-                MicroOp::WaitChildren => {
-                    if self.procs.get(pid).live_children == 0 {
-                        self.procs.get_mut(pid).pop_micro();
-                    } else {
-                        self.block_running(cpu, BlockReason::Children);
-                        self.dispatch(cpu);
-                        return;
-                    }
-                }
-                MicroOp::Barrier { id, participants } => {
-                    self.procs.get_mut(pid).pop_micro();
-                    let arrived = self.barriers.entry(id).or_default();
-                    if arrived.len() as u32 + 1 >= participants {
-                        let sleepers = self.barriers.remove(&id).unwrap_or_default();
-                        for s in sleepers {
-                            self.make_ready(s);
-                        }
-                        // The last arriver continues on its CPU.
-                    } else {
-                        arrived.push(pid);
-                        self.block_running(cpu, BlockReason::Barrier(id));
-                        self.dispatch(cpu);
-                        return;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Deschedules for requeue after slice exhaustion by instantaneous
-    /// ops (no in-progress Cpu burst to reduce).
-    fn preempt_for_requeue(&mut self, cpu: usize) -> Option<Pid> {
-        let pid = match self.deschedule(cpu) {
-            Ok(pid) => pid,
-            Err(e) => {
-                self.report_error(e);
-                return None;
-            }
-        };
-        self.procs.get_mut(pid).state = ProcState::Ready;
-        Some(pid)
-    }
-
-    // ----- memory path ----------------------------------------------------
-
-    /// Pages faulted per blocking round of a working-set sweep.
-    const TOUCH_BATCH: u32 = 32;
-
-    /// Handles one round of a `Touch` sweep: advances the cursor over
-    /// resident pages and faults in the next batch of missing ones. A
-    /// sweep larger than the SPU's allowed memory thrashes — pages
-    /// faulted early in the sweep get evicted to make room for later
-    /// ones — but always makes forward progress. Returns `false` if the
-    /// process blocked (I/O or memory).
-    fn do_touch(&mut self, cpu: usize, pid: Pid, pages: u32, cursor: u32) -> bool {
-        let want = (self.procs.get(pid).pages.len() as u32).min(pages);
-        let mut c = cursor;
-        loop {
-            let frame = match self.procs.get(pid).pages.get(c as usize) {
-                Some(PageState::Resident(f)) if c < want => *f,
-                _ => break,
-            };
-            self.vm.touch_frame(frame);
-            c += 1;
-        }
-        if c >= want {
-            self.procs.get_mut(pid).pop_micro();
-            return true;
-        }
-        let spu = self.procs.get(pid).spu;
-        let mut cpu_cost = SimDuration::ZERO;
-        let mut swapins: Vec<(u64, FrameId)> = Vec::new(); // (slot sector, frame)
-        let end = (c + Self::TOUCH_BATCH).min(want);
-        let mut page = c;
-        let mut denied = false;
-        while page < end {
-            if matches!(
-                self.procs.get(pid).pages[page as usize],
-                PageState::Resident(_)
-            ) {
-                page += 1;
-                continue;
-            }
-            let (frame, evicted) = match self.vm.acquire_frame(spu, FrameOwner::Anon { pid, page })
-            {
-                Acquired::Frame { frame, evicted } => (frame, evicted),
-                Acquired::Denied => {
-                    denied = true;
-                    break;
-                }
-            };
-            if let Some(ev) = evicted {
-                self.handle_eviction(ev, Some(pid));
-            }
-            let prior = self.procs.get(pid).pages[page as usize];
-            self.procs.get_mut(pid).pages[page as usize] = PageState::Resident(frame);
-            self.vm.set_dirty(frame, true); // anon pages are born dirty
-            match prior {
-                PageState::Swapped(slot) => {
-                    self.vm.set_pinned(frame, true);
-                    swapins.push((slot, frame));
-                    self.vm.count_fault(spu, true);
-                    self.trace.push(TraceEvent::Fault {
-                        at: self.now,
-                        spu,
-                        major: true,
-                    });
-                }
-                PageState::Unmapped => {
-                    cpu_cost += self.cfg.tuning.zero_fill_cost;
-                    self.vm.count_fault(spu, false);
-                    self.trace.push(TraceEvent::Fault {
-                        at: self.now,
-                        spu,
-                        major: false,
-                    });
-                }
-                PageState::Resident(_) => unreachable!("checked above"),
-            }
-            page += 1;
-        }
-        // Sweep progress: everything before `page` has been visited.
-        self.procs.get_mut(pid).set_touch_cursor(page);
-        self.issue_swapins(pid, spu, &swapins);
-        if self.procs.get(pid).pending_io > 0 {
-            self.push_wait_and_cost(pid, cpu_cost);
-            self.block_running(cpu, BlockReason::Io);
-            self.dispatch(cpu);
-            false
-        } else if denied {
-            self.mem_waiters.push(pid);
-            self.block_running(cpu, BlockReason::Memory);
-            self.dispatch(cpu);
-            false
-        } else if !cpu_cost.is_zero() {
-            self.push_wait_and_cost(pid, cpu_cost);
-            true
-        } else {
-            true
-        }
-    }
-
-    /// Issues the swap-in reads collected by a touch, coalescing
-    /// contiguous slots.
-    fn issue_swapins(&mut self, pid: Pid, spu: SpuId, swapins: &[(u64, FrameId)]) {
-        if swapins.is_empty() {
-            return;
-        }
-        let disk = self.swap_disk_of(spu);
-        let mut sorted = swapins.to_vec();
-        sorted.sort_unstable_by_key(|&(slot, _)| slot);
-        let mut run_start = sorted[0].0;
-        let mut run_frames = vec![sorted[0].1];
-        let mut prev = sorted[0].0;
-        let flush_run = |start: u64, frames: &Vec<FrameId>, k: &mut Kernel| {
-            let sectors = frames.len() as u32 * SECTORS_PER_PAGE;
-            let tag = k.next_tag();
-            let sector = k.swap_sector(disk, start);
-            let req = DiskRequest::new(spu, RequestKind::Read, sector, sectors).with_tag(tag);
-            k.io_purpose.insert(
-                tag,
-                IoPurpose::SwapIn {
-                    pid,
-                    frames: frames.clone(),
-                },
-            );
-            k.procs.get_mut(pid).pending_io += 1;
-            k.submit_io(disk, req);
-        };
-        for &(slot, frame) in &sorted[1..] {
-            if slot == prev + SECTORS_PER_PAGE as u64 {
-                run_frames.push(frame);
-            } else {
-                flush_run(run_start, &run_frames, self);
-                run_start = slot;
-                run_frames = vec![frame];
-            }
-            prev = slot;
-        }
-        flush_run(run_start, &run_frames, self);
-    }
-
-    /// Queues `[AwaitIo, Cpu(cost)]` in front of the process's script so
-    /// it waits for its fault I/O and then pays the fault CPU cost.
-    fn push_wait_and_cost(&mut self, pid: Pid, cost: SimDuration) {
-        let p = self.procs.get_mut(pid);
-        if !cost.is_zero() {
-            p.push_front_micro(MicroOp::Cpu(cost));
-        }
-        p.push_front_micro(MicroOp::AwaitIo);
-    }
-
-    /// Processes an eviction decided by the VM: fixes the page table or
-    /// cache map and issues the writeback.
-    ///
-    /// `charge_to`: when the eviction was forced by a faulting process
-    /// (isolation at work), that process waits for the swap-out write —
-    /// the revocation cost of §2.3. Asynchronous cleanings pass `None`.
-    fn handle_eviction(&mut self, ev: Evicted, charge_to: Option<Pid>) {
-        match ev.owner {
-            FrameOwner::Anon { pid: owner, page } => {
-                let slot = self.vm.alloc_swap_run(1);
-                self.procs.get_mut(owner).pages[page as usize] = PageState::Swapped(slot);
-                if ev.dirty {
-                    let disk = self.swap_disk_of(ev.spu);
-                    let sector = self.swap_sector(disk, slot);
-                    let tag = self.next_tag();
-                    let stream = charge_to.map(|p| self.procs.get(p).spu).unwrap_or(ev.spu);
-                    let req =
-                        DiskRequest::new(stream, RequestKind::Write, sector, SECTORS_PER_PAGE)
-                            .with_tag(tag);
-                    match charge_to {
-                        Some(p) => {
-                            self.io_purpose.insert(tag, IoPurpose::Private { pid: p });
-                            self.procs.get_mut(p).pending_io += 1;
-                        }
-                        None => {
-                            self.io_purpose.insert(tag, IoPurpose::Noop);
-                        }
-                    }
-                    self.submit_io(disk, req);
-                }
-            }
-            FrameOwner::Cache { file, block } => {
-                let entry = self.cache.remove(file, block);
-                let dirty = matches!(entry, Some(CacheEntry::Valid { dirty: true, .. }));
-                if dirty {
-                    let meta = self.fs.meta(file).clone();
-                    let sector = self.fs.sector_of_block(file, block);
-                    let tag = self.next_tag();
-                    let stream = charge_to
-                        .map(|p| self.procs.get(p).spu)
-                        .unwrap_or(SpuId::SHARED);
-                    let req =
-                        DiskRequest::new(stream, RequestKind::Write, sector, SECTORS_PER_PAGE)
-                            .with_tag(tag);
-                    match charge_to {
-                        Some(p) => {
-                            self.io_purpose.insert(tag, IoPurpose::Private { pid: p });
-                            self.procs.get_mut(p).pending_io += 1;
-                        }
-                        None => {
-                            self.io_purpose.insert(tag, IoPurpose::Noop);
-                        }
-                    }
-                    self.submit_io(meta.disk, req);
-                }
-            }
-            FrameOwner::Kernel | FrameOwner::Free => {
-                unreachable!("kernel/free frames are never evicted")
-            }
-        }
-    }
-
-    // ----- file I/O path ------------------------------------------------
-
-    /// Handles a `BlockRead`. Returns `false` if the process blocked.
-    fn do_block_read(&mut self, cpu: usize, pid: Pid, file: FileId, block: u64) -> bool {
-        match self.cache.lookup(file, block) {
-            Some(CacheEntry::Valid { frame, .. }) => {
-                let spu = self.procs.get(pid).spu;
-                self.vm.touch_frame(frame);
-                if self.vm.frame(frame).spu.is_user() && self.vm.frame(frame).spu != spu {
-                    // §3.2: second SPU touching the page re-marks it shared.
-                    self.vm.mark_shared(frame);
-                }
-                // Asynchronous read-ahead: keep the next window in flight
-                // ("There are multiple outstanding reads because of
-                // read-ahead by the kernel", §4.5).
-                self.maybe_prefetch(spu, file, block);
-                let copy = self.cfg.tuning.copy_cost;
-                let p = self.procs.get_mut(pid);
-                p.pop_micro();
-                p.push_front_micro(MicroOp::Cpu(copy));
-                true
-            }
-            Some(CacheEntry::Filling { tag, .. }) => {
-                self.fill_waiters.entry(tag).or_default().push(pid);
-                self.block_running(cpu, BlockReason::CacheFill);
-                self.dispatch(cpu);
-                false
-            }
-            None => {
-                let spu = self.procs.get(pid).spu;
-                let meta = self.fs.meta(file).clone();
-                // Read-ahead: extend the miss over following uncached
-                // blocks ("There are multiple outstanding reads because of
-                // read-ahead by the kernel", §4.5).
-                let max_blocks = 1 + self.cfg.tuning.readahead_blocks as u64;
-                let mut frames = Vec::new();
-                let mut b = block;
-                while b < meta.blocks && b < block + max_blocks && self.cache.get(file, b).is_none()
-                {
-                    match self
-                        .vm
-                        .acquire_frame(spu, FrameOwner::Cache { file, block: b })
-                    {
-                        Acquired::Frame { frame, evicted } => {
-                            if let Some(ev) = evicted {
-                                self.handle_eviction(ev, None);
-                            }
-                            frames.push(frame);
-                            b += 1;
-                        }
-                        Acquired::Denied => break,
-                    }
-                }
-                if frames.is_empty() {
-                    // Not even one frame: block on memory.
-                    self.mem_waiters.push(pid);
-                    self.block_running(cpu, BlockReason::Memory);
-                    self.dispatch(cpu);
-                    return false;
-                }
-                let nblocks = frames.len() as u32;
-                let tag = self.next_tag();
-                for (i, &frame) in frames.iter().enumerate() {
-                    self.vm.set_pinned(frame, true);
-                    self.cache
-                        .insert_filling(file, block + i as u64, frame, tag);
-                }
-                let sector = self.fs.sector_of_block(file, block);
-                let req =
-                    DiskRequest::new(spu, RequestKind::Read, sector, nblocks * SECTORS_PER_PAGE)
-                        .with_tag(tag);
-                self.io_purpose.insert(
-                    tag,
-                    IoPurpose::CacheFill {
-                        file,
-                        first_block: block,
-                        nblocks,
-                    },
-                );
-                *self.filling.entry(file).or_default() += 1;
-                self.fill_waiters.entry(tag).or_default().push(pid);
-                self.submit_io(meta.disk, req);
-                self.block_running(cpu, BlockReason::CacheFill);
-                self.dispatch(cpu);
-                false
-            }
-        }
-    }
-
-    /// Issues asynchronous read-ahead following a cache hit: keeps up to
-    /// `prefetch_windows` fills of `readahead_blocks` in flight per file,
-    /// so a sequential reader keeps the disk queue occupied ("multiple
-    /// outstanding reads because of read-ahead", §4.5). Nobody waits on a
-    /// prefetch.
-    fn maybe_prefetch(&mut self, spu: SpuId, file: FileId, block: u64) {
-        let meta = self.fs.meta(file).clone();
-        let ra = self.cfg.tuning.readahead_blocks as u64 + 1;
-        let windows = self.cfg.tuning.prefetch_windows;
-        if ra == 0 || windows == 0 {
-            return;
-        }
-        // Scan ahead a bounded distance for the first uncached block.
-        let horizon = (block + 1 + ra * windows as u64).min(meta.blocks);
-        let mut next = block + 1;
-        while self.filling.get(&file).copied().unwrap_or(0) < windows {
-            while next < horizon && self.cache.get(file, next).is_some() {
-                next += 1;
-            }
-            if next >= horizon {
-                return;
-            }
-            let mut frames = Vec::new();
-            let mut b = next;
-            while b < meta.blocks && b < next + ra && self.cache.get(file, b).is_none() {
-                match self
-                    .vm
-                    .acquire_frame(spu, FrameOwner::Cache { file, block: b })
-                {
-                    Acquired::Frame { frame, evicted } => {
-                        if let Some(ev) = evicted {
-                            self.handle_eviction(ev, None);
-                        }
-                        frames.push(frame);
-                        b += 1;
-                    }
-                    Acquired::Denied => break,
-                }
-            }
-            if frames.is_empty() {
-                return;
-            }
-            let nblocks = frames.len() as u32;
-            let tag = self.next_tag();
-            for (i, &frame) in frames.iter().enumerate() {
-                self.vm.set_pinned(frame, true);
-                self.cache.insert_filling(file, next + i as u64, frame, tag);
-            }
-            let sector = self.fs.sector_of_block(file, next);
-            let req = DiskRequest::new(spu, RequestKind::Read, sector, nblocks * SECTORS_PER_PAGE)
-                .with_tag(tag);
-            self.io_purpose.insert(
-                tag,
-                IoPurpose::CacheFill {
-                    file,
-                    first_block: next,
-                    nblocks,
-                },
-            );
-            *self.filling.entry(file).or_default() += 1;
-            self.submit_io(meta.disk, req);
-            next = b;
-        }
-    }
-
-    /// Handles a `BlockWrite`. Returns `false` if the process blocked.
-    fn do_block_write(&mut self, cpu: usize, pid: Pid, file: FileId, block: u64) -> bool {
-        // Dirty-buffer throttle: "The buffer cache fills up causing
-        // writes to the disk" (§4.5).
-        let high = (self.cfg.total_frames() as f64 * self.cfg.tuning.dirty_high_frac) as u64;
-        if self.cache.dirty_load() >= high {
-            self.flush_dirty(usize::MAX);
-            self.dirty_waiters.push(pid);
-            self.block_running(cpu, BlockReason::DirtyThrottle);
-            self.dispatch(cpu);
-            return false;
-        }
-        match self.cache.lookup(file, block) {
-            Some(CacheEntry::Valid { .. }) => {
-                self.cache.mark_dirty(file, block);
-                let copy = self.cfg.tuning.copy_cost;
-                let p = self.procs.get_mut(pid);
-                p.pop_micro();
-                p.push_front_micro(MicroOp::Cpu(copy));
-                true
-            }
-            Some(CacheEntry::Filling { tag, .. }) => {
-                self.fill_waiters.entry(tag).or_default().push(pid);
-                self.block_running(cpu, BlockReason::CacheFill);
-                self.dispatch(cpu);
-                false
-            }
-            None => {
-                // Whole-block overwrite: no read needed.
-                let spu = self.procs.get(pid).spu;
-                match self
-                    .vm
-                    .acquire_frame(spu, FrameOwner::Cache { file, block })
-                {
-                    Acquired::Frame { frame, evicted } => {
-                        if let Some(ev) = evicted {
-                            self.handle_eviction(ev, None);
-                        }
-                        self.cache.insert_valid(file, block, frame, true);
-                        let copy = self.cfg.tuning.copy_cost;
-                        let p = self.procs.get_mut(pid);
-                        p.pop_micro();
-                        p.push_front_micro(MicroOp::Cpu(copy));
-                        true
-                    }
-                    Acquired::Denied => {
-                        self.mem_waiters.push(pid);
-                        self.block_running(cpu, BlockReason::Memory);
-                        self.dispatch(cpu);
-                        false
-                    }
-                }
-            }
-        }
-    }
-
-    /// Flushes up to `max` dirty cache blocks as shared-SPU write batches
-    /// (§3.3), coalescing contiguous sectors.
-    fn flush_dirty(&mut self, max: usize) {
-        let batch = self.cache.take_dirty_batch(max);
-        if batch.is_empty() {
-            return;
-        }
-        // (disk, sector, frame, owner spu)
-        let mut items: Vec<(usize, u64, FrameId, SpuId)> = batch
-            .into_iter()
-            .map(|(file, block, frame)| {
-                let disk = self.fs.meta(file).disk;
-                let sector = self.fs.sector_of_block(file, block);
-                (disk, sector, frame, self.vm.frame(frame).spu)
-            })
-            .collect();
-        items.sort_unstable_by_key(|&(d, s, _, _)| (d, s));
-        let mut i = 0;
-        while i < items.len() {
-            let disk = items[i].0;
-            let start_sector = items[i].1;
-            let mut frames = vec![items[i].2];
-            let mut spus = vec![items[i].3];
-            let mut prev = items[i].1;
-            let mut j = i + 1;
-            while j < items.len()
-                && items[j].0 == disk
-                && items[j].1 == prev + SECTORS_PER_PAGE as u64
-                && frames.len() < 64
-            {
-                frames.push(items[j].2);
-                spus.push(items[j].3);
-                prev = items[j].1;
-                j += 1;
-            }
-            // Charge breakdown: "Once the shared write request is done,
-            // the individual pages are charged to the appropriate user
-            // SPUs" (§3.3).
-            let mut charges: Vec<(SpuId, u32)> = Vec::new();
-            for &s in &spus {
-                match charges.iter_mut().find(|(cs, _)| *cs == s) {
-                    Some((_, n)) => *n += SECTORS_PER_PAGE,
-                    None => charges.push((s, SECTORS_PER_PAGE)),
-                }
-            }
-            let nblocks = frames.len() as u32;
-            let tag = self.next_tag();
-            for &f in &frames {
-                self.vm.set_pinned(f, true);
-            }
-            let req = DiskRequest::new(
-                SpuId::SHARED,
-                RequestKind::Write,
-                start_sector,
-                nblocks * SECTORS_PER_PAGE,
-            )
-            .with_charges(charges)
-            .with_tag(tag);
-            self.io_purpose
-                .insert(tag, IoPurpose::Flush { nblocks, frames });
-            self.submit_io(disk, req);
-            i = j;
-        }
-    }
-
-    // ----- disk plumbing --------------------------------------------------
-
-    fn next_tag(&mut self) -> u64 {
-        let t = self.next_tag;
-        self.next_tag += 1;
-        t
-    }
-
-    fn submit_io(&mut self, disk: usize, req: DiskRequest) {
-        self.trace.push(TraceEvent::IoIssue {
-            at: self.now,
-            disk,
-            stream: req.stream,
-            sectors: req.sectors,
-        });
-        if let Some(c) = self.disks[disk].submit(req, self.now) {
-            self.events.schedule(c.at, Event::DiskDone { disk });
-        }
-    }
-
-    fn on_disk_done(&mut self, disk: usize) {
-        let (done, next) = self.disks[disk].complete(self.now);
-        if let Some(c) = next {
-            self.events.schedule(c.at, Event::DiskDone { disk });
-        }
-        if done.failed {
-            self.fault_counts.disk_errors += 1;
-            self.handle_io_error(disk, done.req);
-            return;
-        }
-        let req = done.req;
-        self.retries.remove(&req.tag);
-        let Some(purpose) = self.io_purpose.remove(&req.tag) else {
-            self.report_error(KernelError::CompletionWithoutPurpose { tag: req.tag });
-            return;
-        };
-        match purpose {
-            IoPurpose::CacheFill {
-                file,
-                first_block,
-                nblocks,
-            } => {
-                if let Some(n) = self.filling.get_mut(&file) {
-                    *n = n.saturating_sub(1);
-                }
-                for b in first_block..first_block + nblocks as u64 {
-                    if let Some(frame) = self.cache.complete_fill(file, b) {
-                        self.vm.set_pinned(frame, false);
-                    }
-                }
-                if let Some(waiters) = self.fill_waiters.remove(&req.tag) {
-                    for w in waiters {
-                        self.make_ready(w);
-                    }
-                }
-                self.wake_mem_waiters();
-            }
-            IoPurpose::SwapIn { pid, frames } => {
-                for f in frames {
-                    self.vm.set_pinned(f, false);
-                }
-                self.io_finished(pid);
-                self.wake_mem_waiters();
-            }
-            IoPurpose::Private { pid } => self.io_finished(pid),
-            IoPurpose::Flush { nblocks, frames } => {
-                self.cache.flush_completed(nblocks as u64);
-                for f in frames {
-                    // The frame may have been evicted while the flush was
-                    // in flight; unpinning a freed frame is harmless.
-                    self.vm.set_pinned(f, false);
-                }
-                let low = (self.cfg.total_frames() as f64 * self.cfg.tuning.dirty_low_frac) as u64;
-                if self.cache.dirty_load() <= low && !self.dirty_waiters.is_empty() {
-                    for w in std::mem::take(&mut self.dirty_waiters) {
-                        self.make_ready(w);
-                    }
-                }
-                self.wake_mem_waiters();
-            }
-            IoPurpose::Noop => {}
-        }
-    }
-
-    /// Recovery policy for a failed disk request: capped exponential
-    /// backoff retries, then fail the request up to the owning process.
-    fn handle_io_error(&mut self, disk: usize, req: DiskRequest) {
-        let t = &self.cfg.tuning;
-        let (max_retries, base, cap, timeout) = (
-            t.io_max_retries,
-            t.io_retry_base,
-            t.io_retry_cap,
-            t.io_timeout,
-        );
-        let entry = self.retries.entry(req.tag).or_insert(RetryState {
-            attempts: 0,
-            first_error: self.now,
-        });
-        entry.attempts += 1;
-        let attempts = entry.attempts;
-        let elapsed = self.now.saturating_since(entry.first_error);
-        if attempts <= max_retries && elapsed < timeout {
-            self.fault_counts.io_retries += 1;
-            let delay = backoff_delay(attempts - 1, base, cap);
-            self.events
-                .schedule(self.now + delay, Event::IoRetry { disk, req });
-        } else {
-            self.retries.remove(&req.tag);
-            self.fault_counts.io_failures += 1;
-            self.fail_io(req);
-        }
-    }
-
-    /// Fails a permanently-errored request up to whoever issued it: the
-    /// owning process observes the error (its `io_errors` count) and
-    /// continues; frame and cache bookkeeping is unwound exactly as on
-    /// success so nothing leaks. The simulator models placement and
-    /// timing rather than data, so a failed cache fill leaves the target
-    /// blocks valid (with garbage nobody models) instead of stranded in
-    /// the `Filling` state.
-    fn fail_io(&mut self, req: DiskRequest) {
-        self.trace.push(TraceEvent::FaultInjected {
-            at: self.now,
-            label: "io-failure",
-        });
-        let Some(purpose) = self.io_purpose.remove(&req.tag) else {
-            self.report_error(KernelError::CompletionWithoutPurpose { tag: req.tag });
-            return;
-        };
-        match purpose {
-            IoPurpose::CacheFill {
-                file,
-                first_block,
-                nblocks,
-            } => {
-                if let Some(n) = self.filling.get_mut(&file) {
-                    *n = n.saturating_sub(1);
-                }
-                for b in first_block..first_block + nblocks as u64 {
-                    if let Some(frame) = self.cache.complete_fill(file, b) {
-                        self.vm.set_pinned(frame, false);
-                    }
-                }
-                if let Some(waiters) = self.fill_waiters.remove(&req.tag) {
-                    for w in waiters {
-                        self.procs.get_mut(w).io_errors += 1;
-                        self.make_ready(w);
-                    }
-                }
-                self.wake_mem_waiters();
-            }
-            IoPurpose::SwapIn { pid, frames } => {
-                for f in frames {
-                    self.vm.set_pinned(f, false);
-                }
-                self.procs.get_mut(pid).io_errors += 1;
-                self.io_finished(pid);
-                self.wake_mem_waiters();
-            }
-            IoPurpose::Private { pid } => {
-                self.procs.get_mut(pid).io_errors += 1;
-                self.io_finished(pid);
-            }
-            IoPurpose::Flush { nblocks, frames } => {
-                self.cache.flush_completed(nblocks as u64);
-                for f in frames {
-                    self.vm.set_pinned(f, false);
-                }
-                let low = (self.cfg.total_frames() as f64 * self.cfg.tuning.dirty_low_frac) as u64;
-                if self.cache.dirty_load() <= low && !self.dirty_waiters.is_empty() {
-                    for w in std::mem::take(&mut self.dirty_waiters) {
-                        self.make_ready(w);
-                    }
-                }
-                self.wake_mem_waiters();
-            }
-            IoPurpose::Noop => {}
-        }
-    }
-
-    fn io_finished(&mut self, pid: Pid) {
-        let p = self.procs.get_mut(pid);
-        debug_assert!(p.pending_io > 0, "io completion underflow for {pid:?}");
-        p.pending_io -= 1;
-        if p.pending_io == 0 && matches!(p.state, ProcState::Blocked(BlockReason::Io)) {
-            self.make_ready(pid);
-        }
-    }
-
-    fn wake_mem_waiters(&mut self) {
-        if self.mem_waiters.is_empty() {
-            return;
-        }
-        for w in std::mem::take(&mut self.mem_waiters) {
-            self.make_ready(w);
-        }
-    }
-
-    // ----- fault injection & recovery --------------------------------------
-
-    /// Applies one injected fault. Malformed targets (out-of-range disk
-    /// or CPU, the last online CPU, an SPU with nothing to crash) are
-    /// counted as skipped rather than applied, so a random plan can
-    /// never wedge the machine.
-    fn on_fault(&mut self, kind: FaultKind) {
-        self.fault_counts.injected += 1;
-        match kind {
-            FaultKind::DiskTransientErrors { disk, count } => {
-                if disk >= self.disks.len() || count == 0 {
-                    self.fault_counts.skipped += 1;
-                    return;
-                }
-                self.trace.push(TraceEvent::FaultInjected {
-                    at: self.now,
-                    label: "disk-errors",
-                });
-                self.disks[disk].inject_failures(count);
-            }
-            FaultKind::DiskDegrade { disk, factor } => {
-                if disk >= self.disks.len() || !factor.is_finite() || factor < 1.0 {
-                    self.fault_counts.skipped += 1;
-                    return;
-                }
-                self.trace.push(TraceEvent::FaultInjected {
-                    at: self.now,
-                    label: "disk-degrade",
-                });
-                self.disks[disk].set_degraded(Some(factor));
-                self.set_disk_shares(disk, factor);
-            }
-            FaultKind::DiskRepair { disk } => {
-                if disk >= self.disks.len() {
-                    self.fault_counts.skipped += 1;
-                    return;
-                }
-                self.trace.push(TraceEvent::FaultInjected {
-                    at: self.now,
-                    label: "disk-repair",
-                });
-                self.disks[disk].set_degraded(None);
-                self.set_disk_shares(disk, 1.0);
-            }
-            FaultKind::CpuOffline { cpu } => {
-                if cpu >= self.sched.cpu_count()
-                    || !self.sched.cpu(cpu).online
-                    || self.sched.online_count() <= 1
-                {
-                    self.fault_counts.skipped += 1;
-                    return;
-                }
-                self.trace.push(TraceEvent::FaultInjected {
-                    at: self.now,
-                    label: "cpu-offline",
-                });
-                self.fault_counts.cpu_offline += 1;
-                if self.sched.cpu(cpu).running.is_some() {
-                    self.preempt(cpu);
-                }
-                self.sched.set_online(cpu, false);
-                self.rebalance_cpus();
-            }
-            FaultKind::CpuOnline { cpu } => {
-                if cpu >= self.sched.cpu_count() || self.sched.cpu(cpu).online {
-                    self.fault_counts.skipped += 1;
-                    return;
-                }
-                self.trace.push(TraceEvent::FaultInjected {
-                    at: self.now,
-                    label: "cpu-online",
-                });
-                self.fault_counts.cpu_online += 1;
-                self.sched.set_online(cpu, true);
-                self.rebalance_cpus();
-            }
-            FaultKind::ProcessCrash { user_spu } => self.crash_in_spu(user_spu),
-            FaultKind::ForkBomb {
-                user_spu,
-                width,
-                depth,
-                burn,
-                pages,
-            } => {
-                if user_spu as usize >= self.spus.user_count() {
-                    self.fault_counts.skipped += 1;
-                    return;
-                }
-                self.trace.push(TraceEvent::FaultInjected {
-                    at: self.now,
-                    label: "fork-bomb",
-                });
-                self.fault_counts.forkbombs += 1;
-                self.spawn_fork_bomb(user_spu, width, depth, burn, pages);
-            }
-        }
-    }
-
-    /// Graceful degradation of disk bandwidth (§3.3 under failure): a
-    /// device running `factor`× slower grants every SPU proportionally
-    /// less `allowed` share; repair restores the configured weights.
-    fn set_disk_shares(&mut self, disk: usize, factor: f64) {
-        let shares: Vec<(SpuId, f64)> = self
-            .spus
-            .user_ids()
-            .map(|id| (id, self.spus.disk_weight(id) as f64 / factor))
-            .collect();
-        for (id, w) in shares {
-            self.disks[disk].set_share(id, w);
-        }
-    }
-
-    /// Re-derives every SPU's CPU entitlement from the surviving online
-    /// CPUs, revokes loans the new partition disallows, and refills idle
-    /// CPUs. Audits that the re-derived entitlements still fit the
-    /// machine (conservation under reconfiguration).
-    fn rebalance_cpus(&mut self) {
-        self.sched.rebalance(&self.procs);
-        let online = self.sched.online_count();
-        if online == 0 {
-            return;
-        }
-        let partition = CpuPartition::compute(online, &self.spus);
-        let total: u64 = self
-            .spus
-            .user_ids()
-            .map(|id| partition.milli_cpus(id))
-            .sum();
-        if total > online as u64 * 1000 {
-            self.cpu_audit_violations += 1;
-        }
-        if self.sample_interval.is_some() {
-            self.cpu_entitled = self
-                .spus
-                .user_ids()
-                .map(|id| partition.milli_cpus(id) as f64 / 1000.0)
-                .collect();
-        }
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.needs_revocation(cpu) {
-                self.preempt(cpu);
-                self.dispatch(cpu);
-            }
-        }
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.cpu(cpu).online && self.sched.cpu(cpu).is_idle() {
-                self.dispatch(cpu);
-            }
-        }
-    }
-
-    /// Crashes the lowest-pid ready or running process of the given user
-    /// SPU: its locks are released (waiters woken), its frames are
-    /// freed, and its job is left unfinished. Blocked processes are not
-    /// chosen — their wakeups are owned by other subsystems' queues.
-    fn crash_in_spu(&mut self, user_spu: u32) {
-        if user_spu as usize >= self.spus.user_count() {
-            self.fault_counts.skipped += 1;
-            return;
-        }
-        let spu = SpuId::user(user_spu);
-        let victim = self
-            .procs
-            .iter()
-            .filter(|p| p.spu == spu && matches!(p.state, ProcState::Ready | ProcState::Running(_)))
-            .map(|p| (p.pid, p.state))
-            .min_by_key(|&(pid, _)| pid);
-        let Some((pid, state)) = victim else {
-            self.fault_counts.skipped += 1;
-            return;
-        };
-        self.trace.push(TraceEvent::FaultInjected {
-            at: self.now,
-            label: "process-crash",
-        });
-        self.fault_counts.crashes += 1;
-        match state {
-            ProcState::Running(cpu) => {
-                if let Err(e) = self.deschedule(cpu) {
-                    self.report_error(e);
-                }
-            }
-            ProcState::Ready => {
-                self.sched.dequeue(&self.procs, pid);
-            }
-            _ => {}
-        }
-        self.wake_pending.remove(&pid);
-        for w in self.locks.release_all(pid) {
-            let wp = self.procs.get_mut(w);
-            if matches!(wp.micro_front(), Some(MicroOp::LockAcquire { .. })) {
-                wp.pop_micro();
-            }
-            self.make_ready(w);
-        }
-        self.exit_process(pid, true);
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.cpu(cpu).online && self.sched.cpu(cpu).is_idle() {
-                self.dispatch(cpu);
-            }
-        }
-    }
-
-    /// Spawns the antisocial fork-bomb workload in `user_spu`: a tree of
-    /// processes `width` wide and `depth` deep, each touching `pages`
-    /// pages and burning `burn` of CPU. Width and depth are clamped so
-    /// an adversarial plan cannot explode the process table.
-    fn spawn_fork_bomb(
-        &mut self,
-        user_spu: u32,
-        width: u32,
-        depth: u32,
-        burn: SimDuration,
-        pages: u32,
-    ) {
-        fn bomb(width: u32, depth: u32, burn: SimDuration, pages: u32) -> Arc<Program> {
-            let mut b = Program::builder("bomb");
-            if pages > 0 {
-                b = b.alloc(pages);
-            }
-            b = b.compute(burn, pages);
-            if depth > 0 {
-                let child = bomb(width, depth - 1, burn, pages);
-                for _ in 0..width {
-                    b = b.fork(child.clone());
-                }
-                b = b.wait_children();
-            }
-            b.build()
-        }
-        let prog = bomb(width.clamp(1, 6), depth.min(4), burn, pages.min(1 << 14));
-        let label = format!("bomb-u{user_spu}");
-        self.spawn_at(SpuId::user(user_spu), prog, Some(&label), self.now);
-    }
-
-    // ----- process lifecycle ----------------------------------------------
-
-    fn fork_child(&mut self, parent: Pid, program: Arc<Program>) {
-        let (spu, job) = {
-            let p = self.procs.get(parent);
-            (p.spu, p.job)
-        };
-        let pid = self.procs.next_pid();
-        let child = Process::new(pid, spu, job, program, Some(parent), self.now);
-        self.procs.insert(child);
-        self.procs.get_mut(parent).live_children += 1;
-        self.live_procs += 1;
-        self.make_ready(pid);
-    }
-
-    /// Retires a process. A `crashed` exit leaves the job unfinished —
-    /// its response is scored at run end, so a crash injected into a
-    /// job's root degrades its numbers rather than erasing them.
-    fn exit_process(&mut self, pid: Pid, crashed: bool) {
-        {
-            let p = self.procs.get_mut(pid);
-            p.state = ProcState::Done;
-            p.finished = Some(self.now);
-        }
-        self.live_procs -= 1;
-        self.vm.free_process_frames(pid);
-        // The light-load SPU "releases memory in addition to CPUs"
-        // (§4.3 footnote) — waking anyone blocked on memory.
-        self.wake_mem_waiters();
-        // Job completion.
-        if let Some(job) = self.procs.get(pid).job {
-            let rec = &mut self.jobs[job.0 as usize];
-            if rec.root == pid && !crashed {
-                rec.finished = Some(self.now);
-                self.latency
-                    .response
-                    .add_duration(self.now.saturating_since(rec.started));
-            }
-        }
-        // Parent notification.
-        if let Some(parent) = self.procs.get(pid).parent {
-            let pp = self.procs.get_mut(parent);
-            pp.live_children -= 1;
-            if pp.live_children == 0
-                && matches!(pp.state, ProcState::Blocked(BlockReason::Children))
-            {
-                self.make_ready(parent);
-            }
-        }
-    }
-
-    // ----- swap geometry ---------------------------------------------------
-
-    /// The disk holding an SPU's swap space.
-    fn swap_disk_of(&self, spu: SpuId) -> usize {
-        match spu.user_index() {
-            Some(i) => i % self.disks.len(),
-            None => 0,
-        }
-    }
-
-    /// Maps a global swap-slot offset to a sector in the disk's swap
-    /// region (the upper half of the disk, far from the file extents).
-    fn swap_sector(&self, disk: usize, slot: u64) -> u64 {
-        let total = self.disks[disk].model().total_sectors();
-        let base = total / 2;
-        base + (slot % (total / 2 - SECTORS_PER_PAGE as u64 * 16))
-    }
-
     // ----- metrics ---------------------------------------------------------
 
     /// Publishes every subsystem's counters into one registry
     /// (deterministic name order; see [`CounterRegistry`]).
-    fn publish_counters(&self) -> CounterRegistry {
+    pub(crate) fn publish_counters(&self) -> CounterRegistry {
         let mut reg = CounterRegistry::new();
         reg.set("sched.dispatches", self.sched_counts.dispatches);
         reg.set("sched.preemptions", self.sched_counts.preemptions);
@@ -2025,7 +432,7 @@ impl Kernel {
         reg
     }
 
-    fn collect_metrics(&mut self, completed: bool) -> RunMetrics {
+    pub(crate) fn collect_metrics(&mut self, completed: bool) -> RunMetrics {
         let mut cpu_idle = Vec::new();
         let mut cpu_busy = Vec::new();
         for i in 0..self.sched.cpu_count() {

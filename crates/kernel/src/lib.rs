@@ -42,13 +42,18 @@
 
 pub mod bufcache;
 pub mod config;
+mod cpu;
 pub mod error;
+mod event;
 pub mod export;
 pub mod fs;
+mod io;
 pub mod kernel;
 pub mod locks;
+mod mem;
 pub mod metrics;
 pub mod obsv;
+mod policy;
 pub mod process;
 pub mod program;
 pub mod sched;

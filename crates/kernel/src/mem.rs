@@ -1,0 +1,235 @@
+//! The memory fault path: working-set sweeps (`Touch`), swap-in
+//! coalescing, eviction handling (§3.2's revocation cost), and the
+//! memory-waiter queue.
+
+use event_sim::SimDuration;
+use hp_disk::{DiskRequest, RequestKind};
+use spu_core::SpuId;
+
+use crate::bufcache::CacheEntry;
+use crate::config::SECTORS_PER_PAGE;
+use crate::io::IoPurpose;
+use crate::kernel::Kernel;
+use crate::process::{BlockReason, MicroOp, PageState, Pid};
+use crate::trace::TraceEvent;
+use crate::vm::{Acquired, Evicted, FrameId, FrameOwner};
+
+impl Kernel {
+    /// Pages faulted per blocking round of a working-set sweep.
+    pub(crate) const TOUCH_BATCH: u32 = 32;
+
+    /// Handles one round of a `Touch` sweep: advances the cursor over
+    /// resident pages and faults in the next batch of missing ones. A
+    /// sweep larger than the SPU's allowed memory thrashes — pages
+    /// faulted early in the sweep get evicted to make room for later
+    /// ones — but always makes forward progress. Returns `false` if the
+    /// process blocked (I/O or memory).
+    pub(crate) fn do_touch(&mut self, cpu: usize, pid: Pid, pages: u32, cursor: u32) -> bool {
+        let want = (self.procs.get(pid).pages.len() as u32).min(pages);
+        let mut c = cursor;
+        loop {
+            let frame = match self.procs.get(pid).pages.get(c as usize) {
+                Some(PageState::Resident(f)) if c < want => *f,
+                _ => break,
+            };
+            self.vm.touch_frame(frame);
+            c += 1;
+        }
+        if c >= want {
+            self.procs.get_mut(pid).pop_micro();
+            return true;
+        }
+        let spu = self.procs.get(pid).spu;
+        let mut cpu_cost = SimDuration::ZERO;
+        let mut swapins: Vec<(u64, FrameId)> = Vec::new(); // (slot sector, frame)
+        let end = (c + Self::TOUCH_BATCH).min(want);
+        let mut page = c;
+        let mut denied = false;
+        while page < end {
+            if matches!(
+                self.procs.get(pid).pages[page as usize],
+                PageState::Resident(_)
+            ) {
+                page += 1;
+                continue;
+            }
+            let (frame, evicted) = match self.vm.acquire_frame(spu, FrameOwner::Anon { pid, page })
+            {
+                Acquired::Frame { frame, evicted } => (frame, evicted),
+                Acquired::Denied => {
+                    denied = true;
+                    break;
+                }
+            };
+            if let Some(ev) = evicted {
+                self.handle_eviction(ev, Some(pid));
+            }
+            let prior = self.procs.get(pid).pages[page as usize];
+            self.procs.get_mut(pid).pages[page as usize] = PageState::Resident(frame);
+            self.vm.set_dirty(frame, true); // anon pages are born dirty
+            match prior {
+                PageState::Swapped(slot) => {
+                    self.vm.set_pinned(frame, true);
+                    swapins.push((slot, frame));
+                    self.vm.count_fault(spu, true);
+                    self.trace.push(TraceEvent::Fault {
+                        at: self.now,
+                        spu,
+                        major: true,
+                    });
+                }
+                PageState::Unmapped => {
+                    cpu_cost += self.cfg.tuning.zero_fill_cost;
+                    self.vm.count_fault(spu, false);
+                    self.trace.push(TraceEvent::Fault {
+                        at: self.now,
+                        spu,
+                        major: false,
+                    });
+                }
+                PageState::Resident(_) => unreachable!("checked above"),
+            }
+            page += 1;
+        }
+        // Sweep progress: everything before `page` has been visited.
+        self.procs.get_mut(pid).set_touch_cursor(page);
+        self.issue_swapins(pid, spu, &swapins);
+        if self.procs.get(pid).pending_io > 0 {
+            self.push_wait_and_cost(pid, cpu_cost);
+            self.block_running(cpu, BlockReason::Io);
+            self.dispatch(cpu);
+            false
+        } else if denied {
+            self.mem_waiters.push(pid);
+            self.block_running(cpu, BlockReason::Memory);
+            self.dispatch(cpu);
+            false
+        } else if !cpu_cost.is_zero() {
+            self.push_wait_and_cost(pid, cpu_cost);
+            true
+        } else {
+            true
+        }
+    }
+
+    /// Issues the swap-in reads collected by a touch, coalescing
+    /// contiguous slots.
+    pub(crate) fn issue_swapins(&mut self, pid: Pid, spu: SpuId, swapins: &[(u64, FrameId)]) {
+        if swapins.is_empty() {
+            return;
+        }
+        let disk = self.swap_disk_of(spu);
+        let mut sorted = swapins.to_vec();
+        sorted.sort_unstable_by_key(|&(slot, _)| slot);
+        let mut run_start = sorted[0].0;
+        let mut run_frames = vec![sorted[0].1];
+        let mut prev = sorted[0].0;
+        let flush_run = |start: u64, frames: &Vec<FrameId>, k: &mut Kernel| {
+            let sectors = frames.len() as u32 * SECTORS_PER_PAGE;
+            let tag = k.next_tag();
+            let sector = k.swap_sector(disk, start);
+            let req = DiskRequest::new(spu, RequestKind::Read, sector, sectors).with_tag(tag);
+            k.io_purpose.insert(
+                tag,
+                IoPurpose::SwapIn {
+                    pid,
+                    frames: frames.clone(),
+                },
+            );
+            k.procs.get_mut(pid).pending_io += 1;
+            k.submit_io(disk, req);
+        };
+        for &(slot, frame) in &sorted[1..] {
+            if slot == prev + SECTORS_PER_PAGE as u64 {
+                run_frames.push(frame);
+            } else {
+                flush_run(run_start, &run_frames, self);
+                run_start = slot;
+                run_frames = vec![frame];
+            }
+            prev = slot;
+        }
+        flush_run(run_start, &run_frames, self);
+    }
+
+    /// Queues `[AwaitIo, Cpu(cost)]` in front of the process's script so
+    /// it waits for its fault I/O and then pays the fault CPU cost.
+    pub(crate) fn push_wait_and_cost(&mut self, pid: Pid, cost: SimDuration) {
+        let p = self.procs.get_mut(pid);
+        if !cost.is_zero() {
+            p.push_front_micro(MicroOp::Cpu(cost));
+        }
+        p.push_front_micro(MicroOp::AwaitIo);
+    }
+
+    /// Processes an eviction decided by the VM: fixes the page table or
+    /// cache map and issues the writeback.
+    ///
+    /// `charge_to`: when the eviction was forced by a faulting process
+    /// (isolation at work), that process waits for the swap-out write —
+    /// the revocation cost of §2.3. Asynchronous cleanings pass `None`.
+    pub(crate) fn handle_eviction(&mut self, ev: Evicted, charge_to: Option<Pid>) {
+        match ev.owner {
+            FrameOwner::Anon { pid: owner, page } => {
+                let slot = self.vm.alloc_swap_run(1);
+                self.procs.get_mut(owner).pages[page as usize] = PageState::Swapped(slot);
+                if ev.dirty {
+                    let disk = self.swap_disk_of(ev.spu);
+                    let sector = self.swap_sector(disk, slot);
+                    let tag = self.next_tag();
+                    let stream = charge_to.map(|p| self.procs.get(p).spu).unwrap_or(ev.spu);
+                    let req =
+                        DiskRequest::new(stream, RequestKind::Write, sector, SECTORS_PER_PAGE)
+                            .with_tag(tag);
+                    match charge_to {
+                        Some(p) => {
+                            self.io_purpose.insert(tag, IoPurpose::Private { pid: p });
+                            self.procs.get_mut(p).pending_io += 1;
+                        }
+                        None => {
+                            self.io_purpose.insert(tag, IoPurpose::Noop);
+                        }
+                    }
+                    self.submit_io(disk, req);
+                }
+            }
+            FrameOwner::Cache { file, block } => {
+                let entry = self.cache.remove(file, block);
+                let dirty = matches!(entry, Some(CacheEntry::Valid { dirty: true, .. }));
+                if dirty {
+                    let meta = self.fs.meta(file).clone();
+                    let sector = self.fs.sector_of_block(file, block);
+                    let tag = self.next_tag();
+                    let stream = charge_to
+                        .map(|p| self.procs.get(p).spu)
+                        .unwrap_or(SpuId::SHARED);
+                    let req =
+                        DiskRequest::new(stream, RequestKind::Write, sector, SECTORS_PER_PAGE)
+                            .with_tag(tag);
+                    match charge_to {
+                        Some(p) => {
+                            self.io_purpose.insert(tag, IoPurpose::Private { pid: p });
+                            self.procs.get_mut(p).pending_io += 1;
+                        }
+                        None => {
+                            self.io_purpose.insert(tag, IoPurpose::Noop);
+                        }
+                    }
+                    self.submit_io(meta.disk, req);
+                }
+            }
+            FrameOwner::Kernel | FrameOwner::Free => {
+                unreachable!("kernel/free frames are never evicted")
+            }
+        }
+    }
+
+    pub(crate) fn wake_mem_waiters(&mut self) {
+        if self.mem_waiters.is_empty() {
+            return;
+        }
+        for w in std::mem::take(&mut self.mem_waiters) {
+            self.make_ready(w);
+        }
+    }
+}

@@ -84,31 +84,11 @@ impl CounterRegistry {
     }
 }
 
-/// Which resource a [`SampleSeries`] tracks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ResourceKind {
-    /// CPUs (units: CPUs; entitled from the §3.1 hybrid partition).
-    Cpu,
-    /// Memory (units: page frames; levels from the §3.2 ledger).
-    Memory,
-    /// Disk bandwidth (units: decayed sectors per §3.3 accounting).
-    Disk,
-}
-
-impl ResourceKind {
-    /// All kinds, in the order series are laid out.
-    pub const ALL: [ResourceKind; 3] =
-        [ResourceKind::Cpu, ResourceKind::Memory, ResourceKind::Disk];
-
-    /// Stable lower-case name used in exports.
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            ResourceKind::Cpu => "cpu",
-            ResourceKind::Memory => "memory",
-            ResourceKind::Disk => "disk",
-        }
-    }
-}
+/// Which resource a [`SampleSeries`] tracks — the unified
+/// [`spu_core::ResourceKind`]. Its `as_str` tags key the export lines;
+/// samplers and exporters iterate the kinds a kernel's managers
+/// declare instead of enumerating resources by hand.
+pub use spu_core::ResourceKind;
 
 /// One sample point of an SPU's levels for one resource.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -230,7 +210,8 @@ pub struct ObsvReport {
     /// Named subsystem counters.
     pub counters: CounterRegistry,
     /// Per-SPU resource series (empty unless sampling was enabled);
-    /// laid out SPU-major, [`ResourceKind::ALL`] order within an SPU.
+    /// laid out SPU-major, the kernel's managed kinds in registry order
+    /// within an SPU.
     pub series: Vec<SampleSeries>,
     /// Latency histograms.
     pub latency: LatencyStats,
@@ -310,10 +291,15 @@ mod tests {
     #[test]
     fn report_finds_series() {
         let mut r = ObsvReport::default();
-        r.series
-            .push(SampleSeries::new(SpuId::user(1), "u1", ResourceKind::Cpu));
-        assert!(r.series_of(SpuId::user(1), ResourceKind::Cpu).is_some());
-        assert!(r.series_of(SpuId::user(1), ResourceKind::Disk).is_none());
-        assert!(r.series_of(SpuId::user(0), ResourceKind::Cpu).is_none());
+        r.series.push(SampleSeries::new(
+            SpuId::user(1),
+            "u1",
+            ResourceKind::CpuTime,
+        ));
+        assert!(r.series_of(SpuId::user(1), ResourceKind::CpuTime).is_some());
+        assert!(r
+            .series_of(SpuId::user(1), ResourceKind::DiskBandwidth)
+            .is_none());
+        assert!(r.series_of(SpuId::user(0), ResourceKind::CpuTime).is_none());
     }
 }

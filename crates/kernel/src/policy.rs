@@ -1,0 +1,437 @@
+//! Resource policy and recovery: the kernel's [`ResourceManager`]
+//! registry (CPU time, memory, disk bandwidth as three instances of the
+//! one `spu-core` contract), the generic sampler and auditor passes
+//! that iterate it, and fault injection with its recovery policies.
+
+use std::sync::Arc;
+
+use event_sim::{FaultKind, SimDuration, SimTime};
+use spu_core::{CpuPartition, LevelSnapshot, ResourceKind, ResourceManager, SpuId};
+
+use crate::kernel::Kernel;
+use crate::obsv::ResourceSample;
+use crate::process::{MicroOp, ProcState};
+use crate::program::Program;
+use crate::trace::TraceEvent;
+
+/// Fault-injection and recovery tallies published as `fault.*` counters.
+#[derive(Debug, Default)]
+pub(crate) struct FaultCounters {
+    pub(crate) injected: u64,
+    pub(crate) skipped: u64,
+    pub(crate) crashes: u64,
+    pub(crate) forkbombs: u64,
+    pub(crate) cpu_offline: u64,
+    pub(crate) cpu_online: u64,
+    pub(crate) disk_errors: u64,
+    pub(crate) io_retries: u64,
+    pub(crate) io_failures: u64,
+}
+
+/// The kernel's managed resources, one [`ResourceManager`] each, in the
+/// fixed registry order the sample series are laid out in.
+pub(crate) fn kernel_managers() -> Vec<Box<dyn ResourceManager<Ctx = Kernel> + Send + Sync>> {
+    vec![
+        Box::new(CpuTimeManager),
+        Box::new(MemLedgerManager),
+        Box::new(DiskBwManager),
+    ]
+}
+
+/// CPU time through the §3.1 hybrid partition: entitlement from the
+/// partition; `allowed` is the entitlement plus any CPUs currently
+/// borrowed (loans).
+#[derive(Debug, Default)]
+pub(crate) struct CpuTimeManager;
+
+impl ResourceManager for CpuTimeManager {
+    type Ctx = Kernel;
+
+    fn kind(&self) -> ResourceKind {
+        ResourceKind::CpuTime
+    }
+
+    fn sample(&mut self, k: &mut Kernel, users: usize, _now: SimTime) -> Vec<LevelSnapshot> {
+        // CPU occupancy: how many CPUs each user SPU is running on, and
+        // how many of those are loans from other SPUs' home CPUs.
+        let mut used = vec![0u64; users];
+        let mut loaned = vec![0u64; users];
+        for i in 0..k.sched.cpu_count() {
+            let c = k.sched.cpu(i);
+            if let Some(pid) = c.running {
+                if let Some(u) = k.procs.get(pid).spu.user_index() {
+                    used[u] += 1;
+                    if c.loaned {
+                        loaned[u] += 1;
+                    }
+                }
+            }
+        }
+        (0..users)
+            .map(|u| LevelSnapshot {
+                entitled: k.cpu_entitled[u],
+                allowed: k.cpu_entitled[u] + loaned[u] as f64,
+                used: used[u] as f64,
+            })
+            .collect()
+    }
+}
+
+/// Physical memory straight from the VM ledger (§3.2): under PIso the
+/// policy raises `allowed` above `entitled` while lending and drops it
+/// back at the next evaluation. Owns the conservation audit because the
+/// memory ledger is the one the [`LedgerAuditor`](spu_core::LedgerAuditor)
+/// watches.
+#[derive(Debug, Default)]
+pub(crate) struct MemLedgerManager;
+
+impl ResourceManager for MemLedgerManager {
+    type Ctx = Kernel;
+
+    fn kind(&self) -> ResourceKind {
+        ResourceKind::Memory
+    }
+
+    fn sample(&mut self, k: &mut Kernel, users: usize, _now: SimTime) -> Vec<LevelSnapshot> {
+        (0..users)
+            .map(|u| {
+                let lv = k.vm.levels(SpuId::user(u as u32));
+                LevelSnapshot {
+                    entitled: lv.entitled as f64,
+                    allowed: lv.allowed as f64,
+                    used: lv.used as f64,
+                }
+            })
+            .collect()
+    }
+
+    fn audit(&mut self, k: &mut Kernel, pressure: bool, now: SimTime) {
+        k.cfg
+            .scheme
+            .sharing()
+            .audit(&mut k.auditor, k.vm.ledger(), &k.spus, pressure, now);
+    }
+}
+
+/// Disk bandwidth as decayed sector counts per §3.3. The fair share of
+/// the current decayed total is the entitlement; `allowed` tops out at
+/// actual usage because the §3.3 scheduler throttles rather than
+/// reserves. The decay is step-invariant, so sampling never perturbs
+/// scheduling.
+#[derive(Debug, Default)]
+pub(crate) struct DiskBwManager;
+
+impl ResourceManager for DiskBwManager {
+    type Ctx = Kernel;
+
+    fn kind(&self) -> ResourceKind {
+        ResourceKind::DiskBandwidth
+    }
+
+    fn sample(&mut self, k: &mut Kernel, users: usize, now: SimTime) -> Vec<LevelSnapshot> {
+        let used: Vec<f64> = (0..users)
+            .map(|u| {
+                let spu = SpuId::user(u as u32);
+                k.disks
+                    .iter_mut()
+                    .map(|d| d.sampled_bandwidth(spu, now))
+                    .sum()
+            })
+            .collect();
+        let total: f64 = used.iter().sum();
+        let weight_sum: f64 = (0..users)
+            .map(|u| k.spus.disk_weight(SpuId::user(u as u32)) as f64)
+            .sum();
+        (0..users)
+            .map(|u| {
+                let entitled = if weight_sum > 0.0 {
+                    total * k.spus.disk_weight(SpuId::user(u as u32)) as f64 / weight_sum
+                } else {
+                    0.0
+                };
+                LevelSnapshot {
+                    entitled,
+                    allowed: entitled.max(used[u]),
+                    used: used[u],
+                }
+            })
+            .collect()
+    }
+}
+
+impl Kernel {
+    /// Runs every manager's audit hook over the kernel's books.
+    /// Violations surface as the `audit.violations` counter, never as a
+    /// panic.
+    pub(crate) fn audit_ledger(&mut self) {
+        let denials: u64 = self
+            .spus
+            .all_ids()
+            .map(|id| self.vm.stats(id).denials)
+            .sum();
+        let pressure = denials > self.last_denials;
+        self.last_denials = denials;
+        let now = self.now;
+        let mut managers = std::mem::take(&mut self.managers);
+        for m in &mut managers {
+            m.audit(self, pressure, now);
+        }
+        self.managers = managers;
+    }
+
+    /// Records one `(entitled, allowed, used)` sample per user SPU and
+    /// managed resource, iterating the manager registry. See
+    /// [`enable_sampling`](Self::enable_sampling).
+    pub(crate) fn on_sample(&mut self) {
+        let now = self.now;
+        let users = self.spus.user_count();
+        let mut managers = std::mem::take(&mut self.managers);
+        let width = managers.len();
+        for (slot, m) in managers.iter_mut().enumerate() {
+            for (u, s) in m.sample(self, users, now).into_iter().enumerate() {
+                self.series[u * width + slot].push(ResourceSample {
+                    at: now,
+                    entitled: s.entitled,
+                    allowed: s.allowed,
+                    used: s.used,
+                });
+            }
+        }
+        self.managers = managers;
+    }
+
+    // ----- fault injection & recovery --------------------------------------
+
+    /// Applies one injected fault. Malformed targets (out-of-range disk
+    /// or CPU, the last online CPU, an SPU with nothing to crash) are
+    /// counted as skipped rather than applied, so a random plan can
+    /// never wedge the machine.
+    pub(crate) fn on_fault(&mut self, kind: FaultKind) {
+        self.fault_counts.injected += 1;
+        match kind {
+            FaultKind::DiskTransientErrors { disk, count } => {
+                if disk >= self.disks.len() || count == 0 {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "disk-errors",
+                });
+                self.disks[disk].inject_failures(count);
+            }
+            FaultKind::DiskDegrade { disk, factor } => {
+                if disk >= self.disks.len() || !factor.is_finite() || factor < 1.0 {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "disk-degrade",
+                });
+                self.disks[disk].set_degraded(Some(factor));
+                self.set_disk_shares(disk, factor);
+            }
+            FaultKind::DiskRepair { disk } => {
+                if disk >= self.disks.len() {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "disk-repair",
+                });
+                self.disks[disk].set_degraded(None);
+                self.set_disk_shares(disk, 1.0);
+            }
+            FaultKind::CpuOffline { cpu } => {
+                if cpu >= self.sched.cpu_count()
+                    || !self.sched.cpu(cpu).online
+                    || self.sched.online_count() <= 1
+                {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "cpu-offline",
+                });
+                self.fault_counts.cpu_offline += 1;
+                if self.sched.cpu(cpu).running.is_some() {
+                    self.preempt(cpu);
+                }
+                self.sched.set_online(cpu, false);
+                self.rebalance_cpus();
+            }
+            FaultKind::CpuOnline { cpu } => {
+                if cpu >= self.sched.cpu_count() || self.sched.cpu(cpu).online {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "cpu-online",
+                });
+                self.fault_counts.cpu_online += 1;
+                self.sched.set_online(cpu, true);
+                self.rebalance_cpus();
+            }
+            FaultKind::ProcessCrash { user_spu } => self.crash_in_spu(user_spu),
+            FaultKind::ForkBomb {
+                user_spu,
+                width,
+                depth,
+                burn,
+                pages,
+            } => {
+                if user_spu as usize >= self.spus.user_count() {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "fork-bomb",
+                });
+                self.fault_counts.forkbombs += 1;
+                self.spawn_fork_bomb(user_spu, width, depth, burn, pages);
+            }
+        }
+    }
+
+    /// Graceful degradation of disk bandwidth (§3.3 under failure): a
+    /// device running `factor`× slower grants every SPU proportionally
+    /// less `allowed` share; repair restores the configured weights.
+    pub(crate) fn set_disk_shares(&mut self, disk: usize, factor: f64) {
+        let shares: Vec<(SpuId, f64)> = self
+            .spus
+            .user_ids()
+            .map(|id| (id, self.spus.disk_weight(id) as f64 / factor))
+            .collect();
+        for (id, w) in shares {
+            self.disks[disk].set_share(id, w);
+        }
+    }
+
+    /// Re-derives every SPU's CPU entitlement from the surviving online
+    /// CPUs, revokes loans the new partition disallows, and refills idle
+    /// CPUs. Audits that the re-derived entitlements still fit the
+    /// machine (conservation under reconfiguration).
+    pub(crate) fn rebalance_cpus(&mut self) {
+        self.sched.rebalance(&self.procs);
+        let online = self.sched.online_count();
+        if online == 0 {
+            return;
+        }
+        let partition = CpuPartition::compute(online, &self.spus);
+        let total: u64 = self
+            .spus
+            .user_ids()
+            .map(|id| partition.milli_cpus(id))
+            .sum();
+        if total > online as u64 * 1000 {
+            self.cpu_audit_violations += 1;
+        }
+        if self.sample_interval.is_some() {
+            self.cpu_entitled = self
+                .spus
+                .user_ids()
+                .map(|id| partition.milli_cpus(id) as f64 / 1000.0)
+                .collect();
+        }
+        for cpu in 0..self.sched.cpu_count() {
+            if self.sched.needs_revocation(cpu) {
+                self.preempt(cpu);
+                self.dispatch(cpu);
+            }
+        }
+        for cpu in 0..self.sched.cpu_count() {
+            if self.sched.cpu(cpu).online && self.sched.cpu(cpu).is_idle() {
+                self.dispatch(cpu);
+            }
+        }
+    }
+
+    /// Crashes the lowest-pid ready or running process of the given user
+    /// SPU: its locks are released (waiters woken), its frames are
+    /// freed, and its job is left unfinished. Blocked processes are not
+    /// chosen — their wakeups are owned by other subsystems' queues.
+    pub(crate) fn crash_in_spu(&mut self, user_spu: u32) {
+        if user_spu as usize >= self.spus.user_count() {
+            self.fault_counts.skipped += 1;
+            return;
+        }
+        let spu = SpuId::user(user_spu);
+        let victim = self
+            .procs
+            .iter()
+            .filter(|p| p.spu == spu && matches!(p.state, ProcState::Ready | ProcState::Running(_)))
+            .map(|p| (p.pid, p.state))
+            .min_by_key(|&(pid, _)| pid);
+        let Some((pid, state)) = victim else {
+            self.fault_counts.skipped += 1;
+            return;
+        };
+        self.trace.push(TraceEvent::FaultInjected {
+            at: self.now,
+            label: "process-crash",
+        });
+        self.fault_counts.crashes += 1;
+        match state {
+            ProcState::Running(cpu) => {
+                if let Err(e) = self.deschedule(cpu) {
+                    self.report_error(e);
+                }
+            }
+            ProcState::Ready => {
+                self.sched.dequeue(&self.procs, pid);
+            }
+            _ => {}
+        }
+        self.wake_pending.remove(&pid);
+        for w in self.locks.release_all(pid) {
+            let wp = self.procs.get_mut(w);
+            if matches!(wp.micro_front(), Some(MicroOp::LockAcquire { .. })) {
+                wp.pop_micro();
+            }
+            self.make_ready(w);
+        }
+        self.exit_process(pid, true);
+        for cpu in 0..self.sched.cpu_count() {
+            if self.sched.cpu(cpu).online && self.sched.cpu(cpu).is_idle() {
+                self.dispatch(cpu);
+            }
+        }
+    }
+
+    /// Spawns the antisocial fork-bomb workload in `user_spu`: a tree of
+    /// processes `width` wide and `depth` deep, each touching `pages`
+    /// pages and burning `burn` of CPU. Width and depth are clamped so
+    /// an adversarial plan cannot explode the process table.
+    pub(crate) fn spawn_fork_bomb(
+        &mut self,
+        user_spu: u32,
+        width: u32,
+        depth: u32,
+        burn: SimDuration,
+        pages: u32,
+    ) {
+        fn bomb(width: u32, depth: u32, burn: SimDuration, pages: u32) -> Arc<Program> {
+            let mut b = Program::builder("bomb");
+            if pages > 0 {
+                b = b.alloc(pages);
+            }
+            b = b.compute(burn, pages);
+            if depth > 0 {
+                let child = bomb(width, depth - 1, burn, pages);
+                for _ in 0..width {
+                    b = b.fork(child.clone());
+                }
+                b = b.wait_children();
+            }
+            b.build()
+        }
+        let prog = bomb(width.clamp(1, 6), depth.min(4), burn, pages.min(1 << 14));
+        let label = format!("bomb-u{user_spu}");
+        self.spawn_at(SpuId::user(user_spu), prog, Some(&label), self.now);
+    }
+}

@@ -197,7 +197,7 @@ impl MemoryManager {
 
     /// Whether per-SPU limits are enforced (everything but `SMP`).
     fn enforce(&self) -> bool {
-        self.scheme.enforces_isolation()
+        self.scheme.sharing().enforces()
     }
 
     /// Read access to a frame.
@@ -259,8 +259,8 @@ impl MemoryManager {
     /// level (isolation), from the globally most-over-budget SPU when the
     /// machine is simply out of free frames.
     pub fn acquire_frame(&mut self, spu: SpuId, owner: FrameOwner) -> Acquired {
-        let enforce = self.enforce();
-        let evicted = match self.ledger.can_charge(spu, 1, enforce) {
+        let sharing = self.scheme.sharing();
+        let evicted = match sharing.can_charge(&self.ledger, spu, 1) {
             Ok(()) => None,
             Err(ChargeError::OverAllowed { .. }) => {
                 // At the allowed level: steal one of this SPU's own pages.
@@ -499,45 +499,47 @@ impl MemoryManager {
     }
 
     /// Runs the periodic sharing policy (§3.2): recomputes entitlements
-    /// net of kernel/shared usage, redistributes idle pages to pressured
-    /// SPUs under `PIso`, resets allowed to entitled under `Quota`, and
-    /// clears the pressure flags.
+    /// net of kernel/shared usage, then asks the scheme's
+    /// [`SharingPolicy`](spu_core::SharingPolicy) for new allowed levels
+    /// — idle pages flow to pressured SPUs under `PIso`, allowed snaps
+    /// back to entitled under `Quota`/`SMP` — and clears the pressure
+    /// flags.
     pub fn run_policy(&mut self) {
         let capacity = self.ledger.capacity();
         let kernel_used = self.ledger.used(SpuId::KERNEL);
         let shared_used = self.ledger.used(SpuId::SHARED);
         let user_pages = capacity.saturating_sub(kernel_used + shared_used);
+        let sharing = self.scheme.sharing();
         let entitled = self.spus.split_memory(user_pages);
         for (i, id) in self.spus.user_ids().enumerate() {
-            self.ledger.set_entitled(id, entitled[i]);
+            sharing.entitle(&mut self.ledger, id, entitled[i]);
         }
-        if self.scheme == Scheme::PIso {
-            let inputs: Vec<MemPolicyInput> = self
-                .spus
-                .user_ids()
-                .map(|id| MemPolicyInput {
-                    spu: id,
-                    levels: *self.ledger.levels(id),
-                    pressured: self.pressure[id.index()],
-                })
-                .collect();
-            if std::env::var("VMTRACE").is_ok() {
-                eprintln!(
-                    "policy: {:?}",
-                    inputs
-                        .iter()
-                        .map(|i| (
-                            i.spu.to_string(),
-                            i.levels.entitled,
-                            i.levels.used,
-                            i.pressured
-                        ))
-                        .collect::<Vec<_>>()
-                );
-            }
-            for (spu, allowed) in self.policy.rebalance(user_pages, &inputs) {
-                self.ledger.set_allowed(spu, allowed);
-            }
+        let inputs: Vec<MemPolicyInput> = self
+            .spus
+            .user_ids()
+            .map(|id| MemPolicyInput {
+                spu: id,
+                levels: *self.ledger.levels(id),
+                pressured: self.pressure[id.index()],
+            })
+            .collect();
+        if std::env::var("VMTRACE").is_ok() {
+            eprintln!(
+                "policy: {:?}",
+                inputs
+                    .iter()
+                    .map(|i| (
+                        i.spu.to_string(),
+                        i.levels.entitled,
+                        i.levels.used,
+                        i.pressured
+                    ))
+                    .collect::<Vec<_>>()
+            );
+        }
+        let reserve = self.policy.reserve_pages(user_pages);
+        for (spu, allowed) in sharing.lend_idle(user_pages, reserve, &inputs) {
+            self.ledger.set_allowed(spu, allowed);
         }
         for p in &mut self.pressure {
             *p = false;

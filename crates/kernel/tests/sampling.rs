@@ -61,8 +61,8 @@ fn piso_memory_series_shows_lend_and_revoke() {
     assert!(revoked, "allowed never returned toward entitled: {s:?}");
 }
 
-/// The sampler records all three resources for every user SPU at the
-/// configured interval, with sane CPU levels.
+/// The sampler records every kernel-managed resource for every user SPU
+/// at the configured interval, with sane CPU levels.
 #[test]
 fn sampler_covers_all_resources() {
     let cfg = MachineConfig::new(4, 32, 1).with_scheme(Scheme::PIso);
@@ -76,16 +76,25 @@ fn sampler_covers_all_resources() {
     assert!(m.completed);
 
     assert_eq!(m.obsv.sample_interval, Some(SimDuration::from_millis(10)));
-    // 2 user SPUs x 3 resources, in a fixed layout.
+    // 2 user SPUs x 3 managed resources, in a fixed layout.
     assert_eq!(m.obsv.series.len(), 6);
     for spu in [SpuId::user(0), SpuId::user(1)] {
-        for kind in ResourceKind::ALL {
+        for kind in [
+            ResourceKind::CpuTime,
+            ResourceKind::Memory,
+            ResourceKind::DiskBandwidth,
+        ] {
             let s = m.obsv.series_of(spu, kind).expect("series exists");
             assert!(!s.samples.is_empty(), "{spu:?} {kind:?} never sampled");
         }
+        // The kernel has no NIC; the fourth kind is never sampled.
+        assert!(m.obsv.series_of(spu, ResourceKind::NetBandwidth).is_none());
     }
     // Each SPU is entitled to half of the 4 CPUs.
-    let cpu = m.obsv.series_of(SpuId::user(0), ResourceKind::Cpu).unwrap();
+    let cpu = m
+        .obsv
+        .series_of(SpuId::user(0), ResourceKind::CpuTime)
+        .unwrap();
     assert!((cpu.samples[0].entitled - 2.0).abs() < 1e-9);
     // The lone spinner uses at most one CPU in every sample.
     assert!(cpu.samples.iter().all(|p| p.used <= 1.0 + 1e-9));
