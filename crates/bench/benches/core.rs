@@ -1,0 +1,118 @@
+//! The tracked performance baseline: hot-path micro-benchmarks plus a
+//! full `paper_tables --quick`-equivalent end-to-end sweep, serialized
+//! to `BENCH_core.json` at the repository root.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench --bench core
+//! ```
+//!
+//! Before overwriting the baseline the bench prints the end-to-end
+//! speedup of this tree against the committed numbers, so a `cargo
+//! bench --bench core` in CI (or before a perf PR) immediately shows
+//! the trajectory. Wall-clock numbers are machine-dependent: compare
+//! ratios from the same machine, not absolute values across machines.
+//!
+//! Set `BENCH_CORE_OUT=/path/file.json` to redirect the output (CI
+//! uploads the artifact from a scratch path without dirtying the
+//! checkout).
+
+use std::time::Instant;
+
+use bench::micro_targets;
+use criterion::{take_measurements, Criterion, Measurement};
+use experiments::sweep::{self, SweepOptions, SweepOutput};
+use experiments::Scale;
+
+fn main() {
+    if !criterion::running_as_bench() {
+        eprintln!("benchmarks skipped (run with `cargo bench`)");
+        return;
+    }
+
+    // The three hot-path micro targets, shared with the `micro` bench.
+    let mut c = Criterion::default();
+    micro_targets::bench_event_queue(&mut c);
+    micro_targets::bench_scheduler_pick(&mut c);
+    micro_targets::bench_fault_path(&mut c);
+    let micro = take_measurements();
+
+    // End-to-end: every quick-scale scenario, uncached and serial, the
+    // same cells `paper_tables --quick --no-cache` runs.
+    let start = Instant::now();
+    let outputs = sweep::run_pool(&sweep::all_scenarios(Scale::Quick), &SweepOptions::new());
+    let total_s = start.elapsed().as_secs_f64();
+    let cells: usize = outputs.iter().map(|o| o.stats.len()).sum();
+    eprintln!("end_to_end/quick_sweep: {total_s:.3} s wall ({cells} cells)");
+
+    // The committed baseline is always the comparison point, even when
+    // the output is redirected (CI writes to a scratch path).
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    let out_path = std::env::var("BENCH_CORE_OUT").unwrap_or_else(|_| committed.into());
+    if let Some(baseline_s) = read_baseline_total(committed) {
+        eprintln!(
+            "speedup vs committed baseline: {:.2}x (baseline {baseline_s:.3} s)",
+            baseline_s / total_s
+        );
+    }
+
+    let json = render_json(&micro, &outputs, total_s);
+    std::fs::write(&out_path, json).expect("write BENCH_core.json");
+    eprintln!("wrote {out_path}");
+}
+
+/// Extracts `end_to_end.total_wall_s` from an existing baseline file.
+/// A hand-rolled scan (no JSON dependency in this workspace): the file
+/// is machine-written by this bench, so the key appears exactly once.
+fn read_baseline_total(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let tail = text.split("\"total_wall_s\":").nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+fn render_json(micro: &[Measurement], outputs: &[SweepOutput], total_s: f64) -> String {
+    use std::fmt::Write;
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"bench-core-v1\",\n  \"scale\": \"quick\",\n");
+    j.push_str("  \"micro\": {\n");
+    for (i, m) in micro.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\"median_ns\": {}, \"min_ns\": {}, \"samples\": {}}}{}",
+            m.name,
+            m.median_ns,
+            m.min_ns,
+            m.samples,
+            if i + 1 < micro.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  },\n  \"end_to_end\": {\n");
+    let _ = writeln!(j, "    \"total_wall_s\": {total_s:.6},");
+    j.push_str("    \"scenarios\": [\n");
+    for (si, out) in outputs.iter().enumerate() {
+        let wall_us: u128 = out.stats.iter().map(|s| s.wall.as_micros()).sum();
+        let _ = write!(
+            j,
+            "      {{\"scenario\": \"{}\", \"wall_us\": {wall_us}, \"cells\": [",
+            out.name
+        );
+        for (ci, s) in out.stats.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{{\"cell\": \"{}\", \"wall_us\": {}}}{}",
+                s.key,
+                s.wall.as_micros(),
+                if ci + 1 < out.stats.len() { ", " } else { "" }
+            );
+        }
+        let _ = writeln!(j, "]}}{}", if si + 1 < outputs.len() { "," } else { "" });
+    }
+    j.push_str("    ]\n  }\n}\n");
+    j
+}

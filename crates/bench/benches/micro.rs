@@ -1,26 +1,26 @@
-//! Substrate micro-benchmarks: event queue, RNG, disk model, bandwidth
-//! tracker, and a small end-to-end kernel run.
+//! Substrate micro-benchmarks: event queue, scheduler picks, the fault
+//! path, RNG, disk model, bandwidth tracker, and a small end-to-end
+//! kernel run. The hot-path targets (event queue, scheduler pick, fault
+//! path) live in [`bench::micro_targets`] and are shared with the
+//! `core` bench that maintains the tracked `BENCH_core.json` baseline.
 
+use bench::micro_targets;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use event_sim::{EventQueue, SimDuration, SimTime, SplitMix64};
+use event_sim::{SimDuration, SimTime, SplitMix64};
 use hp_disk::{DiskDevice, DiskModel, DiskRequest, RequestKind, SchedulerKind};
 use smp_kernel::{Kernel, MachineConfig, Program};
 use spu_core::{BandwidthTracker, Scheme, SpuId, SpuSet};
 
 fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum += v;
-            }
-            black_box(sum)
-        })
-    });
+    micro_targets::bench_event_queue(c);
+}
+
+fn bench_scheduler_pick(c: &mut Criterion) {
+    micro_targets::bench_scheduler_pick(c);
+}
+
+fn bench_fault_path(c: &mut Criterion) {
+    micro_targets::bench_fault_path(c);
 }
 
 fn bench_rng(c: &mut Criterion) {
@@ -97,6 +97,8 @@ fn bench_kernel_run(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_scheduler_pick,
+    bench_fault_path,
     bench_rng,
     bench_disk_model,
     bench_bw_tracker,

@@ -17,3 +17,71 @@
 
 /// Re-exported experiment scale for bench configuration.
 pub use experiments::Scale;
+
+/// Micro-benchmark targets shared between the `micro` bench (full
+/// substrate coverage) and the `core` bench (the tracked
+/// `BENCH_core.json` baseline): the three kernel hot paths this repo
+/// optimises — event-queue churn, scheduler picks, and the page-fault
+/// path.
+pub mod micro_targets {
+    use criterion::{black_box, Criterion};
+    use event_sim::{EventQueue, SimDuration, SimTime};
+    use smp_kernel::{Kernel, MachineConfig, Program};
+    use spu_core::{Scheme, SpuId, SpuSet};
+
+    /// Timing-wheel churn: 1k schedules followed by a full drain.
+    pub fn bench_event_queue(c: &mut Criterion) {
+        c.bench_function("event_queue/push_pop_1k", |b| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..1000u64 {
+                    q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            })
+        });
+    }
+
+    /// Scheduler pick-next under load: 16 CPU-bound processes time-slice
+    /// on 2 CPUs, so the run is dominated by dispatch/preempt decisions.
+    pub fn bench_scheduler_pick(c: &mut Criterion) {
+        c.bench_function("sched/pick_under_load", |b| {
+            b.iter(|| {
+                let cfg = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+                let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
+                let spin = Program::builder("spin")
+                    .compute(SimDuration::from_millis(40), 0)
+                    .build();
+                for i in 0..16u32 {
+                    k.spawn_at(SpuId::user(i % 2), spin.clone(), None, SimTime::ZERO);
+                }
+                black_box(k.run(SimTime::from_secs(10)).end_time)
+            })
+        });
+    }
+
+    /// The page-fault path under thrash: a working-set sweep larger than
+    /// memory on a 1-CPU machine, so the run is dominated by
+    /// `acquire_frame`/victim selection/swap traffic.
+    pub fn bench_fault_path(c: &mut Criterion) {
+        c.bench_function("vm/fault_thrash", |b| {
+            b.iter(|| {
+                let cfg = MachineConfig::new(1, 8, 1).with_scheme(Scheme::Smp);
+                let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+                // 8 MB is 2048 frames; a 2500-page sweep (repeated)
+                // evicts continuously.
+                let sweep = Program::builder("sweep")
+                    .alloc(2500)
+                    .compute(SimDuration::from_millis(5), 2500)
+                    .compute(SimDuration::from_millis(5), 2500)
+                    .build();
+                k.spawn_at(SpuId::user(0), sweep, Some("sweep"), SimTime::ZERO);
+                black_box(k.run(SimTime::from_secs(60)).end_time)
+            })
+        });
+    }
+}

@@ -19,11 +19,36 @@
 //! written against the ordinary `criterion::*` imports and would compile
 //! unchanged against the real crate.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Opaque value barrier; stops the optimiser from deleting benched work.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// One finished benchmark's summary statistics, as recorded by
+/// [`take_measurements`].
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Median wall-clock time of one iteration, in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest observed iteration, in nanoseconds.
+    pub min_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains every [`Measurement`] recorded since the last call, in
+/// completion order. Lets a bench binary post-process its own results —
+/// e.g. serialize them into a tracked baseline file — without parsing
+/// its own stderr.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut *MEASUREMENTS.lock().unwrap())
 }
 
 /// True when cargo invoked this binary as a benchmark (`cargo bench`).
@@ -124,6 +149,12 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) 
         "{name}: median {median} ns/iter (min {min}, {} samples)",
         b.samples_ns.len()
     );
+    MEASUREMENTS.lock().unwrap().push(Measurement {
+        name: name.to_string(),
+        median_ns: median,
+        min_ns: min,
+        samples: b.samples_ns.len(),
+    });
 }
 
 /// Declares a benchmark group function calling each target in order.
@@ -175,5 +206,17 @@ mod tests {
     #[test]
     fn black_box_is_identity() {
         assert_eq!(black_box(41) + 1, 42);
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_drained() {
+        let mut c = Criterion::default();
+        c.bench_function("unit/measured", |b| b.iter(|| black_box(1)));
+        // The store is shared with concurrently running tests, so only
+        // assert on this test's own entry.
+        let ms = take_measurements();
+        assert!(ms
+            .iter()
+            .any(|m| m.name == "unit/measured" && m.samples >= 1));
     }
 }

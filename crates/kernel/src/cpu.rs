@@ -265,12 +265,14 @@ impl Kernel {
     /// Runs the current process's micro-ops until it consumes CPU time
     /// (an `OpDone` event is scheduled), blocks, or exits.
     pub(crate) fn interpret(&mut self, cpu: usize) {
+        // Hoisted: tuning is immutable for the whole run, and the clone
+        // (a ~200-byte struct) used to be paid once per micro-op.
+        let tuning = self.cfg.tuning.clone();
         loop {
             let pid = match self.sched.cpu(cpu).running {
                 Some(p) => p,
                 None => return,
             };
-            let tuning = self.cfg.tuning.clone();
             let micro = match self.procs.get_mut(pid).current_micro(&tuning) {
                 Some(m) => m.clone(),
                 None => {
@@ -417,7 +419,17 @@ impl Kernel {
             (p.spu, p.job)
         };
         let pid = self.procs.next_pid();
-        let child = crate::process::Process::new(pid, spu, job, program, Some(parent), self.now);
+        let mut child =
+            crate::process::Process::new(pid, spu, job, program, Some(parent), self.now);
+        // Recycle interpreter/page storage retired by earlier exits —
+        // fork-heavy workloads (pmake, fork bombs) otherwise re-allocate
+        // both per child.
+        if let Some(micro) = self.micro_pool.pop() {
+            child.install_recycled_micro(micro);
+        }
+        if let Some(pages) = self.page_pool.pop() {
+            child.pages = pages;
+        }
         self.procs.insert(child);
         self.procs.get_mut(parent).live_children += 1;
         self.live_procs += 1;
@@ -432,6 +444,19 @@ impl Kernel {
             let p = self.procs.get_mut(pid);
             p.state = ProcState::Done;
             p.finished = Some(self.now);
+            // Harvest the dead process's interpreter queue and page table
+            // for reuse by future forks (and to stop retired entries in
+            // the proc table from holding page-table memory).
+            let mut micro = p.take_micro();
+            let mut pages = std::mem::take(&mut p.pages);
+            if self.micro_pool.len() < Self::POOL_CAP {
+                micro.clear();
+                self.micro_pool.push(micro);
+            }
+            if self.page_pool.len() < Self::POOL_CAP {
+                pages.clear();
+                self.page_pool.push(pages);
+            }
         }
         self.live_procs -= 1;
         self.vm.free_process_frames(pid);

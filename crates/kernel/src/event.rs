@@ -35,8 +35,11 @@ pub(crate) enum Event {
     /// An injected fault from the configured
     /// [`FaultPlan`](event_sim::FaultPlan) fires.
     Fault(FaultKind),
-    /// A failed disk request is retried after backoff.
-    IoRetry { disk: usize, req: DiskRequest },
+    /// A failed disk request is retried after backoff. The request is
+    /// boxed so this rare variant doesn't set the size of every `Event`
+    /// — the queue's buckets move entries by value, and retries are
+    /// orders of magnitude rarer than ticks and completions.
+    IoRetry { disk: usize, req: Box<DiskRequest> },
 }
 
 impl Kernel {
@@ -90,7 +93,7 @@ impl Kernel {
                 }
             }
             Event::Fault(kind) => self.on_fault(kind),
-            Event::IoRetry { disk, req } => self.submit_io(disk, req),
+            Event::IoRetry { disk, req } => self.submit_io(disk, *req),
         }
     }
 }

@@ -80,7 +80,7 @@ impl Kernel {
                 // blocks ("There are multiple outstanding reads because of
                 // read-ahead by the kernel", §4.5).
                 let max_blocks = 1 + self.cfg.tuning.readahead_blocks as u64;
-                let mut frames = Vec::new();
+                let mut frames = self.take_frame_vec();
                 let mut b = block;
                 while b < meta.blocks && b < block + max_blocks && self.cache.get(file, b).is_none()
                 {
@@ -100,6 +100,7 @@ impl Kernel {
                 }
                 if frames.is_empty() {
                     // Not even one frame: block on memory.
+                    self.recycle_frame_vec(frames);
                     self.mem_waiters.push(pid);
                     self.block_running(cpu, BlockReason::Memory);
                     self.dispatch(cpu);
@@ -112,6 +113,7 @@ impl Kernel {
                     self.cache
                         .insert_filling(file, block + i as u64, frame, tag);
                 }
+                self.recycle_frame_vec(frames);
                 let sector = self.fs.sector_of_block(file, block);
                 let req =
                     DiskRequest::new(spu, RequestKind::Read, sector, nblocks * SECTORS_PER_PAGE)
@@ -156,7 +158,7 @@ impl Kernel {
             if next >= horizon {
                 return;
             }
-            let mut frames = Vec::new();
+            let mut frames = self.take_frame_vec();
             let mut b = next;
             while b < meta.blocks && b < next + ra && self.cache.get(file, b).is_none() {
                 match self
@@ -174,6 +176,7 @@ impl Kernel {
                 }
             }
             if frames.is_empty() {
+                self.recycle_frame_vec(frames);
                 return;
             }
             let nblocks = frames.len() as u32;
@@ -182,6 +185,7 @@ impl Kernel {
                 self.vm.set_pinned(frame, true);
                 self.cache.insert_filling(file, next + i as u64, frame, tag);
             }
+            self.recycle_frame_vec(frames);
             let sector = self.fs.sector_of_block(file, next);
             let req = DiskRequest::new(spu, RequestKind::Read, sector, nblocks * SECTORS_PER_PAGE)
                 .with_tag(tag);
@@ -282,7 +286,8 @@ impl Kernel {
         while i < items.len() {
             let disk = items[i].0;
             let start_sector = items[i].1;
-            let mut frames = vec![items[i].2];
+            let mut frames = self.take_frame_vec();
+            frames.push(items[i].2);
             let mut spus = vec![items[i].3];
             let mut prev = items[i].1;
             let mut j = i + 1;
@@ -323,6 +328,25 @@ impl Kernel {
                 .insert(tag, IoPurpose::Flush { nblocks, frames });
             self.submit_io(disk, req);
             i = j;
+        }
+    }
+
+    // ----- scratch pools --------------------------------------------------
+
+    /// Cap on each recycled-buffer pool; beyond this, buffers just drop.
+    pub(crate) const POOL_CAP: usize = 64;
+
+    /// An empty `FrameId` vector, recycled from a completed I/O purpose
+    /// when one is available.
+    pub(crate) fn take_frame_vec(&mut self) -> Vec<FrameId> {
+        self.frame_vec_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a frame vector to the pool for reuse.
+    pub(crate) fn recycle_frame_vec(&mut self, mut v: Vec<FrameId>) {
+        if self.frame_vec_pool.len() < Self::POOL_CAP {
+            v.clear();
+            self.frame_vec_pool.push(v);
         }
     }
 
@@ -384,20 +408,22 @@ impl Kernel {
                 self.wake_mem_waiters();
             }
             IoPurpose::SwapIn { pid, frames } => {
-                for f in frames {
+                for &f in &frames {
                     self.vm.set_pinned(f, false);
                 }
+                self.recycle_frame_vec(frames);
                 self.io_finished(pid);
                 self.wake_mem_waiters();
             }
             IoPurpose::Private { pid } => self.io_finished(pid),
             IoPurpose::Flush { nblocks, frames } => {
                 self.cache.flush_completed(nblocks as u64);
-                for f in frames {
+                for &f in &frames {
                     // The frame may have been evicted while the flush was
                     // in flight; unpinning a freed frame is harmless.
                     self.vm.set_pinned(f, false);
                 }
+                self.recycle_frame_vec(frames);
                 let low = (self.cfg.total_frames() as f64 * self.cfg.tuning.dirty_low_frac) as u64;
                 if self.cache.dirty_load() <= low && !self.dirty_waiters.is_empty() {
                     for w in std::mem::take(&mut self.dirty_waiters) {
@@ -430,8 +456,13 @@ impl Kernel {
         if attempts <= max_retries && elapsed < timeout {
             self.fault_counts.io_retries += 1;
             let delay = backoff_delay(attempts - 1, base, cap);
-            self.events
-                .schedule(self.now + delay, Event::IoRetry { disk, req });
+            self.events.schedule(
+                self.now + delay,
+                Event::IoRetry {
+                    disk,
+                    req: Box::new(req),
+                },
+            );
         } else {
             self.retries.remove(&req.tag);
             self.fault_counts.io_failures += 1;
@@ -478,9 +509,10 @@ impl Kernel {
                 self.wake_mem_waiters();
             }
             IoPurpose::SwapIn { pid, frames } => {
-                for f in frames {
+                for &f in &frames {
                     self.vm.set_pinned(f, false);
                 }
+                self.recycle_frame_vec(frames);
                 self.procs.get_mut(pid).io_errors += 1;
                 self.io_finished(pid);
                 self.wake_mem_waiters();
@@ -491,9 +523,10 @@ impl Kernel {
             }
             IoPurpose::Flush { nblocks, frames } => {
                 self.cache.flush_completed(nblocks as u64);
-                for f in frames {
+                for &f in &frames {
                     self.vm.set_pinned(f, false);
                 }
+                self.recycle_frame_vec(frames);
                 let low = (self.cfg.total_frames() as f64 * self.cfg.tuning.dirty_low_frac) as u64;
                 if self.cache.dirty_load() <= low && !self.dirty_waiters.is_empty() {
                     for w in std::mem::take(&mut self.dirty_waiters) {

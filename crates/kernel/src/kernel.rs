@@ -13,7 +13,7 @@
 //! [`Kernel::run`], which returns the [`RunMetrics`] the experiment
 //! harnesses turn into the paper's figures.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use event_sim::{EventQueue, Fingerprint, Fnv64, LogHistogram, SimDuration, SimTime};
@@ -29,7 +29,7 @@ use crate::fs::{FileId, FileSystem};
 use crate::io::{IoPurpose, RetryState};
 use crate::locks::LockTable;
 use crate::metrics::{JobRecord, RunMetrics};
-use crate::obsv::{CounterRegistry, LatencyStats, ObsvReport, SampleSeries};
+use crate::obsv::{CounterId, CounterRegistry, LatencyStats, ObsvReport, SampleSeries};
 use crate::policy::FaultCounters;
 use crate::process::{BlockReason, JobId, Pid, ProcState, Process};
 use crate::program::{BarrierId, Program};
@@ -70,10 +70,15 @@ pub struct Kernel {
     pub(crate) fs: FileSystem,
     pub(crate) disks: Vec<DiskDevice>,
     pub(crate) io_purpose: HashMap<u64, IoPurpose>,
-    pub(crate) fill_waiters: HashMap<u64, Vec<Pid>>,
+    /// Fill-join waiters per request tag. BTreeMap: every access today is
+    /// keyed, but a future drain would otherwise iterate in hash order
+    /// and leak nondeterministic wake order into the exports.
+    pub(crate) fill_waiters: BTreeMap<u64, Vec<Pid>>,
     pub(crate) dirty_waiters: Vec<Pid>,
     pub(crate) mem_waiters: Vec<Pid>,
-    pub(crate) barriers: HashMap<BarrierId, Vec<Pid>>,
+    /// Sleepers per barrier, ordered for the same reason as
+    /// [`fill_waiters`](Self::fill_waiters).
+    pub(crate) barriers: BTreeMap<BarrierId, Vec<Pid>>,
     pub(crate) next_tag: u64,
     pub(crate) trace: Trace,
     pub(crate) ipi_pending: bool,
@@ -117,11 +122,110 @@ pub struct Kernel {
     pub(crate) cpu_audit_violations: u64,
     /// Denial total at the last audit, for memory-pressure detection.
     pub(crate) last_denials: u64,
+    // --- hot-path scratch pools --------------------------------------------
+    /// Recycled `FrameId` vectors for I/O purposes (cache fills, swap-ins,
+    /// flush batches) — see [`Kernel::take_frame_vec`].
+    pub(crate) frame_vec_pool: Vec<Vec<crate::vm::FrameId>>,
+    /// Recycled micro-op deques from exited processes, reused by
+    /// [`fork_child`](Kernel::fork_child) so fork-heavy workloads don't
+    /// re-allocate interpreter queues per process.
+    pub(crate) micro_pool: Vec<std::collections::VecDeque<crate::process::MicroOp>>,
+    /// Recycled page tables from exited processes.
+    pub(crate) page_pool: Vec<Vec<crate::process::PageState>>,
+    /// Scratch `(swap slot, frame)` buffer for `do_touch`'s fault batch.
+    pub(crate) swapin_scratch: Vec<(u64, crate::vm::FrameId)>,
     /// Stable content hash of everything that determines the run:
     /// configuration, SPU set, files, spawned programs. Because the
     /// simulation is a pure function of these inputs, the digest
     /// identifies the run's outcome (see [`Kernel::fingerprint`]).
     pub(crate) fp: Fnv64,
+    /// Every published counter name interned once at boot (including the
+    /// per-disk `disk.{i}.*` names), so metric collection is dense-id
+    /// stores with no string hashing or formatting.
+    pub(crate) counter_ids: KernelCounterIds,
+}
+
+/// Dense [`CounterId`]s for every counter the kernel publishes, plus the
+/// prototype registry they were interned into. Built once at boot;
+/// [`Kernel::publish_counters`] clones the prototype (an `Arc` bump for
+/// the shared name table plus one `memcpy` of the value vector) and
+/// fills it by id.
+#[derive(Debug)]
+pub(crate) struct KernelCounterIds {
+    proto: CounterRegistry,
+    sched_dispatches: CounterId,
+    sched_preemptions: CounterId,
+    sched_loans: CounterId,
+    sched_ipis: CounterId,
+    locks_acquires: CounterId,
+    locks_contended: CounterId,
+    cache_hits: CounterId,
+    cache_misses: CounterId,
+    cache_fill_joins: CounterId,
+    cache_flushed_blocks: CounterId,
+    vm_minor_faults: CounterId,
+    vm_major_faults: CounterId,
+    vm_swap_outs: CounterId,
+    vm_denials: CounterId,
+    /// `(requests, errors)` per disk index.
+    disk: Vec<(CounterId, CounterId)>,
+    kernel_errors: CounterId,
+    audit_checks: CounterId,
+    audit_violations: CounterId,
+    fault_injected: CounterId,
+    fault_skipped: CounterId,
+    fault_crashes: CounterId,
+    fault_forkbombs: CounterId,
+    fault_cpu_offline: CounterId,
+    fault_cpu_online: CounterId,
+    fault_disk_errors: CounterId,
+    fault_io_retries: CounterId,
+    fault_io_failures: CounterId,
+    trace_dropped: CounterId,
+}
+
+impl KernelCounterIds {
+    fn new(disk_count: usize) -> Self {
+        let mut proto = CounterRegistry::new();
+        KernelCounterIds {
+            sched_dispatches: proto.intern("sched.dispatches"),
+            sched_preemptions: proto.intern("sched.preemptions"),
+            sched_loans: proto.intern("sched.loans"),
+            sched_ipis: proto.intern("sched.ipis"),
+            locks_acquires: proto.intern("locks.acquires"),
+            locks_contended: proto.intern("locks.contended"),
+            cache_hits: proto.intern("cache.hits"),
+            cache_misses: proto.intern("cache.misses"),
+            cache_fill_joins: proto.intern("cache.fill_joins"),
+            cache_flushed_blocks: proto.intern("cache.flushed_blocks"),
+            vm_minor_faults: proto.intern("vm.minor_faults"),
+            vm_major_faults: proto.intern("vm.major_faults"),
+            vm_swap_outs: proto.intern("vm.swap_outs"),
+            vm_denials: proto.intern("vm.denials"),
+            disk: (0..disk_count)
+                .map(|i| {
+                    (
+                        proto.intern(&format!("disk.{i}.requests")),
+                        proto.intern(&format!("disk.{i}.errors")),
+                    )
+                })
+                .collect(),
+            kernel_errors: proto.intern("kernel.errors"),
+            audit_checks: proto.intern("audit.checks"),
+            audit_violations: proto.intern("audit.violations"),
+            fault_injected: proto.intern("fault.injected"),
+            fault_skipped: proto.intern("fault.skipped"),
+            fault_crashes: proto.intern("fault.crashes"),
+            fault_forkbombs: proto.intern("fault.forkbombs"),
+            fault_cpu_offline: proto.intern("fault.cpu_offline"),
+            fault_cpu_online: proto.intern("fault.cpu_online"),
+            fault_disk_errors: proto.intern("fault.disk_errors"),
+            fault_io_retries: proto.intern("fault.io_retries"),
+            fault_io_failures: proto.intern("fault.io_failures"),
+            trace_dropped: proto.intern("trace.dropped"),
+            proto,
+        }
+    }
 }
 
 impl Kernel {
@@ -174,10 +278,10 @@ impl Kernel {
             fs: FileSystem::new(disk_count, sectors_per_disk),
             disks,
             io_purpose: HashMap::new(),
-            fill_waiters: HashMap::new(),
+            fill_waiters: BTreeMap::new(),
             dirty_waiters: Vec::new(),
             mem_waiters: Vec::new(),
-            barriers: HashMap::new(),
+            barriers: BTreeMap::new(),
             next_tag: 1,
             trace: Trace::new(),
             ipi_pending: false,
@@ -200,7 +304,12 @@ impl Kernel {
             fault_counts: FaultCounters::default(),
             cpu_audit_violations: 0,
             last_denials: 0,
+            frame_vec_pool: Vec::new(),
+            micro_pool: Vec::new(),
+            page_pool: Vec::new(),
+            swapin_scratch: Vec::new(),
             fp,
+            counter_ids: KernelCounterIds::new(disk_count),
             cfg,
         }
     }
@@ -387,48 +496,52 @@ impl Kernel {
     // ----- metrics ---------------------------------------------------------
 
     /// Publishes every subsystem's counters into one registry
-    /// (deterministic name order; see [`CounterRegistry`]).
+    /// (deterministic name order; see [`CounterRegistry`]). All names
+    /// were interned at boot ([`KernelCounterIds`]), so this is a clone
+    /// of the prototype plus dense-id stores — no string hashing, no
+    /// per-disk name formatting.
     pub(crate) fn publish_counters(&self) -> CounterRegistry {
-        let mut reg = CounterRegistry::new();
-        reg.set("sched.dispatches", self.sched_counts.dispatches);
-        reg.set("sched.preemptions", self.sched_counts.preemptions);
-        reg.set("sched.loans", self.sched_counts.loans);
-        reg.set("sched.ipis", self.sched_counts.ipis);
-        reg.set("locks.acquires", self.locks.total_acquires());
-        reg.set("locks.contended", self.locks.contended_acquires());
+        let ids = &self.counter_ids;
+        let mut reg = ids.proto.clone();
+        reg.set_id(ids.sched_dispatches, self.sched_counts.dispatches);
+        reg.set_id(ids.sched_preemptions, self.sched_counts.preemptions);
+        reg.set_id(ids.sched_loans, self.sched_counts.loans);
+        reg.set_id(ids.sched_ipis, self.sched_counts.ipis);
+        reg.set_id(ids.locks_acquires, self.locks.total_acquires());
+        reg.set_id(ids.locks_contended, self.locks.contended_acquires());
         let cache = self.cache.stats();
-        reg.set("cache.hits", cache.hits);
-        reg.set("cache.misses", cache.misses);
-        reg.set("cache.fill_joins", cache.fill_joins);
-        reg.set("cache.flushed_blocks", cache.flushed_blocks);
+        reg.set_id(ids.cache_hits, cache.hits);
+        reg.set_id(ids.cache_misses, cache.misses);
+        reg.set_id(ids.cache_fill_joins, cache.fill_joins);
+        reg.set_id(ids.cache_flushed_blocks, cache.flushed_blocks);
         for id in self.spus.all_ids() {
             let v = self.vm.stats(id);
-            reg.add("vm.minor_faults", v.minor_faults);
-            reg.add("vm.major_faults", v.major_faults);
-            reg.add("vm.swap_outs", v.swap_outs);
-            reg.add("vm.denials", v.denials);
+            reg.add_id(ids.vm_minor_faults, v.minor_faults);
+            reg.add_id(ids.vm_major_faults, v.major_faults);
+            reg.add_id(ids.vm_swap_outs, v.swap_outs);
+            reg.add_id(ids.vm_denials, v.denials);
         }
-        for (i, d) in self.disks.iter().enumerate() {
-            reg.set(&format!("disk.{i}.requests"), d.stats().total_requests());
-            reg.set(&format!("disk.{i}.errors"), d.stats().total_errors());
+        for (d, &(requests, errors)) in self.disks.iter().zip(&ids.disk) {
+            reg.set_id(requests, d.stats().total_requests());
+            reg.set_id(errors, d.stats().total_errors());
         }
-        reg.set("kernel.errors", self.error_count);
-        reg.set("audit.checks", self.auditor.checks());
-        reg.set(
-            "audit.violations",
+        reg.set_id(ids.kernel_errors, self.error_count);
+        reg.set_id(ids.audit_checks, self.auditor.checks());
+        reg.set_id(
+            ids.audit_violations,
             self.auditor.violation_count() + self.cpu_audit_violations,
         );
         let f = &self.fault_counts;
-        reg.set("fault.injected", f.injected);
-        reg.set("fault.skipped", f.skipped);
-        reg.set("fault.crashes", f.crashes);
-        reg.set("fault.forkbombs", f.forkbombs);
-        reg.set("fault.cpu_offline", f.cpu_offline);
-        reg.set("fault.cpu_online", f.cpu_online);
-        reg.set("fault.disk_errors", f.disk_errors);
-        reg.set("fault.io_retries", f.io_retries);
-        reg.set("fault.io_failures", f.io_failures);
-        reg.set("trace.dropped", self.trace.dropped());
+        reg.set_id(ids.fault_injected, f.injected);
+        reg.set_id(ids.fault_skipped, f.skipped);
+        reg.set_id(ids.fault_crashes, f.crashes);
+        reg.set_id(ids.fault_forkbombs, f.forkbombs);
+        reg.set_id(ids.fault_cpu_offline, f.cpu_offline);
+        reg.set_id(ids.fault_cpu_online, f.cpu_online);
+        reg.set_id(ids.fault_disk_errors, f.disk_errors);
+        reg.set_id(ids.fault_io_retries, f.io_retries);
+        reg.set_id(ids.fault_io_failures, f.io_failures);
+        reg.set_id(ids.trace_dropped, self.trace.dropped());
         reg
     }
 

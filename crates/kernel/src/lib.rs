@@ -72,7 +72,8 @@ pub use kernel::Kernel;
 pub use locks::{LockId, LockTable};
 pub use metrics::{JobRecord, RunMetrics};
 pub use obsv::{
-    CounterRegistry, LatencyStats, ObsvReport, ResourceKind, ResourceSample, SampleSeries,
+    CounterId, CounterRegistry, LatencyStats, ObsvReport, ResourceKind, ResourceSample,
+    SampleSeries,
 };
 pub use process::{BlockReason, JobId, MicroOp, PageState, Pid, ProcState, Process};
 pub use program::{BarrierId, Program, ProgramBuilder, ProgramOp};

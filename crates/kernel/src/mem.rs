@@ -41,7 +41,11 @@ impl Kernel {
         }
         let spu = self.procs.get(pid).spu;
         let mut cpu_cost = SimDuration::ZERO;
-        let mut swapins: Vec<(u64, FrameId)> = Vec::new(); // (slot sector, frame)
+        // (slot sector, frame) pairs, collected into the kernel's reused
+        // scratch buffer — touch rounds fire once per fault batch, so a
+        // fresh Vec here shows up in thrash-heavy scenarios.
+        let mut swapins = std::mem::take(&mut self.swapin_scratch);
+        debug_assert!(swapins.is_empty());
         let end = (c + Self::TOUCH_BATCH).min(want);
         let mut page = c;
         let mut denied = false;
@@ -93,7 +97,9 @@ impl Kernel {
         }
         // Sweep progress: everything before `page` has been visited.
         self.procs.get_mut(pid).set_touch_cursor(page);
-        self.issue_swapins(pid, spu, &swapins);
+        self.issue_swapins(pid, spu, &mut swapins);
+        swapins.clear();
+        self.swapin_scratch = swapins;
         if self.procs.get(pid).pending_io > 0 {
             self.push_wait_and_cost(pid, cpu_cost);
             self.block_running(cpu, BlockReason::Io);
@@ -113,43 +119,37 @@ impl Kernel {
     }
 
     /// Issues the swap-in reads collected by a touch, coalescing
-    /// contiguous slots.
-    pub(crate) fn issue_swapins(&mut self, pid: Pid, spu: SpuId, swapins: &[(u64, FrameId)]) {
+    /// contiguous slots. Sorts `swapins` in place; each run's frame list
+    /// comes from (and eventually returns to) the kernel's frame-vector
+    /// pool, so no per-request clones are made.
+    pub(crate) fn issue_swapins(&mut self, pid: Pid, spu: SpuId, swapins: &mut [(u64, FrameId)]) {
         if swapins.is_empty() {
             return;
         }
         let disk = self.swap_disk_of(spu);
-        let mut sorted = swapins.to_vec();
-        sorted.sort_unstable_by_key(|&(slot, _)| slot);
-        let mut run_start = sorted[0].0;
-        let mut run_frames = vec![sorted[0].1];
-        let mut prev = sorted[0].0;
-        let flush_run = |start: u64, frames: &Vec<FrameId>, k: &mut Kernel| {
-            let sectors = frames.len() as u32 * SECTORS_PER_PAGE;
-            let tag = k.next_tag();
-            let sector = k.swap_sector(disk, start);
-            let req = DiskRequest::new(spu, RequestKind::Read, sector, sectors).with_tag(tag);
-            k.io_purpose.insert(
-                tag,
-                IoPurpose::SwapIn {
-                    pid,
-                    frames: frames.clone(),
-                },
-            );
-            k.procs.get_mut(pid).pending_io += 1;
-            k.submit_io(disk, req);
-        };
-        for &(slot, frame) in &sorted[1..] {
-            if slot == prev + SECTORS_PER_PAGE as u64 {
-                run_frames.push(frame);
-            } else {
-                flush_run(run_start, &run_frames, self);
-                run_start = slot;
-                run_frames = vec![frame];
+        swapins.sort_unstable_by_key(|&(slot, _)| slot);
+        let mut i = 0;
+        while i < swapins.len() {
+            let run_start = swapins[i].0;
+            let mut prev = swapins[i].0;
+            let mut frames = self.take_frame_vec();
+            frames.push(swapins[i].1);
+            let mut j = i + 1;
+            while j < swapins.len() && swapins[j].0 == prev + SECTORS_PER_PAGE as u64 {
+                frames.push(swapins[j].1);
+                prev = swapins[j].0;
+                j += 1;
             }
-            prev = slot;
+            let sectors = frames.len() as u32 * SECTORS_PER_PAGE;
+            let tag = self.next_tag();
+            let sector = self.swap_sector(disk, run_start);
+            let req = DiskRequest::new(spu, RequestKind::Read, sector, sectors).with_tag(tag);
+            self.io_purpose
+                .insert(tag, IoPurpose::SwapIn { pid, frames });
+            self.procs.get_mut(pid).pending_io += 1;
+            self.submit_io(disk, req);
+            i = j;
         }
-        flush_run(run_start, &run_frames, self);
     }
 
     /// Queues `[AwaitIo, Cpu(cost)]` in front of the process's script so

@@ -21,15 +21,42 @@
 //! Everything is keyed by simulated time only, so two identical runs
 //! produce byte-identical exports (see [`crate::export`]).
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use event_sim::{LogHistogram, SimDuration, SimTime};
 use spu_core::SpuId;
 
+/// A dense handle to an interned counter name.
+///
+/// Resolved once by [`CounterRegistry::intern`]; every later touch is a
+/// plain `Vec` index instead of a string hash/compare, which is what
+/// keeps counter publication off the simulator's allocation profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+/// The interned name table: id-ordered names, a lookup index, and the
+/// lexicographic permutation iteration follows.
+///
+/// Shared (`Arc`) between a registry and its clones so cloning a
+/// registry — the per-collect publish path — copies only the dense
+/// value vector; interning a new name copies-on-write.
+#[derive(Clone, Debug, Default)]
+struct NameTable {
+    /// Names in id order.
+    names: Vec<String>,
+    /// Ids in lexicographic name order (the export order).
+    sorted: Vec<u32>,
+    /// Name → id.
+    index: HashMap<String, u32>,
+}
+
 /// A table of named monotonic counters.
 ///
-/// Names are dot-separated `subsystem.metric` strings; iteration is in
-/// lexicographic name order (a `BTreeMap`), so exports are deterministic.
+/// Names are dot-separated `subsystem.metric` strings, interned into
+/// dense [`CounterId`]s; iteration is in lexicographic name order
+/// regardless of interning order, so exports are deterministic and
+/// byte-identical to the old `BTreeMap`-backed registry.
 ///
 /// # Examples
 ///
@@ -41,10 +68,17 @@ use spu_core::SpuId;
 /// reg.add("locks.acquires", 5);
 /// assert_eq!(reg.get("locks.acquires"), 15);
 /// assert_eq!(reg.get("never.seen"), 0);
+///
+/// // Hot paths intern once and touch by id thereafter.
+/// let id = reg.intern("sched.dispatches");
+/// reg.add_id(id, 3);
+/// assert_eq!(reg.get_id(id), 3);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct CounterRegistry {
-    counters: BTreeMap<String, u64>,
+    names: Arc<NameTable>,
+    /// Values in id order; always `names.names.len()` long.
+    values: Vec<u64>,
 }
 
 impl CounterRegistry {
@@ -53,36 +87,94 @@ impl CounterRegistry {
         CounterRegistry::default()
     }
 
+    /// Interns `name`, creating the counter at zero on first sight, and
+    /// returns its dense id. Idempotent; the id is stable for the life
+    /// of the registry and all its clones.
+    pub fn intern(&mut self, name: &str) -> CounterId {
+        if let Some(&id) = self.names.index.get(name) {
+            return CounterId(id);
+        }
+        let table = Arc::make_mut(&mut self.names);
+        let id = table.names.len() as u32;
+        let pos = table
+            .sorted
+            .partition_point(|&i| table.names[i as usize].as_str() < name);
+        table.sorted.insert(pos, id);
+        table.names.push(name.to_string());
+        table.index.insert(name.to_string(), id);
+        self.values.push(0);
+        CounterId(id)
+    }
+
+    /// Adds `delta` to the counter behind `id`.
+    #[inline]
+    pub fn add_id(&mut self, id: CounterId, delta: u64) {
+        self.values[id.0 as usize] += delta;
+    }
+
+    /// Sets the counter behind `id` to an absolute value.
+    #[inline]
+    pub fn set_id(&mut self, id: CounterId, value: u64) {
+        self.values[id.0 as usize] = value;
+    }
+
+    /// The value behind `id`.
+    #[inline]
+    pub fn get_id(&self, id: CounterId) -> u64 {
+        self.values[id.0 as usize]
+    }
+
     /// Adds `delta` to the named counter, creating it at zero first.
     pub fn add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        let id = self.intern(name);
+        self.add_id(id, delta);
     }
 
     /// Sets the named counter to an absolute value.
     pub fn set(&mut self, name: &str, value: u64) {
-        self.counters.insert(name.to_string(), value);
+        let id = self.intern(name);
+        self.set_id(id, value);
     }
 
     /// The counter's value, zero if never touched.
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.names
+            .index
+            .get(name)
+            .map(|&id| self.values[id as usize])
+            .unwrap_or(0)
     }
 
     /// All counters in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.names.sorted.iter().map(|&id| {
+            (
+                self.names.names[id as usize].as_str(),
+                self.values[id as usize],
+            )
+        })
     }
 
     /// Number of distinct counters.
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.values.len()
     }
 
     /// True when no counter was ever touched.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.values.is_empty()
     }
 }
+
+/// Registries compare as maps: same name/value pairs, regardless of the
+/// order names were interned.
+impl PartialEq for CounterRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for CounterRegistry {}
 
 /// Which resource a [`SampleSeries`] tracks — the unified
 /// [`spu_core::ResourceKind`]. Its `as_str` tags key the export lines;
@@ -241,6 +333,47 @@ mod tests {
         let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
         assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn registry_order_is_independent_of_interning_order() {
+        let mut a = CounterRegistry::new();
+        a.add("z.last", 1);
+        a.add("a.first", 2);
+        let mut b = CounterRegistry::new();
+        b.add("a.first", 2);
+        b.add("z.last", 1);
+        assert_eq!(a, b);
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+    }
+
+    #[test]
+    fn interned_ids_and_strings_agree() {
+        let mut reg = CounterRegistry::new();
+        let id = reg.intern("vm.major_faults");
+        assert_eq!(reg.intern("vm.major_faults"), id);
+        reg.add_id(id, 4);
+        reg.add("vm.major_faults", 1);
+        assert_eq!(reg.get_id(id), 5);
+        assert_eq!(reg.get("vm.major_faults"), 5);
+        reg.set_id(id, 2);
+        assert_eq!(reg.get("vm.major_faults"), 2);
+    }
+
+    #[test]
+    fn clones_share_the_name_table() {
+        let mut proto = CounterRegistry::new();
+        let id = proto.intern("cache.hits");
+        let mut a = proto.clone();
+        a.set_id(id, 7);
+        // The clone's writes don't leak back into the prototype.
+        assert_eq!(proto.get_id(id), 0);
+        assert_eq!(a.get_id(id), 7);
+        // Interning on a clone copies-on-write and leaves siblings intact.
+        a.intern("cache.misses");
+        assert_eq!(proto.len(), 1);
+        assert_eq!(a.len(), 2);
     }
 
     #[test]

@@ -226,6 +226,19 @@ impl Process {
         self.micro.front()
     }
 
+    /// Takes the micro-op queue out of the process (at exit), leaving an
+    /// empty one, so its allocation can be pooled and reused.
+    pub(crate) fn take_micro(&mut self) -> VecDeque<MicroOp> {
+        std::mem::take(&mut self.micro)
+    }
+
+    /// Installs a recycled (empty) micro-op queue, replacing the default
+    /// unallocated one. Only valid before the process first runs.
+    pub(crate) fn install_recycled_micro(&mut self, micro: VecDeque<MicroOp>) {
+        debug_assert!(micro.is_empty() && self.micro.is_empty());
+        self.micro = micro;
+    }
+
     /// Pops the front micro-op (it completed).
     pub fn pop_micro(&mut self) {
         self.micro.pop_front();

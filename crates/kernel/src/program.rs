@@ -13,7 +13,7 @@ use event_sim::SimDuration;
 use crate::fs::FileId;
 
 /// Identifies a barrier shared by the processes of a parallel program.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BarrierId(pub u32);
 
 /// One step of a program script.

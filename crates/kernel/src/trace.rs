@@ -208,7 +208,11 @@ impl Trace {
     /// is from the *latest* wake, matching what the woken process itself
     /// would observe.
     pub fn wake_to_dispatch_latencies(&self, spu: SpuId) -> Vec<event_sim::SimDuration> {
-        let mut pending: std::collections::HashMap<Pid, SimTime> = std::collections::HashMap::new();
+        // BTreeMap so no unordered iteration can ever leak into the
+        // latency vector if this post-processing grows a drain step; the
+        // map is tiny and off the simulation hot path.
+        let mut pending: std::collections::BTreeMap<Pid, SimTime> =
+            std::collections::BTreeMap::new();
         let mut out = Vec::new();
         for ev in self.iter() {
             match *ev {

@@ -134,6 +134,12 @@ pub struct MemoryManager {
     free: Vec<FrameId>,
     ledger: ResourceLedger,
     resident: Vec<VecDeque<FrameId>>,
+    /// Number of buffer-cache frames each SPU currently owns. Victim
+    /// selection prefers cache pages; when an SPU has none, the selector
+    /// can stop at its first unpinned anonymous page instead of scanning
+    /// the whole resident queue for a cache page that isn't there —
+    /// the dominant cost of thrash-heavy runs.
+    cache_frames: Vec<u64>,
     policy: MemSharingPolicy,
     scheme: Scheme,
     spus: SpuSet,
@@ -170,6 +176,7 @@ impl MemoryManager {
             free: (0..total_frames as u32).rev().map(FrameId).collect(),
             ledger: ResourceLedger::new(total_frames, n_spus),
             resident: vec![VecDeque::new(); n_spus],
+            cache_frames: vec![0; n_spus],
             policy: MemSharingPolicy::new(reserve_frac),
             scheme,
             spus: spus.clone(),
@@ -323,6 +330,9 @@ impl MemoryManager {
             pinned: false,
             stamp: self.charge_seq,
         };
+        if matches!(owner, FrameOwner::Cache { .. }) {
+            self.cache_frames[spu.index()] += 1;
+        }
         self.resident[spu.index()].push_back(frame);
         Acquired::Frame { frame, evicted }
     }
@@ -331,6 +341,9 @@ impl MemoryManager {
     /// pages over anonymous pages, releases its charge and frees it.
     /// Returns what was evicted.
     fn pop_victim(&mut self, spu: SpuId) -> Option<Evicted> {
+        // With no cache pages to prefer, the scan can stop at the first
+        // unpinned anonymous page instead of walking the whole queue.
+        let has_cache = self.cache_frames[spu.index()] > 0;
         let queue = &mut self.resident[spu.index()];
         // Drop stale entries and find the first eligible victim,
         // preferring buffer-cache pages (cheap to reclaim) as real page
@@ -354,6 +367,9 @@ impl MemoryManager {
                     }
                     FrameOwner::Anon { .. } if first_anon.is_none() => {
                         first_anon = Some(i);
+                        if !has_cache {
+                            break;
+                        }
                     }
                     _ => {}
                 }
@@ -370,6 +386,9 @@ impl MemoryManager {
         };
         if ev.dirty && matches!(ev.owner, FrameOwner::Anon { .. }) {
             self.stats[spu.index()].swap_outs += 1;
+        }
+        if matches!(ev.owner, FrameOwner::Cache { .. }) {
+            self.cache_frames[spu.index()] -= 1;
         }
         self.ledger.release(spu, 1);
         let stamp = self.frames[fid.0 as usize].stamp;
@@ -391,11 +410,12 @@ impl MemoryManager {
     /// every process regardless of owner. Never steals from the kernel or
     /// an empty SPU.
     fn global_victim_spu(&mut self, _for_spu: SpuId) -> Option<SpuId> {
-        let candidates: Vec<SpuId> = self
-            .spus
-            .user_ids()
-            .chain(std::iter::once(SpuId::SHARED))
-            .collect();
+        // Candidate ids are generated index-by-index rather than collected
+        // into a Vec: this runs on every frame steal under memory pressure.
+        let users = self.spus.user_count() as u32;
+        let candidates = (0..users)
+            .map(SpuId::user)
+            .chain(std::iter::once(SpuId::SHARED));
         if self.enforce() {
             let mut best: Option<(i64, u64, SpuId)> = None;
             for id in candidates {
@@ -455,9 +475,13 @@ impl MemoryManager {
             "double free of {id:?}"
         );
         let spu = f.spu;
+        let was_cache = matches!(f.owner, FrameOwner::Cache { .. });
         f.owner = FrameOwner::Free;
         f.dirty = false;
         f.pinned = false;
+        if was_cache {
+            self.cache_frames[spu.index()] -= 1;
+        }
         self.ledger.release(spu, 1);
         self.free.push(id);
         // The stale resident-queue entry is dropped lazily.
@@ -472,7 +496,12 @@ impl MemoryManager {
             return;
         }
         let from = f.spu;
+        let is_cache = matches!(f.owner, FrameOwner::Cache { .. });
         f.spu = SpuId::SHARED;
+        if is_cache {
+            self.cache_frames[from.index()] -= 1;
+            self.cache_frames[SpuId::SHARED.index()] += 1;
+        }
         self.ledger.transfer(from, SpuId::SHARED, 1);
         self.resident[SpuId::SHARED.index()].push_back(id);
         // The entry under the old SPU goes stale and is dropped lazily.

@@ -1,14 +1,42 @@
 //! A stable-ordered pending-event set.
 //!
-//! [`EventQueue`] is a min-heap keyed on [`SimTime`] with a monotonically
+//! [`EventQueue`] delivers events in time order with a monotonically
 //! increasing sequence number as tie-breaker, so events scheduled for the
 //! same instant are delivered in the order they were scheduled. That
 //! stability is what makes whole-simulation runs bit-for-bit reproducible.
+//!
+//! Internally it is a two-level timing wheel rather than a binary heap:
+//!
+//! * a **near wheel** of `NEAR_BUCKETS` (256) slots, each covering
+//!   `2^BUCKET_SHIFT` ns (~1.05 ms) of simulated time — sized so the
+//!   kernel's densest periodic traffic (10 ms ticks, 30 ms quanta,
+//!   100 ms policy passes) lands within the ~268 ms near horizon and is
+//!   bucketed with O(1) scheduling instead of a heap sift;
+//! * a **far lane** (`BTreeMap` keyed by bucket number) for events past
+//!   the horizon (e.g. 1 s sync-daemon wakeups), promoted into the near
+//!   wheel as the cursor advances.
+//!
+//! Only the bucket currently being drained is sorted (lazily, once), so
+//! the common schedule→pop cycle never pays a comparison-based reorder of
+//! the whole pending set. Pop order is exactly the old heap's: ascending
+//! `(time, sequence)` — verified side-by-side against a reference heap by
+//! `tests/prop_queue.rs`.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 
 use crate::time::SimTime;
+
+/// log2 of a near-wheel bucket's width in nanoseconds (~1.05 ms).
+const BUCKET_SHIFT: u32 = 20;
+/// Number of near-wheel slots; the near horizon is
+/// `NEAR_BUCKETS << BUCKET_SHIFT` ns ≈ 268 ms.
+const NEAR_BUCKETS: u64 = 256;
+const NEAR_MASK: u64 = NEAR_BUCKETS - 1;
+
+#[inline]
+fn bucket_of(at: SimTime) -> u64 {
+    at.as_nanos() >> BUCKET_SHIFT
+}
 
 /// A pending simulation event with its due time and insertion sequence.
 #[derive(Debug)]
@@ -18,26 +46,29 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+/// One near-wheel slot: the entries of a single absolute bucket.
+///
+/// `bucket` is only meaningful while `entries` is non-empty; all entries
+/// in a slot belong to that one bucket.
+#[derive(Debug)]
+struct Slot<E> {
+    bucket: u64,
+    entries: Vec<Entry<E>>,
+}
+
+impl<E> Default for Slot<E> {
+    fn default() -> Self {
+        Slot {
+            bucket: 0,
+            entries: Vec::new(),
+        }
     }
 }
 
@@ -60,7 +91,20 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Near wheel, indexed by `bucket & NEAR_MASK`. Invariant: a
+    /// non-empty slot's `bucket` lies in `[cursor, cursor + NEAR_BUCKETS)`.
+    near: Vec<Slot<E>>,
+    /// Far lane: bucket number → entries, for buckets at or beyond
+    /// `cursor + NEAR_BUCKETS` (keys are promoted on cursor advance, so
+    /// the invariant holds between any two public calls).
+    far: BTreeMap<u64, Vec<Entry<E>>>,
+    /// The bucket currently being drained.
+    cursor: u64,
+    /// Whether the cursor slot is sorted descending by `(at, seq)` (next
+    /// event last, so draining is `Vec::pop`).
+    cursor_sorted: bool,
+    /// Total pending entries across both levels.
+    len: usize,
     next_seq: u64,
     last_popped: SimTime,
 }
@@ -75,7 +119,11 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            near: (0..NEAR_BUCKETS).map(|_| Slot::default()).collect(),
+            far: BTreeMap::new(),
+            cursor: 0,
+            cursor_sorted: true,
+            len: 0,
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -95,35 +143,151 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        let entry = Entry { at, seq, event };
+        let bucket = bucket_of(at);
+        debug_assert!(bucket >= self.cursor);
+        if bucket >= self.cursor + NEAR_BUCKETS {
+            self.far.entry(bucket).or_default().push(entry);
+        } else {
+            let sorted = self.cursor_sorted && bucket == self.cursor;
+            let slot = &mut self.near[(bucket & NEAR_MASK) as usize];
+            if slot.entries.is_empty() {
+                slot.bucket = bucket;
+            } else {
+                debug_assert_eq!(slot.bucket, bucket);
+            }
+            if sorted {
+                // Keep the active bucket's descending run intact: a fresh
+                // seq is larger than every existing one, so equal-time
+                // entries land before (deeper than) their elders.
+                let key = entry.key();
+                let pos = slot.entries.partition_point(|e| e.key() > key);
+                slot.entries.insert(pos, entry);
+            } else {
+                slot.entries.push(entry);
+            }
+        }
+        self.len += 1;
     }
 
     /// Removes and returns the earliest event with its due time, or `None`
     /// if the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        self.last_popped = entry.at;
-        Some((entry.at, entry.event))
+        if self.len == 0 {
+            return None;
+        }
+        {
+            let slot = &mut self.near[(self.cursor & NEAR_MASK) as usize];
+            if !slot.entries.is_empty() && slot.bucket == self.cursor {
+                if !self.cursor_sorted {
+                    // (at, seq) pairs are unique, so unstable is safe.
+                    slot.entries
+                        .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                    self.cursor_sorted = true;
+                }
+                let entry = slot.entries.pop().expect("checked non-empty");
+                self.len -= 1;
+                self.last_popped = entry.at;
+                return Some((entry.at, entry.event));
+            }
+        }
+        self.advance();
+        self.pop()
+    }
+
+    /// Jumps the cursor to the next non-empty bucket (near or far) and
+    /// promotes far buckets that fall inside the new near horizon.
+    ///
+    /// Only called with `len > 0` and the cursor slot drained.
+    fn advance(&mut self) {
+        let next_near = self
+            .near
+            .iter()
+            .filter(|s| !s.entries.is_empty())
+            .map(|s| s.bucket)
+            .min();
+        let next_far = self.far.keys().next().copied();
+        let target = match (next_near, next_far) {
+            (Some(n), Some(f)) => n.min(f),
+            (Some(n), None) => n,
+            (None, Some(f)) => f,
+            (None, None) => unreachable!("advance called on empty queue"),
+        };
+        self.cursor = target;
+        self.cursor_sorted = false;
+        // Promote far buckets now inside the near horizon. A promoted
+        // bucket's slot is necessarily free: any occupant would share its
+        // residue mod NEAR_BUCKETS while both lie in the same horizon-wide
+        // window, which forces equality — and far keys were strictly
+        // beyond every near bucket.
+        while let Some(&bucket) = self.far.keys().next() {
+            if bucket >= self.cursor + NEAR_BUCKETS {
+                break;
+            }
+            let entries = self.far.remove(&bucket).expect("key just observed");
+            let slot = &mut self.near[(bucket & NEAR_MASK) as usize];
+            debug_assert!(slot.entries.is_empty());
+            slot.bucket = bucket;
+            slot.entries = entries;
+        }
     }
 
     /// The due time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        let slot = &self.near[(self.cursor & NEAR_MASK) as usize];
+        if !slot.entries.is_empty() && slot.bucket == self.cursor {
+            return if self.cursor_sorted {
+                slot.entries.last().map(|e| e.at)
+            } else {
+                slot.entries.iter().map(|e| e.at).min()
+            };
+        }
+        let near_best = self
+            .near
+            .iter()
+            .filter(|s| !s.entries.is_empty())
+            .min_by_key(|s| s.bucket)
+            .and_then(|s| s.entries.iter().map(|e| e.at).min());
+        let far_best = self
+            .far
+            .values()
+            .next()
+            .and_then(|v| v.iter().map(|e| e.at).min());
+        match (near_best, far_best) {
+            (Some(n), Some(f)) => Some(n.min(f)),
+            (Some(n), None) => Some(n),
+            (None, f) => f,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events and resets the queue to its initial
+    /// state, **including the scheduling-into-the-past watermark**: a
+    /// cleared queue accepts schedules at any time again, exactly like a
+    /// fresh one. (Previously the watermark survived `clear`, so a reused
+    /// queue spuriously panicked on early schedules.)
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for slot in &mut self.near {
+            slot.entries.clear();
+        }
+        self.far.clear();
+        self.cursor = 0;
+        self.cursor_sorted = true;
+        self.len = 0;
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
     }
 }
 
@@ -192,6 +356,18 @@ mod tests {
     }
 
     #[test]
+    fn clear_resets_past_watermark() {
+        // Regression: clear() used to leave last_popped set, so a reused
+        // queue panicked on schedules earlier than the stale watermark.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(500), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.clear();
+        q.schedule(SimTime::from_millis(1), 'b');
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), 'b')));
+    }
+
+    #[test]
     fn interleaved_schedule_and_pop_stays_ordered() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_millis(10), "a");
@@ -200,5 +376,39 @@ mod tests {
         q.schedule(SimTime::from_millis(20), "b");
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn far_future_events_cross_the_horizon() {
+        // 1 s and 10 s are far past the ~268 ms near horizon, so both
+        // start in the far lane and must be promoted in order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10_000), "far2");
+        q.schedule(SimTime::from_millis(1), "near");
+        q.schedule(SimTime::from_millis(1_000), "far1");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1_000)));
+        assert_eq!(q.pop().unwrap().1, "far1");
+        // Scheduling relative to the advanced cursor still works.
+        q.schedule(SimTime::from_millis(1_002), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "far2");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_into_active_bucket_keeps_fifo() {
+        // Pop once to force the cursor bucket sorted, then schedule more
+        // same-instant events into that bucket: FIFO must hold.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(10);
+        q.schedule(t, 0);
+        q.schedule(t, 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
     }
 }
