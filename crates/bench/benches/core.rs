@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use bench::micro_targets;
 use criterion::{take_measurements, Criterion, Measurement};
+use experiments::lock_leakage;
 use experiments::sweep::{self, SweepOptions, SweepOutput};
 use experiments::Scale;
 
@@ -46,6 +47,23 @@ fn main() {
     let cells: usize = outputs.iter().map(|o| o.stats.len()).sum();
     eprintln!("end_to_end/quick_sweep: {total_s:.3} s wall ({cells} cells)");
 
+    // Attribution overhead: the same kernel bare vs fully instrumented
+    // (interference matrix, SLO tracker, trace, sampling, all exports
+    // rendered). The ratio is what a tracker or exporter regression
+    // moves.
+    let start = Instant::now();
+    let baseline = lock_leakage::run_baseline(Scale::Quick);
+    let bare_s = start.elapsed().as_secs_f64();
+    assert!(baseline.completed, "attribution baseline run hit its cap");
+    let start = Instant::now();
+    let inst = lock_leakage::run_instrumented(Scale::Quick);
+    let instrumented_s = start.elapsed().as_secs_f64();
+    assert!(!inst.matrix_json.is_empty());
+    eprintln!(
+        "attribution/overhead: bare {bare_s:.3} s, instrumented {instrumented_s:.3} s ({:.2}x)",
+        instrumented_s / bare_s
+    );
+
     // The committed baseline is always the comparison point, even when
     // the output is redirected (CI writes to a scratch path).
     let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
@@ -57,7 +75,7 @@ fn main() {
         );
     }
 
-    let json = render_json(&micro, &outputs, total_s);
+    let json = render_json(&micro, &outputs, total_s, bare_s, instrumented_s);
     std::fs::write(&out_path, json).expect("write BENCH_core.json");
     eprintln!("wrote {out_path}");
 }
@@ -76,10 +94,21 @@ fn read_baseline_total(path: &str) -> Option<f64> {
     num.parse().ok()
 }
 
-fn render_json(micro: &[Measurement], outputs: &[SweepOutput], total_s: f64) -> String {
+fn render_json(
+    micro: &[Measurement],
+    outputs: &[SweepOutput],
+    total_s: f64,
+    bare_s: f64,
+    instrumented_s: f64,
+) -> String {
     use std::fmt::Write;
     let mut j = String::new();
-    j.push_str("{\n  \"schema\": \"bench-core-v1\",\n  \"scale\": \"quick\",\n");
+    j.push_str("{\n  \"schema\": \"bench-core-v2\",\n  \"scale\": \"quick\",\n");
+    let _ = writeln!(
+        j,
+        "  \"attribution\": {{\"bare_wall_s\": {bare_s:.6}, \"instrumented_wall_s\": {instrumented_s:.6}, \"overhead_ratio\": {:.4}}},",
+        instrumented_s / bare_s
+    );
     j.push_str("  \"micro\": {\n");
     for (i, m) in micro.iter().enumerate() {
         let _ = writeln!(

@@ -97,6 +97,15 @@ pub struct DiskDevice {
     fail_next: u32,
     /// Fault injection: service-time multiplier while degraded.
     degraded: Option<f64>,
+    /// When set, queue waits behind another stream's service are
+    /// recorded for interference attribution (off by default).
+    record_queue_waits: bool,
+    /// The stream of the most recently serviced request ("the last
+    /// holder" a queued request is blamed on).
+    last_stream: Option<SpuId>,
+    /// Recorded `(waiter, holder, wait)` tuples awaiting
+    /// [`drain_queue_waits`](Self::drain_queue_waits).
+    queue_waits: Vec<(SpuId, SpuId, SimDuration)>,
 }
 
 impl DiskDevice {
@@ -115,7 +124,28 @@ impl DiskDevice {
             last_end: None,
             fail_next: 0,
             degraded: None,
+            record_queue_waits: false,
+            last_stream: None,
+            queue_waits: Vec::new(),
         }
+    }
+
+    /// Turns queue-wait recording on or off. While on, every request
+    /// that waited in the queue and starts service right after a
+    /// *different* stream's request is recorded as
+    /// `(waiter, holder, wait)` — the raw material of the disk-queue
+    /// interference channel. Recording never affects scheduling.
+    pub fn record_queue_waits(&mut self, on: bool) {
+        self.record_queue_waits = on;
+        if !on {
+            self.queue_waits.clear();
+            self.last_stream = None;
+        }
+    }
+
+    /// Takes the queue waits recorded since the last drain.
+    pub fn drain_queue_waits(&mut self) -> Vec<(SpuId, SpuId, SimDuration)> {
+        std::mem::take(&mut self.queue_waits)
     }
 
     /// Arms fault injection: the next `n` requests to *start service*
@@ -239,6 +269,9 @@ impl DiskDevice {
             self.stats
                 .record(fin.req.stream, fin.wait, &fin.breakdown, fin.req.sectors);
         }
+        if self.record_queue_waits {
+            self.last_stream = Some(fin.req.stream);
+        }
         let next = self.start_next(now);
         (
             CompletedRequest {
@@ -284,11 +317,22 @@ impl DiskDevice {
         }
         let finish = now + breakdown.total();
         let id = RequestId(pending.seq);
+        let wait = now.saturating_since(pending.submitted);
+        if self.record_queue_waits && wait > SimDuration::ZERO {
+            // Blame the stream serviced immediately before this request
+            // started — an approximation (the wait may span several
+            // services) but a deterministic and cheap one.
+            if let Some(holder) = self.last_stream {
+                if holder != pending.req.stream {
+                    self.queue_waits.push((pending.req.stream, holder, wait));
+                }
+            }
+        }
         self.in_flight = Some(InFlight {
             req: pending.req,
             breakdown,
             finish,
-            wait: now.saturating_since(pending.submitted),
+            wait,
             failed,
         });
         Some(Completion { at: finish, id })
@@ -534,6 +578,37 @@ mod tests {
             hybrid_wait < pos_wait * 0.5,
             "hybrid {hybrid_wait}ms vs pos {pos_wait}ms"
         );
+    }
+
+    #[test]
+    fn queue_wait_recording_blames_the_last_stream() {
+        let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+        d.record_queue_waits(true);
+        let c1 = d.submit(read(SpuId::user(0), 100), SimTime::ZERO).unwrap();
+        d.submit(read(SpuId::user(1), 5000), SimTime::ZERO);
+        d.submit(read(SpuId::user(0), 9000), SimTime::ZERO);
+        let (_, c2) = d.complete(c1.at);
+        let (_, c3) = d.complete(c2.unwrap().at);
+        d.complete(c3.unwrap().at);
+        let waits = d.drain_queue_waits();
+        // user1 queued behind user0's service; the third request (user0)
+        // queued behind user1. Same-stream waits are never recorded, and
+        // the first request never waited.
+        assert_eq!(waits.len(), 2);
+        assert_eq!((waits[0].0, waits[0].1), (SpuId::user(1), SpuId::user(0)));
+        assert_eq!((waits[1].0, waits[1].1), (SpuId::user(0), SpuId::user(1)));
+        assert!(waits.iter().all(|w| w.2 > SimDuration::ZERO));
+        assert!(d.drain_queue_waits().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn queue_wait_recording_off_records_nothing() {
+        let mut d = DiskDevice::new(DiskModel::hp97560(), SchedulerKind::HeadPosition, 4);
+        let c1 = d.submit(read(SpuId::user(0), 100), SimTime::ZERO).unwrap();
+        d.submit(read(SpuId::user(1), 5000), SimTime::ZERO);
+        let (_, c2) = d.complete(c1.at);
+        d.complete(c2.unwrap().at);
+        assert!(d.drain_queue_waits().is_empty());
     }
 
     #[test]

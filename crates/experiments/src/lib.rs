@@ -10,6 +10,7 @@
 //! | [`mem_iso`] | Figure 7 (§4.4) |
 //! | [`disk_bw`] | Tables 3 and 4 (§4.5) |
 //! | [`fault_isolation`] | isolation under injected faults (robustness extension) |
+//! | [`lock_leakage`] | §3.4 contention quantified via interference attribution |
 //! | [`net_bw`] | network-bandwidth isolation (the §3.3/§5 extension) |
 //! | [`scaling`] | load-scaling sweep of the isolation guarantee (extension) |
 //! | [`ablation`] | §3.2 / §3.3 / §3.4 design-choice sweeps |
@@ -19,7 +20,7 @@
 //! jobs) used by the Criterion benches and tests. Results carry a
 //! `format()` method producing the paper-shaped text table.
 //!
-//! All nine harnesses implement the [`sweep::Scenario`] trait, so any
+//! All ten harnesses implement the [`sweep::Scenario`] trait, so any
 //! experiment matrix — or all of them, via [`sweep::all_scenarios`] —
 //! can be driven by the deterministic parallel executor in [`sweep`]
 //! with content-addressed result caching.
@@ -36,6 +37,7 @@ pub mod ablation;
 pub mod cpu_iso;
 pub mod disk_bw;
 pub mod fault_isolation;
+pub mod lock_leakage;
 pub mod mem_iso;
 pub mod net_bw;
 pub mod pmake8;

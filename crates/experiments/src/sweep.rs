@@ -887,6 +887,7 @@ pub fn all_scenarios(scale: Scale) -> Vec<Box<dyn AnyScenario>> {
         Box::new(crate::mem_iso::MemIsoScenario { scale }),
         Box::new(crate::disk_bw::DiskBwScenario::both(scale)),
         Box::new(crate::fault_isolation::FaultIsolationScenario { scale }),
+        Box::new(crate::lock_leakage::LockLeakageScenario { scale }),
         Box::new(crate::net_bw::NetBwScenario { scale }),
         Box::new(crate::scaling::ScalingScenario::standard(scale)),
         Box::new(crate::ablation::AblationScenario::standard(scale)),

@@ -134,9 +134,9 @@ impl Kernel {
         // a voluntary kernel entry) completes the revocation.
         if let Some(requested) = self.revoke_requested[cpu].take() {
             if was_loaned {
-                self.latency
-                    .revocation
-                    .add_duration(self.now.saturating_since(requested));
+                let delay = self.now.saturating_since(requested);
+                self.latency.revocation.add_duration(delay);
+                self.attribute_revocation(cpu, pid, delay);
             }
         }
         let p = self.procs.get_mut(pid);
@@ -144,6 +144,22 @@ impl Kernel {
         p.p_cpu += consumed.as_millis_f64();
         self.spu_cpu[p.spu.index()] += consumed;
         Ok(pid)
+    }
+
+    /// Charges a completed loan revocation to the borrower's SPU on
+    /// behalf of the CPU's home SPUs (no-op unless attribution is on).
+    fn attribute_revocation(&mut self, cpu: usize, borrower: Pid, delay: event_sim::SimDuration) {
+        if self.attribution.is_none() {
+            return;
+        }
+        let holder = self.procs.get(borrower).spu;
+        let homes = self.sched.cpu(cpu).assignment.home_spus();
+        let attr = self.attribution.as_mut().expect("checked above");
+        for home in homes {
+            if home != holder {
+                attr.cpu_revoked(home, holder, delay);
+            }
+        }
     }
 
     /// Preempts the running process mid-burst (tick revocation or slice
@@ -248,9 +264,9 @@ impl Kernel {
             c.idle_since = Some(self.now);
             if let Some(requested) = self.revoke_requested[cpu].take() {
                 if was_loaned {
-                    self.latency
-                        .revocation
-                        .add_duration(self.now.saturating_since(requested));
+                    let delay = self.now.saturating_since(requested);
+                    self.latency.revocation.add_duration(delay);
+                    self.attribute_revocation(cpu, pid, delay);
                 }
             }
             let p = self.procs.get_mut(pid);
@@ -321,8 +337,21 @@ impl Kernel {
                 }
                 MicroOp::LockAcquire { lock, excl } => {
                     if self.locks.acquire(lock, pid, excl) {
+                        if let Some(attr) = &mut self.attribution {
+                            attr.lock_acquired(pid, lock, self.now);
+                        }
                         self.procs.get_mut(pid).pop_micro();
                     } else {
+                        if let Some(attr) = self.attribution.as_mut() {
+                            let spu = self.procs.get(pid).spu;
+                            attr.lock_blocked(pid, self.now);
+                            self.trace.push(TraceEvent::LockWait {
+                                at: self.now,
+                                pid,
+                                spu,
+                                lock,
+                            });
+                        }
                         self.block_running(cpu, BlockReason::Lock(lock));
                         self.dispatch(cpu);
                         return;
@@ -331,7 +360,31 @@ impl Kernel {
                 MicroOp::LockRelease { lock } => {
                     self.procs.get_mut(pid).pop_micro();
                     let woken = self.locks.release(lock, pid);
+                    let holder_spu = self.procs.get(pid).spu;
+                    if let Some(attr) = &mut self.attribution {
+                        attr.lock_released(pid, holder_spu, lock, self.now);
+                    }
+                    if let Some(attr) = self.attribution.as_mut() {
+                        // Charge everyone still queued for the hold
+                        // segment that just ended.
+                        let mut queued = Vec::new();
+                        self.locks.for_each_waiter(lock, |p| queued.push(p));
+                        for p in queued {
+                            let waiter_spu = self.procs.get(p).spu;
+                            attr.lock_still_waiting(p, waiter_spu, lock, holder_spu, self.now);
+                        }
+                    }
                     for w in woken {
+                        if let Some(attr) = self.attribution.as_mut() {
+                            let waiter_spu = self.procs.get(w).spu;
+                            attr.lock_granted(w, waiter_spu, lock, holder_spu, self.now);
+                            self.trace.push(TraceEvent::LockGrant {
+                                at: self.now,
+                                pid: w,
+                                lock,
+                                holder: holder_spu,
+                            });
+                        }
                         // The lock was already granted to the waiter; its
                         // LockAcquire micro-op is complete.
                         let wp = self.procs.get_mut(w);

@@ -14,10 +14,13 @@
 //!   instants for faults, I/O issues and policy runs, and `"C"` counter
 //!   tracks from the per-SPU series.
 
+use std::collections::BTreeMap;
+
 use event_sim::LogHistogram;
 use spu_core::SpuSet;
 
 use crate::metrics::RunMetrics;
+use crate::obsv::interference::{InterferenceReport, LockClass};
 use crate::obsv::ObsvReport;
 use crate::trace::{Trace, TraceEvent};
 
@@ -101,6 +104,144 @@ pub fn counters_jsonl(report: &ObsvReport) -> String {
     out
 }
 
+/// The cross-SPU interference matrix as JSONL: one `interference` line
+/// per non-zero cell (channel-major) and one `lock_hold` line per lock
+/// class × SPU with non-zero hold time. Empty when attribution was
+/// disabled, so exports stay byte-identical without it.
+pub fn interference_jsonl(report: &ObsvReport) -> String {
+    let r = &report.interference;
+    let mut out = String::new();
+    let name = |i: usize| r.spu_names.get(i).map(String::as_str).unwrap_or("?");
+    for (ch, w, h, amount, events) in r.matrix.nonzero() {
+        out.push_str(&format!(
+            "{{\"type\":\"interference\",\"channel\":\"{}\",\"unit\":\"{}\",\
+             \"waiter\":\"{}\",\"waiter_index\":{},\"holder\":\"{}\",\"holder_index\":{},\
+             \"amount\":{},\"events\":{}}}\n",
+            ch.as_str(),
+            ch.unit(),
+            json_escape(name(w)),
+            w,
+            json_escape(name(h)),
+            h,
+            amount,
+            events
+        ));
+    }
+    let n = r.matrix.spu_count();
+    for class in LockClass::ALL {
+        for i in 0..n {
+            let nanos = r
+                .lock_hold_nanos
+                .get(class.index() * n + i)
+                .copied()
+                .unwrap_or(0);
+            if nanos > 0 {
+                out.push_str(&format!(
+                    "{{\"type\":\"lock_hold\",\"class\":\"{}\",\"spu\":\"{}\",\
+                     \"spu_index\":{},\"nanos\":{}}}\n",
+                    class.as_str(),
+                    json_escape(name(i)),
+                    i,
+                    nanos
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The per-SPU SLO table as JSONL: one `slo` line per SPU that ran
+/// tracked jobs, plus one `slo_sample` line per sampling instant. Empty
+/// when the tracker was disabled or no jobs ran.
+pub fn slo_jsonl(report: &ObsvReport) -> String {
+    let r = &report.slo;
+    let mut out = String::new();
+    for row in &r.per_spu {
+        out.push_str(&format!(
+            "{{\"type\":\"slo\",\"spu\":\"{}\",\"spu_index\":{},\"target_secs\":{},\
+             \"jobs\":{},\"met\":{},\"violated\":{},\"p50_secs\":{},\"p99_secs\":{},\
+             \"p999_secs\":{},\"goodput_per_sec\":{},\"violation_frac\":{}}}\n",
+            json_escape(&row.name),
+            row.spu.index(),
+            json_num(r.target.as_secs_f64()),
+            row.jobs,
+            row.met,
+            row.violated,
+            json_num(row.p50),
+            json_num(row.p99),
+            json_num(row.p999),
+            json_num(row.goodput),
+            json_num(row.violation_frac)
+        ));
+        for s in &row.samples {
+            out.push_str(&format!(
+                "{{\"type\":\"slo_sample\",\"spu_index\":{},\"t_secs\":{},\
+                 \"completed\":{},\"violated\":{}}}\n",
+                row.spu.index(),
+                json_num(s.at.as_secs_f64()),
+                s.completed,
+                s.violated
+            ));
+        }
+    }
+    out
+}
+
+/// The interference matrix alone as one JSON document — the artifact a
+/// CI run uploads from the lock-leakage experiment. Lists SPU names,
+/// every non-zero cell, and the non-zero lock-hold entries.
+pub fn interference_matrix_json(r: &InterferenceReport) -> String {
+    let mut out = String::from("{\"spus\":[");
+    let names: Vec<String> = r
+        .spu_names
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push_str("],\"cells\":[");
+    let cells: Vec<String> = r
+        .matrix
+        .nonzero()
+        .into_iter()
+        .map(|(ch, w, h, amount, events)| {
+            format!(
+                "{{\"channel\":\"{}\",\"unit\":\"{}\",\"waiter\":{},\"holder\":{},\
+                 \"amount\":{},\"events\":{}}}",
+                ch.as_str(),
+                ch.unit(),
+                w,
+                h,
+                amount,
+                events
+            )
+        })
+        .collect();
+    out.push_str(&cells.join(","));
+    out.push_str("],\"lock_hold\":[");
+    let n = r.matrix.spu_count();
+    let mut holds: Vec<String> = Vec::new();
+    for class in LockClass::ALL {
+        for i in 0..n {
+            let nanos = r
+                .lock_hold_nanos
+                .get(class.index() * n + i)
+                .copied()
+                .unwrap_or(0);
+            if nanos > 0 {
+                holds.push(format!(
+                    "{{\"class\":\"{}\",\"spu\":{},\"nanos\":{}}}",
+                    class.as_str(),
+                    i,
+                    nanos
+                ));
+            }
+        }
+    }
+    out.push_str(&holds.join(","));
+    out.push_str("]}\n");
+    out
+}
+
 /// A full run as JSONL: run header, jobs, counters, latency histograms,
 /// then every resource sample.
 pub fn metrics_jsonl(m: &RunMetrics) -> String {
@@ -133,6 +274,10 @@ pub fn metrics_jsonl(m: &RunMetrics) -> String {
         out.push('\n');
     }
     out.push_str(&series_jsonl(&m.obsv));
+    // Interference and SLO lines only appear when their trackers were
+    // enabled, keeping the no-attribution output byte-identical.
+    out.push_str(&interference_jsonl(&m.obsv));
+    out.push_str(&slo_jsonl(&m.obsv));
     out
 }
 
@@ -142,8 +287,11 @@ pub fn metrics_jsonl(m: &RunMetrics) -> String {
 /// Mapping: Chrome `pid` = SPU index (process names from `spus`),
 /// `tid` = CPU number. On-CPU spans become `"X"` complete events; faults,
 /// I/O issues and memory-policy runs become `"i"` instants; sampler
-/// series become `"C"` counter tracks. Timestamps are microseconds of
-/// simulated time.
+/// series become `"C"` counter tracks. Lock waits (recorded when
+/// attribution is enabled) become `"X"` spans named
+/// `lock-wait:<class>` on per-process lanes (`tid` = 1000 + pid) with
+/// the granting holder's SPU index in `args`. Timestamps are
+/// microseconds of simulated time.
 pub fn chrome_trace_json(trace: &Trace, spus: &SpuSet, report: &ObsvReport) -> String {
     let us = |t: event_sim::SimTime| -> f64 { t.as_nanos() as f64 / 1000.0 };
     let mut events: Vec<String> = Vec::new();
@@ -167,6 +315,36 @@ pub fn chrome_trace_json(trace: &Trace, spus: &SpuSet, report: &ObsvReport) -> S
         )>,
     > = Vec::new();
     let mut last_at = event_sim::SimTime::ZERO;
+    // Lock-wait spans: LockWait opens, LockGrant closes. Rendered on a
+    // per-process lane (tid = 1000 + pid) under the waiter's SPU so
+    // they never collide with the CPU rows.
+    let mut lock_waits: BTreeMap<
+        crate::process::Pid,
+        (event_sim::SimTime, spu_core::SpuId, crate::locks::LockId),
+    > = BTreeMap::new();
+    let lock_wait_span = |start: event_sim::SimTime,
+                          end: event_sim::SimTime,
+                          pid: crate::process::Pid,
+                          spu: spu_core::SpuId,
+                          lock: crate::locks::LockId,
+                          holder: Option<spu_core::SpuId>|
+     -> String {
+        let holder = match holder {
+            Some(h) => format!("{}", h.index()),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
+             \"name\":\"lock-wait:{}\",\"args\":{{\"pid\":{},\"holder\":{}}}}}",
+            spu.index(),
+            1000 + pid.0,
+            json_num(start.as_nanos() as f64 / 1000.0),
+            json_num(end.as_nanos() as f64 / 1000.0 - start.as_nanos() as f64 / 1000.0),
+            LockClass::of(lock).as_str(),
+            pid.0,
+            holder
+        )
+    };
     let close = |events: &mut Vec<String>,
                  slot: &mut Option<(
         event_sim::SimTime,
@@ -260,12 +438,26 @@ pub fn chrome_trace_json(trace: &Trace, spus: &SpuSet, report: &ObsvReport) -> S
                     label
                 ));
             }
+            TraceEvent::LockWait { at, pid, spu, lock } => {
+                lock_waits.insert(pid, (at, spu, lock));
+            }
+            TraceEvent::LockGrant {
+                at, pid, holder, ..
+            } => {
+                if let Some((start, spu, lock)) = lock_waits.remove(&pid) {
+                    events.push(lock_wait_span(start, at, pid, spu, lock, Some(holder)));
+                }
+            }
             TraceEvent::Wake { .. } => {}
         }
     }
     for (cpu, slot) in open.iter_mut().enumerate() {
         let mut s = slot.take();
         close(&mut events, &mut s, cpu, last_at);
+    }
+    // Waits still open at trace end close there, holder unknown.
+    for (pid, (start, spu, lock)) in std::mem::take(&mut lock_waits) {
+        events.push(lock_wait_span(start, last_at, pid, spu, lock, None));
     }
     // Counter tracks from the sampler series.
     for s in &report.series {
@@ -464,6 +656,128 @@ mod tests {
         assert!(doc.contains("fault:major"));
         assert!(doc.contains("\"ph\":\"C\""));
         assert!(doc.contains("process_name"));
+    }
+
+    #[test]
+    fn interference_and_slo_jsonl_are_empty_when_disabled() {
+        let report = ObsvReport::default();
+        assert_eq!(interference_jsonl(&report), "");
+        assert_eq!(slo_jsonl(&report), "");
+    }
+
+    #[test]
+    fn interference_jsonl_lines_are_valid_and_named() {
+        use crate::obsv::interference::{Channel, InterferenceMatrix};
+        let mut report = ObsvReport::default();
+        report.interference.spu_names = vec![
+            "kernel".into(),
+            "shared".into(),
+            "user0".into(),
+            "user1".into(),
+        ];
+        report.interference.matrix = InterferenceMatrix::new(4);
+        report.interference.matrix.add(
+            Channel::LockRoot,
+            SpuId::user(0),
+            SpuId::user(1),
+            1_500_000,
+        );
+        report.interference.lock_hold_nanos = vec![0, 0, 0, 42, 0, 0, 0, 0];
+        let doc = interference_jsonl(&report);
+        assert_eq!(doc.lines().count(), 2);
+        for line in doc.lines() {
+            assert_valid_json(line);
+        }
+        assert!(doc.contains("\"channel\":\"lock.root\""));
+        assert!(doc.contains("\"waiter\":\"user0\""));
+        assert!(doc.contains("\"holder\":\"user1\""));
+        assert!(doc.contains("\"type\":\"lock_hold\""));
+        assert!(doc.contains("\"class\":\"root\""));
+        assert!(doc.contains("\"nanos\":42"));
+    }
+
+    #[test]
+    fn slo_jsonl_emits_rows_and_samples() {
+        use crate::obsv::interference::{SloSample, SpuSlo};
+        use event_sim::SimDuration;
+        let mut report = ObsvReport::default();
+        report.slo.target = SimDuration::from_millis(5);
+        report.slo.per_spu.push(SpuSlo {
+            spu: SpuId::user(0),
+            name: "user0".into(),
+            jobs: 10,
+            met: 9,
+            violated: 1,
+            p50: 0.002,
+            p99: 0.006,
+            p999: 0.006,
+            goodput: 4.5,
+            violation_frac: 0.1,
+            samples: vec![SloSample {
+                at: SimTime::from_millis(100),
+                completed: 4,
+                violated: 0,
+            }],
+        });
+        let doc = slo_jsonl(&report);
+        assert_eq!(doc.lines().count(), 2);
+        for line in doc.lines() {
+            assert_valid_json(line);
+        }
+        assert!(doc.contains("\"type\":\"slo\""));
+        assert!(doc.contains("\"target_secs\":0.005"));
+        assert!(doc.contains("\"type\":\"slo_sample\""));
+    }
+
+    #[test]
+    fn interference_matrix_json_is_one_valid_document() {
+        use crate::obsv::interference::{Channel, InterferenceMatrix, InterferenceReport};
+        let mut r = InterferenceReport {
+            spu_names: vec!["kernel".into(), "shared".into(), "user0".into()],
+            matrix: InterferenceMatrix::new(3),
+            lock_hold_nanos: vec![0; 6],
+        };
+        r.matrix
+            .add(Channel::MemSteal, SpuId::user(0), SpuId::SHARED, 1);
+        let doc = interference_matrix_json(&r);
+        assert_valid_json(&doc);
+        assert!(doc.contains("\"unit\":\"pages\""));
+        // Empty report still renders a valid document.
+        assert_valid_json(&interference_matrix_json(&InterferenceReport::default()));
+    }
+
+    #[test]
+    fn lock_wait_spans_open_and_close() {
+        use crate::locks::LockId;
+        let mut tr = Trace::new();
+        tr.enable(100);
+        tr.push(TraceEvent::LockWait {
+            at: SimTime::from_millis(1),
+            pid: Pid(7),
+            spu: SpuId::user(1),
+            lock: LockId::ROOT,
+        });
+        tr.push(TraceEvent::LockGrant {
+            at: SimTime::from_millis(3),
+            pid: Pid(7),
+            lock: LockId::ROOT,
+            holder: SpuId::user(0),
+        });
+        // A second wait left open closes at trace end with a null holder.
+        tr.push(TraceEvent::LockWait {
+            at: SimTime::from_millis(4),
+            pid: Pid(8),
+            spu: SpuId::user(0),
+            lock: LockId::inode(crate::fs::FileId(4)),
+        });
+        let doc = chrome_trace_json(&tr, &SpuSet::equal_users(2), &ObsvReport::default());
+        assert_valid_json(&doc);
+        assert!(doc.contains("\"name\":\"lock-wait:root\""));
+        assert!(doc.contains("\"name\":\"lock-wait:inode\""));
+        assert!(doc.contains("\"tid\":1007"));
+        assert!(doc.contains("\"dur\":2000"));
+        assert!(doc.contains("\"holder\":2")); // user0's dense index
+        assert!(doc.contains("\"holder\":null"));
     }
 
     #[test]

@@ -90,6 +90,7 @@ impl Kernel {
                     {
                         Acquired::Frame { frame, evicted } => {
                             if let Some(ev) = evicted {
+                                self.note_steal(spu, &ev);
                                 self.handle_eviction(ev, None);
                             }
                             frames.push(frame);
@@ -167,6 +168,7 @@ impl Kernel {
                 {
                     Acquired::Frame { frame, evicted } => {
                         if let Some(ev) = evicted {
+                            self.note_steal(spu, &ev);
                             self.handle_eviction(ev, None);
                         }
                         frames.push(frame);
@@ -245,6 +247,7 @@ impl Kernel {
                 {
                     Acquired::Frame { frame, evicted } => {
                         if let Some(ev) = evicted {
+                            self.note_steal(spu, &ev);
                             self.handle_eviction(ev, None);
                         }
                         self.cache.insert_valid(file, block, frame, true);
@@ -374,6 +377,11 @@ impl Kernel {
         let (done, next) = self.disks[disk].complete(self.now);
         if let Some(c) = next {
             self.events.schedule(c.at, Event::DiskDone { disk });
+        }
+        if let Some(attr) = self.attribution.as_mut() {
+            for (waiter, holder, wait) in self.disks[disk].drain_queue_waits() {
+                attr.disk_queue_wait(waiter, holder, wait);
+            }
         }
         if done.failed {
             self.fault_counts.disk_errors += 1;

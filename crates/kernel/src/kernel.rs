@@ -29,6 +29,7 @@ use crate::fs::{FileId, FileSystem};
 use crate::io::{IoPurpose, RetryState};
 use crate::locks::LockTable;
 use crate::metrics::{JobRecord, RunMetrics};
+use crate::obsv::interference::{nearest_rank, Attribution, SloReport, SloSample, SpuSlo};
 use crate::obsv::{CounterId, CounterRegistry, LatencyStats, ObsvReport, SampleSeries};
 use crate::policy::FaultCounters;
 use crate::process::{BlockReason, JobId, Pid, ProcState, Process};
@@ -108,6 +109,15 @@ pub struct Kernel {
     /// Per-CPU time a revocation became needed (cleared at deschedule).
     pub(crate) revoke_requested: Vec<Option<SimTime>>,
     pub(crate) sched_counts: SchedCounters,
+    /// Cross-SPU interference attribution, `None` until
+    /// [`enable_attribution`](Self::enable_attribution).
+    pub(crate) attribution: Option<Attribution>,
+    /// SLO response-time target, `None` until
+    /// [`enable_slo`](Self::enable_slo).
+    pub(crate) slo_target: Option<SimDuration>,
+    /// Cumulative per-SPU SLO samples (dense index order), filled by the
+    /// sampler when both the SLO tracker and sampling are enabled.
+    pub(crate) slo_samples: Vec<Vec<SloSample>>,
     // --- faults & recovery ------------------------------------------------
     /// Retry state per erroring request tag.
     pub(crate) retries: HashMap<u64, RetryState>,
@@ -297,6 +307,9 @@ impl Kernel {
             wake_pending: HashMap::new(),
             revoke_requested: vec![None; cfg.cpus],
             sched_counts: SchedCounters::default(),
+            attribution: None,
+            slo_target: None,
+            slo_samples: Vec::new(),
             retries: HashMap::new(),
             errors: Vec::new(),
             error_count: 0,
@@ -398,6 +411,47 @@ impl Kernel {
             .flat_map(|id| self.managers.iter().map(move |m| (id, m.kind())))
             .map(|(id, r)| SampleSeries::new(id, self.spus.name(id), r))
             .collect();
+    }
+
+    /// Enables cross-SPU interference attribution (see
+    /// [`obsv::interference`](crate::obsv::interference)): lock waits,
+    /// CPU-revocation delays, disk-queue waits and memory steals are
+    /// attributed to the SPU that caused them, and lock waits become
+    /// named trace spans when tracing is also on. Call before
+    /// [`run`](Self::run).
+    ///
+    /// Attribution only *observes* state the kernel maintains anyway, so
+    /// enabling it never changes scheduling decisions, the fingerprint,
+    /// or any pre-existing export line — exports gain lines, byte-for-
+    /// byte identical prefixes aside.
+    pub fn enable_attribution(&mut self) {
+        self.attribution = Some(Attribution::new(self.spus.total_count()));
+        for d in &mut self.disks {
+            d.record_queue_waits(true);
+        }
+    }
+
+    /// Whether interference attribution is on.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution.is_some()
+    }
+
+    /// Enables the per-SPU SLO tracker: every tracked job's response
+    /// time is judged against `target`, and
+    /// [`RunMetrics::obsv`](crate::metrics::RunMetrics)'s
+    /// [`SloReport`] reports
+    /// percentiles, goodput and the violation fraction per SPU. When
+    /// sampling is also enabled, cumulative `(completed, violated)`
+    /// counts are recorded at every sampling instant alongside the
+    /// resource series. Call before [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero.
+    pub fn enable_slo(&mut self, target: SimDuration) {
+        assert!(!target.is_zero(), "SLO target must be positive");
+        self.slo_target = Some(target);
+        self.slo_samples = vec![Vec::new(); self.spus.total_count()];
     }
 
     /// Creates a file on `disk` (see [`FileSystem::create`]).
@@ -542,7 +596,68 @@ impl Kernel {
         reg.set_id(ids.fault_io_retries, f.io_retries);
         reg.set_id(ids.fault_io_failures, f.io_failures);
         reg.set_id(ids.trace_dropped, self.trace.dropped());
+        // Interference counters are interned only when attribution is on,
+        // so the registry (and every export derived from it) is untouched
+        // for ordinary runs.
+        if let Some(attr) = &self.attribution {
+            reg.set("interference.lock_waits", attr.lock_waits);
+            reg.set("interference.lock_wait_nanos", attr.lock_wait_nanos);
+            reg.set("interference.lock_hold_nanos", attr.lock_hold_total_nanos);
+            reg.set("interference.cpu_revoke_nanos", attr.cpu_revoke_nanos);
+            reg.set("interference.disk_queue_nanos", attr.disk_queue_nanos);
+            reg.set("interference.mem_steals", attr.mem_steals);
+        }
         reg
+    }
+
+    /// The per-SPU SLO table for the configured target (empty when the
+    /// tracker is off). Unfinished jobs count as violations and are
+    /// scored at `end_time`; percentiles are exact nearest-rank over the
+    /// scored responses.
+    fn collect_slo(&self, end_time: SimTime) -> SloReport {
+        let Some(target) = self.slo_target else {
+            return SloReport::default();
+        };
+        let elapsed = end_time.as_secs_f64();
+        let mut per_spu = Vec::new();
+        for (idx, spu) in self.spus.all_ids().enumerate() {
+            let mut responses: Vec<f64> = Vec::new();
+            let mut met = 0u64;
+            for j in self.jobs.iter().filter(|j| j.spu == spu) {
+                match j.response() {
+                    Some(r) => {
+                        if r <= target {
+                            met += 1;
+                        }
+                        responses.push(r.as_secs_f64());
+                    }
+                    None => responses.push(end_time.saturating_since(j.started).as_secs_f64()),
+                }
+            }
+            if responses.is_empty() {
+                continue;
+            }
+            responses.sort_by(f64::total_cmp);
+            let jobs = responses.len() as u64;
+            per_spu.push(SpuSlo {
+                spu,
+                name: self.spus.name(spu).to_string(),
+                jobs,
+                met,
+                violated: jobs - met,
+                p50: nearest_rank(&responses, 50.0),
+                p99: nearest_rank(&responses, 99.0),
+                p999: nearest_rank(&responses, 99.9),
+                goodput: if elapsed > 0.0 {
+                    met as f64 / elapsed
+                } else {
+                    0.0
+                },
+                violation_frac: (jobs - met) as f64 / jobs as f64,
+                samples: self.slo_samples.get(idx).cloned().unwrap_or_default(),
+            });
+        }
+        SloReport { target, per_spu }
     }
 
     pub(crate) fn collect_metrics(&mut self, completed: bool) -> RunMetrics {
@@ -562,11 +677,22 @@ impl Kernel {
             disk_service.merge(d.stats().service_histogram());
         }
         latency.disk_service = disk_service;
+        let interference = match &self.attribution {
+            Some(attr) => attr.report(
+                self.spus
+                    .all_ids()
+                    .map(|id| self.spus.name(id).to_string())
+                    .collect(),
+            ),
+            None => Default::default(),
+        };
         let obsv = ObsvReport {
             counters: self.publish_counters(),
             series: self.series.clone(),
             latency,
             sample_interval: self.sample_interval,
+            interference,
+            slo: self.collect_slo(self.now),
         };
         RunMetrics {
             end_time: self.now,

@@ -66,11 +66,17 @@ pub use config::{
     SECTORS_PER_PAGE,
 };
 pub use error::KernelError;
-pub use export::{chrome_trace_json, counters_jsonl, histogram_json, metrics_jsonl, series_jsonl};
+pub use export::{
+    chrome_trace_json, counters_jsonl, histogram_json, interference_jsonl,
+    interference_matrix_json, metrics_jsonl, series_jsonl, slo_jsonl,
+};
 pub use fs::{FileId, FileMeta, FileSystem};
 pub use kernel::Kernel;
 pub use locks::{LockId, LockTable};
 pub use metrics::{JobRecord, RunMetrics};
+pub use obsv::interference::{
+    Channel, InterferenceMatrix, InterferenceReport, LockClass, SloReport, SloSample, SpuSlo,
+};
 pub use obsv::{
     CounterId, CounterRegistry, LatencyStats, ObsvReport, ResourceKind, ResourceSample,
     SampleSeries,

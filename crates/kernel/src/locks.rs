@@ -92,7 +92,9 @@ impl LockTable {
     /// it until a [`release`](Self::release) wakes it.
     pub fn acquire(&mut self, lock: LockId, pid: Pid, excl: bool) -> bool {
         let excl = excl || self.force_exclusive;
-        self.total_acquires += 1;
+        // Saturate rather than wrap: a very long run must never panic in
+        // debug builds or roll the contention ratio over in release.
+        self.total_acquires = self.total_acquires.saturating_add(1);
         let st = self.state(lock);
         let grant = if excl {
             st.is_free() && st.waiters.is_empty()
@@ -108,7 +110,7 @@ impl LockTable {
             true
         } else {
             st.waiters.push_back((pid, excl));
-            self.contended_acquires += 1;
+            self.contended_acquires = self.contended_acquires.saturating_add(1);
             false
         }
     }
@@ -177,6 +179,17 @@ impl LockTable {
             }
         }
         woken
+    }
+
+    /// Calls `f` for every process still queued on `lock`, in queue
+    /// order. Used by interference attribution to charge waiters for
+    /// each hold segment as it ends.
+    pub fn for_each_waiter(&self, lock: LockId, mut f: impl FnMut(Pid)) {
+        if let Some(st) = self.locks.get(lock.0 as usize) {
+            for &(pid, _) in &st.waiters {
+                f(pid);
+            }
+        }
     }
 
     /// Fraction of acquisitions that had to wait.
@@ -321,5 +334,88 @@ mod tests {
         assert_eq!(t.release(LockId::ROOT, Pid(1)), vec![Pid(2)]);
         assert_eq!(t.release(LockId::ROOT, Pid(2)), vec![Pid(3)]);
         assert_eq!(t.release(LockId::ROOT, Pid(3)), Vec::<Pid>::new());
+    }
+
+    #[test]
+    fn contention_ratio_is_zero_not_nan_on_empty_table() {
+        let t = LockTable::new(true);
+        assert_eq!(t.total_acquires(), 0);
+        assert_eq!(t.contended_acquires(), 0);
+        let r = t.contention_ratio();
+        assert!(!r.is_nan(), "0/0 must not surface as NaN");
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn acquire_counters_saturate_instead_of_wrapping() {
+        let mut t = LockTable::new(true);
+        t.total_acquires = u64::MAX;
+        t.contended_acquires = u64::MAX;
+        assert!(t.acquire(LockId::ROOT, Pid(1), false));
+        assert!(!t.acquire(LockId::ROOT, Pid(2), false));
+        assert_eq!(t.total_acquires(), u64::MAX);
+        assert_eq!(t.contended_acquires(), u64::MAX);
+        let r = t.contention_ratio();
+        assert!(r.is_finite());
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_handoff_preserves_mixed_arrival_order() {
+        // Arrival order writer/reader/writer/reader must be honoured
+        // exactly: no reader batch may overtake an earlier writer.
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(2), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(3), false));
+        assert!(!t.acquire(LockId::ROOT, Pid(4), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(5), false));
+        assert_eq!(t.release(LockId::ROOT, Pid(1)), vec![Pid(2)]);
+        assert_eq!(t.release(LockId::ROOT, Pid(2)), vec![Pid(3)]);
+        assert_eq!(t.release(LockId::ROOT, Pid(3)), vec![Pid(4)]);
+        assert_eq!(t.release(LockId::ROOT, Pid(4)), vec![Pid(5)]);
+    }
+
+    #[test]
+    fn adjacent_readers_wake_as_one_batch() {
+        // writer, then readers 2,3, writer 4, reader 5: the leading run
+        // of shared waiters is granted together, but the batch stops at
+        // the queued writer even though another reader waits behind it.
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(2), false));
+        assert!(!t.acquire(LockId::ROOT, Pid(3), false));
+        assert!(!t.acquire(LockId::ROOT, Pid(4), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(5), false));
+        assert_eq!(t.release(LockId::ROOT, Pid(1)), vec![Pid(2), Pid(3)]);
+        // Both readers must release before the writer runs.
+        assert_eq!(t.release(LockId::ROOT, Pid(2)), Vec::<Pid>::new());
+        assert_eq!(t.release(LockId::ROOT, Pid(3)), vec![Pid(4)]);
+        assert_eq!(t.release(LockId::ROOT, Pid(4)), vec![Pid(5)]);
+    }
+
+    #[test]
+    fn release_all_dead_reader_waiting_exclusive_elsewhere() {
+        // Pid 1 holds ROOT shared *and* waits exclusive on an inode lock
+        // when it dies: the inode queue must forget it (pid 3 is next),
+        // and its ROOT share must pass to the queued writer.
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), false));
+        assert!(t.acquire(LockId::inode(FileId(0)), Pid(2), true));
+        assert!(!t.acquire(LockId::inode(FileId(0)), Pid(1), true));
+        assert!(!t.acquire(LockId::inode(FileId(0)), Pid(3), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(4), true));
+        assert_eq!(t.release_all(Pid(1)), vec![Pid(4)]);
+        // The dead pid never surfaces from the inode queue.
+        assert_eq!(t.release(LockId::inode(FileId(0)), Pid(2)), vec![Pid(3)]);
+    }
+
+    #[test]
+    fn release_all_is_idempotent_for_the_same_pid() {
+        let mut t = LockTable::new(false);
+        assert!(t.acquire(LockId::ROOT, Pid(1), true));
+        assert!(!t.acquire(LockId::ROOT, Pid(2), true));
+        assert_eq!(t.release_all(Pid(1)), vec![Pid(2)]);
+        assert_eq!(t.release_all(Pid(1)), Vec::<Pid>::new());
     }
 }

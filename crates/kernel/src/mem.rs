@@ -66,6 +66,7 @@ impl Kernel {
                 }
             };
             if let Some(ev) = evicted {
+                self.note_steal(spu, &ev);
                 self.handle_eviction(ev, Some(pid));
             }
             let prior = self.procs.get(pid).pages[page as usize];
@@ -160,6 +161,18 @@ impl Kernel {
             p.push_front_micro(MicroOp::Cpu(cost));
         }
         p.push_front_micro(MicroOp::AwaitIo);
+    }
+
+    /// Records a cross-SPU page steal in the interference matrix: the
+    /// faulting/filling SPU (`thief`) took a frame away from the victim
+    /// recorded in the eviction. No-op when attribution is off or the
+    /// frame belonged to the same SPU (or a non-user owner).
+    pub(crate) fn note_steal(&mut self, thief: SpuId, ev: &Evicted) {
+        if let Some(attr) = &mut self.attribution {
+            if ev.spu != thief {
+                attr.mem_steal(ev.spu, thief);
+            }
+        }
     }
 
     /// Processes an eviction decided by the VM: fixes the page table or

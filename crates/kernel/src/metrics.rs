@@ -164,6 +164,37 @@ impl RunMetrics {
             self.lock_contended() as f64 / total as f64
         }
     }
+
+    /// The cross-SPU interference report (empty unless
+    /// [`Kernel::enable_attribution`](crate::Kernel::enable_attribution)
+    /// was called before the run).
+    pub fn interference(&self) -> &crate::obsv::interference::InterferenceReport {
+        &self.obsv.interference
+    }
+
+    /// The per-SPU SLO report (empty unless
+    /// [`Kernel::enable_slo`](crate::Kernel::enable_slo) was called
+    /// before the run).
+    pub fn slo(&self) -> &crate::obsv::interference::SloReport {
+        &self.obsv.slo
+    }
+
+    /// Time one SPU spent waiting on another through one channel, in
+    /// seconds (pages for the memory-steal channel).
+    pub fn interference_amount(
+        &self,
+        ch: crate::obsv::interference::Channel,
+        waiter: SpuId,
+        holder: SpuId,
+    ) -> f64 {
+        use crate::obsv::interference::Channel;
+        let raw = self.obsv.interference.matrix.amount(ch, waiter, holder) as f64;
+        if ch == Channel::MemSteal {
+            raw
+        } else {
+            raw / 1e9
+        }
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,11 @@
 //!
 //! Everything is keyed by simulated time only, so two identical runs
 //! produce byte-identical exports (see [`crate::export`]).
+//!
+//! The opt-in cross-SPU interference matrix and SLO tracker live in
+//! [`interference`].
+
+pub mod interference;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -309,6 +314,13 @@ pub struct ObsvReport {
     pub latency: LatencyStats,
     /// The sampling interval, if sampling was on.
     pub sample_interval: Option<SimDuration>,
+    /// Cross-SPU interference attribution (empty unless
+    /// [`Kernel::enable_attribution`](crate::Kernel::enable_attribution)
+    /// was called).
+    pub interference: interference::InterferenceReport,
+    /// Per-SPU SLO table (empty unless
+    /// [`Kernel::enable_slo`](crate::Kernel::enable_slo) was called).
+    pub slo: interference::SloReport,
 }
 
 impl ObsvReport {

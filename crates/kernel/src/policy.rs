@@ -9,6 +9,7 @@ use event_sim::{FaultKind, SimDuration, SimTime};
 use spu_core::{CpuPartition, LevelSnapshot, ResourceKind, ResourceManager, SpuId};
 
 use crate::kernel::Kernel;
+use crate::obsv::interference::SloSample;
 use crate::obsv::ResourceSample;
 use crate::process::{MicroOp, ProcState};
 use crate::program::Program;
@@ -198,6 +199,39 @@ impl Kernel {
             }
         }
         self.managers = managers;
+        // The SLO tracker piggybacks on the same cadence: cumulative
+        // per-SPU completion/violation counts at every sampling instant.
+        if let Some(target) = self.slo_target {
+            for (idx, spu) in self.spus.all_ids().enumerate() {
+                if idx >= self.slo_samples.len() {
+                    break;
+                }
+                let mut completed = 0u64;
+                let mut violated = 0u64;
+                for j in self
+                    .jobs
+                    .iter()
+                    .filter(|j| j.spu == spu && j.started <= now)
+                {
+                    match j.finished {
+                        Some(f) => {
+                            completed += 1;
+                            if f.saturating_since(j.started) > target {
+                                violated += 1;
+                            }
+                        }
+                        // Still running past the target: already violated.
+                        None if now.saturating_since(j.started) > target => violated += 1,
+                        None => {}
+                    }
+                }
+                self.slo_samples[idx].push(SloSample {
+                    at: now,
+                    completed,
+                    violated,
+                });
+            }
+        }
     }
 
     // ----- fault injection & recovery --------------------------------------
@@ -388,7 +422,25 @@ impl Kernel {
             _ => {}
         }
         self.wake_pending.remove(&pid);
+        if let Some(attr) = &mut self.attribution {
+            // Close the dead process's holds and drop its queued waits;
+            // grants below are blamed on the crashed SPU, whose cleanup
+            // the waiters actually sat behind.
+            attr.forget(pid, spu, self.now);
+        }
         for w in self.locks.release_all(pid) {
+            if let Some(attr) = self.attribution.as_mut() {
+                if let Some(&MicroOp::LockAcquire { lock, .. }) = self.procs.get(w).micro_front() {
+                    let waiter_spu = self.procs.get(w).spu;
+                    attr.lock_granted(w, waiter_spu, lock, spu, self.now);
+                    self.trace.push(TraceEvent::LockGrant {
+                        at: self.now,
+                        pid: w,
+                        lock,
+                        holder: spu,
+                    });
+                }
+            }
             let wp = self.procs.get_mut(w);
             if matches!(wp.micro_front(), Some(MicroOp::LockAcquire { .. })) {
                 wp.pop_micro();

@@ -13,6 +13,7 @@
 use event_sim::SimTime;
 use spu_core::SpuId;
 
+use crate::locks::LockId;
 use crate::process::{BlockReason, Pid};
 
 /// One traced kernel event.
@@ -91,6 +92,33 @@ pub enum TraceEvent {
         /// Which fault class (static label, e.g. `"cpu-offline"`).
         label: &'static str,
     },
+    /// A process started waiting for a kernel lock. Only emitted when
+    /// interference attribution is enabled
+    /// ([`Kernel::enable_attribution`](crate::Kernel::enable_attribution)),
+    /// so traces without attribution stay byte-identical.
+    LockWait {
+        /// When the wait began.
+        at: SimTime,
+        /// The waiting process.
+        pid: Pid,
+        /// Its SPU.
+        spu: SpuId,
+        /// The contended lock.
+        lock: LockId,
+    },
+    /// A waiting process was handed a kernel lock; closes the span opened
+    /// by the matching [`TraceEvent::LockWait`]. Gated like `LockWait`.
+    LockGrant {
+        /// When the lock was handed over.
+        at: SimTime,
+        /// The process that had been waiting.
+        pid: Pid,
+        /// The lock granted.
+        lock: LockId,
+        /// The SPU of the releaser whose critical section the waiter sat
+        /// behind (the SPU the wait is attributed to).
+        holder: SpuId,
+    },
 }
 
 impl TraceEvent {
@@ -104,7 +132,9 @@ impl TraceEvent {
             | TraceEvent::Fault { at, .. }
             | TraceEvent::IoIssue { at, .. }
             | TraceEvent::PolicyRun { at }
-            | TraceEvent::FaultInjected { at, .. } => at,
+            | TraceEvent::FaultInjected { at, .. }
+            | TraceEvent::LockWait { at, .. }
+            | TraceEvent::LockGrant { at, .. } => at,
         }
     }
 }

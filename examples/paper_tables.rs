@@ -1,9 +1,9 @@
 //! Drives every experiment matrix in the repo — the paper's static
-//! tables plus all eight simulated harnesses — through the sweep
+//! tables plus all nine simulated harnesses — through the sweep
 //! engine, and exports the per-cell outcomes and sweep counters under
 //! `results/`.
 //!
-//! All nine matrices' cells are drained by **one** worker pool
+//! All ten matrices' cells are drained by **one** worker pool
 //! (`sweep::run_pool`), so there is no barrier between matrices. The
 //! output is byte-identical for any `--threads` value and any cache
 //! state; only the timing lines (which go to stdout, never into result

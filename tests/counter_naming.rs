@@ -1,0 +1,72 @@
+//! The obsv counter naming convention, enforced by a registry walk.
+//!
+//! Every counter is exported to JSONL keyed by its name, so names must
+//! follow one scheme: lowercase dot-separated `module.metric` segments
+//! (digits allowed — `disk.0.requests` — and underscores within a
+//! segment). A counter that diverges would silently fork the export
+//! namespace; this test boots a fully instrumented kernel so the walk
+//! sees every family, including the interference counters.
+
+use perf_isolation::experiments::lock_leakage;
+use perf_isolation::experiments::Scale;
+
+/// `module.metric`: at least two non-empty segments, each of
+/// `[a-z0-9_]`, separated by single dots.
+fn well_formed(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() >= 2
+        && segments.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[test]
+fn counter_names_follow_the_module_metric_scheme() {
+    let m = lock_leakage::run_instrumented(Scale::Quick).metrics;
+    let names: Vec<String> = m
+        .obsv
+        .counters
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    assert!(!names.is_empty(), "registry walk saw no counters");
+    for name in &names {
+        assert!(
+            well_formed(name),
+            "counter `{name}` breaks the lowercase dot-separated \
+             `module.metric` naming scheme"
+        );
+    }
+    // The walk must actually cover the interference family — if these
+    // counters move out of the registry the check above goes blind.
+    for family in ["interference.", "locks.", "sched.", "vm."] {
+        assert!(
+            names.iter().any(|n| n.starts_with(family)),
+            "no `{family}*` counter in the registry walk"
+        );
+    }
+}
+
+#[test]
+fn the_checker_itself_rejects_bad_names() {
+    for bad in [
+        "Locks.acquires",
+        "locks",
+        "locks..acquires",
+        "locks.a-b",
+        "locks.A",
+        ".locks",
+        "locks.",
+    ] {
+        assert!(!well_formed(bad), "checker accepted `{bad}`");
+    }
+    for good in [
+        "locks.acquires",
+        "disk.0.requests",
+        "interference.lock_wait_nanos",
+    ] {
+        assert!(well_formed(good), "checker rejected `{good}`");
+    }
+}

@@ -2,6 +2,7 @@
 //! simulated time only (no wall clock, no unordered maps), so two
 //! identical instrumented runs must serialize to byte-identical strings.
 
+use perf_isolation::experiments::lock_leakage;
 use perf_isolation::experiments::pmake8;
 use perf_isolation::experiments::Scale;
 
@@ -39,4 +40,40 @@ fn instrumented_runs_export_identically() {
     }
     assert!(a.chrome_trace.contains("\"traceEvents\""));
     assert!(a.chrome_trace.contains("\"ph\":\"X\""));
+}
+
+#[test]
+fn attribution_exports_are_deterministic() {
+    // Same property with the interference attribution, SLO tracker and
+    // lock-wait spans enabled: two runs, byte-identical exports.
+    let a = lock_leakage::run_instrumented(Scale::Quick);
+    let b = lock_leakage::run_instrumented(Scale::Quick);
+
+    assert_eq!(
+        a.metrics_jsonl, b.metrics_jsonl,
+        "JSONL export with attribution enabled is not deterministic"
+    );
+    assert_eq!(
+        a.chrome_trace, b.chrome_trace,
+        "Chrome trace with lock-wait spans is not deterministic"
+    );
+    assert_eq!(
+        a.matrix_json, b.matrix_json,
+        "interference-matrix export is not deterministic"
+    );
+
+    for needle in [
+        "\"type\":\"interference\"",
+        "\"type\":\"lock_hold\"",
+        "\"type\":\"slo\"",
+        "\"type\":\"slo_sample\"",
+        "\"channel\":\"lock.root\"",
+    ] {
+        assert!(
+            a.metrics_jsonl.contains(needle),
+            "metrics export misses {needle}"
+        );
+    }
+    assert!(a.chrome_trace.contains("lock-wait:root"));
+    assert!(a.matrix_json.contains("\"cells\""));
 }
