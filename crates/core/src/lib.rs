@@ -25,6 +25,8 @@
 //!   enforcement (memory pages).
 //! * [`scheme`] — the three allocation schemes compared throughout the
 //!   paper: `SMP`, `Quota`, `PIso` (Table 2).
+//! * [`shed`] — the load-shedding policy an SPU's admission queue
+//!   applies under open-loop overload.
 //! * [`manager`] — the unified resource-management layer: the
 //!   [`SharingPolicy`] contract (`entitle`/`lend_idle`/`revoke`/
 //!   `charge`/`audit`) the three schemes implement once for every
@@ -58,6 +60,7 @@ pub mod manager;
 pub mod mem_policy;
 pub mod resource;
 pub mod scheme;
+pub mod shed;
 pub mod spu;
 
 pub use audit::{AuditViolation, LedgerAuditor};
@@ -71,4 +74,5 @@ pub use manager::{
 pub use mem_policy::{MemPolicyInput, MemSharingPolicy};
 pub use resource::{ResourceKind, ResourceLevels};
 pub use scheme::Scheme;
+pub use shed::ShedPolicy;
 pub use spu::{SpuId, SpuKind, SpuSet};

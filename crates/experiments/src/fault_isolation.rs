@@ -38,17 +38,21 @@ pub enum FaultClass {
     ProcessCrash,
     /// A fork bomb detonates in the background SPU.
     ForkBomb,
+    /// A retry storm: the background SPU's live work is duplicated in a
+    /// burst, the closed-loop analogue of clients blindly retrying.
+    RetryStorm,
 }
 
 impl FaultClass {
     /// Every class, baseline first.
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 7] = [
         FaultClass::None,
         FaultClass::DiskErrors,
         FaultClass::DiskDegraded,
         FaultClass::CpuLoss,
         FaultClass::ProcessCrash,
         FaultClass::ForkBomb,
+        FaultClass::RetryStorm,
     ];
 
     /// Short table label.
@@ -60,6 +64,7 @@ impl FaultClass {
             FaultClass::CpuLoss => "cpu-loss",
             FaultClass::ProcessCrash => "crash",
             FaultClass::ForkBomb => "fork-bomb",
+            FaultClass::RetryStorm => "retry-storm",
         }
     }
 
@@ -104,6 +109,13 @@ impl FaultClass {
                     depth: 3,
                     burn: SimDuration::from_millis(30),
                     pages: 32,
+                },
+            ),
+            FaultClass::RetryStorm => FaultPlan::new().at(
+                hit,
+                FaultKind::RetryStorm {
+                    user_spu: 3,
+                    burst: 4,
                 },
             ),
         }

@@ -14,13 +14,14 @@
 //! | [`net_bw`] | network-bandwidth isolation (the §3.3/§5 extension) |
 //! | [`scaling`] | load-scaling sweep of the isolation guarantee (extension) |
 //! | [`ablation`] | §3.2 / §3.3 / §3.4 design-choice sweeps |
+//! | [`overload`] | open-loop overload, admission control & shedding (robustness extension) |
 //!
 //! Every experiment has a [`Scale::Full`] variant (the paper's
 //! parameters) and a [`Scale::Quick`] variant (same structure, smaller
 //! jobs) used by the Criterion benches and tests. Results carry a
 //! `format()` method producing the paper-shaped text table.
 //!
-//! All ten harnesses implement the [`sweep::Scenario`] trait, so any
+//! All eleven harnesses implement the [`sweep::Scenario`] trait, so any
 //! experiment matrix — or all of them, via [`sweep::all_scenarios`] —
 //! can be driven by the deterministic parallel executor in [`sweep`]
 //! with content-addressed result caching.
@@ -40,6 +41,7 @@ pub mod fault_isolation;
 pub mod lock_leakage;
 pub mod mem_iso;
 pub mod net_bw;
+pub mod overload;
 pub mod pmake8;
 pub mod report;
 pub mod scaling;

@@ -1,0 +1,590 @@
+//! The overload-robustness experiment: open-loop traffic, admission
+//! control, and the metastable-failure regime (robustness extension).
+//!
+//! The paper's evaluation drives SPUs with closed-loop workloads, whose
+//! offered load self-throttles when the machine slows down. A
+//! consolidated *service* is open-loop: clients keep sending whether or
+//! not the server keeps up, so past saturation the only choices are to
+//! queue (and let sojourn times grow without bound — the metastable
+//! regime) or to *shed*. This experiment crosses both axes:
+//!
+//! * **Scheme** decides who pays for the antagonist's overload. A
+//!   latency-sensitive victim SPU (60% entitlement, a Poisson request
+//!   stream far below its capacity) shares the machine with an
+//!   antagonist SPU whose open-loop stream is driven past its entitled
+//!   capacity (1.0× → 2.5×). Under `SMP` the antagonist's fan-out
+//!   processes out-share the victim's requests and the victim's own
+//!   admission queue goes unstable — its p99 blows through the target.
+//!   Under `PIso` revocation confines the flood and the victim never
+//!   notices.
+//! * **Shed policy** decides what the *antagonist's* overload costs the
+//!   antagonist itself. With no shedding, every queued request is
+//!   served long after its deadline: goodput collapses even though the
+//!   SPU runs flat out (plus timeout → backoff → resubmit churn — the
+//!   client-side retry storm). Deadline-aware shedding refuses work
+//!   that can no longer meet its deadline, so the capacity that exists
+//!   is spent on requests that still count.
+//!
+//! Machine: 4 CPUs, 48 MB, one disk; victim : antagonist entitlement
+//! 3 : 2. Victim requests are a cached read plus a short CPU burst
+//! ([`workloads::ServiceConfig`]); antagonist requests fork a wide
+//! burst of CPU children (total work fixed, so entitled capacity is
+//! scheme-independent). Both streams are seeded [`ArrivalProcess`]
+//! plans, so every cell is a pure function of its parameters.
+
+use event_sim::{ArrivalProcess, SimDuration, SimTime};
+use smp_kernel::export::{json_escape, json_num};
+use smp_kernel::{Kernel, MachineConfig, Program, RunMetrics, Tuning};
+use spu_core::{Scheme, ShedPolicy, SpuId, SpuSet};
+use workloads::ServiceConfig;
+
+use crate::report::render_table;
+use crate::sweep::{self, Render, Scenario, SweepOptions, Value};
+use crate::Scale;
+
+/// The victim's response-time target (also every request's deadline).
+pub fn slo_target() -> SimDuration {
+    SimDuration::from_millis(30)
+}
+
+/// Run cap — queues drain long before this under every policy.
+const CAP: SimTime = SimTime::from_secs(60);
+
+/// Offered antagonist load as a multiple of its entitled capacity, in
+/// tenths (so cells hash and key exactly): 1.0× and 2.5×.
+pub const LOADS: [u32; 2] = [10, 25];
+
+/// Antagonist request fan-out: children per request. Total CPU per
+/// request is fixed, so fan-out changes *process count* (what SMP's
+/// per-process fair share leaks to the victim), not offered work.
+const ANT_FANOUT: u32 = 4;
+
+/// Total CPU work per antagonist request.
+fn ant_request_cpu() -> SimDuration {
+    SimDuration::from_millis(10)
+}
+
+/// Antagonist entitled capacity in requests/second: 2 of 5 entitlement
+/// shares of 4 CPUs = 1.6 CPUs, at 10 ms of CPU per request.
+fn ant_entitled_rate() -> f64 {
+    1.6 / ant_request_cpu().as_secs_f64()
+}
+
+fn horizon(scale: Scale) -> SimTime {
+    match scale {
+        Scale::Full => SimTime::from_secs(8),
+        Scale::Quick => SimTime::from_secs(2),
+    }
+}
+
+fn victim_rate() -> f64 {
+    600.0
+}
+
+const VICTIM_SEED: u64 = 11;
+const ANT_SEED: u64 = 22;
+
+/// Renders a tenths load factor as `x1.0` / `x2.5`.
+pub fn load_label(tenths: u32) -> String {
+    format!("x{}.{}", tenths / 10, tenths % 10)
+}
+
+/// Boots one cell: victim service stream on user 0, antagonist
+/// open-loop fork-burst stream on user 1, admission control on with the
+/// cell's shed policy.
+fn boot(scheme: Scheme, policy: ShedPolicy, load_tenths: u32, scale: Scale) -> Kernel {
+    let tuning = Tuning {
+        // Immediate loan revocation: the victim's idle entitlement may
+        // be loaned out, but must snap back the instant a request lands.
+        ipi_revocation: true,
+        // 2 ms slices: long enough that a victim request's dispatch
+        // wait behind the antagonist's runnable children is material
+        // under per-process fair share, short enough that PIso's
+        // entitlement enforcement keeps the victim's own latency flat.
+        slice: SimDuration::from_millis(2),
+        // The admission layer: at most 2 requests in service per SPU,
+        // the rest wait in the (policy-bounded) queue. Queued requests
+        // time out after 100 ms and retry with capped backoff — the
+        // client behaviour that amplifies overload into retry storms.
+        admission_cap: 3,
+        // A tight queue bound: two waiters per SPU. Under sustained
+        // overload a FIFO queue's head age converges on the deadline —
+        // every admitted request is already nearly dead — so the bound,
+        // not the drop rule, is what keeps admitted work feasible.
+        queue_cap: 2,
+        shed_policy: policy,
+        request_timeout: SimDuration::from_millis(100),
+        request_max_retries: 3,
+        request_retry_base: SimDuration::from_millis(10),
+        request_retry_cap: SimDuration::from_millis(160),
+        codel_target: SimDuration::from_millis(10),
+        // CoDel sheds at most one head per interval: at 5 ms it can
+        // drop up to 200/s, enough to matter at 2.5× overload.
+        codel_interval: SimDuration::from_millis(5),
+        ..Tuning::default()
+    };
+    let cfg = MachineConfig::new(4, 48, 1)
+        .with_scheme(scheme)
+        .with_tuning(tuning);
+    let mut k = Kernel::new(cfg, SpuSet::with_weights(&[3, 2]));
+    let h = horizon(scale);
+
+    // Victim: a Poisson stream of 2 ms CPU requests at ~50% of its
+    // entitled CPUs — a healthy service, but one whose admission queue
+    // goes unstable if interference inflates its service time a few ×.
+    // Pure CPU: the mid-90s disk's ~17 ms cold read would dominate the
+    // 30 ms budget and hide the scheduling story being measured.
+    let svc = ServiceConfig {
+        cpu_burst: SimDuration::from_millis(2),
+        read_bytes: 0,
+        deadline: slo_target(),
+        seed: VICTIM_SEED,
+        ..ServiceConfig::default()
+    };
+    let vplan = ArrivalProcess::Poisson {
+        rate_per_sec: victim_rate(),
+    }
+    .generate(VICTIM_SEED, h);
+    svc.spawn_stream(&mut k, SpuId::user(0), 0, &vplan, "vic");
+
+    // Antagonist: each request forks ANT_FANOUT CPU children and waits
+    // for them. Offered rate = load × entitled capacity.
+    let child = Program::builder("ant-child")
+        .compute(
+            SimDuration::from_nanos(ant_request_cpu().as_nanos() / ANT_FANOUT as u64),
+            0,
+        )
+        .build();
+    let mut rb = Program::builder("ant-req");
+    for _ in 0..ANT_FANOUT {
+        rb = rb.fork(child.clone());
+    }
+    let req = rb.wait_children().build();
+    let aplan = ArrivalProcess::Poisson {
+        rate_per_sec: ant_entitled_rate() * load_tenths as f64 / 10.0,
+    }
+    .generate(ANT_SEED, h);
+    for &at in aplan.times() {
+        k.spawn_request_at(SpuId::user(1), req.clone(), "ant", at, slo_target());
+    }
+    k
+}
+
+/// One scheme × shed-policy × load measurement.
+#[derive(Clone, Debug)]
+pub struct OverloadRow {
+    /// Resource-management scheme.
+    pub scheme: Scheme,
+    /// Shed policy in force on every admission queue.
+    pub policy: ShedPolicy,
+    /// Antagonist load factor in tenths of entitled capacity.
+    pub load_tenths: u32,
+    /// Victim p99 response, seconds (shed requests excluded).
+    pub vic_p99_s: f64,
+    /// Victim requests over target (or unfinished at run end).
+    pub vic_violated: u64,
+    /// Victim requests scored (completed, not shed).
+    pub vic_jobs: u64,
+    /// Antagonist SLO-met requests per simulated second.
+    pub ant_goodput: f64,
+    /// Antagonist p99 response, seconds (shed requests excluded).
+    pub ant_p99_s: f64,
+    /// Antagonist request arrivals.
+    pub ant_arrivals: u64,
+    /// Antagonist requests admitted into service.
+    pub ant_admitted: u64,
+    /// Antagonist requests shed (tail-drop, CoDel, or retry-exhausted).
+    pub ant_shed: u64,
+    /// Antagonist requests refused/dropped as already past deadline.
+    pub ant_expired: u64,
+    /// Queue-wait timeouts on the antagonist's queue.
+    pub ant_timeouts: u64,
+    /// Backoff re-submissions of timed-out antagonist requests.
+    pub ant_retries: u64,
+    /// Peak antagonist admission-queue depth.
+    pub ant_peak_queue: u64,
+    /// Prefetch/read-ahead skips while queues were backed up.
+    pub brownout_skips: u64,
+    /// Whether every process finished before the cap.
+    pub completed: bool,
+}
+
+/// Results of the scheme × policy × load matrix.
+#[derive(Clone, Debug)]
+pub struct OverloadResult {
+    /// All rows in [`Scheme::ALL`] × [`ShedPolicy::ALL`] × [`LOADS`]
+    /// order.
+    pub rows: Vec<OverloadRow>,
+}
+
+impl OverloadResult {
+    /// The row for a `(scheme, policy, load)` triple.
+    pub fn row(&self, scheme: Scheme, policy: ShedPolicy, load_tenths: u32) -> &OverloadRow {
+        self.rows
+            .iter()
+            .find(|r| r.scheme == scheme && r.policy == policy && r.load_tenths == load_tenths)
+            .expect("full matrix")
+    }
+
+    /// One table per load factor.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Overload: open-loop antagonist vs a {} ms-target victim\n",
+            slo_target().as_millis_f64()
+        ));
+        for &load in &LOADS {
+            out.push_str(&format!("\nantagonist load {}\n", load_label(load)));
+            let rows: Vec<Vec<String>> = Scheme::ALL
+                .iter()
+                .flat_map(|&s| ShedPolicy::ALL.iter().map(move |&p| (s, p)))
+                .map(|(s, p)| {
+                    let r = self.row(s, p, load);
+                    vec![
+                        s.label().to_string(),
+                        p.name().to_string(),
+                        format!("{:.2}", r.vic_p99_s * 1e3),
+                        r.vic_violated.to_string(),
+                        format!("{:.1}", r.ant_goodput),
+                        format!("{:.1}", r.ant_p99_s * 1e3),
+                        r.ant_shed.to_string(),
+                        r.ant_expired.to_string(),
+                        r.ant_retries.to_string(),
+                        r.ant_peak_queue.to_string(),
+                    ]
+                })
+                .collect();
+            out.push_str(&render_table(
+                &[
+                    "scheme",
+                    "shed",
+                    "vic p99 ms",
+                    "vic viol",
+                    "ant good/s",
+                    "ant p99 ms",
+                    "shed",
+                    "expired",
+                    "retries",
+                    "peak q",
+                ],
+                &rows,
+            ));
+        }
+        out
+    }
+}
+
+/// The matrix as one JSON document (the CI artifact): an array of row
+/// objects.
+pub fn overload_matrix_json(result: &OverloadResult) -> String {
+    let mut out = String::from("[");
+    for (i, r) in result.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"scheme\":\"{}\",\"shed\":\"{}\",\"load\":{},\
+             \"vic_p99_secs\":{},\"vic_violated\":{},\"vic_jobs\":{},\
+             \"ant_goodput\":{},\"ant_p99_secs\":{},\"ant_arrivals\":{},\
+             \"ant_admitted\":{},\"ant_shed\":{},\"ant_expired\":{},\
+             \"ant_timeouts\":{},\"ant_retries\":{},\"ant_peak_queue\":{},\
+             \"brownout_skips\":{},\"completed\":{}}}",
+            json_escape(r.scheme.label()),
+            json_escape(r.policy.name()),
+            json_num(r.load_tenths as f64 / 10.0),
+            json_num(r.vic_p99_s),
+            r.vic_violated,
+            r.vic_jobs,
+            json_num(r.ant_goodput),
+            json_num(r.ant_p99_s),
+            r.ant_arrivals,
+            r.ant_admitted,
+            r.ant_shed,
+            r.ant_expired,
+            r.ant_timeouts,
+            r.ant_retries,
+            r.ant_peak_queue,
+            r.brownout_skips,
+            r.completed
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Runs one cell with the SLO tracker on.
+pub fn run_one(scheme: Scheme, policy: ShedPolicy, load_tenths: u32, scale: Scale) -> OverloadRow {
+    let mut k = boot(scheme, policy, load_tenths, scale);
+    k.enable_slo(slo_target());
+    let m = k.run(CAP);
+    row_from_metrics(scheme, policy, load_tenths, &m)
+}
+
+fn row_from_metrics(
+    scheme: Scheme,
+    policy: ShedPolicy,
+    load_tenths: u32,
+    m: &RunMetrics,
+) -> OverloadRow {
+    let vic = SpuId::user(0);
+    let ant = SpuId::user(1);
+    let (vic_p99, vic_violated, vic_jobs) = match m.slo().spu(vic) {
+        Some(s) => (s.p99, s.violated, s.jobs),
+        None => (0.0, 0, 0),
+    };
+    let (ant_goodput, ant_p99) = match m.slo().spu(ant) {
+        Some(s) => (s.goodput, s.p99),
+        None => (0.0, 0.0),
+    };
+    let req = m.requests();
+    let a = req.spu(ant);
+    let pick = |f: fn(&smp_kernel::SpuRequests) -> u64| a.map(f).unwrap_or(0);
+    OverloadRow {
+        scheme,
+        policy,
+        load_tenths,
+        vic_p99_s: vic_p99,
+        vic_violated,
+        vic_jobs,
+        ant_goodput,
+        ant_p99_s: ant_p99,
+        ant_arrivals: pick(|r| r.arrivals),
+        ant_admitted: pick(|r| r.admitted),
+        ant_shed: pick(|r| r.shed),
+        ant_expired: pick(|r| r.expired),
+        ant_timeouts: pick(|r| r.timeouts),
+        ant_retries: pick(|r| r.retries),
+        ant_peak_queue: pick(|r| r.peak_queue),
+        brownout_skips: req.per_spu.iter().map(|r| r.brownout_skips).sum(),
+        completed: m.completed,
+    }
+}
+
+impl sweep::Outcome for OverloadRow {
+    fn encode(&self) -> Value {
+        Value::list(vec![
+            Value::S(self.scheme.label().to_string()),
+            Value::S(self.policy.name().to_string()),
+            Value::U(self.load_tenths as u64),
+            Value::F(self.vic_p99_s),
+            Value::U(self.vic_violated),
+            Value::U(self.vic_jobs),
+            Value::F(self.ant_goodput),
+            Value::F(self.ant_p99_s),
+            Value::U(self.ant_arrivals),
+            Value::U(self.ant_admitted),
+            Value::U(self.ant_shed),
+            Value::U(self.ant_expired),
+            Value::U(self.ant_timeouts),
+            Value::U(self.ant_retries),
+            Value::U(self.ant_peak_queue),
+            Value::U(self.brownout_skips),
+            Value::B(self.completed),
+        ])
+    }
+
+    fn decode(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        if l.len() != 17 {
+            return None;
+        }
+        let scheme_label = l[0].as_str()?;
+        let scheme = Scheme::ALL
+            .iter()
+            .copied()
+            .find(|s| s.label() == scheme_label)?;
+        let policy_name = l[1].as_str()?;
+        let policy = ShedPolicy::ALL
+            .iter()
+            .copied()
+            .find(|p| p.name() == policy_name)?;
+        Some(OverloadRow {
+            scheme,
+            policy,
+            load_tenths: l[2].as_u64()? as u32,
+            vic_p99_s: l[3].as_f64()?,
+            vic_violated: l[4].as_u64()?,
+            vic_jobs: l[5].as_u64()?,
+            ant_goodput: l[6].as_f64()?,
+            ant_p99_s: l[7].as_f64()?,
+            ant_arrivals: l[8].as_u64()?,
+            ant_admitted: l[9].as_u64()?,
+            ant_shed: l[10].as_u64()?,
+            ant_expired: l[11].as_u64()?,
+            ant_timeouts: l[12].as_u64()?,
+            ant_retries: l[13].as_u64()?,
+            ant_peak_queue: l[14].as_u64()?,
+            brownout_skips: l[15].as_u64()?,
+            completed: l[16].as_bool()?,
+        })
+    }
+}
+
+impl Render for OverloadResult {
+    fn render(&self) -> String {
+        self.format()
+    }
+}
+
+/// The overload matrix as a [`Scenario`]: scheme × shed-policy × load
+/// cells.
+pub struct OverloadScenario {
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Scenario for OverloadScenario {
+    type Cell = (Scheme, ShedPolicy, u32);
+    type Outcome = OverloadRow;
+    type Report = OverloadResult;
+
+    fn name(&self) -> &'static str {
+        "overload"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        Scheme::ALL
+            .iter()
+            .flat_map(|&s| {
+                ShedPolicy::ALL
+                    .iter()
+                    .flat_map(move |&p| LOADS.iter().map(move |&l| (s, p, l)))
+            })
+            .collect()
+    }
+
+    fn cell_key(&self, &(scheme, policy, load): &Self::Cell) -> String {
+        format!(
+            "{}-{}-{}",
+            scheme.label().to_lowercase(),
+            policy.name(),
+            load_label(load)
+        )
+    }
+
+    fn cell_fingerprint(&self, &(scheme, policy, load): &Self::Cell) -> u64 {
+        sweep::kernel_cell_fingerprint(&boot(scheme, policy, load, self.scale), CAP, "overload-v1")
+    }
+
+    fn run_cell(&self, &(scheme, policy, load): &Self::Cell) -> OverloadRow {
+        run_one(scheme, policy, load, self.scale)
+    }
+
+    fn reduce(&self, outcomes: Vec<OverloadRow>) -> OverloadResult {
+        OverloadResult { rows: outcomes }
+    }
+}
+
+/// Runs the full matrix: every scheme × shed policy × load factor.
+pub fn run(scale: Scale) -> OverloadResult {
+    sweep::run_scenario(&OverloadScenario { scale }, &SweepOptions::new()).report
+}
+
+/// One fully instrumented run of the headline cell (PIso,
+/// deadline-aware, 2.5×): SLO tracker, sampling, tracing, all exports
+/// rendered.
+pub struct OverloadInstrumented {
+    /// The run's metrics, including the per-SPU request report.
+    pub metrics: RunMetrics,
+    /// JSONL metrics export, `requests` lines included.
+    pub metrics_jsonl: String,
+    /// Chrome trace-event JSON.
+    pub chrome_trace: String,
+}
+
+/// Runs the headline cell's kernel with every observer off — the
+/// baseline benches compare [`run_instrumented`] against.
+pub fn run_baseline(scale: Scale) -> RunMetrics {
+    boot(Scheme::PIso, ShedPolicy::DeadlineAware, 25, scale).run(CAP)
+}
+
+/// Runs the instrumented headline cell. Deterministic: equal scales
+/// give byte-identical exports.
+pub fn run_instrumented(scale: Scale) -> OverloadInstrumented {
+    let mut k = boot(Scheme::PIso, ShedPolicy::DeadlineAware, 25, scale);
+    k.enable_slo(slo_target());
+    k.enable_trace(1 << 20);
+    k.enable_sampling(SimDuration::from_millis(10));
+    let metrics = k.run(CAP);
+    let metrics_jsonl = smp_kernel::metrics_jsonl(&metrics);
+    let chrome_trace = smp_kernel::chrome_trace_json(k.trace(), k.spus(), &metrics.obsv);
+    OverloadInstrumented {
+        metrics,
+        metrics_jsonl,
+        chrome_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_shows_isolation_and_shedding_payoff() {
+        let r = run(Scale::Quick);
+        let target = slo_target().as_secs_f64();
+        for row in &r.rows {
+            assert!(
+                row.completed,
+                "{:?}/{}/{} hit cap",
+                row.scheme,
+                row.policy,
+                load_label(row.load_tenths)
+            );
+            assert!(row.ant_arrivals > 0 && row.vic_jobs > 0);
+        }
+        // PIso + deadline-aware shedding at 2.5×: the victim never
+        // notices the antagonist's overload.
+        let piso = r.row(Scheme::PIso, ShedPolicy::DeadlineAware, 25);
+        assert!(
+            piso.vic_p99_s <= target,
+            "PIso victim p99 {} above target {target}",
+            piso.vic_p99_s
+        );
+        assert_eq!(piso.vic_violated, 0, "PIso victim violations");
+        // SMP with no shedding at 2.5×: the victim's own queue goes
+        // metastable and its p99 blows through the target.
+        let smp = r.row(Scheme::Smp, ShedPolicy::None, 25);
+        assert!(
+            smp.vic_p99_s > target,
+            "SMP victim p99 {} did not blow past target {target}",
+            smp.vic_p99_s
+        );
+        // Shedding pays for the antagonist itself: refusing dead work
+        // beats serving everything late.
+        let no_shed = r.row(Scheme::PIso, ShedPolicy::None, 25);
+        assert!(
+            piso.ant_goodput > no_shed.ant_goodput,
+            "deadline shedding did not raise antagonist goodput: {} vs {}",
+            piso.ant_goodput,
+            no_shed.ant_goodput
+        );
+        // At 2.5× the deadline policy actually shed something, and the
+        // no-shed queue grew past anything the shedding cell saw.
+        assert!(piso.ant_shed + piso.ant_expired > 0);
+        assert!(no_shed.ant_peak_queue > piso.ant_peak_queue);
+    }
+
+    #[test]
+    fn slo_tracking_is_pure_observation() {
+        let m_plain = boot(Scheme::Smp, ShedPolicy::DeadlineAware, 25, Scale::Quick).run(CAP);
+        let mut k = boot(Scheme::Smp, ShedPolicy::DeadlineAware, 25, Scale::Quick);
+        k.enable_slo(slo_target());
+        let m_obs = k.run(CAP);
+        assert_eq!(m_plain.end_time, m_obs.end_time);
+        assert_eq!(m_plain.requests(), m_obs.requests());
+        assert!(m_plain.slo().is_empty());
+        assert!(!m_obs.slo().is_empty());
+    }
+
+    #[test]
+    fn instrumented_run_is_deterministic_and_exports_requests() {
+        let a = run_instrumented(Scale::Quick);
+        let b = run_instrumented(Scale::Quick);
+        assert_eq!(a.metrics_jsonl, b.metrics_jsonl);
+        assert_eq!(a.chrome_trace, b.chrome_trace);
+        assert!(a.metrics_jsonl.contains("\"type\":\"requests\""));
+        assert!(a.metrics_jsonl.contains("\"type\":\"slo\""));
+        assert!(a.metrics_jsonl.contains("requests.arrivals"));
+    }
+}

@@ -9,7 +9,7 @@ use std::fmt;
 
 use event_sim::{FaultPlan, Fingerprint, Fnv64, SimDuration};
 use hp_disk::SchedulerKind;
-use spu_core::{Scheme, SpuSet};
+use spu_core::{Scheme, ShedPolicy, SpuSet};
 
 /// Bytes per page (IRIX on R4000 used 4 KB pages).
 pub const PAGE_SIZE: u64 = 4096;
@@ -102,6 +102,32 @@ pub struct Tuning {
     /// Total retry budget measured from the first failure; once
     /// exceeded the request fails up even if retries remain.
     pub io_timeout: SimDuration,
+    /// Per-SPU admission cap: how many tracked requests an SPU may have
+    /// in service at once; arrivals beyond it wait in the SPU's
+    /// admission queue. `0` disables admission control entirely — every
+    /// request starts immediately, exactly the pre-admission kernel.
+    pub admission_cap: u32,
+    /// Admission-queue bound for shed policies that bound the queue
+    /// (tail-drop, deadline-aware); ignored otherwise.
+    pub queue_cap: u32,
+    /// How the admission queue sheds load under overload.
+    pub shed_policy: ShedPolicy,
+    /// How long a request may wait in the admission queue before it is
+    /// timed out (and retried, if budget remains). Zero disables
+    /// queue-wait timeouts.
+    pub request_timeout: SimDuration,
+    /// Retries of a timed-out queued request before it is dropped.
+    pub request_max_retries: u32,
+    /// First re-submission delay after a queue-wait timeout; doubles
+    /// per attempt (the same capped exponential backoff as I/O retry).
+    pub request_retry_base: SimDuration,
+    /// Ceiling on the re-submission delay.
+    pub request_retry_cap: SimDuration,
+    /// CoDel sojourn target: shedding starts once queue delay stays
+    /// above this for a full interval.
+    pub codel_target: SimDuration,
+    /// CoDel observation interval.
+    pub codel_interval: SimDuration,
 }
 
 impl Default for Tuning {
@@ -130,6 +156,15 @@ impl Default for Tuning {
             io_retry_base: SimDuration::from_millis(5),
             io_retry_cap: SimDuration::from_millis(80),
             io_timeout: SimDuration::from_secs(1),
+            admission_cap: 0,
+            queue_cap: 64,
+            shed_policy: ShedPolicy::None,
+            request_timeout: SimDuration::ZERO,
+            request_max_retries: 3,
+            request_retry_base: SimDuration::from_millis(5),
+            request_retry_cap: SimDuration::from_millis(80),
+            codel_target: SimDuration::from_millis(5),
+            codel_interval: SimDuration::from_millis(100),
         }
     }
 }
@@ -280,6 +315,15 @@ impl Fingerprint for Tuning {
         self.io_retry_base.fingerprint(h);
         self.io_retry_cap.fingerprint(h);
         self.io_timeout.fingerprint(h);
+        h.write_u32(self.admission_cap);
+        h.write_u32(self.queue_cap);
+        self.shed_policy.fingerprint(h);
+        self.request_timeout.fingerprint(h);
+        h.write_u32(self.request_max_retries);
+        self.request_retry_base.fingerprint(h);
+        self.request_retry_cap.fingerprint(h);
+        self.codel_target.fingerprint(h);
+        self.codel_interval.fingerprint(h);
     }
 }
 

@@ -517,6 +517,7 @@ impl Kernel {
         // (§4.3 footnote) — waking anyone blocked on memory.
         self.wake_mem_waiters();
         // Job completion.
+        let mut release_admission = false;
         if let Some(job) = self.procs.get(pid).job {
             let rec = &mut self.jobs[job.0 as usize];
             if rec.root == pid && !crashed {
@@ -525,6 +526,12 @@ impl Kernel {
                     .response
                     .add_duration(self.now.saturating_since(rec.started));
             }
+            // An admitted request's root frees its service slot (shed
+            // requests were never admitted, so they free nothing).
+            release_admission = rec.root == pid && rec.deadline.is_some() && !rec.shed;
+        }
+        if release_admission {
+            self.request_exited(pid);
         }
         // Parent notification.
         if let Some(parent) = self.procs.get(pid).parent {

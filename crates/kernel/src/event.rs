@@ -7,7 +7,7 @@ use event_sim::FaultKind;
 use hp_disk::DiskRequest;
 
 use crate::kernel::Kernel;
-use crate::process::{Pid, ProcState};
+use crate::process::Pid;
 use crate::trace::TraceEvent;
 
 /// Simulation events.
@@ -40,15 +40,18 @@ pub(crate) enum Event {
     /// — the queue's buckets move entries by value, and retries are
     /// orders of magnitude rarer than ticks and completions.
     IoRetry { disk: usize, req: Box<DiskRequest> },
+    /// A queued request's wait-timeout budget expires (stale if the
+    /// request was admitted or shed in the meantime — the attempt
+    /// number disambiguates).
+    RequestTimeout { pid: Pid, attempt: u32 },
+    /// A timed-out request is resubmitted by its client after backoff.
+    RequestResubmit { pid: Pid, attempt: u32 },
 }
 
 impl Kernel {
     pub(crate) fn handle(&mut self, ev: Event) {
         match ev {
-            Event::Start(pid) => {
-                self.procs.get_mut(pid).state = ProcState::Ready;
-                self.make_ready(pid);
-            }
+            Event::Start(pid) => self.on_start(pid),
             Event::Tick => {
                 self.on_tick();
                 self.audit_ledger();
@@ -94,6 +97,8 @@ impl Kernel {
             }
             Event::Fault(kind) => self.on_fault(kind),
             Event::IoRetry { disk, req } => self.submit_io(disk, *req),
+            Event::RequestTimeout { pid, attempt } => self.on_request_timeout(pid, attempt),
+            Event::RequestResubmit { pid, attempt } => self.on_request_resubmit(pid, attempt),
         }
     }
 }

@@ -187,6 +187,31 @@ pub fn slo_jsonl(report: &ObsvReport) -> String {
     out
 }
 
+/// The per-SPU admission/shedding table as JSONL: one `requests` line
+/// per SPU that saw request traffic. Empty when admission control was
+/// off or no request ever arrived, so ordinary exports are untouched.
+pub fn requests_jsonl(report: &ObsvReport) -> String {
+    let mut out = String::new();
+    for r in &report.requests.per_spu {
+        out.push_str(&format!(
+            "{{\"type\":\"requests\",\"spu\":\"{}\",\"spu_index\":{},\"arrivals\":{},\
+             \"admitted\":{},\"shed\":{},\"expired\":{},\"timeouts\":{},\"retries\":{},\
+             \"brownout_skips\":{},\"peak_queue\":{}}}\n",
+            json_escape(&r.name),
+            r.spu.index(),
+            r.arrivals,
+            r.admitted,
+            r.shed,
+            r.expired,
+            r.timeouts,
+            r.retries,
+            r.brownout_skips,
+            r.peak_queue
+        ));
+    }
+    out
+}
+
 /// The interference matrix alone as one JSON document — the artifact a
 /// CI run uploads from the lock-leakage experiment. Lists SPU names,
 /// every non-zero cell, and the non-zero lock-hold entries.
@@ -274,10 +299,11 @@ pub fn metrics_jsonl(m: &RunMetrics) -> String {
         out.push('\n');
     }
     out.push_str(&series_jsonl(&m.obsv));
-    // Interference and SLO lines only appear when their trackers were
-    // enabled, keeping the no-attribution output byte-identical.
+    // Interference, SLO and request lines only appear when their
+    // trackers were enabled, keeping ordinary output byte-identical.
     out.push_str(&interference_jsonl(&m.obsv));
     out.push_str(&slo_jsonl(&m.obsv));
+    out.push_str(&requests_jsonl(&m.obsv));
     out
 }
 
@@ -663,6 +689,34 @@ mod tests {
         let report = ObsvReport::default();
         assert_eq!(interference_jsonl(&report), "");
         assert_eq!(slo_jsonl(&report), "");
+        assert_eq!(requests_jsonl(&report), "");
+    }
+
+    #[test]
+    fn requests_jsonl_emits_rows() {
+        use crate::obsv::SpuRequests;
+        let mut report = ObsvReport::default();
+        report.requests.per_spu.push(SpuRequests {
+            spu: SpuId::user(1),
+            name: "user1".into(),
+            arrivals: 100,
+            admitted: 80,
+            shed: 15,
+            expired: 5,
+            timeouts: 12,
+            retries: 9,
+            brownout_skips: 3,
+            peak_queue: 17,
+        });
+        let doc = requests_jsonl(&report);
+        assert_eq!(doc.lines().count(), 1);
+        for line in doc.lines() {
+            assert_valid_json(line);
+        }
+        assert!(doc.contains("\"type\":\"requests\""));
+        assert!(doc.contains("\"spu\":\"user1\""));
+        assert!(doc.contains("\"shed\":15"));
+        assert!(doc.contains("\"peak_queue\":17"));
     }
 
     #[test]

@@ -78,8 +78,15 @@ impl Kernel {
                 let meta = self.fs.meta(file).clone();
                 // Read-ahead: extend the miss over following uncached
                 // blocks ("There are multiple outstanding reads because of
-                // read-ahead by the kernel", §4.5).
-                let max_blocks = 1 + self.cfg.tuning.readahead_blocks as u64;
+                // read-ahead by the kernel", §4.5). Brown-out degrades a
+                // backed-up SPU's miss to demand-only paging: optional
+                // work goes first, requests go last.
+                let max_blocks = if self.in_brownout(spu) {
+                    self.admission[spu.index()].brownout_skips += 1;
+                    1
+                } else {
+                    1 + self.cfg.tuning.readahead_blocks as u64
+                };
                 let mut frames = self.take_frame_vec();
                 let mut b = block;
                 while b < meta.blocks && b < block + max_blocks && self.cache.get(file, b).is_none()
@@ -143,6 +150,12 @@ impl Kernel {
     /// outstanding reads because of read-ahead", §4.5). Nobody waits on a
     /// prefetch.
     pub(crate) fn maybe_prefetch(&mut self, spu: SpuId, file: FileId, block: u64) {
+        // Brown-out: while the SPU's admission queue is backed up, its
+        // optional prefetch is the first work to go.
+        if self.in_brownout(spu) {
+            self.admission[spu.index()].brownout_skips += 1;
+            return;
+        }
         let meta = self.fs.meta(file).clone();
         let ra = self.cfg.tuning.readahead_blocks as u64 + 1;
         let windows = self.cfg.tuning.prefetch_windows;

@@ -87,6 +87,9 @@ pub struct Kernel {
     pub(crate) filling: HashMap<FileId, u32>,
     pub(crate) live_procs: u32,
     pub(crate) jobs: Vec<JobRecord>,
+    /// Per-SPU admission queues (dense [`SpuId::index`] order), active
+    /// only when `cfg.tuning.admission_cap > 0`.
+    pub(crate) admission: Vec<crate::admission::AdmissionQueue>,
     pub(crate) spu_cpu: Vec<SimDuration>,
     // --- resource management ----------------------------------------------
     /// One [`ResourceManager`] per managed resource, in the fixed
@@ -191,6 +194,7 @@ pub(crate) struct KernelCounterIds {
     fault_disk_errors: CounterId,
     fault_io_retries: CounterId,
     fault_io_failures: CounterId,
+    fault_retry_storms: CounterId,
     trace_dropped: CounterId,
 }
 
@@ -232,6 +236,7 @@ impl KernelCounterIds {
             fault_disk_errors: proto.intern("fault.disk_errors"),
             fault_io_retries: proto.intern("fault.io_retries"),
             fault_io_failures: proto.intern("fault.io_failures"),
+            fault_retry_storms: proto.intern("fault.retry_storms"),
             trace_dropped: proto.intern("trace.dropped"),
             proto,
         }
@@ -298,6 +303,9 @@ impl Kernel {
             filling: HashMap::new(),
             live_procs: 0,
             jobs: Vec::new(),
+            admission: (0..n_spus)
+                .map(|_| crate::admission::AdmissionQueue::default())
+                .collect(),
             spu_cpu: vec![SimDuration::ZERO; n_spus],
             managers: crate::policy::kernel_managers(),
             sample_interval: None,
@@ -493,10 +501,52 @@ impl Kernel {
                 root: pid,
                 started: at,
                 finished: None,
+                deadline: None,
+                shed: false,
             });
             id
         });
         let mut p = Process::new(pid, spu, job, program, None, at);
+        p.state = ProcState::Blocked(BlockReason::Io); // not started yet
+        self.procs.insert(p);
+        self.live_procs += 1;
+        self.events.schedule(at, Event::Start(pid));
+        pid
+    }
+
+    /// Spawns a *request* — a tracked job with a per-request `deadline`
+    /// (relative to `at`) that is subject to the SPU's admission queue
+    /// when admission control is on (`Tuning::admission_cap > 0`).
+    /// Without admission control a request behaves exactly like a
+    /// [`spawn_at`](Self::spawn_at) job; the deadline still feeds SLO
+    /// scoring via the job record.
+    pub fn spawn_request_at(
+        &mut self,
+        spu: SpuId,
+        program: Arc<Program>,
+        label: &str,
+        at: SimTime,
+        deadline: SimDuration,
+    ) -> Pid {
+        self.fp.write_u64(0x5fa1);
+        self.fp.write_usize(spu.index());
+        program.fingerprint(&mut self.fp);
+        self.fp.write_str(label);
+        at.fingerprint(&mut self.fp);
+        deadline.fingerprint(&mut self.fp);
+        let pid = self.procs.next_pid();
+        let id = JobId(self.jobs.len() as u32);
+        self.jobs.push(JobRecord {
+            job: id,
+            label: label.to_string(),
+            spu,
+            root: pid,
+            started: at,
+            finished: None,
+            deadline: Some(at + deadline),
+            shed: false,
+        });
+        let mut p = Process::new(pid, spu, Some(id), program, None, at);
         p.state = ProcState::Blocked(BlockReason::Io); // not started yet
         self.procs.insert(p);
         self.live_procs += 1;
@@ -595,6 +645,7 @@ impl Kernel {
         reg.set_id(ids.fault_disk_errors, f.disk_errors);
         reg.set_id(ids.fault_io_retries, f.io_retries);
         reg.set_id(ids.fault_io_failures, f.io_failures);
+        reg.set_id(ids.fault_retry_storms, f.retry_storms);
         reg.set_id(ids.trace_dropped, self.trace.dropped());
         // Interference counters are interned only when attribution is on,
         // so the registry (and every export derived from it) is untouched
@@ -606,6 +657,21 @@ impl Kernel {
             reg.set("interference.cpu_revoke_nanos", attr.cpu_revoke_nanos);
             reg.set("interference.disk_queue_nanos", attr.disk_queue_nanos);
             reg.set("interference.mem_steals", attr.mem_steals);
+        }
+        // Admission counters are interned only when admission control is
+        // on, for the same byte-identity reason.
+        if self.cfg.tuning.admission_cap > 0 {
+            let mut sum = crate::admission::AdmissionTotals::default();
+            for q in &self.admission {
+                sum.add(q);
+            }
+            reg.set("requests.arrivals", sum.arrivals);
+            reg.set("requests.admitted", sum.admitted);
+            reg.set("requests.shed", sum.shed);
+            reg.set("requests.expired", sum.expired);
+            reg.set("requests.timeouts", sum.timeouts);
+            reg.set("requests.retries", sum.retries);
+            reg.set("requests.brownout_skips", sum.brownout_skips);
         }
         reg
     }
@@ -623,7 +689,10 @@ impl Kernel {
         for (idx, spu) in self.spus.all_ids().enumerate() {
             let mut responses: Vec<f64> = Vec::new();
             let mut met = 0u64;
-            for j in self.jobs.iter().filter(|j| j.spu == spu) {
+            // Shed requests were refused, not served late: they are
+            // excluded from SLO scoring (the shed counters account for
+            // them).
+            for j in self.jobs.iter().filter(|j| j.spu == spu && !j.shed) {
                 match j.response() {
                     Some(r) => {
                         if r <= target {
@@ -693,6 +762,7 @@ impl Kernel {
             sample_interval: self.sample_interval,
             interference,
             slo: self.collect_slo(self.now),
+            requests: self.collect_requests(),
         };
         RunMetrics {
             end_time: self.now,

@@ -40,6 +40,7 @@
 //! assert!(m.completed);
 //! ```
 
+mod admission;
 pub mod bufcache;
 pub mod config;
 mod cpu;
@@ -68,7 +69,7 @@ pub use config::{
 pub use error::KernelError;
 pub use export::{
     chrome_trace_json, counters_jsonl, histogram_json, interference_jsonl,
-    interference_matrix_json, metrics_jsonl, series_jsonl, slo_jsonl,
+    interference_matrix_json, metrics_jsonl, requests_jsonl, series_jsonl, slo_jsonl,
 };
 pub use fs::{FileId, FileMeta, FileSystem};
 pub use kernel::Kernel;
@@ -78,8 +79,8 @@ pub use obsv::interference::{
     Channel, InterferenceMatrix, InterferenceReport, LockClass, SloReport, SloSample, SpuSlo,
 };
 pub use obsv::{
-    CounterId, CounterRegistry, LatencyStats, ObsvReport, ResourceKind, ResourceSample,
-    SampleSeries,
+    CounterId, CounterRegistry, LatencyStats, ObsvReport, RequestReport, ResourceKind,
+    ResourceSample, SampleSeries, SpuRequests,
 };
 pub use process::{BlockReason, JobId, MicroOp, PageState, Pid, ProcState, Process};
 pub use program::{BarrierId, Program, ProgramBuilder, ProgramOp};

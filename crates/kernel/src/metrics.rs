@@ -27,6 +27,14 @@ pub struct JobRecord {
     pub started: SimTime,
     /// Root-exit time, if it finished.
     pub finished: Option<SimTime>,
+    /// Absolute deadline, for jobs spawned through
+    /// [`Kernel::spawn_request_at`](crate::Kernel::spawn_request_at).
+    /// `Some` marks the job as a request subject to admission control.
+    pub deadline: Option<SimTime>,
+    /// Whether admission control shed this request before service; shed
+    /// jobs are excluded from SLO scoring (they were refused, not
+    /// served late).
+    pub shed: bool,
 }
 
 impl JobRecord {
@@ -179,6 +187,12 @@ impl RunMetrics {
         &self.obsv.slo
     }
 
+    /// The per-SPU admission/shedding report (empty unless admission
+    /// control was enabled via `Tuning::admission_cap`).
+    pub fn requests(&self) -> &crate::obsv::RequestReport {
+        &self.obsv.requests
+    }
+
     /// Time one SPU spent waiting on another through one channel, in
     /// seconds (pages for the memory-steal channel).
     pub fn interference_amount(
@@ -209,6 +223,8 @@ mod tests {
             root: Pid(0),
             started: SimTime::from_millis(start_ms),
             finished: end_ms.map(SimTime::from_millis),
+            deadline: None,
+            shed: false,
         }
     }
 

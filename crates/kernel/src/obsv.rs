@@ -300,6 +300,55 @@ impl LatencyStats {
     }
 }
 
+/// Per-SPU admission-control and load-shedding tallies for one run.
+/// Empty unless admission control was enabled (a nonzero
+/// `Tuning::admission_cap`) and requests actually arrived, so ordinary
+/// runs' exports are untouched.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RequestReport {
+    /// One row per SPU that saw request arrivals, dense index order.
+    pub per_spu: Vec<SpuRequests>,
+}
+
+impl RequestReport {
+    /// True when no SPU saw any request traffic.
+    pub fn is_empty(&self) -> bool {
+        self.per_spu.is_empty()
+    }
+
+    /// The row of one SPU, if it saw request traffic.
+    pub fn spu(&self, spu: SpuId) -> Option<&SpuRequests> {
+        self.per_spu.iter().find(|r| r.spu == spu)
+    }
+}
+
+/// Admission-queue tallies of one SPU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpuRequests {
+    /// The SPU.
+    pub spu: SpuId,
+    /// Its display name.
+    pub name: String,
+    /// Requests that arrived (first submissions, not resubmissions).
+    pub arrivals: u64,
+    /// Requests admitted into service.
+    pub admitted: u64,
+    /// Requests shed (refused at the queue or dropped from it).
+    pub shed: u64,
+    /// Of the shed requests, how many were dropped because their
+    /// deadline had already passed while queued.
+    pub expired: u64,
+    /// Queue-wait timeouts that fired.
+    pub timeouts: u64,
+    /// Client resubmissions after a timeout.
+    pub retries: u64,
+    /// Optional work (prefetch, read-ahead) skipped while the SPU was
+    /// in brown-out.
+    pub brownout_skips: u64,
+    /// Longest the wait queue ever got.
+    pub peak_queue: u64,
+}
+
 /// Everything the observability layer collected over one run; carried in
 /// [`crate::metrics::RunMetrics::obsv`].
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -321,6 +370,9 @@ pub struct ObsvReport {
     /// Per-SPU SLO table (empty unless
     /// [`Kernel::enable_slo`](crate::Kernel::enable_slo) was called).
     pub slo: interference::SloReport,
+    /// Per-SPU admission/shedding table (empty unless admission control
+    /// was on and requests arrived).
+    pub requests: RequestReport,
 }
 
 impl ObsvReport {

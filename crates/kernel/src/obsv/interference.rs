@@ -677,6 +677,112 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_boundaries() {
+        // A single sample answers every percentile.
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(nearest_rank(&[7.0], p), 7.0);
+        }
+        // p = 0 clamps to the first sample instead of rank 0.
+        let xs: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        assert_eq!(nearest_rank(&xs, 0.0), 1.0);
+        // Rank arithmetic is exact at the p99/p999 boundaries: with 200
+        // samples p99 is the 198th and p99.9 rounds up to the 200th.
+        assert_eq!(nearest_rank(&xs, 50.0), 100.0);
+        assert_eq!(nearest_rank(&xs, 99.0), 198.0);
+        assert_eq!(nearest_rank(&xs, 99.9), 200.0);
+        // Odd lengths round up: rank ceil(1.5) = 2 of 3.
+        assert_eq!(nearest_rank(&[1.0, 2.0, 3.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn slo_empty_window_yields_empty_report() {
+        use crate::{Kernel, MachineConfig};
+        use spu_core::{Scheme, SpuSet};
+        let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        k.enable_slo(SimDuration::from_millis(10));
+        let m = k.run(SimTime::from_millis(5));
+        assert!(m.slo().is_empty(), "no jobs ran, so no SLO rows");
+        assert!(m.slo().format_table().contains("no tracked jobs"));
+    }
+
+    #[test]
+    fn slo_single_sample_percentiles_collapse() {
+        use crate::{Kernel, MachineConfig, Program};
+        use spu_core::{Scheme, SpuSet};
+        let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        k.enable_slo(SimDuration::from_millis(10));
+        let prog = Program::builder("one")
+            .compute(SimDuration::from_millis(2), 0)
+            .build();
+        k.spawn_at(SpuId::user(0), prog, Some("one"), SimTime::ZERO);
+        let m = k.run(SimTime::from_secs(1));
+        let row = m.slo().spu(SpuId::user(0)).expect("one tracked job");
+        assert_eq!((row.jobs, row.met, row.violated), (1, 1, 0));
+        assert!(row.p50 > 0.0);
+        assert_eq!(row.p50, row.p99, "one sample answers every percentile");
+        assert_eq!(row.p99, row.p999);
+        assert_eq!(row.violation_frac, 0.0);
+    }
+
+    #[test]
+    fn slo_unfinished_jobs_all_count_violated() {
+        use crate::{Kernel, MachineConfig, Program};
+        use spu_core::{Scheme, SpuSet};
+        let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        k.enable_slo(SimDuration::from_millis(10));
+        let prog = Program::builder("hog")
+            .compute(SimDuration::from_secs(30), 0)
+            .build();
+        k.spawn_at(SpuId::user(0), prog, Some("hog"), SimTime::ZERO);
+        let m = k.run(SimTime::from_millis(50));
+        assert!(!m.completed);
+        let row = m.slo().spu(SpuId::user(0)).expect("row for the hog");
+        // Zero completed requests: the unfinished job is scored at the
+        // run's end time and the violation fraction saturates at 1.0.
+        assert_eq!((row.jobs, row.met, row.violated), (1, 0, 1));
+        assert_eq!(row.violation_frac, 1.0);
+        assert_eq!(row.goodput, 0.0);
+        assert_eq!(row.p50, m.end_time.as_secs_f64());
+        assert_eq!(row.p999, m.end_time.as_secs_f64());
+    }
+
+    #[test]
+    fn slo_fully_shed_spu_has_no_row() {
+        use crate::{Kernel, MachineConfig, Program, Tuning};
+        use spu_core::{Scheme, ShedPolicy, SpuSet};
+        let tuning = Tuning {
+            admission_cap: 1,
+            shed_policy: ShedPolicy::DeadlineAware,
+            ..Tuning::default()
+        };
+        let cfg = MachineConfig::new(1, 44, 1)
+            .with_scheme(Scheme::Smp)
+            .with_tuning(tuning);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        k.enable_slo(SimDuration::from_millis(10));
+        let prog = Program::builder("req")
+            .compute(SimDuration::from_millis(1), 0)
+            .build();
+        // A zero deadline budget: dead on arrival, refused by the
+        // deadline-aware policy before ever being served.
+        k.spawn_request_at(
+            SpuId::user(0),
+            prog,
+            "req",
+            SimTime::from_millis(1),
+            SimDuration::ZERO,
+        );
+        let m = k.run(SimTime::from_secs(1));
+        let req = m.requests().spu(SpuId::user(0)).expect("request row");
+        assert_eq!((req.arrivals, req.expired), (1, 1));
+        // Every request was shed, none served: no SLO row at all.
+        assert!(m.slo().spu(SpuId::user(0)).is_none());
+    }
+
+    #[test]
     fn empty_reports_render() {
         let rep = InterferenceReport::default();
         assert!(rep.is_empty());

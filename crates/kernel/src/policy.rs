@@ -27,6 +27,7 @@ pub(crate) struct FaultCounters {
     pub(crate) disk_errors: u64,
     pub(crate) io_retries: u64,
     pub(crate) io_failures: u64,
+    pub(crate) retry_storms: u64,
 }
 
 /// The kernel's managed resources, one [`ResourceManager`] each, in the
@@ -211,7 +212,7 @@ impl Kernel {
                 for j in self
                     .jobs
                     .iter()
-                    .filter(|j| j.spu == spu && j.started <= now)
+                    .filter(|j| j.spu == spu && j.started <= now && !j.shed)
                 {
                     match j.finished {
                         Some(f) => {
@@ -328,6 +329,38 @@ impl Kernel {
                 });
                 self.fault_counts.forkbombs += 1;
                 self.spawn_fork_bomb(user_spu, width, depth, burn, pages);
+            }
+            FaultKind::RetryStorm { user_spu, burst } => {
+                if user_spu as usize >= self.spus.user_count() || burst == 0 {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                let spu = SpuId::user(user_spu);
+                // Impatient clients re-submit the SPU's outstanding
+                // work: duplicate the programs of its live root
+                // processes, untracked (the storm is load, not jobs).
+                let dups: Vec<Arc<Program>> = self
+                    .procs
+                    .iter()
+                    .filter(|p| {
+                        p.spu == spu && p.parent.is_none() && !matches!(p.state, ProcState::Done)
+                    })
+                    .map(|p| p.program_arc())
+                    .take(burst.clamp(1, 16) as usize)
+                    .collect();
+                if dups.is_empty() {
+                    self.fault_counts.skipped += 1;
+                    return;
+                }
+                self.trace.push(TraceEvent::FaultInjected {
+                    at: self.now,
+                    label: "retry-storm",
+                });
+                self.fault_counts.retry_storms += 1;
+                let now = self.now;
+                for prog in dups {
+                    self.spawn_at(spu, prog, None, now);
+                }
             }
         }
     }

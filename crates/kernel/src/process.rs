@@ -226,6 +226,11 @@ impl Process {
         self.micro.front()
     }
 
+    /// The program this process runs (shared, immutable).
+    pub fn program_arc(&self) -> Arc<Program> {
+        Arc::clone(&self.program)
+    }
+
     /// Takes the micro-op queue out of the process (at exit), leaving an
     /// empty one, so its allocation can be pooled and reused.
     pub(crate) fn take_micro(&mut self) -> VecDeque<MicroOp> {

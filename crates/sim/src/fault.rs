@@ -74,6 +74,17 @@ pub enum FaultKind {
         /// Pages touched per process.
         pages: u32,
     },
+    /// A retry storm hits user SPU `user_spu`: impatient clients
+    /// re-submit their outstanding requests, duplicating the SPU's
+    /// in-flight work up to `burst` extra copies. The open-loop
+    /// amplification loop — timeouts breed retries breed load breed
+    /// timeouts — that admission control exists to break.
+    RetryStorm {
+        /// Target user-SPU number.
+        user_spu: u32,
+        /// Maximum duplicate submissions (clamped by the consumer).
+        burst: u32,
+    },
 }
 
 /// A fault scheduled at a simulated instant.
@@ -192,6 +203,14 @@ impl FaultPlan {
                     depth: rng.next_range(2, 3) as u32,
                     burn: SimDuration::from_millis(rng.next_range(10, 40)),
                     pages: rng.next_range(16, 64) as u32,
+                },
+            );
+            let user_spu = rng.next_below(domain.user_spus as u64) as u32;
+            plan.push(
+                when(&mut rng),
+                FaultKind::RetryStorm {
+                    user_spu,
+                    burst: rng.next_range(2, 6) as u32,
                 },
             );
         }

@@ -161,6 +161,11 @@ impl Fingerprint for crate::FaultKind {
                 burn.fingerprint(h);
                 h.write_u32(pages);
             }
+            RetryStorm { user_spu, burst } => {
+                h.write_u32(8);
+                h.write_u32(user_spu);
+                h.write_u32(burst);
+            }
         }
     }
 }

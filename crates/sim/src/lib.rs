@@ -23,6 +23,7 @@
 //! assert_eq!(t, SimTime::from_millis(5));
 //! ```
 
+pub mod arrival;
 pub mod fault;
 pub mod fingerprint;
 pub mod queue;
@@ -30,6 +31,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arrival::{ArrivalPlan, ArrivalProcess};
 pub use fault::{backoff_delay, FaultDomain, FaultEvent, FaultKind, FaultPlan};
 pub use fingerprint::{Fingerprint, Fnv64};
 pub use queue::EventQueue;

@@ -65,7 +65,8 @@ proptest! {
                     prop_assert!(cpu < domain.cpus)
                 }
                 FaultKind::ProcessCrash { user_spu }
-                | FaultKind::ForkBomb { user_spu, .. } => {
+                | FaultKind::ForkBomb { user_spu, .. }
+                | FaultKind::RetryStorm { user_spu, .. } => {
                     prop_assert!(user_spu < domain.user_spus)
                 }
             }

@@ -24,9 +24,11 @@ pub mod filecopy;
 pub mod ocean;
 pub mod oltp;
 pub mod pmake;
+pub mod service;
 
 pub use eda::{flashlite, flashlite_with, vcs, vcs_with};
 pub use filecopy::copy_job;
 pub use ocean::OceanConfig;
 pub use oltp::OltpConfig;
 pub use pmake::PmakeConfig;
+pub use service::ServiceConfig;

@@ -1,0 +1,154 @@
+//! An open-loop request-serving workload (extension).
+//!
+//! The paper's workloads are closed-loop programs: a fixed process
+//! population whose offered load self-throttles when the machine slows
+//! down. A consolidated *service* behaves differently — its clients
+//! live elsewhere and keep sending whether or not the server keeps up.
+//! This module turns an [`ArrivalPlan`] into that regime: one short
+//! request program per arrival instant, each carrying a deadline, fed
+//! to the kernel through [`Kernel::spawn_request_at`] so per-SPU
+//! admission control and load shedding can act on the stream.
+//!
+//! A request is a few milliseconds of CPU plus an optional scattered
+//! read against a shared table file — small enough that thousands fit
+//! in a run, real enough to exercise CPU scheduling, the buffer cache,
+//! and the disk under overload.
+
+use std::sync::Arc;
+
+use event_sim::{ArrivalPlan, SimDuration, SplitMix64};
+use smp_kernel::{Kernel, Pid, Program, PAGE_SIZE};
+use spu_core::SpuId;
+
+/// Parameters of one request class in an open-loop service stream.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::ServiceConfig;
+/// let cfg = ServiceConfig::default();
+/// assert!(cfg.deadline > event_sim::SimDuration::ZERO);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// CPU work per request.
+    pub cpu_burst: SimDuration,
+    /// Bytes read per request from the shared table file (0 disables
+    /// the read entirely).
+    pub read_bytes: u64,
+    /// Size of the shared table file, in pages. Small tables stay
+    /// buffer-cache-hot after warm-up; large ones keep missing.
+    pub table_pages: u64,
+    /// Per-request deadline, measured from the arrival instant. Used
+    /// both for SLO scoring and by deadline-aware shedding.
+    pub deadline: SimDuration,
+    /// RNG seed for the read offsets (deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cpu_burst: SimDuration::from_millis(4),
+            read_bytes: PAGE_SIZE,
+            table_pages: 64,
+            deadline: SimDuration::from_millis(30),
+            seed: 0x5e41ce,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Creates the shared table file on `disk` and spawns one request
+    /// per instant in `plan`, all labelled `label`, onto `spu`. Returns
+    /// the spawned pids in arrival order.
+    ///
+    /// Each request reads a seeded-random page of the table (when
+    /// `read_bytes > 0`) and then burns `cpu_burst`; the read comes
+    /// first so a cold request blocks early and the CPU burst runs
+    /// against a warm cache entry.
+    pub fn spawn_stream(
+        &self,
+        k: &mut Kernel,
+        spu: SpuId,
+        disk: usize,
+        plan: &ArrivalPlan,
+        label: &str,
+    ) -> Vec<Pid> {
+        let table = if self.read_bytes > 0 {
+            Some(k.create_file(disk, self.table_pages.max(1) * PAGE_SIZE, 0))
+        } else {
+            None
+        };
+        let mut rng = SplitMix64::new(self.seed);
+        let mut pids = Vec::with_capacity(plan.len());
+        for &at in plan.times() {
+            let mut b = Program::builder("request");
+            if let Some(table) = table {
+                let page = rng.next_below(self.table_pages.max(1));
+                b = b.read(table, page * PAGE_SIZE, self.read_bytes);
+            }
+            let prog: Arc<Program> = b.compute(self.cpu_burst, 0).build();
+            pids.push(k.spawn_request_at(spu, prog, label, at, self.deadline));
+        }
+        pids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_sim::{ArrivalProcess, SimTime};
+    use smp_kernel::MachineConfig;
+    use spu_core::{Scheme, SpuSet};
+
+    fn plan(rate: f64) -> ArrivalPlan {
+        ArrivalProcess::Poisson { rate_per_sec: rate }.generate(9, SimTime::from_secs(2))
+    }
+
+    #[test]
+    fn stream_completes_and_scores_slo() {
+        let cfg = MachineConfig::new(2, 44, 1).with_scheme(Scheme::PIso);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        k.enable_slo(SimDuration::from_millis(30));
+        let svc = ServiceConfig::default();
+        let pids = svc.spawn_stream(&mut k, SpuId::user(0), 0, &plan(40.0), "svc");
+        assert!(!pids.is_empty());
+        let m = k.run(SimTime::from_secs(30));
+        assert!(m.completed);
+        let row = m.slo().spu(SpuId::user(0)).expect("slo row");
+        assert_eq!(row.jobs as usize, pids.len());
+        assert!(row.p99 > 0.0);
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+            let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+            let svc = ServiceConfig {
+                seed,
+                ..ServiceConfig::default()
+            };
+            svc.spawn_stream(&mut k, SpuId::user(0), 0, &plan(60.0), "svc");
+            let m = k.run(SimTime::from_secs(30));
+            assert!(m.completed);
+            m.end_time
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn zero_read_bytes_skips_the_table() {
+        let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+        let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+        let svc = ServiceConfig {
+            read_bytes: 0,
+            ..ServiceConfig::default()
+        };
+        svc.spawn_stream(&mut k, SpuId::user(0), 0, &plan(20.0), "svc");
+        let m = k.run(SimTime::from_secs(10));
+        assert!(m.completed);
+        assert_eq!(m.cache.misses, 0, "no file should ever be read");
+    }
+}

@@ -1,0 +1,65 @@
+//! Overload robustness: open-loop traffic, admission control, and load
+//! shedding (robustness extension).
+//!
+//! A latency-sensitive victim SPU (60% entitlement, a modest Poisson
+//! request stream against a 30 ms target) shares the machine with an
+//! antagonist SPU whose open-loop request stream is driven past its
+//! entitled capacity (1.0× → 2.5×). The matrix crosses every scheme
+//! with every shed policy: isolation decides whether the victim feels
+//! the flood at all, and shedding decides whether the antagonist's own
+//! goodput survives its overload or collapses into the metastable
+//! queue-growth / retry-storm regime.
+//!
+//! Run with: `cargo run --release --example overload`
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the 24 scheme × policy × load cells in parallel)
+//!
+//! An instrumented PIso/deadline-aware run at 2.5× is exported to
+//! `results/`:
+//! * `overload_metrics.jsonl` — counters, resource series, per-SPU SLO
+//!   rows and the per-SPU request/admission report;
+//! * `overload_trace.json` — Chrome trace-event JSON;
+//! * `overload_matrix.json` — the full matrix, one JSON document (the
+//!   CI artifact).
+
+use perf_isolation::experiments::overload::{self, OverloadScenario};
+use perf_isolation::experiments::report::export;
+use perf_isolation::experiments::sweep::{self, SweepOptions};
+use perf_isolation::experiments::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
+    println!("Running the overload matrix: scheme x shed policy x load ({scale:?} scale)...\n");
+    let result = sweep::run_scenario(&OverloadScenario { scale }, &opts).report;
+    println!("{}", result.format());
+    println!(
+        "\nExpectation: at 2.5x the no-shed antagonist queue goes metastable —\n\
+         every request is served long past its deadline and goodput collapses —\n\
+         while deadline-aware shedding keeps serving the requests that still\n\
+         count. The victim's p99 blows through its target under SMP but never\n\
+         moves under PIso, whatever the antagonist does.\n"
+    );
+
+    println!("Instrumented PIso run (deadline-aware, 2.5x), SLO + sampling + trace on...");
+    let inst = overload::run_instrumented(scale);
+    println!("\n{}", inst.metrics.slo().format_table());
+    export(
+        "results",
+        &[
+            ("overload_metrics.jsonl", &inst.metrics_jsonl),
+            ("overload_trace.json", &inst.chrome_trace),
+            (
+                "overload_matrix.json",
+                &overload::overload_matrix_json(&result),
+            ),
+        ],
+    )
+    .expect("write results/");
+    println!("Open the trace in Perfetto (https://ui.perfetto.dev).");
+}

@@ -7,8 +7,8 @@
 //! namespace; this test boots a fully instrumented kernel so the walk
 //! sees every family, including the interference counters.
 
-use perf_isolation::experiments::lock_leakage;
 use perf_isolation::experiments::Scale;
+use perf_isolation::experiments::{lock_leakage, overload};
 
 /// `module.metric`: at least two non-empty segments, each of
 /// `[a-z0-9_]`, separated by single dots.
@@ -45,6 +45,41 @@ fn counter_names_follow_the_module_metric_scheme() {
         assert!(
             names.iter().any(|n| n.starts_with(family)),
             "no `{family}*` counter in the registry walk"
+        );
+    }
+}
+
+#[test]
+fn admission_counters_are_well_formed_and_present() {
+    // The lock-leakage kernel runs with admission control off, so the
+    // shed/timeout counters need their own instrumented walk: the
+    // overload headline cell publishes the whole `requests.*` family.
+    let m = overload::run_instrumented(Scale::Quick).metrics;
+    let names: Vec<String> = m
+        .obsv
+        .counters
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    for name in &names {
+        assert!(
+            well_formed(name),
+            "counter `{name}` breaks the lowercase dot-separated \
+             `module.metric` naming scheme"
+        );
+    }
+    for counter in [
+        "requests.arrivals",
+        "requests.admitted",
+        "requests.shed",
+        "requests.expired",
+        "requests.timeouts",
+        "requests.retries",
+        "requests.brownout_skips",
+    ] {
+        assert!(
+            names.iter().any(|n| n == counter),
+            "no `{counter}` counter in the registry walk"
         );
     }
 }
