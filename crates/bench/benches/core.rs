@@ -36,6 +36,7 @@ fn main() {
     let mut c = Criterion::default();
     micro_targets::bench_event_queue(&mut c);
     micro_targets::bench_scheduler_pick(&mut c);
+    micro_targets::bench_scheduler_pick_512(&mut c);
     micro_targets::bench_fault_path(&mut c);
     let micro = take_measurements();
 
@@ -65,10 +66,13 @@ fn main() {
     );
 
     // The committed baseline is always the comparison point, even when
-    // the output is redirected (CI writes to a scratch path).
+    // the output is redirected (CI writes to a scratch path). Snapshot
+    // it before writing: without `BENCH_CORE_OUT` the write below
+    // replaces the very file the ratchet compares against.
     let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    let baseline_text = std::fs::read_to_string(committed).ok();
     let out_path = std::env::var("BENCH_CORE_OUT").unwrap_or_else(|_| committed.into());
-    if let Some(baseline_s) = read_baseline_total(committed) {
+    if let Some(baseline_s) = baseline_text.as_deref().and_then(baseline_total) {
         eprintln!(
             "speedup vs committed baseline: {:.2}x (baseline {baseline_s:.3} s)",
             baseline_s / total_s
@@ -78,13 +82,81 @@ fn main() {
     let json = render_json(&micro, &outputs, total_s, bare_s, instrumented_s);
     std::fs::write(&out_path, json).expect("write BENCH_core.json");
     eprintln!("wrote {out_path}");
+
+    ratchet(baseline_text.as_deref(), &micro, total_s);
 }
 
-/// Extracts `end_to_end.total_wall_s` from an existing baseline file.
-/// A hand-rolled scan (no JSON dependency in this workspace): the file
-/// is machine-written by this bench, so the key appears exactly once.
-fn read_baseline_total(path: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
+/// Regression tolerance for the micro medians. Wide because shared CI
+/// runners are noisy; a real algorithmic regression (O(1) pick turning
+/// into a queue scan) lands far outside it.
+const MICRO_TOLERANCE: f64 = 2.0;
+/// Regression tolerance for the end-to-end quick sweep, which averages
+/// over enough cells to be steadier than the micros.
+const END_TO_END_TOLERANCE: f64 = 1.5;
+
+/// Compares this run against the committed baseline and reports any
+/// number that regressed beyond its tolerance band. With
+/// `BENCH_CORE_RATCHET` set (CI), regressions fail the bench; locally
+/// they only warn, since absolute wall-clock differs across machines.
+fn ratchet(baseline_text: Option<&str>, micro: &[Measurement], total_s: f64) {
+    let Some(text) = baseline_text else {
+        eprintln!("ratchet: no committed baseline, skipping");
+        return;
+    };
+    let mut regressions = Vec::new();
+    for m in micro {
+        let Some(base) = baseline_median_ns(text, &m.name) else {
+            eprintln!("ratchet: no baseline for {} (new target)", m.name);
+            continue;
+        };
+        let ratio = m.median_ns as f64 / base as f64;
+        if ratio > MICRO_TOLERANCE {
+            regressions.push(format!(
+                "{}: {} ns vs baseline {base} ns ({ratio:.2}x > {MICRO_TOLERANCE}x)",
+                m.name, m.median_ns
+            ));
+        }
+    }
+    if let Some(base_s) = baseline_total(text) {
+        let ratio = total_s / base_s;
+        if ratio > END_TO_END_TOLERANCE {
+            regressions.push(format!(
+                "end_to_end/quick_sweep: {total_s:.3} s vs baseline {base_s:.3} s \
+                 ({ratio:.2}x > {END_TO_END_TOLERANCE}x)"
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        eprintln!("ratchet: all tracked numbers within tolerance");
+        return;
+    }
+    for r in &regressions {
+        eprintln!("ratchet REGRESSION: {r}");
+    }
+    if std::env::var("BENCH_CORE_RATCHET").is_ok() {
+        eprintln!("ratchet: failing (BENCH_CORE_RATCHET set)");
+        std::process::exit(1);
+    }
+    eprintln!("ratchet: warning only (set BENCH_CORE_RATCHET to enforce)");
+}
+
+/// Extracts one micro target's committed `median_ns` from the baseline
+/// text (same hand-rolled scan as [`baseline_total`]; no JSON
+/// dependency in this workspace — the file is machine-written by this
+/// bench, so each key appears exactly once).
+fn baseline_median_ns(text: &str, name: &str) -> Option<u64> {
+    let tail = text.split(&format!("\"{name}\":")).nth(1)?;
+    let tail = tail.split("\"median_ns\":").nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    num.parse().ok()
+}
+
+/// Extracts `end_to_end.total_wall_s` from baseline text.
+fn baseline_total(text: &str) -> Option<f64> {
     let tail = text.split("\"total_wall_s\":").nth(1)?;
     let num: String = tail
         .trim_start()

@@ -19,6 +19,10 @@ fn bench_scheduler_pick(c: &mut Criterion) {
     micro_targets::bench_scheduler_pick(c);
 }
 
+fn bench_scheduler_pick_512(c: &mut Criterion) {
+    micro_targets::bench_scheduler_pick_512(c);
+}
+
 fn bench_fault_path(c: &mut Criterion) {
     micro_targets::bench_fault_path(c);
 }
@@ -82,7 +86,11 @@ fn bench_bw_tracker(c: &mut Criterion) {
 fn bench_kernel_run(c: &mut Criterion) {
     c.bench_function("kernel/small_run", |b| {
         b.iter(|| {
-            let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+            let cfg = MachineConfig::builder()
+                .topology(2, 16, 1)
+                .scheme(Scheme::PIso)
+                .build()
+                .unwrap();
             let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
             let spin = Program::builder("spin")
                 .compute(SimDuration::from_millis(100), 20)
@@ -98,6 +106,7 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_scheduler_pick,
+    bench_scheduler_pick_512,
     bench_fault_path,
     bench_rng,
     bench_disk_model,

@@ -51,7 +51,11 @@ pub mod micro_targets {
     pub fn bench_scheduler_pick(c: &mut Criterion) {
         c.bench_function("sched/pick_under_load", |b| {
             b.iter(|| {
-                let cfg = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+                let cfg = MachineConfig::builder()
+                    .topology(2, 32, 1)
+                    .scheme(Scheme::PIso)
+                    .build()
+                    .unwrap();
                 let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
                 let spin = Program::builder("spin")
                     .compute(SimDuration::from_millis(40), 0)
@@ -64,13 +68,46 @@ pub mod micro_targets {
         });
     }
 
+    /// Scheduler picks at machine scale: 512 CPUs and 1024 SPUs
+    /// time-sharing two-to-a-CPU, so the run is dominated by per-CPU
+    /// queue picks plus the shared-CPU rotor at the largest supported
+    /// topology. Guards the tentpole claim that dispatch cost stays
+    /// O(1) in machine size — a scan-all-queues regression moves this
+    /// micro by orders of magnitude.
+    pub fn bench_scheduler_pick_512(c: &mut Criterion) {
+        c.bench_function("sched/pick_at_512_cpus", |b| {
+            b.iter(|| {
+                let (cfg, set) = MachineConfig::builder()
+                    .topology(512, 3072, 1)
+                    .scheme(Scheme::PIso)
+                    .spus(1024, 1)
+                    .build_with_spus()
+                    .unwrap();
+                let mut k = Kernel::new(cfg, set);
+                let spin = Program::builder("spin")
+                    .compute(SimDuration::from_millis(40), 0)
+                    .build();
+                for s in 0..1024u32 {
+                    for _ in 0..(s % 2 + 1) {
+                        k.spawn_at(SpuId::user(s), spin.clone(), None, SimTime::ZERO);
+                    }
+                }
+                black_box(k.run(SimTime::from_secs(30)).end_time)
+            })
+        });
+    }
+
     /// The page-fault path under thrash: a working-set sweep larger than
     /// memory on a 1-CPU machine, so the run is dominated by
     /// `acquire_frame`/victim selection/swap traffic.
     pub fn bench_fault_path(c: &mut Criterion) {
         c.bench_function("vm/fault_thrash", |b| {
             b.iter(|| {
-                let cfg = MachineConfig::new(1, 8, 1).with_scheme(Scheme::Smp);
+                let cfg = MachineConfig::builder()
+                    .topology(1, 8, 1)
+                    .scheme(Scheme::Smp)
+                    .build()
+                    .unwrap();
                 let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
                 // 8 MB is 2048 frames; a 2500-page sweep (repeated)
                 // evicts continuously.

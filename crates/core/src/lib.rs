@@ -66,7 +66,7 @@ pub mod spu;
 pub use audit::{AuditViolation, LedgerAuditor};
 pub use cpu_policy::{CpuAssignment, CpuPartition, SharedCpuRotor};
 pub use disk_policy::BandwidthTracker;
-pub use ledger::{ChargeError, ResourceLedger};
+pub use ledger::{ChargeError, ResourceLedger, ShardedLedger};
 pub use manager::{
     LedgerManager, LevelSnapshot, PIsoSharing, PolicyInput, QuotaSharing, ResourceManager,
     SharingPolicy, SmpSharing,

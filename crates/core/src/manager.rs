@@ -27,7 +27,7 @@
 use event_sim::SimTime;
 
 use crate::audit::LedgerAuditor;
-use crate::ledger::{ChargeError, ResourceLedger};
+use crate::ledger::{ChargeError, ResourceLedger, ShardedLedger};
 use crate::resource::{ResourceKind, ResourceLevels};
 use crate::scheme::Scheme;
 use crate::spu::{SpuId, SpuSet};
@@ -100,6 +100,40 @@ pub trait SharingPolicy {
     /// this scheme.
     fn can_charge(&self, ledger: &ResourceLedger, spu: SpuId, n: u64) -> Result<(), ChargeError> {
         ledger.can_charge(spu, n, self.enforces())
+    }
+
+    /// [`entitle`](Self::entitle) against a per-CPU sharded ledger.
+    fn entitle_sharded(&self, ledger: &mut ShardedLedger, spu: SpuId, units: u64) {
+        ledger.set_entitled(spu, units);
+    }
+
+    /// [`can_charge`](Self::can_charge) against a per-CPU sharded
+    /// ledger's exact view — the same contract, evaluated without
+    /// folding.
+    fn can_charge_sharded(
+        &self,
+        ledger: &ShardedLedger,
+        spu: SpuId,
+        n: u64,
+    ) -> Result<(), ChargeError> {
+        ledger.can_charge(spu, n, self.enforces())
+    }
+
+    /// Charges `n` units to `spu` on a sharded ledger, accumulating on
+    /// `shard` (the charging CPU, or the detached shard).
+    ///
+    /// # Errors
+    ///
+    /// Fails per [`ShardedLedger::can_charge`]; on failure nothing is
+    /// recorded.
+    fn charge_sharded(
+        &self,
+        ledger: &mut ShardedLedger,
+        shard: usize,
+        spu: SpuId,
+        n: u64,
+    ) -> Result<(), ChargeError> {
+        ledger.charge_on(shard, spu, n, self.enforces())
     }
 
     /// Charges `n` units to `spu` under this scheme's enforcement flag.

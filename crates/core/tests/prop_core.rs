@@ -4,7 +4,7 @@ use event_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 use spu_core::{
     BandwidthTracker, CpuAssignment, CpuPartition, MemPolicyInput, MemSharingPolicy,
-    ResourceLedger, ResourceLevels, SharedCpuRotor, SpuId, SpuSet,
+    ResourceLedger, ResourceLevels, ShardedLedger, SharedCpuRotor, SpuId, SpuSet,
 };
 
 proptest! {
@@ -81,6 +81,76 @@ proptest! {
             ledger.check_invariants();
             prop_assert!(ledger.total_used() <= capacity);
         }
+    }
+
+    /// A sharded ledger driven by an arbitrary interleaving of charges,
+    /// releases, transfers and folds agrees with an unsharded ledger
+    /// applying the same operations directly: the exact view matches at
+    /// every step, every charge admits/refuses identically, and each
+    /// fold (the policy-pass boundary) reproduces the global accounting
+    /// bit-for-bit.
+    #[test]
+    fn sharded_ledger_folds_to_global_bit_for_bit(
+        capacity in 1u64..10_000,
+        shard_count in 1usize..9,
+        ops in prop::collection::vec((0u8..5, 0u32..4, 0u32..4, 1u64..100, 0usize..16), 0..300),
+    ) {
+        let spus = SpuSet::equal_users(4);
+        let mut sharded = ShardedLedger::new(capacity, spus.total_count(), shard_count);
+        let mut mirror = ResourceLedger::new(capacity, spus.total_count());
+        for (i, id) in spus.user_ids().enumerate() {
+            let ent = capacity / 4 * (i as u64 % 2 + 1) / 2;
+            sharded.set_entitled(id, ent);
+            mirror.set_entitled(id, ent);
+        }
+        for (op, from_n, to_n, n, shard_n) in ops {
+            let from = SpuId::user(from_n);
+            let to = SpuId::user(to_n);
+            // Include the detached shard in the rotation.
+            let shard = shard_n % (shard_count + 1);
+            match op {
+                0 | 1 => {
+                    let enforce = op == 0;
+                    prop_assert_eq!(
+                        sharded.charge_on(shard, from, n, enforce),
+                        mirror.charge(from, n, enforce),
+                        "charge decisions diverged"
+                    );
+                }
+                2 => {
+                    let take = n.min(mirror.used(from));
+                    if take > 0 {
+                        sharded.release_on(shard, from, take);
+                        mirror.release(from, take);
+                    }
+                }
+                3 => {
+                    let take = n.min(mirror.used(from));
+                    if take > 0 && from != to {
+                        sharded.transfer_on(shard, from, to, take);
+                        mirror.transfer(from, to, take);
+                    }
+                }
+                _ => {
+                    // Policy-pass boundary: fold, then the global
+                    // ledger must equal the mirror bit-for-bit.
+                    sharded.fold();
+                    prop_assert_eq!(sharded.global().snapshot(), mirror.snapshot());
+                    prop_assert_eq!(sharded.global().total_used(), mirror.total_used());
+                }
+            }
+            // The exact O(1) view tracks the mirror at every step,
+            // folded or not.
+            prop_assert_eq!(sharded.total_used(), mirror.total_used());
+            prop_assert_eq!(sharded.free(), mirror.free());
+            for id in spus.user_ids() {
+                prop_assert_eq!(sharded.used(id), mirror.used(id));
+                prop_assert_eq!(sharded.levels(id), *mirror.levels(id));
+            }
+            sharded.check_invariants();
+        }
+        sharded.fold();
+        prop_assert_eq!(sharded.global().snapshot(), mirror.snapshot());
     }
 
     /// The memory policy never lends below entitlement and never lends

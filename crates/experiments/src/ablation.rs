@@ -90,9 +90,12 @@ fn boot_lock(rw: bool, scale: Scale) -> Kernel {
         lookup_cost: SimDuration::from_micros(1200),
         ..Tuning::default()
     };
-    let cfg = MachineConfig::new(4, 44, 4)
-        .with_scheme(Scheme::Smp)
-        .with_tuning(tuning);
+    let cfg = MachineConfig::builder()
+        .topology(4, 44, 4)
+        .scheme(Scheme::Smp)
+        .tuning(tuning)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(4));
     for s in 0..4u32 {
         let mut workers = Vec::new();
@@ -167,9 +170,12 @@ fn boot_reserve(frac: f64, scale: Scale) -> Kernel {
         reserve_frac: frac,
         ..Tuning::default()
     };
-    let cfg = MachineConfig::new(4, 16, 2)
-        .with_scheme(Scheme::PIso)
-        .with_tuning(tuning);
+    let cfg = MachineConfig::builder()
+        .topology(4, 16, 2)
+        .scheme(Scheme::PIso)
+        .tuning(tuning)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     // The lender: a long small-footprint phase, then the burst.
     let idle_phase = smp_kernel::Program::builder("lender-idle")
@@ -333,9 +339,12 @@ fn boot_ipi(ipi: bool, scale: Scale) -> Kernel {
         prefetch_windows: 0, // each read is an isolated stall
         ..Tuning::default()
     };
-    let cfg = MachineConfig::new(2, 32, 2)
-        .with_scheme(Scheme::PIso)
-        .with_tuning(tuning);
+    let cfg = MachineConfig::builder()
+        .topology(2, 32, 2)
+        .scheme(Scheme::PIso)
+        .tuning(tuning)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     let f = k.create_file(0, rounds * 64 * 1024, 0);
     let mut b = smp_kernel::Program::builder("interactive");
@@ -400,11 +409,14 @@ fn boot_bw(threshold: f64, scale: Scale) -> Kernel {
         bw_threshold: threshold,
         ..Tuning::default()
     };
-    let cfg = MachineConfig::new(2, 44, 1)
-        .with_scheme(Scheme::PIso)
-        .with_seek_scale(0.5)
-        .with_disk_scheduler(SchedulerKind::Hybrid)
-        .with_tuning(tuning);
+    let cfg = MachineConfig::builder()
+        .topology(2, 44, 1)
+        .scheme(Scheme::PIso)
+        .seek_scale(0.5)
+        .disk_scheduler(SchedulerKind::Hybrid)
+        .tuning(tuning)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     let pmake_cfg = match scale {
         Scale::Full => PmakeConfig::disk_bw(),

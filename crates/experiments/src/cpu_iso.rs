@@ -102,7 +102,11 @@ fn eda_durations(scale: Scale) -> (SimDuration, SimDuration) {
 /// Boots the Figure-4 machine and spawns the job set.
 fn boot(scheme: Scheme, scale: Scale) -> Kernel {
     // Table 1: 8 CPUs, 64 MB, separate fast disks.
-    let cfg = MachineConfig::new(8, 64, 2).with_scheme(scheme);
+    let cfg = MachineConfig::builder()
+        .topology(8, 64, 2)
+        .scheme(scheme)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(
         cfg,
         SpuSet::equal_users(2).named(0, "ocean").named(1, "eda"),

@@ -99,10 +99,13 @@ impl DiskTable {
 /// Boots the Table 3 machine (pmake + copy) under one policy.
 fn boot_pmake_copy(policy: SchedulerKind, scale: Scale) -> Kernel {
     // §4.5: two-way multiprocessor, one shared disk, seek scaled by 2.
-    let cfg = MachineConfig::new(2, 44, 1)
-        .with_scheme(Scheme::PIso)
-        .with_seek_scale(0.5)
-        .with_disk_scheduler(policy);
+    let cfg = MachineConfig::builder()
+        .topology(2, 44, 1)
+        .scheme(Scheme::PIso)
+        .seek_scale(0.5)
+        .disk_scheduler(policy)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(
         cfg,
         SpuSet::equal_users(2).named(0, "pmake").named(1, "copy"),
@@ -142,10 +145,13 @@ pub fn run_pmake_copy(policy: SchedulerKind, scale: Scale) -> DiskRow {
 
 /// Boots the Table 4 machine (big + small copy) under one policy.
 fn boot_big_small(policy: SchedulerKind, scale: Scale) -> Kernel {
-    let cfg = MachineConfig::new(2, 44, 1)
-        .with_scheme(Scheme::PIso)
-        .with_seek_scale(0.5)
-        .with_disk_scheduler(policy);
+    let cfg = MachineConfig::builder()
+        .topology(2, 44, 1)
+        .scheme(Scheme::PIso)
+        .seek_scale(0.5)
+        .disk_scheduler(policy)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(
         cfg,
         SpuSet::equal_users(2).named(0, "small").named(1, "big"),

@@ -266,9 +266,12 @@ fn machine_mem(scale: Scale) -> u64 {
 }
 
 fn boot(scheme: Scheme, fault: FaultClass, scale: Scale) -> Kernel {
-    let cfg = MachineConfig::new(4, machine_mem(scale), 4)
-        .with_scheme(scheme)
-        .with_fault_plan(fault.plan(scale));
+    let cfg = MachineConfig::builder()
+        .topology(4, machine_mem(scale), 4)
+        .scheme(scheme)
+        .fault_plan(fault.plan(scale))
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(4));
     spawn_mix(&mut k, scale);
     k
@@ -430,9 +433,12 @@ pub fn run_instrumented(seed: u64, scale: Scale) -> InstrumentedRun {
         user_spus: 4,
     };
     let plan = FaultPlan::random(seed, horizon, &domain);
-    let cfg = MachineConfig::new(4, machine_mem(scale), 4)
-        .with_scheme(Scheme::PIso)
-        .with_fault_plan(plan);
+    let cfg = MachineConfig::builder()
+        .topology(4, machine_mem(scale), 4)
+        .scheme(Scheme::PIso)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(4));
     spawn_mix(&mut k, scale);
     k.enable_trace(1 << 20);

@@ -114,9 +114,12 @@ fn boot(scheme: Scheme, mode: LockMode, scale: Scale) -> Kernel {
         slice: SimDuration::from_millis(2),
         ..Tuning::default()
     };
-    let cfg = MachineConfig::new(4, 48, 1)
-        .with_scheme(scheme)
-        .with_tuning(tuning);
+    let cfg = MachineConfig::builder()
+        .topology(4, 48, 1)
+        .scheme(scheme)
+        .tuning(tuning)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     let vic_file = k.create_file(0, FILE_BLOCKS * PAGE_SIZE, 0);
     let ant_file = k.create_file(0, FILE_BLOCKS * PAGE_SIZE, 0);

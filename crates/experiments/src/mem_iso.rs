@@ -119,7 +119,11 @@ fn job_config(scale: Scale) -> PmakeConfig {
 /// Boots the Figure-6 machine and spawns the job set.
 fn boot(scheme: Scheme, unbalanced: bool, scale: Scale) -> Kernel {
     // Table 1: 4 CPUs, 16 MB, separate fast disks (one per SPU).
-    let cfg = MachineConfig::new(4, 16, 2).with_scheme(scheme);
+    let cfg = MachineConfig::builder()
+        .topology(4, 16, 2)
+        .scheme(scheme)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     let job = job_config(scale);
     let p = job.build(&mut k, 0);

@@ -116,7 +116,11 @@ fn job_config(scale: crate::Scale) -> PmakeConfig {
 
 /// Builds and spawns the Pmake8 job set into a fresh kernel.
 fn boot(scheme: Scheme, unbalanced: bool, scale: crate::Scale) -> Kernel {
-    let cfg = MachineConfig::new(8, 44, 8).with_scheme(scheme);
+    let cfg = MachineConfig::builder()
+        .topology(8, 44, 8)
+        .scheme(scheme)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(8));
     spawn_jobs(&mut k, unbalanced, scale);
     k

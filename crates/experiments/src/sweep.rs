@@ -891,7 +891,7 @@ pub fn all_scenarios(scale: Scale) -> Vec<Box<dyn AnyScenario>> {
         Box::new(crate::net_bw::NetBwScenario { scale }),
         Box::new(crate::scaling::ScalingScenario::standard(scale)),
         Box::new(crate::ablation::AblationScenario::standard(scale)),
-        Box::new(crate::overload::OverloadScenario { scale }),
+        Box::new(crate::overload::OverloadScenario::seed(scale)),
     ]
 }
 

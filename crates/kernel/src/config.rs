@@ -178,7 +178,11 @@ impl Default for Tuning {
 /// use spu_core::Scheme;
 ///
 /// // The Pmake8 machine: 8 CPUs, 44 MB, one fast disk per SPU.
-/// let m = MachineConfig::new(8, 44, 8).with_scheme(Scheme::PIso);
+/// let m = MachineConfig::builder()
+///     .topology(8, 44, 8)
+///     .scheme(Scheme::PIso)
+///     .build()
+///     .unwrap();
 /// assert_eq!(m.cpus, 8);
 /// assert_eq!(m.total_frames(), 44 * 256); // 4 KB pages
 /// ```
@@ -206,6 +210,12 @@ impl MachineConfig {
     /// # Panics
     ///
     /// Panics if any quantity is zero.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use MachineConfig::builder().topology(cpus, memory_mb, disks) — \
+                the builder validates instead of panicking and scales to \
+                programmatic SPU sets"
+    )]
     pub fn new(cpus: usize, memory_mb: u64, disk_count: usize) -> Self {
         assert!(cpus > 0, "need at least one CPU");
         assert!(memory_mb > 0, "need some memory");
@@ -384,6 +394,15 @@ pub enum ConfigError {
         /// The rejected value.
         value: f64,
     },
+    /// A per-SPU override named an SPU index beyond the declared count.
+    SpuIndexOutOfRange {
+        /// Which share vector.
+        resource: &'static str,
+        /// The offending user-SPU index.
+        index: usize,
+        /// The declared user-SPU count.
+        count: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -415,6 +434,14 @@ impl fmt::Display for ConfigError {
                     "disk seek scale must be finite and positive, got {value}"
                 )
             }
+            ConfigError::SpuIndexOutOfRange {
+                resource,
+                index,
+                count,
+            } => write!(
+                f,
+                "{resource} share override names SPU {index} but only {count} SPUs are declared"
+            ),
         }
     }
 }
@@ -425,6 +452,25 @@ impl std::error::Error for ConfigError {}
 /// [`SpuSet`] sharing contract), returning typed [`ConfigError`]s where
 /// the panicking constructors would abort.
 ///
+/// The topology-first surface describes the machine in one call and
+/// generates SPU sets programmatically — the only way to sanely express
+/// a 512-CPU / 1024-SPU consolidation host:
+///
+/// ```
+/// use smp_kernel::MachineConfig;
+/// use spu_core::Scheme;
+///
+/// let (cfg, spus) = MachineConfig::builder()
+///     .topology(512, 2048, 16)
+///     .scheme(Scheme::PIso)
+///     .spus(1024, 1)          // 1024 tenants, equal shares...
+///     .spu_share(0, 8)        // ...except tenant 0 pays for 8×
+///     .build_with_spus()
+///     .unwrap();
+/// assert_eq!(cfg.cpus, 512);
+/// assert_eq!(spus.user_count(), 1024);
+/// ```
+///
 /// # Examples
 ///
 /// ```
@@ -432,9 +478,7 @@ impl std::error::Error for ConfigError {}
 /// use spu_core::Scheme;
 ///
 /// let (cfg, spus) = MachineConfig::builder()
-///     .cpus(8)
-///     .memory_mb(44)
-///     .disk_count(8)
+///     .topology(8, 44, 8)
 ///     .scheme(Scheme::PIso)
 ///     .shares(&[1, 1, 2])
 ///     .build_with_spus()
@@ -443,9 +487,7 @@ impl std::error::Error for ConfigError {}
 /// assert_eq!(spus.user_count(), 3);
 ///
 /// let err = MachineConfig::builder()
-///     .cpus(2)
-///     .memory_mb(32)
-///     .disk_count(1)
+///     .topology(2, 32, 1)
 ///     .shares(&[1, 0])
 ///     .build_with_spus()
 ///     .unwrap_err();
@@ -464,9 +506,59 @@ pub struct MachineConfigBuilder {
     shares: Option<Vec<u32>>,
     memory_shares: Option<Vec<u32>>,
     disk_shares: Option<Vec<u32>>,
+    spu_count: Option<(usize, u32)>,
+    spu_overrides: Vec<(usize, u32)>,
+    spu_mem_overrides: Vec<(usize, u32)>,
+    spu_disk_overrides: Vec<(usize, u32)>,
 }
 
 impl MachineConfigBuilder {
+    /// Sets the whole machine shape in one call: CPU count, memory in
+    /// megabytes, and number of default disks. Equivalent to
+    /// [`cpus`](Self::cpus) + [`memory_mb`](Self::memory_mb) +
+    /// [`disk_count`](Self::disk_count).
+    pub fn topology(self, cpus: usize, memory_mb: u64, disks: usize) -> Self {
+        self.cpus(cpus).memory_mb(memory_mb).disk_count(disks)
+    }
+
+    /// Declares `count` user SPUs, each with `default_share` as its
+    /// weight for every resource, to be refined with
+    /// [`spu_share`](Self::spu_share) /
+    /// [`spu_memory_share`](Self::spu_memory_share) /
+    /// [`spu_disk_share`](Self::spu_disk_share). Generates the same
+    /// [`SpuSet`] an explicit [`shares`](Self::shares) vector of
+    /// `count` copies of `default_share` would, so existing configs are
+    /// reproducible through either surface. Replaces any previously set
+    /// share vector (last call wins).
+    pub fn spus(mut self, count: usize, default_share: u32) -> Self {
+        self.spu_count = Some((count, default_share));
+        self.shares = None;
+        self
+    }
+
+    /// Overrides one SPU's entitlement weight (requires
+    /// [`spus`](Self::spus)). Later overrides of the same index win.
+    pub fn spu_share(mut self, index: usize, weight: u32) -> Self {
+        self.spu_overrides.push((index, weight));
+        self
+    }
+
+    /// Overrides one SPU's memory weight (requires [`spus`](Self::spus)).
+    /// The first memory override materializes a memory share vector
+    /// initialized from the CPU weights.
+    pub fn spu_memory_share(mut self, index: usize, weight: u32) -> Self {
+        self.spu_mem_overrides.push((index, weight));
+        self
+    }
+
+    /// Overrides one SPU's disk-bandwidth weight (requires
+    /// [`spus`](Self::spus)). The first disk override materializes a
+    /// disk share vector initialized from the CPU weights.
+    pub fn spu_disk_share(mut self, index: usize, weight: u32) -> Self {
+        self.spu_disk_overrides.push((index, weight));
+        self
+    }
+
     /// Sets the CPU count.
     pub fn cpus(mut self, cpus: usize) -> Self {
         self.cpus = cpus;
@@ -516,9 +608,13 @@ impl MachineConfigBuilder {
     }
 
     /// Sets the per-SPU entitlement share vector (one weight per user
-    /// SPU). Required for [`build_with_spus`](Self::build_with_spus).
+    /// SPU). Required for [`build_with_spus`](Self::build_with_spus)
+    /// unless [`spus`](Self::spus) declared the set programmatically.
+    /// Replaces a previous [`spus`](Self::spus) declaration (last call
+    /// wins).
     pub fn shares(mut self, weights: &[u32]) -> Self {
         self.shares = Some(weights.to_vec());
+        self.spu_count = None;
         self
     }
 
@@ -573,7 +669,61 @@ impl MachineConfigBuilder {
         ))
     }
 
-    fn build_inner(self) -> Result<(MachineConfig, Option<SpuSet>), ConfigError> {
+    /// Applies `(index, weight)` overrides onto a base vector, checking
+    /// every index against the declared SPU count.
+    fn apply_overrides(
+        resource: &'static str,
+        base: &mut [u32],
+        overrides: &[(usize, u32)],
+    ) -> Result<(), ConfigError> {
+        for &(index, weight) in overrides {
+            if index >= base.len() {
+                return Err(ConfigError::SpuIndexOutOfRange {
+                    resource,
+                    index,
+                    count: base.len(),
+                });
+            }
+            base[index] = weight;
+        }
+        Ok(())
+    }
+
+    /// Materializes the topology-declared SPU set into explicit share
+    /// vectors, leaving an explicit [`shares`](Self::shares) builder
+    /// untouched. Memory/disk vectors are only materialized when an
+    /// override demands them, so a plain `spus(n, w)` builds the exact
+    /// same `SpuSet` (and fingerprint) as `shares(&[w; n])`.
+    fn materialize_topology(&mut self) -> Result<(), ConfigError> {
+        let Some((count, default_share)) = self.spu_count else {
+            if !self.spu_overrides.is_empty()
+                || !self.spu_mem_overrides.is_empty()
+                || !self.spu_disk_overrides.is_empty()
+            {
+                return Err(ConfigError::EmptyShares { resource: "cpu" });
+            }
+            return Ok(());
+        };
+        if count == 0 {
+            return Err(ConfigError::EmptyShares { resource: "cpu" });
+        }
+        let mut weights = vec![default_share; count];
+        Self::apply_overrides("cpu", &mut weights, &self.spu_overrides)?;
+        if !self.spu_mem_overrides.is_empty() && self.memory_shares.is_none() {
+            let mut mem = weights.clone();
+            Self::apply_overrides("memory", &mut mem, &self.spu_mem_overrides)?;
+            self.memory_shares = Some(mem);
+        }
+        if !self.spu_disk_overrides.is_empty() && self.disk_shares.is_none() {
+            let mut disk = weights.clone();
+            Self::apply_overrides("disk", &mut disk, &self.spu_disk_overrides)?;
+            self.disk_shares = Some(disk);
+        }
+        self.shares = Some(weights);
+        Ok(())
+    }
+
+    fn build_inner(mut self) -> Result<(MachineConfig, Option<SpuSet>), ConfigError> {
         if self.cpus == 0 {
             return Err(ConfigError::NoCpus);
         }
@@ -588,6 +738,7 @@ impl MachineConfigBuilder {
                 return Err(ConfigError::BadSeekScale { value: scale });
             }
         }
+        self.materialize_topology()?;
         let spus = match &self.shares {
             Some(shares) => {
                 Self::check_shares("cpu", shares, None)?;
@@ -614,12 +765,14 @@ impl MachineConfigBuilder {
                 None
             }
         };
-        let mut cfg = MachineConfig::new(self.cpus, self.memory_mb, self.disk_count);
-        cfg.scheme = self.scheme;
-        if let Some(tuning) = self.tuning {
-            cfg.tuning = tuning;
-        }
-        cfg.fault_plan = self.fault_plan;
+        let mut cfg = MachineConfig {
+            cpus: self.cpus,
+            memory_mb: self.memory_mb,
+            disks: vec![DiskSetup::default(); self.disk_count],
+            scheme: self.scheme,
+            tuning: self.tuning.unwrap_or_default(),
+            fault_plan: self.fault_plan,
+        };
         if let Some(scale) = self.seek_scale {
             cfg = cfg.with_seek_scale(scale);
         }
@@ -636,7 +789,7 @@ mod tests {
 
     #[test]
     fn frames_from_megabytes() {
-        let m = MachineConfig::new(4, 16, 1);
+        let m = MachineConfig::builder().topology(4, 16, 1).build().unwrap();
         assert_eq!(m.total_frames(), 4096);
     }
 
@@ -651,7 +804,7 @@ mod tests {
 
     #[test]
     fn scheduler_derives_from_scheme() {
-        let m = MachineConfig::new(2, 44, 1);
+        let m = MachineConfig::builder().topology(2, 44, 1).build().unwrap();
         assert_eq!(
             m.clone().with_scheme(Scheme::Smp).disk_scheduler(0),
             SchedulerKind::HeadPosition
@@ -668,22 +821,30 @@ mod tests {
 
     #[test]
     fn scheduler_override_wins() {
-        let m = MachineConfig::new(2, 44, 2)
-            .with_scheme(Scheme::Smp)
-            .with_disk_scheduler(SchedulerKind::Hybrid);
+        let m = MachineConfig::builder()
+            .topology(2, 44, 2)
+            .scheme(Scheme::Smp)
+            .disk_scheduler(SchedulerKind::Hybrid)
+            .build()
+            .unwrap();
         assert_eq!(m.disk_scheduler(0), SchedulerKind::Hybrid);
         assert_eq!(m.disk_scheduler(1), SchedulerKind::Hybrid);
     }
 
     #[test]
     #[should_panic(expected = "at least one CPU")]
+    #[allow(deprecated)] // intentionally exercises the legacy constructor
     fn zero_cpus_panics() {
         MachineConfig::new(0, 16, 1);
     }
 
     #[test]
     fn seek_scale_applies_to_all_disks() {
-        let m = MachineConfig::new(2, 44, 3).with_seek_scale(0.5);
+        let m = MachineConfig::builder()
+            .topology(2, 44, 3)
+            .seek_scale(0.5)
+            .build()
+            .unwrap();
         assert!(m.disks.iter().all(|d| d.seek_scale == 0.5));
     }
 
@@ -750,6 +911,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compares the builder against the legacy constructor
     fn builder_matches_panicking_constructor() {
         let built = MachineConfig::builder()
             .cpus(2)
@@ -770,14 +932,139 @@ mod tests {
 
     #[test]
     fn fingerprint_distinguishes_configs() {
-        let a = MachineConfig::new(2, 44, 1);
-        let b = MachineConfig::new(2, 44, 1).with_scheme(Scheme::Smp);
-        let c = MachineConfig::new(2, 45, 1);
+        let mk = || MachineConfig::builder().topology(2, 44, 1);
+        let a = mk().build().unwrap();
+        let b = mk().scheme(Scheme::Smp).build().unwrap();
+        let c = MachineConfig::builder().topology(2, 45, 1).build().unwrap();
         assert_ne!(a.fingerprint_digest(), b.fingerprint_digest());
         assert_ne!(a.fingerprint_digest(), c.fingerprint_digest());
         assert_eq!(
             a.fingerprint_digest(),
-            MachineConfig::new(2, 44, 1).fingerprint_digest()
+            mk().build().unwrap().fingerprint_digest()
         );
+    }
+
+    #[test]
+    fn spus_matches_explicit_equal_shares() {
+        let (cfg_a, spus_a) = MachineConfig::builder()
+            .topology(8, 44, 8)
+            .scheme(Scheme::PIso)
+            .spus(8, 1)
+            .build_with_spus()
+            .unwrap();
+        let (cfg_b, spus_b) = MachineConfig::builder()
+            .topology(8, 44, 8)
+            .scheme(Scheme::PIso)
+            .shares(&[1; 8])
+            .build_with_spus()
+            .unwrap();
+        assert_eq!(cfg_a, cfg_b);
+        assert_eq!(spus_a, spus_b);
+        assert_eq!(spus_a, SpuSet::equal_users(8));
+    }
+
+    #[test]
+    fn spu_overrides_refine_topology_declaration() {
+        let (_, spus) = MachineConfig::builder()
+            .topology(4, 44, 2)
+            .spus(4, 2)
+            .spu_share(1, 5)
+            .spu_share(1, 7) // later override of the same index wins
+            .spu_memory_share(3, 1)
+            .build_with_spus()
+            .unwrap();
+        assert_eq!(spus, {
+            // CPU vector with the override applied; memory materialized
+            // from CPU weights, then its own override.
+            SpuSet::with_weights(&[2, 7, 2, 2]).with_memory_weights(&[2, 7, 2, 1])
+        });
+    }
+
+    #[test]
+    fn plain_spus_skips_memory_and_disk_vectors() {
+        // No memory/disk overrides → no memory/disk vectors, so the
+        // sharing fingerprint matches the classic equal-shares path.
+        let (_, spus) = MachineConfig::builder()
+            .topology(4, 44, 2)
+            .spus(3, 1)
+            .build_with_spus()
+            .unwrap();
+        assert!(spus.memory_weights().is_none());
+        assert!(spus.disk_weights().is_none());
+    }
+
+    #[test]
+    fn spu_override_out_of_range_is_rejected() {
+        let err = MachineConfig::builder()
+            .topology(4, 44, 2)
+            .spus(4, 1)
+            .spu_share(4, 9)
+            .build_with_spus()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::SpuIndexOutOfRange {
+                resource: "cpu",
+                index: 4,
+                count: 4
+            }
+        );
+        let err = MachineConfig::builder()
+            .topology(4, 44, 2)
+            .spus(2, 1)
+            .spu_disk_share(3, 9)
+            .build_with_spus()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::SpuIndexOutOfRange {
+                resource: "disk",
+                index: 3,
+                count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn shares_and_spus_last_call_wins() {
+        let (_, spus) = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .shares(&[9, 9])
+            .spus(3, 1)
+            .build_with_spus()
+            .unwrap();
+        assert_eq!(spus, SpuSet::equal_users(3));
+        let (_, spus) = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .spus(3, 1)
+            .shares(&[9, 9])
+            .build_with_spus()
+            .unwrap();
+        assert_eq!(spus, SpuSet::with_weights(&[9, 9]));
+    }
+
+    #[test]
+    fn spus_validates_through_share_pipeline() {
+        // A zero default share is rejected by the same validation as an
+        // explicit zero weight.
+        let err = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .spus(2, 0)
+            .build_with_spus()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroShare {
+                resource: "cpu",
+                index: 0
+            }
+        );
+        // Overrides without a declared SPU set have nothing to refine.
+        let err = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .spu_share(0, 3)
+            .build_with_spus()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyShares { resource: "cpu" });
     }
 }

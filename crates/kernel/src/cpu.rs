@@ -43,22 +43,26 @@ impl Kernel {
             self.dispatch(cpu);
         } else {
             // No CPU free: any loaned-out CPU this wake-up makes
-            // revocable starts the revocation-latency clock now.
-            for cpu in 0..self.sched.cpu_count() {
-                if self.sched.needs_revocation(cpu) && self.revoke_requested[cpu].is_none() {
-                    self.revoke_requested[cpu] = Some(self.now);
+            // revocable starts the revocation-latency clock now. Only
+            // CPUs on the loaned list can need revocation.
+            let mut needs_any = false;
+            let mut cpu = 0;
+            while let Some(c) = self.sched.next_loaned_cpu(cpu) {
+                if self.sched.needs_revocation(c) {
+                    needs_any = true;
+                    if self.revoke_requested[c].is_none() {
+                        self.revoke_requested[c] = Some(self.now);
+                    }
                 }
+                cpu = c + 1;
             }
-            if self.cfg.tuning.ipi_revocation && !self.ipi_pending {
+            if self.cfg.tuning.ipi_revocation && !self.ipi_pending && needs_any {
                 // If one of this SPU's home CPUs is out on loan, interrupt
                 // it now rather than waiting for the tick. The IPI is
                 // delivered as a same-timestamp event so revocation never
                 // re-enters the interpreter of the CPU that woke us.
-                let needs = (0..self.sched.cpu_count()).any(|c| self.sched.needs_revocation(c));
-                if needs {
-                    self.ipi_pending = true;
-                    self.events.schedule(self.now, Event::Ipi);
-                }
+                self.ipi_pending = true;
+                self.events.schedule(self.now, Event::Ipi);
             }
         }
     }
@@ -70,7 +74,7 @@ impl Kernel {
         if !self.sched.cpu(cpu).is_idle() {
             return;
         }
-        let Some((pid, loaned)) = self.sched.pick(&self.procs, cpu) else {
+        let Some((pid, loaned)) = self.sched.pick(&mut self.procs, cpu) else {
             let c = self.sched.cpu_mut(cpu);
             if c.idle_since.is_none() {
                 c.idle_since = Some(self.now);
@@ -87,6 +91,7 @@ impl Kernel {
         c.run_start = self.now;
         c.slice_end = self.now + slice;
         c.gen += 1;
+        self.sched.sync_cpu(cpu);
         let spu = self.procs.get(pid).spu;
         self.trace.push(TraceEvent::Dispatch {
             at: self.now,
@@ -129,6 +134,7 @@ impl Kernel {
         c.gen += 1;
         c.loaned = false;
         c.idle_since = Some(self.now);
+        self.sched.sync_cpu(cpu);
         // §3.1 revocation latency: a home wake-up marked this loaned CPU
         // revocable; the borrower leaving it (preempt at the tick/IPI, or
         // a voluntary kernel entry) completes the revocation.
@@ -213,19 +219,27 @@ impl Kernel {
         self.sched.decay_priorities(&mut self.procs);
         // Loan revocation (§3.1): "the revocation of the CPU happens
         // either at the next clock tick interrupt (every 10 ms), or when
-        // the process voluntarily enters the kernel."
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.needs_revocation(cpu) {
-                self.preempt(cpu);
-                self.dispatch(cpu);
+        // the process voluntarily enters the kernel." The loaned list is
+        // read live: a dispatch inside the loop can create a new loan on
+        // a later CPU, which this sweep must still visit.
+        let mut cpu = 0;
+        while let Some(c) = self.sched.next_loaned_cpu(cpu) {
+            if self.sched.needs_revocation(c) {
+                self.preempt(c);
+                self.dispatch(c);
             }
+            cpu = c + 1;
         }
         // Fill any CPUs that went idle while no wake event fired (e.g.
-        // after a revocation shuffle).
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.cpu(cpu).is_idle() {
-                self.dispatch(cpu);
+        // after a revocation shuffle). Offline-idle CPUs aren't on the
+        // free list, and dispatching them was already a no-op.
+        let mut cpu = 0;
+        while let Some(c) = self.sched.next_idle_cpu(cpu) {
+            if self.sched.ready_count() == 0 {
+                break;
             }
+            self.dispatch(c);
+            cpu = c + 1;
         }
         if self.live_procs > 0 {
             self.events
@@ -262,6 +276,7 @@ impl Kernel {
             let was_loaned = c.loaned;
             c.loaned = false;
             c.idle_since = Some(self.now);
+            self.sched.sync_cpu(cpu);
             if let Some(requested) = self.revoke_requested[cpu].take() {
                 if was_loaned {
                     let delay = self.now.saturating_since(requested);

@@ -80,11 +80,14 @@ impl Kernel {
             Event::Ipi => {
                 self.ipi_pending = false;
                 self.sched_counts.ipis += 1;
-                for cpu in 0..self.sched.cpu_count() {
-                    if self.sched.needs_revocation(cpu) {
-                        self.preempt(cpu);
-                        self.dispatch(cpu);
+                // Live sweep over the loaned list (see `on_tick`).
+                let mut cpu = 0;
+                while let Some(c) = self.sched.next_loaned_cpu(cpu) {
+                    if self.sched.needs_revocation(c) {
+                        self.preempt(c);
+                        self.dispatch(c);
                     }
+                    cpu = c + 1;
                 }
             }
             Event::Sample => {

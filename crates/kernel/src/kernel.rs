@@ -47,7 +47,7 @@ use crate::vm::MemoryManager;
 /// use smp_kernel::{Kernel, MachineConfig, Program};
 /// use spu_core::{Scheme, SpuId, SpuSet};
 ///
-/// let cfg = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+/// let cfg = MachineConfig::builder().topology(2, 32, 1).scheme(Scheme::PIso).build().unwrap();
 /// let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
 /// let prog = Program::builder("spin")
 ///     .compute(SimDuration::from_millis(50), 0)
@@ -268,12 +268,13 @@ impl Kernel {
             }
         }
         let sectors_per_disk = DiskModel::hp97560().total_sectors();
-        let vm = MemoryManager::new(
+        let vm = MemoryManager::with_shards(
             cfg.total_frames(),
             &spus,
             cfg.scheme,
             cfg.tuning.kernel_mem_frac,
             cfg.tuning.reserve_frac,
+            cfg.cpus,
         );
         let sched = Scheduler::new(cfg.scheme, cfg.cpus, &spus);
         let locks = LockTable::new(!cfg.tuning.rw_inode_lock);
@@ -776,7 +777,7 @@ impl Kernel {
                 .all_ids()
                 .map(|id| self.vm.stats(id).clone())
                 .collect(),
-            mem_levels: self.spus.all_ids().map(|id| *self.vm.levels(id)).collect(),
+            mem_levels: self.spus.all_ids().map(|id| self.vm.levels(id)).collect(),
             cache: self.cache.stats(),
             disks: self.disks.iter().map(|d| d.stats().clone()).collect(),
             obsv,

@@ -29,7 +29,7 @@
 //! use spu_core::{Scheme, SpuId, SpuSet};
 //!
 //! // Two SPUs on a 2-CPU machine under performance isolation.
-//! let cfg = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+//! let cfg = MachineConfig::builder().topology(2, 32, 1).scheme(Scheme::PIso).build().unwrap();
 //! let mut kernel = Kernel::new(cfg, SpuSet::equal_users(2));
 //! let spin = Program::builder("spin")
 //!     .compute(SimDuration::from_millis(100), 0)

@@ -57,14 +57,17 @@ impl Kernel {
                 page += 1;
                 continue;
             }
-            let (frame, evicted) = match self.vm.acquire_frame(spu, FrameOwner::Anon { pid, page })
-            {
-                Acquired::Frame { frame, evicted } => (frame, evicted),
-                Acquired::Denied => {
-                    denied = true;
-                    break;
-                }
-            };
+            let (frame, evicted) =
+                match self
+                    .vm
+                    .acquire_frame_on(cpu, spu, FrameOwner::Anon { pid, page })
+                {
+                    Acquired::Frame { frame, evicted } => (frame, evicted),
+                    Acquired::Denied => {
+                        denied = true;
+                        break;
+                    }
+                };
             if let Some(ev) = evicted {
                 self.note_steal(spu, &ev);
                 self.handle_eviction(ev, Some(pid));

@@ -698,7 +698,11 @@ mod tests {
     fn slo_empty_window_yields_empty_report() {
         use crate::{Kernel, MachineConfig};
         use spu_core::{Scheme, SpuSet};
-        let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+        let cfg = MachineConfig::builder()
+            .topology(1, 44, 1)
+            .scheme(Scheme::Smp)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         k.enable_slo(SimDuration::from_millis(10));
         let m = k.run(SimTime::from_millis(5));
@@ -710,7 +714,11 @@ mod tests {
     fn slo_single_sample_percentiles_collapse() {
         use crate::{Kernel, MachineConfig, Program};
         use spu_core::{Scheme, SpuSet};
-        let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+        let cfg = MachineConfig::builder()
+            .topology(1, 44, 1)
+            .scheme(Scheme::Smp)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         k.enable_slo(SimDuration::from_millis(10));
         let prog = Program::builder("one")
@@ -730,7 +738,11 @@ mod tests {
     fn slo_unfinished_jobs_all_count_violated() {
         use crate::{Kernel, MachineConfig, Program};
         use spu_core::{Scheme, SpuSet};
-        let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+        let cfg = MachineConfig::builder()
+            .topology(1, 44, 1)
+            .scheme(Scheme::Smp)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         k.enable_slo(SimDuration::from_millis(10));
         let prog = Program::builder("hog")
@@ -758,9 +770,12 @@ mod tests {
             shed_policy: ShedPolicy::DeadlineAware,
             ..Tuning::default()
         };
-        let cfg = MachineConfig::new(1, 44, 1)
-            .with_scheme(Scheme::Smp)
-            .with_tuning(tuning);
+        let cfg = MachineConfig::builder()
+            .topology(1, 44, 1)
+            .scheme(Scheme::Smp)
+            .tuning(tuning)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         k.enable_slo(SimDuration::from_millis(10));
         let prog = Program::builder("req")

@@ -166,6 +166,9 @@ impl Kernel {
     /// Violations surface as the `audit.violations` counter, never as a
     /// panic.
     pub(crate) fn audit_ledger(&mut self) {
+        // Policy-pass boundary: fold per-CPU shard deltas so the
+        // auditor's conservation check runs against exact global books.
+        self.vm.fold_ledger();
         let denials: u64 = self
             .spus
             .all_ids()
@@ -384,7 +387,7 @@ impl Kernel {
     /// CPUs. Audits that the re-derived entitlements still fit the
     /// machine (conservation under reconfiguration).
     pub(crate) fn rebalance_cpus(&mut self) {
-        self.sched.rebalance(&self.procs);
+        self.sched.rebalance(&mut self.procs);
         let online = self.sched.online_count();
         if online == 0 {
             return;
@@ -405,16 +408,21 @@ impl Kernel {
                 .map(|id| partition.milli_cpus(id) as f64 / 1000.0)
                 .collect();
         }
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.needs_revocation(cpu) {
-                self.preempt(cpu);
-                self.dispatch(cpu);
+        let mut cpu = 0;
+        while let Some(c) = self.sched.next_loaned_cpu(cpu) {
+            if self.sched.needs_revocation(c) {
+                self.preempt(c);
+                self.dispatch(c);
             }
+            cpu = c + 1;
         }
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.cpu(cpu).online && self.sched.cpu(cpu).is_idle() {
-                self.dispatch(cpu);
+        let mut cpu = 0;
+        while let Some(c) = self.sched.next_idle_cpu(cpu) {
+            if self.sched.ready_count() == 0 {
+                break;
             }
+            self.dispatch(c);
+            cpu = c + 1;
         }
     }
 
@@ -450,7 +458,7 @@ impl Kernel {
                 }
             }
             ProcState::Ready => {
-                self.sched.dequeue(&self.procs, pid);
+                self.sched.dequeue(&mut self.procs, pid);
             }
             _ => {}
         }
@@ -481,10 +489,13 @@ impl Kernel {
             self.make_ready(w);
         }
         self.exit_process(pid, true);
-        for cpu in 0..self.sched.cpu_count() {
-            if self.sched.cpu(cpu).online && self.sched.cpu(cpu).is_idle() {
-                self.dispatch(cpu);
+        let mut cpu = 0;
+        while let Some(c) = self.sched.next_idle_cpu(cpu) {
+            if self.sched.ready_count() == 0 {
+                break;
             }
+            self.dispatch(c);
+            cpu = c + 1;
         }
     }
 

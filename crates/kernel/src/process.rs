@@ -158,6 +158,12 @@ pub struct Process {
     pub p_cpu: f64,
     /// FIFO tie-break stamp maintained by the scheduler.
     pub ready_seq: u64,
+    /// Per-CPU run queue currently holding this process, or
+    /// [`NO_QUEUE`](crate::sched::NO_QUEUE) when not queued. Maintained
+    /// by the scheduler so dequeue is O(1) instead of a queue scan.
+    pub(crate) run_q: u32,
+    /// Slot inside that queue (kept current under swap-removal).
+    pub(crate) run_q_slot: u32,
     /// Page table of the anonymous region.
     pub pages: Vec<PageState>,
     /// Private outstanding disk operations ([`MicroOp::AwaitIo`]).
@@ -198,6 +204,8 @@ impl Process {
             state: ProcState::Ready,
             p_cpu: 0.0,
             ready_seq: 0,
+            run_q: crate::sched::NO_QUEUE,
+            run_q_slot: 0,
             pages: Vec::new(),
             pending_io: 0,
             io_errors: 0,

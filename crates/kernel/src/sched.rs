@@ -9,11 +9,32 @@
 //! Priorities are classic UNIX decay-usage: a process's `p_cpu` rises
 //! while it runs and decays over time; lower values win. Between
 //! processes of the same SPU the standard discipline applies unchanged.
+//!
+//! # Scaling structure
+//!
+//! Ready processes live on **per-CPU run queues**: a wake-up places the
+//! process on the least-loaded online home CPU of its SPU, and a CPU's
+//! home pick scans only its SPU's home queues. Cross-SPU work stealing
+//! (the SMP global pick and the PIso idle-CPU loan) scans the non-empty
+//! queues — same-SPU work always wins first, and a stolen pick is
+//! marked `loaned` exactly as before. Because every pick minimizes the
+//! globally unique key `(priority band, ready_seq)` over the same
+//! candidate set the old per-SPU queues exposed, scheduling decisions
+//! are *byte-identical* to the single-queue scheduler; only the scan
+//! cost changes. Idle CPUs sit on an ordered free list so wake-up
+//! placement is O(log CPUs) instead of a linear availability scan, and
+//! CPUs running borrowed processes sit on a loaned list so revocation
+//! scans touch only actual loans.
+
+use std::collections::BTreeSet;
 
 use event_sim::{SimDuration, SimTime};
 use spu_core::{CpuAssignment, CpuPartition, Scheme, SharedCpuRotor, SpuId, SpuSet};
 
 use crate::process::{Pid, ProcState, Process};
+
+/// Sentinel for "not on any run queue" in [`Process::run_q`].
+pub(crate) const NO_QUEUE: u32 = u32::MAX;
 
 /// Per-tick multiplicative decay of `p_cpu` (half-life ≈ 1 s at a 10 ms
 /// tick).
@@ -167,7 +188,22 @@ impl CpuState {
 pub struct Scheduler {
     scheme: Scheme,
     cpus: Vec<CpuState>,
-    ready: Vec<Vec<Pid>>,
+    /// Per-CPU run queues, plus one trailing queue for processes whose
+    /// SPU has no home CPU (kernel/shared-SPU work).
+    queues: Vec<Vec<Pid>>,
+    /// Queues with at least one entry; global scans skip the rest.
+    busy_queues: BTreeSet<usize>,
+    /// Ready-process count per SPU (dense [`SpuId::index`]).
+    spu_ready: Vec<u32>,
+    /// Total queued processes.
+    total_ready: usize,
+    /// Home CPUs of each SPU in ascending CPU index; rebuilt on
+    /// rebalance.
+    spu_home: Vec<Vec<u32>>,
+    /// The idle free list: online CPUs with no running process.
+    idle: BTreeSet<usize>,
+    /// Online CPUs currently running a borrowed (loaned) process.
+    loaned: BTreeSet<usize>,
     seq: u64,
     spus: SpuSet,
 }
@@ -176,7 +212,7 @@ impl Scheduler {
     /// Creates the scheduler, computing the hybrid CPU partition.
     pub fn new(scheme: Scheme, n_cpus: usize, spus: &SpuSet) -> Self {
         let partition = CpuPartition::compute(n_cpus, spus);
-        Scheduler {
+        let mut s = Scheduler {
             scheme,
             cpus: partition
                 .assignments()
@@ -184,10 +220,68 @@ impl Scheduler {
                 .cloned()
                 .map(CpuState::new)
                 .collect(),
-            ready: vec![Vec::new(); spus.total_count()],
+            queues: vec![Vec::new(); n_cpus + 1],
+            busy_queues: BTreeSet::new(),
+            spu_ready: vec![0; spus.total_count()],
+            total_ready: 0,
+            spu_home: vec![Vec::new(); spus.total_count()],
+            idle: (0..n_cpus).collect(),
+            loaned: BTreeSet::new(),
             seq: 0,
             spus: spus.clone(),
+        };
+        s.rebuild_homes();
+        s
+    }
+
+    /// Rebuilds the SPU → home-CPU index from the online CPUs'
+    /// assignments (ascending CPU order).
+    fn rebuild_homes(&mut self) {
+        for home in &mut self.spu_home {
+            home.clear();
         }
+        for (i, c) in self.cpus.iter().enumerate() {
+            if !c.online {
+                continue;
+            }
+            match &c.assignment {
+                CpuAssignment::Dedicated(spu) => self.spu_home[spu.index()].push(i as u32),
+                CpuAssignment::TimeShared(entries) => {
+                    for (spu, _) in entries {
+                        self.spu_home[spu.index()].push(i as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reconciles the idle free list and the loaned list with a CPU's
+    /// state. Call after mutating `running`, `loaned` or `online`
+    /// outside the scheduler's own methods.
+    pub fn sync_cpu(&mut self, i: usize) {
+        let c = &self.cpus[i];
+        if c.is_available() {
+            self.idle.insert(i);
+        } else {
+            self.idle.remove(&i);
+        }
+        if c.online && c.loaned && c.running.is_some() {
+            self.loaned.insert(i);
+        } else {
+            self.loaned.remove(&i);
+        }
+    }
+
+    /// The lowest loaned CPU index `>= from`, reading live state so
+    /// revocation sweeps match a full ascending scan exactly.
+    pub fn next_loaned_cpu(&self, from: usize) -> Option<usize> {
+        self.loaned.range(from..).next().copied()
+    }
+
+    /// The lowest idle online CPU index `>= from` (live view of the
+    /// free list).
+    pub fn next_idle_cpu(&self, from: usize) -> Option<usize> {
+        self.idle.range(from..).next().copied()
     }
 
     /// Number of CPUs.
@@ -205,7 +299,9 @@ impl Scheduler {
         &mut self.cpus[i]
     }
 
-    /// Puts a ready process on its SPU's run queue.
+    /// Puts a ready process on a run queue: the least-loaded online home
+    /// CPU of its SPU (ties to the lowest index), or the homeless queue
+    /// when its SPU has no home CPU.
     ///
     /// # Panics
     ///
@@ -217,66 +313,122 @@ impl Scheduler {
         let spu = p.spu;
         p.ready_seq = self.seq;
         self.seq += 1;
-        debug_assert!(
-            !self.ready[spu.index()].contains(&pid),
-            "{pid:?} queued twice"
-        );
-        self.ready[spu.index()].push(pid);
+        debug_assert_eq!(p.run_q, NO_QUEUE, "{pid:?} queued twice");
+        let q = self.place(spu);
+        self.push_to(procs, q, pid);
+    }
+
+    /// The queue a newly ready process of `spu` lands on.
+    fn place(&self, spu: SpuId) -> usize {
+        let mut best: Option<(usize, usize)> = None; // (len, queue)
+        for &c in &self.spu_home[spu.index()] {
+            let len = self.queues[c as usize].len();
+            if len == 0 {
+                return c as usize;
+            }
+            if best.is_none_or(|(bl, _)| len < bl) {
+                best = Some((len, c as usize));
+            }
+        }
+        best.map(|(_, q)| q).unwrap_or(self.queues.len() - 1)
+    }
+
+    fn push_to(&mut self, procs: &mut ProcTable, q: usize, pid: Pid) {
+        let p = procs.get_mut(pid);
+        let spu = p.spu;
+        p.run_q = q as u32;
+        p.run_q_slot = self.queues[q].len() as u32;
+        self.queues[q].push(pid);
+        self.busy_queues.insert(q);
+        self.spu_ready[spu.index()] += 1;
+        self.total_ready += 1;
+    }
+
+    /// Removes the entry at `(q, slot)`, patching the swapped-in
+    /// element's membership record.
+    fn remove_at(&mut self, procs: &mut ProcTable, q: usize, slot: usize) -> Pid {
+        let queue = &mut self.queues[q];
+        let pid = queue.swap_remove(slot);
+        if let Some(&moved) = queue.get(slot) {
+            procs.get_mut(moved).run_q_slot = slot as u32;
+        }
+        if queue.is_empty() {
+            self.busy_queues.remove(&q);
+        }
+        let p = procs.get_mut(pid);
+        p.run_q = NO_QUEUE;
+        self.spu_ready[p.spu.index()] -= 1;
+        self.total_ready -= 1;
+        pid
     }
 
     /// Whether any process is queued for `spu`.
     pub fn has_ready(&self, spu: SpuId) -> bool {
-        !self.ready[spu.index()].is_empty()
+        self.spu_ready[spu.index()] > 0
     }
 
     /// Total queued processes.
     pub fn ready_count(&self) -> usize {
-        self.ready.iter().map(Vec::len).sum()
+        self.total_ready
     }
 
     /// Removes and returns the highest-priority ready process of `spu`
-    /// (lowest priority band, then FIFO).
-    fn take_best_of(&mut self, procs: &ProcTable, spu: SpuId) -> Option<Pid> {
-        let queue = &mut self.ready[spu.index()];
-        let best = queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &pid)| {
+    /// (lowest priority band, then FIFO), scanning only the SPU's home
+    /// queues.
+    fn take_best_of(&mut self, procs: &mut ProcTable, spu: SpuId) -> Option<Pid> {
+        if self.spu_ready[spu.index()] == 0 {
+            return None;
+        }
+        let homeless = [(self.queues.len() - 1) as u32];
+        let home = &self.spu_home[spu.index()];
+        let candidates: &[u32] = if home.is_empty() { &homeless } else { home };
+        let mut best: Option<(i64, u64, usize, usize)> = None;
+        for &qi in candidates {
+            for (slot, &pid) in self.queues[qi as usize].iter().enumerate() {
                 let p = procs.get(pid);
-                (priority_band(p), p.ready_seq)
-            })
-            .map(|(i, _)| i)?;
-        Some(queue.swap_remove(best))
-    }
-
-    /// Removes and returns the globally highest-priority ready process.
-    fn take_best_global(&mut self, procs: &ProcTable) -> Option<(SpuId, Pid)> {
-        let mut best: Option<(i64, u64, SpuId)> = None;
-        for spu in self.spus.all_ids() {
-            if let Some(&pid) = self.ready[spu.index()].iter().min_by_key(|&&pid| {
-                let p = procs.get(pid);
-                (priority_band(p), p.ready_seq)
-            }) {
-                let p = procs.get(pid);
+                if p.spu != spu {
+                    continue;
+                }
                 let key = (priority_band(p), p.ready_seq);
-                if best.is_none_or(|(bb, bs, _)| key < (bb, bs)) {
-                    best = Some((key.0, key.1, spu));
+                if best.is_none_or(|(bb, bs, _, _)| key < (bb, bs)) {
+                    best = Some((key.0, key.1, qi as usize, slot));
                 }
             }
         }
-        let (_, _, spu) = best?;
-        let pid = self.take_best_of(procs, spu)?;
-        Some((spu, pid))
+        let (_, _, q, slot) = best?;
+        Some(self.remove_at(procs, q, slot))
+    }
+
+    /// Removes and returns the globally highest-priority ready process
+    /// (the cross-SPU steal), scanning only non-empty queues.
+    fn take_best_global(&mut self, procs: &mut ProcTable) -> Option<Pid> {
+        if self.total_ready == 0 {
+            return None;
+        }
+        let mut best: Option<(i64, u64, usize, usize)> = None;
+        for &q in &self.busy_queues {
+            for (slot, &pid) in self.queues[q].iter().enumerate() {
+                let p = procs.get(pid);
+                let key = (priority_band(p), p.ready_seq);
+                if best.is_none_or(|(bb, bs, _, _)| key < (bb, bs)) {
+                    best = Some((key.0, key.1, q, slot));
+                }
+            }
+        }
+        let (_, _, q, slot) = best?;
+        Some(self.remove_at(procs, q, slot))
     }
 
     /// Chooses the next process for CPU `cpu_idx` following the scheme's
     /// rules. Returns `(pid, loaned)` or `None` if the CPU should idle.
-    pub fn pick(&mut self, procs: &ProcTable, cpu_idx: usize) -> Option<(Pid, bool)> {
+    /// Steal order: the CPU's home SPUs first, then (PIso) any SPU with
+    /// the pick marked as a loan.
+    pub fn pick(&mut self, procs: &mut ProcTable, cpu_idx: usize) -> Option<(Pid, bool)> {
         if !self.cpus[cpu_idx].online {
             return None;
         }
         if self.scheme == Scheme::Smp {
-            return self.take_best_global(procs).map(|(_, pid)| (pid, false));
+            return self.take_best_global(procs).map(|pid| (pid, false));
         }
         // Home pick.
         let assignment = self.cpus[cpu_idx].assignment.clone();
@@ -286,7 +438,7 @@ impl Scheduler {
                 let mut rotor = self.cpus[cpu_idx].rotor.take();
                 let granted = rotor
                     .as_mut()
-                    .and_then(|r| r.grant(|spu| !self.ready[spu.index()].is_empty()));
+                    .and_then(|r| r.grant(|spu| self.spu_ready[spu.index()] > 0));
                 self.cpus[cpu_idx].rotor = rotor;
                 granted.and_then(|spu| self.take_best_of(procs, spu))
             }
@@ -297,25 +449,28 @@ impl Scheduler {
         if self.scheme == Scheme::PIso {
             // Idle CPU: relax the SPU restriction and loan the CPU to the
             // highest-priority process of any SPU.
-            return self.take_best_global(procs).map(|(_, pid)| (pid, true));
+            return self.take_best_global(procs).map(|pid| (pid, true));
         }
         None
     }
 
-    /// Finds an idle CPU suitable for a newly runnable process of `spu`:
-    /// an idle home CPU first, then (PIso/SMP) any idle CPU.
+    /// Finds an idle CPU suitable for a newly runnable process of `spu`
+    /// via the free list: the lowest-index idle home CPU first, then
+    /// (PIso/SMP) the lowest-index idle CPU overall.
     pub fn find_idle_for(&self, spu: SpuId) -> Option<usize> {
         if self.scheme != Scheme::Smp {
-            if let Some(i) = self
-                .cpus
-                .iter()
-                .position(|c| c.is_available() && c.assignment.is_home_of(spu))
-            {
-                return Some(i);
+            let mut best: Option<usize> = None;
+            for &c in &self.spu_home[spu.index()] {
+                if self.idle.contains(&(c as usize)) && best.is_none_or(|b| (c as usize) < b) {
+                    best = Some(c as usize);
+                }
+            }
+            if best.is_some() {
+                return best;
             }
         }
         if self.scheme.shares_idle_resources() || !spu.is_user() {
-            self.cpus.iter().position(|c| c.is_available())
+            self.idle.first().copied()
         } else {
             None
         }
@@ -328,16 +483,20 @@ impl Scheduler {
         if !c.online || !c.loaned || c.running.is_none() {
             return false;
         }
-        c.assignment
-            .home_spus()
-            .iter()
-            .any(|spu| !self.ready[spu.index()].is_empty())
+        match &c.assignment {
+            CpuAssignment::Dedicated(spu) => self.spu_ready[spu.index()] > 0,
+            CpuAssignment::TimeShared(entries) => entries
+                .iter()
+                .any(|(spu, _)| self.spu_ready[spu.index()] > 0),
+        }
     }
 
-    /// Marks a CPU online or offline. The caller handles preempting a
-    /// running process and rebalancing the partition.
+    /// Marks a CPU online or offline (updating the free list). The
+    /// caller handles preempting a running process and rebalancing the
+    /// partition.
     pub fn set_online(&mut self, cpu_idx: usize, online: bool) {
         self.cpus[cpu_idx].online = online;
+        self.sync_cpu(cpu_idx);
     }
 
     /// Number of online CPUs.
@@ -350,8 +509,10 @@ impl Scheduler {
     /// a stale assignment but can never be picked). Loan flags of
     /// running processes are recomputed against the new homes, so
     /// [`needs_revocation`](Self::needs_revocation) revokes loans that
-    /// exceed an SPU's shrunken share.
-    pub fn rebalance(&mut self, procs: &ProcTable) {
+    /// exceed an SPU's shrunken share. Queued processes are re-placed on
+    /// their SPUs' new home CPUs in arrival order (their FIFO stamps are
+    /// preserved).
+    pub fn rebalance(&mut self, procs: &mut ProcTable) {
         let online: Vec<usize> = (0..self.cpus.len())
             .filter(|&i| self.cpus[i].online)
             .collect();
@@ -371,19 +532,37 @@ impl Scheduler {
                     self.scheme != Scheme::Smp && !c.assignment.is_home_of(procs.get(pid).spu);
             }
         }
+        self.rebuild_homes();
+        // Membership must follow the new partition: drain every queue
+        // and re-place in arrival order without re-stamping.
+        let mut queued: Vec<Pid> = Vec::with_capacity(self.total_ready);
+        for q in 0..self.queues.len() {
+            queued.append(&mut self.queues[q]);
+        }
+        queued.sort_unstable_by_key(|&pid| procs.get(pid).ready_seq);
+        self.busy_queues.clear();
+        self.spu_ready.fill(0);
+        self.total_ready = 0;
+        for pid in queued {
+            let q = self.place(procs.get(pid).spu);
+            self.push_to(procs, q, pid);
+        }
+        for i in 0..self.cpus.len() {
+            self.sync_cpu(i);
+        }
     }
 
-    /// Removes a queued process from its SPU's run queue (crash
-    /// recovery). Returns whether it was queued.
-    pub fn dequeue(&mut self, procs: &ProcTable, pid: Pid) -> bool {
-        let queue = &mut self.ready[procs.get(pid).spu.index()];
-        match queue.iter().position(|&p| p == pid) {
-            Some(i) => {
-                queue.swap_remove(i);
-                true
-            }
-            None => false,
+    /// Removes a queued process from its run queue (crash recovery) in
+    /// O(1) via its membership record. Returns whether it was queued.
+    pub fn dequeue(&mut self, procs: &mut ProcTable, pid: Pid) -> bool {
+        let p = procs.get(pid);
+        if p.run_q == NO_QUEUE {
+            return false;
         }
+        let (q, slot) = (p.run_q as usize, p.run_q_slot as usize);
+        debug_assert_eq!(self.queues[q][slot], pid, "stale queue membership");
+        self.remove_at(procs, q, slot);
+        true
     }
 
     /// Applies priority decay to every process (called each tick).
@@ -430,7 +609,7 @@ mod tests {
         procs.get_mut(Pid(1)).p_cpu = 1.0;
         s.enqueue(&mut procs, Pid(0));
         s.enqueue(&mut procs, Pid(1));
-        let (pid, loaned) = s.pick(&procs, 0).unwrap();
+        let (pid, loaned) = s.pick(&mut procs, 0).unwrap();
         assert_eq!(pid, Pid(1));
         assert!(!loaned);
     }
@@ -449,7 +628,7 @@ mod tests {
         } else {
             0
         };
-        assert!(s.pick(&procs, cpu_for_user1).is_none());
+        assert!(s.pick(&mut procs, cpu_for_user1).is_none());
     }
 
     #[test]
@@ -461,7 +640,7 @@ mod tests {
         let cpu_of_user0 = (0..2)
             .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(0)))
             .unwrap();
-        let (pid, loaned) = s.pick(&procs, cpu_of_user0).unwrap();
+        let (pid, loaned) = s.pick(&mut procs, cpu_of_user0).unwrap();
         assert_eq!(pid, Pid(0));
         assert!(loaned, "cross-SPU pick must be marked as a loan");
     }
@@ -480,7 +659,7 @@ mod tests {
             .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(0)))
             .unwrap();
         // ...but the home CPU still picks its own SPU's process.
-        let (pid, loaned) = s.pick(&procs, cpu_of_user0).unwrap();
+        let (pid, loaned) = s.pick(&mut procs, cpu_of_user0).unwrap();
         assert_eq!(pid, Pid(0));
         assert!(!loaned);
     }
@@ -495,11 +674,12 @@ mod tests {
             .unwrap();
         // Loan user0's CPU to user1's process.
         s.enqueue(&mut procs, Pid(1));
-        let (pid, loaned) = s.pick(&procs, cpu_of_user0).unwrap();
+        let (pid, loaned) = s.pick(&mut procs, cpu_of_user0).unwrap();
         assert_eq!(pid, Pid(1));
         assert!(loaned);
         s.cpu_mut(cpu_of_user0).running = Some(pid);
         s.cpu_mut(cpu_of_user0).loaned = true;
+        s.sync_cpu(cpu_of_user0);
         assert!(!s.needs_revocation(cpu_of_user0));
         // A home process becomes ready: revocation needed.
         s.enqueue(&mut procs, Pid(0));
@@ -514,10 +694,10 @@ mod tests {
         s.enqueue(&mut procs, Pid(2));
         s.enqueue(&mut procs, Pid(0));
         s.enqueue(&mut procs, Pid(1));
-        assert_eq!(s.pick(&procs, 0).unwrap().0, Pid(2));
-        assert_eq!(s.pick(&procs, 0).unwrap().0, Pid(0));
-        assert_eq!(s.pick(&procs, 0).unwrap().0, Pid(1));
-        assert!(s.pick(&procs, 0).is_none());
+        assert_eq!(s.pick(&mut procs, 0).unwrap().0, Pid(2));
+        assert_eq!(s.pick(&mut procs, 0).unwrap().0, Pid(0));
+        assert_eq!(s.pick(&mut procs, 0).unwrap().0, Pid(1));
+        assert!(s.pick(&mut procs, 0).is_none());
     }
 
     #[test]
@@ -536,6 +716,7 @@ mod tests {
             .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(1)))
             .unwrap();
         s.cpu_mut(home1).running = Some(Pid(0));
+        s.sync_cpu(home1);
         // user1's home CPU is busy; Quota must not hand out the other CPU.
         assert_eq!(s.find_idle_for(SpuId::user(1)), None);
     }
@@ -559,25 +740,25 @@ mod tests {
         s.enqueue(&mut procs, Pid(0));
         s.set_online(0, false);
         assert_eq!(s.online_count(), 1);
-        assert!(s.pick(&procs, 0).is_none(), "offline CPU must not pick");
+        assert!(s.pick(&mut procs, 0).is_none(), "offline CPU must not pick");
         assert_eq!(s.find_idle_for(SpuId::user(0)), Some(1));
         s.set_online(0, true);
-        assert!(s.pick(&procs, 0).is_some());
+        assert!(s.pick(&mut procs, 0).is_some());
     }
 
     #[test]
     fn rebalance_rehomes_surviving_cpus() {
         let spus = SpuSet::equal_users(2);
         let mut s = Scheduler::new(Scheme::Quota, 2, &spus);
-        let procs = table_with(2, SpuId::user);
+        let mut procs = table_with(2, SpuId::user);
         s.set_online(0, false);
-        s.rebalance(&procs);
+        s.rebalance(&mut procs);
         // The lone surviving CPU must now be home to both SPUs.
         assert!(s.cpu(1).assignment.is_home_of(SpuId::user(0)));
         assert!(s.cpu(1).assignment.is_home_of(SpuId::user(1)));
         // Coming back online and rebalancing restores dedicated homes.
         s.set_online(0, true);
-        s.rebalance(&procs);
+        s.rebalance(&mut procs);
         let homes_0 = s.cpu(0).assignment.is_home_of(SpuId::user(0))
             || s.cpu(1).assignment.is_home_of(SpuId::user(0));
         assert!(homes_0);
@@ -592,15 +773,16 @@ mod tests {
             .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(0)))
             .unwrap();
         s.enqueue(&mut procs, Pid(0));
-        let (pid, loaned) = s.pick(&procs, cpu_of_user0).unwrap();
+        let (pid, loaned) = s.pick(&mut procs, cpu_of_user0).unwrap();
         assert!(loaned);
         s.cpu_mut(cpu_of_user0).running = Some(pid);
         s.cpu_mut(cpu_of_user0).loaned = true;
+        s.sync_cpu(cpu_of_user0);
         // The other CPU dies; the survivor becomes home to both SPUs, so
         // the borrowed process is no longer a loan.
         let other = 1 - cpu_of_user0;
         s.set_online(other, false);
-        s.rebalance(&procs);
+        s.rebalance(&mut procs);
         assert!(!s.cpu(cpu_of_user0).loaned);
     }
 
@@ -610,10 +792,65 @@ mod tests {
         let mut s = Scheduler::new(Scheme::PIso, 1, &spus);
         let mut procs = table_with(2, |_| SpuId::user(0));
         s.enqueue(&mut procs, Pid(0));
-        assert!(s.dequeue(&procs, Pid(0)));
-        assert!(!s.dequeue(&procs, Pid(0)));
-        assert!(!s.dequeue(&procs, Pid(1)));
+        assert!(s.dequeue(&mut procs, Pid(0)));
+        assert!(!s.dequeue(&mut procs, Pid(0)));
+        assert!(!s.dequeue(&mut procs, Pid(1)));
         assert_eq!(s.ready_count(), 0);
+    }
+
+    #[test]
+    fn requeue_after_preempt_goes_behind_equal_band() {
+        // A preempted process re-enters its band *behind* peers that
+        // kept waiting: requeue re-stamps the FIFO sequence.
+        let spus = SpuSet::equal_users(1);
+        let mut s = Scheduler::new(Scheme::PIso, 1, &spus);
+        let mut procs = table_with(3, |_| SpuId::user(0));
+        s.enqueue(&mut procs, Pid(0));
+        s.enqueue(&mut procs, Pid(1));
+        s.enqueue(&mut procs, Pid(2));
+        // Pid(0) runs, then is preempted and requeued.
+        assert_eq!(s.pick(&mut procs, 0).unwrap().0, Pid(0));
+        s.enqueue(&mut procs, Pid(0));
+        assert_eq!(s.pick(&mut procs, 0).unwrap().0, Pid(1));
+        assert_eq!(s.pick(&mut procs, 0).unwrap().0, Pid(2));
+        assert_eq!(s.pick(&mut procs, 0).unwrap().0, Pid(0));
+        assert!(s.pick(&mut procs, 0).is_none());
+    }
+
+    #[test]
+    fn queue_membership_survives_swap_removal() {
+        // Dequeueing from the middle swap-fills the hole; the moved
+        // process's slot record must stay accurate so its own O(1)
+        // dequeue still lands on the right entry.
+        let spus = SpuSet::equal_users(1);
+        let mut s = Scheduler::new(Scheme::PIso, 1, &spus);
+        let mut procs = table_with(4, |_| SpuId::user(0));
+        for i in 0..4 {
+            s.enqueue(&mut procs, Pid(i));
+        }
+        assert!(s.dequeue(&mut procs, Pid(1)));
+        assert!(s.dequeue(&mut procs, Pid(3))); // swapped into slot 1
+        assert!(s.dequeue(&mut procs, Pid(0)));
+        assert!(s.dequeue(&mut procs, Pid(2)));
+        assert_eq!(s.ready_count(), 0);
+        assert!(!s.has_ready(SpuId::user(0)));
+    }
+
+    #[test]
+    fn rebalance_preserves_fifo_order_across_queues() {
+        // Queued work re-placed after a partition change keeps its
+        // arrival order (stamps are not refreshed by rebalance).
+        let spus = SpuSet::equal_users(2);
+        let mut s = Scheduler::new(Scheme::PIso, 2, &spus);
+        let mut procs = table_with(3, |_| SpuId::user(0));
+        s.enqueue(&mut procs, Pid(1));
+        s.enqueue(&mut procs, Pid(0));
+        s.enqueue(&mut procs, Pid(2));
+        s.set_online(0, false);
+        s.rebalance(&mut procs);
+        assert_eq!(s.pick(&mut procs, 1).unwrap().0, Pid(1));
+        assert_eq!(s.pick(&mut procs, 1).unwrap().0, Pid(0));
+        assert_eq!(s.pick(&mut procs, 1).unwrap().0, Pid(2));
     }
 
     #[test]

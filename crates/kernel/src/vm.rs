@@ -20,8 +20,8 @@
 use std::collections::VecDeque;
 
 use spu_core::{
-    ChargeError, MemPolicyInput, MemSharingPolicy, ResourceLedger, ResourceLevels, Scheme, SpuId,
-    SpuSet,
+    ChargeError, MemPolicyInput, MemSharingPolicy, ResourceLedger, ResourceLevels, Scheme,
+    ShardedLedger, SpuId, SpuSet,
 };
 
 use crate::config::SECTORS_PER_PAGE;
@@ -132,7 +132,11 @@ pub struct VmSpuStats {
 pub struct MemoryManager {
     frames: Vec<Frame>,
     free: Vec<FrameId>,
-    ledger: ResourceLedger,
+    /// Per-CPU sharded page accounting: the fault path charges the
+    /// faulting CPU's shard; deltas fold into the global ledger at
+    /// policy-pass boundaries. Every decision reads the exact
+    /// (global + pending) view, so sharding never changes behaviour.
+    ledger: ShardedLedger,
     resident: Vec<VecDeque<FrameId>>,
     /// Number of buffer-cache frames each SPU currently owns. Victim
     /// selection prefers cache pages; when an SPU has none, the selector
@@ -161,6 +165,20 @@ impl MemoryManager {
         kernel_frac: f64,
         reserve_frac: f64,
     ) -> Self {
+        Self::with_shards(total_frames, spus, scheme, kernel_frac, reserve_frac, 0)
+    }
+
+    /// Creates a manager whose ledger has `shards` per-CPU accumulation
+    /// shards (plus the built-in detached shard for CPU-less contexts).
+    /// The kernel passes its CPU count; standalone use can pass 0.
+    pub fn with_shards(
+        total_frames: u64,
+        spus: &SpuSet,
+        scheme: Scheme,
+        kernel_frac: f64,
+        reserve_frac: f64,
+        shards: usize,
+    ) -> Self {
         let n_spus = spus.total_count();
         let mut vm = MemoryManager {
             frames: vec![
@@ -174,7 +192,7 @@ impl MemoryManager {
                 total_frames as usize
             ],
             free: (0..total_frames as u32).rev().map(FrameId).collect(),
-            ledger: ResourceLedger::new(total_frames, n_spus),
+            ledger: ShardedLedger::new(total_frames, n_spus, shards),
             resident: vec![VecDeque::new(); n_spus],
             cache_frames: vec![0; n_spus],
             policy: MemSharingPolicy::new(reserve_frac),
@@ -187,9 +205,10 @@ impl MemoryManager {
         };
         // Boot-time kernel memory (code, data, static tables).
         let kernel_frames = (total_frames as f64 * kernel_frac).round() as u64;
+        let boot = vm.ledger.detached_shard();
         for _ in 0..kernel_frames {
             let f = vm.free.pop().expect("kernel fraction must fit");
-            vm.ledger.charge(SpuId::KERNEL, 1, false).unwrap();
+            vm.ledger.charge_on(boot, SpuId::KERNEL, 1, false).unwrap();
             vm.frames[f.0 as usize] = Frame {
                 owner: FrameOwner::Kernel,
                 spu: SpuId::KERNEL,
@@ -230,14 +249,27 @@ impl MemoryManager {
         self.frames[id.0 as usize].stamp = self.charge_seq;
     }
 
-    /// The levels record of an SPU.
-    pub fn levels(&self, spu: SpuId) -> &ResourceLevels {
+    /// The levels record of an SPU (exact view: global + pending).
+    pub fn levels(&self, spu: SpuId) -> ResourceLevels {
         self.ledger.levels(spu)
     }
 
-    /// Read access to the page-frame ledger (for invariant auditing).
+    /// Read access to the global page-frame ledger (for invariant
+    /// auditing). Callers that need exactness must
+    /// [`fold_ledger`](Self::fold_ledger) first.
     pub fn ledger(&self) -> &ResourceLedger {
-        &self.ledger
+        self.ledger.global()
+    }
+
+    /// Folds all per-CPU shard deltas into the global ledger, verifying
+    /// per-SPU conservation. Called at policy-pass boundaries.
+    pub fn fold_ledger(&mut self) {
+        self.ledger.fold();
+    }
+
+    /// Number of shard folds performed (observability).
+    pub fn ledger_folds(&self) -> u64 {
+        self.ledger.folds()
     }
 
     /// Free frame count.
@@ -266,13 +298,20 @@ impl MemoryManager {
     /// level (isolation), from the globally most-over-budget SPU when the
     /// machine is simply out of free frames.
     pub fn acquire_frame(&mut self, spu: SpuId, owner: FrameOwner) -> Acquired {
+        let shard = self.ledger.detached_shard();
+        self.acquire_frame_on(shard, spu, owner)
+    }
+
+    /// [`acquire_frame`](Self::acquire_frame) accumulating the charge on
+    /// `shard` — the faulting CPU's shard on the hot fault path.
+    pub fn acquire_frame_on(&mut self, shard: usize, spu: SpuId, owner: FrameOwner) -> Acquired {
         let sharing = self.scheme.sharing();
-        let evicted = match sharing.can_charge(&self.ledger, spu, 1) {
+        let evicted = match sharing.can_charge_sharded(&self.ledger, spu, 1) {
             Ok(()) => None,
             Err(ChargeError::OverAllowed { .. }) => {
                 // At the allowed level: steal one of this SPU's own pages.
                 self.pressure[spu.index()] = true;
-                match self.pop_victim(spu) {
+                match self.pop_victim(shard, spu) {
                     Some(v) => Some(v),
                     None => {
                         self.stats[spu.index()].denials += 1;
@@ -283,7 +322,7 @@ impl MemoryManager {
             Err(ChargeError::Exhausted) => {
                 self.pressure[spu.index()] = true;
                 let victim_spu = self.global_victim_spu(spu);
-                match victim_spu.and_then(|vs| self.pop_victim(vs)) {
+                match victim_spu.and_then(|vs| self.pop_victim(shard, vs)) {
                     Some(v) => Some(v),
                     None => {
                         self.stats[spu.index()].denials += 1;
@@ -308,7 +347,7 @@ impl MemoryManager {
                     // are spoken for — evict globally.
                     match self
                         .global_victim_spu(spu)
-                        .and_then(|vs| self.pop_victim(vs))
+                        .and_then(|vs| self.pop_victim(shard, vs))
                     {
                         Some(_v) => self.free.pop().expect("victim frame must be free"),
                         None => {
@@ -320,7 +359,7 @@ impl MemoryManager {
             }
         };
         self.ledger
-            .charge(spu, 1, false)
+            .charge_on(shard, spu, 1, false)
             .expect("capacity was verified");
         self.charge_seq += 1;
         self.frames[frame.0 as usize] = Frame {
@@ -340,7 +379,7 @@ impl MemoryManager {
     /// Pops the next unpinned victim frame of `spu`, preferring cache
     /// pages over anonymous pages, releases its charge and frees it.
     /// Returns what was evicted.
-    fn pop_victim(&mut self, spu: SpuId) -> Option<Evicted> {
+    fn pop_victim(&mut self, shard: usize, spu: SpuId) -> Option<Evicted> {
         // With no cache pages to prefer, the scan can stop at the first
         // unpinned anonymous page instead of walking the whole queue.
         let has_cache = self.cache_frames[spu.index()] > 0;
@@ -390,7 +429,7 @@ impl MemoryManager {
         if matches!(ev.owner, FrameOwner::Cache { .. }) {
             self.cache_frames[spu.index()] -= 1;
         }
-        self.ledger.release(spu, 1);
+        self.ledger.release_on(shard, spu, 1);
         let stamp = self.frames[fid.0 as usize].stamp;
         self.frames[fid.0 as usize] = Frame {
             owner: FrameOwner::Free,
@@ -482,7 +521,8 @@ impl MemoryManager {
         if was_cache {
             self.cache_frames[spu.index()] -= 1;
         }
-        self.ledger.release(spu, 1);
+        let shard = self.ledger.detached_shard();
+        self.ledger.release_on(shard, spu, 1);
         self.free.push(id);
         // The stale resident-queue entry is dropped lazily.
     }
@@ -502,7 +542,8 @@ impl MemoryManager {
             self.cache_frames[from.index()] -= 1;
             self.cache_frames[SpuId::SHARED.index()] += 1;
         }
-        self.ledger.transfer(from, SpuId::SHARED, 1);
+        let shard = self.ledger.detached_shard();
+        self.ledger.transfer_on(shard, from, SpuId::SHARED, 1);
         self.resident[SpuId::SHARED.index()].push_back(id);
         // The entry under the old SPU goes stale and is dropped lazily.
     }
@@ -534,6 +575,10 @@ impl MemoryManager {
     /// back to entitled under `Quota`/`SMP` — and clears the pressure
     /// flags.
     pub fn run_policy(&mut self) {
+        // Policy-pass boundary: reconcile per-CPU shard deltas first so
+        // the global ledger the pass (and any auditor after it) sees is
+        // exact.
+        self.ledger.fold();
         let capacity = self.ledger.capacity();
         let kernel_used = self.ledger.used(SpuId::KERNEL);
         let shared_used = self.ledger.used(SpuId::SHARED);
@@ -541,14 +586,14 @@ impl MemoryManager {
         let sharing = self.scheme.sharing();
         let entitled = self.spus.split_memory(user_pages);
         for (i, id) in self.spus.user_ids().enumerate() {
-            sharing.entitle(&mut self.ledger, id, entitled[i]);
+            sharing.entitle_sharded(&mut self.ledger, id, entitled[i]);
         }
         let inputs: Vec<MemPolicyInput> = self
             .spus
             .user_ids()
             .map(|id| MemPolicyInput {
                 spu: id,
-                levels: *self.ledger.levels(id),
+                levels: self.ledger.levels(id),
                 pressured: self.pressure[id.index()],
             })
             .collect();
@@ -575,7 +620,8 @@ impl MemoryManager {
         }
     }
 
-    /// Debug invariants: ledger consistent with frame ownership.
+    /// Debug invariants: ledger consistent with frame ownership (the
+    /// exact view, so unfolded shard deltas are accounted).
     pub fn check_invariants(&self) {
         self.ledger.check_invariants();
         let mut counted = vec![0u64; self.spus.total_count()];

@@ -30,9 +30,12 @@ fn spinner(total_ms: u64) -> Arc<Program> {
 
 /// Boots a 1-SPU machine with one file and a reader job under `plan`.
 fn run_reader_with_plan(plan: FaultPlan) -> RunMetrics {
-    let cfg = MachineConfig::new(1, 32, 1)
-        .with_scheme(Scheme::PIso)
-        .with_fault_plan(plan);
+    let cfg = MachineConfig::builder()
+        .topology(1, 32, 1)
+        .scheme(Scheme::PIso)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     let f = k.create_file(0, 512 * 1024, 0);
     k.spawn_at(SpuId::user(0), reader(f, 512), Some("r"), SimTime::ZERO);
@@ -130,9 +133,12 @@ fn cpu_offline_rebalances_and_online_restores() {
     let plan = FaultPlan::new()
         .at(SimTime::from_millis(100), FaultKind::CpuOffline { cpu: 3 })
         .at(SimTime::from_millis(250), FaultKind::CpuOnline { cpu: 3 });
-    let cfg = MachineConfig::new(4, 32, 1)
-        .with_scheme(Scheme::PIso)
-        .with_fault_plan(plan);
+    let cfg = MachineConfig::builder()
+        .topology(4, 32, 1)
+        .scheme(Scheme::PIso)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     for u in 0..2 {
         for j in 0..2 {
@@ -156,11 +162,61 @@ fn cpu_offline_rebalances_and_online_restores() {
 }
 
 #[test]
+fn hotplug_storm_at_128_cpus_conserves_ledger() {
+    // 128 CPUs, 16 SPUs with live memory traffic, and a hotplug storm:
+    // three waves take 48 CPUs away mid-run and bring them all back.
+    // Every offline/online rebalances the per-CPU run queues and folds
+    // the sharded memory ledger, and the auditor must find the
+    // conservation invariant intact at every audit point.
+    let mut plan = FaultPlan::new();
+    for (wave, base) in [(0u64, 64usize), (1, 80), (2, 96)] {
+        for i in 0..16 {
+            let cpu = base + i;
+            plan = plan
+                .at(
+                    SimTime::from_millis(40 + wave * 30 + i as u64),
+                    FaultKind::CpuOffline { cpu },
+                )
+                .at(
+                    SimTime::from_millis(200 + wave * 30 + i as u64),
+                    FaultKind::CpuOnline { cpu },
+                );
+        }
+    }
+    let cfg = MachineConfig::builder()
+        .topology(128, 512, 1)
+        .scheme(Scheme::PIso)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+    let mut k = Kernel::new(cfg, SpuSet::equal_users(16));
+    for u in 0..16 {
+        for j in 0..4 {
+            let p = Program::builder("hot").compute(ms(300), 64).build();
+            k.spawn_at(SpuId::user(u), p, Some(&format!("u{u}j{j}")), SimTime::ZERO);
+        }
+    }
+    let m = k.run(secs(60));
+    assert!(m.completed);
+    assert_eq!(k.auditor().violation_count(), 0, "conservation violated");
+    assert!(k.auditor().checks() > 0, "auditor never ran");
+    assert!(k.errors().is_empty(), "recovered errors: {:?}", k.errors());
+    let c = &m.obsv.counters;
+    assert_eq!(c.get("fault.cpu_offline"), 48);
+    assert_eq!(c.get("fault.cpu_online"), 48);
+    assert_eq!(c.get("audit.violations"), 0);
+    assert_eq!(c.get("kernel.errors"), 0);
+}
+
+#[test]
 fn last_online_cpu_cannot_be_offlined() {
     let plan = FaultPlan::new().at(SimTime::from_millis(50), FaultKind::CpuOffline { cpu: 0 });
-    let cfg = MachineConfig::new(1, 16, 1)
-        .with_scheme(Scheme::PIso)
-        .with_fault_plan(plan);
+    let cfg = MachineConfig::builder()
+        .topology(1, 16, 1)
+        .scheme(Scheme::PIso)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     k.spawn_at(SpuId::user(0), spinner(300), Some("j"), SimTime::ZERO);
     let m = k.run(secs(30));
@@ -174,9 +230,12 @@ fn process_crash_leaves_other_jobs_healthy() {
         SimTime::from_millis(50),
         FaultKind::ProcessCrash { user_spu: 1 },
     );
-    let cfg = MachineConfig::new(2, 32, 1)
-        .with_scheme(Scheme::PIso)
-        .with_fault_plan(plan);
+    let cfg = MachineConfig::builder()
+        .topology(2, 32, 1)
+        .scheme(Scheme::PIso)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     k.spawn_at(SpuId::user(0), spinner(300), Some("ok"), SimTime::ZERO);
     k.spawn_at(SpuId::user(1), spinner(300), Some("victim"), SimTime::ZERO);
@@ -205,9 +264,12 @@ fn fork_bomb_is_contained_by_isolation() {
                 pages: 8,
             },
         );
-        let cfg = MachineConfig::new(2, 32, 1)
-            .with_scheme(scheme)
-            .with_fault_plan(plan);
+        let cfg = MachineConfig::builder()
+            .topology(2, 32, 1)
+            .scheme(scheme)
+            .fault_plan(plan)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
         k.spawn_at(SpuId::user(0), spinner(300), Some("fg"), SimTime::ZERO);
         let m = k.run(secs(120));
@@ -232,7 +294,11 @@ fn empty_plan_equals_no_plan() {
         let m = k.run(secs(60));
         smp_kernel::metrics_jsonl(&m)
     };
-    let base = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+    let base = MachineConfig::builder()
+        .topology(2, 32, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let without = run(base.clone());
     let with = run(base.with_fault_plan(FaultPlan::new()));
     assert_eq!(without, with, "an empty fault plan must change nothing");

@@ -18,7 +18,11 @@ fn spinner(total_ms: u64) -> Arc<Program> {
 
 #[test]
 fn spu_cpu_time_accounts_all_compute() {
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     k.spawn_at(SpuId::user(0), spinner(400), Some("a"), SimTime::ZERO);
     k.spawn_at(SpuId::user(1), spinner(700), Some("b"), SimTime::ZERO);
@@ -34,7 +38,11 @@ fn spu_cpu_time_accounts_all_compute() {
 
 #[test]
 fn cpu_busy_plus_idle_covers_the_run() {
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Smp);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::Smp)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     k.spawn_at(SpuId::user(0), spinner(250), Some("j"), SimTime::ZERO);
     let m = k.run(SimTime::from_secs(30));
@@ -58,7 +66,11 @@ fn cpu_busy_plus_idle_covers_the_run() {
 #[test]
 fn vm_invariants_hold_after_heavy_runs() {
     for scheme in Scheme::ALL {
-        let cfg = MachineConfig::new(2, 8, 2).with_scheme(scheme);
+        let cfg = MachineConfig::builder()
+            .topology(2, 8, 2)
+            .scheme(scheme)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
         for s in 0..2u32 {
             let p = Program::builder("mix")
@@ -75,7 +87,11 @@ fn vm_invariants_hold_after_heavy_runs() {
 
 #[test]
 fn exited_process_memory_is_released() {
-    let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(1, 16, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     let p = Program::builder("blob")
         .alloc(500)
@@ -92,7 +108,11 @@ fn exited_process_memory_is_released() {
 
 #[test]
 fn shared_file_shifts_charge_to_shared_spu() {
-    let cfg = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(2, 32, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     let f = k.create_file(0, 128 * 1024, 0); // 32 blocks
     let reader = Program::builder("r").read(f, 0, 128 * 1024).build();
@@ -117,7 +137,11 @@ fn time_shared_cpu_gives_proportional_service() {
     // CPU, realized by time-sharing. Each SPU runs TWO processes so it
     // can actually occupy both CPUs its fractional share spans (a single
     // process is indivisible and would forfeit overlapping grants).
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Quota);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::Quota)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(3));
     for s in 0..3u32 {
         for j in 0..2 {
@@ -148,7 +172,11 @@ fn time_shared_cpu_gives_proportional_service() {
 #[test]
 fn weighted_time_sharing_follows_the_contract() {
     // Two SPUs with a 1:3 contract on a single CPU.
-    let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::Quota);
+    let cfg = MachineConfig::builder()
+        .topology(1, 16, 1)
+        .scheme(Scheme::Quota)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::with_weights(&[1, 3]));
     for s in 0..2u32 {
         k.spawn_at(
@@ -180,9 +208,12 @@ fn prefetch_keeps_multiple_reads_outstanding() {
             prefetch_windows: windows,
             ..Tuning::default()
         };
-        let cfg = MachineConfig::new(1, 44, 1)
-            .with_scheme(Scheme::PIso)
-            .with_tuning(tuning);
+        let cfg = MachineConfig::builder()
+            .topology(1, 44, 1)
+            .scheme(Scheme::PIso)
+            .tuning(tuning)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let f = k.create_file(0, 4 * 1024 * 1024, 0);
         let prog = Program::builder("seq").read(f, 0, 4 * 1024 * 1024).build();
@@ -210,9 +241,12 @@ fn kernel_spu_memory_reduces_user_entitlements() {
         kernel_mem_frac: 0.25,
         ..Tuning::default()
     };
-    let cfg = MachineConfig::new(1, 16, 1)
-        .with_scheme(Scheme::PIso)
-        .with_tuning(tuning);
+    let cfg = MachineConfig::builder()
+        .topology(1, 16, 1)
+        .scheme(Scheme::PIso)
+        .tuning(tuning)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     k.spawn_at(SpuId::user(0), spinner(10), Some("j"), SimTime::ZERO);
     let m = k.run(SimTime::from_secs(10));
@@ -231,7 +265,11 @@ fn kernel_spu_memory_reduces_user_entitlements() {
 fn per_resource_weights_split_memory_independently() {
     // Equal CPU shares but a 1:3 memory contract.
     let spus = SpuSet::equal_users(2).with_memory_weights(&[1, 3]);
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, spus);
     k.spawn_at(SpuId::user(0), spinner(10), Some("j"), SimTime::ZERO);
     let m = k.run(SimTime::from_secs(10));
@@ -246,7 +284,11 @@ fn per_resource_weights_split_memory_independently() {
 
 #[test]
 fn trace_records_loans_and_revocations_under_piso() {
-    let cfg = MachineConfig::new(2, 16, 2).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 2)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     // user0: interactive (blocks often, freeing its CPU for loans).
     let f = k.create_file(0, 4096, 0);
@@ -284,7 +326,11 @@ fn trace_records_loans_and_revocations_under_piso() {
 
 #[test]
 fn trace_shows_no_loans_under_quota() {
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Quota);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::Quota)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     k.spawn_at(SpuId::user(0), spinner(200), Some("a"), SimTime::ZERO);
     for i in 0..3 {
@@ -303,7 +349,7 @@ fn trace_shows_no_loans_under_quota() {
 
 #[test]
 fn trace_disabled_by_default() {
-    let cfg = MachineConfig::new(1, 16, 1);
+    let cfg = MachineConfig::builder().topology(1, 16, 1).build().unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     k.spawn_at(SpuId::user(0), spinner(50), Some("j"), SimTime::ZERO);
     let m = k.run(SimTime::from_secs(10));

@@ -21,7 +21,11 @@ fn spinner(total_ms: u64) -> Arc<Program> {
 
 #[test]
 fn single_compute_job_takes_its_compute_time() {
-    let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(1, 16, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     k.spawn_at(SpuId::user(0), spinner(500), Some("j"), SimTime::ZERO);
     let m = k.run(secs(30));
@@ -34,7 +38,11 @@ fn single_compute_job_takes_its_compute_time() {
 
 #[test]
 fn two_jobs_one_cpu_time_share() {
-    let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::Smp);
+    let cfg = MachineConfig::builder()
+        .topology(1, 16, 1)
+        .scheme(Scheme::Smp)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     k.spawn_at(SpuId::user(0), spinner(300), Some("a"), SimTime::ZERO);
     k.spawn_at(SpuId::user(0), spinner(300), Some("b"), SimTime::ZERO);
@@ -50,7 +58,11 @@ fn two_jobs_one_cpu_time_share() {
 
 #[test]
 fn two_jobs_two_cpus_run_in_parallel() {
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Smp);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::Smp)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     k.spawn_at(SpuId::user(0), spinner(300), Some("a"), SimTime::ZERO);
     k.spawn_at(SpuId::user(0), spinner(300), Some("b"), SimTime::ZERO);
@@ -66,7 +78,11 @@ fn quota_isolates_cpu_but_wastes_idle() {
     // 2 CPUs, 2 SPUs. SPU1 has two jobs; SPU0 is idle. Under Quota the
     // two jobs share one CPU; under PIso they borrow SPU0's idle CPU.
     let run = |scheme: Scheme| {
-        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let cfg = MachineConfig::builder()
+            .topology(2, 16, 1)
+            .scheme(scheme)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
         k.spawn_at(SpuId::user(1), spinner(300), Some("a"), SimTime::ZERO);
         k.spawn_at(SpuId::user(1), spinner(300), Some("b"), SimTime::ZERO);
@@ -87,7 +103,11 @@ fn quota_isolates_cpu_but_wastes_idle() {
 fn piso_isolates_light_spu_from_heavy_load() {
     // 2 CPUs, 2 SPUs. SPU0 runs one job; SPU1 floods the machine.
     let run = |scheme: Scheme| {
-        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let cfg = MachineConfig::builder()
+            .topology(2, 16, 1)
+            .scheme(scheme)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
         k.spawn_at(SpuId::user(0), spinner(300), Some("light"), SimTime::ZERO);
         for i in 0..6 {
@@ -115,7 +135,11 @@ fn piso_isolates_light_spu_from_heavy_load() {
 
 #[test]
 fn file_write_then_read_hits_cache() {
-    let cfg = MachineConfig::new(1, 32, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(1, 32, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     let f = k.create_file(0, 64 * 1024, 0);
     let prog = Program::builder("wr")
@@ -134,7 +158,11 @@ fn file_write_then_read_hits_cache() {
 
 #[test]
 fn cold_read_does_disk_io_with_readahead() {
-    let cfg = MachineConfig::new(1, 32, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(1, 32, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     let f = k.create_file(0, 256 * 1024, 0); // 64 blocks
     let prog = Program::builder("rd").read(f, 0, 256 * 1024).build();
@@ -152,7 +180,11 @@ fn cold_read_does_disk_io_with_readahead() {
 fn dirty_watermark_throttles_big_writer() {
     // 8 MB of memory => 2048 frames; high watermark 10% = 204 blocks.
     // Writing 4 MB (1024 blocks) must trigger flushes to disk.
-    let cfg = MachineConfig::new(1, 8, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(1, 8, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     let f = k.create_file(0, 4 * 1024 * 1024, 0);
     let prog = Program::builder("w").write(f, 0, 4 * 1024 * 1024).build();
@@ -172,7 +204,11 @@ fn dirty_watermark_throttles_big_writer() {
 fn memory_pressure_causes_swapping_under_quota() {
     // 16 MB machine, 2 SPUs: each entitled to ~1843 frames (after 10%
     // kernel). A process touching 3000 pages in one SPU must thrash.
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Quota);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::Quota)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     let prog = Program::builder("big")
         .alloc(3000)
@@ -191,7 +227,11 @@ fn piso_borrows_idle_memory_avoiding_swap() {
     // Same pressure as above but under PIso with the other SPU idle:
     // the sharing policy lends its pages, eliminating (most) swapping.
     let run = |scheme: Scheme| {
-        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let cfg = MachineConfig::builder()
+            .topology(2, 16, 1)
+            .scheme(scheme)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
         let prog = Program::builder("big")
             .alloc(3000)
@@ -219,7 +259,11 @@ fn piso_borrows_idle_memory_avoiding_swap() {
 
 #[test]
 fn fork_and_wait_children() {
-    let cfg = MachineConfig::new(4, 16, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(4, 16, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     let child = spinner(100);
     let parent = Program::builder("parent")
@@ -240,7 +284,11 @@ fn fork_and_wait_children() {
 #[test]
 fn barrier_synchronizes_parallel_processes() {
     use smp_kernel::BarrierId;
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Smp);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::Smp)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     // Two processes of very different speeds meet at a barrier each
     // iteration: the fast one is paced by the slow one.
@@ -267,7 +315,11 @@ fn barrier_synchronizes_parallel_processes() {
 
 #[test]
 fn meta_writes_reach_the_disk() {
-    let cfg = MachineConfig::new(1, 16, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(1, 16, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     let f = k.create_file(0, 4096, 0);
     let mut b = Program::builder("meta");
@@ -291,9 +343,12 @@ fn mutex_inode_lock_serializes_lookups() {
             lookup_cost: ms(2), // exaggerate lookup cost
             ..Tuning::default()
         };
-        let cfg = MachineConfig::new(4, 32, 1)
-            .with_scheme(Scheme::Smp)
-            .with_tuning(tuning);
+        let cfg = MachineConfig::builder()
+            .topology(4, 32, 1)
+            .scheme(Scheme::Smp)
+            .tuning(tuning)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let mut progs = Vec::new();
         for _ in 0..4 {
@@ -329,7 +384,11 @@ fn mutex_inode_lock_serializes_lookups() {
 #[test]
 fn runs_are_deterministic() {
     let run = || {
-        let cfg = MachineConfig::new(4, 16, 2).with_scheme(Scheme::PIso);
+        let cfg = MachineConfig::builder()
+            .topology(4, 16, 2)
+            .scheme(Scheme::PIso)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
         let f = k.create_file(0, 1024 * 1024, 4);
         let g = k.create_file(1, 512 * 1024, 4);
@@ -360,7 +419,11 @@ fn smp_with_one_spu_equals_piso_with_one_spu() {
     // With a single SPU there is nothing to isolate: both schemes must
     // behave identically for a CPU-only workload.
     let run = |scheme: Scheme| {
-        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let cfg = MachineConfig::builder()
+            .topology(2, 16, 1)
+            .scheme(scheme)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         for i in 0..4 {
             k.spawn_at(
@@ -381,7 +444,11 @@ fn smp_with_one_spu_equals_piso_with_one_spu() {
 fn shared_file_pages_get_remarked_shared() {
     // Two SPUs read the same file: the second reader's hits re-mark the
     // cached pages to the shared SPU.
-    let cfg = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(2, 32, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     let f = k.create_file(0, 64 * 1024, 0);
     let reader = Program::builder("r").read(f, 0, 64 * 1024).build();
@@ -402,7 +469,7 @@ fn shared_file_pages_get_remarked_shared() {
 
 #[test]
 fn incomplete_run_reports_not_completed() {
-    let cfg = MachineConfig::new(1, 16, 1);
+    let cfg = MachineConfig::builder().topology(1, 16, 1).build().unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
     k.spawn_at(SpuId::user(0), spinner(10_000), Some("long"), SimTime::ZERO);
     let m = k.run(SimTime::from_millis(100));
@@ -421,9 +488,12 @@ fn ipi_revocation_cuts_wake_latency() {
             ipi_revocation: ipi,
             ..Tuning::default()
         };
-        let cfg = MachineConfig::new(2, 32, 2)
-            .with_scheme(Scheme::PIso)
-            .with_tuning(tuning);
+        let cfg = MachineConfig::builder()
+            .topology(2, 32, 2)
+            .scheme(Scheme::PIso)
+            .tuning(tuning)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
         // The interactive process: tiny compute + synchronous I/O, again
         // and again — its CPU is idle (and loaned out) during each I/O.

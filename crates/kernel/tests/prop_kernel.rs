@@ -65,7 +65,11 @@ fn run_workload(
     cpus: usize,
     mem_mb: u64,
 ) -> (SimTime, bool) {
-    let cfg = MachineConfig::new(cpus, mem_mb, 2).with_scheme(scheme);
+    let cfg = MachineConfig::builder()
+        .topology(cpus, mem_mb, 2)
+        .scheme(scheme)
+        .build()
+        .unwrap();
     let spus = SpuSet::equal_users(2);
     let mut k = Kernel::new(cfg, spus);
     for (i, mp) in programs.iter().enumerate() {
@@ -114,7 +118,7 @@ proptest! {
     /// A job can never finish faster than its own serial CPU demand.
     #[test]
     fn response_respects_compute_floor(compute_ms in 10u64..500, ws in 0u32..200) {
-        let cfg = MachineConfig::new(4, 32, 1).with_scheme(Scheme::PIso);
+        let cfg = MachineConfig::builder().topology(4, 32, 1).scheme(Scheme::PIso).build().unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let p = Program::builder("floor")
             .alloc(ws.max(1))
@@ -131,7 +135,7 @@ proptest! {
     /// SPU's share still completes (thrashing, not hanging).
     #[test]
     fn thrash_completes(ws in 1500u32..2500) {
-        let cfg = MachineConfig::new(2, 8, 2).with_scheme(Scheme::Quota);
+        let cfg = MachineConfig::builder().topology(2, 8, 2).scheme(Scheme::Quota).build().unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
         let p = Program::builder("thrash")
             .alloc(ws)

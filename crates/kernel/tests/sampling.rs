@@ -11,7 +11,11 @@ use spu_core::{Scheme, SpuId, SpuSet};
 /// revoked and SPU0's allowed returns to entitled.
 #[test]
 fn piso_memory_series_shows_lend_and_revoke() {
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     k.enable_sampling(SimDuration::from_millis(50));
 
@@ -65,7 +69,11 @@ fn piso_memory_series_shows_lend_and_revoke() {
 /// at the configured interval, with sane CPU levels.
 #[test]
 fn sampler_covers_all_resources() {
-    let cfg = MachineConfig::new(4, 32, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(4, 32, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     k.enable_sampling(SimDuration::from_millis(10));
     let spin = Program::builder("spin")
@@ -104,7 +112,11 @@ fn sampler_covers_all_resources() {
 /// interval.
 #[test]
 fn sampling_off_by_default() {
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     let spin = Program::builder("spin")
         .compute(SimDuration::from_millis(50), 0)
@@ -119,7 +131,11 @@ fn sampling_off_by_default() {
 #[test]
 #[should_panic(expected = "sampling interval")]
 fn zero_interval_rejected() {
-    let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::PIso);
+    let cfg = MachineConfig::builder()
+        .topology(2, 16, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
     k.enable_sampling(SimDuration::ZERO);
 }

@@ -18,7 +18,7 @@ use smp_kernel::{Kernel, Program};
 /// ```no_run
 /// use smp_kernel::{Kernel, MachineConfig};
 /// use spu_core::SpuSet;
-/// let mut k = Kernel::new(MachineConfig::new(4, 64, 1), SpuSet::equal_users(2));
+/// let mut k = Kernel::new(MachineConfig::builder().topology(4, 64, 1).build().unwrap(), SpuSet::equal_users(2));
 /// let prog = workloads::flashlite(&mut k, 0);
 /// assert_eq!(prog.name(), "flashlite");
 /// ```
@@ -62,7 +62,11 @@ mod tests {
 
     #[test]
     fn eda_jobs_are_compute_dominated() {
-        let cfg = MachineConfig::new(2, 64, 1).with_scheme(Scheme::Smp);
+        let cfg = MachineConfig::builder()
+            .topology(2, 64, 1)
+            .scheme(Scheme::Smp)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let f = flashlite(&mut k, 0);
         let v = vcs(&mut k, 0);

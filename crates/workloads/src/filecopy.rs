@@ -27,7 +27,7 @@ use smp_kernel::{Kernel, Program};
 /// ```no_run
 /// use smp_kernel::{Kernel, MachineConfig};
 /// use spu_core::SpuSet;
-/// let mut k = Kernel::new(MachineConfig::new(2, 44, 1), SpuSet::equal_users(2));
+/// let mut k = Kernel::new(MachineConfig::builder().topology(2, 44, 1).build().unwrap(), SpuSet::equal_users(2));
 /// let copy = workloads::copy_job(&mut k, 0, 20 * 1024 * 1024, 64 * 1024);
 /// assert_eq!(copy.name(), "copy");
 /// ```
@@ -55,9 +55,12 @@ mod tests {
 
     #[test]
     fn copy_moves_every_block_through_the_disk() {
-        let cfg = MachineConfig::new(2, 44, 1)
-            .with_scheme(Scheme::Smp)
-            .with_seek_scale(0.5);
+        let cfg = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .scheme(Scheme::Smp)
+            .seek_scale(0.5)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let prog = copy_job(&mut k, 0, 5 * 1024 * 1024, 64 * 1024);
         k.spawn_at(SpuId::user(0), prog, Some("copy"), SimTime::ZERO);
@@ -85,9 +88,12 @@ mod tests {
         // The paper's 20 MB copy makes ~1050 requests; ours should be in
         // the same order of magnitude (read-ahead batches reads, the
         // flusher batches writes).
-        let cfg = MachineConfig::new(2, 44, 1)
-            .with_scheme(Scheme::Smp)
-            .with_seek_scale(0.5);
+        let cfg = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .scheme(Scheme::Smp)
+            .seek_scale(0.5)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let prog = copy_job(&mut k, 0, 20 * 1024 * 1024, 64 * 1024);
         k.spawn_at(SpuId::user(0), prog, Some("copy"), SimTime::ZERO);
@@ -100,7 +106,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty copy")]
     fn zero_byte_copy_panics() {
-        let cfg = MachineConfig::new(1, 16, 1);
+        let cfg = MachineConfig::builder().topology(1, 16, 1).build().unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         copy_job(&mut k, 0, 0, 4096);
     }

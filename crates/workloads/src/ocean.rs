@@ -85,7 +85,11 @@ mod tests {
 
     #[test]
     fn ocean_runs_near_ideal_with_dedicated_cpus() {
-        let cfg = MachineConfig::new(4, 64, 1).with_scheme(Scheme::Smp);
+        let cfg = MachineConfig::builder()
+            .topology(4, 64, 1)
+            .scheme(Scheme::Smp)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let ocean = OceanConfig::paper();
         let progs = ocean.build(100);
@@ -111,7 +115,11 @@ mod tests {
         // 4 workers on 4 CPUs alone vs with 4 competing spinners: the
         // barriers amplify the slowdown beyond fair-share.
         let run = |with_load: bool| {
-            let cfg = MachineConfig::new(4, 64, 1).with_scheme(Scheme::Smp);
+            let cfg = MachineConfig::builder()
+                .topology(4, 64, 1)
+                .scheme(Scheme::Smp)
+                .build()
+                .unwrap();
             let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
             let progs = OceanConfig::paper().build(0);
             k.spawn_at(

@@ -88,9 +88,12 @@ mod tests {
 
     #[test]
     fn oltp_is_disk_latency_bound() {
-        let cfg = MachineConfig::new(2, 44, 1)
-            .with_scheme(Scheme::PIso)
-            .with_seek_scale(0.5);
+        let cfg = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .scheme(Scheme::PIso)
+            .seek_scale(0.5)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let prog = OltpConfig {
             transactions: 50,
@@ -112,7 +115,11 @@ mod tests {
     #[test]
     fn access_pattern_is_deterministic_per_seed() {
         let run = |seed: u64| {
-            let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+            let cfg = MachineConfig::builder()
+                .topology(1, 44, 1)
+                .scheme(Scheme::Smp)
+                .build()
+                .unwrap();
             let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
             let prog = OltpConfig {
                 transactions: 20,

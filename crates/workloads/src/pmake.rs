@@ -172,7 +172,11 @@ mod tests {
 
     #[test]
     fn pmake_job_runs_to_completion() {
-        let cfg = MachineConfig::new(2, 44, 1).with_scheme(Scheme::PIso);
+        let cfg = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .scheme(Scheme::PIso)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let prog = PmakeConfig::pmake8().build(&mut k, 0);
         k.spawn_at(SpuId::user(0), prog, Some("pmake"), SimTime::ZERO);
@@ -190,7 +194,11 @@ mod tests {
     #[test]
     fn pmake_parallelism_uses_multiple_cpus() {
         let run = |cpus: usize| {
-            let cfg = MachineConfig::new(cpus, 44, 1).with_scheme(Scheme::Smp);
+            let cfg = MachineConfig::builder()
+                .topology(cpus, 44, 1)
+                .scheme(Scheme::Smp)
+                .build()
+                .unwrap();
             let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
             let prog = PmakeConfig::pmake8().build(&mut k, 0);
             k.spawn_at(SpuId::user(0), prog, Some("p"), SimTime::ZERO);
@@ -205,7 +213,11 @@ mod tests {
 
     #[test]
     fn disk_bw_variant_issues_many_scattered_requests() {
-        let cfg = MachineConfig::new(2, 44, 1).with_scheme(Scheme::Smp);
+        let cfg = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .scheme(Scheme::Smp)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let prog = PmakeConfig::disk_bw().build(&mut k, 0);
         k.spawn_at(SpuId::user(0), prog, Some("p"), SimTime::ZERO);

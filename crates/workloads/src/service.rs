@@ -108,7 +108,11 @@ mod tests {
 
     #[test]
     fn stream_completes_and_scores_slo() {
-        let cfg = MachineConfig::new(2, 44, 1).with_scheme(Scheme::PIso);
+        let cfg = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .scheme(Scheme::PIso)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         k.enable_slo(SimDuration::from_millis(30));
         let svc = ServiceConfig::default();
@@ -124,7 +128,11 @@ mod tests {
     #[test]
     fn stream_is_deterministic_per_seed() {
         let run = |seed: u64| {
-            let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+            let cfg = MachineConfig::builder()
+                .topology(1, 44, 1)
+                .scheme(Scheme::Smp)
+                .build()
+                .unwrap();
             let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
             let svc = ServiceConfig {
                 seed,
@@ -140,7 +148,11 @@ mod tests {
 
     #[test]
     fn zero_read_bytes_skips_the_table() {
-        let cfg = MachineConfig::new(1, 44, 1).with_scheme(Scheme::Smp);
+        let cfg = MachineConfig::builder()
+            .topology(1, 44, 1)
+            .scheme(Scheme::Smp)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         let svc = ServiceConfig {
             read_bytes: 0,

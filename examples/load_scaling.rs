@@ -1,18 +1,38 @@
-//! Load-scaling sweep (extension): the §2.1 isolation guarantee under
-//! growing background load.
+//! Scaling sweeps (extension): the §2.1 isolation guarantee under
+//! growing background load — and growing machines.
 //!
-//! The Pmake8 machine with the light SPUs fixed at one job each and the
-//! heavy SPUs swept from 1 to 4 jobs each (8 to 20 jobs total on 8
-//! CPUs). The guarantee predicts flat light-SPU response lines for Quo
-//! and PIso and a rising line for SMP.
+//! Default mode: the Pmake8 machine with the light SPUs fixed at one
+//! job each and the heavy SPUs swept from 1 to 4 jobs each (8 to 20
+//! jobs total on 8 CPUs). The guarantee predicts flat light-SPU
+//! response lines for Quo and PIso and a rising line for SMP.
+//!
+//! `--cpu-scale` mode: the machine-size ladder instead — 8/32/128/512
+//! CPUs × {2×, 4×} SPU oversubscription under PIso, asserting the
+//! light-SPU response stays flat as the machine grows, and reporting
+//! each cell's simulation throughput (simulated seconds per wall
+//! second).
 //!
 //! Run with: `cargo run --release --example load_scaling`
-//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
-//! the twelve level × scheme cells in parallel)
+//! (pass `--quick` for the reduced-scale variant, `--threads N` for
+//! parallel cells; with `--cpu-scale`: `--max-cpus N` truncates the
+//! ladder and `--out FILE` writes the per-cell outcome JSONL artifact)
 
-use perf_isolation::experiments::scaling::{self, ScalingScenario};
-use perf_isolation::experiments::sweep::{self, SweepOptions};
+use perf_isolation::experiments::scaling::{self, CpuScaleScenario, ScalingScenario};
+use perf_isolation::experiments::sweep::{self, Render, SweepOptions};
 use perf_isolation::experiments::Scale;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == name {
+            return iter.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +42,32 @@ fn main() {
         Scale::Full
     };
     let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
+
+    if args.iter().any(|a| a == "--cpu-scale") {
+        let max_cpus = flag_value(&args, "--max-cpus")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(usize::MAX);
+        let scenario = CpuScaleScenario::capped(scale, max_cpus);
+        println!("Sweeping machine size under PIso ({scale:?} scale)...\n");
+        let run = sweep::run_scenario(&scenario, &opts);
+        println!("{}", run.report.render());
+        println!("sim-throughput (simulated seconds per wall second):");
+        println!(
+            "{}",
+            scaling::throughput_summary(&run.report.rows, &run.stats)
+        );
+        let violations = run.report.isolation_violations();
+        if let Some(path) = flag_value(&args, "--out") {
+            std::fs::write(&path, &run.outcomes_jsonl).expect("write outcome artifact");
+            println!("wrote {path}");
+        }
+        assert!(
+            violations.is_empty(),
+            "isolation violated at scale: {violations:?}"
+        );
+        return;
+    }
+
     println!("Sweeping background load on the Pmake8 machine ({scale:?} scale)...\n");
     let report = sweep::run_scenario(&ScalingScenario::standard(scale), &opts).report;
     println!("{}", scaling::format(&report.points));

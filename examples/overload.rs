@@ -12,7 +12,9 @@
 //!
 //! Run with: `cargo run --release --example overload`
 //! (pass `--quick` for the reduced-scale variant, `--threads N` to run
-//! the 24 scheme × policy × load cells in parallel)
+//! the 24 scheme × policy × load cells in parallel, `--cpus N` to rerun
+//! the matrix on an N-CPU machine — rates and admission caps scale
+//! linearly, so the overload factors and expected regimes carry over)
 //!
 //! An instrumented PIso/deadline-aware run at 2.5× is exported to
 //! `results/`:
@@ -27,6 +29,19 @@ use perf_isolation::experiments::report::export;
 use perf_isolation::experiments::sweep::{self, SweepOptions};
 use perf_isolation::experiments::Scale;
 
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == name {
+            return iter.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--quick") {
@@ -34,9 +49,15 @@ fn main() {
     } else {
         Scale::Full
     };
+    let cpus: usize = flag_value(&args, "--cpus")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(overload::SEED_CPUS);
     let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
-    println!("Running the overload matrix: scheme x shed policy x load ({scale:?} scale)...\n");
-    let result = sweep::run_scenario(&OverloadScenario { scale }, &opts).report;
+    println!(
+        "Running the overload matrix: scheme x shed policy x load \
+         ({scale:?} scale, {cpus} CPUs)...\n"
+    );
+    let result = sweep::run_scenario(&OverloadScenario::at(scale, cpus), &opts).report;
     println!("{}", result.format());
     println!(
         "\nExpectation: at 2.5x the no-shed antagonist queue goes metastable —\n\
@@ -45,6 +66,19 @@ fn main() {
          count. The victim's p99 blows through its target under SMP but never\n\
          moves under PIso, whatever the antagonist does.\n"
     );
+
+    if cpus != overload::SEED_CPUS {
+        // The instrumented run and its exports are pinned to the seed
+        // machine; a scaled rerun just writes its own matrix artifact.
+        let name = format!("overload_matrix_{cpus}cpu.json");
+        export(
+            "results",
+            &[(&name, &overload::overload_matrix_json(&result))],
+        )
+        .expect("write results/");
+        println!("wrote results/{name}");
+        return;
+    }
 
     println!("Instrumented PIso run (deadline-aware, 2.5x), SLO + sampling + trace on...");
     let inst = overload::run_instrumented(scale);

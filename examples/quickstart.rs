@@ -23,7 +23,11 @@ struct Quickstart;
 /// Builds the machine and job mix for one scheme. Booting is cheap and
 /// deterministic, so the fingerprint can hash the booted kernel itself.
 fn boot(scheme: Scheme) -> Kernel {
-    let cfg = MachineConfig::new(2, 32, 1).with_scheme(scheme);
+    let cfg = MachineConfig::builder()
+        .topology(2, 32, 1)
+        .scheme(scheme)
+        .build()
+        .unwrap();
     let spus = SpuSet::equal_users(2).named(0, "victim").named(1, "hog");
     let mut kernel = Kernel::new(cfg, spus);
 

@@ -24,9 +24,12 @@ struct Consolidation;
 
 /// Builds the two-tenant machine for one scheme.
 fn boot(scheme: Scheme) -> Kernel {
-    let cfg = MachineConfig::new(4, 64, 1)
-        .with_scheme(scheme)
-        .with_seek_scale(0.5);
+    let cfg = MachineConfig::builder()
+        .topology(4, 64, 1)
+        .scheme(scheme)
+        .seek_scale(0.5)
+        .build()
+        .unwrap();
     let spus = SpuSet::equal_users(2).named(0, "oltp").named(1, "batch");
     let mut k = Kernel::new(cfg, spus);
 

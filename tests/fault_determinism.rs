@@ -32,7 +32,11 @@ fn instrumented(cfg: MachineConfig) -> (String, String) {
 
 #[test]
 fn empty_plan_is_byte_identical_to_no_plan() {
-    let base = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+    let base = MachineConfig::builder()
+        .topology(2, 32, 1)
+        .scheme(Scheme::PIso)
+        .build()
+        .unwrap();
     let (jsonl_none, trace_none) = instrumented(base.clone());
     let (jsonl_empty, trace_empty) = instrumented(base.with_fault_plan(FaultPlan::new()));
     assert_eq!(
@@ -52,7 +56,11 @@ fn empty_plan_is_byte_identical_to_no_plan() {
 #[test]
 fn same_fault_seed_reproduces_the_run() {
     let run = |seed: u64| {
-        let base = MachineConfig::new(2, 32, 1).with_scheme(Scheme::PIso);
+        let base = MachineConfig::builder()
+            .topology(2, 32, 1)
+            .scheme(Scheme::PIso)
+            .build()
+            .unwrap();
         let plan = FaultPlan::new()
             .at(
                 SimTime::from_millis(5),

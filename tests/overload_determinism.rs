@@ -41,9 +41,7 @@ fn arrival_schedules_are_byte_identical_per_seed() {
 
 #[test]
 fn overload_exports_are_byte_identical_across_thread_counts() {
-    let scenario = OverloadScenario {
-        scale: Scale::Quick,
-    };
+    let scenario = OverloadScenario::seed(Scale::Quick);
     let serial = run_scenario(&scenario, &SweepOptions::new());
     let parallel = run_scenario(&scenario, &SweepOptions::new().threads(4));
     assert_eq!(

@@ -107,7 +107,11 @@ fn unequal_entitlements_are_honoured() {
     // B's jobs should finish roughly twice as fast per job. (Quota mode,
     // so sharing does not blur the entitlement boundary once one side
     // finishes.)
-    let cfg = MachineConfig::new(3, 32, 1).with_scheme(Scheme::Quota);
+    let cfg = MachineConfig::builder()
+        .topology(3, 32, 1)
+        .scheme(Scheme::Quota)
+        .build()
+        .unwrap();
     let spus = SpuSet::with_weights(&[1, 2]);
     let mut k = Kernel::new(cfg, spus);
     for i in 0..3 {
@@ -134,7 +138,11 @@ fn piso_offers_smp_latency_when_machine_idle() {
     // otherwise idle machine must match SMP's latency even beyond its
     // own partition, by borrowing idle CPUs.
     let run = |scheme: Scheme| {
-        let cfg = MachineConfig::new(4, 32, 1).with_scheme(scheme);
+        let cfg = MachineConfig::builder()
+            .topology(4, 32, 1)
+            .scheme(scheme)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(4));
         // A 3-way parallel job in one SPU whose share is just 1 CPU.
         let child = Program::builder("c")

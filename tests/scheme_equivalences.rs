@@ -18,7 +18,11 @@ fn cpu_job(ms: u64) -> Arc<Program> {
 #[test]
 fn single_spu_schemes_coincide() {
     let run = |scheme: Scheme| {
-        let cfg = MachineConfig::new(3, 16, 1).with_scheme(scheme);
+        let cfg = MachineConfig::builder()
+            .topology(3, 16, 1)
+            .scheme(scheme)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
         for i in 0..5 {
             k.spawn_at(
@@ -44,7 +48,11 @@ fn single_spu_schemes_coincide() {
 #[test]
 fn saturated_piso_equals_quota() {
     let run = |scheme: Scheme| {
-        let cfg = MachineConfig::new(2, 16, 1).with_scheme(scheme);
+        let cfg = MachineConfig::builder()
+            .topology(2, 16, 1)
+            .scheme(scheme)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(2));
         // Both SPUs have exactly continuous work for their one CPU.
         for s in 0..2u32 {
@@ -77,7 +85,11 @@ fn saturated_piso_equals_quota() {
 #[test]
 fn lone_fitting_job_sees_no_scheme_difference() {
     let run = |scheme: Scheme| {
-        let cfg = MachineConfig::new(4, 32, 1).with_scheme(scheme);
+        let cfg = MachineConfig::builder()
+            .topology(4, 32, 1)
+            .scheme(scheme)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, SpuSet::equal_users(4));
         k.spawn_at(SpuId::user(2), cpu_job(500), Some("lone"), SimTime::ZERO);
         let m = k.run(SimTime::from_secs(30));
@@ -130,7 +142,11 @@ fn single_stream_disk_schedulers_coincide() {
 #[test]
 fn smp_ignores_spu_structure() {
     let run = |spus: SpuSet, assign: &dyn Fn(usize) -> SpuId| {
-        let cfg = MachineConfig::new(2, 16, 1).with_scheme(Scheme::Smp);
+        let cfg = MachineConfig::builder()
+            .topology(2, 16, 1)
+            .scheme(Scheme::Smp)
+            .build()
+            .unwrap();
         let mut k = Kernel::new(cfg, spus);
         for i in 0..4 {
             k.spawn_at(

@@ -5,7 +5,10 @@
 use std::path::PathBuf;
 
 use perf_isolation::experiments::net_bw::NetBwScenario;
-use perf_isolation::experiments::sweep::{all_scenarios, run_pool, run_scenario, SweepOptions};
+use perf_isolation::experiments::scaling::CpuScaleScenario;
+use perf_isolation::experiments::sweep::{
+    all_scenarios, run_pool, run_scenario, Render, SweepOptions,
+};
 use perf_isolation::Scale;
 
 /// A fresh per-test scratch directory under the system temp dir.
@@ -65,6 +68,26 @@ fn pooled_execution_is_byte_identical_to_per_scenario_runs() {
             );
         }
     }
+}
+
+#[test]
+fn cpu_scale_cache_round_trip_is_invisible() {
+    // The cpu-scale scenario is deliberately not in `all_scenarios`
+    // (the paper-tables golden predates it), so it gets its own cache
+    // and thread-count coverage here.
+    let dir = temp_dir("cpu-scale");
+    let scenario = CpuScaleScenario::capped(Scale::Quick, 32);
+    let opts = SweepOptions::new().cache_dir(&dir);
+    let first = run_scenario(&scenario, &opts);
+    assert!(first.stats.iter().all(|s| !s.cached));
+    let second = run_scenario(&scenario, &opts.clone().threads(4));
+    assert!(
+        second.stats.iter().all(|s| s.cached),
+        "second run must hit on every cell"
+    );
+    assert_eq!(first.outcomes_jsonl, second.outcomes_jsonl);
+    assert_eq!(first.report.render(), second.report.render());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
