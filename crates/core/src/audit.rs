@@ -16,6 +16,10 @@
 //!    by idle entitlement plus unassigned capacity, again within a
 //!    grace period (a revoked loan still outstanding past its deadline
 //!    shows up here).
+//! 6. Subtree conservation (hierarchical SPU sets only): each tenant's
+//!    services collectively stay within their collective allowed level
+//!    under enforcement and pressure, within the same grace period —
+//!    the per-tenant roll-up of invariant 4 (DESIGN.md §14).
 
 use std::fmt;
 
@@ -68,6 +72,18 @@ pub enum AuditViolation {
         /// Units coverable by idle entitlement + unassigned capacity.
         coverable: u64,
     },
+    /// Subtree conservation (multi-tenant machines): a tenant's
+    /// services collectively stayed over their collective allowed
+    /// level past the grace period while the machine was under
+    /// pressure.
+    TenantOverdraft {
+        /// The tenant index in breach.
+        tenant: u32,
+        /// Units used across the tenant's services.
+        used: u64,
+        /// Units allowed across the tenant's services.
+        allowed: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -99,6 +115,16 @@ impl fmt::Display for AuditViolation {
                     "loans unbalanced: granted {granted} > coverable {coverable}"
                 )
             }
+            AuditViolation::TenantOverdraft {
+                tenant,
+                used,
+                allowed,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant}: subtree overdraft {used}/{allowed} past grace under pressure"
+                )
+            }
         }
     }
 }
@@ -114,6 +140,9 @@ pub struct LedgerAuditor {
     recorded: Vec<AuditViolation>,
     overdraft_since: Vec<Option<SimTime>>,
     imbalance_since: Option<SimTime>,
+    /// Per-tenant grace clocks, lazily sized on the first hierarchical
+    /// check (the auditor is constructed from an SPU count alone).
+    tenant_overdraft_since: Vec<Option<SimTime>>,
 }
 
 impl LedgerAuditor {
@@ -128,6 +157,7 @@ impl LedgerAuditor {
             recorded: Vec::new(),
             overdraft_since: vec![None; spu_count],
             imbalance_since: None,
+            tenant_overdraft_since: Vec::new(),
         }
     }
 
@@ -216,6 +246,36 @@ impl LedgerAuditor {
                 }
             } else {
                 self.imbalance_since = None;
+            }
+        }
+
+        // Subtree conservation: the per-tenant roll-up of the overdraft
+        // check. Reported at tenant granularity so a consolidation host
+        // can tell *which customer's* subtree is in breach even when the
+        // per-service overdrafts look individually small.
+        if let Some(tree) = spus.tree() {
+            if self.tenant_overdraft_since.len() < tree.tenant_count() {
+                self.tenant_overdraft_since
+                    .resize(tree.tenant_count(), None);
+            }
+            for (t, tenant) in tree.tenants().iter().enumerate() {
+                let (used, allowed) = tenant.leaves().iter().fold((0u64, 0u64), |(u, a), &l| {
+                    let levels = ledger.levels(SpuId::user(l));
+                    (u + levels.used, a + levels.allowed)
+                });
+                if !enforce || !pressure || used <= allowed {
+                    self.tenant_overdraft_since[t] = None;
+                    continue;
+                }
+                let since = *self.tenant_overdraft_since[t].get_or_insert(now);
+                if now.saturating_since(since) > self.grace {
+                    self.record(AuditViolation::TenantOverdraft {
+                        tenant: t as u32,
+                        used,
+                        allowed,
+                    });
+                    self.tenant_overdraft_since[t] = Some(now);
+                }
             }
         }
 
@@ -383,6 +443,82 @@ mod tests {
     }
 
     #[test]
+    fn tenant_overdraft_rolls_up_past_grace() {
+        use crate::hierarchy::SpuTree;
+        // Tenant 0 owns services 0 and 1; tenant 1 owns service 2.
+        let spus = SpuSet::with_weights(&[1, 1, 2]).with_tree(SpuTree::new(vec![
+            ("acme".into(), 2, vec![0, 1]),
+            ("globex".into(), 2, vec![2]),
+        ]));
+        let mut ledger = ResourceLedger::new(100, spus.total_count());
+        for (i, allowed) in [(0, 10), (1, 10), (2, 40)] {
+            ledger.set_entitled(SpuId::user(i), allowed);
+            ledger.set_allowed(SpuId::user(i), allowed);
+        }
+        // Service 0 overdrafts hard enough to sink its whole tenant:
+        // acme uses 30+10 = 40 of its collective 20 allowance.
+        ledger.charge(SpuId::user(0), 30, false).unwrap();
+        ledger.charge(SpuId::user(1), 10, false).unwrap();
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        // Idle machine: overdrafts are fine, subtree included.
+        assert_eq!(
+            a.check(&ledger, &spus, true, false, SimTime::from_secs(1)),
+            0
+        );
+        // Pressure starts: clocks start, still inside grace.
+        assert_eq!(
+            a.check(&ledger, &spus, true, true, SimTime::from_secs(2)),
+            0
+        );
+        // Past grace: the per-SPU overdraft (service 0) *and* the
+        // tenant roll-up fire; globex stays clean.
+        assert_eq!(
+            a.check(&ledger, &spus, true, true, SimTime::from_secs(3)),
+            2
+        );
+        assert!(a.violations().iter().any(|v| matches!(
+            v,
+            AuditViolation::TenantOverdraft {
+                tenant: 0,
+                used: 40,
+                allowed: 20,
+            }
+        )));
+        assert!(!a
+            .violations()
+            .iter()
+            .any(|v| matches!(v, AuditViolation::TenantOverdraft { tenant: 1, .. })));
+    }
+
+    #[test]
+    fn tenant_within_collective_allowance_passes() {
+        use crate::hierarchy::SpuTree;
+        let spus = SpuSet::with_weights(&[1, 1]).with_tree(SpuTree::new(vec![(
+            "acme".into(),
+            2,
+            vec![0, 1],
+        )]));
+        let mut ledger = ResourceLedger::new(100, spus.total_count());
+        ledger.set_entitled(SpuId::user(0), 10);
+        ledger.set_allowed(SpuId::user(0), 10);
+        ledger.set_entitled(SpuId::user(1), 30);
+        ledger.set_allowed(SpuId::user(1), 30);
+        // Service 0 overdrafts, but its idle sibling's allowance covers
+        // the subtree: 30 used of acme's collective 40.
+        ledger.charge(SpuId::user(0), 30, false).unwrap();
+        let mut a = LedgerAuditor::new(spus.total_count(), grace());
+        for s in 1..5 {
+            let fresh = a.check(&ledger, &spus, true, true, SimTime::from_secs(s));
+            // Only the per-SPU overdraft may fire, never the tenant.
+            assert!(!a
+                .violations()
+                .iter()
+                .any(|v| matches!(v, AuditViolation::TenantOverdraft { .. })));
+            let _ = fresh;
+        }
+    }
+
+    #[test]
     fn violations_display() {
         let v = AuditViolation::OverdueOverdraft {
             spu: SpuId::user(0),
@@ -395,6 +531,12 @@ mod tests {
             coverable: 3,
         };
         assert!(v.to_string().contains("unbalanced"));
+        let v = AuditViolation::TenantOverdraft {
+            tenant: 1,
+            used: 9,
+            allowed: 4,
+        };
+        assert!(v.to_string().contains("subtree overdraft"));
     }
 
     #[test]

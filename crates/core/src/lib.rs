@@ -20,6 +20,8 @@
 //! # Modules
 //!
 //! * [`spu`] — SPU identity, the built-in `kernel` and `shared` SPUs (§2.2).
+//! * [`hierarchy`] — the tenant/service entitlement tree overlaying the
+//!   flat SPU set (multi-tenant consolidation; depth-1 ≡ flat).
 //! * [`resource`] — resource kinds and the three-level accounting record.
 //! * [`ledger`] — per-SPU countable-resource accounting with isolation
 //!   enforcement (memory pages).
@@ -55,6 +57,7 @@
 pub mod audit;
 pub mod cpu_policy;
 pub mod disk_policy;
+pub mod hierarchy;
 pub mod ledger;
 pub mod manager;
 pub mod mem_policy;
@@ -66,6 +69,7 @@ pub mod spu;
 pub use audit::{AuditViolation, LedgerAuditor};
 pub use cpu_policy::{CpuAssignment, CpuPartition, SharedCpuRotor};
 pub use disk_policy::BandwidthTracker;
+pub use hierarchy::{SpuTree, Tenant};
 pub use ledger::{ChargeError, ResourceLedger, ShardedLedger};
 pub use manager::{
     LedgerManager, LevelSnapshot, PIsoSharing, PolicyInput, QuotaSharing, ResourceManager,

@@ -27,6 +27,7 @@
 use event_sim::SimTime;
 
 use crate::audit::LedgerAuditor;
+use crate::hierarchy::SpuTree;
 use crate::ledger::{ChargeError, ResourceLedger, ShardedLedger};
 use crate::resource::{ResourceKind, ResourceLevels};
 use crate::scheme::Scheme;
@@ -88,6 +89,23 @@ pub trait SharingPolicy {
     /// `(spu, allowed)` pairs in input order; every allowed level is at
     /// least the SPU's entitlement.
     fn lend_idle(&self, total: u64, reserve: u64, inputs: &[PolicyInput]) -> Vec<(SpuId, u64)>;
+
+    /// Tree-aware lending: like [`lend_idle`](Self::lend_idle), but on
+    /// a multi-tenant machine idle units flow to pressured *siblings*
+    /// inside the owning tenant first and only the idle of tenants with
+    /// no pressure (plus rounding slack) escalates to the machine-wide
+    /// pool. Flat machines (`tree == None`) delegate to `lend_idle`
+    /// unchanged, so flat behaviour is bit-identical.
+    fn lend_idle_scoped(
+        &self,
+        total: u64,
+        reserve: u64,
+        inputs: &[PolicyInput],
+        tree: Option<&SpuTree>,
+    ) -> Vec<(SpuId, u64)> {
+        let _ = tree;
+        self.lend_idle(total, reserve, inputs)
+    }
 
     /// Lowers an SPU's allowed level back to its entitlement
     /// (revocation of outstanding loans).
@@ -245,6 +263,96 @@ impl SharingPolicy for PIsoSharing {
                 }
                 out[idx].1 += grant;
             }
+        }
+        out
+    }
+
+    /// Hierarchical §3.2: two passes over the same lendable budget.
+    ///
+    /// **Pass 1 (siblings).** Each tenant's own idle units go to its
+    /// pressured services, split equally — a noisy neighbour *inside*
+    /// the tenant is fed from the tenant's own headroom before anything
+    /// crosses a tenant boundary.
+    ///
+    /// **Pass 2 (escalation).** Whatever remains of the budget — idle
+    /// units of tenants with no pressured service, plus rounding slack
+    /// — is divided equally among every pressured service machine-wide,
+    /// exactly like the flat policy.
+    ///
+    /// The total lent equals the flat policy's `idle + slack − reserve`
+    /// budget, so machine-level conservation is unchanged; only the
+    /// distribution becomes tenant-local-first.
+    fn lend_idle_scoped(
+        &self,
+        total: u64,
+        reserve: u64,
+        inputs: &[PolicyInput],
+        tree: Option<&SpuTree>,
+    ) -> Vec<(SpuId, u64)> {
+        let Some(tree) = tree else {
+            return self.lend_idle(total, reserve, inputs);
+        };
+        // Input position per user index (inputs usually arrive in user
+        // order, but the contract does not require it).
+        let mut pos = vec![usize::MAX; tree.leaf_count()];
+        for (i, inp) in inputs.iter().enumerate() {
+            if let Some(u) = inp.spu.user_index() {
+                if u < pos.len() {
+                    pos[u] = i;
+                }
+            }
+        }
+        let entitled_total: u64 = inputs.iter().map(|i| i.levels.entitled).sum();
+        let slack = total.saturating_sub(entitled_total);
+        let idle: u64 = inputs.iter().map(|i| i.levels.idle()).sum::<u64>() + slack;
+        let mut budget = idle.saturating_sub(reserve);
+
+        let mut out = entitlements(inputs);
+        let split_equally = |out: &mut Vec<(SpuId, u64)>, members: &[usize], amount: u64| {
+            let share = amount / members.len() as u64;
+            let mut rem = amount % members.len() as u64;
+            for &idx in members {
+                let mut grant = share;
+                if rem > 0 {
+                    grant += 1;
+                    rem -= 1;
+                }
+                out[idx].1 += grant;
+            }
+        };
+
+        for tenant in tree.tenants() {
+            let members: Vec<usize> = tenant
+                .leaves()
+                .iter()
+                .filter_map(|&l| pos.get(l as usize).copied())
+                .filter(|&p| p != usize::MAX)
+                .collect();
+            let pressured: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&p| inputs[p].pressured)
+                .collect();
+            if pressured.is_empty() {
+                continue;
+            }
+            let local: u64 = members.iter().map(|&p| inputs[p].levels.idle()).sum();
+            let grant_total = local.min(budget);
+            if grant_total == 0 {
+                continue;
+            }
+            budget -= grant_total;
+            split_equally(&mut out, &pressured, grant_total);
+        }
+
+        let pressured: Vec<usize> = inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.pressured)
+            .map(|(idx, _)| idx)
+            .collect();
+        if budget > 0 && !pressured.is_empty() {
+            split_equally(&mut out, &pressured, budget);
         }
         out
     }
@@ -498,5 +606,101 @@ mod tests {
     fn kernel_charges_bypass_enforcement() {
         let mut m = manager(Scheme::Quota);
         assert!(m.charge(SpuId::KERNEL, 70).is_ok());
+    }
+
+    fn level_input(n: u32, entitled: u64, used: u64, pressured: bool) -> PolicyInput {
+        PolicyInput {
+            spu: SpuId::user(n),
+            levels: ResourceLevels {
+                entitled,
+                allowed: entitled,
+                used,
+            },
+            pressured,
+        }
+    }
+
+    #[test]
+    fn scoped_lending_without_tree_matches_flat() {
+        let inputs = [
+            level_input(0, 100, 0, false),
+            level_input(1, 100, 100, true),
+            level_input(2, 100, 100, true),
+        ];
+        assert_eq!(
+            PIsoSharing.lend_idle_scoped(300, 10, &inputs, None),
+            PIsoSharing.lend_idle(300, 10, &inputs)
+        );
+    }
+
+    #[test]
+    fn scoped_lending_prefers_siblings() {
+        // Tenant a = {user0 idle, user1 pressured}; tenant b = {user2
+        // pressured}. Flat lending would split user0's 100 idle units
+        // 50/50 between the two pressured SPUs; sibling-first keeps all
+        // of tenant a's idle inside tenant a.
+        let tree = SpuTree::new(vec![
+            ("a".into(), 200, vec![0, 1]),
+            ("b".into(), 100, vec![2]),
+        ]);
+        let inputs = [
+            level_input(0, 100, 0, false),
+            level_input(1, 100, 100, true),
+            level_input(2, 100, 100, true),
+        ];
+        let out = PIsoSharing.lend_idle_scoped(300, 0, &inputs, Some(&tree));
+        assert_eq!(out[0].1, 100, "lender keeps its entitlement");
+        assert_eq!(out[1].1, 200, "sibling gets all of the tenant's idle");
+        assert_eq!(out[2].1, 100, "other tenant gets nothing");
+        let flat = PIsoSharing.lend_idle(300, 0, &inputs);
+        assert_eq!(flat[1].1, 150);
+        assert_eq!(flat[2].1, 150);
+    }
+
+    #[test]
+    fn scoped_lending_escalates_unclaimed_idle() {
+        // Tenant a's service is idle and unpressured; tenant b's is
+        // pressured with no local headroom. The idle escapes upward.
+        let tree = SpuTree::new(vec![("a".into(), 100, vec![0]), ("b".into(), 100, vec![1])]);
+        let inputs = [
+            level_input(0, 100, 20, false),
+            level_input(1, 100, 100, true),
+        ];
+        let out = PIsoSharing.lend_idle_scoped(200, 30, &inputs, Some(&tree));
+        // 80 idle − 30 reserve = 50 escalated to the pressured tenant.
+        assert_eq!(out[1].1, 150);
+        assert_eq!(out[0].1, 100);
+    }
+
+    #[test]
+    fn scoped_lending_spends_the_flat_budget_exactly() {
+        let tree = SpuTree::new(vec![
+            ("a".into(), 200, vec![0, 1]),
+            ("b".into(), 200, vec![2, 3]),
+        ]);
+        let inputs = [
+            level_input(0, 100, 40, false),
+            level_input(1, 100, 100, true),
+            level_input(2, 100, 10, false),
+            level_input(3, 100, 100, true),
+        ];
+        for reserve in [0u64, 25, 100, 1000] {
+            let scoped = PIsoSharing.lend_idle_scoped(420, reserve, &inputs, Some(&tree));
+            let flat = PIsoSharing.lend_idle(420, reserve, &inputs);
+            let lent = |out: &[(SpuId, u64)]| -> u64 {
+                out.iter()
+                    .zip(&inputs)
+                    .map(|(&(_, a), i)| a - i.levels.entitled)
+                    .sum()
+            };
+            assert_eq!(
+                lent(&scoped),
+                lent(&flat),
+                "reserve={reserve}: scoped lending must spend the same budget"
+            );
+            for (s, i) in scoped.iter().zip(&inputs) {
+                assert!(s.1 >= i.levels.entitled, "allowed below entitled");
+            }
+        }
     }
 }

@@ -116,6 +116,10 @@ pub struct SpuSet {
     mem_weights: Option<Vec<u32>>,
     disk_weights: Option<Vec<u32>>,
     names: Vec<String>,
+    /// The tenant hierarchy, when the machine is multi-tenant. `None`
+    /// (the flat case) behaves — and hashes — exactly like the
+    /// pre-hierarchy `SpuSet`.
+    tree: Option<crate::hierarchy::SpuTree>,
 }
 
 impl SpuSet {
@@ -147,6 +151,79 @@ impl SpuSet {
             mem_weights: None,
             disk_weights: None,
             names,
+            tree: None,
+        }
+    }
+
+    /// Attaches a tenant hierarchy (see [`SpuTree`]). The leaf SPUs
+    /// keep their flat weights; the tree adds tenant scoping for
+    /// lending, revocation, brown-out and the subtree audit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's leaf count differs from the user SPU count
+    /// or the children of any tenant oversubscribe its ceiling (the
+    /// config builder reports the same condition as a typed error).
+    pub fn with_tree(mut self, tree: crate::hierarchy::SpuTree) -> Self {
+        assert_eq!(
+            tree.leaf_count(),
+            self.weights.len(),
+            "one tree leaf per user SPU"
+        );
+        if let Some((t, ceiling, requested)) = tree.oversubscribed(&self.weights) {
+            panic!(
+                "tenant {:?} oversubscribed: services request {requested} of ceiling {ceiling}",
+                tree.tenant(t).name()
+            );
+        }
+        self.tree = Some(tree);
+        self
+    }
+
+    /// The tenant hierarchy, if one was attached.
+    pub fn tree(&self) -> Option<&crate::hierarchy::SpuTree> {
+        self.tree.as_ref()
+    }
+
+    /// Whether this machine is multi-tenant (a tree is attached).
+    pub fn is_hierarchical(&self) -> bool {
+        self.tree.is_some()
+    }
+
+    /// The tenant index a user SPU belongs to; `None` on flat machines
+    /// and for the built-in SPUs.
+    pub fn tenant_of(&self, id: SpuId) -> Option<usize> {
+        self.tree.as_ref().and_then(|t| t.tenant_of(id))
+    }
+
+    /// Whether two SPUs are services of the same tenant (always false
+    /// on flat machines).
+    pub fn same_tenant(&self, a: SpuId, b: SpuId) -> bool {
+        self.tree.as_ref().is_some_and(|t| t.same_tenant(a, b))
+    }
+
+    /// Sum of the leaf weights under one tenant — the tenant's rollup
+    /// entitlement (≤ its ceiling by construction).
+    pub fn tenant_weight(&self, t: usize) -> u32 {
+        match &self.tree {
+            Some(tree) => tree
+                .tenant(t)
+                .leaves()
+                .iter()
+                .map(|&l| self.weights[l as usize])
+                .sum(),
+            None => 0,
+        }
+    }
+
+    /// The hierarchical display path of an SPU: `tenant/service` on
+    /// multi-tenant machines, the flat name otherwise.
+    pub fn path(&self, id: SpuId) -> String {
+        match &self.tree {
+            Some(tree) => tree
+                .path(id, self.name(id))
+                .unwrap_or_else(|| self.name(id).to_string()),
+            None => self.name(id).to_string(),
         }
     }
 
@@ -340,6 +417,12 @@ impl event_sim::Fingerprint for SpuSet {
         for name in &self.names {
             h.write_str(name);
         }
+        // Hashed only when present so flat sets keep their pre-tree
+        // digests — the depth-1 bit-compatibility guarantee.
+        if let Some(tree) = &self.tree {
+            h.write_str("tree");
+            tree.fingerprint(h);
+        }
     }
 }
 
@@ -483,5 +566,79 @@ mod tests {
     #[should_panic(expected = "one weight per user SPU")]
     fn mismatched_resource_weights_panic() {
         SpuSet::with_weights(&[1, 1]).with_memory_weights(&[1]);
+    }
+
+    fn tenanted() -> SpuSet {
+        SpuSet::with_weights(&[1, 1, 2])
+            .named(0, "web")
+            .named(1, "worker")
+            .named(2, "db")
+            .with_tree(crate::hierarchy::SpuTree::new(vec![
+                ("acme".into(), 2, vec![0, 1]),
+                ("globex".into(), 2, vec![2]),
+            ]))
+    }
+
+    #[test]
+    fn tree_scopes_tenancy_and_paths() {
+        let s = tenanted();
+        assert!(s.is_hierarchical());
+        assert_eq!(s.tenant_of(SpuId::user(1)), Some(0));
+        assert_eq!(s.tenant_of(SpuId::KERNEL), None);
+        assert!(s.same_tenant(SpuId::user(0), SpuId::user(1)));
+        assert!(!s.same_tenant(SpuId::user(1), SpuId::user(2)));
+        assert_eq!(s.tenant_weight(0), 2);
+        assert_eq!(s.tenant_weight(1), 2);
+        assert_eq!(s.path(SpuId::user(0)), "acme/web");
+        assert_eq!(s.path(SpuId::user(2)), "globex/db");
+        assert_eq!(s.path(SpuId::KERNEL), "kernel");
+    }
+
+    #[test]
+    fn flat_sets_report_no_tenancy() {
+        let s = SpuSet::equal_users(2);
+        assert!(!s.is_hierarchical());
+        assert!(s.tree().is_none());
+        assert_eq!(s.tenant_of(SpuId::user(0)), None);
+        assert!(!s.same_tenant(SpuId::user(0), SpuId::user(1)));
+        assert_eq!(s.tenant_weight(0), 0);
+        assert_eq!(s.path(SpuId::user(1)), "user1");
+    }
+
+    #[test]
+    fn tree_attachment_preserves_flat_fingerprint_when_absent() {
+        use event_sim::{Fingerprint, Fnv64};
+        let hash = |s: &SpuSet| {
+            let mut h = Fnv64::new();
+            s.fingerprint(&mut h);
+            h.finish()
+        };
+        let flat = SpuSet::with_weights(&[1, 1, 2])
+            .named(0, "web")
+            .named(1, "worker")
+            .named(2, "db");
+        // Attaching a tree changes the digest; the flat set's digest is
+        // computed from exactly the pre-hierarchy field writes.
+        assert_ne!(hash(&flat), hash(&tenanted()));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn oversubscribing_tree_panics() {
+        SpuSet::with_weights(&[2, 2]).with_tree(crate::hierarchy::SpuTree::new(vec![(
+            "a".into(),
+            3,
+            vec![0, 1],
+        )]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one tree leaf per user SPU")]
+    fn wrong_leaf_count_panics() {
+        SpuSet::with_weights(&[1, 1]).with_tree(crate::hierarchy::SpuTree::new(vec![(
+            "a".into(),
+            1,
+            vec![0],
+        )]));
     }
 }

@@ -15,13 +15,14 @@
 //! | [`scaling`] | load-scaling sweep of the isolation guarantee (extension) |
 //! | [`ablation`] | §3.2 / §3.3 / §3.4 design-choice sweeps |
 //! | [`overload`] | open-loop overload, admission control & shedding (robustness extension) |
+//! | [`consolidation`] | hierarchical SPUs: tenant- and service-level isolation (hierarchy extension) |
 //!
 //! Every experiment has a [`Scale::Full`] variant (the paper's
 //! parameters) and a [`Scale::Quick`] variant (same structure, smaller
 //! jobs) used by the Criterion benches and tests. Results carry a
 //! `format()` method producing the paper-shaped text table.
 //!
-//! All eleven harnesses implement the [`sweep::Scenario`] trait, so any
+//! All twelve harnesses implement the [`sweep::Scenario`] trait, so any
 //! experiment matrix — or all of them, via [`sweep::all_scenarios`] —
 //! can be driven by the deterministic parallel executor in [`sweep`]
 //! with content-addressed result caching.
@@ -35,6 +36,7 @@
 //! ```
 
 pub mod ablation;
+pub mod consolidation;
 pub mod cpu_iso;
 pub mod disk_bw;
 pub mod fault_isolation;

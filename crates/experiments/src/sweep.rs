@@ -892,6 +892,7 @@ pub fn all_scenarios(scale: Scale) -> Vec<Box<dyn AnyScenario>> {
         Box::new(crate::scaling::ScalingScenario::standard(scale)),
         Box::new(crate::ablation::AblationScenario::standard(scale)),
         Box::new(crate::overload::OverloadScenario::seed(scale)),
+        Box::new(crate::consolidation::ConsolidationScenario::seed(scale)),
     ]
 }
 

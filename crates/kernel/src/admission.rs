@@ -117,9 +117,23 @@ impl Kernel {
     }
 
     /// Whether `spu`'s admission queue is backed up — the signal for
-    /// brown-out (degrade optional work before dropping requests).
+    /// brown-out (degrade optional work before dropping requests). On
+    /// hierarchical SPU sets brown-out is parent-level: a backed-up
+    /// sibling service browns out the whole tenant, so every service
+    /// sheds optional work before any service sheds requests.
     pub(crate) fn in_brownout(&self, spu: SpuId) -> bool {
-        self.cfg.tuning.admission_cap > 0 && !self.admission[spu.index()].waiting.is_empty()
+        if self.cfg.tuning.admission_cap == 0 {
+            return false;
+        }
+        if !self.admission[spu.index()].waiting.is_empty() {
+            return true;
+        }
+        match self.spus.tree() {
+            Some(tree) => tree
+                .siblings(spu)
+                .any(|s| !self.admission[s.index()].waiting.is_empty()),
+            None => false,
+        }
     }
 
     /// A request arrives at (or is resubmitted to) its SPU's admission
@@ -340,7 +354,7 @@ impl Kernel {
                 }
                 Some(SpuRequests {
                     spu,
-                    name: self.spus.name(spu).to_string(),
+                    name: self.spus.path(spu),
                     arrivals: q.arrivals,
                     admitted: q.admitted,
                     shed: q.shed,

@@ -9,7 +9,7 @@ use std::fmt;
 
 use event_sim::{FaultPlan, Fingerprint, Fnv64, SimDuration};
 use hp_disk::SchedulerKind;
-use spu_core::{Scheme, ShedPolicy, SpuSet};
+use spu_core::{Scheme, ShedPolicy, SpuSet, SpuTree};
 
 /// Bytes per page (IRIX on R4000 used 4 KB pages).
 pub const PAGE_SIZE: u64 = 4096;
@@ -204,32 +204,6 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
-    /// A machine with `cpus` CPUs, `memory_mb` MB of memory and
-    /// `disk_count` default disks, running the default scheme.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any quantity is zero.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use MachineConfig::builder().topology(cpus, memory_mb, disks) — \
-                the builder validates instead of panicking and scales to \
-                programmatic SPU sets"
-    )]
-    pub fn new(cpus: usize, memory_mb: u64, disk_count: usize) -> Self {
-        assert!(cpus > 0, "need at least one CPU");
-        assert!(memory_mb > 0, "need some memory");
-        assert!(disk_count > 0, "need at least one disk");
-        MachineConfig {
-            cpus,
-            memory_mb,
-            disks: vec![DiskSetup::default(); disk_count],
-            scheme: Scheme::default(),
-            tuning: Tuning::default(),
-            fault_plan: None,
-        }
-    }
-
     /// Sets the allocation scheme.
     pub fn with_scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = scheme;
@@ -403,6 +377,29 @@ pub enum ConfigError {
         /// The declared user-SPU count.
         count: usize,
     },
+    /// A tenant's service shares add up to more than the tenant's
+    /// entitlement ceiling — children cannot subdivide more than the
+    /// parent is entitled to.
+    TenantOversubscribed {
+        /// The oversubscribed tenant's name.
+        tenant: String,
+        /// The tenant's entitlement ceiling.
+        ceiling: u32,
+        /// The sum of the tenant's service weights.
+        requested: u32,
+    },
+    /// A tenant was declared without any services — an empty subtree
+    /// has no leaf SPUs to schedule.
+    EmptyTenant {
+        /// The offending tenant's name.
+        tenant: String,
+    },
+    /// [`service`](MachineConfigBuilder::service) was called before any
+    /// [`tenant`](MachineConfigBuilder::tenant) opened a subtree.
+    ServiceOutsideTenant {
+        /// The orphaned service's name.
+        service: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -442,6 +439,20 @@ impl fmt::Display for ConfigError {
                 f,
                 "{resource} share override names SPU {index} but only {count} SPUs are declared"
             ),
+            ConfigError::TenantOversubscribed {
+                tenant,
+                ceiling,
+                requested,
+            } => write!(
+                f,
+                "tenant {tenant:?} oversubscribed: services request {requested} of ceiling {ceiling}"
+            ),
+            ConfigError::EmptyTenant { tenant } => {
+                write!(f, "tenant {tenant:?} declares no services")
+            }
+            ConfigError::ServiceOutsideTenant { service } => {
+                write!(f, "service {service:?} declared before any tenant")
+            }
         }
     }
 }
@@ -493,6 +504,10 @@ impl std::error::Error for ConfigError {}
 ///     .unwrap_err();
 /// assert_eq!(err, ConfigError::ZeroShare { resource: "cpu", index: 1 });
 /// ```
+/// A pending tenant declaration: name, ceiling, and the
+/// `(service name, weight)` pairs declared under it so far.
+type TenantDecl = (String, u32, Vec<(String, u32)>);
+
 #[derive(Clone, Debug, Default)]
 pub struct MachineConfigBuilder {
     cpus: usize,
@@ -510,6 +525,10 @@ pub struct MachineConfigBuilder {
     spu_overrides: Vec<(usize, u32)>,
     spu_mem_overrides: Vec<(usize, u32)>,
     spu_disk_overrides: Vec<(usize, u32)>,
+    tenants: Vec<TenantDecl>,
+    orphan_service: Option<String>,
+    names: Option<Vec<String>>,
+    tree: Option<SpuTree>,
 }
 
 impl MachineConfigBuilder {
@@ -533,6 +552,58 @@ impl MachineConfigBuilder {
     pub fn spus(mut self, count: usize, default_share: u32) -> Self {
         self.spu_count = Some((count, default_share));
         self.shares = None;
+        self.tenants.clear();
+        self
+    }
+
+    /// Opens a tenant subtree with an entitlement `ceiling` (in the
+    /// same weight units as service shares). Subsequent
+    /// [`service`](Self::service) calls add leaf SPUs to this tenant
+    /// until the next `tenant` call opens another. Declaring tenants
+    /// produces a hierarchical [`SpuSet`] (see [`SpuTree`]); it
+    /// replaces any previously set [`shares`](Self::shares) vector or
+    /// [`spus`](Self::spus) declaration, and vice versa (last surface
+    /// wins).
+    ///
+    /// ```
+    /// use smp_kernel::MachineConfig;
+    /// use spu_core::{Scheme, SpuId};
+    ///
+    /// let (_, spus) = MachineConfig::builder()
+    ///     .topology(4, 64, 2)
+    ///     .scheme(Scheme::PIso)
+    ///     .tenant("acme", 2)
+    ///     .service("web", 1)
+    ///     .service("batch", 1)
+    ///     .tenant("globex", 2)
+    ///     .service("api", 2)
+    ///     .build_with_spus()
+    ///     .unwrap();
+    /// assert!(spus.is_hierarchical());
+    /// assert_eq!(spus.user_count(), 3);
+    /// assert_eq!(spus.path(SpuId::user(0)), "acme/web");
+    /// ```
+    pub fn tenant(mut self, name: &str, ceiling: u32) -> Self {
+        self.tenants.push((name.to_string(), ceiling, Vec::new()));
+        self.shares = None;
+        self.spu_count = None;
+        self
+    }
+
+    /// Adds a service (leaf SPU) with `weight` shares to the most
+    /// recently opened [`tenant`](Self::tenant). The weights of a
+    /// tenant's services may not add up to more than the tenant's
+    /// ceiling ([`ConfigError::TenantOversubscribed`]); undersubscribing
+    /// is fine, the slack stays with the tenant.
+    pub fn service(mut self, name: &str, weight: u32) -> Self {
+        match self.tenants.last_mut() {
+            Some((_, _, services)) => services.push((name.to_string(), weight)),
+            None => {
+                if self.orphan_service.is_none() {
+                    self.orphan_service = Some(name.to_string());
+                }
+            }
+        }
         self
     }
 
@@ -615,6 +686,7 @@ impl MachineConfigBuilder {
     pub fn shares(mut self, weights: &[u32]) -> Self {
         self.shares = Some(weights.to_vec());
         self.spu_count = None;
+        self.tenants.clear();
         self
     }
 
@@ -689,6 +761,57 @@ impl MachineConfigBuilder {
         Ok(())
     }
 
+    /// Materializes a [`tenant`](Self::tenant)/[`service`](Self::service)
+    /// declaration into a share vector, service names, and the
+    /// [`SpuTree`] to hang off the built [`SpuSet`]. Every tree panic is
+    /// pre-checked here so the builder reports typed errors instead.
+    fn materialize_tenants(&mut self) -> Result<(), ConfigError> {
+        if let Some(service) = &self.orphan_service {
+            return Err(ConfigError::ServiceOutsideTenant {
+                service: service.clone(),
+            });
+        }
+        if self.tenants.is_empty() {
+            return Ok(());
+        }
+        let mut weights: Vec<u32> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut tree_tenants: Vec<(String, u32, Vec<u32>)> = Vec::new();
+        for (name, ceiling, services) in &self.tenants {
+            if services.is_empty() {
+                return Err(ConfigError::EmptyTenant {
+                    tenant: name.clone(),
+                });
+            }
+            let mut leaves = Vec::new();
+            let mut requested: u64 = 0;
+            for (service, weight) in services {
+                if *weight == 0 {
+                    return Err(ConfigError::ZeroShare {
+                        resource: "cpu",
+                        index: weights.len(),
+                    });
+                }
+                requested += u64::from(*weight);
+                leaves.push(weights.len() as u32);
+                weights.push(*weight);
+                names.push(service.clone());
+            }
+            if requested > u64::from(*ceiling) {
+                return Err(ConfigError::TenantOversubscribed {
+                    tenant: name.clone(),
+                    ceiling: *ceiling,
+                    requested: requested.min(u64::from(u32::MAX)) as u32,
+                });
+            }
+            tree_tenants.push((name.clone(), *ceiling, leaves));
+        }
+        self.tree = Some(SpuTree::new(tree_tenants));
+        self.names = Some(names);
+        self.shares = Some(weights);
+        Ok(())
+    }
+
     /// Materializes the topology-declared SPU set into explicit share
     /// vectors, leaving an explicit [`shares`](Self::shares) builder
     /// untouched. Memory/disk vectors are only materialized when an
@@ -738,11 +861,17 @@ impl MachineConfigBuilder {
                 return Err(ConfigError::BadSeekScale { value: scale });
             }
         }
+        self.materialize_tenants()?;
         self.materialize_topology()?;
         let spus = match &self.shares {
             Some(shares) => {
                 Self::check_shares("cpu", shares, None)?;
                 let mut set = SpuSet::with_weights(shares);
+                if let Some(names) = &self.names {
+                    for (i, name) in names.iter().enumerate() {
+                        set = set.named(i, name);
+                    }
+                }
                 if let Some(mem) = &self.memory_shares {
                     Self::check_shares("memory", mem, Some(shares.len()))?;
                     set = set.with_memory_weights(mem);
@@ -750,6 +879,9 @@ impl MachineConfigBuilder {
                 if let Some(disk) = &self.disk_shares {
                     Self::check_shares("disk", disk, Some(shares.len()))?;
                     set = set.with_disk_weights(disk);
+                }
+                if let Some(tree) = self.tree.take() {
+                    set = set.with_tree(tree);
                 }
                 Some(set)
             }
@@ -832,13 +964,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one CPU")]
-    #[allow(deprecated)] // intentionally exercises the legacy constructor
-    fn zero_cpus_panics() {
-        MachineConfig::new(0, 16, 1);
-    }
-
-    #[test]
     fn seek_scale_applies_to_all_disks() {
         let m = MachineConfig::builder()
             .topology(2, 44, 3)
@@ -911,8 +1036,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // compares the builder against the legacy constructor
-    fn builder_matches_panicking_constructor() {
+    fn builder_fills_every_config_field() {
         let built = MachineConfig::builder()
             .cpus(2)
             .memory_mb(44)
@@ -922,12 +1046,19 @@ mod tests {
             .disk_scheduler(SchedulerKind::Hybrid)
             .build()
             .unwrap();
-        let classic = MachineConfig::new(2, 44, 1)
-            .with_scheme(Scheme::PIso)
-            .with_seek_scale(0.5)
-            .with_disk_scheduler(SchedulerKind::Hybrid);
-        assert_eq!(built, classic);
-        assert_eq!(built.fingerprint_digest(), classic.fingerprint_digest());
+        let by_hand = MachineConfig {
+            cpus: 2,
+            memory_mb: 44,
+            disks: vec![DiskSetup {
+                seek_scale: 0.5,
+                scheduler: Some(SchedulerKind::Hybrid),
+            }],
+            scheme: Scheme::PIso,
+            tuning: Tuning::default(),
+            fault_plan: None,
+        };
+        assert_eq!(built, by_hand);
+        assert_eq!(built.fingerprint_digest(), by_hand.fingerprint_digest());
     }
 
     #[test]
@@ -1023,6 +1154,113 @@ mod tests {
                 count: 2
             }
         );
+    }
+
+    #[test]
+    fn tenants_build_hierarchical_spu_set() {
+        let (_, spus) = MachineConfig::builder()
+            .topology(4, 64, 2)
+            .scheme(Scheme::PIso)
+            .tenant("acme", 3)
+            .service("web", 1)
+            .service("batch", 2)
+            .tenant("globex", 2)
+            .service("api", 2)
+            .build_with_spus()
+            .unwrap();
+        assert!(spus.is_hierarchical());
+        assert_eq!(spus.user_count(), 3);
+        assert_eq!(spus.weight(spu_core::SpuId::user(1)), 2);
+        assert_eq!(spus.path(spu_core::SpuId::user(0)), "acme/web");
+        assert_eq!(spus.path(spu_core::SpuId::user(2)), "globex/api");
+        assert_eq!(spus.tenant_of(spu_core::SpuId::user(1)), Some(0));
+        assert_eq!(spus.tenant_of(spu_core::SpuId::user(2)), Some(1));
+    }
+
+    #[test]
+    fn tenant_oversubscription_is_rejected_with_exact_message() {
+        let err = MachineConfig::builder()
+            .topology(4, 64, 2)
+            .tenant("acme", 2)
+            .service("web", 2)
+            .service("batch", 1)
+            .build_with_spus()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TenantOversubscribed {
+                tenant: "acme".to_string(),
+                ceiling: 2,
+                requested: 3,
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "tenant \"acme\" oversubscribed: services request 3 of ceiling 2"
+        );
+    }
+
+    #[test]
+    fn tenant_declaration_is_validated() {
+        let err = MachineConfig::builder()
+            .topology(4, 64, 2)
+            .tenant("acme", 2)
+            .build_with_spus()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::EmptyTenant {
+                tenant: "acme".to_string()
+            }
+        );
+        let err = MachineConfig::builder()
+            .topology(4, 64, 2)
+            .service("web", 1)
+            .build_with_spus()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ServiceOutsideTenant {
+                service: "web".to_string()
+            }
+        );
+        let err = MachineConfig::builder()
+            .topology(4, 64, 2)
+            .tenant("acme", 2)
+            .service("web", 0)
+            .build_with_spus()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroShare {
+                resource: "cpu",
+                index: 0
+            }
+        );
+    }
+
+    #[test]
+    fn tenants_and_flat_surfaces_last_call_wins() {
+        // tenant() after shares() replaces the flat vector...
+        let (_, spus) = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .shares(&[9, 9])
+            .tenant("acme", 1)
+            .service("web", 1)
+            .build_with_spus()
+            .unwrap();
+        assert!(spus.is_hierarchical());
+        assert_eq!(spus.user_count(), 1);
+        // ...and spus() after tenant() drops the hierarchy again.
+        let (_, spus) = MachineConfig::builder()
+            .topology(2, 44, 1)
+            .tenant("acme", 1)
+            .service("web", 1)
+            .spus(3, 1)
+            .build_with_spus()
+            .unwrap();
+        assert!(!spus.is_hierarchical());
+        assert_eq!(spus, SpuSet::equal_users(3));
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl Kernel {
             let mut needs_any = false;
             let mut cpu = 0;
             while let Some(c) = self.sched.next_loaned_cpu(cpu) {
-                if self.sched.needs_revocation(c) {
+                if self.sched.needs_revocation(&self.procs, c) {
                     needs_any = true;
                     if self.revoke_requested[c].is_none() {
                         self.revoke_requested[c] = Some(self.now);
@@ -224,7 +224,7 @@ impl Kernel {
         // a later CPU, which this sweep must still visit.
         let mut cpu = 0;
         while let Some(c) = self.sched.next_loaned_cpu(cpu) {
-            if self.sched.needs_revocation(c) {
+            if self.sched.needs_revocation(&self.procs, c) {
                 self.preempt(c);
                 self.dispatch(c);
             }

@@ -83,7 +83,7 @@ impl Kernel {
                 // Live sweep over the loaned list (see `on_tick`).
                 let mut cpu = 0;
                 while let Some(c) = self.sched.next_loaned_cpu(cpu) {
-                    if self.sched.needs_revocation(c) {
+                    if self.sched.needs_revocation(&self.procs, c) {
                         self.preempt(c);
                         self.dispatch(c);
                     }

@@ -327,7 +327,7 @@ pub fn chrome_trace_json(trace: &Trace, spus: &SpuSet, report: &ObsvReport) -> S
             "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\
              \"args\":{{\"name\":\"{}\"}}}}",
             id.index(),
-            json_escape(spus.name(id))
+            json_escape(&spus.path(id))
         ));
     }
     // On-CPU spans: Dispatch opens, Preempt/Block (or the next Dispatch

@@ -158,6 +158,22 @@ pub struct Kernel {
     pub(crate) counter_ids: KernelCounterIds,
 }
 
+/// Lowercases a display name and maps anything outside `[a-z0-9_]` to
+/// `_`, so tenant names can appear as segments of well-formed counter
+/// paths.
+fn counter_segment(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            let c = c.to_ascii_lowercase();
+            if c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Dense [`CounterId`]s for every counter the kernel publishes, plus the
 /// prototype registry they were interned into. Built once at boot;
 /// [`Kernel::publish_counters`] clones the prototype (an `Arc` bump for
@@ -418,7 +434,7 @@ impl Kernel {
             .spus
             .user_ids()
             .flat_map(|id| self.managers.iter().map(move |m| (id, m.kind())))
-            .map(|(id, r)| SampleSeries::new(id, self.spus.name(id), r))
+            .map(|(id, r)| SampleSeries::new(id, self.spus.path(id), r))
             .collect();
     }
 
@@ -674,6 +690,25 @@ impl Kernel {
             reg.set("requests.retries", sum.retries);
             reg.set("requests.brownout_skips", sum.brownout_skips);
         }
+        // Tenant roll-ups are interned only on hierarchical SPU sets, so
+        // flat machines' registries (and exports) stay byte-identical.
+        if let Some(tree) = self.spus.tree() {
+            reg.set("spu.tree.tenants", tree.tenant_count() as u64);
+            reg.set("spu.tree.services", tree.leaf_count() as u64);
+            for tenant in tree.tenants() {
+                let seg = counter_segment(tenant.name());
+                let (cpu, pages) = tenant.leaves().iter().fold((0u64, 0u64), |(c, p), &l| {
+                    let id = SpuId::user(l);
+                    (
+                        c + self.spu_cpu[id.index()].as_nanos(),
+                        p + self.vm.levels(id).used,
+                    )
+                });
+                reg.set(&format!("spu.tree.{seg}.ceiling"), tenant.ceiling() as u64);
+                reg.set(&format!("spu.tree.{seg}.cpu_nanos"), cpu);
+                reg.set(&format!("spu.tree.{seg}.pages_used"), pages);
+            }
+        }
         reg
     }
 
@@ -711,7 +746,7 @@ impl Kernel {
             let jobs = responses.len() as u64;
             per_spu.push(SpuSlo {
                 spu,
-                name: self.spus.name(spu).to_string(),
+                name: self.spus.path(spu),
                 jobs,
                 met,
                 violated: jobs - met,
@@ -748,12 +783,7 @@ impl Kernel {
         }
         latency.disk_service = disk_service;
         let interference = match &self.attribution {
-            Some(attr) => attr.report(
-                self.spus
-                    .all_ids()
-                    .map(|id| self.spus.name(id).to_string())
-                    .collect(),
-            ),
+            Some(attr) => attr.report(self.spus.all_ids().map(|id| self.spus.path(id)).collect()),
             None => Default::default(),
         };
         let obsv = ObsvReport {

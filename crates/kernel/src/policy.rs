@@ -410,7 +410,7 @@ impl Kernel {
         }
         let mut cpu = 0;
         while let Some(c) = self.sched.next_loaned_cpu(cpu) {
-            if self.sched.needs_revocation(c) {
+            if self.sched.needs_revocation(&self.procs, c) {
                 self.preempt(c);
                 self.dispatch(c);
             }

@@ -419,6 +419,57 @@ impl Scheduler {
         Some(self.remove_at(procs, q, slot))
     }
 
+    /// Ready sibling SPUs (same tenant, self excluded) of a CPU's home
+    /// SPUs, deduplicated in ascending user-index order. Empty on flat
+    /// SPU sets.
+    fn sibling_candidates(&self, cpu_idx: usize) -> Vec<SpuId> {
+        let Some(tree) = self.spus.tree() else {
+            return Vec::new();
+        };
+        let mut out: Vec<SpuId> = Vec::new();
+        let add = |home: SpuId, out: &mut Vec<SpuId>| {
+            for s in tree.siblings(home) {
+                if self.spu_ready[s.index()] > 0 && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        };
+        match &self.cpus[cpu_idx].assignment {
+            CpuAssignment::Dedicated(spu) => add(*spu, &mut out),
+            CpuAssignment::TimeShared(entries) => {
+                for (spu, _) in entries {
+                    add(*spu, &mut out);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Removes and returns the highest-priority ready process among the
+    /// given SPUs (the intra-tenant steal), scanning only non-empty
+    /// queues.
+    fn take_best_among(&mut self, procs: &mut ProcTable, spus: &[SpuId]) -> Option<Pid> {
+        if spus.iter().all(|s| self.spu_ready[s.index()] == 0) {
+            return None;
+        }
+        let mut best: Option<(i64, u64, usize, usize)> = None;
+        for &q in &self.busy_queues {
+            for (slot, &pid) in self.queues[q].iter().enumerate() {
+                let p = procs.get(pid);
+                if !spus.contains(&p.spu) {
+                    continue;
+                }
+                let key = (priority_band(p), p.ready_seq);
+                if best.is_none_or(|(bb, bs, _, _)| key < (bb, bs)) {
+                    best = Some((key.0, key.1, q, slot));
+                }
+            }
+        }
+        let (_, _, q, slot) = best?;
+        Some(self.remove_at(procs, q, slot))
+    }
+
     /// Chooses the next process for CPU `cpu_idx` following the scheme's
     /// rules. Returns `(pid, loaned)` or `None` if the CPU should idle.
     /// Steal order: the CPU's home SPUs first, then (PIso) any SPU with
@@ -447,6 +498,15 @@ impl Scheduler {
             return Some((pid, false));
         }
         if self.scheme == Scheme::PIso {
+            // Hierarchical sets relax the restriction in two steps: an
+            // idle CPU offers itself to its tenant's other services
+            // (sibling-first lending) before escalating machine-wide.
+            if self.spus.is_hierarchical() {
+                let siblings = self.sibling_candidates(cpu_idx);
+                if let Some(pid) = self.take_best_among(procs, &siblings) {
+                    return Some((pid, true));
+                }
+            }
             // Idle CPU: relax the SPU restriction and loan the CPU to the
             // highest-priority process of any SPU.
             return self.take_best_global(procs).map(|pid| (pid, true));
@@ -456,7 +516,8 @@ impl Scheduler {
 
     /// Finds an idle CPU suitable for a newly runnable process of `spu`
     /// via the free list: the lowest-index idle home CPU first, then
-    /// (PIso/SMP) the lowest-index idle CPU overall.
+    /// (hierarchical PIso) the lowest-index idle CPU homed to a sibling
+    /// service, then (PIso/SMP) the lowest-index idle CPU overall.
     pub fn find_idle_for(&self, spu: SpuId) -> Option<usize> {
         if self.scheme != Scheme::Smp {
             let mut best: Option<usize> = None;
@@ -469,6 +530,24 @@ impl Scheduler {
                 return best;
             }
         }
+        if self.scheme == Scheme::PIso {
+            if let Some(tree) = self.spus.tree() {
+                // Borrow from the tenant's own pool before a stranger's.
+                let mut best: Option<usize> = None;
+                for s in tree.siblings(spu) {
+                    for &c in &self.spu_home[s.index()] {
+                        if self.idle.contains(&(c as usize))
+                            && best.is_none_or(|b| (c as usize) < b)
+                        {
+                            best = Some(c as usize);
+                        }
+                    }
+                }
+                if best.is_some() {
+                    return best;
+                }
+            }
+        }
         if self.scheme.shares_idle_resources() || !spu.is_user() {
             self.idle.first().copied()
         } else {
@@ -478,16 +557,40 @@ impl Scheduler {
 
     /// Whether a loaned CPU should be revoked: it runs a borrowed process
     /// while a home-SPU process waits and no home CPU is free (§3.1).
-    pub fn needs_revocation(&self, cpu_idx: usize) -> bool {
+    /// On hierarchical SPU sets a CPU loaned *outside* its tenant is also
+    /// revoked when a sibling service of its home has waiting work — the
+    /// loan should have stayed inside the tenant. Intra-tenant loans
+    /// stand against sibling demand (only home demand reclaims them).
+    pub fn needs_revocation(&self, procs: &ProcTable, cpu_idx: usize) -> bool {
         let c = &self.cpus[cpu_idx];
-        if !c.online || !c.loaned || c.running.is_none() {
+        let Some(running) = c.running else {
+            return false;
+        };
+        if !c.online || !c.loaned {
             return false;
         }
-        match &c.assignment {
+        let home_ready = match &c.assignment {
             CpuAssignment::Dedicated(spu) => self.spu_ready[spu.index()] > 0,
             CpuAssignment::TimeShared(entries) => entries
                 .iter()
                 .any(|(spu, _)| self.spu_ready[spu.index()] > 0),
+        };
+        if home_ready {
+            return true;
+        }
+        let Some(tree) = self.spus.tree() else {
+            return false;
+        };
+        let running_spu = procs.get(running).spu;
+        let sibling_waits = |home: SpuId| {
+            !tree.same_tenant(home, running_spu)
+                && tree.siblings(home).any(|s| self.spu_ready[s.index()] > 0)
+        };
+        match &c.assignment {
+            CpuAssignment::Dedicated(spu) => sibling_waits(*spu),
+            CpuAssignment::TimeShared(entries) => {
+                entries.iter().any(|(spu, _)| sibling_waits(*spu))
+            }
         }
     }
 
@@ -680,10 +783,10 @@ mod tests {
         s.cpu_mut(cpu_of_user0).running = Some(pid);
         s.cpu_mut(cpu_of_user0).loaned = true;
         s.sync_cpu(cpu_of_user0);
-        assert!(!s.needs_revocation(cpu_of_user0));
+        assert!(!s.needs_revocation(&procs, cpu_of_user0));
         // A home process becomes ready: revocation needed.
         s.enqueue(&mut procs, Pid(0));
-        assert!(s.needs_revocation(cpu_of_user0));
+        assert!(s.needs_revocation(&procs, cpu_of_user0));
     }
 
     #[test]
@@ -698,6 +801,84 @@ mod tests {
         assert_eq!(s.pick(&mut procs, 0).unwrap().0, Pid(0));
         assert_eq!(s.pick(&mut procs, 0).unwrap().0, Pid(1));
         assert!(s.pick(&mut procs, 0).is_none());
+    }
+
+    fn tenanted4() -> SpuSet {
+        SpuSet::with_weights(&[1, 1, 1, 1]).with_tree(spu_core::SpuTree::new(vec![
+            ("a".into(), 2, vec![0, 1]),
+            ("b".into(), 2, vec![2, 3]),
+        ]))
+    }
+
+    fn home_of(s: &Scheduler, user: u32) -> usize {
+        (0..s.cpu_count())
+            .find(|&i| s.cpu(i).assignment.is_home_of(SpuId::user(user)))
+            .unwrap()
+    }
+
+    #[test]
+    fn sibling_steal_beats_stranger() {
+        let spus = tenanted4();
+        let mut s = Scheduler::new(Scheme::PIso, 4, &spus);
+        // Pid0: user1 (sibling of user0, worse priority); Pid1: user2
+        // (other tenant, better priority).
+        let mut procs = table_with(2, |i| SpuId::user(i + 1));
+        procs.get_mut(Pid(0)).p_cpu = 500.0;
+        procs.get_mut(Pid(1)).p_cpu = 0.0;
+        s.enqueue(&mut procs, Pid(0));
+        s.enqueue(&mut procs, Pid(1));
+        let cpu0 = home_of(&s, 0);
+        // user0's idle CPU lends itself inside the tenant first, even
+        // though the stranger outranks the sibling.
+        let (pid, loaned) = s.pick(&mut procs, cpu0).unwrap();
+        assert_eq!(pid, Pid(0), "tenant-mate must be stolen first");
+        assert!(loaned);
+        // With no sibling work left the loan escalates machine-wide.
+        let (pid, loaned) = s.pick(&mut procs, cpu0).unwrap();
+        assert_eq!(pid, Pid(1));
+        assert!(loaned);
+    }
+
+    #[test]
+    fn cross_tenant_loan_yields_to_sibling_demand() {
+        let spus = tenanted4();
+        let mut s = Scheduler::new(Scheme::PIso, 4, &spus);
+        // Pid0: user2 (tenant b); Pid1, Pid2: user1 (tenant a).
+        let mut procs = table_with(3, |i| SpuId::user([2, 1, 1][i as usize]));
+        let cpu0 = home_of(&s, 0);
+        // user0's CPU runs a cross-tenant loan.
+        s.cpu_mut(cpu0).running = Some(Pid(0));
+        s.cpu_mut(cpu0).loaned = true;
+        s.sync_cpu(cpu0);
+        assert!(!s.needs_revocation(&procs, cpu0));
+        // Sibling demand appears: the cross-tenant loan must yield.
+        s.enqueue(&mut procs, Pid(1));
+        assert!(s.needs_revocation(&procs, cpu0));
+        // An intra-tenant loan stands against the same sibling demand.
+        s.cpu_mut(cpu0).running = Some(Pid(2));
+        s.sync_cpu(cpu0);
+        assert!(!s.needs_revocation(&procs, cpu0));
+    }
+
+    #[test]
+    fn find_idle_prefers_sibling_cpu() {
+        let spus = tenanted4();
+        let mut s = Scheduler::new(Scheme::PIso, 4, &spus);
+        let (h2, h3) = (home_of(&s, 2), home_of(&s, 3));
+        // user2's own CPU is busy; its sibling's CPU idles alongside the
+        // other tenant's.
+        s.cpu_mut(h2).running = Some(Pid(0));
+        s.sync_cpu(h2);
+        assert_eq!(
+            s.find_idle_for(SpuId::user(2)),
+            Some(h3),
+            "sibling CPU first"
+        );
+        // Sibling busy too: fall back to the lowest idle CPU anywhere.
+        s.cpu_mut(h3).running = Some(Pid(1));
+        s.sync_cpu(h3);
+        let lowest = (0..4).find(|i| ![h2, h3].contains(i)).unwrap();
+        assert_eq!(s.find_idle_for(SpuId::user(2)), Some(lowest));
     }
 
     #[test]

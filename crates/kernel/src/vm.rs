@@ -612,7 +612,12 @@ impl MemoryManager {
             );
         }
         let reserve = self.policy.reserve_pages(user_pages);
-        for (spu, allowed) in sharing.lend_idle(user_pages, reserve, &inputs) {
+        // On hierarchical SPU sets idle pages flow to pressured siblings
+        // inside a tenant before escaping to other tenants; on flat sets
+        // (tree = None) this is exactly the old machine-wide lend.
+        for (spu, allowed) in
+            sharing.lend_idle_scoped(user_pages, reserve, &inputs, self.spus.tree())
+        {
             self.ledger.set_allowed(spu, allowed);
         }
         for p in &mut self.pressure {
@@ -736,6 +741,39 @@ mod tests {
             vm.acquire_frame(SpuId::user(0), anon(1, entitled as u32 + 1)),
             Acquired::Frame { evicted: None, .. }
         ));
+    }
+
+    #[test]
+    fn hierarchical_lending_prefers_sibling_pages() {
+        use spu_core::SpuTree;
+        // acme = {user0, user1}, globex = {user2}. user1 is idle; both
+        // user0 (sibling) and user2 (stranger) are pressured.
+        let spus = SpuSet::with_weights(&[1, 1, 1]).with_tree(SpuTree::new(vec![
+            ("acme".into(), 2, vec![0, 1]),
+            ("globex".into(), 1, vec![2]),
+        ]));
+        let mut vm = MemoryManager::new(1000, &spus, Scheme::PIso, 0.10, 0.08);
+        for (user, pid) in [(0, 1), (2, 3)] {
+            let entitled = vm.levels(SpuId::user(user)).entitled;
+            for i in 0..=entitled {
+                vm.acquire_frame(SpuId::user(user), anon(pid, i as u32));
+            }
+        }
+        vm.run_policy();
+        let loan = |u: u32| {
+            let l = vm.levels(SpuId::user(u));
+            l.allowed - l.entitled
+        };
+        // The sibling claims acme's idle pages before anything escapes
+        // to globex.
+        assert!(loan(0) > 0, "sibling got nothing");
+        assert!(
+            loan(0) > loan(2),
+            "sibling must be preferred: {} vs {}",
+            loan(0),
+            loan(2)
+        );
+        vm.check_invariants();
     }
 
     #[test]

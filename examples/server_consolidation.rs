@@ -1,134 +1,76 @@
 //! Server consolidation: the scenario the paper's introduction
 //! motivates ("a compute server often has to serve many masters"),
-//! expressed as a custom [`Scenario`] over the three schemes.
+//! grown to the multi-tenant shape the flat SPU model cannot express
+//! (hierarchy extension).
 //!
-//! A latency-sensitive OLTP database and a batch analytics job (full
-//! table scans plus heavy compute) are consolidated onto one machine
-//! with a shared disk. Under `SMP` the analytics scan's sequential
-//! stream and memory appetite wreck transaction latency; under `Quota`
-//! the analytics job is crippled whenever the database idles; `PIso`
-//! keeps transactions fast while the analytics job soaks up every idle
-//! cycle.
+//! Two tenants share the machine. Tenant `acme` runs a
+//! latency-sensitive service (`vic`) next to a noisy batch sibling
+//! (`noisy`) whose open-loop fork-bursts are driven past its
+//! entitlement; tenant `bell` runs its own service (`vic2`) and an idle
+//! `spare`. The matrix compares three ways of drawing the isolation
+//! domains — SMP (none), one flat PIso SPU per tenant, and the
+//! hierarchical per-service leaves under tenant ceilings — at 1.0× and
+//! 4.0× antagonist load. Flat per-tenant SPUs protect `bell` but let
+//! `acme`'s own sibling wreck `vic`; the hierarchy protects both
+//! levels.
 //!
-//! Run with: `cargo run --release --example server_consolidation [-- --threads 3]`
+//! Run with: `cargo run --release --example server_consolidation`
+//! (pass `--quick` for the reduced-scale variant, `--threads N` to run
+//! the 6 layout × load cells in parallel)
+//!
+//! An instrumented hierarchical run at 4.0× is exported to `results/`:
+//! * `consolidation_metrics.jsonl` — counters (including the
+//!   `spu.tree.*` tenant rollups), series, per-service SLO rows;
+//! * `consolidation_trace.json` — Chrome trace-event JSON with
+//!   tenant/service process names;
+//! * `consolidation_matrix.json` — the full matrix (the CI artifact).
 
-use perf_isolation::core::{Scheme, SpuId, SpuSet};
-use perf_isolation::experiments::sweep::{self, Scenario, SweepOptions, Value};
-use perf_isolation::kernel::{Kernel, MachineConfig, Program};
-use perf_isolation::sim::{SimDuration, SimTime};
-use perf_isolation::workloads::OltpConfig;
-
-/// One cell per scheme; each measures OLTP response, OLTP disk wait,
-/// and analytics response on the consolidated machine.
-struct Consolidation;
-
-/// Builds the two-tenant machine for one scheme.
-fn boot(scheme: Scheme) -> Kernel {
-    let cfg = MachineConfig::builder()
-        .topology(4, 64, 1)
-        .scheme(scheme)
-        .seek_scale(0.5)
-        .build()
-        .unwrap();
-    let spus = SpuSet::equal_users(2).named(0, "oltp").named(1, "batch");
-    let mut k = Kernel::new(cfg, spus);
-
-    // Tenant 1: the database.
-    let oltp = OltpConfig::default().build(&mut k, 0);
-    k.spawn_at(SpuId::user(0), oltp, Some("oltp"), SimTime::ZERO);
-
-    // Tenant 2: analytics — repeatedly scan a 50 MB extract (too big
-    // to stay cached in its share of the 64 MB machine) with
-    // aggregation compute between scans. The scan keeps a sequential
-    // request stream on the shared disk for the whole run.
-    let extract = k.create_file(0, 50 * 1024 * 1024, 0);
-    let mut ab = Program::builder("analytics").alloc(500);
-    for _ in 0..3 {
-        ab = ab
-            .read(extract, 0, 50 * 1024 * 1024)
-            .compute(SimDuration::from_millis(2000), 500);
-    }
-    k.spawn_at(SpuId::user(1), ab.build(), Some("analytics"), SimTime::ZERO);
-    k
-}
-
-impl Scenario for Consolidation {
-    type Cell = Scheme;
-    type Outcome = Value;
-    type Report = Vec<(Scheme, f64, f64, f64)>;
-
-    fn name(&self) -> &'static str {
-        "server-consolidation"
-    }
-
-    fn cells(&self) -> Vec<Scheme> {
-        Scheme::ALL.to_vec()
-    }
-
-    fn cell_key(&self, scheme: &Scheme) -> String {
-        scheme.label().to_lowercase()
-    }
-
-    fn cell_fingerprint(&self, &scheme: &Scheme) -> u64 {
-        sweep::kernel_cell_fingerprint(
-            &boot(scheme),
-            SimTime::from_secs(600),
-            "server-consolidation-v1",
-        )
-    }
-
-    fn run_cell(&self, &scheme: &Scheme) -> Value {
-        let mut k = boot(scheme);
-        let m = k.run(SimTime::from_secs(600));
-        assert!(m.completed, "{scheme}: hit the cap");
-        Value::list(vec![
-            Value::F(m.mean_response_secs("oltp").expect("oltp ran")),
-            Value::F(m.disks[0].stream(SpuId::user(0)).mean_wait_ms()),
-            Value::F(m.mean_response_secs("analytics").expect("analytics ran")),
-        ])
-    }
-
-    fn reduce(&self, outcomes: Vec<Value>) -> Self::Report {
-        self.cells()
-            .into_iter()
-            .zip(outcomes)
-            .map(|(scheme, v)| {
-                let l = v.as_list().expect("oltp/wait/analytics triple");
-                (
-                    scheme,
-                    l[0].as_f64().unwrap(),
-                    l[1].as_f64().unwrap(),
-                    l[2].as_f64().unwrap(),
-                )
-            })
-            .collect()
-    }
-}
+use perf_isolation::experiments::consolidation::{self, ConsolidationScenario};
+use perf_isolation::experiments::report::export;
+use perf_isolation::experiments::sweep::{self, SweepOptions};
+use perf_isolation::experiments::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
     let opts = SweepOptions::new().threads(sweep::threads_from_args(&args));
-
-    println!("Server consolidation: OLTP database vs batch analytics");
-    println!("4 CPUs, 64 MB, one shared disk (half seek latency)\n");
+    println!("Running the consolidation matrix: layout x load ({scale:?} scale)...\n");
+    let result = sweep::run_scenario(&ConsolidationScenario::seed(scale), &opts).report;
+    println!("{}", result.format());
     println!(
-        "{:<6} {:>16} {:>18} {:>18}",
-        "scheme", "oltp resp (s)", "oltp disk wait(ms)", "analytics resp (s)"
+        "\nExpectation: at 4.0x SMP leaks the antagonist's fork-bursts into\n\
+         both tenants. One flat SPU per tenant walls off tenant bell but\n\
+         mixes acme's own service with its noisy sibling — vic's p99 blows\n\
+         through the target. Only the hierarchy holds both lines:\n\
+         per-service leaves under per-tenant ceilings.\n"
     );
-    for (scheme, oltp, wait_ms, analytics) in sweep::run_scenario(&Consolidation, &opts).report {
+
+    println!("Instrumented hierarchical run (4.0x), SLO + sampling + trace on...");
+    let inst = consolidation::run_instrumented(scale);
+    println!("\n{}", inst.metrics.slo().format_table());
+    println!("tenant rollup (leaf -> tenant):");
+    for (tenant, jobs, violated, p99) in &inst.tenants {
         println!(
-            "{:<6} {:>16.3} {:>18.2} {:>18.3}",
-            scheme.label(),
-            oltp,
-            wait_ms,
-            analytics,
+            "  {tenant:<6} {jobs:>6} jobs {violated:>5} violated  worst p99 {:>7.2} ms",
+            p99 * 1e3
         );
     }
-    println!(
-        "\nUnder SMP the analytics scan locks the database's scattered reads\n\
-         out of the disk queue. PIso gives the database its best latency —\n\
-         better even than fixed quotas, whose blind-fair disk scheduling\n\
-         wastes seeks — while analytics lands between the Quota and SMP\n\
-         extremes by borrowing whatever the database leaves idle."
-    );
+    export(
+        "results",
+        &[
+            ("consolidation_metrics.jsonl", &inst.metrics_jsonl),
+            ("consolidation_trace.json", &inst.chrome_trace),
+            (
+                "consolidation_matrix.json",
+                &consolidation::consolidation_matrix_json(&result),
+            ),
+        ],
+    )
+    .expect("write results/");
+    println!("\nwrote results/consolidation_{{metrics.jsonl,trace.json,matrix.json}}");
+    println!("Open the trace in Perfetto (https://ui.perfetto.dev).");
 }

@@ -8,7 +8,7 @@
 //! sees every family, including the interference counters.
 
 use perf_isolation::experiments::Scale;
-use perf_isolation::experiments::{lock_leakage, overload};
+use perf_isolation::experiments::{consolidation, lock_leakage, overload};
 
 /// `module.metric`: at least two non-empty segments, each of
 /// `[a-z0-9_]`, separated by single dots.
@@ -76,6 +76,41 @@ fn admission_counters_are_well_formed_and_present() {
         "requests.timeouts",
         "requests.retries",
         "requests.brownout_skips",
+    ] {
+        assert!(
+            names.iter().any(|n| n == counter),
+            "no `{counter}` counter in the registry walk"
+        );
+    }
+}
+
+#[test]
+fn tree_counters_are_well_formed_and_present() {
+    // The tenant rollups only exist on a hierarchical machine, so the
+    // `spu.tree.*` family needs its own instrumented walk; tenant names
+    // become counter segments, so this also pins the sanitisation of
+    // user-chosen names into the `module.metric` scheme.
+    let m = consolidation::run_instrumented(Scale::Quick).metrics;
+    let names: Vec<String> = m
+        .obsv
+        .counters
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    for name in &names {
+        assert!(
+            well_formed(name),
+            "counter `{name}` breaks the lowercase dot-separated \
+             `module.metric` naming scheme"
+        );
+    }
+    for counter in [
+        "spu.tree.tenants",
+        "spu.tree.services",
+        "spu.tree.acme.ceiling",
+        "spu.tree.acme.cpu_nanos",
+        "spu.tree.acme.pages_used",
+        "spu.tree.bell.ceiling",
     ] {
         assert!(
             names.iter().any(|n| n == counter),
