@@ -32,18 +32,21 @@ fn main() {
         return;
     }
 
-    // The three hot-path micro targets, shared with the `micro` bench.
+    // The hot-path micro targets, shared with the `micro` bench.
     let mut c = Criterion::default();
     micro_targets::bench_event_queue(&mut c);
     micro_targets::bench_scheduler_pick(&mut c);
     micro_targets::bench_scheduler_pick_512(&mut c);
     micro_targets::bench_fault_path(&mut c);
+    micro_targets::bench_fault_resident(&mut c);
+    micro_targets::bench_swapin_batch(&mut c);
     let micro = take_measurements();
 
-    // End-to-end: every quick-scale scenario, uncached and serial, the
-    // same cells `paper_tables --quick --no-cache` runs.
+    // End-to-end: every quick-scale scenario, uncached and serial — the
+    // `paper_tables --quick --no-cache` cells, except that the overload
+    // matrix runs at its shrunk bench-tier horizon (schema v3).
     let start = Instant::now();
-    let outputs = sweep::run_pool(&sweep::all_scenarios(Scale::Quick), &SweepOptions::new());
+    let outputs = sweep::run_pool(&sweep::bench_scenarios(Scale::Quick), &SweepOptions::new());
     let total_s = start.elapsed().as_secs_f64();
     let cells: usize = outputs.iter().map(|o| o.stats.len()).sum();
     eprintln!("end_to_end/quick_sweep: {total_s:.3} s wall ({cells} cells)");
@@ -83,7 +86,71 @@ fn main() {
     std::fs::write(&out_path, json).expect("write BENCH_core.json");
     eprintln!("wrote {out_path}");
 
+    // Per-micro before/after table against the committed baseline,
+    // printed for the log and (with `BENCH_DELTA_OUT` set) written for
+    // CI to upload next to the JSON.
+    let delta = delta_table(baseline_text.as_deref(), &micro, total_s);
+    eprint!("{delta}");
+    if let Ok(path) = std::env::var("BENCH_DELTA_OUT") {
+        std::fs::write(&path, &delta).expect("write delta table");
+        eprintln!("wrote {path}");
+    }
+
     ratchet(baseline_text.as_deref(), &micro, total_s);
+}
+
+/// Renders the per-micro before/after table: committed baseline median
+/// vs this run, with the ratio. New targets (no committed number yet)
+/// and the end-to-end sweep total are included.
+fn delta_table(baseline_text: Option<&str>, micro: &[Measurement], total_s: f64) -> String {
+    use std::fmt::Write;
+    let mut t = String::from("\nbench delta vs committed baseline\n");
+    let _ = writeln!(
+        t,
+        "{:<28} {:>14} {:>14} {:>8}",
+        "target", "baseline ns", "current ns", "ratio"
+    );
+    for m in micro {
+        match baseline_text.and_then(|text| baseline_median_ns(text, &m.name)) {
+            Some(base) => {
+                let _ = writeln!(
+                    t,
+                    "{:<28} {:>14} {:>14} {:>7.2}x",
+                    m.name,
+                    base,
+                    m.median_ns,
+                    m.median_ns as f64 / base as f64
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    t,
+                    "{:<28} {:>14} {:>14} {:>8}",
+                    m.name, "(new)", m.median_ns, "-"
+                );
+            }
+        }
+    }
+    match baseline_text.and_then(baseline_total) {
+        Some(base_s) => {
+            let _ = writeln!(
+                t,
+                "{:<28} {:>12.3} s {:>12.3} s {:>7.2}x",
+                "end_to_end/quick_sweep",
+                base_s,
+                total_s,
+                total_s / base_s
+            );
+        }
+        None => {
+            let _ = writeln!(
+                t,
+                "{:<28} {:>14} {:>12.3} s {:>8}",
+                "end_to_end/quick_sweep", "(new)", total_s, "-"
+            );
+        }
+    }
+    t
 }
 
 /// Regression tolerance for the micro medians. Wide because shared CI
@@ -175,7 +242,10 @@ fn render_json(
 ) -> String {
     use std::fmt::Write;
     let mut j = String::new();
-    j.push_str("{\n  \"schema\": \"bench-core-v2\",\n  \"scale\": \"quick\",\n");
+    // v3: the end-to-end sweep's overload cells moved to the shrunk
+    // bench-tier horizon (scenario name `overload-bench`), so v2 wall
+    // totals are not comparable; two fault-path micros were added.
+    j.push_str("{\n  \"schema\": \"bench-core-v3\",\n  \"scale\": \"quick\",\n");
     let _ = writeln!(
         j,
         "  \"attribution\": {{\"bare_wall_s\": {bare_s:.6}, \"instrumented_wall_s\": {instrumented_s:.6}, \"overhead_ratio\": {:.4}}},",

@@ -27,6 +27,14 @@ fn bench_fault_path(c: &mut Criterion) {
     micro_targets::bench_fault_path(c);
 }
 
+fn bench_fault_resident(c: &mut Criterion) {
+    micro_targets::bench_fault_resident(c);
+}
+
+fn bench_swapin_batch(c: &mut Criterion) {
+    micro_targets::bench_swapin_batch(c);
+}
+
 fn bench_rng(c: &mut Criterion) {
     c.bench_function("rng/next_u64_1k", |b| {
         let mut r = SplitMix64::new(42);
@@ -108,6 +116,8 @@ criterion_group!(
     bench_scheduler_pick,
     bench_scheduler_pick_512,
     bench_fault_path,
+    bench_fault_resident,
+    bench_swapin_batch,
     bench_rng,
     bench_disk_model,
     bench_bw_tracker,

@@ -121,4 +121,59 @@ pub mod micro_targets {
             })
         });
     }
+
+    /// The resident hit path: a working set that *fits* in memory swept
+    /// repeatedly. After the first zero-fill pass every round is pure
+    /// resident touches — the slab-slice walk plus frame-stamp updates,
+    /// with no eviction, no I/O, and no map lookups. Guards the arena
+    /// page-table fast path in isolation from swap traffic.
+    pub fn bench_fault_resident(c: &mut Criterion) {
+        c.bench_function("vm/fault_resident", |b| {
+            b.iter(|| {
+                let cfg = MachineConfig::builder()
+                    .topology(1, 8, 1)
+                    .scheme(Scheme::Smp)
+                    .build()
+                    .unwrap();
+                let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+                // 1500 pages of 2048 frames: never evicts.
+                let sweep = Program::builder("resident")
+                    .alloc(1500)
+                    .compute(SimDuration::from_millis(2), 1500)
+                    .compute(SimDuration::from_millis(2), 1500)
+                    .compute(SimDuration::from_millis(2), 1500)
+                    .compute(SimDuration::from_millis(2), 1500)
+                    .build();
+                k.spawn_at(SpuId::user(0), sweep, Some("resident"), SimTime::ZERO);
+                black_box(k.run(SimTime::from_secs(60)).end_time)
+            })
+        });
+    }
+
+    /// The coalesced swap-in drain: one oversized sweep pushes the tail
+    /// of the working set to swap, and the second sweep faults it back
+    /// in ascending page order — contiguous swap slots coalesce into
+    /// multi-page reads whose completions land on the same tick and
+    /// drain through the event queue's batched `pop_run` path.
+    pub fn bench_swapin_batch(c: &mut Criterion) {
+        c.bench_function("vm/swapin_batch", |b| {
+            b.iter(|| {
+                let cfg = MachineConfig::builder()
+                    .topology(1, 8, 1)
+                    .scheme(Scheme::Smp)
+                    .build()
+                    .unwrap();
+                let mut k = Kernel::new(cfg, SpuSet::equal_users(1));
+                // 3000 pages of 2048 frames: the first sweep swaps out
+                // ~1000 pages, the second swaps them back in.
+                let sweep = Program::builder("swapin")
+                    .alloc(3000)
+                    .compute(SimDuration::from_millis(2), 3000)
+                    .compute(SimDuration::from_millis(2), 3000)
+                    .build();
+                k.spawn_at(SpuId::user(0), sweep, Some("swapin"), SimTime::ZERO);
+                black_box(k.run(SimTime::from_secs(60)).end_time)
+            })
+        });
+    }
 }

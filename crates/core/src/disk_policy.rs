@@ -130,14 +130,14 @@ impl BandwidthTracker {
     /// scheduled at lowest priority by construction (§3.3) rather than by
     /// the fairness criterion, and kernel I/O is unrestricted.
     pub fn average_normalized(&self) -> f64 {
-        let users: Vec<f64> = (2..self.counts.len())
-            .map(|i| self.counts[i] / self.shares[i])
-            .collect();
-        if users.is_empty() {
-            0.0
-        } else {
-            users.iter().sum::<f64>() / users.len() as f64
+        let n = self.counts.len().saturating_sub(2);
+        if n == 0 {
+            return 0.0;
         }
+        let sum: f64 = (2..self.counts.len())
+            .map(|i| self.counts[i] / self.shares[i])
+            .sum();
+        sum / n as f64
     }
 
     /// The fairness criterion (§3.3): true when `spu`'s normalized usage

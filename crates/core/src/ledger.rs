@@ -81,6 +81,7 @@ impl ResourceLedger {
     }
 
     /// Total machine capacity.
+    #[inline]
     pub fn capacity(&self) -> u64 {
         self.capacity
     }
@@ -90,6 +91,7 @@ impl ResourceLedger {
     /// # Panics
     ///
     /// Panics if `spu` was not sized into this ledger.
+    #[inline]
     pub fn levels(&self, spu: SpuId) -> &ResourceLevels {
         &self.levels[spu.index()]
     }
@@ -108,11 +110,13 @@ impl ResourceLedger {
     }
 
     /// Units currently used by `spu`.
+    #[inline]
     pub fn used(&self, spu: SpuId) -> u64 {
         self.levels[spu.index()].used
     }
 
     /// Units used across all SPUs.
+    #[inline]
     pub fn total_used(&self) -> u64 {
         self.total
     }
@@ -123,6 +127,7 @@ impl ResourceLedger {
     }
 
     /// Whether a charge of `n` units against `spu` would succeed.
+    #[inline]
     pub fn can_charge(&self, spu: SpuId, n: u64, enforce: bool) -> Result<(), ChargeError> {
         if self.free() < n {
             return Err(ChargeError::Exhausted);
@@ -230,6 +235,7 @@ impl LedgerShard {
         }
     }
 
+    #[inline]
     fn record(&mut self, spu: usize, delta: i64) {
         if self.stamp[spu] != self.epoch {
             self.stamp[spu] = self.epoch;
@@ -330,6 +336,7 @@ impl ShardedLedger {
     }
 
     /// Exact units currently used by `spu` (global plus pending).
+    #[inline]
     pub fn used(&self, spu: SpuId) -> u64 {
         let exact = self.global.used(spu) as i64 + self.pending[spu.index()];
         debug_assert!(exact >= 0, "negative exact usage for {spu}");
@@ -337,11 +344,13 @@ impl ShardedLedger {
     }
 
     /// Exact units used across all SPUs.
+    #[inline]
     pub fn total_used(&self) -> u64 {
         (self.global.total_used() as i64 + self.pending_total) as u64
     }
 
     /// Exact unused machine capacity.
+    #[inline]
     pub fn free(&self) -> u64 {
         self.capacity() - self.total_used()
     }
@@ -388,6 +397,7 @@ impl ShardedLedger {
     ///
     /// Fails per [`can_charge`](Self::can_charge); on failure nothing
     /// is recorded.
+    #[inline]
     pub fn charge_on(
         &mut self,
         shard: usize,
@@ -407,6 +417,7 @@ impl ShardedLedger {
     ///
     /// Panics if `spu` has fewer than `n` units charged under the exact
     /// view.
+    #[inline]
     pub fn release_on(&mut self, shard: usize, spu: SpuId, n: u64) {
         let used = self.used(spu);
         assert!(used >= n, "releasing {n} units but {spu} only has {used}");
@@ -424,6 +435,7 @@ impl ShardedLedger {
         self.record(shard, to, n as i64);
     }
 
+    #[inline]
     fn record(&mut self, shard: usize, spu: SpuId, delta: i64) {
         self.shards[shard].record(spu.index(), delta);
         self.pending[spu.index()] += delta;

@@ -106,6 +106,9 @@ pub struct DiskDevice {
     /// Recorded `(waiter, holder, wait)` tuples awaiting
     /// [`drain_queue_waits`](Self::drain_queue_waits).
     queue_waits: Vec<(SpuId, SpuId, SimDuration)>,
+    /// Reusable eligibility scratch for the Hybrid scheduler, so each
+    /// scheduling decision allocates nothing.
+    pick_scratch: Vec<bool>,
 }
 
 impl DiskDevice {
@@ -127,6 +130,7 @@ impl DiskDevice {
             record_queue_waits: false,
             last_stream: None,
             queue_waits: Vec::new(),
+            pick_scratch: Vec::new(),
         }
     }
 
@@ -292,6 +296,7 @@ impl DiskDevice {
             &mut self.bw,
             self.bw_threshold,
             now,
+            &mut self.pick_scratch,
         )?;
         let pending = self.queue.swap_remove(idx);
         let mut breakdown =

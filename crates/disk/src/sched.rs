@@ -74,9 +74,18 @@ pub(crate) fn pick_next(
     bw: &mut BandwidthTracker,
     bw_threshold: f64,
     now: SimTime,
+    pass: &mut Vec<bool>,
 ) -> Option<usize> {
     if queue.is_empty() {
         return None;
+    }
+    // Single-request fast path: every policy picks the lone request —
+    // eligibility only reorders, never denies service outright. (Eliding
+    // fair_pick's decay here is exact: decay advances in whole half-life
+    // steps by a power-of-two factor, so deferring it composes to the
+    // same counts.)
+    if queue.len() == 1 {
+        return Some(0);
     }
     match kind {
         SchedulerKind::HeadPosition => cscan_pick(queue, model, head_cyl, |_| true),
@@ -86,15 +95,18 @@ pub(crate) fn pick_next(
             // eligible when no user request is queued.
             let any_user = queue.iter().any(|p| p.req.stream.is_user());
             // An SPU failing the fairness criterion is denied access while
-            // other SPUs have queued requests.
+            // other SPUs have queued requests. Verdicts land in the
+            // device's reusable scratch buffer — this runs per service
+            // start, and a pair of fresh Vecs here dominated the disk
+            // model's cost in paging-heavy runs.
             let mut eligible = |stream: SpuId| -> bool {
                 if any_user && !stream.is_user() {
                     return false;
                 }
                 !bw.fails_fairness(stream, bw_threshold, now)
             };
-            let streams: Vec<SpuId> = queue.iter().map(|p| p.req.stream).collect();
-            let pass: Vec<bool> = streams.iter().map(|&s| eligible(s)).collect();
+            pass.clear();
+            pass.extend(queue.iter().map(|p| eligible(p.req.stream)));
             if pass.iter().any(|&p| p) {
                 cscan_pick(queue, model, head_cyl, |i| pass[i])
             } else if any_user {
@@ -201,6 +213,7 @@ mod tests {
                 bw,
                 64.0,
                 SimTime::ZERO,
+                &mut Vec::new(),
             )
             .unwrap()
         };
@@ -225,6 +238,7 @@ mod tests {
             &mut bw,
             64.0,
             SimTime::ZERO,
+            &mut Vec::new(),
         )
         .unwrap();
         assert_eq!(i, 1, "earlier submission wins the tie");
@@ -247,6 +261,7 @@ mod tests {
             &mut bw,
             64.0,
             SimTime::ZERO,
+            &mut Vec::new(),
         )
         .unwrap();
         assert_eq!(i, 1, "fairness ignores head position");
@@ -270,6 +285,7 @@ mod tests {
             &mut bw,
             64.0,
             SimTime::ZERO,
+            &mut Vec::new(),
         )
         .unwrap();
         assert_eq!(i, 2, "hog denied; C-SCAN among the passing SPU's requests");
@@ -291,6 +307,7 @@ mod tests {
             &mut bw,
             64.0,
             SimTime::ZERO,
+            &mut Vec::new(),
         );
         assert_eq!(i, Some(0));
     }
@@ -311,6 +328,7 @@ mod tests {
             &mut bw,
             64.0,
             SimTime::ZERO,
+            &mut Vec::new(),
         )
         .unwrap();
         assert_eq!(
@@ -327,6 +345,7 @@ mod tests {
             &mut bw,
             64.0,
             SimTime::ZERO,
+            &mut Vec::new(),
         );
         assert_eq!(i, Some(0));
     }
@@ -337,7 +356,16 @@ mod tests {
         let mut bw = tracker();
         for kind in SchedulerKind::ALL {
             assert_eq!(
-                pick_next(kind, &[], &model, 0, &mut bw, 64.0, SimTime::ZERO),
+                pick_next(
+                    kind,
+                    &[],
+                    &model,
+                    0,
+                    &mut bw,
+                    64.0,
+                    SimTime::ZERO,
+                    &mut Vec::new()
+                ),
                 None
             );
         }

@@ -85,6 +85,13 @@ fn horizon(scale: Scale) -> SimTime {
     }
 }
 
+/// Arrival horizon of the bench-tier matrix: the same scheme × policy ×
+/// load cells at a quarter of the quick horizon. Open-loop overload cost
+/// scales with arrivals, and the quick-scale matrix dominated the core
+/// bench's end-to-end sweep wall clock; the shrunk cell keeps the matrix
+/// shape while the `paper_tables` quick/full exports stay untouched.
+const BENCH_HORIZON: SimTime = SimTime::from_millis(500);
+
 /// Victim offered rate: ~50% of its entitled CPUs at 2 ms per request
 /// (600/s on the 4-CPU seed machine).
 fn victim_rate(cpus: usize) -> f64 {
@@ -109,7 +116,7 @@ pub fn load_label(tenths: u32) -> String {
 /// so the 32×-bigger machine is far less likely to be tipped into the
 /// metastable queue-growth state within a fixed horizon. The 128-CPU
 /// rerun measures exactly that statistical-multiplexing effect.
-fn boot(scheme: Scheme, policy: ShedPolicy, load_tenths: u32, scale: Scale, cpus: usize) -> Kernel {
+fn boot(scheme: Scheme, policy: ShedPolicy, load_tenths: u32, h: SimTime, cpus: usize) -> Kernel {
     let tuning = Tuning {
         // Immediate loan revocation: the victim's idle entitlement may
         // be loaned out, but must snap back the instant a request lands.
@@ -149,7 +156,6 @@ fn boot(scheme: Scheme, policy: ShedPolicy, load_tenths: u32, scale: Scale, cpus
         .build()
         .unwrap();
     let mut k = Kernel::new(cfg, SpuSet::with_weights(&[3, 2]));
-    let h = horizon(scale);
 
     // Victim: a Poisson stream of 2 ms CPU requests at ~50% of its
     // entitled CPUs — a healthy service, but one whose admission queue
@@ -347,7 +353,18 @@ pub fn run_one_at(
     scale: Scale,
     cpus: usize,
 ) -> OverloadRow {
-    let mut k = boot(scheme, policy, load_tenths, scale, cpus);
+    run_one_h(scheme, policy, load_tenths, horizon(scale), cpus)
+}
+
+/// Runs one cell at an explicit arrival horizon.
+fn run_one_h(
+    scheme: Scheme,
+    policy: ShedPolicy,
+    load_tenths: u32,
+    h: SimTime,
+    cpus: usize,
+) -> OverloadRow {
+    let mut k = boot(scheme, policy, load_tenths, h, cpus);
     k.enable_slo(slo_target());
     let m = k.run(CAP);
     row_from_metrics(scheme, policy, load_tenths, &m)
@@ -471,6 +488,9 @@ pub struct OverloadScenario {
     /// Machine size. [`SEED_CPUS`] reproduces the seed matrix exactly;
     /// larger values scale rates and admission caps linearly.
     pub cpus: usize,
+    /// When set, cells run at [`BENCH_HORIZON`] instead of the scale's
+    /// horizon (the core bench's shrunk matrix).
+    pub bench_tier: bool,
 }
 
 impl OverloadScenario {
@@ -481,7 +501,28 @@ impl OverloadScenario {
 
     /// The matrix on a machine with `cpus` CPUs.
     pub fn at(scale: Scale, cpus: usize) -> Self {
-        OverloadScenario { scale, cpus }
+        OverloadScenario {
+            scale,
+            cpus,
+            bench_tier: false,
+        }
+    }
+
+    /// The seed matrix at the shrunk bench-tier horizon.
+    pub fn bench(scale: Scale) -> Self {
+        OverloadScenario {
+            scale,
+            cpus: SEED_CPUS,
+            bench_tier: true,
+        }
+    }
+
+    fn cell_horizon(&self) -> SimTime {
+        if self.bench_tier {
+            BENCH_HORIZON
+        } else {
+            horizon(self.scale)
+        }
     }
 }
 
@@ -492,8 +533,11 @@ impl Scenario for OverloadScenario {
 
     fn name(&self) -> &'static str {
         // The seed matrix keeps its historical name (cache + artifact
-        // paths); scaled-up reruns get their own namespace.
-        if self.cpus == SEED_CPUS {
+        // paths); scaled-up reruns and the bench-tier matrix get their
+        // own namespaces.
+        if self.bench_tier {
+            "overload-bench"
+        } else if self.cpus == SEED_CPUS {
             "overload"
         } else {
             "overload-large"
@@ -522,14 +566,14 @@ impl Scenario for OverloadScenario {
 
     fn cell_fingerprint(&self, &(scheme, policy, load): &Self::Cell) -> u64 {
         sweep::kernel_cell_fingerprint(
-            &boot(scheme, policy, load, self.scale, self.cpus),
+            &boot(scheme, policy, load, self.cell_horizon(), self.cpus),
             CAP,
             "overload-v1",
         )
     }
 
     fn run_cell(&self, &(scheme, policy, load): &Self::Cell) -> OverloadRow {
-        run_one_at(scheme, policy, load, self.scale, self.cpus)
+        run_one_h(scheme, policy, load, self.cell_horizon(), self.cpus)
     }
 
     fn reduce(&self, outcomes: Vec<OverloadRow>) -> OverloadResult {
@@ -566,7 +610,7 @@ pub fn run_baseline(scale: Scale) -> RunMetrics {
         Scheme::PIso,
         ShedPolicy::DeadlineAware,
         25,
-        scale,
+        horizon(scale),
         SEED_CPUS,
     )
     .run(CAP)
@@ -579,7 +623,7 @@ pub fn run_instrumented(scale: Scale) -> OverloadInstrumented {
         Scheme::PIso,
         ShedPolicy::DeadlineAware,
         25,
-        scale,
+        horizon(scale),
         SEED_CPUS,
     );
     k.enable_slo(slo_target());
@@ -708,7 +752,7 @@ mod tests {
             Scheme::Smp,
             ShedPolicy::DeadlineAware,
             25,
-            Scale::Quick,
+            horizon(Scale::Quick),
             SEED_CPUS,
         )
         .run(CAP);
@@ -716,7 +760,7 @@ mod tests {
             Scheme::Smp,
             ShedPolicy::DeadlineAware,
             25,
-            Scale::Quick,
+            horizon(Scale::Quick),
             SEED_CPUS,
         );
         k.enable_slo(slo_target());

@@ -7,7 +7,7 @@
 //! dirty high watermark ("The buffer cache fills up causing writes to the
 //! disk", §4.5).
 
-use std::collections::HashMap;
+use crate::fastmap::FastMap;
 
 use crate::fs::FileId;
 use crate::vm::FrameId;
@@ -63,7 +63,7 @@ pub struct CacheStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct BufferCache {
-    map: HashMap<BlockKey, CacheEntry>,
+    map: FastMap<BlockKey, CacheEntry>,
     dirty: u64,
     flushing: u64,
     stats: CacheStats,

@@ -338,7 +338,8 @@ impl Kernel {
                     }
                 }
                 MicroOp::Alloc(pages) => {
-                    self.procs.get_mut(pid).grow_region(pages);
+                    let slab = self.procs.get(pid).pages;
+                    self.page_arena.grow(slab, pages);
                     self.procs.get_mut(pid).pop_micro();
                 }
                 MicroOp::AwaitIo => {
@@ -379,15 +380,19 @@ impl Kernel {
                     if let Some(attr) = &mut self.attribution {
                         attr.lock_released(pid, holder_spu, lock, self.now);
                     }
-                    if let Some(attr) = self.attribution.as_mut() {
+                    if self.attribution.is_some() {
                         // Charge everyone still queued for the hold
                         // segment that just ended.
-                        let mut queued = Vec::new();
+                        let mut queued = std::mem::take(&mut self.lock_waiter_scratch);
+                        debug_assert!(queued.is_empty());
                         self.locks.for_each_waiter(lock, |p| queued.push(p));
-                        for p in queued {
+                        for &p in &queued {
                             let waiter_spu = self.procs.get(p).spu;
+                            let attr = self.attribution.as_mut().expect("checked above");
                             attr.lock_still_waiting(p, waiter_spu, lock, holder_spu, self.now);
                         }
+                        queued.clear();
+                        self.lock_waiter_scratch = queued;
                     }
                     for w in woken {
                         if let Some(attr) = self.attribution.as_mut() {
@@ -489,15 +494,14 @@ impl Kernel {
         let pid = self.procs.next_pid();
         let mut child =
             crate::process::Process::new(pid, spu, job, program, Some(parent), self.now);
-        // Recycle interpreter/page storage retired by earlier exits —
+        // Recycle interpreter storage retired by earlier exits —
         // fork-heavy workloads (pmake, fork bombs) otherwise re-allocate
-        // both per child.
+        // a queue per child. Page tables come from the arena, which
+        // recycles retired slabs the same way.
         if let Some(micro) = self.micro_pool.pop() {
             child.install_recycled_micro(micro);
         }
-        if let Some(pages) = self.page_pool.pop() {
-            child.pages = pages;
-        }
+        child.pages = self.page_arena.alloc();
         self.procs.insert(child);
         self.procs.get_mut(parent).live_children += 1;
         self.live_procs += 1;
@@ -508,26 +512,29 @@ impl Kernel {
     /// its response is scored at run end, so a crash injected into a
     /// job's root degrades its numbers rather than erasing them.
     pub(crate) fn exit_process(&mut self, pid: Pid, crashed: bool) {
-        {
+        let slab = {
             let p = self.procs.get_mut(pid);
             p.state = ProcState::Done;
             p.finished = Some(self.now);
-            // Harvest the dead process's interpreter queue and page table
-            // for reuse by future forks (and to stop retired entries in
-            // the proc table from holding page-table memory).
+            // Harvest the dead process's interpreter queue for reuse by
+            // future forks.
             let mut micro = p.take_micro();
-            let mut pages = std::mem::take(&mut p.pages);
             if self.micro_pool.len() < Self::POOL_CAP {
                 micro.clear();
                 self.micro_pool.push(micro);
             }
-            if self.page_pool.len() < Self::POOL_CAP {
-                pages.clear();
-                self.page_pool.push(pages);
+            std::mem::replace(&mut p.pages, crate::process::PageSlab::NONE)
+        };
+        self.live_procs -= 1;
+        // Release the process's resident frames through its page table —
+        // O(pages), where the old owner-column scan was O(total frames)
+        // per exit — then retire the slab for reuse.
+        for s in self.page_arena.table(slab) {
+            if let crate::process::PageState::Resident(f) = *s {
+                self.vm.release_frame(f);
             }
         }
-        self.live_procs -= 1;
-        self.vm.free_process_frames(pid);
+        self.page_arena.release(slab);
         // The light-load SPU "releases memory in addition to CPUs"
         // (§4.3 footnote) — waking anyone blocked on memory.
         self.wake_mem_waiters();

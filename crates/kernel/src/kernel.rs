@@ -13,7 +13,9 @@
 //! [`Kernel::run`], which returns the [`RunMetrics`] the experiment
 //! harnesses turn into the paper's figures.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use crate::fastmap::FastMap;
 use std::sync::Arc;
 
 use event_sim::{EventQueue, Fingerprint, Fnv64, LogHistogram, SimDuration, SimTime};
@@ -70,7 +72,7 @@ pub struct Kernel {
     pub(crate) locks: LockTable,
     pub(crate) fs: FileSystem,
     pub(crate) disks: Vec<DiskDevice>,
-    pub(crate) io_purpose: HashMap<u64, IoPurpose>,
+    pub(crate) io_purpose: FastMap<u64, IoPurpose>,
     /// Fill-join waiters per request tag. BTreeMap: every access today is
     /// keyed, but a future drain would otherwise iterate in hash order
     /// and leak nondeterministic wake order into the exports.
@@ -84,7 +86,7 @@ pub struct Kernel {
     pub(crate) trace: Trace,
     pub(crate) ipi_pending: bool,
     /// Outstanding cache-fill requests per file (limits prefetch depth).
-    pub(crate) filling: HashMap<FileId, u32>,
+    pub(crate) filling: FastMap<FileId, u32>,
     pub(crate) live_procs: u32,
     pub(crate) jobs: Vec<JobRecord>,
     /// Per-SPU admission queues (dense [`SpuId::index`] order), active
@@ -108,7 +110,7 @@ pub struct Kernel {
     /// Live latency histograms.
     pub(crate) latency: LatencyStats,
     /// Pending wake → dispatch measurements (latest wake wins).
-    pub(crate) wake_pending: HashMap<Pid, SimTime>,
+    pub(crate) wake_pending: FastMap<Pid, SimTime>,
     /// Per-CPU time a revocation became needed (cleared at deschedule).
     pub(crate) revoke_requested: Vec<Option<SimTime>>,
     pub(crate) sched_counts: SchedCounters,
@@ -123,7 +125,7 @@ pub struct Kernel {
     pub(crate) slo_samples: Vec<Vec<SloSample>>,
     // --- faults & recovery ------------------------------------------------
     /// Retry state per erroring request tag.
-    pub(crate) retries: HashMap<u64, RetryState>,
+    pub(crate) retries: FastMap<u64, RetryState>,
     /// Bounded sample of recovered kernel errors ([`Kernel::errors`]).
     pub(crate) errors: Vec<KernelError>,
     /// Total recovered kernel errors (the `kernel.errors` counter).
@@ -143,10 +145,14 @@ pub struct Kernel {
     /// [`fork_child`](Kernel::fork_child) so fork-heavy workloads don't
     /// re-allocate interpreter queues per process.
     pub(crate) micro_pool: Vec<std::collections::VecDeque<crate::process::MicroOp>>,
-    /// Recycled page tables from exited processes.
-    pub(crate) page_pool: Vec<Vec<crate::process::PageState>>,
+    /// Kernel-owned arena of per-process page tables; exited processes'
+    /// slabs are recycled by the next fork.
+    pub(crate) page_arena: crate::process::PageArena,
     /// Scratch `(swap slot, frame)` buffer for `do_touch`'s fault batch.
     pub(crate) swapin_scratch: Vec<(u64, crate::vm::FrameId)>,
+    /// Scratch waiter list for `LockRelease` attribution charging, so
+    /// instrumented runs don't allocate per release.
+    pub(crate) lock_waiter_scratch: Vec<crate::process::Pid>,
     /// Stable content hash of everything that determines the run:
     /// configuration, SPU set, files, spawned programs. Because the
     /// simulation is a pure function of these inputs, the digest
@@ -309,7 +315,7 @@ impl Kernel {
             locks,
             fs: FileSystem::new(disk_count, sectors_per_disk),
             disks,
-            io_purpose: HashMap::new(),
+            io_purpose: FastMap::default(),
             fill_waiters: BTreeMap::new(),
             dirty_waiters: Vec::new(),
             mem_waiters: Vec::new(),
@@ -317,7 +323,7 @@ impl Kernel {
             next_tag: 1,
             trace: Trace::new(),
             ipi_pending: false,
-            filling: HashMap::new(),
+            filling: FastMap::default(),
             live_procs: 0,
             jobs: Vec::new(),
             admission: (0..n_spus)
@@ -329,13 +335,13 @@ impl Kernel {
             series: Vec::new(),
             cpu_entitled: Vec::new(),
             latency: LatencyStats::new(),
-            wake_pending: HashMap::new(),
+            wake_pending: FastMap::default(),
             revoke_requested: vec![None; cfg.cpus],
             sched_counts: SchedCounters::default(),
             attribution: None,
             slo_target: None,
             slo_samples: Vec::new(),
-            retries: HashMap::new(),
+            retries: FastMap::default(),
             errors: Vec::new(),
             error_count: 0,
             auditor: LedgerAuditor::new(n_spus, cfg.tuning.mem_policy_period.mul_f64(3.0)),
@@ -344,8 +350,9 @@ impl Kernel {
             last_denials: 0,
             frame_vec_pool: Vec::new(),
             micro_pool: Vec::new(),
-            page_pool: Vec::new(),
+            page_arena: crate::process::PageArena::new(),
             swapin_scratch: Vec::new(),
+            lock_waiter_scratch: Vec::new(),
             fp,
             counter_ids: KernelCounterIds::new(disk_count),
             cfg,
@@ -524,6 +531,7 @@ impl Kernel {
             id
         });
         let mut p = Process::new(pid, spu, job, program, None, at);
+        p.pages = self.page_arena.alloc();
         p.state = ProcState::Blocked(BlockReason::Io); // not started yet
         self.procs.insert(p);
         self.live_procs += 1;
@@ -564,6 +572,7 @@ impl Kernel {
             shed: false,
         });
         let mut p = Process::new(pid, spu, Some(id), program, None, at);
+        p.pages = self.page_arena.alloc();
         p.state = ProcState::Blocked(BlockReason::Io); // not started yet
         self.procs.insert(p);
         self.live_procs += 1;
@@ -590,15 +599,35 @@ impl Kernel {
             }
         }
         let mut completed = false;
-        while let Some((at, ev)) = self.events.pop() {
+        // Drain same-instant events in one batch per queue visit: swap-in
+        // completions, wakes, and dispatches that land on the same tick
+        // skip the per-event advance/promote round-trip. Delivery order is
+        // identical to a one-at-a-time pop loop (see `EventQueue::pop_run`).
+        let mut batch: Vec<Event> = Vec::new();
+        'run: while let Some(at) = self.events.pop_run(&mut batch) {
             if at > cap {
+                // The pre-batching loop popped (and dropped) exactly one
+                // over-cap event before breaking; keep the rest pending so
+                // queue state after an early stop is unchanged.
+                for ev in batch.drain(..).skip(1) {
+                    self.events.schedule(at, ev);
+                }
                 break;
             }
             self.now = at;
-            self.handle(ev);
-            if self.live_procs == 0 {
-                completed = true;
-                break;
+            let mut pending = batch.drain(..);
+            while let Some(ev) = pending.next() {
+                self.handle(ev);
+                if self.live_procs == 0 {
+                    completed = true;
+                    // Undrained same-instant events go back to the queue
+                    // (order preserved — fresh seqs are assigned in push
+                    // order), matching the unbatched loop's early break.
+                    for rest in pending {
+                        self.events.schedule(at, rest);
+                    }
+                    break 'run;
+                }
             }
         }
         self.collect_metrics(completed)

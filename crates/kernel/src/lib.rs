@@ -47,6 +47,7 @@ mod cpu;
 pub mod error;
 mod event;
 pub mod export;
+mod fastmap;
 pub mod fs;
 mod io;
 pub mod kernel;

@@ -25,21 +25,29 @@ impl Kernel {
     /// ones — but always makes forward progress. Returns `false` if the
     /// process blocked (I/O or memory).
     pub(crate) fn do_touch(&mut self, cpu: usize, pid: Pid, pages: u32, cursor: u32) -> bool {
-        let want = (self.procs.get(pid).pages.len() as u32).min(pages);
+        let (slab, spu) = {
+            let p = self.procs.get(pid);
+            (p.pages, p.spu)
+        };
+        let want = (self.page_arena.table(slab).len() as u32).min(pages);
         let mut c = cursor;
-        loop {
-            let frame = match self.procs.get(pid).pages.get(c as usize) {
-                Some(PageState::Resident(f)) if c < want => *f,
-                _ => break,
-            };
-            self.vm.touch_frame(frame);
-            c += 1;
+        {
+            // Hit path: the page table and frame table are disjoint
+            // kernel fields, so the resident sweep runs over the slab
+            // slice with no per-page process-table lookup.
+            let table = self.page_arena.table(slab);
+            while c < want {
+                match table[c as usize] {
+                    PageState::Resident(f) => self.vm.touch_frame(f),
+                    _ => break,
+                }
+                c += 1;
+            }
         }
         if c >= want {
             self.procs.get_mut(pid).pop_micro();
             return true;
         }
-        let spu = self.procs.get(pid).spu;
         let mut cpu_cost = SimDuration::ZERO;
         // (slot sector, frame) pairs, collected into the kernel's reused
         // scratch buffer — touch rounds fire once per fault batch, so a
@@ -50,10 +58,8 @@ impl Kernel {
         let mut page = c;
         let mut denied = false;
         while page < end {
-            if matches!(
-                self.procs.get(pid).pages[page as usize],
-                PageState::Resident(_)
-            ) {
+            let prior = self.page_arena.table(slab)[page as usize];
+            if matches!(prior, PageState::Resident(_)) {
                 page += 1;
                 continue;
             }
@@ -72,8 +78,7 @@ impl Kernel {
                 self.note_steal(spu, &ev);
                 self.handle_eviction(ev, Some(pid));
             }
-            let prior = self.procs.get(pid).pages[page as usize];
-            self.procs.get_mut(pid).pages[page as usize] = PageState::Resident(frame);
+            self.page_arena.table_mut(slab)[page as usize] = PageState::Resident(frame);
             self.vm.set_dirty(frame, true); // anon pages are born dirty
             match prior {
                 PageState::Swapped(slot) => {
@@ -188,7 +193,8 @@ impl Kernel {
         match ev.owner {
             FrameOwner::Anon { pid: owner, page } => {
                 let slot = self.vm.alloc_swap_run(1);
-                self.procs.get_mut(owner).pages[page as usize] = PageState::Swapped(slot);
+                let slab = self.procs.get(owner).pages;
+                self.page_arena.table_mut(slab)[page as usize] = PageState::Swapped(slot);
                 if ev.dirty {
                     let disk = self.swap_disk_of(ev.spu);
                     let sector = self.swap_sector(disk, slot);

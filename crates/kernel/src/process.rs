@@ -164,8 +164,8 @@ pub struct Process {
     pub(crate) run_q: u32,
     /// Slot inside that queue (kept current under swap-removal).
     pub(crate) run_q_slot: u32,
-    /// Page table of the anonymous region.
-    pub pages: Vec<PageState>,
+    /// Handle to this process's page table in the kernel's [`PageArena`].
+    pub pages: PageSlab,
     /// Private outstanding disk operations ([`MicroOp::AwaitIo`]).
     pub pending_io: u32,
     /// Disk operations that failed up to this process after the
@@ -206,7 +206,7 @@ impl Process {
             ready_seq: 0,
             run_q: crate::sched::NO_QUEUE,
             run_q_slot: 0,
-            pages: Vec::new(),
+            pages: PageSlab::NONE,
             pending_io: 0,
             io_errors: 0,
             parent,
@@ -300,22 +300,75 @@ impl Process {
         self.state == ProcState::Ready
     }
 
-    /// Grows the region to at least `pages` pages.
-    pub fn grow_region(&mut self, pages: u32) {
-        if self.pages.len() < pages as usize {
-            self.pages.resize(pages as usize, PageState::Unmapped);
+}
+
+/// Handle to one process's page table inside the kernel's [`PageArena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageSlab(u32);
+
+impl PageSlab {
+    /// Sentinel for processes that have not been given a table yet
+    /// (pre-insert construction, scheduler test fixtures). Any table
+    /// access through it panics.
+    pub const NONE: PageSlab = PageSlab(u32::MAX);
+}
+
+/// Kernel-owned arena of per-process page tables.
+///
+/// Page state lives in dense per-process slabs indexed by a [`PageSlab`]
+/// handle rather than inside each [`Process`]: the fault path reads the
+/// table and the frame table side by side (disjoint kernel fields, so the
+/// borrows split), and exited processes return their slab — storage
+/// included — for the next fork to reuse, replacing the old page-table
+/// pool.
+#[derive(Debug, Default)]
+pub struct PageArena {
+    slabs: Vec<Vec<PageState>>,
+    free: Vec<u32>,
+}
+
+impl PageArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates an empty page table, reusing a retired slab's storage
+    /// when one is available.
+    pub fn alloc(&mut self) -> PageSlab {
+        if let Some(i) = self.free.pop() {
+            PageSlab(i)
+        } else {
+            self.slabs.push(Vec::new());
+            PageSlab(self.slabs.len() as u32 - 1)
         }
     }
 
-    /// Indices of the first `want` pages that are not resident.
-    pub fn missing_pages(&self, want: u32) -> Vec<u32> {
-        self.pages
-            .iter()
-            .take(want as usize)
-            .enumerate()
-            .filter(|(_, s)| !matches!(s, PageState::Resident(_)))
-            .map(|(i, _)| i as u32)
-            .collect()
+    /// Retires a table at process exit: entries are dropped, capacity is
+    /// kept for the next [`alloc`](Self::alloc).
+    pub fn release(&mut self, slab: PageSlab) {
+        self.slabs[slab.0 as usize].clear();
+        self.free.push(slab.0);
+    }
+
+    /// Grows a table to at least `pages` entries.
+    pub fn grow(&mut self, slab: PageSlab, pages: u32) {
+        let t = &mut self.slabs[slab.0 as usize];
+        if t.len() < pages as usize {
+            t.resize(pages as usize, PageState::Unmapped);
+        }
+    }
+
+    /// A table's entries.
+    #[inline]
+    pub fn table(&self, slab: PageSlab) -> &[PageState] {
+        &self.slabs[slab.0 as usize]
+    }
+
+    /// A table's entries, mutably.
+    #[inline]
+    pub fn table_mut(&mut self, slab: PageSlab) -> &mut [PageState] {
+        &mut self.slabs[slab.0 as usize]
     }
 }
 
@@ -525,19 +578,32 @@ mod tests {
     }
 
     #[test]
-    fn region_growth_and_missing_pages() {
+    fn alloc_expands_to_alloc_micro_op() {
         let t = Tuning::default();
         let p = Program::builder("a").alloc(4).build();
         let mut proc = mk(p);
         assert!(matches!(proc.current_micro(&t).unwrap(), MicroOp::Alloc(4)));
-        proc.grow_region(4);
-        assert_eq!(proc.missing_pages(4), vec![0, 1, 2, 3]);
-        proc.pages[1] = PageState::Resident(crate::vm::FrameId(9));
-        assert_eq!(proc.missing_pages(4), vec![0, 2, 3]);
-        assert_eq!(proc.missing_pages(2), vec![0]);
+    }
+
+    #[test]
+    fn arena_grows_tables_and_recycles_slabs() {
+        let mut arena = PageArena::new();
+        let slab = arena.alloc();
+        arena.grow(slab, 4);
+        assert_eq!(arena.table(slab).len(), 4);
+        assert!(arena
+            .table(slab)
+            .iter()
+            .all(|s| matches!(s, PageState::Unmapped)));
+        arena.table_mut(slab)[1] = PageState::Resident(crate::vm::FrameId(9));
         // Growing never shrinks.
-        proc.grow_region(2);
-        assert_eq!(proc.pages.len(), 4);
+        arena.grow(slab, 2);
+        assert_eq!(arena.table(slab).len(), 4);
+        // Releasing empties the table and recycles the slab id.
+        arena.release(slab);
+        let again = arena.alloc();
+        assert_eq!(again, slab);
+        assert!(arena.table(again).is_empty());
     }
 
     #[test]

@@ -17,8 +17,6 @@
 //! SPU before the page is freed, the page will be marked as a shared
 //! page."
 
-use std::collections::VecDeque;
-
 use spu_core::{
     ChargeError, MemPolicyInput, MemSharingPolicy, ResourceLedger, ResourceLevels, Scheme,
     ShardedLedger, SpuId, SpuSet,
@@ -130,19 +128,37 @@ pub struct VmSpuStats {
 /// ```
 #[derive(Debug)]
 pub struct MemoryManager {
-    frames: Vec<Frame>,
+    // Frame metadata as a dense struct-of-arrays, directly indexed by
+    // `FrameId`: the fault path touches only the columns it needs
+    // (owner+flags on the victim walk, stamps on touch) instead of
+    // dragging whole `Frame` structs through the cache.
+    owners: Vec<FrameOwner>,
+    frame_spu: Vec<SpuId>,
+    /// Per-frame flag bits ([`DIRTY`] | [`PINNED`]).
+    flags: Vec<u8>,
+    /// Reference-epoch stamps (refreshed on touch; drive SMP global LRU).
+    stamps: Vec<u64>,
+    /// Residency-arrival epochs (set on enqueue; order victim selection).
+    arrivals: Vec<u64>,
+    /// Intrusive doubly-linked residency-list links, `NIL`-terminated.
+    next: Vec<u32>,
+    prev: Vec<u32>,
     free: Vec<FrameId>,
     /// Per-CPU sharded page accounting: the fault path charges the
     /// faulting CPU's shard; deltas fold into the global ledger at
     /// policy-pass boundaries. Every decision reads the exact
     /// (global + pending) view, so sharding never changes behaviour.
     ledger: ShardedLedger,
-    resident: Vec<VecDeque<FrameId>>,
-    /// Number of buffer-cache frames each SPU currently owns. Victim
-    /// selection prefers cache pages; when an SPU has none, the selector
-    /// can stop at its first unpinned anonymous page instead of scanning
-    /// the whole resident queue for a cache page that isn't there —
-    /// the dominant cost of thrash-heavy runs.
+    /// Per-SPU residency lists in arrival order, one per victim class
+    /// (`[CACHE_CLASS]`, `[ANON_CLASS]`), threaded through `next`/`prev`.
+    /// Frames are unlinked eagerly on eviction/release/share transfer, so
+    /// the lists never hold stale entries and the "first eligible victim"
+    /// walk skips at most the pinned prefix — O(1) amortized instead of
+    /// the old scan past stale and pinned entries.
+    lists: Vec<[ResidentList; 2]>,
+    /// Number of buffer-cache frames each SPU currently owns — the cache
+    /// class's occupancy counter, letting the victim selector skip the
+    /// cache walk entirely when an SPU has none.
     cache_frames: Vec<u64>,
     policy: MemSharingPolicy,
     scheme: Scheme,
@@ -151,6 +167,35 @@ pub struct MemoryManager {
     stats: Vec<VmSpuStats>,
     swap_cursor: u64,
     charge_seq: u64,
+}
+
+/// `flags` bit: contents differ from backing store.
+const DIRTY: u8 = 1 << 0;
+/// `flags` bit: in-flight I/O; skipped by victim selection.
+const PINNED: u8 = 1 << 1;
+
+/// Victim-class index: buffer-cache frames (preferred victims).
+const CACHE_CLASS: usize = 0;
+/// Victim-class index: anonymous frames.
+const ANON_CLASS: usize = 1;
+
+/// Null link in the intrusive residency lists.
+const NIL: u32 = u32::MAX;
+
+/// Head/tail of one per-SPU, per-class residency list.
+#[derive(Clone, Copy, Debug)]
+struct ResidentList {
+    head: u32,
+    tail: u32,
+}
+
+impl Default for ResidentList {
+    fn default() -> Self {
+        ResidentList {
+            head: NIL,
+            tail: NIL,
+        }
+    }
 }
 
 impl MemoryManager {
@@ -180,20 +225,18 @@ impl MemoryManager {
         shards: usize,
     ) -> Self {
         let n_spus = spus.total_count();
+        let n = total_frames as usize;
         let mut vm = MemoryManager {
-            frames: vec![
-                Frame {
-                    owner: FrameOwner::Free,
-                    spu: SpuId::KERNEL,
-                    dirty: false,
-                    pinned: false,
-                    stamp: 0,
-                };
-                total_frames as usize
-            ],
+            owners: vec![FrameOwner::Free; n],
+            frame_spu: vec![SpuId::KERNEL; n],
+            flags: vec![0; n],
+            stamps: vec![0; n],
+            arrivals: vec![0; n],
+            next: vec![NIL; n],
+            prev: vec![NIL; n],
             free: (0..total_frames as u32).rev().map(FrameId).collect(),
             ledger: ShardedLedger::new(total_frames, n_spus, shards),
-            resident: vec![VecDeque::new(); n_spus],
+            lists: vec![[ResidentList::default(); 2]; n_spus],
             cache_frames: vec![0; n_spus],
             policy: MemSharingPolicy::new(reserve_frac),
             scheme,
@@ -203,22 +246,79 @@ impl MemoryManager {
             swap_cursor: 0,
             charge_seq: 0,
         };
-        // Boot-time kernel memory (code, data, static tables).
+        // Boot-time kernel memory (code, data, static tables). Kernel
+        // frames never enter a residency list (never paged).
         let kernel_frames = (total_frames as f64 * kernel_frac).round() as u64;
         let boot = vm.ledger.detached_shard();
         for _ in 0..kernel_frames {
             let f = vm.free.pop().expect("kernel fraction must fit");
             vm.ledger.charge_on(boot, SpuId::KERNEL, 1, false).unwrap();
-            vm.frames[f.0 as usize] = Frame {
-                owner: FrameOwner::Kernel,
-                spu: SpuId::KERNEL,
-                dirty: false,
-                pinned: true, // kernel memory is never paged
-                stamp: 0,
-            };
+            let i = f.0 as usize;
+            vm.owners[i] = FrameOwner::Kernel;
+            vm.frame_spu[i] = SpuId::KERNEL;
+            vm.flags[i] = PINNED;
         }
         vm.run_policy();
         vm
+    }
+
+    /// The victim class a resident owner files under.
+    #[inline]
+    fn class_of(owner: FrameOwner) -> usize {
+        match owner {
+            FrameOwner::Cache { .. } => CACHE_CLASS,
+            _ => ANON_CLASS,
+        }
+    }
+
+    /// Appends a frame to the tail of an SPU's class list.
+    #[inline]
+    fn push_resident(&mut self, spu: SpuId, class: usize, id: FrameId) {
+        let i = id.0 as usize;
+        let list = &mut self.lists[spu.index()][class];
+        self.prev[i] = list.tail;
+        self.next[i] = NIL;
+        if list.tail == NIL {
+            list.head = id.0;
+        } else {
+            self.next[list.tail as usize] = id.0;
+        }
+        list.tail = id.0;
+        self.charge_seq += 1;
+        self.arrivals[i] = self.charge_seq;
+    }
+
+    /// Unlinks a frame from an SPU's class list.
+    #[inline]
+    fn unlink_resident(&mut self, spu: SpuId, class: usize, id: FrameId) {
+        let i = id.0 as usize;
+        let (p, n) = (self.prev[i], self.next[i]);
+        let list = &mut self.lists[spu.index()][class];
+        if p == NIL {
+            list.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            list.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.prev[i] = NIL;
+        self.next[i] = NIL;
+    }
+
+    /// The first unpinned frame of an SPU's class list, in arrival order.
+    #[inline]
+    fn first_unpinned(&self, spu: SpuId, class: usize) -> Option<FrameId> {
+        let mut cur = self.lists[spu.index()][class].head;
+        while cur != NIL {
+            if self.flags[cur as usize] & PINNED == 0 {
+                return Some(FrameId(cur));
+            }
+            cur = self.next[cur as usize];
+        }
+        None
     }
 
     /// Whether per-SPU limits are enforced (everything but `SMP`).
@@ -226,27 +326,45 @@ impl MemoryManager {
         self.scheme.sharing().enforces()
     }
 
-    /// Read access to a frame.
-    pub fn frame(&self, id: FrameId) -> &Frame {
-        &self.frames[id.0 as usize]
+    /// A frame's metadata, assembled from the struct-of-arrays columns.
+    pub fn frame(&self, id: FrameId) -> Frame {
+        let i = id.0 as usize;
+        Frame {
+            owner: self.owners[i],
+            spu: self.frame_spu[i],
+            dirty: self.flags[i] & DIRTY != 0,
+            pinned: self.flags[i] & PINNED != 0,
+            stamp: self.stamps[i],
+        }
     }
 
     /// Sets a frame's dirty flag.
     pub fn set_dirty(&mut self, id: FrameId, dirty: bool) {
-        self.frames[id.0 as usize].dirty = dirty;
+        if dirty {
+            self.flags[id.0 as usize] |= DIRTY;
+        } else {
+            self.flags[id.0 as usize] &= !DIRTY;
+        }
     }
 
     /// Pins or unpins a frame (pinned frames are not eviction victims).
+    /// The frame keeps its residency-list position, so unpinning restores
+    /// its original victim priority.
     pub fn set_pinned(&mut self, id: FrameId, pinned: bool) {
-        self.frames[id.0 as usize].pinned = pinned;
+        if pinned {
+            self.flags[id.0 as usize] |= PINNED;
+        } else {
+            self.flags[id.0 as usize] &= !PINNED;
+        }
     }
 
     /// Records a reference to a resident frame, refreshing its age stamp
     /// so global victimization (SMP mode) approximates LRU rather than
     /// punishing long-resident hot pages.
+    #[inline]
     pub fn touch_frame(&mut self, id: FrameId) {
         self.charge_seq += 1;
-        self.frames[id.0 as usize].stamp = self.charge_seq;
+        self.stamps[id.0 as usize] = self.charge_seq;
     }
 
     /// The levels record of an SPU (exact view: global + pending).
@@ -362,82 +480,54 @@ impl MemoryManager {
             .charge_on(shard, spu, 1, false)
             .expect("capacity was verified");
         self.charge_seq += 1;
-        self.frames[frame.0 as usize] = Frame {
-            owner,
-            spu,
-            dirty: false,
-            pinned: false,
-            stamp: self.charge_seq,
-        };
-        if matches!(owner, FrameOwner::Cache { .. }) {
+        let i = frame.0 as usize;
+        self.owners[i] = owner;
+        self.frame_spu[i] = spu;
+        self.flags[i] = 0;
+        self.stamps[i] = self.charge_seq;
+        let class = Self::class_of(owner);
+        if class == CACHE_CLASS {
             self.cache_frames[spu.index()] += 1;
         }
-        self.resident[spu.index()].push_back(frame);
+        self.push_resident(spu, class, frame);
         Acquired::Frame { frame, evicted }
     }
 
     /// Pops the next unpinned victim frame of `spu`, preferring cache
     /// pages over anonymous pages, releases its charge and frees it.
     /// Returns what was evicted.
+    ///
+    /// Because the class lists are arrival-ordered and hold no stale
+    /// entries, this is a head pop past (at most) a pinned prefix —
+    /// O(1) amortized. The cache-occupancy counter skips the cache walk
+    /// entirely for SPUs holding no cache frames.
     fn pop_victim(&mut self, shard: usize, spu: SpuId) -> Option<Evicted> {
-        // With no cache pages to prefer, the scan can stop at the first
-        // unpinned anonymous page instead of walking the whole queue.
-        let has_cache = self.cache_frames[spu.index()] > 0;
-        let queue = &mut self.resident[spu.index()];
-        // Drop stale entries and find the first eligible victim,
-        // preferring buffer-cache pages (cheap to reclaim) as real page
-        // caches do.
-        let mut chosen: Option<usize> = None;
-        let mut first_anon: Option<usize> = None;
-        let mut i = 0;
-        while i < queue.len() {
-            let fid = queue[i];
-            let f = &self.frames[fid.0 as usize];
-            let stale = f.spu != spu || matches!(f.owner, FrameOwner::Free);
-            if stale {
-                queue.remove(i);
-                continue;
-            }
-            if !f.pinned {
-                match f.owner {
-                    FrameOwner::Cache { .. } => {
-                        chosen = Some(i);
-                        break;
-                    }
-                    FrameOwner::Anon { .. } if first_anon.is_none() => {
-                        first_anon = Some(i);
-                        if !has_cache {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            i += 1;
-        }
-        let idx = chosen.or(first_anon)?;
-        let fid = queue.remove(idx).expect("index in range");
-        let f = self.frames[fid.0 as usize];
-        let ev = Evicted {
-            owner: f.owner,
-            spu: f.spu,
-            dirty: f.dirty,
+        let chosen = if self.cache_frames[spu.index()] > 0 {
+            self.first_unpinned(spu, CACHE_CLASS)
+                .or_else(|| self.first_unpinned(spu, ANON_CLASS))
+        } else {
+            self.first_unpinned(spu, ANON_CLASS)
         };
-        if ev.dirty && matches!(ev.owner, FrameOwner::Anon { .. }) {
+        let fid = chosen?;
+        let i = fid.0 as usize;
+        let owner = self.owners[i];
+        let ev = Evicted {
+            owner,
+            spu: self.frame_spu[i],
+            dirty: self.flags[i] & DIRTY != 0,
+        };
+        let class = Self::class_of(owner);
+        self.unlink_resident(spu, class, fid);
+        if ev.dirty && matches!(owner, FrameOwner::Anon { .. }) {
             self.stats[spu.index()].swap_outs += 1;
         }
-        if matches!(ev.owner, FrameOwner::Cache { .. }) {
+        if class == CACHE_CLASS {
             self.cache_frames[spu.index()] -= 1;
         }
         self.ledger.release_on(shard, spu, 1);
-        let stamp = self.frames[fid.0 as usize].stamp;
-        self.frames[fid.0 as usize] = Frame {
-            owner: FrameOwner::Free,
-            spu,
-            dirty: false,
-            pinned: false,
-            stamp,
-        };
+        self.owners[i] = FrameOwner::Free;
+        self.frame_spu[i] = spu;
+        self.flags[i] = 0;
         self.free.push(fid);
         Some(ev)
     }
@@ -482,24 +572,26 @@ impl MemoryManager {
         }
     }
 
-    /// The stamp of the oldest evictable resident frame of an SPU,
-    /// pruning stale queue entries along the way.
-    fn oldest_resident_stamp(&mut self, spu: SpuId) -> Option<u64> {
-        let queue = &mut self.resident[spu.index()];
-        let mut i = 0;
-        while i < queue.len() {
-            let fid = queue[i];
-            let f = &self.frames[fid.0 as usize];
-            if f.spu != spu || matches!(f.owner, FrameOwner::Free) {
-                queue.remove(i);
-                continue;
+    /// The stamp of the oldest evictable resident frame of an SPU — the
+    /// first unpinned frame in arrival order across both class lists
+    /// (the class split preserves relative arrival order within each
+    /// class, so the earlier of the two heads is the merged-order first).
+    fn oldest_resident_stamp(&self, spu: SpuId) -> Option<u64> {
+        let cache = self.first_unpinned(spu, CACHE_CLASS);
+        let anon = self.first_unpinned(spu, ANON_CLASS);
+        let fid = match (cache, anon) {
+            (Some(c), Some(a)) => {
+                if self.arrivals[c.0 as usize] < self.arrivals[a.0 as usize] {
+                    c
+                } else {
+                    a
+                }
             }
-            if !f.pinned {
-                return Some(f.stamp);
-            }
-            i += 1;
-        }
-        None
+            (Some(c), None) => c,
+            (None, Some(a)) => a,
+            (None, None) => return None,
+        };
+        Some(self.stamps[fid.0 as usize])
     }
 
     /// Releases a frame entirely (process exit, cache drop).
@@ -508,44 +600,45 @@ impl MemoryManager {
     ///
     /// Panics if the frame is already free.
     pub fn release_frame(&mut self, id: FrameId) {
-        let f = &mut self.frames[id.0 as usize];
-        assert!(
-            !matches!(f.owner, FrameOwner::Free),
-            "double free of {id:?}"
-        );
-        let spu = f.spu;
-        let was_cache = matches!(f.owner, FrameOwner::Cache { .. });
-        f.owner = FrameOwner::Free;
-        f.dirty = false;
-        f.pinned = false;
-        if was_cache {
+        let i = id.0 as usize;
+        let owner = self.owners[i];
+        assert!(!matches!(owner, FrameOwner::Free), "double free of {id:?}");
+        let spu = self.frame_spu[i];
+        let class = Self::class_of(owner);
+        if !matches!(owner, FrameOwner::Kernel) {
+            self.unlink_resident(spu, class, id);
+        }
+        self.owners[i] = FrameOwner::Free;
+        self.flags[i] = 0;
+        if matches!(owner, FrameOwner::Cache { .. }) {
             self.cache_frames[spu.index()] -= 1;
         }
         let shard = self.ledger.detached_shard();
         self.ledger.release_on(shard, spu, 1);
         self.free.push(id);
-        // The stale resident-queue entry is dropped lazily.
     }
 
     /// Re-marks a frame as shared (§3.2): transfers its charge from its
     /// current user SPU to the shared SPU. No-op if it is already
     /// kernel/shared-owned.
     pub fn mark_shared(&mut self, id: FrameId) {
-        let f = &mut self.frames[id.0 as usize];
-        if !f.spu.is_user() {
+        let i = id.0 as usize;
+        if !self.frame_spu[i].is_user() {
             return;
         }
-        let from = f.spu;
-        let is_cache = matches!(f.owner, FrameOwner::Cache { .. });
-        f.spu = SpuId::SHARED;
-        if is_cache {
+        let from = self.frame_spu[i];
+        let class = Self::class_of(self.owners[i]);
+        // Re-file under the shared SPU at the tail of its class list —
+        // the same position the old lazy-pruned queue gave it.
+        self.unlink_resident(from, class, id);
+        self.frame_spu[i] = SpuId::SHARED;
+        if class == CACHE_CLASS {
             self.cache_frames[from.index()] -= 1;
             self.cache_frames[SpuId::SHARED.index()] += 1;
         }
         let shard = self.ledger.detached_shard();
         self.ledger.transfer_on(shard, from, SpuId::SHARED, 1);
-        self.resident[SpuId::SHARED.index()].push_back(id);
-        // The entry under the old SPU goes stale and is dropped lazily.
+        self.push_resident(SpuId::SHARED, class, id);
     }
 
     /// Allocates `pages` contiguous swap slots and returns the starting
@@ -557,10 +650,13 @@ impl MemoryManager {
         start
     }
 
-    /// Frees every anonymous frame of an exiting process.
+    /// Frees every anonymous frame of an exiting process by scanning the
+    /// owner column. The kernel's exit path releases through the page
+    /// slab instead (O(pages), not O(frames)); this scan remains for
+    /// callers without a page table.
     pub fn free_process_frames(&mut self, pid: Pid) {
-        for i in 0..self.frames.len() {
-            if let FrameOwner::Anon { pid: p, .. } = self.frames[i].owner {
+        for i in 0..self.owners.len() {
+            if let FrameOwner::Anon { pid: p, .. } = self.owners[i] {
                 if p == pid {
                     self.release_frame(FrameId(i as u32));
                 }
@@ -597,7 +693,10 @@ impl MemoryManager {
                 pressured: self.pressure[id.index()],
             })
             .collect();
-        if std::env::var("VMTRACE").is_ok() {
+        // The env lookup is cached: getenv on every policy pass (one per
+        // 100 ms of sim time) is visible in paging-heavy profiles.
+        static VMTRACE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *VMTRACE.get_or_init(|| std::env::var("VMTRACE").is_ok()) {
             eprintln!(
                 "policy: {:?}",
                 inputs
@@ -631,10 +730,10 @@ impl MemoryManager {
         self.ledger.check_invariants();
         let mut counted = vec![0u64; self.spus.total_count()];
         let mut free = 0u64;
-        for f in &self.frames {
-            match f.owner {
+        for (i, owner) in self.owners.iter().enumerate() {
+            match owner {
                 FrameOwner::Free => free += 1,
-                _ => counted[f.spu.index()] += 1,
+                _ => counted[self.frame_spu[i].index()] += 1,
             }
         }
         assert_eq!(free, self.ledger.free(), "free count mismatch");

@@ -32,6 +32,8 @@ const BUCKET_SHIFT: u32 = 20;
 /// `NEAR_BUCKETS << BUCKET_SHIFT` ns ≈ 268 ms.
 const NEAR_BUCKETS: u64 = 256;
 const NEAR_MASK: u64 = NEAR_BUCKETS - 1;
+/// Words in the near-wheel occupancy bitmap.
+const OCC_WORDS: usize = (NEAR_BUCKETS as usize) / 64;
 
 #[inline]
 fn bucket_of(at: SimTime) -> u64 {
@@ -94,6 +96,12 @@ pub struct EventQueue<E> {
     /// Near wheel, indexed by `bucket & NEAR_MASK`. Invariant: a
     /// non-empty slot's `bucket` lies in `[cursor, cursor + NEAR_BUCKETS)`.
     near: Vec<Slot<E>>,
+    /// Occupancy bitmap over the near wheel: bit `i` is set iff
+    /// `near[i].entries` is non-empty. Because every occupied bucket lies
+    /// in `[cursor, cursor + NEAR_BUCKETS)`, a circular first-set-bit scan
+    /// starting at `cursor & NEAR_MASK` visits slots in ascending bucket
+    /// order — so "min non-empty bucket" is O(words), not O(slots).
+    occ: [u64; OCC_WORDS],
     /// Far lane: bucket number → entries, for buckets at or beyond
     /// `cursor + NEAR_BUCKETS` (keys are promoted on cursor advance, so
     /// the invariant holds between any two public calls).
@@ -120,6 +128,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             near: (0..NEAR_BUCKETS).map(|_| Slot::default()).collect(),
+            occ: [0; OCC_WORDS],
             far: BTreeMap::new(),
             cursor: 0,
             cursor_sorted: true,
@@ -127,6 +136,43 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
+    }
+
+    #[inline]
+    fn set_occ(&mut self, idx: usize) {
+        self.occ[idx >> 6] |= 1 << (idx & 63);
+    }
+
+    #[inline]
+    fn clear_occ(&mut self, idx: usize) {
+        self.occ[idx >> 6] &= !(1 << (idx & 63));
+    }
+
+    /// First occupied slot index at or after `start` in circular order,
+    /// if any. Combined with the horizon invariant this is the slot of
+    /// the minimum non-empty bucket when `start = cursor & NEAR_MASK`.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        let w0 = start >> 6;
+        let masked = self.occ[w0] & (!0u64 << (start & 63));
+        if masked != 0 {
+            return Some((w0 << 6) + masked.trailing_zeros() as usize);
+        }
+        for w in w0 + 1..OCC_WORDS {
+            if self.occ[w] != 0 {
+                return Some((w << 6) + self.occ[w].trailing_zeros() as usize);
+            }
+        }
+        for w in 0..=w0 {
+            let word = if w == w0 {
+                self.occ[w] & !(!0u64 << (start & 63))
+            } else {
+                self.occ[w]
+            };
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// Schedules `event` to fire at `at`.
@@ -150,7 +196,9 @@ impl<E> EventQueue<E> {
             self.far.entry(bucket).or_default().push(entry);
         } else {
             let sorted = self.cursor_sorted && bucket == self.cursor;
-            let slot = &mut self.near[(bucket & NEAR_MASK) as usize];
+            let idx = (bucket & NEAR_MASK) as usize;
+            self.set_occ(idx);
+            let slot = &mut self.near[idx];
             if slot.entries.is_empty() {
                 slot.bucket = bucket;
             } else {
@@ -177,7 +225,8 @@ impl<E> EventQueue<E> {
             return None;
         }
         {
-            let slot = &mut self.near[(self.cursor & NEAR_MASK) as usize];
+            let idx = (self.cursor & NEAR_MASK) as usize;
+            let slot = &mut self.near[idx];
             if !slot.entries.is_empty() && slot.bucket == self.cursor {
                 if !self.cursor_sorted {
                     // (at, seq) pairs are unique, so unstable is safe.
@@ -188,11 +237,53 @@ impl<E> EventQueue<E> {
                 let entry = slot.entries.pop().expect("checked non-empty");
                 self.len -= 1;
                 self.last_popped = entry.at;
+                if slot.entries.is_empty() {
+                    self.clear_occ(idx);
+                }
                 return Some((entry.at, entry.event));
             }
         }
         self.advance();
         self.pop()
+    }
+
+    /// Drains the earliest event **and every other event due at the same
+    /// instant** into `out` (cleared first), in FIFO `(time, seq)` order.
+    /// Returns the shared due time, or `None` if the queue is empty.
+    ///
+    /// Equal-time events always share one near bucket and sit contiguous
+    /// at the tail of the sorted cursor slot, so the drain is a run of
+    /// `Vec::pop`s with no re-scan. Events scheduled *while the caller
+    /// handles the batch* at that same instant get larger sequence
+    /// numbers and are returned by the next `pop_run` call — exactly the
+    /// order a one-at-a-time `pop` loop would deliver.
+    pub fn pop_run(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        out.clear();
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let idx = (self.cursor & NEAR_MASK) as usize;
+            let slot = &mut self.near[idx];
+            if !slot.entries.is_empty() && slot.bucket == self.cursor {
+                if !self.cursor_sorted {
+                    slot.entries
+                        .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                    self.cursor_sorted = true;
+                }
+                let at = slot.entries.last().expect("checked non-empty").at;
+                while slot.entries.last().is_some_and(|e| e.at == at) {
+                    out.push(slot.entries.pop().expect("checked non-empty").event);
+                }
+                self.len -= out.len();
+                self.last_popped = at;
+                if slot.entries.is_empty() {
+                    self.clear_occ(idx);
+                }
+                return Some(at);
+            }
+            self.advance();
+        }
     }
 
     /// Jumps the cursor to the next non-empty bucket (near or far) and
@@ -201,11 +292,8 @@ impl<E> EventQueue<E> {
     /// Only called with `len > 0` and the cursor slot drained.
     fn advance(&mut self) {
         let next_near = self
-            .near
-            .iter()
-            .filter(|s| !s.entries.is_empty())
-            .map(|s| s.bucket)
-            .min();
+            .next_occupied((self.cursor & NEAR_MASK) as usize)
+            .map(|i| self.near[i].bucket);
         let next_far = self.far.keys().next().copied();
         let target = match (next_near, next_far) {
             (Some(n), Some(f)) => n.min(f),
@@ -225,7 +313,9 @@ impl<E> EventQueue<E> {
                 break;
             }
             let entries = self.far.remove(&bucket).expect("key just observed");
-            let slot = &mut self.near[(bucket & NEAR_MASK) as usize];
+            let idx = (bucket & NEAR_MASK) as usize;
+            self.set_occ(idx);
+            let slot = &mut self.near[idx];
             debug_assert!(slot.entries.is_empty());
             slot.bucket = bucket;
             slot.entries = entries;
@@ -246,11 +336,8 @@ impl<E> EventQueue<E> {
             };
         }
         let near_best = self
-            .near
-            .iter()
-            .filter(|s| !s.entries.is_empty())
-            .min_by_key(|s| s.bucket)
-            .and_then(|s| s.entries.iter().map(|e| e.at).min());
+            .next_occupied((self.cursor & NEAR_MASK) as usize)
+            .and_then(|i| self.near[i].entries.iter().map(|e| e.at).min());
         let far_best = self
             .far
             .values()
@@ -282,6 +369,7 @@ impl<E> EventQueue<E> {
         for slot in &mut self.near {
             slot.entries.clear();
         }
+        self.occ = [0; OCC_WORDS];
         self.far.clear();
         self.cursor = 0;
         self.cursor_sorted = true;
@@ -394,6 +482,63 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "far2");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_run_drains_same_instant_batch_in_fifo_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule(t, 0);
+        q.schedule(SimTime::from_millis(9), 99);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_run(&mut buf), Some(t));
+        assert_eq!(buf, vec![0, 1, 2]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_run(&mut buf), Some(SimTime::from_millis(9)));
+        assert_eq!(buf, vec![99]);
+        assert_eq!(q.pop_run(&mut buf), None);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pop_run_then_same_instant_schedule_comes_next() {
+        // An event scheduled at the batch's instant *after* the batch was
+        // drained must be delivered by the next pop_run — same order as a
+        // one-at-a-time pop loop.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule(t, 'a');
+        q.schedule(t, 'b');
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_run(&mut buf), Some(t));
+        assert_eq!(buf, vec!['a', 'b']);
+        q.schedule(t, 'c');
+        assert_eq!(q.pop_run(&mut buf), Some(t));
+        assert_eq!(buf, vec!['c']);
+    }
+
+    #[test]
+    fn pop_run_crosses_the_far_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1_000), "far");
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_run(&mut buf), Some(SimTime::from_millis(1_000)));
+        assert_eq!(buf, vec!["far"]);
+    }
+
+    #[test]
+    fn pop_and_pop_run_interleave_consistently() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        for i in 0..5 {
+            q.schedule(t, i);
+        }
+        assert_eq!(q.pop().unwrap().1, 0);
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_run(&mut buf), Some(t));
+        assert_eq!(buf, vec![1, 2, 3, 4]);
     }
 
     #[test]
